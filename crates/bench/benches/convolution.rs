@@ -1,0 +1,41 @@
+//! §III.C ablation: the same rank-M tensor kernel evaluated separably
+//! (TME / GCU style) vs densified direct 3-D convolution (B-spline MSM
+//! style).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tme_core::convolve::convolve_separable;
+use tme_core::kernel::TensorKernel;
+use tme_core::shells::GaussianFit;
+use tme_mesh::Grid3;
+use tme_reference::msm::{convolve_direct, DenseKernel};
+
+fn charge(n: usize) -> Grid3 {
+    let mut q = Grid3::zeros([n; 3]);
+    for (i, v) in q.as_mut_slice().iter_mut().enumerate() {
+        *v = ((i * 31 % 97) as f64 - 48.0) * 0.01;
+    }
+    q
+}
+
+fn bench(c: &mut Criterion) {
+    let gc = 8;
+    let fit = GaussianFit::new(2.2936, 4);
+    let mut g = c.benchmark_group("level1_convolution");
+    g.sample_size(10);
+    for n in [16usize, 32] {
+        let h = 9.9727 / n as f64;
+        let kernel = TensorKernel::new(&fit, [h; 3], 6, gc);
+        let dense = DenseKernel::from_fn(gc, |m| kernel.dense_value(m));
+        let q = charge(n);
+        g.bench_with_input(BenchmarkId::new("tme_separable", n), &n, |b, _| {
+            b.iter(|| convolve_separable(&q, &kernel, 1.0))
+        });
+        g.bench_with_input(BenchmarkId::new("msm_direct", n), &n, |b, _| {
+            b.iter(|| convolve_direct(&dense, &q))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

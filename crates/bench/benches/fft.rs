@@ -1,0 +1,66 @@
+//! FFT benches: the radix-2 plan, the radix-4 CFFT16 kernel (the FPGA
+//! unit's structure) and the 3-D transform the top level uses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tme_num::fft::{cfft16, cfft16_f32, Fft, Fft3, RealFft3};
+use tme_num::{complex::Complex32, Complex64};
+
+fn signal(n: usize) -> Vec<Complex64> {
+    (0..n).map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos())).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for n in [16usize, 64, 256, 4096] {
+        let plan = Fft::new(n);
+        let x = signal(n);
+        g.bench_with_input(BenchmarkId::new("radix2", n), &n, |b, _| {
+            b.iter(|| {
+                let mut y = x.clone();
+                plan.forward(&mut y);
+                y
+            })
+        });
+    }
+    let x16: [Complex64; 16] = signal(16).try_into().unwrap();
+    g.bench_function("cfft16_f64", |b| {
+        b.iter(|| {
+            let mut y = x16;
+            cfft16(&mut y, false);
+            y
+        })
+    });
+    let x16s: [Complex32; 16] = core::array::from_fn(|i| x16[i].to_c32());
+    g.bench_function("cfft16_f32_fpga_datapath", |b| {
+        b.iter(|| {
+            let mut y = x16s;
+            cfft16_f32(&mut y, false);
+            y
+        })
+    });
+    for n in [16usize, 32] {
+        let plan = Fft3::new(n, n, n);
+        let x = signal(n * n * n);
+        g.bench_with_input(BenchmarkId::new("fft3_forward", n), &n, |b, _| {
+            b.iter(|| {
+                let mut y = x.clone();
+                plan.forward(&mut y);
+                y
+            })
+        });
+        // Real-input half-spectrum path (grid charges are real): ~2×.
+        let rplan = RealFft3::new(n, n, n);
+        let xr: Vec<f64> = (0..n * n * n).map(|i| (i as f64 * 0.37).sin()).collect();
+        g.bench_with_input(BenchmarkId::new("rfft3_forward", n), &n, |b, _| {
+            let mut spec = vec![Complex64::ZERO; rplan.spectrum_len()];
+            b.iter(|| {
+                rplan.forward(&xr, &mut spec);
+                spec[0]
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench for Fig. 3's machinery: building the Gauss–Legendre
+//! shell fit and scanning its approximation error for M = 1..4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tme_core::shells::GaussianFit;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_gaussian_fit");
+    for m in [1usize, 2, 3, 4] {
+        g.bench_with_input(BenchmarkId::new("fit_and_scan", m), &m, |b, &m| {
+            b.iter(|| {
+                let fit = GaussianFit::new(std::hint::black_box(2.751), m);
+                fit.normalised_max_error(5.0, 200)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Hardware-datapath ablation: the LRU's particle↔grid operations
+//! (B-spline weights + tensor products) and the fixed-point formats the
+//! grid path uses, vs plain f64.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tme_bench::water_system;
+use tme_mesh::SplineOps;
+use tme_num::fixed::{quantize_slice, Fix32};
+
+fn bench(c: &mut Criterion) {
+    let sys = water_system(343, 9);
+    let ops = SplineOps::new(6, [16; 3], sys.box_l);
+    let mut g = c.benchmark_group("lru_gcu_datapath");
+    g.sample_size(10);
+    g.bench_function("lru_charge_assignment_1029_atoms", |b| {
+        b.iter(|| ops.assign(&sys.pos, &sys.q))
+    });
+    let grid = ops.assign(&sys.pos, &sys.q);
+    g.bench_function("lru_back_interpolation_1029_atoms", |b| {
+        b.iter(|| ops.interpolate(&grid, &sys.pos, &sys.q))
+    });
+    let data: Vec<f64> = (0..4096).map(|i| ((i * 37 % 101) as f64 - 50.0) * 0.013).collect();
+    g.bench_function("grid_quantize_fix32_frac24", |b| {
+        b.iter(|| {
+            let mut d = data.clone();
+            quantize_slice::<24>(&mut d);
+            d
+        })
+    });
+    let fx: Vec<Fix32<20>> = data.iter().map(|&x| Fix32::<20>::from_f64(x)).collect();
+    let k = Fix32::<24>::from_f64(0.0123);
+    g.bench_function("fixed_point_multiply_accumulate", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for v in &fx {
+                acc = acc.wrapping_add(v.mul_mixed::<24, 20>(k).0 as i64);
+            }
+            acc
+        })
+    });
+    g.bench_function("f64_multiply_accumulate", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for v in &data {
+                acc += v * 0.0123;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

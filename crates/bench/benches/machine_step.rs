@@ -1,0 +1,21 @@
+//! Machine-simulator throughput for the Fig. 9 / Table 2 / §VI.A
+//! workloads (a full 512-node MD-step schedule per iteration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdgrape_sim::{simulate_step, MachineConfig, StepWorkload};
+
+fn bench(c: &mut Criterion) {
+    let cfg = MachineConfig::mdgrape4a();
+    let fig9 = StepWorkload::paper_fig9();
+    let grid64 = StepWorkload::paper_grid64();
+    let mut no_lr = StepWorkload::paper_fig9();
+    no_lr.long_range = false;
+    let mut g = c.benchmark_group("machine_step");
+    g.bench_function("fig9_32cubed", |b| b.iter(|| simulate_step(&cfg, &fig9)));
+    g.bench_function("grid64_L2", |b| b.iter(|| simulate_step(&cfg, &grid64)));
+    g.bench_function("fig9_no_long_range", |b| b.iter(|| simulate_step(&cfg, &no_lr)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Fig. 4 kernels: one velocity-Verlet + SETTLE NVE step with SPME and
+//! with TME long-range electrostatics (216 waters).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tme_core::{Tme, TmeParams};
+use tme_md::nve::NveSim;
+use tme_md::water::{relax, thermalize, water_box};
+use tme_reference::ewald::EwaldParams;
+use tme_reference::Spme;
+
+fn system() -> tme_md::MdSystem {
+    let mut s = water_box(216, 3);
+    relax(&mut s, 50, 0.9);
+    thermalize(&mut s, 300.0, 4);
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    let r_cut = 0.9;
+    let alpha = EwaldParams::alpha_from_tolerance(r_cut, 1e-4);
+    let box_l = system().box_l;
+    let spme = Spme::new([16; 3], box_l, alpha, 6, r_cut);
+    let tme = Tme::new(
+        TmeParams { n: [16; 3], p: 6, levels: 1, gc: 8, m_gaussians: 4, alpha, r_cut },
+        box_l,
+    );
+    let mut g = c.benchmark_group("nve_step_216_waters");
+    g.sample_size(10);
+    g.bench_function("spme", |b| {
+        let mut sim = NveSim::new(system(), &spme, 0.001, r_cut);
+        b.iter(|| sim.step())
+    });
+    g.bench_function("tme", |b| {
+        let mut sim = NveSim::new(system(), &tme, 0.001, r_cut);
+        b.iter(|| sim.step())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

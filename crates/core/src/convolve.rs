@@ -1,0 +1,317 @@
+//! Range-limited separable grid convolution — the functional model of the
+//! GCU (paper §IV.B).
+//!
+//! A rank-`M` tensor kernel is applied as `M` sequences of three 1-D
+//! periodic convolutions (x, then y, then z), each truncated at the grid
+//! cutoff `g_c`:
+//!
+//! ```text
+//! (K^{ν,j} ⊛ a)_m = Σ_{|m'| ≤ g_c} K^{ν,j}_{m'} a_{m−m'}     (§III.B)
+//! ```
+//!
+//! On the machine each 1-D pass maps onto the 3-D torus axis: grid blocks
+//! hop `⌈g_c/4⌉` nodes in each direction while the GCU multiply-accumulates
+//! them into its grid memory (Eq. 18). Here the same arithmetic runs on one
+//! address space; `SeparableStats` counts the multiply-adds so the §III.C
+//! cost model can be validated against the implementation.
+//!
+//! Implementation: lines along the axis are gathered into a contiguous
+//! ring buffer extended by `g_c` on both ends (the sleeve cells the torus
+//! exchange provides in hardware), so the inner tap loop is a dense
+//! dot-product with no modular arithmetic — the software analogue of the
+//! GCU streaming blocks past its kernel register file.
+
+use crate::kernel::{Kernel1D, TensorKernel};
+use tme_mesh::Grid3;
+
+/// Operation counters for one separable convolution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SeparableStats {
+    /// Multiply-add count.
+    pub madds: u64,
+    /// 1-D convolution passes executed.
+    pub passes: u64,
+}
+
+/// One periodic 1-D convolution along `axis` (0 = x, 1 = y, 2 = z).
+pub fn convolve_axis(grid: &Grid3, kernel: &Kernel1D, axis: usize) -> Grid3 {
+    let n = grid.dims();
+    let len = n[axis];
+    let gc = kernel.gc();
+    let mut out = Grid3::zeros(n);
+    // Fold the kernel onto the ring if it exceeds the axis (packets that
+    // lap the torus accumulate per cell).
+    if 2 * gc + 1 > len {
+        let mut folded = vec![0.0; len];
+        for m in -(gc as i64)..=(gc as i64) {
+            folded[m.rem_euclid(len as i64) as usize] += kernel.get(m);
+        }
+        return convolve_axis_folded(grid, &folded, axis);
+    }
+    let taps = kernel.vals();
+    // Extended line: [wrap tail | line | wrap head].
+    let mut line = vec![0.0f64; len + 2 * gc];
+    let (ny, nz) = (n[1], n[2]);
+    let src = grid.as_slice();
+    let dst = out.as_mut_slice();
+    let stride = match axis {
+        0 => ny * nz,
+        1 => nz,
+        _ => 1,
+    };
+    // Iterate over all lines perpendicular to `axis`.
+    let (outer, inner, outer_stride, inner_stride) = match axis {
+        0 => (ny, nz, nz, 1),
+        1 => (n[0], nz, ny * nz, 1),
+        _ => (n[0], ny, ny * nz, nz),
+    };
+    for o in 0..outer {
+        for i in 0..inner {
+            let base = o * outer_stride + i * inner_stride;
+            // Gather with periodic extension.
+            for k in 0..len {
+                line[gc + k] = src[base + k * stride];
+            }
+            for k in 0..gc {
+                line[k] = src[base + (len - gc + k) * stride];
+                line[gc + len + k] = src[base + k * stride];
+            }
+            // Dense correlation: out[c] = Σ_m K_m · line[gc + c − m]
+            //                           = Σ_t taps[t] · line[c + 2gc − t].
+            for c in 0..len {
+                let window = &line[c..c + 2 * gc + 1];
+                let mut acc = 0.0;
+                // taps[t] corresponds to kernel offset m = t − gc, and
+                // line[c + gc − m] = window[2gc − t]; iterate in reverse.
+                for (t, &k) in taps.iter().enumerate() {
+                    acc += k * window[2 * gc - t];
+                }
+                dst[base + c * stride] = acc;
+            }
+        }
+    }
+    out
+}
+
+/// Fallback for kernels wider than the axis: direct folded evaluation.
+fn convolve_axis_folded(grid: &Grid3, folded: &[f64], axis: usize) -> Grid3 {
+    let n = grid.dims();
+    let mut out = Grid3::zeros(n);
+    for (c, _) in grid.iter() {
+        let center = [c[0] as i64, c[1] as i64, c[2] as i64];
+        let mut acc = 0.0;
+        for (m, &kv) in folded.iter().enumerate() {
+            let mut sc = center;
+            sc[axis] -= m as i64;
+            acc += kv * grid.get(sc);
+        }
+        out.set(center, acc);
+    }
+    out
+}
+
+/// Reference implementation used to cross-validate the buffered kernel:
+/// direct periodic indexing per tap (slow, obviously correct).
+pub fn convolve_axis_naive(grid: &Grid3, kernel: &Kernel1D, axis: usize) -> Grid3 {
+    let n = grid.dims();
+    let gc = kernel.gc() as i64;
+    let len = n[axis] as i64;
+    if 2 * gc + 1 > len {
+        let mut folded = vec![0.0; len as usize];
+        for m in -gc..=gc {
+            folded[m.rem_euclid(len) as usize] += kernel.get(m);
+        }
+        return convolve_axis_folded(grid, &folded, axis);
+    }
+    let mut out = Grid3::zeros(n);
+    for (c, _) in grid.iter() {
+        let center = [c[0] as i64, c[1] as i64, c[2] as i64];
+        let mut acc = 0.0;
+        for m in -gc..=gc {
+            let mut src = center;
+            src[axis] -= m;
+            acc += kernel.get(m) * grid.get(src);
+        }
+        out.set(center, acc);
+    }
+    out
+}
+
+/// Full separable convolution `Φ = Σ_ν K^{ν,z} ⊛ K^{ν,y} ⊛ K^{ν,x} ⊛ Q`,
+/// scaled by `prefactor` (the level's `1/2^{l−1}`).
+pub fn convolve_separable(
+    grid: &Grid3,
+    kernel: &TensorKernel,
+    prefactor: f64,
+) -> (Grid3, SeparableStats) {
+    let mut out = Grid3::zeros(grid.dims());
+    let mut stats = SeparableStats::default();
+    let points = grid.len() as u64;
+    let n = grid.dims();
+    // On a folded (kernel wider than the axis) pass only `len` taps are
+    // actually applied per point.
+    let taps_for = |axis: usize| ((2 * kernel.gc() + 1) as u64).min(n[axis] as u64);
+    let taps_all: u64 = (0..3).map(taps_for).sum();
+    for term in kernel.terms() {
+        let gx = convolve_axis(grid, &term[0], 0);
+        let gy = convolve_axis(&gx, &term[1], 1);
+        let gz = convolve_axis(&gy, &term[2], 2);
+        out.accumulate(&gz);
+        stats.madds += taps_all * points;
+        stats.passes += 3;
+    }
+    out.scale(prefactor);
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::TensorKernel;
+    use crate::shells::GaussianFit;
+    use tme_mesh::dense::{convolve_direct, DenseKernel};
+
+    fn impulse(n: [usize; 3], at: [i64; 3]) -> Grid3 {
+        let mut g = Grid3::zeros(n);
+        g.set(at, 1.0);
+        g
+    }
+
+    fn random_grid(n: [usize; 3], seed: u64) -> Grid3 {
+        let mut g = Grid3::zeros(n);
+        let mut state = seed;
+        for v in g.as_mut_slice() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *v = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+        }
+        g
+    }
+
+    #[test]
+    fn axis_convolution_shifts_impulse() {
+        let k = Kernel1D::from_vals(1, vec![0.25, 0.5, 0.25]);
+        let g = impulse([8, 8, 8], [3, 4, 5]);
+        let out = convolve_axis(&g, &k, 0);
+        assert_eq!(out.get([3, 4, 5]), 0.5);
+        assert_eq!(out.get([2, 4, 5]), 0.25);
+        assert_eq!(out.get([4, 4, 5]), 0.25);
+        assert_eq!(out.get([3, 3, 5]), 0.0);
+        // Mass conserved (kernel sums to 1).
+        assert!((out.sum() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn asymmetric_kernel_orientation() {
+        // K_{−1} = 1 means out[c] = in[c+1]·1: a left shift. Verify the
+        // buffered implementation gets the direction right.
+        let k = Kernel1D::from_vals(1, vec![1.0, 0.0, 0.0]); // K_{−1} = 1
+        let g = impulse([4, 4, 4], [2, 0, 0]);
+        let out = convolve_axis(&g, &k, 0);
+        // out[c] = Σ K_m in[c − m] = in[c + 1] ⇒ peak moves to c = 1.
+        assert_eq!(out.get([1, 0, 0]), 1.0);
+        assert_eq!(out.sum(), 1.0);
+    }
+
+    #[test]
+    fn buffered_matches_naive_on_all_axes() {
+        let k = Kernel1D::from_vals(
+            3,
+            vec![0.1, -0.2, 0.3, 0.7, 0.25, -0.15, 0.05],
+        );
+        let g = random_grid([8, 4, 16], 99);
+        for axis in 0..3 {
+            let fast = convolve_axis(&g, &k, axis);
+            let slow = convolve_axis_naive(&g, &k, axis);
+            for ((_, a), (_, b)) in fast.iter().zip(slow.iter()) {
+                assert!((a - b).abs() < 1e-13, "axis {axis}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn axis_convolution_is_periodic() {
+        let k = Kernel1D::from_vals(2, vec![1.0, 2.0, 4.0, 2.0, 1.0]);
+        let g = impulse([8, 4, 4], [0, 0, 0]);
+        let out = convolve_axis(&g, &k, 0);
+        assert_eq!(out.get([7, 0, 0]), 2.0); // wraps around
+        assert_eq!(out.get([6, 0, 0]), 1.0);
+        assert_eq!(out.get([1, 0, 0]), 2.0);
+    }
+
+    /// Separable evaluation must equal the densified direct convolution —
+    /// the same kernel, two evaluation orders (the §III.C comparison).
+    #[test]
+    fn separable_matches_direct_dense() {
+        let fit = GaussianFit::new(2.0, 3);
+        let gc = 4usize;
+        let kernel = TensorKernel::new(&fit, [0.3, 0.35, 0.4], 6, gc);
+        // Random-ish charge grid.
+        let mut q = Grid3::zeros([8, 8, 8]);
+        for (i, v) in q.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i * 29 % 17) as f64 - 8.0) * 0.1;
+        }
+        let (sep, stats) = convolve_separable(&q, &kernel, 1.0);
+        let dense = DenseKernel::from_fn(gc, |m| kernel.dense_value(m));
+        let direct = convolve_direct(&dense, &q);
+        for ((_, a), (_, b)) in sep.iter().zip(direct.iter()) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+        assert_eq!(stats.passes, 9);
+        // g_c = 4 ⇒ 9 taps, but the 8-point axes fold to 8 applied taps.
+        assert_eq!(stats.madds, 3 * 8 * 512 * 3);
+    }
+
+    #[test]
+    fn prefactor_scales_output() {
+        let fit = GaussianFit::new(1.5, 1);
+        let kernel = TensorKernel::new(&fit, [0.3; 3], 4, 3);
+        let q = impulse([8, 8, 8], [4, 4, 4]);
+        let (full, _) = convolve_separable(&q, &kernel, 1.0);
+        let (half, _) = convolve_separable(&q, &kernel, 0.5);
+        for ((_, a), (_, b)) in full.iter().zip(half.iter()) {
+            assert!((0.5 * a - b).abs() < 1e-15);
+        }
+    }
+
+    /// When 2g_c+1 exceeds the axis length the kernel must alias
+    /// periodically (one lap of the torus), preserving total mass.
+    #[test]
+    fn oversized_cutoff_aliases_periodically() {
+        let k = Kernel1D::from_vals(5, vec![1.0; 11]);
+        let g = impulse([4, 4, 4], [0, 0, 0]);
+        let out = convolve_axis(&g, &k, 2);
+        // Kernel mass 11 spread on a ring of 4: pattern 3,3,3,2 in some order.
+        let total: f64 = out.sum();
+        assert!((total - 11.0).abs() < 1e-13);
+        let mut vals: Vec<f64> = (0..4).map(|z| out.get([0, 0, z])).collect();
+        vals.sort_by(f64::total_cmp);
+        assert_eq!(vals, vec![2.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn convolution_commutes_across_axes() {
+        let kx = Kernel1D::from_vals(2, vec![0.1, 0.2, 0.4, 0.2, 0.1]);
+        let ky = Kernel1D::from_vals(2, vec![0.3, 0.1, 0.2, 0.1, 0.3]);
+        let mut q = Grid3::zeros([8, 8, 8]);
+        for (i, v) in q.as_mut_slice().iter_mut().enumerate() {
+            *v = (i % 7) as f64;
+        }
+        let xy = convolve_axis(&convolve_axis(&q, &kx, 0), &ky, 1);
+        let yx = convolve_axis(&convolve_axis(&q, &ky, 1), &kx, 0);
+        for ((_, a), (_, b)) in xy.iter().zip(yx.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exact_cutoff_boundary_cases() {
+        // 2g_c + 1 == len: the widest non-folding kernel.
+        let k = Kernel1D::from_vals(3, vec![1.0, 2.0, 3.0, 4.0, 3.0, 2.0, 1.0]);
+        let g = random_grid([7, 8, 8], 3); // non-power-of-two axis is fine here
+        let fast = convolve_axis(&g, &k, 0);
+        let slow = convolve_axis_naive(&g, &k, 0);
+        for ((_, a), (_, b)) in fast.iter().zip(slow.iter()) {
+            assert!((a - b).abs() < 1e-13);
+        }
+    }
+}

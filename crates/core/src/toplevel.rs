@@ -1,0 +1,164 @@
+//! Top-level convolution: SPME with rescaled α on the coarsest grid
+//! (paper §III.A末 and §IV.C).
+//!
+//! After `L` restrictions the remaining potential is `g_{α/2^L,L}(r)` on
+//! the `N/2^L` grid. Because restriction is exact, the top-level grid
+//! charges are *identical* to a direct order-`p` assignment on the coarse
+//! grid, so the standard SPME influence function `K̃^{α/2^L, L, N/2^L}`
+//! applies unchanged:
+//!
+//! 1. `Q̂ = FFT(Q^{L+1})`
+//! 2. `Φ̂_n = K̃_n Q̂_n`
+//! 3. `Φ^{L+1} = IFFT(Φ̂)`
+//!
+//! On MDGRAPE-4A these three steps run on the root FPGA (four CFFT16
+//! units, 330 cycles @ 156.25 MHz = 2.112 µs for 16³); here they run
+//! through [`tme_num::fft::Fft3`]. An optional single-precision mode
+//! mirrors the FPGA's f32 datapath.
+
+use tme_mesh::{greens, Grid3};
+use tme_num::fft::{Fft3, RealFft3};
+use tme_num::vec3::V3;
+
+/// The FFT-based top-level grid-potential solver.
+#[derive(Clone, Debug)]
+pub struct TopLevel {
+    influence: Grid3,
+    rfft: RealFft3,
+    fft: Fft3,
+    /// Emulate the FPGA's single-precision datapath by rounding the grid
+    /// data and spectrum through f32.
+    pub single_precision: bool,
+}
+
+impl TopLevel {
+    /// `n` is the *top-level* grid (e.g. 16³), `alpha_top = α/2^L`.
+    pub fn new(n: [usize; 3], box_l: V3, alpha_top: f64, p: usize) -> Self {
+        assert!(
+            n.iter().all(|&d| d >= p),
+            "top grid {n:?} smaller than spline order {p}: interpolation would self-overlap"
+        );
+        Self {
+            influence: greens::influence(n, box_l, alpha_top, p),
+            rfft: RealFft3::new(n[0], n[1], n[2]),
+            fft: Fft3::new(n[0], n[1], n[2]),
+            single_precision: false,
+        }
+    }
+
+    pub fn dims(&self) -> [usize; 3] {
+        self.influence.dims()
+    }
+
+    /// Solve grid charges → grid potentials (steps 1–3).
+    pub fn solve(&self, q: &Grid3) -> Grid3 {
+        if !self.single_precision {
+            return greens::apply_influence(&self.rfft, &self.influence, q);
+        }
+        // FPGA emulation: narrow the data and the spectrum through f32,
+        // as the single-precision DSP datapath does.
+        assert_eq!(q.dims(), self.influence.dims());
+        let mut buf = q.to_complex();
+        for z in buf.iter_mut() {
+            *z = z.to_c32().to_c64();
+        }
+        self.fft.forward(&mut buf);
+        for (z, &g) in buf.iter_mut().zip(self.influence.as_slice()) {
+            *z = z.scale(g);
+        }
+        for z in buf.iter_mut() {
+            *z = z.to_c32().to_c64();
+        }
+        self.fft.inverse(&mut buf);
+        let mut phi = Grid3::zeros(q.dims());
+        phi.set_from_complex(&buf);
+        phi
+    }
+
+    /// Reciprocal-space energy `½ Σ_m Q_m Φ_m` for given charges.
+    pub fn energy(&self, q: &Grid3) -> f64 {
+        0.5 * q.dot(&self.solve(q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn charge_grid(n: [usize; 3]) -> Grid3 {
+        let mut q = Grid3::zeros(n);
+        for (i, v) in q.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i * 19 % 41) as f64 - 20.0) * 0.05;
+        }
+        // Neutralise.
+        let mean = q.sum() / q.len() as f64;
+        for v in q.as_mut_slice() {
+            *v -= mean;
+        }
+        q
+    }
+
+    #[test]
+    fn solve_is_linear_and_symmetric() {
+        let top = TopLevel::new([16; 3], [5.0; 3], 1.1, 6);
+        let a = charge_grid([16; 3]);
+        let b = {
+            let mut g = Grid3::zeros([16; 3]);
+            g.set([3, 7, 11], 1.0);
+            g.set([0, 0, 1], -1.0);
+            g
+        };
+        // Linearity.
+        let mut ab = a.clone();
+        ab.accumulate(&b);
+        let mut sum = top.solve(&a);
+        sum.accumulate(&top.solve(&b));
+        for ((_, x), (_, y)) in top.solve(&ab).iter().zip(sum.iter()) {
+            assert!((x - y).abs() < 1e-10);
+        }
+        // Self-adjointness: ⟨solve(a), b⟩ = ⟨a, solve(b)⟩.
+        let lhs = top.solve(&a).dot(&b);
+        let rhs = a.dot(&top.solve(&b));
+        assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn neutral_charge_energy_is_positive() {
+        // The influence function is positive semi-definite, so reciprocal
+        // energy of any non-zero neutral charge grid is positive.
+        let top = TopLevel::new([16; 3], [5.0; 3], 1.1, 6);
+        let q = charge_grid([16; 3]);
+        assert!(top.energy(&q) > 0.0);
+    }
+
+    #[test]
+    fn potential_of_point_charge_decays_from_source() {
+        let top = TopLevel::new([32; 3], [10.0; 3], 0.9, 6);
+        let mut q = Grid3::zeros([32; 3]);
+        q.set([16, 16, 16], 1.0);
+        let phi = top.solve(&q);
+        let p0 = phi.get([16, 16, 16]);
+        let p4 = phi.get([20, 16, 16]);
+        let p8 = phi.get([24, 16, 16]);
+        assert!(p0 > p4 && p4 > p8, "{p0} {p4} {p8}");
+    }
+
+    #[test]
+    fn single_precision_close_to_double() {
+        let mut top = TopLevel::new([16; 3], [5.0; 3], 1.2, 6);
+        let q = charge_grid([16; 3]);
+        let full = top.solve(&q);
+        top.single_precision = true;
+        let narrow = top.solve(&q);
+        let scale = full.max_abs();
+        for ((_, a), (_, b)) in full.iter().zip(narrow.iter()) {
+            assert!((a - b).abs() < 1e-5 * scale, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than spline order")]
+    fn tiny_top_grid_rejected() {
+        let _ = TopLevel::new([4, 16, 16], [5.0; 3], 1.0, 6);
+    }
+}

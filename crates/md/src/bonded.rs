@@ -1,0 +1,208 @@
+//! Bonded interactions: harmonic bonds and angles.
+//!
+//! On MDGRAPE-4A the GP cores evaluate "the bonded terms" as one of the
+//! three force tracks of every step (§V.A); this module provides the
+//! equivalent for flexible molecules (the protein surrogate of the
+//! examples — rigid TIP3P water needs none).
+//!
+//! Units: kJ/mol, nm, radians.
+
+use tme_num::vec3::{self, V3};
+
+/// A harmonic bond `½ k (r − r₀)²` between atoms `i`, `j`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bond {
+    pub i: usize,
+    pub j: usize,
+    /// Equilibrium length (nm).
+    pub r0: f64,
+    /// Force constant (kJ/mol/nm²).
+    pub k: f64,
+}
+
+/// A harmonic angle `½ k (θ − θ₀)²` over atoms `i–j–k` (vertex `j`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Angle {
+    pub i: usize,
+    pub j: usize,
+    pub k: usize,
+    /// Equilibrium angle (radians).
+    pub theta0: f64,
+    /// Force constant (kJ/mol/rad²).
+    pub kf: f64,
+}
+
+/// The bonded topology of a system.
+#[derive(Clone, Debug, Default)]
+pub struct BondedTerms {
+    pub bonds: Vec<Bond>,
+    pub angles: Vec<Angle>,
+}
+
+impl BondedTerms {
+    pub fn is_empty(&self) -> bool {
+        self.bonds.is_empty() && self.angles.is_empty()
+    }
+
+    /// Evaluate all bonded energies, accumulating forces. Positions are
+    /// minimum-imaged so molecules may straddle the box.
+    pub fn evaluate(&self, pos: &[V3], box_l: V3, forces: &mut [V3]) -> f64 {
+        let mut energy = 0.0;
+        for b in &self.bonds {
+            let d = vec3::min_image(pos[b.i], pos[b.j], box_l);
+            let r = vec3::norm(d);
+            let dr = r - b.r0;
+            energy += 0.5 * b.k * dr * dr;
+            // F_i = −k (r − r₀) d̂.
+            let f = vec3::scale(d, -b.k * dr / r);
+            vec3::acc(&mut forces[b.i], f);
+            vec3::acc(&mut forces[b.j], vec3::scale(f, -1.0));
+        }
+        for a in &self.angles {
+            let rij = vec3::min_image(pos[a.i], pos[a.j], box_l);
+            let rkj = vec3::min_image(pos[a.k], pos[a.j], box_l);
+            let nij = vec3::norm(rij);
+            let nkj = vec3::norm(rkj);
+            let cos = (vec3::dot(rij, rkj) / (nij * nkj)).clamp(-1.0, 1.0);
+            let theta = cos.acos();
+            let dtheta = theta - a.theta0;
+            energy += 0.5 * a.kf * dtheta * dtheta;
+            // dE/dθ, with ∇θ via the standard angle-force expressions.
+            let sin = (1.0 - cos * cos).sqrt().max(1e-12);
+            let de_dtheta = a.kf * dtheta;
+            // F_i = −∇_iE = −(dE/dθ)∇_iθ and ∇_iθ = −∇_iu/sinθ with
+            // ∇_iu = (r̂kj − u·r̂ij)/|rij| — the two minus signs cancel.
+            let c = de_dtheta / sin;
+            // ∇_i θ-direction: (r̂kj − cos·r̂ij)/nij and symmetrically.
+            let fi = vec3::scale(
+                vec3::sub(vec3::scale(rkj, 1.0 / nkj), vec3::scale(rij, cos / nij)),
+                c / nij,
+            );
+            let fk = vec3::scale(
+                vec3::sub(vec3::scale(rij, 1.0 / nij), vec3::scale(rkj, cos / nkj)),
+                c / nkj,
+            );
+            vec3::acc(&mut forces[a.i], fi);
+            vec3::acc(&mut forces[a.k], fk);
+            // Vertex takes the opposite of the sum (momentum conservation).
+            vec3::acc(&mut forces[a.j], vec3::scale(vec3::add(fi, fk), -1.0));
+        }
+        energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOX: V3 = [10.0, 10.0, 10.0];
+
+    #[test]
+    fn bond_at_equilibrium_has_no_force() {
+        let terms = BondedTerms {
+            bonds: vec![Bond { i: 0, j: 1, r0: 0.15, k: 1000.0 }],
+            angles: vec![],
+        };
+        let pos = vec![[1.0, 1.0, 1.0], [1.15, 1.0, 1.0]];
+        let mut f = vec![[0.0; 3]; 2];
+        let e = terms.evaluate(&pos, BOX, &mut f);
+        assert!(e.abs() < 1e-12);
+        assert!(f.iter().all(|v| v.iter().all(|c| c.abs() < 1e-10)));
+    }
+
+    #[test]
+    fn stretched_bond_pulls_back() {
+        let terms = BondedTerms {
+            bonds: vec![Bond { i: 0, j: 1, r0: 0.1, k: 500.0 }],
+            angles: vec![],
+        };
+        let pos = vec![[1.0, 1.0, 1.0], [1.2, 1.0, 1.0]];
+        let mut f = vec![[0.0; 3]; 2];
+        let e = terms.evaluate(&pos, BOX, &mut f);
+        assert!((e - 0.5 * 500.0 * 0.01).abs() < 1e-12);
+        // Atom 0 pulled toward +x, atom 1 toward −x, momentum conserved.
+        assert!(f[0][0] > 0.0 && f[1][0] < 0.0);
+        assert!((f[0][0] + f[1][0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_at_equilibrium_has_no_force() {
+        let theta0: f64 = 1.9;
+        let terms = BondedTerms {
+            bonds: vec![],
+            angles: vec![Angle { i: 0, j: 1, k: 2, theta0, kf: 400.0 }],
+        };
+        let pos = vec![
+            [1.0 + theta0.cos(), 1.0 + theta0.sin(), 1.0],
+            [1.0, 1.0, 1.0],
+            [2.0, 1.0, 1.0],
+        ];
+        let mut f = vec![[0.0; 3]; 3];
+        let e = terms.evaluate(&pos, BOX, &mut f);
+        assert!(e.abs() < 1e-10, "{e}");
+        assert!(f.iter().all(|v| v.iter().all(|c| c.abs() < 1e-8)));
+    }
+
+    #[test]
+    fn forces_are_minus_gradient() {
+        let terms = BondedTerms {
+            bonds: vec![Bond { i: 0, j: 1, r0: 0.12, k: 800.0 }],
+            angles: vec![Angle { i: 0, j: 1, k: 2, theta0: 1.8, kf: 300.0 }],
+        };
+        let pos = vec![[1.05, 1.1, 0.95], [1.0, 1.0, 1.0], [1.2, 0.9, 1.1]];
+        let mut f = vec![[0.0; 3]; 3];
+        terms.evaluate(&pos, BOX, &mut f);
+        let h = 1e-6;
+        for atom in 0..3 {
+            for axis in 0..3 {
+                let mut pp = pos.clone();
+                let mut pm = pos.clone();
+                pp[atom][axis] += h;
+                pm[atom][axis] -= h;
+                let mut dump = vec![[0.0; 3]; 3];
+                let ep = terms.evaluate(&pp, BOX, &mut dump);
+                let mut dump = vec![[0.0; 3]; 3];
+                let em = terms.evaluate(&pm, BOX, &mut dump);
+                let want = -(ep - em) / (2.0 * h);
+                assert!(
+                    (f[atom][axis] - want).abs() < 1e-5 * (1.0 + want.abs()),
+                    "atom {atom} axis {axis}: {} vs {want}",
+                    f[atom][axis]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn angle_forces_conserve_momentum_and_torque() {
+        let terms = BondedTerms {
+            bonds: vec![],
+            angles: vec![Angle { i: 0, j: 1, k: 2, theta0: 2.0, kf: 250.0 }],
+        };
+        let pos = vec![[1.4, 1.3, 1.0], [1.0, 1.0, 1.0], [1.7, 0.8, 1.2]];
+        let mut f = vec![[0.0; 3]; 3];
+        terms.evaluate(&pos, BOX, &mut f);
+        let mut net = [0.0f64; 3];
+        let mut torque = [0.0f64; 3];
+        for (r, fo) in pos.iter().zip(&f) {
+            vec3::acc(&mut net, *fo);
+            vec3::acc(&mut torque, vec3::cross(*r, *fo));
+        }
+        assert!(net.iter().all(|c| c.abs() < 1e-10), "{net:?}");
+        assert!(torque.iter().all(|c| c.abs() < 1e-9), "{torque:?}");
+    }
+
+    #[test]
+    fn bond_across_periodic_boundary() {
+        let terms = BondedTerms {
+            bonds: vec![Bond { i: 0, j: 1, r0: 0.2, k: 100.0 }],
+            angles: vec![],
+        };
+        let pos = vec![[0.05, 5.0, 5.0], [9.95, 5.0, 5.0]]; // 0.1 nm apart through the wall
+        let mut f = vec![[0.0; 3]; 2];
+        let e = terms.evaluate(&pos, BOX, &mut f);
+        assert!((e - 0.5 * 100.0 * 0.01).abs() < 1e-12);
+        // Compressed bond pushes them apart: atom 0 to +x.
+        assert!(f[0][0] > 0.0);
+    }
+}

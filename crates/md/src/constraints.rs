@@ -1,0 +1,449 @@
+//! Rigid-water constraints: analytic SETTLE and iterative SHAKE/RATTLE.
+//!
+//! The paper's NVE runs (Fig. 4) restrain the water molecules "by using
+//! the SETTLE algorithm" (Miyamoto & Kollman 1992). [`settle_positions`]
+//! is the analytic three-rotation solution for a rigid 3-site molecule;
+//! [`shake_positions`] is the general iterative solver used here to
+//! cross-validate it, and [`settle_velocities`] solves the velocity
+//! constraints exactly as a 3×3 linear system (the RATTLE velocity step
+//! has a closed form for three constraints).
+
+use crate::topology::WaterMol;
+use tme_num::vec3::{self, V3};
+
+/// Precomputed rigid-geometry data for one water species.
+#[derive(Clone, Copy, Debug)]
+pub struct SettleGeom {
+    /// O–H and H–H target distances (nm).
+    pub d_oh: f64,
+    pub d_hh: f64,
+    /// Masses (u).
+    pub m_o: f64,
+    pub m_h: f64,
+    /// Canonical frame: O sits `ra` above the COM on the symmetry axis,
+    /// the H's `rb` below it and `rc` to each side.
+    ra: f64,
+    rb: f64,
+    rc: f64,
+}
+
+impl SettleGeom {
+    pub fn new(d_oh: f64, d_hh: f64, m_o: f64, m_h: f64) -> Self {
+        let rc = d_hh / 2.0;
+        let height = (d_oh * d_oh - rc * rc).sqrt();
+        let m_tot = m_o + 2.0 * m_h;
+        let ra = 2.0 * m_h * height / m_tot;
+        let rb = height - ra;
+        Self { d_oh, d_hh, m_o, m_h, ra, rb, rc }
+    }
+
+    pub fn tip3p() -> Self {
+        use crate::units::tip3p;
+        Self::new(tip3p::R_OH, tip3p::r_hh(), tip3p::M_O, tip3p::M_H)
+    }
+}
+
+/// Analytic SETTLE position constraint for one water.
+///
+/// `old` are the constraint-satisfying positions from the previous step,
+/// `new` the unconstrained positions after the drift; `new` is overwritten
+/// with the constrained positions. The construction preserves the centre
+/// of mass of `new` exactly.
+pub fn settle_positions(geom: &SettleGeom, old: &[V3; 3], new: &mut [V3; 3]) {
+    let (ma, mb) = (geom.m_o, geom.m_h);
+    let m_tot = ma + 2.0 * mb;
+    // New centre of mass.
+    let com = [
+        (ma * new[0][0] + mb * (new[1][0] + new[2][0])) / m_tot,
+        (ma * new[0][1] + mb * (new[1][1] + new[2][1])) / m_tot,
+        (ma * new[0][2] + mb * (new[1][2] + new[2][2])) / m_tot,
+    ];
+    // Old positions relative to old O… no: relative vectors of the old
+    // triangle (used only for orientation), and new positions relative to
+    // the new COM.
+    let xb0 = vec3::sub(old[1], old[0]);
+    let xc0 = vec3::sub(old[2], old[0]);
+    let xa1 = vec3::sub(new[0], com);
+    let xb1 = vec3::sub(new[1], com);
+    let xc1 = vec3::sub(new[2], com);
+    // Orthonormal frame: ẑ ⊥ old plane, x̂ ⊥ (new O, ẑ), ŷ completes.
+    let zax = vec3::cross(xb0, xc0);
+    let xax = vec3::cross(xa1, zax);
+    let yax = vec3::cross(zax, xax);
+    let ez = vec3::scale(zax, 1.0 / vec3::norm(zax));
+    let ex = vec3::scale(xax, 1.0 / vec3::norm(xax));
+    let ey = vec3::scale(yax, 1.0 / vec3::norm(yax));
+    let rot = |v: V3| -> V3 { [vec3::dot(v, ex), vec3::dot(v, ey), vec3::dot(v, ez)] };
+    let b0d = rot(xb0);
+    let c0d = rot(xc0);
+    let a1d = rot(xa1);
+    let b1d = rot(xb1);
+    let c1d = rot(xc1);
+    // First two rotations (φ about x̂, ψ about ŷ) place the canonical
+    // triangle at the right out-of-plane tilt.
+    let sinphi = (a1d[2] / geom.ra).clamp(-1.0, 1.0);
+    let cosphi = (1.0 - sinphi * sinphi).sqrt();
+    let sinpsi = ((b1d[2] - c1d[2]) / (2.0 * geom.rc * cosphi)).clamp(-1.0, 1.0);
+    let cospsi = (1.0 - sinpsi * sinpsi).sqrt();
+    let ya2d = geom.ra * cosphi;
+    let xb2d = -geom.rc * cospsi;
+    let yb2d = -geom.rb * cosphi - geom.rc * sinpsi * sinphi;
+    let yc2d = -geom.rb * cosphi + geom.rc * sinpsi * sinphi;
+    let za2d = geom.ra * sinphi;
+    let zb2d = -geom.rb * sinphi + geom.rc * sinpsi * cosphi;
+    let zc2d = -geom.rb * sinphi - geom.rc * sinpsi * cosphi;
+    // Third rotation (θ about ẑ) from the constraint that the canonical
+    // triangle reproduce the projected old geometry couplings.
+    let alpha = xb2d * (b0d[0] - c0d[0]) + b0d[1] * yb2d + c0d[1] * yc2d;
+    let beta = xb2d * (c0d[1] - b0d[1]) + b0d[0] * yb2d + c0d[0] * yc2d;
+    let gamma = b0d[0] * b1d[1] - b1d[0] * b0d[1] + c0d[0] * c1d[1] - c1d[0] * c0d[1];
+    let al2be2 = alpha * alpha + beta * beta;
+    let sintheta = ((alpha * gamma - beta * (al2be2 - gamma * gamma).max(0.0).sqrt()) / al2be2)
+        .clamp(-1.0, 1.0);
+    let costheta = (1.0 - sintheta * sintheta).sqrt();
+    let xa3d = -ya2d * sintheta;
+    let ya3d = ya2d * costheta;
+    let za3d = za2d;
+    let xb3d = xb2d * costheta - yb2d * sintheta;
+    let yb3d = xb2d * sintheta + yb2d * costheta;
+    let zb3d = zb2d;
+    let xc3d = -xb2d * costheta - yc2d * sintheta;
+    let yc3d = -xb2d * sintheta + yc2d * costheta;
+    let zc3d = zc2d;
+    // Back to the lab frame, translated to the COM.
+    let unrot = |v: V3| -> V3 {
+        [
+            v[0] * ex[0] + v[1] * ey[0] + v[2] * ez[0],
+            v[0] * ex[1] + v[1] * ey[1] + v[2] * ez[1],
+            v[0] * ex[2] + v[1] * ey[2] + v[2] * ez[2],
+        ]
+    };
+    new[0] = vec3::add(com, unrot([xa3d, ya3d, za3d]));
+    new[1] = vec3::add(com, unrot([xb3d, yb3d, zb3d]));
+    new[2] = vec3::add(com, unrot([xc3d, yc3d, zc3d]));
+}
+
+/// Exact velocity constraint for one water: solves the three Lagrange
+/// multipliers of the RATTLE velocity step as a 3×3 linear system.
+///
+/// After the call, relative velocities along all three bonds vanish and
+/// linear momentum is unchanged.
+pub fn settle_velocities(geom: &SettleGeom, pos: &[V3; 3], vel: &mut [V3; 3]) {
+    let inv_m = [1.0 / geom.m_o, 1.0 / geom.m_h, 1.0 / geom.m_h];
+    // Constraints: (0,1), (0,2), (1,2).
+    const PAIRS: [(usize, usize); 3] = [(0, 1), (0, 2), (1, 2)];
+    let mut e = [[0.0f64; 3]; 3];
+    for (c, &(i, j)) in PAIRS.iter().enumerate() {
+        let d = vec3::sub(pos[i], pos[j]);
+        e[c] = vec3::scale(d, 1.0 / vec3::norm(d));
+    }
+    // A_{cc'} λ_{c'} = −b_c with
+    // b_c = (v_i − v_j)·e_c,
+    // A_{cc'} = e_c·e_{c'} (δ_{i,i'}/m_i − δ_{i,j'}/m_i − δ_{j,i'}/m_j + δ_{j,j'}/m_j).
+    let mut a = [[0.0f64; 3]; 3];
+    let mut b = [0.0f64; 3];
+    for (c, &(i, j)) in PAIRS.iter().enumerate() {
+        b[c] = vec3::dot(vec3::sub(vel[i], vel[j]), e[c]);
+        for (cp, &(ip, jp)) in PAIRS.iter().enumerate() {
+            let mut coupling = 0.0;
+            if i == ip {
+                coupling += inv_m[i];
+            }
+            if i == jp {
+                coupling -= inv_m[i];
+            }
+            if j == ip {
+                coupling -= inv_m[j];
+            }
+            if j == jp {
+                coupling += inv_m[j];
+            }
+            a[c][cp] = coupling * vec3::dot(e[c], e[cp]);
+        }
+    }
+    let lambda = solve3(a, [-b[0], -b[1], -b[2]]);
+    for (c, &(i, j)) in PAIRS.iter().enumerate() {
+        vec3::acc(&mut vel[i], vec3::scale(e[c], lambda[c] * inv_m[i]));
+        vec3::acc(&mut vel[j], vec3::scale(e[c], -lambda[c] * inv_m[j]));
+    }
+}
+
+/// Solve a 3×3 linear system by Gaussian elimination with partial pivoting.
+#[allow(clippy::needless_range_loop)] // triangular index arithmetic reads clearer
+fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> [f64; 3] {
+    for col in 0..3 {
+        let piv = (col..3)
+            .max_by(|&p, &q| a[p][col].abs().total_cmp(&a[q][col].abs()))
+            .unwrap();
+        a.swap(col, piv);
+        b.swap(col, piv);
+        let diag = a[col][col];
+        debug_assert!(diag.abs() > 1e-30, "singular constraint system");
+        for row in (col + 1)..3 {
+            let f = a[row][col] / diag;
+            for k in col..3 {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = [0.0; 3];
+    for col in (0..3).rev() {
+        let mut s = b[col];
+        for k in (col + 1)..3 {
+            s -= a[col][k] * x[k];
+        }
+        x[col] = s / a[col][col];
+    }
+    x
+}
+
+/// Iterative SHAKE position constraint for a set of distance constraints
+/// `(i, j, target)`; adjusts `pos` so every |pos_i − pos_j| = target,
+/// using `reference` displacements for the correction directions.
+pub fn shake_positions(
+    pos: &mut [V3],
+    reference: &[V3],
+    constraints: &[(usize, usize, f64)],
+    inv_mass: &[f64],
+    tol: f64,
+    max_iter: usize,
+) -> bool {
+    for _ in 0..max_iter {
+        let mut worst = 0.0f64;
+        for &(i, j, target) in constraints {
+            let d = vec3::sub(pos[i], pos[j]);
+            let r2 = vec3::norm_sqr(d);
+            let diff = r2 - target * target;
+            worst = worst.max(diff.abs() / (target * target));
+            let dref = vec3::sub(reference[i], reference[j]);
+            let denom = 2.0 * (inv_mass[i] + inv_mass[j]) * vec3::dot(d, dref);
+            let g = diff / denom;
+            vec3::acc(&mut pos[i], vec3::scale(dref, -g * inv_mass[i]));
+            vec3::acc(&mut pos[j], vec3::scale(dref, g * inv_mass[j]));
+        }
+        if worst < tol {
+            return true;
+        }
+    }
+    false
+}
+
+/// Apply SETTLE position + nothing else to every water in a system's
+/// position array (convenience used by the integrator).
+pub fn settle_all_positions(
+    geom: &SettleGeom,
+    waters: &[WaterMol],
+    old: &[V3],
+    new: &mut [V3],
+) {
+    for w in waters {
+        let old3 = [old[w.o], old[w.h1], old[w.h2]];
+        let mut new3 = [new[w.o], new[w.h1], new[w.h2]];
+        settle_positions(geom, &old3, &mut new3);
+        new[w.o] = new3[0];
+        new[w.h1] = new3[1];
+        new[w.h2] = new3[2];
+    }
+}
+
+/// Apply the velocity constraint to every water.
+pub fn settle_all_velocities(geom: &SettleGeom, waters: &[WaterMol], pos: &[V3], vel: &mut [V3]) {
+    for w in waters {
+        let pos3 = [pos[w.o], pos[w.h1], pos[w.h2]];
+        let mut vel3 = [vel[w.o], vel[w.h1], vel[w.h2]];
+        settle_velocities(geom, &pos3, &mut vel3);
+        vel[w.o] = vel3[0];
+        vel[w.h1] = vel3[1];
+        vel[w.h2] = vel3[2];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn canonical_water(geom: &SettleGeom) -> [V3; 3] {
+        [
+            [0.0, geom.ra, 0.0],
+            [-geom.rc, -geom.rb, 0.0],
+            [geom.rc, -geom.rb, 0.0],
+        ]
+    }
+
+    fn rigid_ok(geom: &SettleGeom, p: &[V3; 3], tol: f64) -> bool {
+        let doh1 = vec3::norm(vec3::sub(p[0], p[1]));
+        let doh2 = vec3::norm(vec3::sub(p[0], p[2]));
+        let dhh = vec3::norm(vec3::sub(p[1], p[2]));
+        (doh1 - geom.d_oh).abs() < tol
+            && (doh2 - geom.d_oh).abs() < tol
+            && (dhh - geom.d_hh).abs() < tol
+    }
+
+    fn com(geom: &SettleGeom, p: &[V3; 3]) -> V3 {
+        let m = geom.m_o + 2.0 * geom.m_h;
+        [
+            (geom.m_o * p[0][0] + geom.m_h * (p[1][0] + p[2][0])) / m,
+            (geom.m_o * p[0][1] + geom.m_h * (p[1][1] + p[2][1])) / m,
+            (geom.m_o * p[0][2] + geom.m_h * (p[1][2] + p[2][2])) / m,
+        ]
+    }
+
+    fn perturbed_cases(n: usize, scale: f64, seed: u64) -> Vec<([V3; 3], [V3; 3])> {
+        let geom = SettleGeom::tip3p();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| -> ([V3; 3], [V3; 3]) {
+                // Random rigid orientation of the old triangle.
+                let old = {
+                    let base = canonical_water(&geom);
+                    let axis = [
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0f64),
+                    ];
+                    let n = vec3::norm(axis).max(1e-6);
+                    let u = vec3::scale(axis, 1.0 / n);
+                    let th: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                    let rot = |v: V3| {
+                        // Rodrigues rotation.
+                        let c = th.cos();
+                        let s = th.sin();
+                        let cu = vec3::cross(u, v);
+                        let du = vec3::dot(u, v);
+                        [
+                            v[0] * c + cu[0] * s + u[0] * du * (1.0 - c),
+                            v[1] * c + cu[1] * s + u[1] * du * (1.0 - c),
+                            v[2] * c + cu[2] * s + u[2] * du * (1.0 - c),
+                        ]
+                    };
+                    [rot(base[0]), rot(base[1]), rot(base[2])]
+                };
+                // Unconstrained drift: small random displacements.
+                if scale == 0.0 {
+                    return (old, old);
+                }
+                let new = [
+                    vec3::add(old[0], [rng.gen_range(-scale..scale), rng.gen_range(-scale..scale), rng.gen_range(-scale..scale)]),
+                    vec3::add(old[1], [rng.gen_range(-scale..scale), rng.gen_range(-scale..scale), rng.gen_range(-scale..scale)]),
+                    vec3::add(old[2], [rng.gen_range(-scale..scale), rng.gen_range(-scale..scale), rng.gen_range(-scale..scale)]),
+                ];
+                (old, new)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn settle_restores_rigid_geometry() {
+        let geom = SettleGeom::tip3p();
+        for (old, new) in perturbed_cases(200, 0.005, 11) {
+            let mut fixed = new;
+            settle_positions(&geom, &old, &mut fixed);
+            assert!(rigid_ok(&geom, &fixed, 1e-10), "{fixed:?}");
+        }
+    }
+
+    #[test]
+    fn settle_preserves_centre_of_mass() {
+        let geom = SettleGeom::tip3p();
+        for (old, new) in perturbed_cases(100, 0.004, 5) {
+            let before = com(&geom, &new);
+            let mut fixed = new;
+            settle_positions(&geom, &old, &mut fixed);
+            let after = com(&geom, &fixed);
+            for a in 0..3 {
+                assert!((before[a] - after[a]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn settle_is_identity_when_already_rigid() {
+        let geom = SettleGeom::tip3p();
+        for (old, _) in perturbed_cases(50, 0.0, 3) {
+            let mut fixed = old;
+            settle_positions(&geom, &old, &mut fixed);
+            for a in 0..3 {
+                for c in 0..3 {
+                    assert!((fixed[a][c] - old[a][c]).abs() < 1e-10, "{fixed:?} vs {old:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn settle_agrees_with_shake() {
+        let geom = SettleGeom::tip3p();
+        let inv_m = [1.0 / geom.m_o, 1.0 / geom.m_h, 1.0 / geom.m_h];
+        let cons = [(0usize, 1usize, geom.d_oh), (0, 2, geom.d_oh), (1, 2, geom.d_hh)];
+        for (old, new) in perturbed_cases(100, 0.003, 77) {
+            let mut via_settle = new;
+            settle_positions(&geom, &old, &mut via_settle);
+            let mut via_shake = new.to_vec();
+            let ok = shake_positions(&mut via_shake, &old, &cons, &inv_m, 1e-14, 500);
+            assert!(ok, "SHAKE failed to converge");
+            for a in 0..3 {
+                for c in 0..3 {
+                    assert!(
+                        (via_settle[a][c] - via_shake[a][c]).abs() < 1e-7,
+                        "atom {a} axis {c}: {} vs {}",
+                        via_settle[a][c],
+                        via_shake[a][c]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn velocity_constraint_zeroes_bond_rates() {
+        let geom = SettleGeom::tip3p();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let pos = canonical_water(&geom);
+            let mut vel = [[0.0; 3]; 3];
+            for v in vel.iter_mut() {
+                *v = [
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                ];
+            }
+            let p_before = [
+                geom.m_o * vel[0][0] + geom.m_h * (vel[1][0] + vel[2][0]),
+                geom.m_o * vel[0][1] + geom.m_h * (vel[1][1] + vel[2][1]),
+                geom.m_o * vel[0][2] + geom.m_h * (vel[1][2] + vel[2][2]),
+            ];
+            settle_velocities(&geom, &pos, &mut vel);
+            for &(i, j) in &[(0usize, 1usize), (0, 2), (1, 2)] {
+                let e = vec3::sub(pos[i], pos[j]);
+                let rate = vec3::dot(vec3::sub(vel[i], vel[j]), e);
+                assert!(rate.abs() < 1e-12, "bond rate {rate}");
+            }
+            let p_after = [
+                geom.m_o * vel[0][0] + geom.m_h * (vel[1][0] + vel[2][0]),
+                geom.m_o * vel[0][1] + geom.m_h * (vel[1][1] + vel[2][1]),
+                geom.m_o * vel[0][2] + geom.m_h * (vel[1][2] + vel[2][2]),
+            ];
+            for a in 0..3 {
+                assert!((p_before[a] - p_after[a]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn shake_converges_on_large_perturbations() {
+        let geom = SettleGeom::tip3p();
+        let inv_m = [1.0 / geom.m_o, 1.0 / geom.m_h, 1.0 / geom.m_h];
+        let cons = [(0usize, 1usize, geom.d_oh), (0, 2, geom.d_oh), (1, 2, geom.d_hh)];
+        for (old, new) in perturbed_cases(20, 0.02, 123) {
+            let mut p = new.to_vec();
+            let ok = shake_positions(&mut p, &old, &cons, &inv_m, 1e-12, 1000);
+            assert!(ok);
+            let arr = [p[0], p[1], p[2]];
+            assert!(rigid_ok(&geom, &arr, 1e-9));
+        }
+    }
+}

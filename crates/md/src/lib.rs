@@ -1,0 +1,39 @@
+//! Molecular-dynamics substrate for the TME reproduction.
+//!
+//! The paper's accuracy experiments run on TIP3P water (Table 1: 32,773
+//! molecules; Fig. 4: NVE with SETTLE-constrained water in GROMACS). This
+//! crate provides the equivalent machinery from scratch:
+//!
+//! * [`units`] — GROMACS-compatible unit system and physical constants
+//! * [`topology`] — atoms, molecules, exclusions; the TIP3P model
+//! * [`water`] — water-box builders (lattice placement, Maxwell velocities)
+//! * [`neighbors`] — cell-list neighbour search for the short-range part
+//! * [`nonbond`] — Lennard-Jones + short-range Coulomb with exclusions
+//! * [`constraints`] — SETTLE (analytic) and SHAKE/RATTLE (iterative) rigid
+//!   constraints
+//! * [`longrange`] — a common interface over SPME / TME / plain-cutoff
+//!   long-range electrostatics
+//! * [`bonded`] — harmonic bonds/angles (the GP cores' bonded track)
+//! * [`solute`] — flexible charged bead chains (protein surrogates)
+//! * [`thermostat`] — Berendsen weak coupling for equilibration
+//! * [`analysis`] — radial distribution functions, MSD
+//! * [`trajectory`] — extended-XYZ frame output for standard MD viewers
+//! * [`nve`] — velocity-Verlet NVE integrator and energy bookkeeping
+//!   (Fig. 4's observable)
+
+pub mod analysis;
+pub mod bonded;
+pub mod constraints;
+pub mod longrange;
+pub mod neighbors;
+pub mod nonbond;
+pub mod nve;
+pub mod solute;
+pub mod thermostat;
+pub mod trajectory;
+pub mod topology;
+pub mod units;
+pub mod water;
+
+pub use nve::{EnergyRecord, NveSim};
+pub use topology::MdSystem;

@@ -1,0 +1,152 @@
+//! A common interface over the long-range electrostatics solvers, so the
+//! NVE harness (Fig. 4) can swap SPME ↔ TME ↔ plain cutoff.
+
+use tme_mesh::model::{CoulombResult, CoulombSystem};
+use tme_reference::Spme;
+use tme_core::Tme;
+
+/// A mesh (reciprocal-space) solver for the `erf(αr)/r` long-range part.
+///
+/// Implementations return *reduced-unit* results (no Coulomb constant) —
+/// the NVE harness applies units, the self term and exclusion corrections.
+pub trait LongRange {
+    /// The Ewald splitting parameter the mesh was built for.
+    fn alpha(&self) -> f64;
+    /// Mesh contribution (includes smooth self-images; no self term).
+    fn mesh(&self, system: &CoulombSystem) -> CoulombResult;
+    /// Whether this solver actually adds an `erf(αr)/r` reciprocal part.
+    /// When false, the NVE harness must not apply the Ewald self term or
+    /// the exclusion corrections — they exist to cancel mesh contributions
+    /// that were never added.
+    fn has_mesh(&self) -> bool {
+        true
+    }
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+impl LongRange for Spme {
+    fn alpha(&self) -> f64 {
+        Spme::alpha(self)
+    }
+
+    fn mesh(&self, system: &CoulombSystem) -> CoulombResult {
+        self.reciprocal(system)
+    }
+
+    fn name(&self) -> &'static str {
+        "SPME"
+    }
+}
+
+impl LongRange for Tme {
+    fn alpha(&self) -> f64 {
+        self.params().alpha
+    }
+
+    fn mesh(&self, system: &CoulombSystem) -> CoulombResult {
+        self.long_range(system).0
+    }
+
+    fn name(&self) -> &'static str {
+        "TME"
+    }
+}
+
+/// No long-range part at all (plain cutoff electrostatics) — the ablation
+/// baseline for "what does neglecting the mesh do to stability". Note the
+/// bare truncated 1/r does NOT conserve energy (pairs crossing the cutoff
+/// jump by `f q_i q_j / r_c`); use [`WolfScreened`] when a cheap but
+/// conservative electrostatics is needed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CutoffOnly;
+
+impl LongRange for CutoffOnly {
+    fn alpha(&self) -> f64 {
+        0.0
+    }
+
+    fn mesh(&self, system: &CoulombSystem) -> CoulombResult {
+        CoulombResult::zeros(system.len())
+    }
+
+    fn has_mesh(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "cutoff"
+    }
+}
+
+/// Wolf-style screened cutoff electrostatics (Wolf et al. 1999): keep the
+/// `erfc(αr)/r` short-range part and simply drop the mesh. The pair
+/// interaction decays smoothly to ~`erfc(α r_c)` at the cutoff, so the
+/// dynamics conserve energy (unlike [`CutoffOnly`]) at the price of a
+/// systematic long-range bias — the cheap local approximation mesh methods
+/// exist to beat.
+#[derive(Clone, Copy, Debug)]
+pub struct WolfScreened {
+    pub alpha: f64,
+}
+
+impl WolfScreened {
+    /// Screening chosen so the pair energy at the cutoff is `rtol` of the
+    /// bare Coulomb value.
+    pub fn for_cutoff(r_cut: f64, rtol: f64) -> Self {
+        Self { alpha: tme_core::alpha_from_rtol(r_cut, rtol) }
+    }
+}
+
+impl LongRange for WolfScreened {
+    fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    fn mesh(&self, system: &CoulombSystem) -> CoulombResult {
+        CoulombResult::zeros(system.len())
+    }
+
+    fn has_mesh(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "Wolf-screened cutoff"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tme_core::TmeParams;
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let spme = Spme::new([16; 3], [4.0; 3], 2.0, 6, 1.2);
+        let tme = Tme::new(
+            TmeParams { n: [16; 3], p: 6, levels: 1, gc: 8, m_gaussians: 4, alpha: 2.0, r_cut: 1.2 },
+            [4.0; 3],
+        );
+        let solvers: Vec<Box<dyn LongRange>> = vec![
+            Box::new(spme),
+            Box::new(tme),
+            Box::new(CutoffOnly),
+            Box::new(WolfScreened::for_cutoff(1.2, 1e-3)),
+        ];
+        let sys = CoulombSystem::new(
+            vec![[1.0, 1.0, 1.0], [2.0, 2.0, 2.0]],
+            vec![1.0, -1.0],
+            [4.0; 3],
+        );
+        for s in &solvers {
+            let r = s.mesh(&sys);
+            assert_eq!(r.forces.len(), 2);
+            assert!(!s.name().is_empty());
+        }
+        // SPME and TME agree on the mesh energy for this system.
+        let a = solvers[0].mesh(&sys).energy;
+        let b = solvers[1].mesh(&sys).energy;
+        assert!((a - b).abs() < 1e-3 * a.abs().max(0.1), "{a} vs {b}");
+    }
+}

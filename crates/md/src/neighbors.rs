@@ -1,0 +1,377 @@
+//! Cell-list neighbour search for the short-range (cutoff) interactions.
+//!
+//! The machine decomposes space into cells of up to 64 atoms managed by
+//! the global memories; the nonbond pipelines then stream cell pairs. Here
+//! the equivalent is a classic linked-cell list: bins of edge ≥ `cutoff`,
+//! pairs from each bin and its 13 forward neighbours (half stencil), with
+//! an O(N²) fallback when the box is too small for 3 bins per axis.
+
+use tme_num::vec3::{self, V3};
+
+/// A rebuildable cell list over one configuration.
+#[derive(Clone, Debug)]
+pub struct CellList {
+    dims: [usize; 3],
+    /// Atom indices, bucketed per cell.
+    cells: Vec<Vec<u32>>,
+    cutoff: f64,
+    box_l: V3,
+    /// True when the box is too small for cells and we fall back to O(N²).
+    brute_force: bool,
+    n_atoms: usize,
+}
+
+impl CellList {
+    pub fn build(pos: &[V3], box_l: V3, cutoff: f64) -> Self {
+        assert!(cutoff > 0.0);
+        let min_edge = box_l.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            cutoff <= min_edge / 2.0 + 1e-12,
+            "cutoff {cutoff} exceeds half the smallest box edge {min_edge}: \
+             minimum-image pair search would miss periodic copies"
+        );
+        let dims = [
+            (box_l[0] / cutoff).floor() as usize,
+            (box_l[1] / cutoff).floor() as usize,
+            (box_l[2] / cutoff).floor() as usize,
+        ];
+        let brute_force = dims.iter().any(|&d| d < 3);
+        if brute_force {
+            return Self {
+                dims: [1; 3],
+                cells: Vec::new(),
+                cutoff,
+                box_l,
+                brute_force,
+                n_atoms: pos.len(),
+            };
+        }
+        let mut cells = vec![Vec::new(); dims[0] * dims[1] * dims[2]];
+        for (i, r) in pos.iter().enumerate() {
+            let w = vec3::wrap(*r, box_l);
+            let c = [
+                ((w[0] / box_l[0] * dims[0] as f64) as usize).min(dims[0] - 1),
+                ((w[1] / box_l[1] * dims[1] as f64) as usize).min(dims[1] - 1),
+                ((w[2] / box_l[2] * dims[2] as f64) as usize).min(dims[2] - 1),
+            ];
+            cells[(c[0] * dims[1] + c[1]) * dims[2] + c[2]].push(i as u32);
+        }
+        Self { dims, cells, cutoff, box_l, brute_force, n_atoms: pos.len() }
+    }
+
+    pub fn is_brute_force(&self) -> bool {
+        self.brute_force
+    }
+
+    /// Visit every unordered pair within the cutoff exactly once with the
+    /// minimum-image displacement `d = pos[i] − pos[j]` and `r²`.
+    pub fn for_each_pair(&self, pos: &[V3], mut f: impl FnMut(usize, usize, V3, f64)) {
+        let rc2 = self.cutoff * self.cutoff;
+        if self.brute_force {
+            for i in 0..self.n_atoms {
+                for j in (i + 1)..self.n_atoms {
+                    let d = vec3::min_image(pos[i], pos[j], self.box_l);
+                    let r2 = vec3::norm_sqr(d);
+                    if r2 < rc2 && r2 > 0.0 {
+                        f(i, j, d, r2);
+                    }
+                }
+            }
+            return;
+        }
+        let dims = self.dims;
+        // Half stencil: self cell + 13 forward neighbours.
+        const STENCIL: [[i64; 3]; 13] = [
+            [1, 0, 0],
+            [-1, 1, 0],
+            [0, 1, 0],
+            [1, 1, 0],
+            [-1, -1, 1],
+            [0, -1, 1],
+            [1, -1, 1],
+            [-1, 0, 1],
+            [0, 0, 1],
+            [1, 0, 1],
+            [-1, 1, 1],
+            [0, 1, 1],
+            [1, 1, 1],
+        ];
+        for cx in 0..dims[0] {
+            for cy in 0..dims[1] {
+                for cz in 0..dims[2] {
+                    let home = &self.cells[(cx * dims[1] + cy) * dims[2] + cz];
+                    // Pairs within the home cell.
+                    for (a, &i) in home.iter().enumerate() {
+                        for &j in home.iter().skip(a + 1) {
+                            let d = vec3::min_image(pos[i as usize], pos[j as usize], self.box_l);
+                            let r2 = vec3::norm_sqr(d);
+                            if r2 < rc2 && r2 > 0.0 {
+                                f(i as usize, j as usize, d, r2);
+                            }
+                        }
+                    }
+                    // Pairs with forward neighbour cells.
+                    for s in STENCIL {
+                        let nx = (cx as i64 + s[0]).rem_euclid(dims[0] as i64) as usize;
+                        let ny = (cy as i64 + s[1]).rem_euclid(dims[1] as i64) as usize;
+                        let nz = (cz as i64 + s[2]).rem_euclid(dims[2] as i64) as usize;
+                        let other = &self.cells[(nx * dims[1] + ny) * dims[2] + nz];
+                        for &i in home {
+                            for &j in other {
+                                let d =
+                                    vec3::min_image(pos[i as usize], pos[j as usize], self.box_l);
+                                let r2 = vec3::norm_sqr(d);
+                                if r2 < rc2 && r2 > 0.0 {
+                                    f(i as usize, j as usize, d, r2);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A Verlet neighbour list: pairs within `cutoff + skin`, reusable across
+/// steps until any atom moves more than `skin/2` from its position at
+/// build time. The per-step cost drops from scanning all candidates to
+/// iterating the stored pairs (with a cheap distance re-check).
+#[derive(Clone, Debug)]
+pub struct VerletList {
+    pairs: Vec<(u32, u32)>,
+    cutoff: f64,
+    skin: f64,
+    box_l: V3,
+    ref_pos: Vec<V3>,
+}
+
+impl VerletList {
+    /// Build from scratch (uses a cell list over `cutoff + skin`),
+    /// excluding the pairs for which `exclude(i, j)` is true so the hot
+    /// loop never needs exclusion checks.
+    pub fn build(
+        pos: &[V3],
+        box_l: V3,
+        cutoff: f64,
+        skin: f64,
+        mut exclude: impl FnMut(usize, usize) -> bool,
+    ) -> Self {
+        assert!(skin >= 0.0);
+        let min_edge = box_l.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            cutoff <= min_edge / 2.0 + 1e-12,
+            "cutoff {cutoff} exceeds half the smallest box edge {min_edge}"
+        );
+        // The listing reach cannot exceed the half box (the pair finder is
+        // minimum-image); if the requested skin would push it past, shrink
+        // the *effective* skin so the rebuild criterion stays sound (a
+        // zero effective skin simply rebuilds every step).
+        let reach = (cutoff + skin).min(min_edge / 2.0);
+        let skin = reach - cutoff;
+        let cells = CellList::build(pos, box_l, reach);
+        let mut pairs = Vec::new();
+        cells.for_each_pair(pos, |i, j, _, _| {
+            if !exclude(i, j) {
+                pairs.push((i as u32, j as u32));
+            }
+        });
+        Self { pairs, cutoff, skin, box_l, ref_pos: pos.to_vec() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    pub fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    /// True once some atom has moved more than `skin/2` since the build —
+    /// beyond that a pair could have entered the cutoff unseen. (With a
+    /// zero effective skin this is true for any movement.)
+    pub fn needs_rebuild(&self, pos: &[V3]) -> bool {
+        debug_assert_eq!(pos.len(), self.ref_pos.len());
+        if self.skin <= 0.0 {
+            return true;
+        }
+        let limit = (self.skin / 2.0) * (self.skin / 2.0);
+        pos.iter()
+            .zip(&self.ref_pos)
+            .any(|(a, b)| vec3::norm_sqr(vec3::sub(*a, *b)) > limit)
+    }
+
+    /// Visit the stored pairs currently within the *true* cutoff.
+    pub fn for_each_pair(&self, pos: &[V3], mut f: impl FnMut(usize, usize, V3, f64)) {
+        let rc2 = self.cutoff * self.cutoff;
+        for &(i, j) in &self.pairs {
+            let d = vec3::min_image(pos[i as usize], pos[j as usize], self.box_l);
+            let r2 = vec3::norm_sqr(d);
+            if r2 < rc2 && r2 > 0.0 {
+                f(i as usize, j as usize, d, r2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_positions(n: usize, box_l: f64, seed: u64) -> Vec<V3> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                [
+                    rng.gen_range(0.0..box_l),
+                    rng.gen_range(0.0..box_l),
+                    rng.gen_range(0.0..box_l),
+                ]
+            })
+            .collect()
+    }
+
+    fn collect_pairs(list: &CellList, pos: &[V3]) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::new();
+        list.for_each_pair(pos, |i, j, _, _| {
+            pairs.push(if i < j { (i, j) } else { (j, i) });
+        });
+        pairs.sort_unstable();
+        pairs
+    }
+
+    #[test]
+    fn matches_brute_force_enumeration() {
+        let box_l = 5.0;
+        let cutoff = 1.1;
+        let pos = random_positions(300, box_l, 42);
+        let cells = CellList::build(&pos, [box_l; 3], cutoff);
+        assert!(!cells.is_brute_force());
+        let got = collect_pairs(&cells, &pos);
+        // Reference: O(N²).
+        let mut want = Vec::new();
+        for i in 0..pos.len() {
+            for j in (i + 1)..pos.len() {
+                let d = vec3::min_image(pos[i], pos[j], [box_l; 3]);
+                if vec3::norm_sqr(d) < cutoff * cutoff {
+                    want.push((i, j));
+                }
+            }
+        }
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn no_pair_visited_twice() {
+        let pos = random_positions(200, 4.0, 7);
+        let cells = CellList::build(&pos, [4.0; 3], 1.0);
+        let pairs = collect_pairs(&cells, &pos);
+        let mut dedup = pairs.clone();
+        dedup.dedup();
+        assert_eq!(pairs.len(), dedup.len());
+    }
+
+    #[test]
+    fn small_box_falls_back_to_brute_force() {
+        let pos = random_positions(20, 2.0, 1);
+        let cells = CellList::build(&pos, [2.0; 3], 0.9);
+        assert!(cells.is_brute_force());
+        let got = collect_pairs(&cells, &pos);
+        let mut want = Vec::new();
+        for i in 0..pos.len() {
+            for j in (i + 1)..pos.len() {
+                let d = vec3::min_image(pos[i], pos[j], [2.0; 3]);
+                let r2 = vec3::norm_sqr(d);
+                if r2 < 0.81 && r2 > 0.0 {
+                    want.push((i, j));
+                }
+            }
+        }
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pairs_across_periodic_boundary_found() {
+        let pos = vec![[0.05, 2.0, 2.0], [4.95, 2.0, 2.0]];
+        let cells = CellList::build(&pos, [5.0; 3], 1.0);
+        let pairs = collect_pairs(&cells, &pos);
+        assert_eq!(pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn verlet_list_matches_cell_list_pairs() {
+        let box_l = 4.0;
+        let pos = random_positions(250, box_l, 13);
+        let cutoff = 1.0;
+        let list = VerletList::build(&pos, [box_l; 3], cutoff, 0.3, |_, _| false);
+        let mut got = Vec::new();
+        list.for_each_pair(&pos, |i, j, _, _| got.push(if i < j { (i, j) } else { (j, i) }));
+        got.sort_unstable();
+        let cells = CellList::build(&pos, [box_l; 3], cutoff);
+        let want = collect_pairs(&cells, &pos);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn verlet_list_survives_small_motion() {
+        let box_l = 4.0;
+        let mut pos = random_positions(150, box_l, 21);
+        let cutoff = 1.0;
+        let skin = 0.3;
+        let list = VerletList::build(&pos, [box_l; 3], cutoff, skin, |_, _| false);
+        // Move every atom by less than skin/2 in a random direction.
+        let mut rng = StdRng::seed_from_u64(5);
+        for r in pos.iter_mut() {
+            for c in r.iter_mut() {
+                *c += rng.gen_range(-0.07..0.07);
+            }
+        }
+        assert!(!list.needs_rebuild(&pos));
+        // The stale list still finds every in-cutoff pair.
+        let mut got = Vec::new();
+        list.for_each_pair(&pos, |i, j, _, _| got.push(if i < j { (i, j) } else { (j, i) }));
+        got.sort_unstable();
+        let fresh = CellList::build(&pos, [box_l; 3], cutoff);
+        let want = collect_pairs(&fresh, &pos);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn verlet_rebuild_triggers_past_half_skin() {
+        let pos = random_positions(10, 3.0, 2);
+        let list = VerletList::build(&pos, [3.0; 3], 0.8, 0.2, |_, _| false);
+        assert!(!list.needs_rebuild(&pos));
+        let mut moved = pos.clone();
+        moved[3][1] += 0.11; // > skin/2 = 0.1
+        assert!(list.needs_rebuild(&moved));
+    }
+
+    #[test]
+    fn verlet_exclusions_pre_filtered() {
+        let pos = vec![[1.0, 1.0, 1.0], [1.3, 1.0, 1.0], [1.6, 1.0, 1.0]];
+        let list = VerletList::build(&pos, [4.0; 3], 1.0, 0.2, |i, j| i + j == 1);
+        let mut pairs = Vec::new();
+        list.for_each_pair(&pos, |i, j, _, _| pairs.push(if i < j { (i, j) } else { (j, i) }));
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn displacement_sign_convention() {
+        // f receives d = pos[i] − pos[j] (minimum image).
+        let pos = vec![[1.0, 1.0, 1.0], [1.5, 1.0, 1.0]];
+        let cells = CellList::build(&pos, [6.0; 3], 1.0);
+        cells.for_each_pair(&pos, |i, _j, d, _| {
+            let expect = if i == 0 { -0.5 } else { 0.5 };
+            assert!((d[0] - expect).abs() < 1e-12);
+        });
+    }
+}

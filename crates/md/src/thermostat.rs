@@ -1,0 +1,103 @@
+//! Temperature control for equilibration runs.
+//!
+//! The paper's NVE measurements start from equilibrated configurations;
+//! our boxes are built on a lattice, so a short thermostatted run is the
+//! equivalent preparation step. Berendsen weak coupling is the classic
+//! equilibration choice (it does not sample a correct ensemble — use it
+//! only to prepare, then switch the thermostat off for NVE measurements).
+
+use crate::topology::MdSystem;
+
+/// Berendsen weak-coupling thermostat: each application rescales all
+/// velocities by `λ = sqrt(1 + (dt/τ)(T₀/T − 1))`.
+#[derive(Clone, Copy, Debug)]
+pub struct Berendsen {
+    /// Target temperature (K).
+    pub t_target: f64,
+    /// Coupling time constant τ (ps); larger = gentler.
+    pub tau: f64,
+}
+
+impl Berendsen {
+    pub fn new(t_target: f64, tau: f64) -> Self {
+        assert!(t_target > 0.0 && tau > 0.0);
+        Self { t_target, tau }
+    }
+
+    /// Apply one coupling step of length `dt` (ps); returns the scaling λ.
+    pub fn apply(&self, sys: &mut MdSystem, dt: f64) -> f64 {
+        let t = sys.temperature();
+        if t <= 0.0 {
+            return 1.0;
+        }
+        // Clamp the correction so a cold/hot start cannot overshoot.
+        let ratio = (1.0 + dt / self.tau * (self.t_target / t - 1.0)).clamp(0.64, 1.56);
+        let lambda = ratio.sqrt();
+        for v in sys.vel.iter_mut() {
+            v[0] *= lambda;
+            v[1] *= lambda;
+            v[2] *= lambda;
+        }
+        lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::water::{thermalize, water_box};
+
+    #[test]
+    fn hot_system_is_cooled_and_cold_heated() {
+        let thermo = Berendsen::new(300.0, 0.1);
+        let mut hot = water_box(27, 1);
+        thermalize(&mut hot, 600.0, 2);
+        let t0 = hot.temperature();
+        thermo.apply(&mut hot, 0.01);
+        assert!(hot.temperature() < t0);
+
+        let mut cold = water_box(27, 1);
+        thermalize(&mut cold, 50.0, 2);
+        let t0 = cold.temperature();
+        thermo.apply(&mut cold, 0.01);
+        assert!(cold.temperature() > t0);
+    }
+
+    #[test]
+    fn converges_to_target_under_repeated_coupling() {
+        let thermo = Berendsen::new(300.0, 0.05);
+        let mut sys = water_box(64, 5);
+        thermalize(&mut sys, 900.0, 6);
+        for _ in 0..400 {
+            thermo.apply(&mut sys, 0.001);
+        }
+        let t = sys.temperature();
+        assert!((t - 300.0).abs() < 5.0, "T = {t}");
+    }
+
+    #[test]
+    fn at_target_is_identity() {
+        let thermo = Berendsen::new(300.0, 0.1);
+        let mut sys = water_box(27, 9);
+        thermalize(&mut sys, 300.0, 3);
+        // Force the temperature to exactly 300 K first.
+        let t = sys.temperature();
+        let fix = (300.0f64 / t).sqrt();
+        for v in sys.vel.iter_mut() {
+            for c in v.iter_mut() {
+                *c *= fix;
+            }
+        }
+        let lambda = thermo.apply(&mut sys, 0.001);
+        assert!((lambda - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn scaling_is_clamped_for_extreme_starts() {
+        let thermo = Berendsen::new(300.0, 1e-6); // absurdly tight coupling
+        let mut sys = water_box(27, 4);
+        thermalize(&mut sys, 10_000.0, 5);
+        let lambda = thermo.apply(&mut sys, 0.01);
+        assert!(lambda >= 0.8 - 1e-12, "λ = {lambda}"); // sqrt(0.64)
+    }
+}

@@ -1,0 +1,171 @@
+//! System topology: atoms, rigid molecules, exclusions.
+
+use crate::bonded::BondedTerms;
+use tme_mesh::CoulombSystem;
+use tme_num::vec3::V3;
+
+/// Per-atom Lennard-Jones parameters (σ in nm, ε in kJ/mol); zero ε means
+/// the atom carries no LJ interaction (e.g. TIP3P hydrogens).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LjParams {
+    pub sigma: f64,
+    pub epsilon: f64,
+}
+
+/// A rigid three-site water molecule: indices of O, H1, H2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaterMol {
+    pub o: usize,
+    pub h1: usize,
+    pub h2: usize,
+}
+
+/// A complete MD system (orthorhombic periodic box).
+#[derive(Clone, Debug)]
+pub struct MdSystem {
+    pub pos: Vec<V3>,
+    pub vel: Vec<V3>,
+    pub mass: Vec<f64>,
+    pub q: Vec<f64>,
+    pub lj: Vec<LjParams>,
+    pub box_l: V3,
+    /// Rigid waters (constraint groups).
+    pub waters: Vec<WaterMol>,
+    /// Excluded nonbonded pairs (i < j), e.g. intramolecular pairs.
+    pub exclusions: Vec<(usize, usize)>,
+    /// Flexible bonded interactions (bonds/angles); empty for pure rigid
+    /// water.
+    pub bonded: BondedTerms,
+}
+
+impl MdSystem {
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// View as a bare charge system for the electrostatics solvers.
+    pub fn coulomb_system(&self) -> CoulombSystem {
+        CoulombSystem::new(self.pos.clone(), self.q.clone(), self.box_l)
+    }
+
+    /// Kinetic energy `½ Σ m v²` (kJ/mol).
+    pub fn kinetic_energy(&self) -> f64 {
+        0.5 * self
+            .mass
+            .iter()
+            .zip(&self.vel)
+            .map(|(m, v)| m * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]))
+            .sum::<f64>()
+    }
+
+    /// Degrees of freedom: 3N − 3·(waters) − 3 (COM motion removed),
+    /// floored at 1 so degenerate systems don't divide by zero.
+    pub fn degrees_of_freedom(&self) -> usize {
+        (3 * self.len()).saturating_sub(3 * self.waters.len() + 3).max(1)
+    }
+
+    /// Instantaneous temperature (K) from equipartition.
+    pub fn temperature(&self) -> f64 {
+        2.0 * self.kinetic_energy() / (self.degrees_of_freedom() as f64 * crate::units::KB)
+    }
+
+    /// Total linear momentum (u·nm/ps).
+    pub fn momentum(&self) -> V3 {
+        let mut p = [0.0; 3];
+        for (m, v) in self.mass.iter().zip(&self.vel) {
+            p[0] += m * v[0];
+            p[1] += m * v[1];
+            p[2] += m * v[2];
+        }
+        p
+    }
+
+    /// Remove centre-of-mass velocity.
+    pub fn remove_com_velocity(&mut self) {
+        let p = self.momentum();
+        let m_tot: f64 = self.mass.iter().sum();
+        for (m, v) in self.mass.iter().zip(self.vel.iter_mut()) {
+            let _ = m;
+            v[0] -= p[0] / m_tot;
+            v[1] -= p[1] / m_tot;
+            v[2] -= p[2] / m_tot;
+        }
+    }
+
+    /// Is the (sorted) pair excluded? Exclusion list must be sorted.
+    pub fn is_excluded(&self, i: usize, j: usize) -> bool {
+        let key = if i < j { (i, j) } else { (j, i) };
+        self.exclusions.binary_search(&key).is_ok()
+    }
+
+    /// Sort exclusions so `is_excluded` can binary-search.
+    pub fn finalize(&mut self) {
+        self.exclusions.sort_unstable();
+        self.exclusions.dedup();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::tip3p;
+
+    fn two_waters() -> MdSystem {
+        let mut s = MdSystem {
+            pos: vec![[0.0; 3]; 6],
+            vel: vec![[0.0; 3]; 6],
+            mass: vec![tip3p::M_O, tip3p::M_H, tip3p::M_H, tip3p::M_O, tip3p::M_H, tip3p::M_H],
+            q: vec![tip3p::Q_O, tip3p::Q_H, tip3p::Q_H, tip3p::Q_O, tip3p::Q_H, tip3p::Q_H],
+            lj: vec![LjParams::default(); 6],
+            box_l: [3.0; 3],
+            waters: vec![WaterMol { o: 0, h1: 1, h2: 2 }, WaterMol { o: 3, h1: 4, h2: 5 }],
+            exclusions: vec![(1, 2), (0, 1), (0, 2), (3, 4), (3, 5), (4, 5)],
+            bonded: BondedTerms::default(),
+        };
+        s.finalize();
+        s
+    }
+
+    #[test]
+    fn exclusion_lookup() {
+        let s = two_waters();
+        assert!(s.is_excluded(0, 1));
+        assert!(s.is_excluded(2, 1)); // order-insensitive
+        assert!(!s.is_excluded(0, 3));
+        assert!(!s.is_excluded(2, 5));
+    }
+
+    #[test]
+    fn dof_counts_constraints() {
+        let s = two_waters();
+        assert_eq!(s.degrees_of_freedom(), 18 - 6 - 3);
+    }
+
+    #[test]
+    fn com_removal_zeroes_momentum() {
+        let mut s = two_waters();
+        for (i, v) in s.vel.iter_mut().enumerate() {
+            *v = [i as f64 * 0.1, -0.2, 0.05 * i as f64];
+        }
+        s.remove_com_velocity();
+        let p = s.momentum();
+        assert!(p.iter().all(|c| c.abs() < 1e-12), "{p:?}");
+    }
+
+    #[test]
+    fn kinetic_energy_and_temperature() {
+        let mut s = two_waters();
+        // All atoms at 1 nm/ps along x: E = ½Σm.
+        for v in s.vel.iter_mut() {
+            *v = [1.0, 0.0, 0.0];
+        }
+        let e = s.kinetic_energy();
+        let m_tot: f64 = s.mass.iter().sum();
+        assert!((e - 0.5 * m_tot).abs() < 1e-12);
+        assert!(s.temperature() > 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Trajectory output in the (extended) XYZ text format — the standard
+//! interchange format every MD viewer (VMD, OVITO, ASE) reads, so runs
+//! from this substrate can be inspected with ordinary tooling.
+
+use crate::topology::MdSystem;
+use std::io::{self, Write};
+
+/// Writes XYZ frames to any `Write` sink (file, buffer, stdout).
+///
+/// One formatted line is written per atom; pass a `BufWriter` when the
+/// sink is an unbuffered file or pipe.
+pub struct XyzWriter<W: Write> {
+    sink: W,
+    /// Wrap positions into the box when writing (simulation state itself
+    /// stays unwrapped so molecules remain whole).
+    pub wrap: bool,
+}
+
+impl<W: Write> XyzWriter<W> {
+    pub fn new(sink: W) -> Self {
+        Self { sink, wrap: true }
+    }
+
+    /// Per-atom element labels: TIP3P pattern (O, H, H per water) for
+    /// water atoms, `X` for anything else. Built in one O(N) pass.
+    fn elements(sys: &MdSystem) -> Vec<&'static str> {
+        let mut labels = vec!["X"; sys.len()];
+        for w in &sys.waters {
+            labels[w.o] = "O";
+            labels[w.h1] = "H";
+            labels[w.h2] = "H";
+        }
+        labels
+    }
+
+    /// Write one frame with a comment carrying time and box (the
+    /// extended-XYZ `Lattice=` convention).
+    pub fn write_frame(&mut self, sys: &MdSystem, time_ps: f64) -> io::Result<()> {
+        writeln!(self.sink, "{}", sys.len())?;
+        writeln!(
+            self.sink,
+            "Lattice=\"{:.6} 0 0 0 {:.6} 0 0 0 {:.6}\" Properties=species:S:1:pos:R:3 Time={time_ps:.6}",
+            sys.box_l[0], sys.box_l[1], sys.box_l[2]
+        )?;
+        let labels = Self::elements(sys);
+        for (pos, label) in sys.pos.iter().zip(&labels) {
+            let mut r = if self.wrap {
+                tme_num::vec3::wrap(*pos, sys.box_l)
+            } else {
+                *pos
+            };
+            if self.wrap {
+                // Values within the printed precision of L would render as
+                // exactly the box length; snap them to the equivalent 0.
+                for (c, l) in r.iter_mut().zip(&sys.box_l) {
+                    if *l - *c < 5e-7 {
+                        *c = 0.0;
+                    }
+                }
+            }
+            writeln!(self.sink, "{label} {:.6} {:.6} {:.6}", r[0], r[1], r[2])?;
+        }
+        Ok(())
+    }
+
+    /// Flush and return the sink.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::water::water_box;
+
+    #[test]
+    fn frame_structure_is_valid_xyz() {
+        let sys = water_box(8, 1);
+        let mut w = XyzWriter::new(Vec::new());
+        w.write_frame(&sys, 0.5).unwrap();
+        w.write_frame(&sys, 1.0).unwrap();
+        let text = String::from_utf8(w.into_inner().unwrap()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Two frames of (2 header + 24 atom) lines.
+        assert_eq!(lines.len(), 2 * (2 + 24));
+        assert_eq!(lines[0], "24");
+        assert!(lines[1].contains("Lattice=") && lines[1].contains("Time=0.5"));
+        // TIP3P pattern: O H H repeating.
+        assert!(lines[2].starts_with("O "));
+        assert!(lines[3].starts_with("H "));
+        assert!(lines[4].starts_with("H "));
+        assert!(lines[5].starts_with("O "));
+    }
+
+    #[test]
+    fn wrapped_positions_inside_box() {
+        let mut sys = water_box(8, 2);
+        sys.pos[0] = [-0.3, 100.0, 0.5]; // far outside
+        let mut w = XyzWriter::new(Vec::new());
+        w.write_frame(&sys, 0.0).unwrap();
+        let text = String::from_utf8(w.into_inner().unwrap()).unwrap();
+        let first_atom = text.lines().nth(2).unwrap();
+        let coords: Vec<f64> = first_atom
+            .split_whitespace()
+            .skip(1)
+            .map(|v| v.parse().unwrap())
+            .collect();
+        for (c, l) in coords.iter().zip(&sys.box_l) {
+            assert!(*c >= 0.0 && *c < *l, "{c} outside [0, {l})");
+        }
+    }
+
+    #[test]
+    fn unwrapped_mode_preserves_raw_positions() {
+        let mut sys = water_box(4, 3);
+        sys.pos[0] = [-0.25, 0.1, 0.1];
+        let mut w = XyzWriter::new(Vec::new());
+        w.wrap = false;
+        w.write_frame(&sys, 0.0).unwrap();
+        let text = String::from_utf8(w.into_inner().unwrap()).unwrap();
+        assert!(text.lines().nth(2).unwrap().contains("-0.25"));
+    }
+
+    #[test]
+    fn non_water_atoms_labelled_x() {
+        use crate::solute::{add_chain, ChainParams};
+        let mut sys = water_box(4, 5);
+        add_chain(&mut sys, &ChainParams { beads: 3, ..Default::default() }, [0.5, 0.5, 0.1]);
+        let mut w = XyzWriter::new(Vec::new());
+        w.write_frame(&sys, 0.0).unwrap();
+        let text = String::from_utf8(w.into_inner().unwrap()).unwrap();
+        let last = text.lines().last().unwrap();
+        assert!(last.starts_with("X "), "{last}");
+    }
+}

@@ -1,0 +1,64 @@
+//! GROMACS-compatible unit system: nm, ps, u (atomic mass), e, kJ/mol.
+//!
+//! In these units `F/m` is directly an acceleration in nm/ps², so the
+//! integrator needs no conversion factors. Temperatures in K.
+
+/// Coulomb constant `f = 1/(4πε₀)` in kJ·mol⁻¹·nm·e⁻² (GROMACS value).
+pub const COULOMB: f64 = 138.935_458;
+
+/// Boltzmann constant in kJ·mol⁻¹·K⁻¹.
+pub const KB: f64 = 8.314_462_618e-3;
+
+/// TIP3P water model (Jorgensen 1983), GROMACS parameterisation.
+pub mod tip3p {
+    /// O–H bond length (nm).
+    pub const R_OH: f64 = 0.095_72;
+    /// H–O–H angle (degrees).
+    pub const ANGLE_HOH_DEG: f64 = 104.52;
+    /// H–H distance implied by the rigid geometry (nm).
+    pub fn r_hh() -> f64 {
+        2.0 * R_OH * (ANGLE_HOH_DEG.to_radians() / 2.0).sin()
+    }
+    /// Charges (e).
+    pub const Q_O: f64 = -0.834;
+    pub const Q_H: f64 = 0.417;
+    /// Masses (u).
+    pub const M_O: f64 = 15.9994;
+    pub const M_H: f64 = 1.008;
+    /// Oxygen Lennard-Jones σ (nm) and ε (kJ/mol); hydrogens carry no LJ.
+    pub const SIGMA_O: f64 = 0.315_061;
+    pub const EPS_O: f64 = 0.636_386;
+    /// Molecules per nm³ at ~997 kg/m³.
+    pub const NUMBER_DENSITY: f64 = 33.327;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tip3p_geometry() {
+        // H–H distance ≈ 0.15139 nm for the rigid TIP3P triangle.
+        let hh = tip3p::r_hh();
+        assert!((hh - 0.151_39).abs() < 1e-4, "r_HH = {hh}");
+    }
+
+    #[test]
+    fn tip3p_is_neutral() {
+        assert!((tip3p::Q_O + 2.0 * tip3p::Q_H).abs() < 1e-12);
+    }
+
+    #[test]
+    fn water_mass() {
+        let m = tip3p::M_O + 2.0 * tip3p::M_H;
+        assert!((m - 18.0154).abs() < 1e-3);
+    }
+
+    #[test]
+    fn density_sanity() {
+        // 33.327 molecules/nm³ × 18.0154 u ≈ 997 kg/m³.
+        let u_per_nm3 = tip3p::NUMBER_DENSITY * (tip3p::M_O + 2.0 * tip3p::M_H);
+        let kg_per_m3 = u_per_nm3 * 1.660_539e-27 / 1e-27;
+        assert!((kg_per_m3 - 997.0).abs() < 5.0, "{kg_per_m3}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Message-level simulation of one GCU axis pass (paper §IV.B, Eq. 18).
+//!
+//! The coarse model in [`crate::modules`] folds the block exchange into a
+//! calibrated per-block service time. This module simulates the same pass
+//! at packet granularity on the torus ring of one axis — store-and-forward
+//! hops with link occupancy, arrival-ordered GCU processing — and the
+//! tests check the two models agree, which is what justifies using the
+//! cheap one inside the full-step schedule.
+//!
+//! Setup: `p` nodes on a ring, each holding `blocks` 4³ grid blocks. With
+//! grid cutoff `g_c` a node needs the blocks of every neighbour within
+//! `reach = ⌈g_c/4⌉` hops in both directions (beyond that the 1-D kernel
+//! is zero). All nodes inject simultaneously; each direction's link is a
+//! serially-reusable resource; the GCU convolves each arriving block at
+//! its sustained 12-points/cycle rate.
+
+use crate::config::MachineConfig;
+use crate::timeline::{Resource, Time};
+
+/// Result of one detailed axis pass.
+#[derive(Clone, Debug)]
+pub struct AxisPassDetail {
+    /// Completion time (µs) — when the slowest node has convolved all its
+    /// expected blocks.
+    pub makespan: Time,
+    /// Total packet-hop events simulated.
+    pub packet_hops: usize,
+    /// Blocks processed per node.
+    pub blocks_processed: usize,
+}
+
+/// Bytes of one 4³ grid block of 32-bit fixed-point words.
+pub const BLOCK_BYTES: f64 = 64.0 * 4.0;
+
+/// GCU compute time for convolving one incoming block into the local
+/// grid (µs): each of the 64 local points per block takes one tap set,
+/// at the sustained rate of 12 grid points per cycle.
+pub fn block_compute_us(cfg: &MachineConfig, local_blocks: usize) -> f64 {
+    64.0 * local_blocks as f64 / cfg.gcu_points_per_cycle / (cfg.clock_ghz * 1e3)
+}
+
+/// Simulate one axis pass for one Gaussian term.
+pub fn simulate_axis_pass(
+    cfg: &MachineConfig,
+    ring: usize,
+    blocks: usize,
+    gc: usize,
+) -> AxisPassDetail {
+    assert!(ring >= 1 && blocks >= 1);
+    let reach = gc.div_ceil(4).min(ring / 2);
+    // Per-node, per-direction link resources.
+    let mut links_plus: Vec<Resource> = (0..ring).map(|i| Resource::new(format!("+x{i}"))).collect();
+    let mut links_minus: Vec<Resource> = (0..ring).map(|i| Resource::new(format!("-x{i}"))).collect();
+    // Arrival times of every (source, block) at every destination.
+    let mut arrivals: Vec<Vec<Time>> = vec![Vec::new(); ring];
+    let mut packet_hops = 0usize;
+    let serial = BLOCK_BYTES / (cfg.link_bw_gb_s * 1e3);
+    let latency = cfg.hop_latency_ns * 1e-3;
+    // Local blocks are available immediately.
+    for (node, arr) in arrivals.iter_mut().enumerate() {
+        let _ = node;
+        for _ in 0..blocks {
+            arr.push(0.0);
+        }
+    }
+    // Each node streams its blocks `reach` hops in both directions;
+    // store-and-forward: a copy is delivered at every intermediate node.
+    // Packets are advanced one hop level at a time so each link serves
+    // transmissions in ready order (fresh injections before forwards),
+    // as the hardware's network buffers do.
+    // State per (src, dir, block): (current node, ready time).
+    let mut frontier: Vec<(usize, i64, Time)> = Vec::new();
+    for src in 0..ring {
+        for dir in [1i64, -1i64] {
+            for b in 0..blocks {
+                // Stagger injections per block (the network buffer feeds
+                // three words per cycle, §IV.B).
+                frontier.push((src, dir, b as f64 * serial));
+            }
+        }
+    }
+    for _hop in 0..reach {
+        // Ready order within the hop level.
+        frontier.sort_by(|a, b| a.2.total_cmp(&b.2));
+        for entry in frontier.iter_mut() {
+            let (here, dir, ready) = *entry;
+            let next = (here as i64 + dir).rem_euclid(ring as i64) as usize;
+            let link = if dir > 0 { &mut links_plus[here] } else { &mut links_minus[here] };
+            let (_, end) = link.schedule(ready, serial, "block");
+            let arrive = end + latency;
+            arrivals[next].push(arrive);
+            packet_hops += 1;
+            *entry = (next, dir, arrive);
+        }
+    }
+    // Each node's GCU convolves blocks in arrival order.
+    let compute = block_compute_us(cfg, blocks) / blocks.max(1) as f64;
+    let mut makespan: Time = 0.0;
+    for arr in arrivals.iter_mut() {
+        arr.sort_by(f64::total_cmp);
+        let mut gcu = Resource::new("GCU");
+        let mut done = 0.0;
+        for &a in arr.iter() {
+            let (_, end) = gcu.schedule(a, compute, "conv");
+            done = end;
+        }
+        makespan = makespan.max(done);
+    }
+    AxisPassDetail {
+        makespan,
+        packet_hops,
+        blocks_processed: arrivals[0].len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modules::gcu_axis_pass_us;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::mdgrape4a()
+    }
+
+    /// The coarse calibrated per-pass model and the packet-level pass must
+    /// agree within a factor ~2 at the 32³ configuration — this is the
+    /// justification for using the coarse model in the step schedule.
+    #[test]
+    fn detailed_pass_consistent_with_coarse_model() {
+        let c = cfg();
+        let detail = simulate_axis_pass(&c, 8, 1, 8);
+        let coarse = gcu_axis_pass_us(&c, 1, 8);
+        assert!(
+            detail.makespan < 2.0 * coarse && detail.makespan > 0.2 * coarse,
+            "detailed {:.3} µs vs coarse {:.3} µs",
+            detail.makespan,
+            coarse
+        );
+    }
+
+    /// Every node must receive its own blocks plus 2·reach neighbours'.
+    #[test]
+    fn block_accounting() {
+        let d = simulate_axis_pass(&cfg(), 8, 1, 8);
+        // reach = 2: own 1 + 2×2 incoming = 5 blocks per node (§IV.B: the
+        // data of the five block-columns within g_c = 8).
+        assert_eq!(d.blocks_processed, 5);
+        // 8 nodes × 2 dirs × 2 hops × 1 block.
+        assert_eq!(d.packet_hops, 32);
+    }
+
+    #[test]
+    fn makespan_grows_with_blocks_and_reach() {
+        // More blocks pipeline on the links, so the *network* makespan
+        // grows sub-linearly; the coarse model's per-block service adds
+        // the grid-memory turnaround the hardware pays per block, which
+        // restores the near-linear ×8 of §VI.A. Here we only require the
+        // packet-level part to grow.
+        let c = cfg();
+        let b1 = simulate_axis_pass(&c, 8, 1, 8).makespan;
+        let b8 = simulate_axis_pass(&c, 8, 8, 8).makespan;
+        assert!(b8 > 1.4 * b1, "blocks scaling: {b1} → {b8}");
+        let g8 = simulate_axis_pass(&c, 8, 1, 8).makespan;
+        let g12 = simulate_axis_pass(&c, 8, 1, 12).makespan;
+        assert!(g12 > g8, "reach scaling: {g8} → {g12}");
+    }
+
+    /// Reach saturates at half the ring (a packet never travels farther
+    /// than the torus diameter).
+    #[test]
+    fn reach_clamped_to_half_ring() {
+        let d = simulate_axis_pass(&cfg(), 4, 1, 32);
+        // reach = min(8, 2) = 2 → 1 + 4 blocks per node.
+        assert_eq!(d.blocks_processed, 5);
+    }
+
+    /// The Fig. 10 cross-check: 12 passes (M = 4 × 3 axes) of the detailed
+    /// model land in the same few-µs range as the measured 6 µs GCU
+    /// convolution.
+    #[test]
+    fn twelve_detailed_passes_match_fig10_scale() {
+        let c = cfg();
+        let one = simulate_axis_pass(&c, 8, 1, 8).makespan;
+        let total = 12.0 * one + c.cgp_phase_overhead_us;
+        assert!((2.0..12.0).contains(&total), "12 passes = {total} µs");
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-module cost models (durations in µs).
+
+use crate::config::MachineConfig;
+use crate::workload::StepWorkload;
+
+/// LRU charge-assignment or back-interpolation time for one node: the
+/// node's atoms are split over the two LRUs (upper/lower z half), each
+/// atom costing up to 36 cycles in the tensor-multiplier (§IV.A).
+pub fn lru_pass_us(cfg: &MachineConfig, atoms_on_node: f64) -> f64 {
+    let per_lru = atoms_on_node / cfg.lru_per_soc as f64;
+    per_lru * cfg.lru_cycles_per_atom / (cfg.clock_ghz * 1e3)
+}
+
+/// One GCU separable-convolution axis pass for one Gaussian term:
+/// compute (12 points/cycle) plus the per-block service/exchange cost.
+pub fn gcu_axis_pass_us(cfg: &MachineConfig, blocks_per_node: usize, gc: usize) -> f64 {
+    let points = blocks_per_node as f64 * 64.0;
+    // Each output point accumulates contributions from the (2gc/4 + 1)
+    // incoming blocks of its column; the sustained rate folds the taps in.
+    let incoming_cols = ((2 * gc).div_ceil(4) + 1) as f64;
+    let compute = points * incoming_cols / cfg.gcu_points_per_cycle / (cfg.clock_ghz * 1e3);
+    compute + blocks_per_node as f64 * cfg.gcu_block_service_us
+}
+
+/// Full level-`l` separable convolution: M Gaussians × 3 axes, with the
+/// per-phase CGP handshake.
+pub fn gcu_convolution_us(cfg: &MachineConfig, w: &StepWorkload, level: u32) -> f64 {
+    // Level l works on the grid halved (l−1) times → blocks shrink 8× per
+    // level (min 1 block).
+    let blocks = (w.gcu_blocks_per_node(cfg.torus) >> (3 * (level - 1) as usize)).max(1);
+    let per_pass = gcu_axis_pass_us(cfg, blocks, w.gc);
+    3.0 * w.m_gaussians as f64 * per_pass + cfg.cgp_phase_overhead_us
+}
+
+/// Restriction or prolongation between two levels: 3 axis passes with the
+/// (p+1)-tap two-scale filter, dominated by block service.
+pub fn transfer_us(cfg: &MachineConfig, w: &StepWorkload, level: u32) -> f64 {
+    let blocks = (w.gcu_blocks_per_node(cfg.torus) >> (3 * (level - 1) as usize)).max(1);
+    3.0 * blocks as f64 * cfg.transfer_block_service_us + 0.1
+}
+
+/// GP integration phase (half-kick + drift + constraints) on one node.
+pub fn gp_integrate_us(cfg: &MachineConfig, atoms_on_node: f64) -> f64 {
+    atoms_on_node * cfg.gp_cycles_integrate_per_atom
+        / (cfg.gp_cores as f64 * cfg.clock_ghz * 1e3)
+}
+
+/// GP bonded-force phase on one node.
+pub fn gp_bonded_us(cfg: &MachineConfig, atoms_on_node: f64) -> f64 {
+    atoms_on_node * cfg.gp_cycles_bonded_per_atom / (cfg.gp_cores as f64 * cfg.clock_ghz * 1e3)
+}
+
+/// Nonbond pipeline phase on one node: candidate pairs streamed at one
+/// interaction per pipeline per cycle, with the search-overhead factor
+/// for cell-pair scanning.
+pub fn pp_nonbond_us(cfg: &MachineConfig, w: &StepWorkload, atoms_on_node: f64) -> f64 {
+    let pairs = atoms_on_node * w.neighbours_per_atom() / 2.0;
+    let candidates = pairs * cfg.pp_search_overhead;
+    candidates / (cfg.pp_per_soc as f64 * cfg.pp_clock_ghz * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::mdgrape4a()
+    }
+
+    #[test]
+    fn lru_matches_paper_scale() {
+        // §V.B: "the LRU operations (CA and BI) required approximately
+        // 10 µs" — i.e. ~5 µs each at ~157 atoms/node (plus imbalance).
+        let t = lru_pass_us(&cfg(), 157.0 * 1.15);
+        assert!(t > 3.0 && t < 8.0, "LRU pass {t} µs");
+    }
+
+    #[test]
+    fn gcu_convolution_near_6us_at_32cubed() {
+        let w = StepWorkload::paper_fig9();
+        let t = gcu_convolution_us(&cfg(), &w, 1);
+        assert!((t - 6.0).abs() < 1.5, "GCU convolution {t} µs");
+    }
+
+    #[test]
+    fn gcu_convolution_scales_8x_at_64cubed() {
+        // §VI.A: "The time for GCU operations is eight times larger than
+        // 32³ operations theoretically".
+        let w32 = StepWorkload::paper_fig9();
+        let w64 = StepWorkload::paper_grid64();
+        let c = cfg();
+        let t32 = gcu_convolution_us(&c, &w32, 1);
+        let t64 = gcu_convolution_us(&c, &w64, 1);
+        let ratio = t64 / t32;
+        assert!(ratio > 6.0 && ratio < 9.0, "scaling {ratio}");
+    }
+
+    #[test]
+    fn transfer_near_1_5us() {
+        // §V.B: restriction 1.5 µs, prolongation 1.5 µs at 32³.
+        let w = StepWorkload::paper_fig9();
+        let t = transfer_us(&cfg(), &w, 1);
+        assert!((t - 1.5).abs() < 0.5, "transfer {t} µs");
+    }
+
+    #[test]
+    fn level2_convolution_cheaper_than_level1_at_64() {
+        let w = StepWorkload::paper_grid64();
+        let c = cfg();
+        let t1 = gcu_convolution_us(&c, &w, 1);
+        let t2 = gcu_convolution_us(&c, &w, 2);
+        assert!(t2 < t1);
+    }
+
+    #[test]
+    fn gp_phases_dominate_step() {
+        // The paper: GP performance is "a major bottleneck"; integrate and
+        // bonded phases must be tens of µs at 157 atoms/node.
+        let c = cfg();
+        let integrate = gp_integrate_us(&c, 157.0);
+        let bonded = gp_bonded_us(&c, 157.0);
+        assert!(integrate > 25.0 && integrate < 50.0, "{integrate}");
+        assert!(bonded > 80.0 && bonded < 130.0, "{bonded}");
+    }
+
+    #[test]
+    fn pp_phase_tens_of_us() {
+        let w = StepWorkload::paper_fig9();
+        let t = pp_nonbond_us(&cfg(), &w, 157.0);
+        assert!(t > 20.0 && t < 80.0, "nonbond {t} µs");
+    }
+}

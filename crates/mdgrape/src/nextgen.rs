@@ -1,0 +1,154 @@
+//! §VI.B what-if studies: the paper's list of next-generation
+//! improvements, expressed as config variants and evaluated on the same
+//! simulated workload.
+//!
+//! * a larger/faster FPGA for the top-level convolution ("using a larger
+//!   FPGA, such as Intel Stratix 10, can obtain a performance gain of at
+//!   least four", §IV.C),
+//! * direct SoC↔FPGA communication ("the latency should decrease by the
+//!   direct communication between SoCs and FPGAs", §VI.B),
+//! * hardware event management replacing the CGP software control ("the
+//!   management of hierarchical processes should be more integrated in
+//!   hardware", §VI.B),
+//! * a specialised bonded/integration unit ("we plan to design a new
+//!   programmable unit specialized for bonded-force calculations and
+//!   integrations", §VI.B).
+
+use crate::config::MachineConfig;
+use crate::step::simulate_step;
+use crate::workload::StepWorkload;
+
+/// A named configuration variant.
+#[derive(Clone, Debug)]
+pub struct Variant {
+    pub name: &'static str,
+    pub config: MachineConfig,
+}
+
+/// Stratix-10-class top-level convolution: ≥4× FFT throughput.
+pub fn upgraded_fpga(base: &MachineConfig) -> MachineConfig {
+    let mut c = base.clone();
+    c.fft_cycles /= 4.0;
+    c
+}
+
+/// Direct SoC–FPGA links: the octree loses the IO-FPGA and control-FPGA
+/// store-and-forward stages (4 → 2 per direction).
+pub fn direct_soc_fpga(base: &MachineConfig) -> MachineConfig {
+    let mut c = base.clone();
+    c.tmenw_stage_latency_us *= 2.0 / 4.0;
+    c
+}
+
+/// Hardware event manager: the per-phase CGP handshakes and the
+/// prolongation prep/accumulate software shrink to hardware latencies.
+pub fn hardware_event_manager(base: &MachineConfig) -> MachineConfig {
+    let mut c = base.clone();
+    c.cgp_phase_overhead_us *= 0.2;
+    c.cgp_lr_software_us *= 0.2;
+    c
+}
+
+/// Specialised bonded/integration unit: the GP software phases run at
+/// 4× the effective rate (the paper cites low GP execution efficiency as
+/// the main overall bottleneck).
+pub fn bonded_integration_unit(base: &MachineConfig) -> MachineConfig {
+    let mut c = base.clone();
+    c.gp_cycles_integrate_per_atom /= 4.0;
+    c.gp_cycles_bonded_per_atom /= 4.0;
+    c
+}
+
+/// All §VI.B improvements together.
+pub fn next_generation(base: &MachineConfig) -> MachineConfig {
+    bonded_integration_unit(&hardware_event_manager(&direct_soc_fpga(&upgraded_fpga(base))))
+}
+
+/// The standard variant list for the report.
+pub fn variants(base: &MachineConfig) -> Vec<Variant> {
+    vec![
+        Variant { name: "as built", config: base.clone() },
+        Variant { name: "+4x FPGA convolution", config: upgraded_fpga(base) },
+        Variant { name: "+direct SoC-FPGA octree", config: direct_soc_fpga(base) },
+        Variant { name: "+hardware event manager", config: hardware_event_manager(base) },
+        Variant { name: "+bonded/integration unit", config: bonded_integration_unit(base) },
+        Variant { name: "next-generation (all)", config: next_generation(base) },
+    ]
+}
+
+/// Evaluate all variants on a workload; returns (name, step µs, LR µs).
+pub fn evaluate(base: &MachineConfig, w: &StepWorkload) -> Vec<(&'static str, f64, f64)> {
+    variants(base)
+        .into_iter()
+        .map(|v| {
+            let r = simulate_step(&v.config, w);
+            (v.name, r.total_us, r.long_range_us())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> MachineConfig {
+        MachineConfig::mdgrape4a()
+    }
+
+    #[test]
+    fn each_variant_improves_its_target() {
+        let w = StepWorkload::paper_fig9();
+        let b = simulate_step(&base(), &w);
+
+        // FPGA upgrade shortens the TMENW round trip.
+        let f = simulate_step(&upgraded_fpga(&base()), &w);
+        assert!(
+            f.phase("TMENW round trip").unwrap() < b.phase("TMENW round trip").unwrap()
+        );
+
+        // Direct links shorten it further.
+        let d = simulate_step(&direct_soc_fpga(&base()), &w);
+        assert!(d.phase("TMENW round trip").unwrap() < b.phase("TMENW round trip").unwrap());
+
+        // Event manager shortens the long-range span.
+        let e = simulate_step(&hardware_event_manager(&base()), &w);
+        assert!(e.long_range_us() < b.long_range_us());
+
+        // Bonded unit shortens the whole step (GP is the bottleneck).
+        let g = simulate_step(&bonded_integration_unit(&base()), &w);
+        assert!(g.total_us < 0.5 * b.total_us, "{} vs {}", g.total_us, b.total_us);
+    }
+
+    #[test]
+    fn next_generation_beats_every_single_upgrade() {
+        let w = StepWorkload::paper_fig9();
+        let all = simulate_step(&next_generation(&base()), &w).total_us;
+        for v in variants(&base()) {
+            let t = simulate_step(&v.config, &w).total_us;
+            assert!(all <= t + 1e-9, "{}: {t} < combined {all}", v.name);
+        }
+    }
+
+    #[test]
+    fn gp_upgrade_shifts_bottleneck_to_long_range() {
+        // Once the GP phases shrink, the long-range pipeline stops hiding
+        // behind bonded work — the §VI.B point that long-range acceleration
+        // "is expected to be more difficult" and will dominate next.
+        let w = StepWorkload::paper_fig9();
+        let cfg = bonded_integration_unit(&base());
+        let r = simulate_step(&cfg, &w);
+        let lr_share = r.long_range_us() / r.total_us;
+        let base_share = {
+            let rb = simulate_step(&base(), &w);
+            rb.long_range_us() / rb.total_us
+        };
+        assert!(lr_share > base_share, "{lr_share} !> {base_share}");
+    }
+
+    #[test]
+    fn evaluate_returns_all_rows() {
+        let rows = evaluate(&base(), &StepWorkload::paper_fig9());
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().all(|(_, step, lr)| *step > 0.0 && *lr > 0.0));
+    }
+}

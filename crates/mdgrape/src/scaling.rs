@@ -1,0 +1,135 @@
+//! Strong-scaling study: the motivation of the whole machine (§I:
+//! "communication latency limits the strong scalability of classical MD
+//! simulations").
+//!
+//! Fix the workload (the Fig. 9 production system) and shrink the torus
+//! from 8³ = 512 nodes down to 1³: compute-bound phases scale with the
+//! atoms per node, while hop latencies, the FFT, per-phase CGP handshakes
+//! and the GCU block services do not — so efficiency falls as the machine
+//! grows, and the knee shows where latency starts to dominate. This also
+//! exposes the §VI.B observation that a future "compact" system "can be
+//! scaled down to eight SoCs".
+
+use crate::config::MachineConfig;
+use crate::step::simulate_step;
+use crate::workload::StepWorkload;
+
+/// One point of the strong-scaling curve.
+#[derive(Clone, Debug)]
+pub struct ScalingPoint {
+    pub nodes: usize,
+    pub torus: [usize; 3],
+    pub step_us: f64,
+    pub long_range_us: f64,
+    /// Parallel efficiency vs the 1-node machine: `t(1)/(n·t(n))`.
+    pub efficiency: f64,
+}
+
+/// Scale a machine config to a `k³` torus.
+pub fn config_with_torus(base: &MachineConfig, k: usize) -> MachineConfig {
+    let mut cfg = base.clone();
+    cfg.torus = [k, k, k];
+    cfg
+}
+
+/// Run the strong-scaling sweep over torus edges `ks` (the workload's
+/// grid must stay divisible by each edge; 32³ works for 1, 2, 4, 8).
+pub fn strong_scaling(base: &MachineConfig, w: &StepWorkload, ks: &[usize]) -> Vec<ScalingPoint> {
+    assert!(!ks.is_empty());
+    let mut points = Vec::new();
+    let t1 = {
+        let cfg = config_with_torus(base, ks[0]);
+        simulate_step(&cfg, w).total_us * (ks[0] * ks[0] * ks[0]) as f64
+    };
+    for &k in ks {
+        let cfg = config_with_torus(base, k);
+        let nodes = k * k * k;
+        let r = simulate_step(&cfg, w);
+        points.push(ScalingPoint {
+            nodes,
+            torus: cfg.torus,
+            step_us: r.total_us,
+            long_range_us: r.long_range_us(),
+            efficiency: t1 / (nodes as f64 * r.total_us),
+        });
+    }
+    points
+}
+
+/// Render the curve as a table.
+pub fn format_scaling(points: &[ScalingPoint]) -> String {
+    let mut out = String::from("nodes   step (µs)   long-range (µs)   efficiency\n");
+    for p in points {
+        out.push_str(&format!(
+            "{:5}   {:9.1}   {:15.1}   {:9.2}\n",
+            p.nodes, p.step_us, p.long_range_us, p.efficiency
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep() -> Vec<ScalingPoint> {
+        strong_scaling(
+            &MachineConfig::mdgrape4a(),
+            &StepWorkload::paper_fig9(),
+            &[1, 2, 4, 8],
+        )
+    }
+
+    #[test]
+    fn step_time_decreases_with_nodes() {
+        let pts = sweep();
+        for w in pts.windows(2) {
+            assert!(
+                w[1].step_us < w[0].step_us,
+                "no speedup {} → {} nodes",
+                w[0].nodes,
+                w[1].nodes
+            );
+        }
+    }
+
+    #[test]
+    fn efficiency_decays_with_scale() {
+        // Strong scaling: fixed overheads eat efficiency as nodes grow.
+        let pts = sweep();
+        assert!((pts[0].efficiency - 1.0).abs() < 1e-9);
+        for w in pts.windows(2) {
+            assert!(
+                w[1].efficiency <= w[0].efficiency + 1e-9,
+                "efficiency rose {} → {} nodes",
+                w[0].nodes,
+                w[1].nodes
+            );
+        }
+        // At 512 nodes the job is latency-affected but still worthwhile
+        // (the machine exists because the speedup is real).
+        let last = pts.last().unwrap();
+        assert!(last.efficiency > 0.2 && last.efficiency < 0.98, "{}", last.efficiency);
+    }
+
+    #[test]
+    fn long_range_scales_worse_than_total() {
+        // The long-range pipeline is the latency-bound part: its share of
+        // the step grows as the machine scales (the paper's core tension).
+        let pts = sweep();
+        let share_small = pts[0].long_range_us / pts[0].step_us;
+        let share_big = pts.last().unwrap().long_range_us / pts.last().unwrap().step_us;
+        assert!(
+            share_big > share_small,
+            "LR share {share_small:.3} → {share_big:.3} did not grow"
+        );
+    }
+
+    #[test]
+    fn format_has_all_rows() {
+        let pts = sweep();
+        let s = format_scaling(&pts);
+        assert_eq!(s.lines().count(), pts.len() + 1);
+        assert!(s.contains("512"));
+    }
+}

@@ -1,0 +1,477 @@
+//! The full MD-step schedule — the simulator's reproduction of Fig. 9.
+//!
+//! Phase structure (§V.A):
+//!
+//! ```text
+//! INTEGRATE₁ (GP) → coordinate exchange (NW) →
+//!   ┌ nonbond pipelines (PP) + force exchange (NW)
+//!   ├ bonded forces (GP, with NW traffic)
+//!   └ long-range pipeline:
+//!        LRU CA → CA sleeves (NW) → GCU restriction → level convolutions
+//!        (GCU ∥ TMENW octree round trip) → prolongation → BI sleeves →
+//!        LRU BI → force accumulation (GM)
+//! → barrier (all forces) → INTEGRATE₂ (GP)
+//! ```
+//!
+//! GCU operations are **exclusive** to other network activity (§V.A:
+//! "GCU operations must be exclusive to other NW activities"), which is
+//! what makes incorporating the long-range part cost ~10 µs instead of
+//! zero even though its ~50 µs pipeline otherwise overlaps (§V.C).
+//!
+//! Each of the 512 nodes gets its own atom count (deterministic
+//! pseudo-random fluctuation around the mean); global phases synchronise
+//! at barriers over all nodes, so the slowest node sets the pace — the
+//! "load imbalance" the paper blames for the apparent GCU wait time.
+
+use crate::config::MachineConfig;
+use crate::modules;
+use crate::network;
+use crate::timeline::{barrier, Resource, Span, Time};
+use crate::workload::StepWorkload;
+
+/// Per-module spans of the *observed* node plus global phase timings.
+#[derive(Clone, Debug)]
+pub struct StepReport {
+    /// Module timelines of the observed node (GP, PP, LRU, GCU, NW, TMENW).
+    pub modules: Vec<Resource>,
+    /// Total step time (µs) — the barrier after INTEGRATE₂.
+    pub total_us: Time,
+    /// Start..end of the long-range pipeline (µs), if it ran.
+    pub long_range_span: Option<(Time, Time)>,
+    /// Individual long-range phase durations (µs) keyed by name.
+    pub long_range_phases: Vec<(String, Time)>,
+    /// The force-phase window (after coordinate exchange, before the
+    /// final barrier).
+    pub force_phase: (Time, Time),
+}
+
+impl StepReport {
+    pub fn module(&self, name: &str) -> Option<&Resource> {
+        self.modules.iter().find(|r| r.name == name)
+    }
+
+    pub fn long_range_us(&self) -> Time {
+        self.long_range_span.map(|(s, e)| e - s).unwrap_or(0.0)
+    }
+
+    pub fn phase(&self, name: &str) -> Option<Time> {
+        self.long_range_phases
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| *t)
+    }
+
+    /// All spans of all modules (for the time chart).
+    pub fn all_spans(&self) -> impl Iterator<Item = (&str, &Span)> {
+        self.modules
+            .iter()
+            .flat_map(|r| r.spans.iter().map(move |s| (r.name.as_str(), s)))
+    }
+
+    /// Busy fraction of each module over the whole step — the utilisation
+    /// view of Fig. 9 (how much of the 206 µs each unit actually works,
+    /// the rest being the idle/overlap slack the co-design exploits).
+    pub fn utilisation(&self) -> Vec<(&str, f64)> {
+        self.modules
+            .iter()
+            .map(|r| (r.name.as_str(), r.busy_total() / self.total_us.max(1e-12)))
+            .collect()
+    }
+}
+
+/// Deterministic per-node atom counts with the workload's fluctuation.
+fn node_atom_counts(w: &StepWorkload, nodes: usize) -> Vec<f64> {
+    let mean = w.atoms_per_node(nodes);
+    (0..nodes)
+        .map(|i| {
+            // Splitmix-style hash → uniform in [−1, 1).
+            let mut z = (i as u64)
+                .wrapping_add(w.imbalance_seed.wrapping_mul(0x2545F4914F6CDD1D))
+                .wrapping_add(0x9e3779b97f4a7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^= z >> 31;
+            let u = (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
+            mean * (1.0 + w.imbalance * u)
+        })
+        .collect()
+}
+
+/// Simulate one MD time step; the observed node is the most loaded one
+/// (the paper logs the CGP status transitions of a single SoC).
+///
+/// # Example
+///
+/// ```
+/// use mdgrape_sim::{simulate_step, MachineConfig, StepWorkload};
+///
+/// let report = simulate_step(&MachineConfig::mdgrape4a(), &StepWorkload::paper_fig9());
+/// assert!((report.total_us - 206.0).abs() < 15.0); // the paper's 206 µs step
+/// assert!(report.long_range_us() < 60.0);          // ~50 µs long-range pipeline
+/// ```
+pub fn simulate_step(cfg: &MachineConfig, w: &StepWorkload) -> StepReport {
+    let nodes = cfg.node_count();
+    let atoms = node_atom_counts(w, nodes);
+    let atoms_max = atoms.iter().cloned().fold(0.0, f64::max);
+
+    // Observed-node module timelines.
+    let mut gp = Resource::new("GP");
+    let mut pp = Resource::new("PP");
+    let mut lru = Resource::new("LRU");
+    let mut gcu = Resource::new("GCU");
+    let mut nw = Resource::new("NW");
+    let mut tmenw = Resource::new("TMENW");
+    // The control GP (CGP) is its own core (§II), separate from the two
+    // compute GP cores.
+    let mut cgp = Resource::new("CGP");
+    let mut phases: Vec<(String, Time)> = Vec::new();
+
+    // ---- INTEGRATE₁ (all nodes; barrier = slowest) ----
+    let t_int1_obs = modules::gp_integrate_us(cfg, atoms_max);
+    gp.schedule(0.0, t_int1_obs, "INTEGRATE");
+    let int1_end = barrier(atoms.iter().map(|&a| modules::gp_integrate_us(cfg, a)))
+        + cfg.cgp_phase_overhead_us;
+
+    // ---- coordinate exchange ----
+    let coord_bytes = atoms_max * 16.0; // xyz + index per migrating sleeve atom
+    let (_, coord_end) = nw.schedule(
+        int1_end,
+        network::torus_transfer_us(cfg, coord_bytes, 1) + cfg.cgp_phase_overhead_us,
+        "coord exchange",
+    );
+    let force_phase_start = coord_end;
+
+    // ---- nonbond pipelines ----
+    let t_pp = barrier(atoms.iter().map(|&a| modules::pp_nonbond_us(cfg, w, a)));
+    pp.schedule(force_phase_start, modules::pp_nonbond_us(cfg, w, atoms_max), "nonbond");
+    let pp_end = force_phase_start + t_pp;
+
+    // ---- bonded forces on GP ----
+    let t_bonded = barrier(atoms.iter().map(|&a| modules::gp_bonded_us(cfg, a)));
+    gp.schedule(force_phase_start, modules::gp_bonded_us(cfg, atoms_max), "bonded");
+    let bonded_end = force_phase_start + t_bonded;
+
+    // ---- long-range (TME) pipeline ----
+    let mut lr_span = None;
+    let mut gcu_exclusive_total = 0.0;
+    let mut lr_end = force_phase_start;
+    if w.long_range {
+        let lr_start = force_phase_start;
+        // (1) Charge assignment on the LRUs.
+        let t_ca = modules::lru_pass_us(cfg, atoms_max);
+        let (_, ca_end) = lru.schedule(lr_start, t_ca, "CA");
+        phases.push(("CA".into(), t_ca));
+        // CA sleeve exchange: local grid + 4-deep sleeves.
+        let local = w.local_grid(cfg.torus[0]);
+        let t_sleeve = network::sleeve_exchange_us(cfg, local, 4)
+            + w.gcu_blocks_per_node(cfg.torus) as f64 * cfg.sleeve_us_per_block;
+        let (_, sleeve_end) = nw.schedule(ca_end, t_sleeve, "CA sleeves");
+        phases.push(("CA sleeves".into(), t_sleeve));
+
+        // (2) Restrictions down to the top level (GCU, exclusive).
+        let mut t = sleeve_end;
+        for l in 1..=w.levels {
+            let d = modules::transfer_us(cfg, w, l);
+            let (_, e) = gcu.schedule(t, d, format!("restriction L{l}"));
+            phases.push((format!("restriction L{l}"), d));
+            gcu_exclusive_total += d;
+            t = e;
+        }
+        let restrict_end = t;
+
+        // (4) TMENW round trip starts as soon as top-level charges exist;
+        // it runs on the octree, overlapping the GCU convolutions.
+        let top_grid = w.grid >> w.levels;
+        let t_tmenw = network::tmenw_roundtrip_us(cfg, top_grid) + cfg.cgp_phase_overhead_us;
+        let (_, tmenw_end) = tmenw.schedule(restrict_end, t_tmenw, "top-level round trip");
+        phases.push(("TMENW round trip".into(), t_tmenw));
+
+        // (3) Middle-level convolutions on the GCU (exclusive).
+        let mut conv_end = restrict_end;
+        for l in 1..=w.levels {
+            let d = modules::gcu_convolution_us(cfg, w, l);
+            let (_, e) = gcu.schedule(conv_end, d, format!("convolution L{l}"));
+            phases.push((format!("convolution L{l}"), d));
+            gcu_exclusive_total += d;
+            conv_end = e;
+        }
+
+        // (5) Prolongations back up; need both the convolutions and the
+        // top-level potentials. The CGP first runs software to prepare the
+        // prolongation input (Fig. 10, second phase).
+        let mut up = barrier([conv_end, tmenw_end]);
+        let (_, prep_end) = cgp.schedule(up, cfg.cgp_lr_software_us, "CGP prolongation prep");
+        phases.push(("CGP prep".into(), cfg.cgp_lr_software_us));
+        up = prep_end;
+        for l in (1..=w.levels).rev() {
+            let d = modules::transfer_us(cfg, w, l);
+            let (_, e) = gcu.schedule(up, d, format!("prolongation L{l}"));
+            phases.push((format!("prolongation L{l}"), d));
+            gcu_exclusive_total += d;
+            up = e;
+        }
+        // CGP software accumulates prolongation results onto the level
+        // convolutions (Fig. 10), then BI sleeves and back interpolation.
+        let (_, acc_end) = cgp.schedule(up, cfg.cgp_lr_software_us, "CGP accumulate");
+        phases.push(("CGP accumulate".into(), cfg.cgp_lr_software_us));
+        let (_, bi_sleeve_end) = nw.schedule(acc_end, t_sleeve, "BI sleeves");
+        phases.push(("BI sleeves".into(), t_sleeve));
+        let t_bi = modules::lru_pass_us(cfg, atoms_max);
+        let (_, bi_end) = lru.schedule(bi_sleeve_end, t_bi, "BI");
+        phases.push(("BI".into(), t_bi));
+        lr_end = bi_end + cfg.cgp_phase_overhead_us;
+        lr_span = Some((lr_start, lr_end));
+    }
+
+    // ---- force exchange + reduction. GCU exclusivity stalls the *other*
+    // tracks' NW traffic (their coordinate/force streaming pauses during
+    // each exclusive window), so the nonbond/bonded tracks stretch by the
+    // exclusive total; the long-range track already contains that time. ----
+    let force_bytes = atoms_max * 12.0;
+    let stall = gcu_exclusive_total;
+    let tracks_end = barrier([pp_end + stall, bonded_end + stall, lr_end]);
+    let (_, force_exch_end) = nw.schedule(
+        tracks_end,
+        network::torus_transfer_us(cfg, force_bytes, 1) + cfg.cgp_phase_overhead_us,
+        "force exchange",
+    );
+    let force_phase_end = force_exch_end;
+
+    // ---- INTEGRATE₂ ----
+    let t_int2 = barrier(atoms.iter().map(|&a| modules::gp_integrate_us(cfg, a)));
+    gp.schedule(force_phase_end, modules::gp_integrate_us(cfg, atoms_max), "INTEGRATE");
+    let total = force_phase_end + t_int2 + cfg.cgp_phase_overhead_us;
+
+    StepReport {
+        modules: vec![gp, cgp, pp, lru, gcu, nw, tmenw],
+        total_us: total,
+        long_range_span: lr_span,
+        long_range_phases: phases,
+        force_phase: (force_phase_start, force_phase_end),
+    }
+}
+
+/// Simulate `steps` consecutive MD steps with per-step load fluctuation
+/// (each step redraws the per-node atom counts around the mean, as atoms
+/// migrate between cells) and return the per-step totals — the quantity
+/// behind Table 2's "average time/step".
+pub fn simulate_run(cfg: &MachineConfig, w: &StepWorkload, steps: usize) -> RunReport {
+    let mut totals = Vec::with_capacity(steps);
+    for s in 0..steps {
+        let mut ws = w.clone();
+        // Decorrelate the per-node fluctuation draw per step.
+        ws.imbalance_seed = s as u64;
+        // Multiple time stepping: evaluate the long-range part only every
+        // `long_range_every` steps (the Anton policy of the Table 2 note).
+        if ws.long_range && !s.is_multiple_of(ws.long_range_every.max(1)) {
+            ws.long_range = false;
+        }
+        totals.push(simulate_step(cfg, &ws).total_us);
+    }
+    RunReport { step_us: totals }
+}
+
+/// Totals of a multi-step simulated run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    pub step_us: Vec<Time>,
+}
+
+impl RunReport {
+    pub fn mean(&self) -> Time {
+        self.step_us.iter().sum::<f64>() / self.step_us.len() as f64
+    }
+
+    pub fn min(&self) -> Time {
+        self.step_us.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    pub fn max(&self) -> Time {
+        self.step_us.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> Time {
+        let m = self.mean();
+        let n = self.step_us.len().max(2) as f64;
+        (self.step_us.iter().map(|t| (t - m) * (t - m)).sum::<f64>() / (n - 1.0)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::mdgrape4a()
+    }
+
+    #[test]
+    fn alternate_step_long_range_saves_half_the_overhead() {
+        let c = cfg();
+        let every = simulate_run(&c, &StepWorkload::paper_fig9(), 20).mean();
+        let mut w2 = StepWorkload::paper_fig9();
+        w2.long_range_every = 2;
+        let alternate = simulate_run(&c, &w2, 20).mean();
+        let mut off = StepWorkload::paper_fig9();
+        off.long_range = false;
+        let without = simulate_run(&c, &off, 20).mean();
+        // Alternate-step cost sits between every-step and never.
+        assert!(alternate < every && alternate > without, "{without} !< {alternate} !< {every}");
+        let saved = every - alternate;
+        let full_overhead = every - without;
+        assert!((saved / full_overhead - 0.5).abs() < 0.2, "saved {saved} of {full_overhead}");
+    }
+
+    #[test]
+    fn multi_step_run_is_stable() {
+        let r = simulate_run(&cfg(), &StepWorkload::paper_fig9(), 25);
+        assert_eq!(r.step_us.len(), 25);
+        // Mean stays at the Fig. 9 scale; fluctuation is small but nonzero
+        // (per-step atom migration redraws the imbalance).
+        assert!((r.mean() - 206.0).abs() < 15.0, "mean {}", r.mean());
+        assert!(r.stddev() > 0.0 && r.stddev() < 10.0, "σ = {}", r.stddev());
+        assert!(r.max() - r.min() < 25.0);
+    }
+
+    /// §V.A: "it requires 206 µs to complete the single MD time step".
+    #[test]
+    fn step_time_matches_fig9() {
+        let r = simulate_step(&cfg(), &StepWorkload::paper_fig9());
+        assert!(
+            (r.total_us - 206.0).abs() < 15.0,
+            "simulated step {} µs, paper 206 µs",
+            r.total_us
+        );
+    }
+
+    /// §V.C: without the long-range part the step takes 196 µs; the
+    /// difference is ~10 µs (~5%).
+    #[test]
+    fn long_range_overhead_is_about_5_percent() {
+        let c = cfg();
+        let with = simulate_step(&c, &StepWorkload::paper_fig9());
+        let mut w = StepWorkload::paper_fig9();
+        w.long_range = false;
+        let without = simulate_step(&c, &w);
+        let overhead = with.total_us - without.total_us;
+        assert!(
+            overhead > 5.0 && overhead < 18.0,
+            "LR overhead {overhead} µs (with {}, without {})",
+            with.total_us,
+            without.total_us
+        );
+        let percent = overhead / without.total_us * 100.0;
+        assert!(percent > 2.0 && percent < 9.0, "{percent}%");
+    }
+
+    /// §V.B: the whole long-range evaluation is ~50 µs.
+    #[test]
+    fn long_range_pipeline_near_50us() {
+        let r = simulate_step(&cfg(), &StepWorkload::paper_fig9());
+        let lr = r.long_range_us();
+        assert!((lr - 50.0).abs() < 12.0, "long-range span {lr} µs");
+    }
+
+    /// §V.B phase durations: restriction ≈ 1.5 µs, convolution ≈ 6 µs,
+    /// prolongation ≈ 1.5 µs, TMENW < 20 µs, LRU ≈ 10 µs total.
+    #[test]
+    fn long_range_phases_match_paper() {
+        let r = simulate_step(&cfg(), &StepWorkload::paper_fig9());
+        let restriction = r.phase("restriction L1").unwrap();
+        let conv = r.phase("convolution L1").unwrap();
+        let prolong = r.phase("prolongation L1").unwrap();
+        let tmenw = r.phase("TMENW round trip").unwrap();
+        let ca = r.phase("CA").unwrap();
+        let bi = r.phase("BI").unwrap();
+        assert!((restriction - 1.5).abs() < 0.7, "restriction {restriction}");
+        assert!((conv - 6.0).abs() < 2.0, "convolution {conv}");
+        assert!((prolong - 1.5).abs() < 0.7, "prolongation {prolong}");
+        assert!(tmenw < 20.0, "TMENW {tmenw}");
+        assert!((ca + bi - 10.0).abs() < 4.0, "LRU total {}", ca + bi);
+    }
+
+    /// The long-range pipeline overlaps the other force work: its span
+    /// must fit inside the force phase, and the TMENW round trip must
+    /// overlap the GCU convolution (§V.C).
+    #[test]
+    fn long_range_overlaps_force_phase() {
+        let r = simulate_step(&cfg(), &StepWorkload::paper_fig9());
+        let (lr_s, lr_e) = r.long_range_span.unwrap();
+        let (f_s, f_e) = r.force_phase;
+        assert!(lr_s >= f_s && lr_e <= f_e, "LR [{lr_s},{lr_e}] vs force [{f_s},{f_e}]");
+        let gcu = r.module("GCU").unwrap();
+        let tmenw = r.module("TMENW").unwrap();
+        let conv = gcu.spans.iter().find(|s| s.label.starts_with("convolution")).unwrap();
+        let rt = &tmenw.spans[0];
+        assert!(rt.start < conv.end && conv.start < rt.end, "no overlap");
+    }
+
+    /// §VI.A: the 64³/L=2 workload costs ≈150 µs of long-range time, with
+    /// the GCU part ×8.
+    #[test]
+    fn grid64_long_range_near_150us() {
+        let c = cfg();
+        let r = simulate_step(&c, &StepWorkload::paper_grid64());
+        let lr = r.long_range_us();
+        // The paper's 150 µs is a back-of-envelope estimate (8× the GCU
+        // ops + 10 µs transfers) that ignores the L = 2 level costs and
+        // the CGP software stretches, which our schedule includes — we
+        // land slightly above it.
+        assert!((lr - 150.0).abs() < 40.0, "64³ long-range {lr} µs");
+        let conv32 = simulate_step(&c, &StepWorkload::paper_fig9())
+            .phase("convolution L1")
+            .unwrap();
+        let conv64 = r.phase("convolution L1").unwrap();
+        let ratio = conv64 / conv32;
+        assert!(ratio > 6.0 && ratio < 9.0, "GCU scaling {ratio}");
+    }
+
+    #[test]
+    fn observed_node_spans_are_consistent() {
+        let r = simulate_step(&cfg(), &StepWorkload::paper_fig9());
+        for res in &r.modules {
+            for s in &res.spans {
+                assert!(s.end >= s.start);
+                assert!(s.end <= r.total_us + 1e-9, "{} span ends past total", res.name);
+            }
+        }
+        // GP runs exactly integrate, bonded, integrate; the CGP software
+        // stretches live on their own core.
+        let gp = r.module("GP").unwrap();
+        assert_eq!(gp.spans.len(), 3);
+        assert_eq!(r.module("CGP").unwrap().spans.len(), 2);
+    }
+
+    #[test]
+    fn utilisation_is_sane() {
+        let r = simulate_step(&cfg(), &StepWorkload::paper_fig9());
+        let u = r.utilisation();
+        let get = |n: &str| u.iter().find(|(m, _)| *m == n).map(|(_, v)| *v).unwrap();
+        // Every fraction within [0, 1].
+        assert!(u.iter().all(|(_, v)| (0.0..=1.0).contains(v)), "{u:?}");
+        // The GP is the busiest unit (the paper's bottleneck diagnosis);
+        // the GCU works only a few percent of the step.
+        assert!(get("GP") > 0.5, "GP {}", get("GP"));
+        assert!(get("GCU") < 0.1, "GCU {}", get("GCU"));
+        assert!(get("GP") > get("PP") && get("GP") > get("LRU"));
+    }
+
+    #[test]
+    fn imbalance_increases_step_time() {
+        let c = cfg();
+        let mut balanced = StepWorkload::paper_fig9();
+        balanced.imbalance = 0.0;
+        let t_bal = simulate_step(&c, &balanced).total_us;
+        let t_imb = simulate_step(&c, &StepWorkload::paper_fig9()).total_us;
+        assert!(t_imb > t_bal, "{t_imb} !> {t_bal}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = cfg();
+        let a = simulate_step(&c, &StepWorkload::paper_fig9());
+        let b = simulate_step(&c, &StepWorkload::paper_fig9());
+        assert_eq!(a.total_us, b.total_us);
+    }
+}

@@ -1,0 +1,167 @@
+//! Message-level simulation of the TMENW octree round trip (paper §IV.C,
+//! Fig. 7).
+//!
+//! Topology as built: 8 SoCs → IO FPGA (per board) → control FPGA (per
+//! board) → leaf FPGA (8 boards each) → root FPGA (8 leaves). Each stage
+//! is a store-and-forward hop whose uplink aggregates its children's
+//! payloads; the root runs the 16³ FFT·Green·IFFT (330 cycles @
+//! 156.25 MHz) and the result fans back out over the same links.
+//!
+//! The coarse model ([`crate::network::tmenw_roundtrip_us`]) compresses
+//! this into `2·(stages·latency + serialisation) + FFT`; the tests here
+//! check the tree-level simulation agrees, and measure where the time
+//! goes (latency, aggregation serialisation, FFT).
+
+use crate::config::MachineConfig;
+use crate::timeline::{Resource, Time};
+
+/// Breakdown of a simulated octree round trip.
+#[derive(Clone, Debug)]
+pub struct TmenwDetail {
+    /// Total round-trip time (µs): last SoC receives its potentials.
+    pub roundtrip: Time,
+    /// When the root had gathered all charges (µs).
+    pub gather_done: Time,
+    /// Root FPGA convolution span (µs).
+    pub fft: Time,
+    /// Links traversed (gather + scatter).
+    pub link_events: usize,
+}
+
+/// Fan-out of each tree level: SoCs per board, boards per leaf, leaves.
+const SOCS_PER_BOARD: usize = 8;
+const BOARDS_PER_LEAF: usize = 8;
+const LEAVES: usize = 8;
+
+/// Simulate the gather → convolve → scatter round trip for a `top_grid`³
+/// top level distributed over 512 SoCs.
+pub fn simulate_roundtrip(cfg: &MachineConfig, top_grid: usize) -> TmenwDetail {
+    let socs = SOCS_PER_BOARD * BOARDS_PER_LEAF * LEAVES;
+    let total_words = top_grid * top_grid * top_grid;
+    // Each SoC contributes an equal share of the top-level grid.
+    let words_per_soc = (total_words as f64 / socs as f64).ceil();
+    let bytes = |words: f64| words * 4.0;
+    let ser = |words: f64| bytes(words) * 8.0 / (cfg.tmenw_link_gb_s * 1e3);
+    let stage = cfg.tmenw_stage_latency_us;
+    let mut link_events = 0usize;
+
+    // --- gather ---
+    // Stage 1: SoC → IO FPGA (per board, 8 SoCs share the IO FPGA uplink
+    // path; their payloads serialise on it).
+    let mut board_ready: Vec<Time> = Vec::with_capacity(BOARDS_PER_LEAF * LEAVES);
+    for _board in 0..BOARDS_PER_LEAF * LEAVES {
+        let mut io = Resource::new("io");
+        let mut t_done: Time = 0.0;
+        for _soc in 0..SOCS_PER_BOARD {
+            let (_, end) = io.schedule(0.0, ser(words_per_soc), "soc→io");
+            link_events += 1;
+            t_done = end;
+        }
+        // IO → control adds one store-and-forward stage for the aggregate.
+        let control_done = t_done + stage + ser(words_per_soc * SOCS_PER_BOARD as f64);
+        link_events += 1;
+        board_ready.push(control_done + stage);
+    }
+    // Stage 3: control FPGA → leaf (8 boards serialise per leaf uplink).
+    let board_words = words_per_soc * SOCS_PER_BOARD as f64;
+    let mut leaf_ready: Vec<Time> = Vec::with_capacity(LEAVES);
+    for leaf in 0..LEAVES {
+        let mut up = Resource::new("leaf-up");
+        let mut done: Time = 0.0;
+        for b in 0..BOARDS_PER_LEAF {
+            let ready = board_ready[leaf * BOARDS_PER_LEAF + b];
+            let (_, end) = up.schedule(ready, ser(board_words), "board→leaf");
+            link_events += 1;
+            done = done.max(end);
+        }
+        leaf_ready.push(done + stage);
+    }
+    // Stage 4: leaf → root (8 leaves serialise on the root's ingest).
+    let leaf_words = board_words * BOARDS_PER_LEAF as f64;
+    let mut root_in = Resource::new("root-in");
+    let mut gather_done: Time = 0.0;
+    for &ready in &leaf_ready {
+        let (_, end) = root_in.schedule(ready, ser(leaf_words), "leaf→root");
+        link_events += 1;
+        gather_done = gather_done.max(end);
+    }
+    gather_done += stage;
+
+    // --- root convolution ---
+    let fft = cfg.fft_time_us();
+    let scatter_start = gather_done + fft;
+
+    // --- scatter (mirror of the gather) ---
+    let mut roundtrip = scatter_start;
+    {
+        // Root → leaves: the full grid goes back down, serialised per leaf.
+        let mut root_out = Resource::new("root-out");
+        for _leaf in 0..LEAVES {
+            let (_, end) = root_out.schedule(scatter_start, ser(leaf_words), "root→leaf");
+            link_events += 1;
+            // Leaf → boards → SoCs mirror the gather depth: two more
+            // stages of latency plus the board-level serialisation.
+            let leaf_out = end + stage + ser(board_words) + stage + ser(words_per_soc) + stage;
+            link_events += 2;
+            roundtrip = roundtrip.max(leaf_out);
+        }
+    }
+
+    TmenwDetail { roundtrip, gather_done, fft, link_events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::tmenw_roundtrip_us;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::mdgrape4a()
+    }
+
+    /// §V.B: "the roundtrip time required to obtain the top-level grid
+    /// potentials by the TMENW [is] less than 20 µs".
+    #[test]
+    fn roundtrip_under_20us() {
+        let d = simulate_roundtrip(&cfg(), 16);
+        assert!(d.roundtrip < 20.0, "round trip {:.2} µs", d.roundtrip);
+        assert!(d.roundtrip > 5.0, "implausibly fast: {:.2} µs", d.roundtrip);
+    }
+
+    /// The tree simulation and the coarse formula agree within ~50%.
+    #[test]
+    fn consistent_with_coarse_formula() {
+        let c = cfg();
+        let detail = simulate_roundtrip(&c, 16).roundtrip;
+        let coarse = tmenw_roundtrip_us(&c, 16);
+        let ratio = detail / coarse;
+        assert!((0.5..2.0).contains(&ratio), "detail {detail:.2} vs coarse {coarse:.2}");
+    }
+
+    /// The FFT is a small fraction of the round trip (the paper's point
+    /// that network latency, not the FPGA convolution, bounds the top
+    /// level — "the latency should decrease by the direct communication").
+    #[test]
+    fn network_dominates_fft() {
+        let d = simulate_roundtrip(&cfg(), 16);
+        assert!((d.fft - 2.112).abs() < 1e-3);
+        assert!(d.fft < 0.3 * d.roundtrip, "FFT {:.2} of {:.2}", d.fft, d.roundtrip);
+    }
+
+    /// Gather must finish before the FFT output can exist.
+    #[test]
+    fn causality() {
+        let d = simulate_roundtrip(&cfg(), 16);
+        assert!(d.gather_done + d.fft <= d.roundtrip + 1e-12);
+    }
+
+    /// Link-event accounting: 64 boards × (8 SoC uplinks + 1 board uplink)
+    /// + 64 board→leaf + 8 leaf→root on gather, and 8 × 3 on scatter.
+    #[test]
+    fn link_event_count() {
+        let d = simulate_roundtrip(&cfg(), 16);
+        let gather = 64 * (8 + 1) + 64 + 8;
+        let scatter = 8 * 3;
+        assert_eq!(d.link_events, gather + scatter);
+    }
+}

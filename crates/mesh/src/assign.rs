@@ -1,0 +1,275 @@
+//! Particle↔grid transfer: charge assignment (anterpolation) and back
+//! interpolation — the two operations the LRU hardware unit accelerates
+//! (paper §IV.A, Eqs. 12–17).
+//!
+//! * **CA mode** (Eq. 12): spread point charges onto the grid with the
+//!   order-`p` central B-spline, `Q_m = Σ_i q_i M_p(u_i − m − nN)`.
+//! * **BI mode** (Eqs. 13–17): read the potential and force back,
+//!   `φ_i = Σ_m Φ_m M_p(u_i − m)` and
+//!   `F_i = −(q_i/h) Σ_m Φ_m M_p'(u_i − m)` per axis.
+//!
+//! Both use identical spline weights, which makes assignment and
+//! interpolation exact adjoints — the property that gives mesh Ewald
+//! methods their conservative (zero net self-force) structure.
+
+use crate::bspline::BSpline;
+use crate::grid::Grid3;
+use tme_num::vec3::V3;
+
+/// Spline-based particle↔grid operator for one periodic box + grid.
+#[derive(Clone, Debug)]
+pub struct SplineOps {
+    spline: BSpline,
+    n: [usize; 3],
+    box_l: V3,
+    h: V3,
+}
+
+/// Per-atom result of back interpolation.
+#[derive(Clone, Debug, Default)]
+pub struct Interpolated {
+    /// Electrostatic potential `φ_i` at each atom (Eq. 15).
+    pub potential: Vec<f64>,
+    /// Force `F_i = −q_i ∇φ(r_i)` on each atom (Eq. 16), *without* any
+    /// Coulomb-constant prefactor (the caller applies units).
+    pub force: Vec<V3>,
+}
+
+impl SplineOps {
+    /// `p`-order operator on an `n`-point grid over box lengths `box_l` (nm).
+    pub fn new(p: usize, n: [usize; 3], box_l: V3) -> Self {
+        assert!(box_l.iter().all(|&l| l > 0.0));
+        let h = [
+            box_l[0] / n[0] as f64,
+            box_l[1] / n[1] as f64,
+            box_l[2] / n[2] as f64,
+        ];
+        Self { spline: BSpline::new(p), n, box_l, h }
+    }
+
+    pub fn order(&self) -> usize {
+        self.spline.order()
+    }
+
+    pub fn dims(&self) -> [usize; 3] {
+        self.n
+    }
+
+    pub fn spacing(&self) -> V3 {
+        self.h
+    }
+
+    pub fn box_lengths(&self) -> V3 {
+        self.box_l
+    }
+
+    /// Normalised grid coordinate `u = r/h` per axis.
+    #[inline]
+    fn normalised(&self, r: V3) -> V3 {
+        [r[0] / self.h[0], r[1] / self.h[1], r[2] / self.h[2]]
+    }
+
+    /// Charge assignment (Eq. 12): returns the grid of charges `Q_m`.
+    pub fn assign(&self, pos: &[V3], q: &[f64]) -> Grid3 {
+        let mut grid = Grid3::zeros(self.n);
+        self.assign_into(pos, q, &mut grid);
+        grid
+    }
+
+    /// Charge assignment accumulating into an existing grid (the GM
+    /// accumulate-on-write pattern: distributed partial sums just add).
+    pub fn assign_into(&self, pos: &[V3], q: &[f64], grid: &mut Grid3) {
+        assert_eq!(pos.len(), q.len());
+        assert_eq!(grid.dims(), self.n);
+        let p = self.spline.order();
+        for (r, &qi) in pos.iter().zip(q) {
+            let u = self.normalised(*r);
+            let (mx, wx, _) = self.spline.weights(u[0]);
+            let (my, wy, _) = self.spline.weights(u[1]);
+            let (mz, wz, _) = self.spline.weights(u[2]);
+            for (ix, &wxv) in wx.iter().enumerate().take(p) {
+                let qx = qi * wxv;
+                for (iy, &wyv) in wy.iter().enumerate().take(p) {
+                    let qxy = qx * wyv;
+                    for (iz, &wzv) in wz.iter().enumerate().take(p) {
+                        grid.add(
+                            [mx + ix as i64, my + iy as i64, mz + iz as i64],
+                            qxy * wzv,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Interpolate the potential `φ(r)` from a grid potential (Eq. 13).
+    pub fn potential_at(&self, phi: &Grid3, r: V3) -> f64 {
+        let u = self.normalised(r);
+        let (mx, wx, _) = self.spline.weights(u[0]);
+        let (my, wy, _) = self.spline.weights(u[1]);
+        let (mz, wz, _) = self.spline.weights(u[2]);
+        let mut acc = 0.0;
+        for (ix, &wxv) in wx.iter().enumerate() {
+            for (iy, &wyv) in wy.iter().enumerate() {
+                let wxy = wxv * wyv;
+                for (iz, &wzv) in wz.iter().enumerate() {
+                    acc += wxy
+                        * wzv
+                        * phi.get([mx + ix as i64, my + iy as i64, mz + iz as i64]);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Back interpolation (BI mode): per-atom potential and force from the
+    /// grid potential `Φ` (Eqs. 15–17).
+    pub fn interpolate(&self, phi: &Grid3, pos: &[V3], q: &[f64]) -> Interpolated {
+        assert_eq!(pos.len(), q.len());
+        assert_eq!(phi.dims(), self.n);
+        let mut out = Interpolated {
+            potential: vec![0.0; pos.len()],
+            force: vec![[0.0; 3]; pos.len()],
+        };
+        for (i, (r, &qi)) in pos.iter().zip(q).enumerate() {
+            let u = self.normalised(*r);
+            let (mx, wx, dwx) = self.spline.weights(u[0]);
+            let (my, wy, dwy) = self.spline.weights(u[1]);
+            let (mz, wz, dwz) = self.spline.weights(u[2]);
+            let mut pot = 0.0;
+            let mut grad = [0.0f64; 3];
+            for ix in 0..wx.len() {
+                for iy in 0..wy.len() {
+                    for iz in 0..wz.len() {
+                        let v = phi.get([mx + ix as i64, my + iy as i64, mz + iz as i64]);
+                        pot += wx[ix] * wy[iy] * wz[iz] * v;
+                        grad[0] += dwx[ix] * wy[iy] * wz[iz] * v;
+                        grad[1] += wx[ix] * dwy[iy] * wz[iz] * v;
+                        grad[2] += wx[ix] * wy[iy] * dwz[iz] * v;
+                    }
+                }
+            }
+            out.potential[i] = pot;
+            // F = −q ∇φ; ∇ in real space divides by the grid spacing.
+            out.force[i] = [
+                -qi * grad[0] / self.h[0],
+                -qi * grad[1] / self.h[1],
+                -qi * grad[2] / self.h[2],
+            ];
+        }
+        out
+    }
+
+    /// Mesh energy `E = ½ Σ_i q_i φ_i` (Eq. 14), given per-atom potentials.
+    pub fn energy(q: &[f64], potential: &[f64]) -> f64 {
+        0.5 * q.iter().zip(potential).map(|(a, b)| a * b).sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops() -> SplineOps {
+        SplineOps::new(6, [8, 8, 8], [4.0, 4.0, 4.0])
+    }
+
+    #[test]
+    fn assignment_conserves_total_charge() {
+        let o = ops();
+        let pos = vec![[0.1, 3.9, 2.0], [1.77, 0.02, 3.3], [2.5, 2.5, 2.5]];
+        let q = vec![1.0, -0.5, 0.25];
+        let grid = o.assign(&pos, &q);
+        assert!((grid.sum() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assignment_is_periodic() {
+        let o = ops();
+        let a = o.assign(&[[0.05, 2.0, 2.0]], &[1.0]);
+        let b = o.assign(&[[0.05 + 4.0, 2.0, 2.0]], &[1.0]);
+        for ((_, va), (_, vb)) in a.iter().zip(b.iter()) {
+            assert!((va - vb).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_grid_interpolates_to_constant_with_zero_force() {
+        let o = ops();
+        let mut phi = Grid3::zeros([8, 8, 8]);
+        phi.fill(2.5);
+        let pos = vec![[0.33, 1.9, 3.7], [2.0, 2.0, 2.0]];
+        let q = vec![1.0, -1.0];
+        let out = o.interpolate(&phi, &pos, &q);
+        for &p in &out.potential {
+            assert!((p - 2.5).abs() < 1e-12);
+        }
+        for f in &out.force {
+            assert!(f.iter().all(|c| c.abs() < 1e-10), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn assignment_and_interpolation_are_adjoint() {
+        // ⟨assign(q, r), Φ⟩ = q · interp(Φ, r) for any grid Φ.
+        let o = ops();
+        let r = [1.234, 0.567, 3.891];
+        let q = 0.8;
+        let grid = o.assign(&[r], &[q]);
+        let mut phi = Grid3::zeros([8, 8, 8]);
+        for (i, v) in phi.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i * 37 % 101) as f64 - 50.0) * 0.013;
+        }
+        let lhs = grid.dot(&phi);
+        let rhs = q * o.potential_at(&phi, r);
+        assert!((lhs - rhs).abs() < 1e-11, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn force_matches_numerical_gradient() {
+        let o = ops();
+        let mut phi = Grid3::zeros([8, 8, 8]);
+        for (i, v) in phi.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i as f64) * 0.7).sin();
+        }
+        let r = [1.3, 2.21, 0.77];
+        let q = 1.5;
+        let out = o.interpolate(&phi, &[r], &[q]);
+        let h = 1e-6;
+        for axis in 0..3 {
+            let mut rp = r;
+            let mut rm = r;
+            rp[axis] += h;
+            rm[axis] -= h;
+            let grad = (o.potential_at(&phi, rp) - o.potential_at(&phi, rm)) / (2.0 * h);
+            let want = -q * grad;
+            assert!(
+                (out.force[0][axis] - want).abs() < 1e-6 * (1.0 + want.abs()),
+                "axis {axis}: {} vs {want}",
+                out.force[0][axis]
+            );
+        }
+    }
+
+    #[test]
+    fn point_charge_spreads_to_p_cubed_points() {
+        let o = ops();
+        let grid = o.assign(&[[1.26, 1.26, 1.26]], &[1.0]);
+        let nonzero = grid.as_slice().iter().filter(|v| v.abs() > 1e-300).count();
+        assert_eq!(nonzero, 6 * 6 * 6);
+    }
+
+    #[test]
+    fn energy_helper() {
+        let e = SplineOps::energy(&[1.0, 2.0], &[3.0, -1.0]);
+        assert_eq!(e, 0.5);
+    }
+
+    #[test]
+    fn anisotropic_box_uses_per_axis_spacing() {
+        let o = SplineOps::new(4, [4, 8, 16], [2.0, 2.0, 2.0]);
+        assert_eq!(o.spacing(), [0.5, 0.25, 0.125]);
+        let grid = o.assign(&[[1.0, 1.0, 1.0]], &[2.0]);
+        assert!((grid.sum() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,20 @@
+//! Periodic 3-D grids, cardinal B-splines, and the particle↔grid operations
+//! (charge assignment / back interpolation) shared by SPME, B-spline MSM and
+//! the TME (paper §III.A and §IV.A).
+//!
+//! On MDGRAPE-4A these operations are performed by the LRU hardware unit;
+//! [`assign`] is the functional model of that unit, and its fixed-point
+//! variant mirrors the LRU's 24-bit-fraction polynomial datapath.
+
+pub mod assign;
+pub mod bspline;
+pub mod dense;
+pub mod greens;
+pub mod grid;
+pub mod model;
+pub mod pairwise;
+
+pub use assign::SplineOps;
+pub use bspline::BSpline;
+pub use grid::Grid3;
+pub use model::{CoulombResult, CoulombSystem};

@@ -1,0 +1,232 @@
+//! Short-range (real-space) part of the Ewald splitting:
+//! `g_{α,S}(r) = erfc(αr)/r`, paper Eq. 2.
+//!
+//! This is the piece every method in the paper shares — Ewald, SPME, MSM
+//! and TME all evaluate it by direct pair summation inside the cutoff
+//! `r_c` (on MDGRAPE-4A it runs on the 64 nonbond pipelines per SoC), so
+//! it lives in the shared mesh crate. The O(N²) minimum-image loop here is
+//! the *reference* implementation; the MD substrate has cell-list and
+//! Verlet-list versions for production stepping.
+
+use crate::model::{CoulombResult, CoulombSystem};
+use tme_num::special::{erf, erfc, TWO_OVER_SQRT_PI};
+use tme_num::vec3;
+
+/// Pair energy and the radial force factor for the erfc kernel:
+/// returns `(erfc(αr)/r, erfc(αr)/r³ + (2α/√π)·e^{−α²r²}/r²)` so the force
+/// is `q_i q_j · factor · r⃗`.
+#[inline]
+pub fn erfc_kernel(alpha: f64, r: f64) -> (f64, f64) {
+    let e = erfc(alpha * r) / r;
+    let gauss = TWO_OVER_SQRT_PI * alpha * (-alpha * alpha * r * r).exp();
+    (e, (e + gauss) / (r * r))
+}
+
+/// Pair energy/force factor for the *long-range complement* `erf(αr)/r` —
+/// used to subtract excluded intramolecular pairs from the mesh part
+/// (MD exclusion corrections) and to build middle-shell references.
+#[inline]
+pub fn erf_kernel(alpha: f64, r: f64) -> (f64, f64) {
+    let e = erf(alpha * r) / r;
+    let gauss = TWO_OVER_SQRT_PI * alpha * (-alpha * alpha * r * r).exp();
+    // d/dr[erf(αr)/r] = −erf/r² + 2α/√π e^{−α²r²}/r ⇒ radial factor:
+    (e, (e - gauss) / (r * r))
+}
+
+/// Direct O(N²) minimum-image short-range sum with cutoff `r_cut`.
+///
+/// Panics if `r_cut` exceeds half the smallest box edge (minimum image
+/// would miss periodic copies).
+pub fn short_range(system: &CoulombSystem, alpha: f64, r_cut: f64) -> CoulombResult {
+    let min_edge = system.box_l.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        r_cut <= min_edge / 2.0 + 1e-12,
+        "r_cut {r_cut} exceeds half the smallest box edge {min_edge}"
+    );
+    let n = system.len();
+    let mut out = CoulombResult::zeros(n);
+    let rc2 = r_cut * r_cut;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = vec3::min_image(system.pos[i], system.pos[j], system.box_l);
+            let r2 = vec3::norm_sqr(d);
+            if r2 >= rc2 || r2 == 0.0 {
+                continue;
+            }
+            let r = r2.sqrt();
+            let (pot, fr) = erfc_kernel(alpha, r);
+            let qq = system.q[i] * system.q[j];
+            out.energy += qq * pot;
+            out.potentials[i] += system.q[j] * pot;
+            out.potentials[j] += system.q[i] * pot;
+            let f = vec3::scale(d, qq * fr);
+            // Pair virial: W = Σ r_ij · F_ij.
+            out.virial += vec3::dot(d, f);
+            vec3::acc(&mut out.forces[i], f);
+            vec3::acc(&mut out.forces[j], vec3::scale(f, -1.0));
+        }
+    }
+    out
+}
+
+/// Subtract the `erf(αr)/r` interaction of explicitly excluded pairs
+/// (e.g. bonded atoms inside a rigid water) that the mesh part counted.
+pub fn exclusion_correction(
+    system: &CoulombSystem,
+    alpha: f64,
+    excluded_pairs: &[(usize, usize)],
+) -> CoulombResult {
+    let mut out = CoulombResult::zeros(system.len());
+    for &(i, j) in excluded_pairs {
+        let d = vec3::min_image(system.pos[i], system.pos[j], system.box_l);
+        let r = vec3::norm(d);
+        let (pot, fr) = erf_kernel(alpha, r);
+        let qq = system.q[i] * system.q[j];
+        // Negative sign: this *removes* a contribution the mesh added.
+        out.energy -= qq * pot;
+        out.potentials[i] -= system.q[j] * pot;
+        out.potentials[j] -= system.q[i] * pot;
+        let f = vec3::scale(d, -qq * fr);
+        out.virial += vec3::dot(d, f);
+        vec3::acc(&mut out.forces[i], f);
+        vec3::acc(&mut out.forces[j], vec3::scale(f, -1.0));
+    }
+    out
+}
+
+/// Ewald self-interaction term: energy `−(α/√π) Σ q²`, per-atom potential
+/// `−(2α/√π) q_i`, no force.
+pub fn self_term(system: &CoulombSystem, alpha: f64) -> CoulombResult {
+    let mut out = CoulombResult::zeros(system.len());
+    let c = TWO_OVER_SQRT_PI * alpha; // = 2α/√π
+    for (i, &q) in system.q.iter().enumerate() {
+        out.potentials[i] = -c * q;
+        out.energy -= 0.5 * c * q * q;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_complement_to_coulomb() {
+        // erfc/r + erf/r = 1/r, both in energy and radial force factor.
+        let alpha = 1.7;
+        for i in 1..40 {
+            let r = i as f64 * 0.1;
+            let (es, fs) = erfc_kernel(alpha, r);
+            let (el, fl) = erf_kernel(alpha, r);
+            assert!((es + el - 1.0 / r).abs() < 1e-13 / r, "r={r}");
+            assert!((fs + fl - 1.0 / (r * r * r)).abs() < 1e-13 / (r * r * r), "r={r}");
+        }
+    }
+
+    #[test]
+    fn kernel_force_is_minus_gradient() {
+        let alpha = 1.3;
+        let h = 1e-6;
+        for i in 2..30 {
+            let r = i as f64 * 0.13;
+            let (_, fr) = erfc_kernel(alpha, r);
+            let grad = (erfc_kernel(alpha, r + h).0 - erfc_kernel(alpha, r - h).0) / (2.0 * h);
+            // force factor · r = −d(pot)/dr
+            assert!((fr * r + grad).abs() < 1e-7, "r={r}");
+            let (_, fl) = erf_kernel(alpha, r);
+            let gradl = (erf_kernel(alpha, r + h).0 - erf_kernel(alpha, r - h).0) / (2.0 * h);
+            assert!((fl * r + gradl).abs() < 1e-7, "r={r}");
+        }
+    }
+
+    #[test]
+    fn two_charges_short_range() {
+        let s = CoulombSystem::new(
+            vec![[1.0, 1.0, 1.0], [1.6, 1.0, 1.0]],
+            vec![1.0, -1.0],
+            [4.0, 4.0, 4.0],
+        );
+        let alpha = 2.0;
+        let out = short_range(&s, alpha, 2.0);
+        let r: f64 = 0.6;
+        let want = -erfc(alpha * r) / r;
+        assert!((out.energy - want).abs() < 1e-14);
+        // Opposite charges attract: force on atom 0 points toward atom 1 (+x).
+        assert!(out.forces[0][0] > 0.0);
+        assert!((out.forces[0][0] + out.forces[1][0]).abs() < 1e-14);
+        // Energy equals ½Σqφ.
+        let e2 = 0.5 * (s.q[0] * out.potentials[0] + s.q[1] * out.potentials[1]);
+        assert!((out.energy - e2).abs() < 1e-14);
+    }
+
+    #[test]
+    fn cutoff_respected() {
+        let s = CoulombSystem::new(
+            vec![[0.0; 3], [1.5, 0.0, 0.0]],
+            vec![1.0, 1.0],
+            [4.0, 4.0, 4.0],
+        );
+        let out = short_range(&s, 1.0, 1.0);
+        assert_eq!(out.energy, 0.0);
+        assert_eq!(out.forces[0], [0.0; 3]);
+    }
+
+    #[test]
+    fn minimum_image_pairs_found_across_boundary() {
+        let s = CoulombSystem::new(
+            vec![[0.1, 0.0, 0.0], [3.9, 0.0, 0.0]],
+            vec![1.0, 1.0],
+            [4.0, 4.0, 4.0],
+        );
+        let out = short_range(&s, 2.0, 1.0);
+        let r: f64 = 0.2;
+        let want = erfc(2.0 * r) / r;
+        assert!((out.energy - want).abs() < 1e-13);
+        // Repulsive across the boundary: atom 1's nearest image sits at
+        // x = −0.1, so atom 0 is pushed in +x.
+        assert!(out.forces[0][0] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds half")]
+    fn oversized_cutoff_rejected() {
+        let s = CoulombSystem::new(vec![[0.0; 3]], vec![1.0], [2.0, 2.0, 2.0]);
+        let _ = short_range(&s, 1.0, 1.5);
+    }
+
+    #[test]
+    fn self_term_matches_formula() {
+        let s = CoulombSystem::new(
+            vec![[0.0; 3], [1.0; 3]],
+            vec![0.5, -1.5],
+            [3.0, 3.0, 3.0],
+        );
+        let alpha = 1.1;
+        let out = self_term(&s, alpha);
+        let want = -alpha / tme_num::special::SQRT_PI * (0.25 + 2.25);
+        assert!((out.energy - want).abs() < 1e-14);
+        // E = ½ Σ qφ holds for the self term too.
+        let e2 = 0.5 * (0.5 * out.potentials[0] - 1.5 * out.potentials[1]);
+        assert!((out.energy - e2).abs() < 1e-14);
+    }
+
+    #[test]
+    fn exclusion_correction_cancels_mesh_pair() {
+        // For one excluded pair, short_range + correction should equal
+        // short_range alone minus the full 1/r minus ... i.e. the corrected
+        // total of (erfc + erf) is the bare Coulomb pair, so
+        // erfc_pair + (−erf_pair) = pair − full erf: check the identity
+        // correction = −erf part directly.
+        let s = CoulombSystem::new(
+            vec![[1.0, 1.0, 1.0], [1.3, 1.0, 1.0]],
+            vec![0.4, -0.8],
+            [4.0; 3],
+        );
+        let alpha = 2.2;
+        let corr = exclusion_correction(&s, alpha, &[(0, 1)]);
+        let r: f64 = 0.3;
+        let (pot, _) = erf_kernel(alpha, r);
+        let want = -s.q[0] * s.q[1] * pot;
+        assert!((corr.energy - want).abs() < 1e-14);
+    }
+}

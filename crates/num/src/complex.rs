@@ -1,0 +1,178 @@
+//! Minimal complex arithmetic for the FFT and SPME reciprocal-space code.
+//!
+//! Only what the library needs: no external dependency, `f64` and `f32`
+//! variants (the `f32` one mirrors the single-precision FPGA datapath of the
+//! top-level convolution, §IV.C of the paper).
+
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Double-precision complex number.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex64 {
+    pub re: f64,
+    pub im: f64,
+}
+
+/// Single-precision complex number (FPGA datapath emulation).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex32 {
+    pub re: f32,
+    pub im: f32,
+}
+
+macro_rules! impl_complex {
+    ($name:ident, $t:ty) => {
+        impl $name {
+            pub const ZERO: Self = Self { re: 0.0, im: 0.0 };
+            pub const ONE: Self = Self { re: 1.0, im: 0.0 };
+
+            #[inline]
+            pub const fn new(re: $t, im: $t) -> Self {
+                Self { re, im }
+            }
+
+            /// `e^{iθ} = cos θ + i sin θ`.
+            #[inline]
+            pub fn cis(theta: $t) -> Self {
+                Self { re: theta.cos(), im: theta.sin() }
+            }
+
+            #[inline]
+            pub fn conj(self) -> Self {
+                Self { re: self.re, im: -self.im }
+            }
+
+            /// Squared modulus `|z|²`.
+            #[inline]
+            pub fn norm_sqr(self) -> $t {
+                self.re * self.re + self.im * self.im
+            }
+
+            #[inline]
+            pub fn abs(self) -> $t {
+                self.norm_sqr().sqrt()
+            }
+
+            /// Multiply by the imaginary unit: `i·z = (−im, re)`.
+            #[inline]
+            pub fn mul_i(self) -> Self {
+                Self { re: -self.im, im: self.re }
+            }
+
+            /// Scale by a real factor.
+            #[inline]
+            pub fn scale(self, s: $t) -> Self {
+                Self { re: self.re * s, im: self.im * s }
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, o: Self) -> Self {
+                Self { re: self.re + o.re, im: self.im + o.im }
+            }
+        }
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, o: Self) -> Self {
+                Self { re: self.re - o.re, im: self.im - o.im }
+            }
+        }
+        impl Mul for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, o: Self) -> Self {
+                Self {
+                    re: self.re * o.re - self.im * o.im,
+                    im: self.re * o.im + self.im * o.re,
+                }
+            }
+        }
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self { re: -self.re, im: -self.im }
+            }
+        }
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, o: Self) {
+                *self = *self + o;
+            }
+        }
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, o: Self) {
+                *self = *self - o;
+            }
+        }
+        impl MulAssign for $name {
+            #[inline]
+            fn mul_assign(&mut self, o: Self) {
+                *self = *self * o;
+            }
+        }
+    };
+}
+
+impl_complex!(Complex64, f64);
+impl_complex!(Complex32, f32);
+
+impl Complex64 {
+    /// Lossy narrowing to the single-precision FPGA representation.
+    #[inline]
+    pub fn to_c32(self) -> Complex32 {
+        Complex32 { re: self.re as f32, im: self.im as f32 }
+    }
+}
+
+impl Complex32 {
+    /// Widening back to double precision.
+    #[inline]
+    pub fn to_c64(self) -> Complex64 {
+        Complex64 { re: self.re as f64, im: self.im as f64 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_spotcheck() {
+        let a = Complex64::new(1.5, -2.0);
+        let b = Complex64::new(-0.25, 3.0);
+        let c = Complex64::new(4.0, 0.5);
+        let lhs = a * (b + c);
+        let rhs = a * b + a * c;
+        assert!((lhs - rhs).abs() < 1e-14);
+        assert_eq!(a * Complex64::ONE, a);
+        assert_eq!(a + Complex64::ZERO, a);
+    }
+
+    #[test]
+    fn cis_lies_on_unit_circle() {
+        for k in 0..64 {
+            let z = Complex64::cis(k as f64 * 0.1);
+            assert!((z.abs() - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn mul_i_matches_multiplication() {
+        let a = Complex64::new(3.0, -4.0);
+        let i = Complex64::new(0.0, 1.0);
+        assert_eq!(a.mul_i(), a * i);
+    }
+
+    #[test]
+    fn conj_product_is_norm() {
+        let a = Complex64::new(2.0, 7.0);
+        let p = a * a.conj();
+        assert!((p.re - a.norm_sqr()).abs() < 1e-13);
+        assert!(p.im.abs() < 1e-13);
+    }
+}

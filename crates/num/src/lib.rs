@@ -1,0 +1,26 @@
+//! Self-contained numerics for the TME reproduction.
+//!
+//! The paper's algorithm needs four numerical substrates that we implement
+//! from scratch (the Rust MD/FFT ecosystem is thin and the point of this
+//! repository is to be self-contained):
+//!
+//! * [`special`] — `erf`/`erfc` to near machine precision, used by the Ewald
+//!   splitting (Eqs. 1–3 of the paper) and by the reference Ewald summation.
+//! * [`quadrature`] — Gauss–Legendre nodes and weights, used to build the
+//!   M-Gaussian approximation of the middle-range shells (Eqs. 6–7).
+//! * [`fft`] — complex power-of-two FFTs (radix-2 for general sizes, a
+//!   dedicated radix-4 16-point kernel mirroring the FPGA "CFFT16" unit) and
+//!   3-D transforms, used by SPME and by the TME top-level convolution.
+//! * [`fixed`] — Q-format fixed-point arithmetic mirroring the LRU/GCU
+//!   hardware datapaths (24-bit-fraction polynomial path, 32-bit grid
+//!   accumulation with a tunable binary point).
+
+pub mod complex;
+pub mod fft;
+pub mod fixed;
+pub mod quadrature;
+pub mod special;
+pub mod vec3;
+
+pub use complex::Complex64;
+pub use fft::{Fft, Fft3, RealFft, RealFft3};

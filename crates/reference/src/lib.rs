@@ -1,0 +1,26 @@
+//! Reference and baseline electrostatics solvers.
+//!
+//! Everything the paper compares the TME against, or uses to measure it:
+//!
+//! * [`ewald`] — classical direct Ewald summation (real-space pair sum +
+//!   exact reciprocal-space lattice sum). This is the *reference* method
+//!   the paper uses to compute `F_i^ref` for Table 1 (run in double
+//!   precision with tolerances below 1e-15).
+//! * [`pairwise`] — the short-range `erfc(αr)/r` pair part shared by Ewald,
+//!   SPME and TME.
+//! * [`spme`] — the smooth particle-mesh Ewald method (Essmann et al.),
+//!   the baseline whose accuracy Table 1 compares the TME to and whose
+//!   top-level form the TME reuses on the coarsest grid.
+//! * [`msm`] — a B-spline-MSM-style *direct* range-limited 3-D grid
+//!   convolution, the comparator for the §III.C computational/communication
+//!   cost analysis (TME replaces this with separable 1-D convolutions).
+//!
+//! All solvers work in reduced Gaussian units (see `tme_mesh::model`).
+
+pub mod ewald;
+pub mod msm;
+pub mod pairwise;
+pub mod spme;
+
+pub use ewald::{Ewald, EwaldParams};
+pub use spme::Spme;

@@ -1,0 +1,5 @@
+//! Re-export of the shared short-range pair terms (see
+//! [`tme_mesh::pairwise`]); kept here so the baseline crate's public API
+//! stays self-contained.
+
+pub use tme_mesh::pairwise::*;

@@ -1,0 +1,179 @@
+//! Smooth particle-mesh Ewald (SPME), Essmann et al. 1995.
+//!
+//! The baseline method of the paper (Fig. 2(b)): the long-range potential
+//! is obtained by (i) charge assignment, (ii) 3-D FFT, (iii) multiplication
+//! by the lattice Green function, (iv) inverse 3-D FFT, then back
+//! interpolation for per-atom potentials and forces.
+//!
+//! The TME's *top level* is exactly this procedure with `α → α/2^L` on the
+//! `N/2^L` grid, so this module is reused by `tme-core`.
+
+use crate::pairwise;
+use tme_mesh::greens;
+use tme_mesh::model::{CoulombResult, CoulombSystem};
+use tme_mesh::{Grid3, SplineOps};
+use tme_num::fft::RealFft3;
+
+/// An SPME solver bound to one box/grid/α/spline-order combination.
+#[derive(Clone, Debug)]
+pub struct Spme {
+    ops: SplineOps,
+    influence: Grid3,
+    fft: RealFft3,
+    alpha: f64,
+    r_cut: f64,
+}
+
+impl Spme {
+    /// Grid dims `n` must be powers of two (our FFT); `p` even.
+    pub fn new(n: [usize; 3], box_l: [f64; 3], alpha: f64, p: usize, r_cut: f64) -> Self {
+        let ops = SplineOps::new(p, n, box_l);
+        let influence = greens::influence(n, box_l, alpha, p);
+        let fft = RealFft3::new(n[0], n[1], n[2]);
+        Self { ops, influence, fft, alpha, r_cut }
+    }
+
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    pub fn r_cut(&self) -> f64 {
+        self.r_cut
+    }
+
+    pub fn grid_dims(&self) -> [usize; 3] {
+        self.ops.dims()
+    }
+
+    /// The reciprocal (mesh) part: assignment → FFT → Green function →
+    /// IFFT → back interpolation. Includes the grid's periodic self-images,
+    /// so the full sum still needs [`pairwise::self_term`].
+    pub fn reciprocal(&self, system: &CoulombSystem) -> CoulombResult {
+        let grid_charge = self.ops.assign(&system.pos, &system.q);
+        let phi = self.solve_potential(&grid_charge);
+        let interp = self.ops.interpolate(&phi, &system.pos, &system.q);
+        CoulombResult {
+            energy: SplineOps::energy(&system.q, &interp.potential),
+            forces: interp.force,
+            potentials: interp.potential,
+            virial: 0.0, // mesh virial not tracked (see CoulombResult docs)
+        }
+    }
+
+    /// Grid-charge → grid-potential convolution (steps ii–iv).
+    pub fn solve_potential(&self, grid_charge: &Grid3) -> Grid3 {
+        greens::apply_influence(&self.fft, &self.influence, grid_charge)
+    }
+
+    /// Full Coulomb sum: short-range pairs + mesh + self term.
+    pub fn compute(&self, system: &CoulombSystem) -> CoulombResult {
+        let mut out = pairwise::short_range(system, self.alpha, self.r_cut);
+        out.accumulate(&self.reciprocal(system));
+        out.accumulate(&pairwise::self_term(system, self.alpha));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ewald::{Ewald, EwaldParams};
+    use tme_mesh::model::relative_force_error;
+
+    fn random_neutral_system(n_pairs: usize, box_l: f64, seed: u64) -> CoulombSystem {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut pos = Vec::new();
+        let mut q = Vec::new();
+        for _ in 0..n_pairs {
+            pos.push([next() * box_l, next() * box_l, next() * box_l]);
+            q.push(1.0);
+            pos.push([next() * box_l, next() * box_l, next() * box_l]);
+            q.push(-1.0);
+        }
+        CoulombSystem::new(pos, q, [box_l; 3])
+    }
+
+    /// The central validation: SPME converges to the exact Ewald sum.
+    #[test]
+    fn matches_direct_ewald() {
+        let box_l = 4.0;
+        let sys = random_neutral_system(60, box_l, 2024);
+        let r_cut = 1.2;
+        let alpha = EwaldParams::alpha_from_tolerance(r_cut, 1e-5);
+        let reference = Ewald::new(EwaldParams::reference_quality([box_l; 3], 1e-14));
+        let want = reference.compute(&sys);
+        let spme = Spme::new([32; 3], [box_l; 3], alpha, 6, r_cut);
+        let got = spme.compute(&sys);
+        let err = relative_force_error(&got.forces, &want.forces);
+        assert!(err < 2e-4, "relative force error {err:e}");
+        let erel = ((got.energy - want.energy) / want.energy).abs();
+        assert!(erel < 1e-4, "energy error {erel:e}");
+    }
+
+    #[test]
+    fn mesh_energy_consistent_between_grid_and_atoms() {
+        // ½ Σ_m Q_m Φ_m == ½ Σ_i q_i φ_i by exact adjointness.
+        let sys = random_neutral_system(20, 3.0, 5);
+        let spme = Spme::new([16; 3], [3.0; 3], 2.0, 6, 1.4);
+        let q_grid = spme.ops.assign(&sys.pos, &sys.q);
+        let phi = spme.solve_potential(&q_grid);
+        let e_grid = 0.5 * q_grid.dot(&phi);
+        let rec = spme.reciprocal(&sys);
+        assert!(
+            (e_grid - rec.energy).abs() < 1e-10 * e_grid.abs().max(1.0),
+            "{e_grid} vs {}",
+            rec.energy
+        );
+    }
+
+    #[test]
+    fn finer_grid_reduces_error() {
+        let box_l = 3.2;
+        let sys = random_neutral_system(40, box_l, 77);
+        let r_cut = 1.1;
+        let alpha = EwaldParams::alpha_from_tolerance(r_cut, 1e-5);
+        let want = Ewald::new(EwaldParams::reference_quality([box_l; 3], 1e-14)).compute(&sys);
+        let coarse = Spme::new([16; 3], [box_l; 3], alpha, 6, r_cut).compute(&sys);
+        let fine = Spme::new([32; 3], [box_l; 3], alpha, 6, r_cut).compute(&sys);
+        let e_coarse = relative_force_error(&coarse.forces, &want.forces);
+        let e_fine = relative_force_error(&fine.forces, &want.forces);
+        assert!(e_fine < e_coarse, "fine {e_fine:e} !< coarse {e_coarse:e}");
+    }
+
+    #[test]
+    fn reciprocal_forces_sum_to_zero() {
+        let sys = random_neutral_system(15, 2.0, 8);
+        let rec = Spme::new([16; 3], [2.0; 3], 2.0, 6, 0.9).reciprocal(&sys);
+        let mut tot = [0.0f64; 3];
+        let mut mag = 0.0f64;
+        for f in &rec.forces {
+            for a in 0..3 {
+                tot[a] += f[a];
+            }
+            mag += (f[0] * f[0] + f[1] * f[1] + f[2] * f[2]).sqrt();
+        }
+        // SPME mesh forces conserve momentum only up to interpolation
+        // noise (a known property); require the net force to be small
+        // relative to the total force magnitude.
+        let net = (tot[0] * tot[0] + tot[1] * tot[1] + tot[2] * tot[2]).sqrt();
+        assert!(net < 1e-3 * mag, "net {net:e} vs Σ|F| {mag:e}");
+    }
+
+    #[test]
+    fn higher_order_spline_is_more_accurate() {
+        let box_l = 3.0;
+        let sys = random_neutral_system(40, box_l, 31);
+        let r_cut = 1.0;
+        let alpha = EwaldParams::alpha_from_tolerance(r_cut, 1e-5);
+        let want = Ewald::new(EwaldParams::reference_quality([box_l; 3], 1e-14)).compute(&sys);
+        let p4 = Spme::new([16; 3], [box_l; 3], alpha, 4, r_cut).compute(&sys);
+        let p6 = Spme::new([16; 3], [box_l; 3], alpha, 6, r_cut).compute(&sys);
+        let e4 = relative_force_error(&p4.forces, &want.forces);
+        let e6 = relative_force_error(&p6.forces, &want.forces);
+        assert!(e6 < e4, "p6 {e6:e} !< p4 {e4:e}");
+    }
+}

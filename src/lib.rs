@@ -1,0 +1,18 @@
+//! Facade crate for the MDGRAPE-4A / TME reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! downstream users can depend on a single package:
+//!
+//! * [`num`] — special functions, quadrature, FFTs, fixed point
+//! * [`mesh`] — periodic grids, B-splines, charge assignment / interpolation
+//! * [`tme`] — the tensor-structured multilevel Ewald method itself
+//! * `reference` — Ewald summation, SPME and B-spline MSM baselines
+//! * [`md`] — the molecular-dynamics substrate (TIP3P water, NVE, SETTLE)
+//! * [`machine`] — the discrete-event MDGRAPE-4A machine simulator
+
+pub use mdgrape_sim as machine;
+pub use tme_core as tme;
+pub use tme_md as md;
+pub use tme_mesh as mesh;
+pub use tme_num as num;
+pub use tme_reference as reference;

@@ -1,0 +1,114 @@
+//! Degenerate-input robustness: empty systems, single atoms, zero
+//! charges, extreme parameters — the paths a downstream user will hit
+//! first when wiring the library up wrong.
+
+use mdgrape4a_tme::machine::{simulate_step, MachineConfig, StepWorkload};
+use mdgrape4a_tme::mesh::CoulombSystem;
+use mdgrape4a_tme::reference::ewald::{Ewald, EwaldParams};
+use mdgrape4a_tme::reference::Spme;
+use mdgrape4a_tme::tme::{alpha_from_rtol, Tme, TmeParams};
+
+fn params() -> TmeParams {
+    TmeParams {
+        n: [16; 3],
+        p: 6,
+        levels: 1,
+        gc: 8,
+        m_gaussians: 4,
+        alpha: alpha_from_rtol(1.0, 1e-4),
+        r_cut: 1.0,
+    }
+}
+
+#[test]
+fn empty_system_returns_zeros_everywhere() {
+    let sys = CoulombSystem::new(vec![], vec![], [4.0; 3]);
+    let tme = Tme::new(params(), [4.0; 3]).compute(&sys);
+    assert_eq!(tme.energy, 0.0);
+    assert!(tme.forces.is_empty());
+    let spme = Spme::new([16; 3], [4.0; 3], 2.75, 6, 1.0).compute(&sys);
+    assert_eq!(spme.energy, 0.0);
+    let ew = Ewald::new(EwaldParams { alpha: 2.0, r_cut: 1.5, n_cut: 6 }).compute(&sys);
+    assert_eq!(ew.energy, 0.0);
+}
+
+#[test]
+fn single_atom_sees_only_self_terms() {
+    // One charge: no pair interactions; total = self + mesh self-image
+    // terms; force ~0 by symmetry of its own periodic images.
+    let sys = CoulombSystem::new(vec![[2.0; 3]], vec![1.0], [4.0; 3]);
+    let out = Tme::new(params(), [4.0; 3]).compute(&sys);
+    let f = out.forces[0];
+    assert!(f.iter().all(|c| c.abs() < 1e-6), "{f:?}");
+    // Madelung-like self energy of a periodic unit charge with background
+    // is negative and finite.
+    assert!(out.energy.is_finite() && out.energy < 0.0, "{}", out.energy);
+}
+
+#[test]
+fn zero_charges_are_exactly_neutral() {
+    let sys = CoulombSystem::new(
+        vec![[1.0; 3], [2.0; 3], [3.0, 1.0, 2.0]],
+        vec![0.0, 0.0, 0.0],
+        [4.0; 3],
+    );
+    let out = Tme::new(params(), [4.0; 3]).compute(&sys);
+    assert_eq!(out.energy, 0.0);
+    for f in &out.forces {
+        assert_eq!(*f, [0.0; 3]);
+    }
+}
+
+#[test]
+fn coincident_charges_do_not_crash_mesh() {
+    // Two charges at the same point: the pair loop skips r² = 0; the mesh
+    // handles them as a doubled charge.
+    let sys = CoulombSystem::new(vec![[2.0; 3], [2.0; 3]], vec![0.5, 0.5], [4.0; 3]);
+    let out = Tme::new(params(), [4.0; 3]).compute(&sys);
+    assert!(out.energy.is_finite());
+}
+
+#[test]
+fn machine_simulator_degenerate_workloads() {
+    let cfg = MachineConfig::mdgrape4a();
+    // One atom in the whole machine.
+    let mut w = StepWorkload::paper_fig9();
+    w.n_atoms = 1;
+    let r = simulate_step(&cfg, &w);
+    assert!(r.total_us.is_finite() && r.total_us > 0.0);
+    // Zero imbalance.
+    let mut w2 = StepWorkload::paper_fig9();
+    w2.imbalance = 0.0;
+    assert!(simulate_step(&cfg, &w2).total_us > 0.0);
+    // No long range at all.
+    let mut w3 = StepWorkload::paper_fig9();
+    w3.long_range = false;
+    let r3 = simulate_step(&cfg, &w3);
+    assert!(r3.long_range_span.is_none());
+    assert_eq!(r3.long_range_us(), 0.0);
+}
+
+#[test]
+fn extreme_alpha_values_stay_finite() {
+    let sys = CoulombSystem::new(
+        vec![[1.0; 3], [3.0; 3]],
+        vec![1.0, -1.0],
+        [4.0; 3],
+    );
+    for alpha in [0.1, 10.0] {
+        let p = TmeParams { alpha, ..params() };
+        let out = Tme::new(p, [4.0; 3]).compute(&sys);
+        assert!(out.energy.is_finite(), "alpha={alpha}");
+        assert!(out.forces.iter().all(|f| f.iter().all(|c| c.is_finite())));
+    }
+}
+
+#[test]
+fn tiny_and_large_gaussian_counts() {
+    let sys = CoulombSystem::new(vec![[1.0; 3], [2.5; 3]], vec![1.0, -1.0], [4.0; 3]);
+    for m in [1usize, 12] {
+        let p = TmeParams { m_gaussians: m, ..params() };
+        let out = Tme::new(p, [4.0; 3]).compute(&sys);
+        assert!(out.energy.is_finite(), "M={m}");
+    }
+}

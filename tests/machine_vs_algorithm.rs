@@ -1,0 +1,101 @@
+//! Consistency between the machine simulator's workload accounting and
+//! the actual algorithm implementation: the simulated GCU does exactly
+//! the work the real separable convolution performs.
+
+use mdgrape4a_tme::machine::{simulate_step, MachineConfig, StepWorkload};
+use mdgrape4a_tme::md::water::water_box;
+use mdgrape4a_tme::reference::msm::separable_op_count;
+use mdgrape4a_tme::tme::{Tme, TmeParams};
+
+/// The algorithm's measured multiply-add count equals the §III.C formula
+/// the simulator's GCU model is built on.
+#[test]
+fn algorithm_stats_match_cost_formula() {
+    let sys = water_box(343, 3).coulomb_system();
+    // g_c = 6 keeps 2g_c+1 = 13 taps under the 16-point axes (no folding),
+    // matching the §III.C formula's assumption.
+    let params = TmeParams {
+        n: [16; 3],
+        p: 6,
+        levels: 1,
+        gc: 6,
+        m_gaussians: 4,
+        alpha: 2.75,
+        r_cut: 1.0,
+    };
+    let tme = Tme::new(params, sys.box_l);
+    let (_, stats) = tme.long_range(&sys);
+    let formula = separable_op_count(16 * 16 * 16, 6, 4);
+    assert_eq!(stats.convolution.madds, formula);
+    assert_eq!(stats.convolution.passes, 3 * 4);
+}
+
+/// L = 2 stats: level grids halve, op counts follow.
+#[test]
+fn two_level_stats_sum_over_levels() {
+    let sys = water_box(1000, 5).coulomb_system();
+    let params = TmeParams {
+        n: [32; 3],
+        p: 6,
+        levels: 2,
+        gc: 6,
+        m_gaussians: 4,
+        alpha: 2.75,
+        r_cut: 1.0,
+    };
+    let tme = Tme::new(params, sys.box_l);
+    let (_, stats) = tme.long_range(&sys);
+    let want = separable_op_count(32 * 32 * 32, 6, 4) + separable_op_count(16 * 16 * 16, 6, 4);
+    assert_eq!(stats.convolution.madds, want);
+    assert_eq!(stats.top_points, 8 * 8 * 8);
+}
+
+/// The simulated machine distributes exactly the algorithm's grid over
+/// its torus: per-node block count × nodes × block volume = grid points.
+#[test]
+fn simulator_grid_decomposition_is_exact() {
+    let cfg = MachineConfig::mdgrape4a();
+    for w in [StepWorkload::paper_fig9(), StepWorkload::paper_grid64()] {
+        let blocks = w.gcu_blocks_per_node(cfg.torus);
+        let total_points = blocks * 64 * cfg.node_count();
+        assert_eq!(total_points, w.grid * w.grid * w.grid, "grid {}", w.grid);
+    }
+}
+
+/// The simulated top level is the same 16³ FFT problem the algorithm
+/// produces after L restrictions.
+#[test]
+fn simulator_top_level_matches_algorithm() {
+    let w = StepWorkload::paper_fig9();
+    let top = w.grid >> w.levels;
+    assert_eq!(top, 16);
+    // And the algorithm's top grid for the same configuration:
+    let sys = water_box(1000, 7).coulomb_system();
+    let params = TmeParams {
+        n: [32; 3],
+        p: 6,
+        levels: 1,
+        gc: 8,
+        m_gaussians: 4,
+        alpha: 2.75,
+        r_cut: 1.0,
+    };
+    let (_, stats) = Tme::new(params, sys.box_l).long_range(&sys);
+    assert_eq!(stats.top_points, (top * top * top) as u64);
+}
+
+/// End-to-end sanity of the headline claims through the facade:
+/// ~206 µs step, ~5% long-range overhead, 16³ top level in < 20 µs.
+#[test]
+fn headline_numbers_hold() {
+    let cfg = MachineConfig::mdgrape4a();
+    let with = simulate_step(&cfg, &StepWorkload::paper_fig9());
+    let mut w = StepWorkload::paper_fig9();
+    w.long_range = false;
+    let without = simulate_step(&cfg, &w);
+    assert!((with.total_us - 206.0).abs() < 15.0);
+    assert!((without.total_us - 196.0).abs() < 15.0);
+    let overhead = (with.total_us - without.total_us) / without.total_us;
+    assert!(overhead > 0.02 && overhead < 0.09);
+    assert!(with.phase("TMENW round trip").unwrap() < 20.0);
+}

@@ -1,0 +1,205 @@
+//! Property-based tests (proptest) on the core data structures and
+//! mathematical invariants of the TME stack.
+
+use proptest::prelude::*;
+use mdgrape4a_tme::mesh::bspline::BSpline;
+use mdgrape4a_tme::mesh::{Grid3, SplineOps};
+use mdgrape4a_tme::num::fft::Fft;
+use mdgrape4a_tme::num::fixed::Fix32;
+use mdgrape4a_tme::num::special::{erf, erfc};
+use mdgrape4a_tme::num::vec3;
+use mdgrape4a_tme::num::Complex64;
+use mdgrape4a_tme::num::quadrature::GaussLegendre;
+use mdgrape4a_tme::tme::convolve::{convolve_axis, convolve_axis_naive};
+use mdgrape4a_tme::tme::kernel::Kernel1D;
+use mdgrape4a_tme::tme::levels::LevelTransfer;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// erf/erfc complement and range for arbitrary finite inputs.
+    #[test]
+    fn erf_complement_and_bounds(x in -30.0f64..30.0) {
+        let e = erf(x);
+        let c = erfc(x);
+        prop_assert!((-1.0..=1.0).contains(&e));
+        prop_assert!((0.0..=2.0).contains(&c));
+        prop_assert!((e + c - 1.0).abs() < 1e-14);
+    }
+
+    /// FFT round trip restores arbitrary signals.
+    #[test]
+    fn fft_roundtrip(seed in 0u64..1000, log_n in 1u32..8) {
+        let n = 1usize << log_n;
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let x: Vec<Complex64> = (0..n).map(|_| Complex64::new(next(), next())).collect();
+        let plan = Fft::new(n);
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        plan.inverse(&mut y);
+        for (a, b) in y.iter().zip(&x) {
+            prop_assert!((*a - *b).abs() < 1e-11);
+        }
+    }
+
+    /// B-spline partition of unity at arbitrary particle positions.
+    #[test]
+    fn spline_partition_of_unity(u in -100.0f64..100.0, p_idx in 0usize..3) {
+        let p = [4usize, 6, 8][p_idx];
+        let (_, w, dw) = BSpline::new(p).weights(u);
+        let s: f64 = w.iter().sum();
+        let ds: f64 = dw.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-12);
+        prop_assert!(ds.abs() < 1e-12);
+    }
+
+    /// Charge assignment conserves total charge for arbitrary charges and
+    /// positions (inside or outside the box).
+    #[test]
+    fn assignment_conserves_charge(
+        xs in prop::collection::vec(-10.0f64..10.0, 3..30),
+        qs in prop::collection::vec(-2.0f64..2.0, 3..30),
+    ) {
+        let n = xs.len().min(qs.len()) / 3 * 3;
+        if n == 0 { return Ok(()); }
+        let pos: Vec<[f64; 3]> = xs[..n].chunks(3).map(|c| [c[0], c[1], c[2]]).collect();
+        let q = &qs[..pos.len()];
+        let ops = SplineOps::new(6, [8, 8, 8], [4.0, 4.0, 4.0]);
+        let grid = ops.assign(&pos, q);
+        let total: f64 = q.iter().sum();
+        prop_assert!((grid.sum() - total).abs() < 1e-9 * (1.0 + total.abs()));
+    }
+
+    /// Restriction/prolongation adjointness for random grids.
+    #[test]
+    fn transfer_adjointness(seed in 0u64..500) {
+        let mut state = seed.wrapping_add(7);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut a = Grid3::zeros([8, 8, 8]);
+        for v in a.as_mut_slice() { *v = next(); }
+        let mut b = Grid3::zeros([4, 4, 4]);
+        for v in b.as_mut_slice() { *v = next(); }
+        let t = LevelTransfer::new(6);
+        let lhs = t.restrict(&a).dot(&b);
+        let rhs = a.dot(&t.prolong(&b));
+        prop_assert!((lhs - rhs).abs() < 1e-10 * (1.0 + lhs.abs()));
+    }
+
+    /// Fixed-point round trip bounded by half an ULP; ordering preserved.
+    #[test]
+    fn fixed_point_quantisation(x in -60.0f64..60.0, y in -60.0f64..60.0) {
+        let fx = Fix32::<24>::from_f64(x);
+        let fy = Fix32::<24>::from_f64(y);
+        prop_assert!((fx.to_f64() - x).abs() <= 0.5 * Fix32::<24>::EPSILON);
+        if x + Fix32::<24>::EPSILON < y {
+            prop_assert!(fx < fy);
+        }
+    }
+
+    /// Minimum image is idempotent and within the half-box.
+    #[test]
+    fn min_image_bounds(
+        ax in -20.0f64..20.0, ay in -20.0f64..20.0, az in -20.0f64..20.0,
+        bx in -20.0f64..20.0, by in -20.0f64..20.0, bz in -20.0f64..20.0,
+    ) {
+        let l = [3.0, 4.0, 5.0];
+        let d = vec3::min_image([ax, ay, az], [bx, by, bz], l);
+        for j in 0..3 {
+            prop_assert!(d[j].abs() <= l[j] / 2.0 + 1e-9);
+        }
+    }
+
+    /// Grid periodic indexing: get after set through any alias.
+    #[test]
+    fn grid_periodic_aliasing(x in -50i64..50, y in -50i64..50, z in -50i64..50) {
+        let mut g = Grid3::zeros([4, 8, 16]);
+        g.set([x, y, z], 2.5);
+        prop_assert_eq!(g.get([x + 4, y - 8, z + 32]), 2.5);
+    }
+
+    /// The buffered axis convolution equals the naive reference for
+    /// arbitrary kernels, grids and axes (the GCU's functional model).
+    #[test]
+    fn axis_convolution_equivalence(
+        seed in 0u64..200,
+        gc in 1usize..5,
+        axis in 0usize..3,
+    ) {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(3);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let taps: Vec<f64> = (0..2 * gc + 1).map(|_| next()).collect();
+        let kernel = Kernel1D::from_vals(gc, taps);
+        let mut g = Grid3::zeros([8, 12, 16]);
+        for v in g.as_mut_slice() { *v = next(); }
+        let fast = convolve_axis(&g, &kernel, axis);
+        let slow = convolve_axis_naive(&g, &kernel, axis);
+        for ((_, a), (_, b)) in fast.iter().zip(slow.iter()) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// Axis convolution is linear: K⊛(a·X + Y) = a·(K⊛X) + K⊛Y.
+    #[test]
+    fn convolution_linearity(seed in 0u64..100, scale in -3.0f64..3.0) {
+        let mut state = seed.wrapping_add(11);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let kernel = Kernel1D::from_vals(2, (0..5).map(|_| next()).collect());
+        let mut x = Grid3::zeros([8, 8, 8]);
+        let mut y = Grid3::zeros([8, 8, 8]);
+        for v in x.as_mut_slice() { *v = next(); }
+        for v in y.as_mut_slice() { *v = next(); }
+        let mut combo = x.clone();
+        combo.scale(scale);
+        combo.accumulate(&y);
+        let lhs = convolve_axis(&combo, &kernel, 1);
+        let mut rhs = convolve_axis(&x, &kernel, 1);
+        rhs.scale(scale);
+        rhs.accumulate(&convolve_axis(&y, &kernel, 1));
+        for ((_, a), (_, b)) in lhs.iter().zip(rhs.iter()) {
+            prop_assert!((a - b).abs() < 1e-11);
+        }
+    }
+
+    /// Gauss–Legendre rules integrate arbitrary polynomials of degree
+    /// ≤ 2n−1 exactly.
+    #[test]
+    fn quadrature_exactness(n in 1usize..12, c0 in -2.0f64..2.0, c1 in -2.0f64..2.0, c2 in -2.0f64..2.0) {
+        let deg = 2 * n - 1;
+        let q = GaussLegendre::new(n);
+        // f(x) = c0 + c1·x^(deg−1) + c2·x^deg
+        let f = |x: f64| c0 + c1 * x.powi(deg as i32 - 1) + c2 * x.powi(deg as i32);
+        let got = q.integrate(f);
+        let exact_term = |k: i32, c: f64| if k % 2 == 1 { 0.0 } else { 2.0 * c / (k as f64 + 1.0) };
+        let want = exact_term(0, c0) + exact_term(deg as i32 - 1, c1) + exact_term(deg as i32, c2);
+        prop_assert!((got - want).abs() < 1e-11 * (1.0 + want.abs()));
+    }
+
+    /// Water boxes are rigid TIP3P for any seed/size.
+    #[test]
+    fn water_box_always_rigid(n in 1usize..40, seed in 0u64..500) {
+        use mdgrape4a_tme::md::water::water_box;
+        use mdgrape4a_tme::md::units::tip3p;
+        let sys = water_box(n, seed);
+        for w in &sys.waters {
+            let d = {
+                let a = sys.pos[w.o];
+                let b = sys.pos[w.h1];
+                ((a[0]-b[0]).powi(2) + (a[1]-b[1]).powi(2) + (a[2]-b[2]).powi(2)).sqrt()
+            };
+            prop_assert!((d - tip3p::R_OH).abs() < 1e-9);
+        }
+    }
+}
