@@ -2,7 +2,8 @@
 //! (TME / GCU style) vs densified direct 3-D convolution (B-spline MSM
 //! style).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tme_bench::harness::{BenchmarkId, Criterion};
+use tme_bench::{criterion_group, criterion_main};
 use tme_core::convolve::convolve_separable;
 use tme_core::kernel::TensorKernel;
 use tme_core::shells::GaussianFit;
@@ -28,10 +29,10 @@ fn bench(c: &mut Criterion) {
         let dense = DenseKernel::from_fn(gc, |m| kernel.dense_value(m));
         let q = charge(n);
         g.bench_with_input(BenchmarkId::new("tme_separable", n), &n, |b, _| {
-            b.iter(|| convolve_separable(&q, &kernel, 1.0))
+            b.iter(|| convolve_separable(&q, &kernel, 1.0));
         });
         g.bench_with_input(BenchmarkId::new("msm_direct", n), &n, |b, _| {
-            b.iter(|| convolve_direct(&dense, &q))
+            b.iter(|| convolve_direct(&dense, &q));
         });
     }
     g.finish();

@@ -1,12 +1,15 @@
 //! FFT benches: the radix-2 plan, the radix-4 CFFT16 kernel (the FPGA
 //! unit's structure) and the 3-D transform the top level uses.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tme_bench::harness::{BenchmarkId, Criterion};
+use tme_bench::{criterion_group, criterion_main};
 use tme_num::fft::{cfft16, cfft16_f32, Fft, Fft3, RealFft3};
 use tme_num::{complex::Complex32, Complex64};
 
 fn signal(n: usize) -> Vec<Complex64> {
-    (0..n).map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos())).collect()
+    (0..n)
+        .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+        .collect()
 }
 
 fn bench(c: &mut Criterion) {
@@ -19,7 +22,7 @@ fn bench(c: &mut Criterion) {
                 let mut y = x.clone();
                 plan.forward(&mut y);
                 y
-            })
+            });
         });
     }
     let x16: [Complex64; 16] = signal(16).try_into().unwrap();
@@ -28,7 +31,7 @@ fn bench(c: &mut Criterion) {
             let mut y = x16;
             cfft16(&mut y, false);
             y
-        })
+        });
     });
     let x16s: [Complex32; 16] = core::array::from_fn(|i| x16[i].to_c32());
     g.bench_function("cfft16_f32_fpga_datapath", |b| {
@@ -36,7 +39,7 @@ fn bench(c: &mut Criterion) {
             let mut y = x16s;
             cfft16_f32(&mut y, false);
             y
-        })
+        });
     });
     for n in [16usize, 32] {
         let plan = Fft3::new(n, n, n);
@@ -46,7 +49,7 @@ fn bench(c: &mut Criterion) {
                 let mut y = x.clone();
                 plan.forward(&mut y);
                 y
-            })
+            });
         });
         // Real-input half-spectrum path (grid charges are real): ~2×.
         let rplan = RealFft3::new(n, n, n);
@@ -56,7 +59,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 rplan.forward(&xr, &mut spec);
                 spec[0]
-            })
+            });
         });
     }
     g.finish();

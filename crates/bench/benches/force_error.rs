@@ -2,8 +2,9 @@
 //! interpolation) for SPME and for TME at the paper's parameters, on a
 //! 1,000-water box.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tme_bench::harness::{BenchmarkId, Criterion};
 use tme_bench::water_system;
+use tme_bench::{criterion_group, criterion_main};
 use tme_core::{Tme, TmeParams};
 use tme_reference::ewald::EwaldParams;
 use tme_reference::{pairwise, Spme};
@@ -15,18 +16,32 @@ fn bench(c: &mut Criterion) {
     let spme = Spme::new([16; 3], sys.box_l, alpha, 6, r_cut);
     let mut g = c.benchmark_group("table1_mesh");
     g.sample_size(10);
-    g.bench_function("spme_reciprocal_3000_atoms", |b| b.iter(|| spme.reciprocal(&sys)));
+    g.bench_function("spme_reciprocal_3000_atoms", |b| {
+        b.iter(|| spme.reciprocal(&sys));
+    });
     for m in [1usize, 4] {
         let tme = Tme::new(
-            TmeParams { n: [16; 3], p: 6, levels: 1, gc: 8, m_gaussians: m, alpha, r_cut },
+            TmeParams {
+                n: [16; 3],
+                p: 6,
+                levels: 1,
+                gc: 8,
+                m_gaussians: m,
+                alpha,
+                r_cut,
+            },
             sys.box_l,
         );
-        g.bench_with_input(BenchmarkId::new("tme_long_range_3000_atoms_M", m), &m, |b, _| {
-            b.iter(|| tme.long_range(&sys))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("tme_long_range_3000_atoms_M", m),
+            &m,
+            |b, _| {
+                b.iter(|| tme.long_range(&sys));
+            },
+        );
     }
     g.bench_function("short_range_pairs_3000_atoms", |b| {
-        b.iter(|| pairwise::short_range(&sys, alpha, r_cut))
+        b.iter(|| pairwise::short_range(&sys, alpha, r_cut));
     });
     g.finish();
 }

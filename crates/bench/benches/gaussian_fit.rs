@@ -1,7 +1,8 @@
 //! Criterion bench for Fig. 3's machinery: building the Gauss–Legendre
 //! shell fit and scanning its approximation error for M = 1..4.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tme_bench::harness::{BenchmarkId, Criterion};
+use tme_bench::{criterion_group, criterion_main};
 use tme_core::shells::GaussianFit;
 
 fn bench(c: &mut Criterion) {
@@ -11,7 +12,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let fit = GaussianFit::new(std::hint::black_box(2.751), m);
                 fit.normalised_max_error(5.0, 200)
-            })
+            });
         });
     }
     g.finish();

@@ -2,8 +2,9 @@
 //! (B-spline weights + tensor products) and the fixed-point formats the
 //! grid path uses, vs plain f64.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tme_bench::harness::Criterion;
 use tme_bench::water_system;
+use tme_bench::{criterion_group, criterion_main};
 use tme_mesh::SplineOps;
 use tme_num::fixed::{quantize_slice, Fix32};
 
@@ -13,19 +14,21 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("lru_gcu_datapath");
     g.sample_size(10);
     g.bench_function("lru_charge_assignment_1029_atoms", |b| {
-        b.iter(|| ops.assign(&sys.pos, &sys.q))
+        b.iter(|| ops.assign(&sys.pos, &sys.q));
     });
     let grid = ops.assign(&sys.pos, &sys.q);
     g.bench_function("lru_back_interpolation_1029_atoms", |b| {
-        b.iter(|| ops.interpolate(&grid, &sys.pos, &sys.q))
+        b.iter(|| ops.interpolate(&grid, &sys.pos, &sys.q));
     });
-    let data: Vec<f64> = (0..4096).map(|i| ((i * 37 % 101) as f64 - 50.0) * 0.013).collect();
+    let data: Vec<f64> = (0..4096)
+        .map(|i| ((i * 37 % 101) as f64 - 50.0) * 0.013)
+        .collect();
     g.bench_function("grid_quantize_fix32_frac24", |b| {
         b.iter(|| {
             let mut d = data.clone();
             quantize_slice::<24>(&mut d);
             d
-        })
+        });
     });
     let fx: Vec<Fix32<20>> = data.iter().map(|&x| Fix32::<20>::from_f64(x)).collect();
     let k = Fix32::<24>::from_f64(0.0123);
@@ -36,7 +39,7 @@ fn bench(c: &mut Criterion) {
                 acc = acc.wrapping_add(v.mul_mixed::<24, 20>(k).0 as i64);
             }
             acc
-        })
+        });
     });
     g.bench_function("f64_multiply_accumulate", |b| {
         b.iter(|| {
@@ -45,7 +48,7 @@ fn bench(c: &mut Criterion) {
                 acc += v * 0.0123;
             }
             acc
-        })
+        });
     });
     g.finish();
 }

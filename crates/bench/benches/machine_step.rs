@@ -1,8 +1,9 @@
 //! Machine-simulator throughput for the Fig. 9 / Table 2 / §VI.A
 //! workloads (a full 512-node MD-step schedule per iteration).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mdgrape_sim::{simulate_step, MachineConfig, StepWorkload};
+use tme_bench::harness::Criterion;
+use tme_bench::{criterion_group, criterion_main};
 
 fn bench(c: &mut Criterion) {
     let cfg = MachineConfig::mdgrape4a();
@@ -13,7 +14,9 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("machine_step");
     g.bench_function("fig9_32cubed", |b| b.iter(|| simulate_step(&cfg, &fig9)));
     g.bench_function("grid64_L2", |b| b.iter(|| simulate_step(&cfg, &grid64)));
-    g.bench_function("fig9_no_long_range", |b| b.iter(|| simulate_step(&cfg, &no_lr)));
+    g.bench_function("fig9_no_long_range", |b| {
+        b.iter(|| simulate_step(&cfg, &no_lr));
+    });
     g.finish();
 }
 

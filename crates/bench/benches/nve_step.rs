@@ -1,7 +1,8 @@
 //! Fig. 4 kernels: one velocity-Verlet + SETTLE NVE step with SPME and
 //! with TME long-range electrostatics (216 waters).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tme_bench::harness::Criterion;
+use tme_bench::{criterion_group, criterion_main};
 use tme_core::{Tme, TmeParams};
 use tme_md::nve::NveSim;
 use tme_md::water::{relax, thermalize, water_box};
@@ -21,18 +22,26 @@ fn bench(c: &mut Criterion) {
     let box_l = system().box_l;
     let spme = Spme::new([16; 3], box_l, alpha, 6, r_cut);
     let tme = Tme::new(
-        TmeParams { n: [16; 3], p: 6, levels: 1, gc: 8, m_gaussians: 4, alpha, r_cut },
+        TmeParams {
+            n: [16; 3],
+            p: 6,
+            levels: 1,
+            gc: 8,
+            m_gaussians: 4,
+            alpha,
+            r_cut,
+        },
         box_l,
     );
     let mut g = c.benchmark_group("nve_step_216_waters");
     g.sample_size(10);
     g.bench_function("spme", |b| {
         let mut sim = NveSim::new(system(), &spme, 0.001, r_cut);
-        b.iter(|| sim.step())
+        b.iter(|| sim.step());
     });
     g.bench_function("tme", |b| {
         let mut sim = NveSim::new(system(), &tme, 0.001, r_cut);
-        b.iter(|| sim.step())
+        b.iter(|| sim.step());
     });
     g.finish();
 }

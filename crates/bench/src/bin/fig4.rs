@@ -89,7 +89,10 @@ fn main() {
             alpha,
             r_cut,
         };
-        solvers.push((format!("TME M={m}"), Box::new(Tme::new(params, probe.box_l))));
+        solvers.push((
+            format!("TME M={m}"),
+            Box::new(Tme::new(params, probe.box_l)),
+        ));
     }
 
     let mesh_every: usize = arg_or("--mesh-every", 1);
@@ -111,7 +114,13 @@ fn main() {
         all.push((name.clone(), records));
     }
 
-    println!("# time(ps)\t{}", all.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>().join("\t"));
+    println!(
+        "# time(ps)\t{}",
+        all.iter()
+            .map(|(n, _)| n.clone())
+            .collect::<Vec<_>>()
+            .join("\t")
+    );
     let rows = all[0].1.len();
     for i in 0..rows {
         print!("{:.3}", all[0].1[i].time);

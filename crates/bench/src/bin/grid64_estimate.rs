@@ -23,7 +23,10 @@ fn main() {
     }
     let conv32 = r32.phase("convolution L1").unwrap();
     let conv64 = r64.phase("convolution L1").unwrap();
-    println!("\nGCU level-1 convolution scaling: {:.2}x  (paper: x8 theoretically)", conv64 / conv32);
+    println!(
+        "\nGCU level-1 convolution scaling: {:.2}x  (paper: x8 theoretically)",
+        conv64 / conv32
+    );
     println!(
         "long-range total: {:.1} µs -> {:.1} µs  (paper estimate: ~50 µs -> ~150 µs)",
         r32.long_range_us(),

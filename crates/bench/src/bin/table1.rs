@@ -15,9 +15,9 @@ use std::time::Instant;
 use tme_bench::{arg_flag, arg_or, grid_for_box, relaxed_water_system};
 use tme_core::{Tme, TmeParams};
 use tme_mesh::model::{relative_force_error, CoulombResult};
+use tme_num::vec3::V3;
 use tme_reference::ewald::{Ewald, EwaldParams};
 use tme_reference::{pairwise, Spme};
-use tme_num::vec3::V3;
 
 fn add(a: &[V3], b: &[V3]) -> Vec<V3> {
     a.iter()
@@ -28,11 +28,18 @@ fn add(a: &[V3], b: &[V3]) -> Vec<V3> {
 
 fn main() {
     tme_bench::init_cli();
-    let n_waters: usize = if arg_flag("--full") { 32_773 } else { arg_or("--waters", 4_142) };
+    let n_waters: usize = if arg_flag("--full") {
+        32_773
+    } else {
+        arg_or("--waters", 4_142)
+    };
     let relax_steps: usize = arg_or("--relax", 200);
     let t_relax = Instant::now();
     let sys = relaxed_water_system(n_waters, 2021, relax_steps);
-    eprintln!("[box built + {relax_steps} relaxation steps in {:.1} s]", t_relax.elapsed().as_secs_f64());
+    eprintln!(
+        "[box built + {relax_steps} relaxation steps in {:.1} s]",
+        t_relax.elapsed().as_secs_f64()
+    );
     let box_edge = sys.box_l[0];
     let n_grid = grid_for_box(box_edge);
     println!(
@@ -55,7 +62,10 @@ fn main() {
         reference.params.alpha, reference.params.r_cut, reference.params.n_cut
     );
     let ref_forces = reference.compute(&sys).forces;
-    eprintln!("[reference Ewald done in {:.1} s]", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "[reference Ewald done in {:.1} s]",
+        t0.elapsed().as_secs_f64()
+    );
 
     println!("#\n# method  g_c  M   rc=1.00        rc=1.25        rc=1.50");
     let mut spme_row = vec![0.0f64; r_cuts.len()];

@@ -1,0 +1,239 @@
+//! Minimal in-tree micro-benchmark harness with a criterion-shaped API.
+//!
+//! The workspace builds with zero external dependencies, so the
+//! `benches/*.rs` targets (all `harness = false`) drive this module instead
+//! of criterion. It reproduces the narrow API surface those benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], `b.iter(..)` —
+//! with a fixed-budget median-of-samples measurement. It aims for useful
+//! relative numbers and stable output, not criterion's statistical rigour;
+//! absolute timings from CI-class machines should be read accordingly.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can `use tme_bench::harness::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level driver, one per bench binary.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Open a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup {
+            sample_size: 30,
+            warmup: Duration::from_millis(200),
+            measure: Duration::from_millis(1000),
+        }
+    }
+
+    /// Measure a single closure outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("").bench_function(id, f);
+    }
+}
+
+/// Parameterised benchmark label, `name/param`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: std::fmt::Display>(name: &str, param: P) -> Self {
+        Self {
+            label: format!("{name}/{param}"),
+        }
+    }
+}
+
+/// A group of measurements sharing sampling configuration.
+pub struct BenchmarkGroup {
+    sample_size: usize,
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark (criterion-compatible knob).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size, self.warmup, self.measure);
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size, self.warmup, self.measure);
+        f(&mut b, input);
+        b.report(&id.label);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the bench closure; call [`Bencher::iter`] with the payload.
+pub struct Bencher {
+    sample_size: usize,
+    warmup: Duration,
+    measure: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, warmup: Duration, measure: Duration) -> Self {
+        Self {
+            sample_size,
+            warmup,
+            measure,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Time `routine`, keeping per-iteration nanoseconds for each sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm up and size the inner loop so one sample is long enough for
+        // the clock (≥ ~50 µs) but the whole bench stays within budget.
+        let mut iters_per_sample = 1usize;
+        let warm_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(routine());
+            }
+            let dt = t.elapsed();
+            if dt >= Duration::from_micros(50) || iters_per_sample >= 1 << 20 {
+                if warm_start.elapsed() >= self.warmup {
+                    break;
+                }
+            } else {
+                iters_per_sample = iters_per_sample.saturating_mul(2);
+            }
+        }
+        let per_sample_budget = self.measure.as_secs_f64() / self.sample_size as f64;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            let mut done = 0usize;
+            loop {
+                std_black_box(routine());
+                done += 1;
+                if done >= iters_per_sample {
+                    break;
+                }
+            }
+            let dt = t.elapsed().as_secs_f64();
+            self.samples.push(dt * 1e9 / done as f64);
+            if dt > per_sample_budget * 4.0 {
+                break; // one routine call blew the budget; stop early
+            }
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples.is_empty() {
+            println!("  {id}: no samples (closure never called iter)");
+            return;
+        }
+        self.samples.sort_by(f64::total_cmp);
+        let median = self.samples[self.samples.len() / 2];
+        let lo = self.samples[0];
+        let hi = self.samples[self.samples.len() - 1];
+        println!(
+            "  {id}: median {} (min {}, max {}, {} samples)",
+            fmt_ns(median),
+            fmt_ns(lo),
+            fmt_ns(hi),
+            self.samples.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Criterion-compatible glue: `criterion_group!(benches, bench_a, bench_b)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Criterion-compatible glue: `criterion_main!(benches)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $crate::init_cli();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples_and_reports() {
+        let mut b = Bencher::new(5, Duration::from_millis(1), Duration::from_millis(10));
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            acc
+        });
+        assert!(!b.samples.is_empty());
+        assert!(b.samples.iter().all(|&s| s > 0.0));
+        b.report("smoke");
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("fft3", 32).label, "fft3/32");
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(12.0), "12.0 ns");
+        assert_eq!(fmt_ns(1500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2.5e6), "2.50 ms");
+        assert_eq!(fmt_ns(3.2e9), "3.200 s");
+    }
+}

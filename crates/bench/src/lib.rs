@@ -5,13 +5,29 @@
 use tme_md::water::{relax, water_box};
 use tme_mesh::CoulombSystem;
 
+pub mod harness;
+
 /// Restore default SIGPIPE semantics so harness output piped into
 /// `head`/`less` terminates quietly instead of panicking (Rust masks
 /// SIGPIPE by default, turning EPIPE into a printing panic).
 pub fn init_cli() {
     #[cfg(unix)]
-    unsafe {
-        libc::signal(libc::SIGPIPE, libc::SIG_DFL);
+    {
+        // Raw libc binding: `signal(2)` is in every libc Rust links against,
+        // and std offers no safe way to reset a disposition.
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGPIPE: i32 = 13; // POSIX-mandated value on every unix Rust targets
+        const SIG_DFL: usize = 0;
+        // SAFETY: `signal` is async-signal-safe and called here before any
+        // threads are spawned (first statement of every harness `main`), so
+        // no handler can race. SIG_DFL for SIGPIPE terminates the process on
+        // a closed pipe — exactly the CLI semantics we want — and installs
+        // no Rust callback, so no unwinding crosses the FFI boundary.
+        unsafe {
+            signal(SIGPIPE, SIG_DFL);
+        }
     }
 }
 

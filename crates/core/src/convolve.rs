@@ -181,7 +181,9 @@ mod tests {
         let mut g = Grid3::zeros(n);
         let mut state = seed;
         for v in g.as_mut_slice() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *v = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
         }
         g
@@ -214,10 +216,7 @@ mod tests {
 
     #[test]
     fn buffered_matches_naive_on_all_axes() {
-        let k = Kernel1D::from_vals(
-            3,
-            vec![0.1, -0.2, 0.3, 0.7, 0.25, -0.15, 0.05],
-        );
+        let k = Kernel1D::from_vals(3, vec![0.1, -0.2, 0.3, 0.7, 0.25, -0.15, 0.05]);
         let g = random_grid([8, 4, 16], 99);
         for axis in 0..3 {
             let fast = convolve_axis(&g, &k, axis);

@@ -36,9 +36,7 @@ impl Decomposition {
         for a in 0..3 {
             assert!(
                 grid[a].is_multiple_of(nodes[a]),
-                "grid {:?} not divisible by nodes {:?}",
-                grid,
-                nodes
+                "grid {grid:?} not divisible by nodes {nodes:?}"
             );
         }
         Self { nodes, grid }
@@ -235,7 +233,7 @@ pub fn convolve_separable_distributed(
             a.accumulate(g);
         }
     }
-    for a in acc.iter_mut() {
+    for a in &mut acc {
         a.scale(prefactor);
     }
     acc
@@ -340,7 +338,8 @@ pub fn prolong_distributed(
                     // Φ^f_n = Σ_m J_{n−2m} Φ^c_m per axis: coarse indices m
                     // with |n − 2m| ≤ p/2 → m ∈ [(n−p/2)/2 .. (n+p/2)/2].
                     let range = |g: i64| -> (i64, i64) {
-                        let lo = (g - half).div_euclid(2) + i64::from((g - half).rem_euclid(2) != 0);
+                        let lo =
+                            (g - half).div_euclid(2) + i64::from((g - half).rem_euclid(2) != 0);
                         let hi = (g + half).div_euclid(2);
                         (lo, hi)
                     };
@@ -452,8 +451,9 @@ pub fn assign_distributed(
     let box_l = ops.box_lengths();
     let nodes = dec.nodes;
     // Bucket atoms by owning node (by wrapped position).
-    let mut buckets: Vec<(Vec<V3>, Vec<f64>)> =
-        (0..dec.node_count()).map(|_| (Vec::new(), Vec::new())).collect();
+    let mut buckets: Vec<(Vec<V3>, Vec<f64>)> = (0..dec.node_count())
+        .map(|_| (Vec::new(), Vec::new()))
+        .collect();
     for (r, &qi) in pos.iter().zip(q) {
         let w = tme_num::vec3::wrap(*r, box_l);
         let node = [
@@ -505,7 +505,9 @@ mod tests {
         let mut g = Grid3::zeros(n);
         let mut state = seed;
         for v in g.as_mut_slice() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *v = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
         }
         g
@@ -586,7 +588,9 @@ mod tests {
         let pos: Vec<[f64; 3]> = (0..120)
             .map(|_| [next() * 4.0, next() * 4.0, next() * 4.0])
             .collect();
-        let q: Vec<f64> = (0..120).map(|i| if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let q: Vec<f64> = (0..120)
+            .map(|i| if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
         let blocks = assign_distributed(&dec, &ops, &pos, &q);
         let dist = dec.gather(&blocks);
         let global = ops.assign(&pos, &q);
@@ -639,8 +643,12 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        let pos: Vec<[f64; 3]> = (0..60).map(|_| [next() * 4.0, next() * 4.0, next() * 4.0]).collect();
-        let q: Vec<f64> = (0..60).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let pos: Vec<[f64; 3]> = (0..60)
+            .map(|_| [next() * 4.0, next() * 4.0, next() * 4.0])
+            .collect();
+        let q: Vec<f64> = (0..60)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
 
         let dist = long_range_distributed(&dec, &ops, &kernel, &top, 6, &pos, &q);
         let global_q = ops.assign(&pos, &q);
@@ -678,8 +686,12 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        let pos: Vec<[f64; 3]> = (0..40).map(|_| [next() * 8.0, next() * 8.0, next() * 8.0]).collect();
-        let q: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let pos: Vec<[f64; 3]> = (0..40)
+            .map(|_| [next() * 8.0, next() * 8.0, next() * 8.0])
+            .collect();
+        let q: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
 
         let dist = long_range_distributed(&dec, &ops, &kernel, &top, 6, &pos, &q);
         let global_q = ops.assign(&pos, &q);

@@ -121,10 +121,24 @@ mod tests {
     fn estimates_decrease_with_m_and_gc() {
         let (box_l, n) = paper_box();
         let alpha = crate::alpha_from_rtol(1.0, 1e-4);
-        let base = TmeParams { n, p: 6, levels: 1, gc: 8, m_gaussians: 1, alpha, r_cut: 1.0 };
+        let base = TmeParams {
+            n,
+            p: 6,
+            levels: 1,
+            gc: 8,
+            m_gaussians: 1,
+            alpha,
+            r_cut: 1.0,
+        };
         let mut prev = f64::INFINITY;
         for m in 1..=4 {
-            let b = estimate(&TmeParams { m_gaussians: m, ..base }, box_l);
+            let b = estimate(
+                &TmeParams {
+                    m_gaussians: m,
+                    ..base
+                },
+                box_l,
+            );
             assert!(b.quadrature < prev, "M={m}");
             prev = b.quadrature;
         }
@@ -149,11 +163,7 @@ mod tests {
                 "rc={r_cut}: auto M = {}",
                 p.m_gaussians
             );
-            assert!(
-                (6..=12).contains(&p.gc),
-                "rc={r_cut}: auto g_c = {}",
-                p.gc
-            );
+            assert!((6..=12).contains(&p.gc), "rc={r_cut}: auto g_c = {}", p.gc);
             let b = estimate(&p, box_l);
             assert!(b.is_spme_comparable(), "rc={r_cut}: {b:?}");
         }
@@ -178,7 +188,9 @@ mod tests {
         let box_l = [4.0; 3];
         let mut state = 12u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let mut pos = Vec::new();
@@ -190,10 +202,9 @@ mod tests {
             q.push(-1.0);
         }
         let sys = CoulombSystem::new(pos, q, box_l);
-        let reference = tme_reference::Ewald::new(
-            tme_reference::EwaldParams::reference_quality(box_l, 1e-14),
-        )
-        .compute(&sys);
+        let reference =
+            tme_reference::Ewald::new(tme_reference::EwaldParams::reference_quality(box_l, 1e-14))
+                .compute(&sys);
         let alpha = crate::alpha_from_rtol(1.0, 1e-4);
         let configs = [
             (1usize, 8usize), // bad quadrature
@@ -202,7 +213,15 @@ mod tests {
         ];
         let mut results = Vec::new();
         for (m, gc) in configs {
-            let params = TmeParams { n: [16; 3], p: 6, levels: 1, gc, m_gaussians: m, alpha, r_cut: 1.0 };
+            let params = TmeParams {
+                n: [16; 3],
+                p: 6,
+                levels: 1,
+                gc,
+                m_gaussians: m,
+                alpha,
+                r_cut: 1.0,
+            };
             let got = crate::Tme::new(params, box_l).compute(&sys);
             let measured = relative_force_error(&got.forces, &reference.forces);
             let predicted = estimate(&params, box_l).tme_specific();
@@ -210,7 +229,10 @@ mod tests {
         }
         // The "good" config must measure best, the ranking must agree on
         // the extremes.
-        assert!(results[2].1 < results[0].1 && results[2].1 < results[1].1, "{results:?}");
+        assert!(
+            results[2].1 < results[0].1 && results[2].1 < results[1].1,
+            "{results:?}"
+        );
         let best_pred = results
             .iter()
             .enumerate()

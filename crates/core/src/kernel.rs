@@ -60,7 +60,7 @@ impl Kernel1D {
 pub fn gaussian_grid_coefficients(a: f64, omega2: &SymmetricSeq, range: usize) -> Vec<f64> {
     assert!(a > 0.0);
     // g_m = e^{−a²m²} decays below 1e−18 past m ≈ 6.45/a.
-    let g_half = (6.45 / a).ceil() as i64 + 1;
+    let g_half = tme_num::cast::ceil_i64(6.45 / a) + 1;
     let r = range as i64;
     let mut out = vec![0.0; 2 * range + 1];
     // Compute m ≥ 0 and mirror: G is exactly even (g and ω' both are), and
@@ -223,7 +223,10 @@ mod tests {
         for t in k.terms() {
             for axis in t {
                 for m in 0..=8i64 {
-                    assert!((axis.get(m) - axis.get(-m)).abs() < 1e-15, "asymmetric at {m}");
+                    assert!(
+                        (axis.get(m) - axis.get(-m)).abs() < 1e-15,
+                        "asymmetric at {m}"
+                    );
                 }
                 // Decay towards the cutoff (|K| at g_c ≪ |K| at 0).
                 assert!(axis.get(8).abs() < 1e-2 * axis.get(0).abs());
@@ -276,7 +279,9 @@ mod tests {
         let k = TensorKernel::new(&fit, [h; 3], p, 14);
         let half = p as i64 / 2 - 1;
         // 1-D spline samples.
-        let a: Vec<(i64, f64)> = (-half..=half).map(|m| (m, sp.eval_central(m as f64))).collect();
+        let a: Vec<(i64, f64)> = (-half..=half)
+            .map(|m| (m, sp.eval_central(m as f64)))
+            .collect();
         for &d in &[[3i64, 0, 0], [2, 2, 1], [4, 1, 0]] {
             // (a ⊗ a ⊗ a) * K * (a ⊗ a ⊗ a) at offset d, factorised per axis
             // for each rank term.

@@ -42,7 +42,11 @@ impl LevelTransfer {
     /// One axis of restriction: halve `axis`, `out_m = Σ_k J_k in_{2m+k}`.
     fn restrict_axis(&self, grid: &Grid3, axis: usize) -> Grid3 {
         let n = grid.dims();
-        assert!(n[axis].is_multiple_of(2), "axis {axis} length {} not even", n[axis]);
+        assert!(
+            n[axis].is_multiple_of(2),
+            "axis {axis} length {} not even",
+            n[axis]
+        );
         let mut out_dims = n;
         out_dims[axis] = n[axis] / 2;
         let mut out = Grid3::zeros(out_dims);
@@ -82,18 +86,46 @@ impl LevelTransfer {
     }
 
     /// Full 3-D restriction (all dims halved).
+    ///
+    /// Debug builds assert charge conservation: the two-scale partition
+    /// `Σ_k J_{2k} = Σ_k J_{2k+1} = 1` means every fine charge lands on the
+    /// coarse grid exactly once, so `Σ Q^{l+1} = Σ Q^l` up to rounding.
     pub fn restrict(&self, grid: &Grid3) -> Grid3 {
         let g = self.restrict_axis(grid, 0);
         let g = self.restrict_axis(&g, 1);
-        self.restrict_axis(&g, 2)
+        let out = self.restrict_axis(&g, 2);
+        debug_assert!(
+            (out.sum() - grid.sum()).abs() <= 1e-9 * abs_sum(grid).max(1.0),
+            "restriction lost charge: Σ fine = {}, Σ coarse = {}",
+            grid.sum(),
+            out.sum()
+        );
+        out
     }
 
     /// Full 3-D prolongation (all dims doubled).
+    ///
+    /// Debug builds assert the adjoint conservation law: `Σ_m J_m = 2` per
+    /// axis (the two-scale relation preserves the spline's unit integral on
+    /// the half-spaced grid), so the 3-D total scales by exactly 8.
     pub fn prolong(&self, grid: &Grid3) -> Grid3 {
         let g = self.prolong_axis(grid, 0);
         let g = self.prolong_axis(&g, 1);
-        self.prolong_axis(&g, 2)
+        let out = self.prolong_axis(&g, 2);
+        debug_assert!(
+            (out.sum() - 8.0 * grid.sum()).abs() <= 1e-9 * abs_sum(grid).max(1.0),
+            "prolongation broke the Σ J = 2 scaling: Σ coarse = {}, Σ fine = {}",
+            grid.sum(),
+            out.sum()
+        );
+        out
     }
+}
+
+/// `Σ |v|` — the conservation asserts scale their tolerance by this so a
+/// grid whose *signed* sum cancels to ~0 still gets a meaningful bound.
+fn abs_sum(grid: &Grid3) -> f64 {
+    grid.as_slice().iter().map(|v| v.abs()).sum()
 }
 
 #[cfg(test)]
@@ -129,7 +161,10 @@ mod tests {
         }
         let lhs = t.restrict(&a).dot(&b);
         let rhs = a.dot(&t.prolong(&b));
-        assert!((lhs - rhs).abs() < 1e-10 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-10 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     /// The paper's exactness claim: assigning charges on the fine grid and

@@ -22,10 +22,10 @@ use crate::shells::shell_exact;
 use crate::solver::TmeParams;
 use crate::toplevel::TopLevel;
 use tme_mesh::bspline::BSpline;
+use tme_mesh::dense::{convolve_direct, DenseKernel};
 use tme_mesh::model::{CoulombResult, CoulombSystem};
 use tme_mesh::{Grid3, SplineOps};
 use tme_num::vec3::V3;
-use tme_mesh::dense::{convolve_direct, DenseKernel};
 
 /// Dense level-1 grid kernel for the exact shell: quasi-interpolation of
 /// the sampled shell with ω' along each axis, truncated at `g_c`.
@@ -108,9 +108,19 @@ impl Msm {
         let ops = SplineOps::new(params.p, params.n, box_l);
         let kernel = dense_shell_kernel(params.alpha, ops.spacing(), params.p, params.gc);
         let transfer = LevelTransfer::new(params.p);
-        let n_top = [params.n[0] / scale, params.n[1] / scale, params.n[2] / scale];
+        let n_top = [
+            params.n[0] / scale,
+            params.n[1] / scale,
+            params.n[2] / scale,
+        ];
         let top = TopLevel::new(n_top, box_l, params.alpha / scale as f64, params.p);
-        Self { params, ops, kernel, transfer, top }
+        Self {
+            params,
+            ops,
+            kernel,
+            transfer,
+            top,
+        }
     }
 
     pub fn params(&self) -> &TmeParams {
@@ -167,7 +177,9 @@ mod tests {
     fn random_neutral_system(n_pairs: usize, box_l: f64, seed: u64) -> CoulombSystem {
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let mut pos = Vec::new();
@@ -183,7 +195,15 @@ mod tests {
 
     fn params(r_cut: f64, gc: usize) -> TmeParams {
         let alpha = EwaldParams::alpha_from_tolerance(r_cut, 1e-4);
-        TmeParams { n: [16; 3], p: 6, levels: 1, gc, m_gaussians: 4, alpha, r_cut }
+        TmeParams {
+            n: [16; 3],
+            p: 6,
+            levels: 1,
+            gc,
+            m_gaussians: 4,
+            alpha,
+            r_cut,
+        }
     }
 
     /// The dense MSM kernel smoothed by the spline samples must reproduce
@@ -198,8 +218,9 @@ mod tests {
         let sp = BSpline::new(p);
         let kernel = dense_shell_kernel(alpha, [h; 3], p, 12);
         let half = p as i64 / 2 - 1;
-        let samples: Vec<(i64, f64)> =
-            (-half..=half).map(|m| (m, sp.eval_central(m as f64))).collect();
+        let samples: Vec<(i64, f64)> = (-half..=half)
+            .map(|m| (m, sp.eval_central(m as f64)))
+            .collect();
         for &d in &[[2i64, 0, 0], [3, 1, 0], [2, 2, 2], [5, 0, 0]] {
             let mut got = 0.0;
             // Smooth the dense kernel by a ⊗ a ⊗ a on both sides — for a
@@ -210,14 +231,9 @@ mod tests {
                         for (px, bx) in &samples {
                             for (py, by) in &samples {
                                 for (pz, bz) in &samples {
-                                    let off = [
-                                        d[0] - mx + px,
-                                        d[1] - my + py,
-                                        d[2] - mz + pz,
-                                    ];
+                                    let off = [d[0] - mx + px, d[1] - my + py, d[2] - mz + pz];
                                     if off.iter().all(|c| c.unsigned_abs() as usize <= 12) {
-                                        got += ax * ay * az * bx * by * bz
-                                            * kernel.get(off);
+                                        got += ax * ay * az * bx * by * bz * kernel.get(off);
                                     }
                                 }
                             }
@@ -272,6 +288,9 @@ mod tests {
         let (_, tme_stats) = Tme::new(p, [box_l; 3]).long_range(&sys);
         let ratio = msm_stats.madds as f64 / tme_stats.convolution.madds as f64;
         let expect = (2.0f64 * 6.0 + 1.0).powi(2) / (3.0 * 4.0);
-        assert!((ratio / expect - 1.0).abs() < 1e-9, "ratio {ratio} vs {expect}");
+        assert!(
+            (ratio / expect - 1.0).abs() < 1e-9,
+            "ratio {ratio} vs {expect}"
+        );
     }
 }

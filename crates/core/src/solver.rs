@@ -43,7 +43,15 @@ impl TmeParams {
     /// The MDGRAPE-4A production configuration for a given box/α/r_c:
     /// 32³ grid, p = 6, L = 1, g_c = 8, M = 4 (§V.A).
     pub fn mdgrape4a(alpha: f64, r_cut: f64) -> Self {
-        Self { n: [32; 3], p: 6, levels: 1, gc: 8, m_gaussians: 4, alpha, r_cut }
+        Self {
+            n: [32; 3],
+            p: 6,
+            levels: 1,
+            gc: 8,
+            m_gaussians: 4,
+            alpha,
+            r_cut,
+        }
     }
 }
 
@@ -112,7 +120,13 @@ impl Tme {
         ];
         let alpha_top = params.alpha / scale as f64;
         let top = TopLevel::new(n_top, box_l, alpha_top, params.p);
-        Self { params, ops, kernel, transfer, top }
+        Self {
+            params,
+            ops,
+            kernel,
+            transfer,
+            top,
+        }
     }
 
     pub fn params(&self) -> &TmeParams {
@@ -145,6 +159,10 @@ impl Tme {
     /// finest-grid long-range potential. Exposed for the fixed-point
     /// emulation tests and the machine simulator's workload accounting.
     pub fn long_range_grid_potential(&self, q_finest: &Grid3) -> (Grid3, TmeStats) {
+        debug_assert!(
+            q_finest.as_slice().iter().all(|v| v.is_finite()),
+            "non-finite charge entering the multilevel pipeline"
+        );
         let mut stats = TmeStats::default();
         let levels = self.params.levels;
         // Downward pass: convolve each level, restrict to the next.
@@ -169,6 +187,10 @@ impl Tme {
             phi_l.accumulate(&self.transfer.prolong(&phi));
             phi = phi_l;
         }
+        debug_assert!(
+            phi.as_slice().iter().all(|v| v.is_finite()),
+            "non-finite potential leaving the multilevel pipeline"
+        );
         (phi, stats)
     }
 
@@ -178,6 +200,11 @@ impl Tme {
         let mut out = pairwise::short_range(system, self.params.alpha, self.params.r_cut);
         out.accumulate(&self.long_range(system).0);
         out.accumulate(&pairwise::self_term(system, self.params.alpha));
+        debug_assert!(
+            out.energy.is_finite() && out.forces.iter().all(|f| f.iter().all(|c| c.is_finite())),
+            "non-finite energy/force leaving Tme::compute (energy = {})",
+            out.energy
+        );
         out
     }
 }
@@ -192,7 +219,9 @@ mod tests {
     fn random_neutral_system(n_pairs: usize, box_l: f64, seed: u64) -> CoulombSystem {
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let mut pos = Vec::new();
@@ -211,7 +240,15 @@ mod tests {
     /// Table 1 (the kernel width in grid units, α h, matches the paper's).
     fn paper_like_params(n: usize, r_cut: f64, gc: usize, m: usize, levels: u32) -> TmeParams {
         let alpha = EwaldParams::alpha_from_tolerance(r_cut, 1e-4);
-        TmeParams { n: [n; 3], p: 6, levels, gc, m_gaussians: m, alpha, r_cut }
+        TmeParams {
+            n: [n; 3],
+            p: 6,
+            levels,
+            gc,
+            m_gaussians: m,
+            alpha,
+            r_cut,
+        }
     }
 
     /// Headline validation: TME matches the exact Ewald sum at
@@ -327,7 +364,13 @@ mod tests {
         let sys = random_neutral_system(30, box_l, 3);
         let tme = Tme::new(paper_like_params(16, 1.2, 8, 3, 1), [box_l; 3]);
         let out = tme.compute(&sys);
-        let e2: f64 = 0.5 * sys.q.iter().zip(&out.potentials).map(|(q, p)| q * p).sum::<f64>();
+        let e2: f64 = 0.5
+            * sys
+                .q
+                .iter()
+                .zip(&out.potentials)
+                .map(|(q, p)| q * p)
+                .sum::<f64>();
         assert!((out.energy - e2).abs() < 1e-10 * out.energy.abs().max(1.0));
     }
 
@@ -350,7 +393,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "not divisible")]
     fn indivisible_grid_rejected() {
-        let p = TmeParams { n: [20; 3], p: 6, levels: 3, gc: 8, m_gaussians: 4, alpha: 2.0, r_cut: 1.0 };
+        let p = TmeParams {
+            n: [20; 3],
+            p: 6,
+            levels: 3,
+            gc: 8,
+            m_gaussians: 4,
+            alpha: 2.0,
+            r_cut: 1.0,
+        };
         let _ = Tme::new(p, [4.0; 3]);
     }
 }

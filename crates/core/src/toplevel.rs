@@ -59,14 +59,14 @@ impl TopLevel {
         // as the single-precision DSP datapath does.
         assert_eq!(q.dims(), self.influence.dims());
         let mut buf = q.to_complex();
-        for z in buf.iter_mut() {
+        for z in &mut buf {
             *z = z.to_c32().to_c64();
         }
         self.fft.forward(&mut buf);
         for (z, &g) in buf.iter_mut().zip(self.influence.as_slice()) {
             *z = z.scale(g);
         }
-        for z in buf.iter_mut() {
+        for z in &mut buf {
             *z = z.to_c32().to_c64();
         }
         self.fft.inverse(&mut buf);

@@ -113,7 +113,9 @@ mod tests {
         let mut sys = water_box(1, 1); // placeholder topology
         let mut state = 7u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let box_l = 4.0;
@@ -153,7 +155,10 @@ mod tests {
             }
         }
         let (r_peak, g_peak) = rdf.first_peak(0.2).unwrap();
-        assert!((0.24..=0.42).contains(&r_peak), "first peak at {r_peak:.3} nm");
+        assert!(
+            (0.24..=0.42).contains(&r_peak),
+            "first peak at {r_peak:.3} nm"
+        );
         assert!(g_peak > 1.5, "first peak height {g_peak:.2}");
     }
 

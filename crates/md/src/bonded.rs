@@ -100,7 +100,12 @@ mod tests {
     #[test]
     fn bond_at_equilibrium_has_no_force() {
         let terms = BondedTerms {
-            bonds: vec![Bond { i: 0, j: 1, r0: 0.15, k: 1000.0 }],
+            bonds: vec![Bond {
+                i: 0,
+                j: 1,
+                r0: 0.15,
+                k: 1000.0,
+            }],
             angles: vec![],
         };
         let pos = vec![[1.0, 1.0, 1.0], [1.15, 1.0, 1.0]];
@@ -113,7 +118,12 @@ mod tests {
     #[test]
     fn stretched_bond_pulls_back() {
         let terms = BondedTerms {
-            bonds: vec![Bond { i: 0, j: 1, r0: 0.1, k: 500.0 }],
+            bonds: vec![Bond {
+                i: 0,
+                j: 1,
+                r0: 0.1,
+                k: 500.0,
+            }],
             angles: vec![],
         };
         let pos = vec![[1.0, 1.0, 1.0], [1.2, 1.0, 1.0]];
@@ -130,7 +140,13 @@ mod tests {
         let theta0: f64 = 1.9;
         let terms = BondedTerms {
             bonds: vec![],
-            angles: vec![Angle { i: 0, j: 1, k: 2, theta0, kf: 400.0 }],
+            angles: vec![Angle {
+                i: 0,
+                j: 1,
+                k: 2,
+                theta0,
+                kf: 400.0,
+            }],
         };
         let pos = vec![
             [1.0 + theta0.cos(), 1.0 + theta0.sin(), 1.0],
@@ -146,8 +162,19 @@ mod tests {
     #[test]
     fn forces_are_minus_gradient() {
         let terms = BondedTerms {
-            bonds: vec![Bond { i: 0, j: 1, r0: 0.12, k: 800.0 }],
-            angles: vec![Angle { i: 0, j: 1, k: 2, theta0: 1.8, kf: 300.0 }],
+            bonds: vec![Bond {
+                i: 0,
+                j: 1,
+                r0: 0.12,
+                k: 800.0,
+            }],
+            angles: vec![Angle {
+                i: 0,
+                j: 1,
+                k: 2,
+                theta0: 1.8,
+                kf: 300.0,
+            }],
         };
         let pos = vec![[1.05, 1.1, 0.95], [1.0, 1.0, 1.0], [1.2, 0.9, 1.1]];
         let mut f = vec![[0.0; 3]; 3];
@@ -177,7 +204,13 @@ mod tests {
     fn angle_forces_conserve_momentum_and_torque() {
         let terms = BondedTerms {
             bonds: vec![],
-            angles: vec![Angle { i: 0, j: 1, k: 2, theta0: 2.0, kf: 250.0 }],
+            angles: vec![Angle {
+                i: 0,
+                j: 1,
+                k: 2,
+                theta0: 2.0,
+                kf: 250.0,
+            }],
         };
         let pos = vec![[1.4, 1.3, 1.0], [1.0, 1.0, 1.0], [1.7, 0.8, 1.2]];
         let mut f = vec![[0.0; 3]; 3];
@@ -195,7 +228,12 @@ mod tests {
     #[test]
     fn bond_across_periodic_boundary() {
         let terms = BondedTerms {
-            bonds: vec![Bond { i: 0, j: 1, r0: 0.2, k: 100.0 }],
+            bonds: vec![Bond {
+                i: 0,
+                j: 1,
+                r0: 0.2,
+                k: 100.0,
+            }],
             angles: vec![],
         };
         let pos = vec![[0.05, 5.0, 5.0], [9.95, 5.0, 5.0]]; // 0.1 nm apart through the wall

@@ -34,7 +34,15 @@ impl SettleGeom {
         let m_tot = m_o + 2.0 * m_h;
         let ra = 2.0 * m_h * height / m_tot;
         let rb = height - ra;
-        Self { d_oh, d_hh, m_o, m_h, ra, rb, rc }
+        Self {
+            d_oh,
+            d_hh,
+            m_o,
+            m_h,
+            ra,
+            rb,
+            rc,
+        }
     }
 
     pub fn tip3p() -> Self {
@@ -129,9 +137,9 @@ pub fn settle_positions(geom: &SettleGeom, old: &[V3; 3], new: &mut [V3; 3]) {
 /// After the call, relative velocities along all three bonds vanish and
 /// linear momentum is unchanged.
 pub fn settle_velocities(geom: &SettleGeom, pos: &[V3; 3], vel: &mut [V3; 3]) {
-    let inv_m = [1.0 / geom.m_o, 1.0 / geom.m_h, 1.0 / geom.m_h];
     // Constraints: (0,1), (0,2), (1,2).
     const PAIRS: [(usize, usize); 3] = [(0, 1), (0, 2), (1, 2)];
+    let inv_m = [1.0 / geom.m_o, 1.0 / geom.m_h, 1.0 / geom.m_h];
     let mut e = [[0.0f64; 3]; 3];
     for (c, &(i, j)) in PAIRS.iter().enumerate() {
         let d = vec3::sub(pos[i], pos[j]);
@@ -172,9 +180,12 @@ pub fn settle_velocities(geom: &SettleGeom, pos: &[V3; 3], vel: &mut [V3; 3]) {
 #[allow(clippy::needless_range_loop)] // triangular index arithmetic reads clearer
 fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> [f64; 3] {
     for col in 0..3 {
-        let piv = (col..3)
-            .max_by(|&p, &q| a[p][col].abs().total_cmp(&a[q][col].abs()))
-            .unwrap();
+        let mut piv = col;
+        for p in (col + 1)..3 {
+            if a[p][col].abs() > a[piv][col].abs() {
+                piv = p;
+            }
+        }
         a.swap(col, piv);
         b.swap(col, piv);
         let diag = a[col][col];
@@ -231,12 +242,7 @@ pub fn shake_positions(
 
 /// Apply SETTLE position + nothing else to every water in a system's
 /// position array (convenience used by the integrator).
-pub fn settle_all_positions(
-    geom: &SettleGeom,
-    waters: &[WaterMol],
-    old: &[V3],
-    new: &mut [V3],
-) {
+pub fn settle_all_positions(geom: &SettleGeom, waters: &[WaterMol], old: &[V3], new: &mut [V3]) {
     for w in waters {
         let old3 = [old[w.o], old[w.h1], old[w.h2]];
         let mut new3 = [new[w.o], new[w.h1], new[w.h2]];
@@ -262,8 +268,7 @@ pub fn settle_all_velocities(geom: &SettleGeom, waters: &[WaterMol], pos: &[V3],
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use tme_num::rng::SplitMix64;
 
     fn canonical_water(geom: &SettleGeom) -> [V3; 3] {
         [
@@ -293,7 +298,7 @@ mod tests {
 
     fn perturbed_cases(n: usize, scale: f64, seed: u64) -> Vec<([V3; 3], [V3; 3])> {
         let geom = SettleGeom::tip3p();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         (0..n)
             .map(|_| -> ([V3; 3], [V3; 3]) {
                 // Random rigid orientation of the old triangle.
@@ -326,9 +331,30 @@ mod tests {
                     return (old, old);
                 }
                 let new = [
-                    vec3::add(old[0], [rng.gen_range(-scale..scale), rng.gen_range(-scale..scale), rng.gen_range(-scale..scale)]),
-                    vec3::add(old[1], [rng.gen_range(-scale..scale), rng.gen_range(-scale..scale), rng.gen_range(-scale..scale)]),
-                    vec3::add(old[2], [rng.gen_range(-scale..scale), rng.gen_range(-scale..scale), rng.gen_range(-scale..scale)]),
+                    vec3::add(
+                        old[0],
+                        [
+                            rng.gen_range(-scale..scale),
+                            rng.gen_range(-scale..scale),
+                            rng.gen_range(-scale..scale),
+                        ],
+                    ),
+                    vec3::add(
+                        old[1],
+                        [
+                            rng.gen_range(-scale..scale),
+                            rng.gen_range(-scale..scale),
+                            rng.gen_range(-scale..scale),
+                        ],
+                    ),
+                    vec3::add(
+                        old[2],
+                        [
+                            rng.gen_range(-scale..scale),
+                            rng.gen_range(-scale..scale),
+                            rng.gen_range(-scale..scale),
+                        ],
+                    ),
                 ];
                 (old, new)
             })
@@ -367,7 +393,10 @@ mod tests {
             settle_positions(&geom, &old, &mut fixed);
             for a in 0..3 {
                 for c in 0..3 {
-                    assert!((fixed[a][c] - old[a][c]).abs() < 1e-10, "{fixed:?} vs {old:?}");
+                    assert!(
+                        (fixed[a][c] - old[a][c]).abs() < 1e-10,
+                        "{fixed:?} vs {old:?}"
+                    );
                 }
             }
         }
@@ -377,7 +406,11 @@ mod tests {
     fn settle_agrees_with_shake() {
         let geom = SettleGeom::tip3p();
         let inv_m = [1.0 / geom.m_o, 1.0 / geom.m_h, 1.0 / geom.m_h];
-        let cons = [(0usize, 1usize, geom.d_oh), (0, 2, geom.d_oh), (1, 2, geom.d_hh)];
+        let cons = [
+            (0usize, 1usize, geom.d_oh),
+            (0, 2, geom.d_oh),
+            (1, 2, geom.d_hh),
+        ];
         for (old, new) in perturbed_cases(100, 0.003, 77) {
             let mut via_settle = new;
             settle_positions(&geom, &old, &mut via_settle);
@@ -400,11 +433,11 @@ mod tests {
     #[test]
     fn velocity_constraint_zeroes_bond_rates() {
         let geom = SettleGeom::tip3p();
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = SplitMix64::seed_from_u64(9);
         for _ in 0..100 {
             let pos = canonical_water(&geom);
             let mut vel = [[0.0; 3]; 3];
-            for v in vel.iter_mut() {
+            for v in &mut vel {
                 *v = [
                     rng.gen_range(-1.0..1.0),
                     rng.gen_range(-1.0..1.0),
@@ -437,7 +470,11 @@ mod tests {
     fn shake_converges_on_large_perturbations() {
         let geom = SettleGeom::tip3p();
         let inv_m = [1.0 / geom.m_o, 1.0 / geom.m_h, 1.0 / geom.m_h];
-        let cons = [(0usize, 1usize, geom.d_oh), (0, 2, geom.d_oh), (1, 2, geom.d_hh)];
+        let cons = [
+            (0usize, 1usize, geom.d_oh),
+            (0, 2, geom.d_oh),
+            (1, 2, geom.d_hh),
+        ];
         for (old, new) in perturbed_cases(20, 0.02, 123) {
             let mut p = new.to_vec();
             let ok = shake_positions(&mut p, &old, &cons, &inv_m, 1e-12, 1000);

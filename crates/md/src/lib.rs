@@ -30,8 +30,8 @@ pub mod nonbond;
 pub mod nve;
 pub mod solute;
 pub mod thermostat;
-pub mod trajectory;
 pub mod topology;
+pub mod trajectory;
 pub mod units;
 pub mod water;
 

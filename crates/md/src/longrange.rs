@@ -1,9 +1,9 @@
 //! A common interface over the long-range electrostatics solvers, so the
 //! NVE harness (Fig. 4) can swap SPME ↔ TME ↔ plain cutoff.
 
+use tme_core::Tme;
 use tme_mesh::model::{CoulombResult, CoulombSystem};
 use tme_reference::Spme;
-use tme_core::Tme;
 
 /// A mesh (reciprocal-space) solver for the `erf(αr)/r` long-range part.
 ///
@@ -94,7 +94,9 @@ impl WolfScreened {
     /// Screening chosen so the pair energy at the cutoff is `rtol` of the
     /// bare Coulomb value.
     pub fn for_cutoff(r_cut: f64, rtol: f64) -> Self {
-        Self { alpha: tme_core::alpha_from_rtol(r_cut, rtol) }
+        Self {
+            alpha: tme_core::alpha_from_rtol(r_cut, rtol),
+        }
     }
 }
 
@@ -125,7 +127,15 @@ mod tests {
     fn trait_objects_are_usable() {
         let spme = Spme::new([16; 3], [4.0; 3], 2.0, 6, 1.2);
         let tme = Tme::new(
-            TmeParams { n: [16; 3], p: 6, levels: 1, gc: 8, m_gaussians: 4, alpha: 2.0, r_cut: 1.2 },
+            TmeParams {
+                n: [16; 3],
+                p: 6,
+                levels: 1,
+                gc: 8,
+                m_gaussians: 4,
+                alpha: 2.0,
+                r_cut: 1.2,
+            },
             [4.0; 3],
         );
         let solvers: Vec<Box<dyn LongRange>> = vec![

@@ -56,7 +56,14 @@ impl CellList {
             ];
             cells[(c[0] * dims[1] + c[1]) * dims[2] + c[2]].push(i as u32);
         }
-        Self { dims, cells, cutoff, box_l, brute_force, n_atoms: pos.len() }
+        Self {
+            dims,
+            cells,
+            cutoff,
+            box_l,
+            brute_force,
+            n_atoms: pos.len(),
+        }
     }
 
     pub fn is_brute_force(&self) -> bool {
@@ -66,20 +73,6 @@ impl CellList {
     /// Visit every unordered pair within the cutoff exactly once with the
     /// minimum-image displacement `d = pos[i] − pos[j]` and `r²`.
     pub fn for_each_pair(&self, pos: &[V3], mut f: impl FnMut(usize, usize, V3, f64)) {
-        let rc2 = self.cutoff * self.cutoff;
-        if self.brute_force {
-            for i in 0..self.n_atoms {
-                for j in (i + 1)..self.n_atoms {
-                    let d = vec3::min_image(pos[i], pos[j], self.box_l);
-                    let r2 = vec3::norm_sqr(d);
-                    if r2 < rc2 && r2 > 0.0 {
-                        f(i, j, d, r2);
-                    }
-                }
-            }
-            return;
-        }
-        let dims = self.dims;
         // Half stencil: self cell + 13 forward neighbours.
         const STENCIL: [[i64; 3]; 13] = [
             [1, 0, 0],
@@ -96,6 +89,20 @@ impl CellList {
             [0, 1, 1],
             [1, 1, 1],
         ];
+        let rc2 = self.cutoff * self.cutoff;
+        if self.brute_force {
+            for i in 0..self.n_atoms {
+                for j in (i + 1)..self.n_atoms {
+                    let d = vec3::min_image(pos[i], pos[j], self.box_l);
+                    let r2 = vec3::norm_sqr(d);
+                    if r2 < rc2 && r2 > 0.0 {
+                        f(i, j, d, r2);
+                    }
+                }
+            }
+            return;
+        }
+        let dims = self.dims;
         for cx in 0..dims[0] {
             for cy in 0..dims[1] {
                 for cz in 0..dims[2] {
@@ -176,7 +183,13 @@ impl VerletList {
                 pairs.push((i as u32, j as u32));
             }
         });
-        Self { pairs, cutoff, skin, box_l, ref_pos: pos.to_vec() }
+        Self {
+            pairs,
+            cutoff,
+            skin,
+            box_l,
+            ref_pos: pos.to_vec(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -221,11 +234,10 @@ impl VerletList {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use tme_num::rng::SplitMix64;
 
     fn random_positions(n: usize, box_l: f64, seed: u64) -> Vec<V3> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         (0..n)
             .map(|_| {
                 [
@@ -313,7 +325,9 @@ mod tests {
         let cutoff = 1.0;
         let list = VerletList::build(&pos, [box_l; 3], cutoff, 0.3, |_, _| false);
         let mut got = Vec::new();
-        list.for_each_pair(&pos, |i, j, _, _| got.push(if i < j { (i, j) } else { (j, i) }));
+        list.for_each_pair(&pos, |i, j, _, _| {
+            got.push(if i < j { (i, j) } else { (j, i) });
+        });
         got.sort_unstable();
         let cells = CellList::build(&pos, [box_l; 3], cutoff);
         let want = collect_pairs(&cells, &pos);
@@ -328,8 +342,8 @@ mod tests {
         let skin = 0.3;
         let list = VerletList::build(&pos, [box_l; 3], cutoff, skin, |_, _| false);
         // Move every atom by less than skin/2 in a random direction.
-        let mut rng = StdRng::seed_from_u64(5);
-        for r in pos.iter_mut() {
+        let mut rng = SplitMix64::seed_from_u64(5);
+        for r in &mut pos {
             for c in r.iter_mut() {
                 *c += rng.gen_range(-0.07..0.07);
             }
@@ -337,7 +351,9 @@ mod tests {
         assert!(!list.needs_rebuild(&pos));
         // The stale list still finds every in-cutoff pair.
         let mut got = Vec::new();
-        list.for_each_pair(&pos, |i, j, _, _| got.push(if i < j { (i, j) } else { (j, i) }));
+        list.for_each_pair(&pos, |i, j, _, _| {
+            got.push(if i < j { (i, j) } else { (j, i) });
+        });
         got.sort_unstable();
         let fresh = CellList::build(&pos, [box_l; 3], cutoff);
         let want = collect_pairs(&fresh, &pos);
@@ -359,7 +375,9 @@ mod tests {
         let pos = vec![[1.0, 1.0, 1.0], [1.3, 1.0, 1.0], [1.6, 1.0, 1.0]];
         let list = VerletList::build(&pos, [4.0; 3], 1.0, 0.2, |i, j| i + j == 1);
         let mut pairs = Vec::new();
-        list.for_each_pair(&pos, |i, j, _, _| pairs.push(if i < j { (i, j) } else { (j, i) }));
+        list.for_each_pair(&pos, |i, j, _, _| {
+            pairs.push(if i < j { (i, j) } else { (j, i) });
+        });
         pairs.sort_unstable();
         assert_eq!(pairs, vec![(0, 2), (1, 2)]);
     }

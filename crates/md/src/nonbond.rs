@@ -136,7 +136,10 @@ mod tests {
 
     fn pair_system(r: f64, with_lj: bool) -> MdSystem {
         let lj = if with_lj {
-            LjParams { sigma: tip3p::SIGMA_O, epsilon: tip3p::EPS_O }
+            LjParams {
+                sigma: tip3p::SIGMA_O,
+                epsilon: tip3p::EPS_O,
+            }
         } else {
             LjParams::default()
         };
@@ -223,7 +226,9 @@ mod tests {
         let cells = CellList::build(&sys.pos, sys.box_l, r_cut);
         let mut f_cell = vec![[0.0; 3]; sys.len()];
         let e_cell = short_range(&sys, &cells, alpha, &mut f_cell);
-        let list = VerletList::build(&sys.pos, sys.box_l, r_cut, 0.2, |i, j| sys.is_excluded(i, j));
+        let list = VerletList::build(&sys.pos, sys.box_l, r_cut, 0.2, |i, j| {
+            sys.is_excluded(i, j)
+        });
         let mut f_verlet = vec![[0.0; 3]; sys.len()];
         let e_verlet = short_range_verlet(&sys, &list, alpha, &mut f_verlet);
         assert!((e_cell.lj - e_verlet.lj).abs() < 1e-10);

@@ -124,22 +124,20 @@ impl<'a> NveSim<'a> {
         let mut forces = vec![[0.0; 3]; n];
         let alpha = self.solver.alpha();
         // Short range (LJ + erfc Coulomb) over the Verlet list, rebuilt
-        // once any atom has drifted half a skin.
-        let rebuild = match &self.neighbours {
-            None => true,
-            Some(list) => list.needs_rebuild(&sys.pos),
-        };
-        if rebuild {
-            self.neighbours = Some(VerletList::build(
+        // once any atom has drifted half a skin. take()/insert() keeps the
+        // "a list exists below this point" guarantee structural instead of
+        // asserted with unwrap (lint rule L2).
+        let list = match self.neighbours.take() {
+            Some(l) if !l.needs_rebuild(&sys.pos) => self.neighbours.insert(l),
+            _ => self.neighbours.insert(VerletList::build(
                 &sys.pos,
                 sys.box_l,
                 self.r_cut,
                 self.skin,
                 |i, j| sys.is_excluded(i, j),
-            ));
-        }
-        let short =
-            nonbond::short_range_verlet(sys, self.neighbours.as_ref().unwrap(), alpha, &mut forces);
+            )),
+        };
+        let short = nonbond::short_range_verlet(sys, list, alpha, &mut forces);
         // Bonded terms (flexible molecules; empty for pure rigid water).
         let bonded_energy = sys.bonded.evaluate(&sys.pos, sys.box_l, &mut forces);
         // Long range (mesh), reduced units → kJ/mol. With multiple time
@@ -192,6 +190,13 @@ impl<'a> NveSim<'a> {
                 ]
             })
             .collect();
+        // Forces are the solver↔integrator boundary: a NaN here (overlapping
+        // atoms, broken solver) would silently poison every later step.
+        debug_assert!(
+            self.forces.iter().all(|f| f.iter().all(|c| c.is_finite())),
+            "non-finite force after evaluation at t = {} ps",
+            self.time
+        );
     }
 
     /// One velocity-Verlet + SETTLE step.
@@ -213,7 +218,12 @@ impl<'a> NveSim<'a> {
             }
         }
         // Position constraints; fold the correction back into velocities.
-        settle_all_positions(&self.geom, &self.system.waters, &old_pos, &mut self.system.pos);
+        settle_all_positions(
+            &self.geom,
+            &self.system.waters,
+            &old_pos,
+            &mut self.system.pos,
+        );
         for w in &self.system.waters {
             for idx in [w.o, w.h1, w.h2] {
                 for a in 0..3 {
@@ -229,9 +239,26 @@ impl<'a> NveSim<'a> {
                 self.system.vel[i][a] += 0.5 * dt * self.forces[i][a] * inv_m;
             }
         }
-        settle_all_velocities(&self.geom, &self.system.waters, &self.system.pos, &mut self.system.vel);
+        settle_all_velocities(
+            &self.geom,
+            &self.system.waters,
+            &self.system.pos,
+            &mut self.system.vel,
+        );
         self.time += dt;
         self.step_count += 1;
+        // State leaving the step must be finite; catching the first bad
+        // step localises blow-ups (too-large dt, constraint failure).
+        debug_assert!(
+            self.system
+                .pos
+                .iter()
+                .chain(&self.system.vel)
+                .all(|v| v.iter().all(|c| c.is_finite())),
+            "non-finite position/velocity after step {} (t = {} ps)",
+            self.step_count,
+            self.time
+        );
     }
 
     /// Current energies (uses cached potential terms from the last force
@@ -286,8 +313,8 @@ pub fn energy_drift(records: &[EnergyRecord]) -> f64 {
 mod tests {
     use super::*;
     use crate::longrange::CutoffOnly;
-    use tme_num::vec3;
     use crate::water::{thermalize, water_box};
+    use tme_num::vec3;
     use tme_reference::ewald::EwaldParams;
     use tme_reference::Spme;
 
@@ -387,7 +414,10 @@ mod tests {
         // Both conserve to well under a percent of the kinetic energy per
         // ps; MTS may be modestly worse but not catastrophically.
         assert!(drift1 * 0.06 < 0.02 * kinetic, "every-step drift {drift1}");
-        assert!(drift2 * 0.06 < 0.04 * kinetic, "alternate-step drift {drift2}");
+        assert!(
+            drift2 * 0.06 < 0.04 * kinetic,
+            "alternate-step drift {drift2}"
+        );
         // And the trajectories stay energetically close.
         let d_total = (every.last().unwrap().total - alternate.last().unwrap().total).abs();
         assert!(d_total < 0.02 * kinetic, "MTS diverged by {d_total} kJ/mol");

@@ -37,7 +37,10 @@ impl Default for ChainParams {
             angle_k: 300.0,
             charge: 0.5,
             mass: 14.0,
-            lj: LjParams { sigma: 0.33, epsilon: 0.4 },
+            lj: LjParams {
+                sigma: 0.33,
+                epsilon: 0.4,
+            },
         }
     }
 }
@@ -53,7 +56,9 @@ pub fn add_chain(sys: &mut MdSystem, params: &ChainParams, centre: V3) -> std::o
     let turn = 0.6f64; // radians per bead
     let radius = 0.25;
     let chord = 2.0 * radius * (turn / 2.0).sin();
-    let dz = (params.bond_length * params.bond_length - chord * chord).max(1e-6).sqrt();
+    let dz = (params.bond_length * params.bond_length - chord * chord)
+        .max(1e-6)
+        .sqrt();
     for i in 0..params.beads {
         let phi = i as f64 * turn;
         sys.pos.push(vec3::add(
@@ -62,7 +67,11 @@ pub fn add_chain(sys: &mut MdSystem, params: &ChainParams, centre: V3) -> std::o
         ));
         sys.vel.push([0.0; 3]);
         sys.mass.push(params.mass);
-        sys.q.push(if i % 2 == 0 { params.charge } else { -params.charge });
+        sys.q.push(if i % 2 == 0 {
+            params.charge
+        } else {
+            -params.charge
+        });
         sys.lj.push(params.lj);
     }
     for i in 0..params.beads - 1 {
@@ -98,9 +107,9 @@ pub fn remove_overlapping_waters(sys: &mut MdSystem, solute: std::ops::Range<usi
         .waters
         .iter()
         .map(|w| {
-            solute.clone().all(|s| {
-                vec3::norm_sqr(vec3::min_image(sys.pos[w.o], sys.pos[s], sys.box_l)) > r2
-            })
+            solute
+                .clone()
+                .all(|s| vec3::norm_sqr(vec3::min_image(sys.pos[w.o], sys.pos[s], sys.box_l)) > r2)
         })
         .collect();
     // Old-index → new-index map (waters first, then the solute block).
@@ -142,7 +151,11 @@ pub fn remove_overlapping_waters(sys: &mut MdSystem, solute: std::ops::Range<usi
         .iter()
         .zip(&keep_water)
         .filter(|(_, k)| **k)
-        .map(|(w, _)| crate::topology::WaterMol { o: remap(w.o), h1: remap(w.h1), h2: remap(w.h2) })
+        .map(|(w, _)| crate::topology::WaterMol {
+            o: remap(w.o),
+            h1: remap(w.h1),
+            h2: remap(w.h2),
+        })
         .collect();
     sys.exclusions = sys
         .exclusions
@@ -150,11 +163,11 @@ pub fn remove_overlapping_waters(sys: &mut MdSystem, solute: std::ops::Range<usi
         .filter(|(i, j)| keep_atom(*i) && keep_atom(*j))
         .map(|&(i, j)| (remap(i), remap(j)))
         .collect();
-    for b in sys.bonded.bonds.iter_mut() {
+    for b in &mut sys.bonded.bonds {
         b.i = remap(b.i);
         b.j = remap(b.j);
     }
-    for a in sys.bonded.angles.iter_mut() {
+    for a in &mut sys.bonded.angles {
         a.i = remap(a.i);
         a.j = remap(a.j);
         a.k = remap(a.k);
@@ -195,7 +208,11 @@ mod tests {
         // examples run charged chains with a proper mesh solver).
         let range = solvate_chain(
             &mut sys,
-            &ChainParams { beads: 8, charge: 0.0, ..Default::default() },
+            &ChainParams {
+                beads: 8,
+                charge: 0.0,
+                ..Default::default()
+            },
             centre,
             120,
         );
@@ -218,14 +235,28 @@ mod tests {
     #[test]
     fn chain_is_neutral_for_even_beads() {
         let mut sys = water_box(8, 2);
-        add_chain(&mut sys, &ChainParams { beads: 10, ..Default::default() }, [1.0, 1.0, 0.1]);
+        add_chain(
+            &mut sys,
+            &ChainParams {
+                beads: 10,
+                ..Default::default()
+            },
+            [1.0, 1.0, 0.1],
+        );
         assert!(sys.q.iter().sum::<f64>().abs() < 1e-12);
     }
 
     #[test]
     fn exclusions_cover_12_and_13() {
         let mut sys = water_box(4, 3);
-        let r = add_chain(&mut sys, &ChainParams { beads: 5, ..Default::default() }, [0.8, 0.8, 0.1]);
+        let r = add_chain(
+            &mut sys,
+            &ChainParams {
+                beads: 5,
+                ..Default::default()
+            },
+            [0.8, 0.8, 0.1],
+        );
         let b = r.start;
         assert!(sys.is_excluded(b, b + 1));
         assert!(sys.is_excluded(b, b + 2));
@@ -237,7 +268,14 @@ mod tests {
         let mut sys = water_box(64, 9);
         let n_water_atoms = sys.len();
         let centre = [sys.box_l[0] * 0.5, sys.box_l[1] * 0.5, 0.2];
-        let range = add_chain(&mut sys, &ChainParams { beads: 6, ..Default::default() }, centre);
+        let range = add_chain(
+            &mut sys,
+            &ChainParams {
+                beads: 6,
+                ..Default::default()
+            },
+            centre,
+        );
         remove_overlapping_waters(&mut sys, range, 0.35);
         assert!(sys.len() < n_water_atoms + 6, "no waters were carved out");
         // Layout invariants after remap.

@@ -33,7 +33,7 @@ impl Berendsen {
         // Clamp the correction so a cold/hot start cannot overshoot.
         let ratio = (1.0 + dt / self.tau * (self.t_target / t - 1.0)).clamp(0.64, 1.56);
         let lambda = ratio.sqrt();
-        for v in sys.vel.iter_mut() {
+        for v in &mut sys.vel {
             v[0] *= lambda;
             v[1] *= lambda;
             v[2] *= lambda;
@@ -83,7 +83,7 @@ mod tests {
         // Force the temperature to exactly 300 K first.
         let t = sys.temperature();
         let fix = (300.0f64 / t).sqrt();
-        for v in sys.vel.iter_mut() {
+        for v in &mut sys.vel {
             for c in v.iter_mut() {
                 *c *= fix;
             }

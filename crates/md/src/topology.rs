@@ -65,7 +65,9 @@ impl MdSystem {
     /// Degrees of freedom: 3N − 3·(waters) − 3 (COM motion removed),
     /// floored at 1 so degenerate systems don't divide by zero.
     pub fn degrees_of_freedom(&self) -> usize {
-        (3 * self.len()).saturating_sub(3 * self.waters.len() + 3).max(1)
+        (3 * self.len())
+            .saturating_sub(3 * self.waters.len() + 3)
+            .max(1)
     }
 
     /// Instantaneous temperature (K) from equipartition.
@@ -118,11 +120,28 @@ mod tests {
         let mut s = MdSystem {
             pos: vec![[0.0; 3]; 6],
             vel: vec![[0.0; 3]; 6],
-            mass: vec![tip3p::M_O, tip3p::M_H, tip3p::M_H, tip3p::M_O, tip3p::M_H, tip3p::M_H],
-            q: vec![tip3p::Q_O, tip3p::Q_H, tip3p::Q_H, tip3p::Q_O, tip3p::Q_H, tip3p::Q_H],
+            mass: vec![
+                tip3p::M_O,
+                tip3p::M_H,
+                tip3p::M_H,
+                tip3p::M_O,
+                tip3p::M_H,
+                tip3p::M_H,
+            ],
+            q: vec![
+                tip3p::Q_O,
+                tip3p::Q_H,
+                tip3p::Q_H,
+                tip3p::Q_O,
+                tip3p::Q_H,
+                tip3p::Q_H,
+            ],
             lj: vec![LjParams::default(); 6],
             box_l: [3.0; 3],
-            waters: vec![WaterMol { o: 0, h1: 1, h2: 2 }, WaterMol { o: 3, h1: 4, h2: 5 }],
+            waters: vec![
+                WaterMol { o: 0, h1: 1, h2: 2 },
+                WaterMol { o: 3, h1: 4, h2: 5 },
+            ],
             exclusions: vec![(1, 2), (0, 1), (0, 2), (3, 4), (3, 5), (4, 5)],
             bonded: BondedTerms::default(),
         };
@@ -160,7 +179,7 @@ mod tests {
     fn kinetic_energy_and_temperature() {
         let mut s = two_waters();
         // All atoms at 1 nm/ps along x: E = ½Σm.
-        for v in s.vel.iter_mut() {
+        for v in &mut s.vel {
             *v = [1.0, 0.0, 0.0];
         }
         let e = s.kinetic_energy();

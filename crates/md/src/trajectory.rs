@@ -75,13 +75,17 @@ mod tests {
     use super::*;
     use crate::water::water_box;
 
+    /// Tests return `Result` and use `?` so I/O and parse failures carry
+    /// their own error context instead of panicking through `unwrap`.
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
     #[test]
-    fn frame_structure_is_valid_xyz() {
+    fn frame_structure_is_valid_xyz() -> TestResult {
         let sys = water_box(8, 1);
         let mut w = XyzWriter::new(Vec::new());
-        w.write_frame(&sys, 0.5).unwrap();
-        w.write_frame(&sys, 1.0).unwrap();
-        let text = String::from_utf8(w.into_inner().unwrap()).unwrap();
+        w.write_frame(&sys, 0.5)?;
+        w.write_frame(&sys, 1.0)?;
+        let text = String::from_utf8(w.into_inner()?)?;
         let lines: Vec<&str> = text.lines().collect();
         // Two frames of (2 header + 24 atom) lines.
         assert_eq!(lines.len(), 2 * (2 + 24));
@@ -92,46 +96,57 @@ mod tests {
         assert!(lines[3].starts_with("H "));
         assert!(lines[4].starts_with("H "));
         assert!(lines[5].starts_with("O "));
+        Ok(())
     }
 
     #[test]
-    fn wrapped_positions_inside_box() {
+    fn wrapped_positions_inside_box() -> TestResult {
         let mut sys = water_box(8, 2);
         sys.pos[0] = [-0.3, 100.0, 0.5]; // far outside
         let mut w = XyzWriter::new(Vec::new());
-        w.write_frame(&sys, 0.0).unwrap();
-        let text = String::from_utf8(w.into_inner().unwrap()).unwrap();
-        let first_atom = text.lines().nth(2).unwrap();
+        w.write_frame(&sys, 0.0)?;
+        let text = String::from_utf8(w.into_inner()?)?;
+        let first_atom = text.lines().nth(2).ok_or("no atom line")?;
         let coords: Vec<f64> = first_atom
             .split_whitespace()
             .skip(1)
-            .map(|v| v.parse().unwrap())
-            .collect();
+            .map(str::parse)
+            .collect::<Result<_, _>>()?;
         for (c, l) in coords.iter().zip(&sys.box_l) {
             assert!(*c >= 0.0 && *c < *l, "{c} outside [0, {l})");
         }
+        Ok(())
     }
 
     #[test]
-    fn unwrapped_mode_preserves_raw_positions() {
+    fn unwrapped_mode_preserves_raw_positions() -> TestResult {
         let mut sys = water_box(4, 3);
         sys.pos[0] = [-0.25, 0.1, 0.1];
         let mut w = XyzWriter::new(Vec::new());
         w.wrap = false;
-        w.write_frame(&sys, 0.0).unwrap();
-        let text = String::from_utf8(w.into_inner().unwrap()).unwrap();
-        assert!(text.lines().nth(2).unwrap().contains("-0.25"));
+        w.write_frame(&sys, 0.0)?;
+        let text = String::from_utf8(w.into_inner()?)?;
+        assert!(text.lines().nth(2).ok_or("no atom line")?.contains("-0.25"));
+        Ok(())
     }
 
     #[test]
-    fn non_water_atoms_labelled_x() {
+    fn non_water_atoms_labelled_x() -> TestResult {
         use crate::solute::{add_chain, ChainParams};
         let mut sys = water_box(4, 5);
-        add_chain(&mut sys, &ChainParams { beads: 3, ..Default::default() }, [0.5, 0.5, 0.1]);
+        add_chain(
+            &mut sys,
+            &ChainParams {
+                beads: 3,
+                ..Default::default()
+            },
+            [0.5, 0.5, 0.1],
+        );
         let mut w = XyzWriter::new(Vec::new());
-        w.write_frame(&sys, 0.0).unwrap();
-        let text = String::from_utf8(w.into_inner().unwrap()).unwrap();
-        let last = text.lines().last().unwrap();
+        w.write_frame(&sys, 0.0)?;
+        let text = String::from_utf8(w.into_inner()?)?;
+        let last = text.lines().last().ok_or("empty output")?;
         assert!(last.starts_with("X "), "{last}");
+        Ok(())
     }
 }

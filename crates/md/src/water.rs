@@ -8,12 +8,11 @@
 
 use crate::topology::{LjParams, MdSystem, WaterMol};
 use crate::units::tip3p;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tme_num::rng::SplitMix64;
 use tme_num::vec3::{self, V3};
 
 /// A rigid TIP3P template centred on the oxygen, arbitrary orientation.
-fn water_template(rng: &mut StdRng) -> [V3; 3] {
+fn water_template(rng: &mut SplitMix64) -> [V3; 3] {
     // Random rotation from a random unit quaternion.
     let q = random_unit_quaternion(rng);
     let half = tip3p::ANGLE_HOH_DEG.to_radians() / 2.0;
@@ -23,7 +22,7 @@ fn water_template(rng: &mut StdRng) -> [V3; 3] {
     [rotate(q, o), rotate(q, h1), rotate(q, h2)]
 }
 
-fn random_unit_quaternion(rng: &mut StdRng) -> [f64; 4] {
+fn random_unit_quaternion(rng: &mut SplitMix64) -> [f64; 4] {
     loop {
         let q = [
             rng.gen_range(-1.0..1.0),
@@ -73,7 +72,7 @@ pub fn water_box(n_waters: usize, seed: u64) -> MdSystem {
 
 /// Build `n_waters` TIP3P molecules in a given box (density implied).
 pub fn water_box_in(n_waters: usize, box_l: V3, seed: u64) -> MdSystem {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     // Lattice fine enough to hold all molecules.
     let mut cells = 1usize;
     while cells * cells * cells < n_waters {
@@ -120,7 +119,10 @@ pub fn water_box_in(n_waters: usize, box_l: V3, seed: u64) -> MdSystem {
                         0 => {
                             sys.mass.push(tip3p::M_O);
                             sys.q.push(tip3p::Q_O);
-                            sys.lj.push(LjParams { sigma: tip3p::SIGMA_O, epsilon: tip3p::EPS_O });
+                            sys.lj.push(LjParams {
+                                sigma: tip3p::SIGMA_O,
+                                epsilon: tip3p::EPS_O,
+                            });
                         }
                         _ => {
                             sys.mass.push(tip3p::M_H);
@@ -129,7 +131,11 @@ pub fn water_box_in(n_waters: usize, box_l: V3, seed: u64) -> MdSystem {
                         }
                     }
                 }
-                sys.waters.push(WaterMol { o: base, h1: base + 1, h2: base + 2 });
+                sys.waters.push(WaterMol {
+                    o: base,
+                    h1: base + 1,
+                    h2: base + 2,
+                });
                 sys.exclusions.push((base, base + 1));
                 sys.exclusions.push((base, base + 2));
                 sys.exclusions.push((base + 1, base + 2));
@@ -145,11 +151,11 @@ pub fn water_box_in(n_waters: usize, box_l: V3, seed: u64) -> MdSystem {
 /// Draw Maxwell–Boltzmann velocities at temperature `t_kelvin` and remove
 /// the centre-of-mass drift.
 pub fn thermalize(sys: &mut MdSystem, t_kelvin: f64, seed: u64) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     for (m, v) in sys.mass.iter().zip(sys.vel.iter_mut()) {
         let sigma = (crate::units::KB * t_kelvin / m).sqrt();
         for c in v.iter_mut() {
-            *c = sigma * gaussian(&mut rng);
+            *c = sigma * rng.normal();
         }
     }
     sys.remove_com_velocity();
@@ -177,17 +183,19 @@ pub fn relax(sys: &mut MdSystem, steps: usize, r_cut: f64) -> f64 {
     let mut energy = f64::INFINITY;
     let mut list: Option<VerletList> = None;
     for _ in 0..steps {
-        let stale = match &list {
-            None => true,
-            Some(l) => l.needs_rebuild(&sys.pos),
+        // take()/insert() keeps "a list exists" structural (lint rule L2).
+        let current = match list.take() {
+            Some(l) if !l.needs_rebuild(&sys.pos) => list.insert(l),
+            _ => list.insert(VerletList::build(
+                &sys.pos,
+                sys.box_l,
+                r_cut,
+                skin,
+                |i, j| sys.is_excluded(i, j),
+            )),
         };
-        if stale {
-            list = Some(VerletList::build(&sys.pos, sys.box_l, r_cut, skin, |i, j| {
-                sys.is_excluded(i, j)
-            }));
-        }
         let mut forces = vec![[0.0; 3]; sys.len()];
-        let e = nonbond::short_range_verlet(sys, list.as_ref().unwrap(), alpha, &mut forces);
+        let e = nonbond::short_range_verlet(sys, current, alpha, &mut forces);
         let e_bonded = sys.bonded.evaluate(&sys.pos, sys.box_l, &mut forces);
         energy = e.lj + e.coulomb + e_bonded;
         // Cap the largest displacement at max_step.
@@ -206,18 +214,6 @@ pub fn relax(sys: &mut MdSystem, steps: usize, r_cut: f64) -> f64 {
         settle_all_positions(&geom, &sys.waters, &old, &mut sys.pos);
     }
     energy
-}
-
-/// Box–Muller standard normal.
-fn gaussian(rng: &mut StdRng) -> f64 {
-    loop {
-        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
-        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-        if z.is_finite() {
-            return z;
-        }
-    }
 }
 
 #[cfg(test)]
@@ -282,7 +278,10 @@ mod tests {
         let mut s = water_box(64, 21);
         let before = relax(&mut s, 1, 0.8); // energy of the raw lattice
         let after = relax(&mut s, 60, 0.8);
-        assert!(after < before, "relaxation did not lower energy: {before} -> {after}");
+        assert!(
+            after < before,
+            "relaxation did not lower energy: {before} -> {after}"
+        );
         for w in &s.waters {
             let d = vec3::norm(vec3::sub(s.pos[w.o], s.pos[w.h1]));
             assert!((d - tip3p::R_OH).abs() < 1e-8, "rigidity lost: {d}");

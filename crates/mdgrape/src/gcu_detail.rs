@@ -49,8 +49,10 @@ pub fn simulate_axis_pass(
     assert!(ring >= 1 && blocks >= 1);
     let reach = gc.div_ceil(4).min(ring / 2);
     // Per-node, per-direction link resources.
-    let mut links_plus: Vec<Resource> = (0..ring).map(|i| Resource::new(format!("+x{i}"))).collect();
-    let mut links_minus: Vec<Resource> = (0..ring).map(|i| Resource::new(format!("-x{i}"))).collect();
+    let mut links_plus: Vec<Resource> =
+        (0..ring).map(|i| Resource::new(format!("+x{i}"))).collect();
+    let mut links_minus: Vec<Resource> =
+        (0..ring).map(|i| Resource::new(format!("-x{i}"))).collect();
     // Arrival times of every (source, block) at every destination.
     let mut arrivals: Vec<Vec<Time>> = vec![Vec::new(); ring];
     let mut packet_hops = 0usize;
@@ -82,10 +84,14 @@ pub fn simulate_axis_pass(
     for _hop in 0..reach {
         // Ready order within the hop level.
         frontier.sort_by(|a, b| a.2.total_cmp(&b.2));
-        for entry in frontier.iter_mut() {
+        for entry in &mut frontier {
             let (here, dir, ready) = *entry;
             let next = (here as i64 + dir).rem_euclid(ring as i64) as usize;
-            let link = if dir > 0 { &mut links_plus[here] } else { &mut links_minus[here] };
+            let link = if dir > 0 {
+                &mut links_plus[here]
+            } else {
+                &mut links_minus[here]
+            };
             let (_, end) = link.schedule(ready, serial, "block");
             let arrive = end + latency;
             arrivals[next].push(arrive);
@@ -96,7 +102,7 @@ pub fn simulate_axis_pass(
     // Each node's GCU convolves blocks in arrival order.
     let compute = block_compute_us(cfg, blocks) / blocks.max(1) as f64;
     let mut makespan: Time = 0.0;
-    for arr in arrivals.iter_mut() {
+    for arr in &mut arrivals {
         arr.sort_by(f64::total_cmp);
         let mut gcu = Resource::new("GCU");
         let mut done = 0.0;

@@ -41,8 +41,7 @@ pub fn transfer_us(cfg: &MachineConfig, w: &StepWorkload, level: u32) -> f64 {
 
 /// GP integration phase (half-kick + drift + constraints) on one node.
 pub fn gp_integrate_us(cfg: &MachineConfig, atoms_on_node: f64) -> f64 {
-    atoms_on_node * cfg.gp_cycles_integrate_per_atom
-        / (cfg.gp_cores as f64 * cfg.clock_ghz * 1e3)
+    atoms_on_node * cfg.gp_cycles_integrate_per_atom / (cfg.gp_cores as f64 * cfg.clock_ghz * 1e3)
 }
 
 /// GP bonded-force phase on one node.

@@ -61,18 +61,38 @@ pub fn bonded_integration_unit(base: &MachineConfig) -> MachineConfig {
 
 /// All §VI.B improvements together.
 pub fn next_generation(base: &MachineConfig) -> MachineConfig {
-    bonded_integration_unit(&hardware_event_manager(&direct_soc_fpga(&upgraded_fpga(base))))
+    bonded_integration_unit(&hardware_event_manager(&direct_soc_fpga(&upgraded_fpga(
+        base,
+    ))))
 }
 
 /// The standard variant list for the report.
 pub fn variants(base: &MachineConfig) -> Vec<Variant> {
     vec![
-        Variant { name: "as built", config: base.clone() },
-        Variant { name: "+4x FPGA convolution", config: upgraded_fpga(base) },
-        Variant { name: "+direct SoC-FPGA octree", config: direct_soc_fpga(base) },
-        Variant { name: "+hardware event manager", config: hardware_event_manager(base) },
-        Variant { name: "+bonded/integration unit", config: bonded_integration_unit(base) },
-        Variant { name: "next-generation (all)", config: next_generation(base) },
+        Variant {
+            name: "as built",
+            config: base.clone(),
+        },
+        Variant {
+            name: "+4x FPGA convolution",
+            config: upgraded_fpga(base),
+        },
+        Variant {
+            name: "+direct SoC-FPGA octree",
+            config: direct_soc_fpga(base),
+        },
+        Variant {
+            name: "+hardware event manager",
+            config: hardware_event_manager(base),
+        },
+        Variant {
+            name: "+bonded/integration unit",
+            config: bonded_integration_unit(base),
+        },
+        Variant {
+            name: "next-generation (all)",
+            config: next_generation(base),
+        },
     ]
 }
 
@@ -102,9 +122,7 @@ mod tests {
 
         // FPGA upgrade shortens the TMENW round trip.
         let f = simulate_step(&upgraded_fpga(&base()), &w);
-        assert!(
-            f.phase("TMENW round trip").unwrap() < b.phase("TMENW round trip").unwrap()
-        );
+        assert!(f.phase("TMENW round trip").unwrap() < b.phase("TMENW round trip").unwrap());
 
         // Direct links shorten it further.
         let d = simulate_step(&direct_soc_fpga(&base()), &w);
@@ -116,7 +134,12 @@ mod tests {
 
         // Bonded unit shortens the whole step (GP is the bottleneck).
         let g = simulate_step(&bonded_integration_unit(&base()), &w);
-        assert!(g.total_us < 0.5 * b.total_us, "{} vs {}", g.total_us, b.total_us);
+        assert!(
+            g.total_us < 0.5 * b.total_us,
+            "{} vs {}",
+            g.total_us,
+            b.total_us
+        );
     }
 
     #[test]

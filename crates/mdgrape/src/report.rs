@@ -122,7 +122,12 @@ pub fn format_table2(rows: &[Table2Row]) -> String {
         let marker = if r.simulated { " [simulated]" } else { "" };
         out.push_str(&format!(
             "{:<26} {:<10} {:>12.2} {:>12.0} {:>12.0}{}\n",
-            r.system, r.method, r.performance_us_per_day, r.time_per_step_us, r.long_range_us, marker
+            r.system,
+            r.method,
+            r.performance_us_per_day,
+            r.time_per_step_us,
+            r.long_range_us,
+            marker
         ));
     }
     out
@@ -137,7 +142,11 @@ mod tests {
         // Paper Table 2: MDGRAPE-4A = 1.0 µs/day, 200 µs/step, ~50 µs LR.
         let rows = table2(&MachineConfig::mdgrape4a(), &StepWorkload::paper_fig9());
         let ours = rows.iter().find(|r| r.simulated).unwrap();
-        assert!((ours.performance_us_per_day - 1.0).abs() < 0.15, "{}", ours.performance_us_per_day);
+        assert!(
+            (ours.performance_us_per_day - 1.0).abs() < 0.15,
+            "{}",
+            ours.performance_us_per_day
+        );
         assert!((ours.time_per_step_us - 200.0).abs() < 20.0);
         assert!((ours.long_range_us - 50.0).abs() < 12.0);
     }

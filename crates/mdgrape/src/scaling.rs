@@ -109,7 +109,11 @@ mod tests {
         // At 512 nodes the job is latency-affected but still worthwhile
         // (the machine exists because the speedup is real).
         let last = pts.last().unwrap();
-        assert!(last.efficiency > 0.2 && last.efficiency < 0.98, "{}", last.efficiency);
+        assert!(
+            last.efficiency > 0.2 && last.efficiency < 0.98,
+            "{}",
+            last.efficiency
+        );
     }
 
     #[test]

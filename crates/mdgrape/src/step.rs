@@ -143,12 +143,20 @@ pub fn simulate_step(cfg: &MachineConfig, w: &StepWorkload) -> StepReport {
 
     // ---- nonbond pipelines ----
     let t_pp = barrier(atoms.iter().map(|&a| modules::pp_nonbond_us(cfg, w, a)));
-    pp.schedule(force_phase_start, modules::pp_nonbond_us(cfg, w, atoms_max), "nonbond");
+    pp.schedule(
+        force_phase_start,
+        modules::pp_nonbond_us(cfg, w, atoms_max),
+        "nonbond",
+    );
     let pp_end = force_phase_start + t_pp;
 
     // ---- bonded forces on GP ----
     let t_bonded = barrier(atoms.iter().map(|&a| modules::gp_bonded_us(cfg, a)));
-    gp.schedule(force_phase_start, modules::gp_bonded_us(cfg, atoms_max), "bonded");
+    gp.schedule(
+        force_phase_start,
+        modules::gp_bonded_us(cfg, atoms_max),
+        "bonded",
+    );
     let bonded_end = force_phase_start + t_bonded;
 
     // ---- long-range (TME) pipeline ----
@@ -239,15 +247,95 @@ pub fn simulate_step(cfg: &MachineConfig, w: &StepWorkload) -> StepReport {
 
     // ---- INTEGRATE₂ ----
     let t_int2 = barrier(atoms.iter().map(|&a| modules::gp_integrate_us(cfg, a)));
-    gp.schedule(force_phase_end, modules::gp_integrate_us(cfg, atoms_max), "INTEGRATE");
+    gp.schedule(
+        force_phase_end,
+        modules::gp_integrate_us(cfg, atoms_max),
+        "INTEGRATE",
+    );
     let total = force_phase_end + t_int2 + cfg.cgp_phase_overhead_us;
 
-    StepReport {
+    let report = StepReport {
         modules: vec![gp, cgp, pp, lru, gcu, nw, tmenw],
         total_us: total,
         long_range_span: lr_span,
         long_range_phases: phases,
         force_phase: (force_phase_start, force_phase_end),
+    };
+    debug_assert_step_invariants(&report);
+    report
+}
+
+/// Schedule sanity checks, compiled out of release builds: every span is a
+/// finite forward interval inside the step, serially reusable modules never
+/// overlap themselves, the long-range pipeline sits inside the force phase,
+/// and the GCU runs restriction → convolution → prolongation in that order
+/// (§V.B: the downward pass must finish before the level convolutions whose
+/// output the upward pass consumes).
+fn debug_assert_step_invariants(r: &StepReport) {
+    const EPS: Time = 1e-9;
+    debug_assert!(
+        r.total_us.is_finite() && r.total_us >= 0.0,
+        "bad total {}",
+        r.total_us
+    );
+    let (fs, fe) = r.force_phase;
+    debug_assert!(
+        fs <= fe + EPS && fe <= r.total_us + EPS,
+        "force phase [{fs},{fe}] outside step"
+    );
+    for m in &r.modules {
+        for s in &m.spans {
+            debug_assert!(
+                s.start.is_finite() && s.start - EPS <= s.end && s.end <= r.total_us + EPS,
+                "{} span `{}` [{}, {}] escapes the step (total {})",
+                m.name,
+                s.label,
+                s.start,
+                s.end,
+                r.total_us
+            );
+        }
+        // Serial reuse: a module runs one activity at a time, so its span
+        // log is chronologically ordered and non-overlapping — and its busy
+        // time cannot exceed the step (work conservation).
+        for w in m.spans.windows(2) {
+            debug_assert!(
+                w[0].end <= w[1].start + EPS,
+                "{} spans `{}` and `{}` overlap",
+                m.name,
+                w[0].label,
+                w[1].label
+            );
+        }
+        debug_assert!(
+            m.busy_total() <= r.total_us + EPS,
+            "{} busier than the step",
+            m.name
+        );
+    }
+    if let Some((ls, le)) = r.long_range_span {
+        debug_assert!(
+            fs - EPS <= ls && le <= fe + EPS,
+            "LR [{ls},{le}] outside force phase"
+        );
+        if let Some(gcu) = r.module("GCU") {
+            let first = |p: &str| {
+                gcu.spans
+                    .iter()
+                    .find(|s| s.label.starts_with(p))
+                    .map(|s| s.start)
+            };
+            if let (Some(re), Some(co), Some(pr)) = (
+                first("restriction"),
+                first("convolution"),
+                first("prolongation"),
+            ) {
+                debug_assert!(
+                    re <= co && co <= pr,
+                    "GCU phases out of order: {re}, {co}, {pr}"
+                );
+            }
+        }
     }
 }
 
@@ -302,6 +390,10 @@ impl RunReport {
 mod tests {
     use super::*;
 
+    /// Tests return `Result` and use `?` with labelled `ok_or` errors so a
+    /// missing phase/module names itself instead of panicking via unwrap.
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
     fn cfg() -> MachineConfig {
         MachineConfig::mdgrape4a()
     }
@@ -317,10 +409,16 @@ mod tests {
         off.long_range = false;
         let without = simulate_run(&c, &off, 20).mean();
         // Alternate-step cost sits between every-step and never.
-        assert!(alternate < every && alternate > without, "{without} !< {alternate} !< {every}");
+        assert!(
+            alternate < every && alternate > without,
+            "{without} !< {alternate} !< {every}"
+        );
         let saved = every - alternate;
         let full_overhead = every - without;
-        assert!((saved / full_overhead - 0.5).abs() < 0.2, "saved {saved} of {full_overhead}");
+        assert!(
+            (saved / full_overhead - 0.5).abs() < 0.2,
+            "saved {saved} of {full_overhead}"
+        );
     }
 
     #[test]
@@ -376,41 +474,50 @@ mod tests {
     /// §V.B phase durations: restriction ≈ 1.5 µs, convolution ≈ 6 µs,
     /// prolongation ≈ 1.5 µs, TMENW < 20 µs, LRU ≈ 10 µs total.
     #[test]
-    fn long_range_phases_match_paper() {
+    fn long_range_phases_match_paper() -> TestResult {
         let r = simulate_step(&cfg(), &StepWorkload::paper_fig9());
-        let restriction = r.phase("restriction L1").unwrap();
-        let conv = r.phase("convolution L1").unwrap();
-        let prolong = r.phase("prolongation L1").unwrap();
-        let tmenw = r.phase("TMENW round trip").unwrap();
-        let ca = r.phase("CA").unwrap();
-        let bi = r.phase("BI").unwrap();
+        let restriction = r.phase("restriction L1").ok_or("no restriction phase")?;
+        let conv = r.phase("convolution L1").ok_or("no convolution phase")?;
+        let prolong = r.phase("prolongation L1").ok_or("no prolongation phase")?;
+        let tmenw = r.phase("TMENW round trip").ok_or("no TMENW phase")?;
+        let ca = r.phase("CA").ok_or("no CA phase")?;
+        let bi = r.phase("BI").ok_or("no BI phase")?;
         assert!((restriction - 1.5).abs() < 0.7, "restriction {restriction}");
         assert!((conv - 6.0).abs() < 2.0, "convolution {conv}");
         assert!((prolong - 1.5).abs() < 0.7, "prolongation {prolong}");
         assert!(tmenw < 20.0, "TMENW {tmenw}");
         assert!((ca + bi - 10.0).abs() < 4.0, "LRU total {}", ca + bi);
+        Ok(())
     }
 
     /// The long-range pipeline overlaps the other force work: its span
     /// must fit inside the force phase, and the TMENW round trip must
     /// overlap the GCU convolution (§V.C).
     #[test]
-    fn long_range_overlaps_force_phase() {
+    fn long_range_overlaps_force_phase() -> TestResult {
         let r = simulate_step(&cfg(), &StepWorkload::paper_fig9());
-        let (lr_s, lr_e) = r.long_range_span.unwrap();
+        let (lr_s, lr_e) = r.long_range_span.ok_or("no long-range span")?;
         let (f_s, f_e) = r.force_phase;
-        assert!(lr_s >= f_s && lr_e <= f_e, "LR [{lr_s},{lr_e}] vs force [{f_s},{f_e}]");
-        let gcu = r.module("GCU").unwrap();
-        let tmenw = r.module("TMENW").unwrap();
-        let conv = gcu.spans.iter().find(|s| s.label.starts_with("convolution")).unwrap();
+        assert!(
+            lr_s >= f_s && lr_e <= f_e,
+            "LR [{lr_s},{lr_e}] vs force [{f_s},{f_e}]"
+        );
+        let gcu = r.module("GCU").ok_or("no GCU module")?;
+        let tmenw = r.module("TMENW").ok_or("no TMENW module")?;
+        let conv = gcu
+            .spans
+            .iter()
+            .find(|s| s.label.starts_with("convolution"))
+            .ok_or("no GCU convolution span")?;
         let rt = &tmenw.spans[0];
         assert!(rt.start < conv.end && conv.start < rt.end, "no overlap");
+        Ok(())
     }
 
     /// §VI.A: the 64³/L=2 workload costs ≈150 µs of long-range time, with
     /// the GCU part ×8.
     #[test]
-    fn grid64_long_range_near_150us() {
+    fn grid64_long_range_near_150us() -> TestResult {
         let c = cfg();
         let r = simulate_step(&c, &StepWorkload::paper_grid64());
         let lr = r.long_range_us();
@@ -421,33 +528,47 @@ mod tests {
         assert!((lr - 150.0).abs() < 40.0, "64³ long-range {lr} µs");
         let conv32 = simulate_step(&c, &StepWorkload::paper_fig9())
             .phase("convolution L1")
-            .unwrap();
-        let conv64 = r.phase("convolution L1").unwrap();
+            .ok_or("no 32-grid convolution phase")?;
+        let conv64 = r
+            .phase("convolution L1")
+            .ok_or("no 64-grid convolution phase")?;
         let ratio = conv64 / conv32;
         assert!(ratio > 6.0 && ratio < 9.0, "GCU scaling {ratio}");
+        Ok(())
     }
 
     #[test]
-    fn observed_node_spans_are_consistent() {
+    fn observed_node_spans_are_consistent() -> TestResult {
         let r = simulate_step(&cfg(), &StepWorkload::paper_fig9());
         for res in &r.modules {
             for s in &res.spans {
                 assert!(s.end >= s.start);
-                assert!(s.end <= r.total_us + 1e-9, "{} span ends past total", res.name);
+                assert!(
+                    s.end <= r.total_us + 1e-9,
+                    "{} span ends past total",
+                    res.name
+                );
             }
         }
         // GP runs exactly integrate, bonded, integrate; the CGP software
         // stretches live on their own core.
-        let gp = r.module("GP").unwrap();
+        let gp = r.module("GP").ok_or("no GP module")?;
         assert_eq!(gp.spans.len(), 3);
-        assert_eq!(r.module("CGP").unwrap().spans.len(), 2);
+        assert_eq!(r.module("CGP").ok_or("no CGP module")?.spans.len(), 2);
+        Ok(())
     }
 
     #[test]
     fn utilisation_is_sane() {
         let r = simulate_step(&cfg(), &StepWorkload::paper_fig9());
         let u = r.utilisation();
-        let get = |n: &str| u.iter().find(|(m, _)| *m == n).map(|(_, v)| *v).unwrap();
+        // Missing module -> NaN, which fails the range assertions below
+        // with the full utilisation table in the message.
+        let get = |n: &str| {
+            u.iter()
+                .find(|(m, _)| *m == n)
+                .map_or(f64::NAN, |(_, v)| *v)
+        };
         // Every fraction within [0, 1].
         assert!(u.iter().all(|(_, v)| (0.0..=1.0).contains(v)), "{u:?}");
         // The GP is the busiest unit (the paper's bottleneck diagnosis);

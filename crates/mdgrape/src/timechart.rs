@@ -53,7 +53,10 @@ pub fn render_long_range(report: &StepReport) -> String {
     }
     for (name, dur) in &report.long_range_phases {
         let bars = (dur * 4.0).round().max(1.0) as usize;
-        out.push_str(&format!("  {name:<18} {dur:6.2} µs |{}\n", "#".repeat(bars.min(120))));
+        out.push_str(&format!(
+            "  {name:<18} {dur:6.2} µs |{}\n",
+            "#".repeat(bars.min(120))
+        ));
     }
     out
 }
@@ -123,7 +126,14 @@ mod tests {
     fn long_range_chart_lists_phases() {
         let r = simulate_step(&MachineConfig::mdgrape4a(), &StepWorkload::paper_fig9());
         let chart = render_long_range(&r);
-        for p in ["CA", "restriction L1", "convolution L1", "TMENW", "prolongation L1", "BI"] {
+        for p in [
+            "CA",
+            "restriction L1",
+            "convolution L1",
+            "TMENW",
+            "prolongation L1",
+            "BI",
+        ] {
             assert!(chart.contains(p), "missing {p}:\n{chart}");
         }
     }

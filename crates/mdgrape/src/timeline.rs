@@ -29,16 +29,29 @@ pub struct Resource {
 
 impl Resource {
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), busy_until: 0.0, spans: Vec::new() }
+        Self {
+            name: name.into(),
+            busy_until: 0.0,
+            spans: Vec::new(),
+        }
     }
 
     /// Schedule an activity that becomes ready at `ready` and takes
     /// `duration`; returns its (start, end).
-    pub fn schedule(&mut self, ready: Time, duration: Time, label: impl Into<String>) -> (Time, Time) {
+    pub fn schedule(
+        &mut self,
+        ready: Time,
+        duration: Time,
+        label: impl Into<String>,
+    ) -> (Time, Time) {
         let start = ready.max(self.busy_until);
         let end = start + duration.max(0.0);
         self.busy_until = end;
-        self.spans.push(Span { start, end, label: label.into() });
+        self.spans.push(Span {
+            start,
+            end,
+            label: label.into(),
+        });
         (start, end)
     }
 

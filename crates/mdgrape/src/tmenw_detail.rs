@@ -107,7 +107,12 @@ pub fn simulate_roundtrip(cfg: &MachineConfig, top_grid: usize) -> TmenwDetail {
         }
     }
 
-    TmenwDetail { roundtrip, gather_done, fft, link_events }
+    TmenwDetail {
+        roundtrip,
+        gather_done,
+        fft,
+        link_events,
+    }
 }
 
 #[cfg(test)]
@@ -135,7 +140,10 @@ mod tests {
         let detail = simulate_roundtrip(&c, 16).roundtrip;
         let coarse = tmenw_roundtrip_us(&c, 16);
         let ratio = detail / coarse;
-        assert!((0.5..2.0).contains(&ratio), "detail {detail:.2} vs coarse {coarse:.2}");
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "detail {detail:.2} vs coarse {coarse:.2}"
+        );
     }
 
     /// The FFT is a small fraction of the round trip (the paper's point
@@ -145,7 +153,12 @@ mod tests {
     fn network_dominates_fft() {
         let d = simulate_roundtrip(&cfg(), 16);
         assert!((d.fft - 2.112).abs() < 1e-3);
-        assert!(d.fft < 0.3 * d.roundtrip, "FFT {:.2} of {:.2}", d.fft, d.roundtrip);
+        assert!(
+            d.fft < 0.3 * d.roundtrip,
+            "FFT {:.2} of {:.2}",
+            d.fft,
+            d.roundtrip
+        );
     }
 
     /// Gather must finish before the FFT output can exist.

@@ -44,7 +44,12 @@ impl SplineOps {
             box_l[1] / n[1] as f64,
             box_l[2] / n[2] as f64,
         ];
-        Self { spline: BSpline::new(p), n, box_l, h }
+        Self {
+            spline: BSpline::new(p),
+            n,
+            box_l,
+            h,
+        }
     }
 
     pub fn order(&self) -> usize {
@@ -92,10 +97,7 @@ impl SplineOps {
                 for (iy, &wyv) in wy.iter().enumerate().take(p) {
                     let qxy = qx * wyv;
                     for (iz, &wzv) in wz.iter().enumerate().take(p) {
-                        grid.add(
-                            [mx + ix as i64, my + iy as i64, mz + iz as i64],
-                            qxy * wzv,
-                        );
+                        grid.add([mx + ix as i64, my + iy as i64, mz + iz as i64], qxy * wzv);
                     }
                 }
             }
@@ -113,9 +115,7 @@ impl SplineOps {
             for (iy, &wyv) in wy.iter().enumerate() {
                 let wxy = wxv * wyv;
                 for (iz, &wzv) in wz.iter().enumerate() {
-                    acc += wxy
-                        * wzv
-                        * phi.get([mx + ix as i64, my + iy as i64, mz + iz as i64]);
+                    acc += wxy * wzv * phi.get([mx + ix as i64, my + iy as i64, mz + iz as i64]);
                 }
             }
         }

@@ -29,8 +29,14 @@ pub struct BSpline {
 
 impl BSpline {
     pub fn new(p: usize) -> Self {
-        assert!(p >= 2 && p.is_multiple_of(2), "spline order must be even and ≥ 2, got {p}");
-        assert!(p <= 12, "spline order {p} unsupported (two-scale binomials overflow checks)");
+        assert!(
+            p >= 2 && p.is_multiple_of(2),
+            "spline order must be even and ≥ 2, got {p}"
+        );
+        assert!(
+            p <= 12,
+            "spline order {p} unsupported (two-scale binomials overflow checks)"
+        );
         Self { p }
     }
 
@@ -160,7 +166,7 @@ impl BSpline {
         }
         let plan = Fft::new(RING);
         plan.forward(&mut buf);
-        for z in buf.iter_mut() {
+        for z in &mut buf {
             // Symbol of an even-order central B-spline is real positive;
             // divide in the complex domain anyway for generality.
             let denom = z.norm_sqr().powi(pow);
@@ -239,7 +245,10 @@ impl SymmetricSeq {
 
     pub fn iter(&self) -> impl Iterator<Item = (i64, f64)> + '_ {
         let half = self.half;
-        self.vals.iter().enumerate().map(move |(i, &v)| (i as i64 - half, v))
+        self.vals
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (i as i64 - half, v))
     }
 
     /// Discrete convolution with another symmetric sequence.

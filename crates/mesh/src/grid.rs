@@ -17,8 +17,14 @@ pub struct Grid3 {
 impl Grid3 {
     /// Zero-filled grid with `n = [nx, ny, nz]` points per axis.
     pub fn zeros(n: [usize; 3]) -> Self {
-        assert!(n.iter().all(|&d| d >= 1), "grid dimensions must be positive");
-        Self { n, data: vec![0.0; n[0] * n[1] * n[2]] }
+        assert!(
+            n.iter().all(|&d| d >= 1),
+            "grid dimensions must be positive"
+        );
+        Self {
+            n,
+            data: vec![0.0; n[0] * n[1] * n[2]],
+        }
     }
 
     /// Build from existing row-major data.
@@ -115,7 +121,7 @@ impl Grid3 {
 
     /// In-place scalar multiply.
     pub fn scale(&mut self, s: f64) {
-        for a in self.data.iter_mut() {
+        for a in &mut self.data {
             *a *= s;
         }
     }
@@ -126,7 +132,10 @@ impl Grid3 {
 
     /// Copy into a complex buffer (imaginary part zero) for FFT.
     pub fn to_complex(&self) -> Vec<Complex64> {
-        self.data.iter().map(|&re| Complex64::new(re, 0.0)).collect()
+        self.data
+            .iter()
+            .map(|&re| Complex64::new(re, 0.0))
+            .collect()
     }
 
     /// Overwrite from the real part of a complex buffer.

@@ -22,7 +22,10 @@ pub struct CoulombSystem {
 impl CoulombSystem {
     pub fn new(pos: Vec<V3>, q: Vec<f64>, box_l: V3) -> Self {
         assert_eq!(pos.len(), q.len(), "positions/charges length mismatch");
-        assert!(box_l.iter().all(|&l| l > 0.0), "box lengths must be positive");
+        assert!(
+            box_l.iter().all(|&l| l > 0.0),
+            "box lengths must be positive"
+        );
         Self { pos, q, box_l }
     }
 
@@ -65,7 +68,12 @@ pub struct CoulombResult {
 
 impl CoulombResult {
     pub fn zeros(n: usize) -> Self {
-        Self { energy: 0.0, forces: vec![[0.0; 3]; n], potentials: vec![0.0; n], virial: 0.0 }
+        Self {
+            energy: 0.0,
+            forces: vec![[0.0; 3]; n],
+            potentials: vec![0.0; n],
+            virial: 0.0,
+        }
     }
 
     /// Element-wise accumulate another contribution (e.g. short + long range).
@@ -100,7 +108,10 @@ pub fn relative_force_error(test: &[V3], reference: &[V3]) -> f64 {
 
 /// Root-mean-square force magnitude — handy for reporting.
 pub fn rms_force(forces: &[V3]) -> f64 {
-    let s: f64 = forces.iter().map(|f| f[0] * f[0] + f[1] * f[1] + f[2] * f[2]).sum();
+    let s: f64 = forces
+        .iter()
+        .map(|f| f[0] * f[0] + f[1] * f[1] + f[2] * f[2])
+        .sum();
     (s / forces.len() as f64).sqrt()
 }
 
@@ -126,11 +137,7 @@ mod tests {
 
     #[test]
     fn system_charge_accounting() {
-        let s = CoulombSystem::new(
-            vec![[0.0; 3], [1.0; 3]],
-            vec![0.5, -0.5],
-            [2.0, 3.0, 4.0],
-        );
+        let s = CoulombSystem::new(vec![[0.0; 3], [1.0; 3]], vec![0.5, -0.5], [2.0, 3.0, 4.0]);
         assert_eq!(s.total_charge(), 0.0);
         assert_eq!(s.charge_sq_sum(), 0.5);
         assert_eq!(s.volume(), 24.0);

@@ -119,7 +119,10 @@ mod tests {
             let (es, fs) = erfc_kernel(alpha, r);
             let (el, fl) = erf_kernel(alpha, r);
             assert!((es + el - 1.0 / r).abs() < 1e-13 / r, "r={r}");
-            assert!((fs + fl - 1.0 / (r * r * r)).abs() < 1e-13 / (r * r * r), "r={r}");
+            assert!(
+                (fs + fl - 1.0 / (r * r * r)).abs() < 1e-13 / (r * r * r),
+                "r={r}"
+            );
         }
     }
 
@@ -196,11 +199,7 @@ mod tests {
 
     #[test]
     fn self_term_matches_formula() {
-        let s = CoulombSystem::new(
-            vec![[0.0; 3], [1.0; 3]],
-            vec![0.5, -1.5],
-            [3.0, 3.0, 3.0],
-        );
+        let s = CoulombSystem::new(vec![[0.0; 3], [1.0; 3]], vec![0.5, -1.5], [3.0, 3.0, 3.0]);
         let alpha = 1.1;
         let out = self_term(&s, alpha);
         let want = -alpha / tme_num::special::SQRT_PI * (0.25 + 2.25);

@@ -1,0 +1,86 @@
+//! Checked float↔integer conversions for grid indexing.
+//!
+//! A bare `f64 as i64` silently saturates on overflow and maps NaN to 0
+//! (since Rust 1.45), so an upstream numerical bug — an infinite box
+//! length, a NaN coordinate — turns into a *plausible-looking grid index*
+//! and corrupts charge assignment instead of failing loudly. The `tme-lint`
+//! rule **L1** bans lossy `as` casts between floats and integers in the
+//! numeric kernel crates; these helpers are the sanctioned replacement.
+//! Each one debug-asserts finiteness and representability, then performs
+//! the cast with an inline waiver, so release builds pay nothing and debug
+//! builds catch the corruption at the conversion site.
+
+/// Exactly representable i64 bound for f64 round-trips: |x| ≤ 2^53 keeps
+/// every integer exact, which is far beyond any grid index this workspace
+/// can produce.
+const EXACT_BOUND: f64 = 9_007_199_254_740_992.0; // 2^53
+
+#[inline]
+fn checked(x: f64, what: &str) -> f64 {
+    debug_assert!(
+        x.is_finite() && x.abs() <= EXACT_BOUND,
+        "{what}: {x} is not a finite exactly-representable integer candidate"
+    );
+    x
+}
+
+/// `x.floor()` as an `i64`, debug-asserting `x` is finite and in range.
+#[inline]
+#[must_use]
+pub fn floor_i64(x: f64) -> i64 {
+    checked(x, "floor_i64").floor() as i64 // lint:allow(l1) — the checked helper itself
+}
+
+/// `x.ceil()` as an `i64`, debug-asserting `x` is finite and in range.
+#[inline]
+#[must_use]
+pub fn ceil_i64(x: f64) -> i64 {
+    checked(x, "ceil_i64").ceil() as i64 // lint:allow(l1) — the checked helper itself
+}
+
+/// `x.round()` as an `i64`, debug-asserting `x` is finite and in range.
+#[inline]
+#[must_use]
+pub fn round_i64(x: f64) -> i64 {
+    checked(x, "round_i64").round() as i64 // lint:allow(l1) — the checked helper itself
+}
+
+/// `x.floor()` as a `usize`, debug-asserting `x` is finite, non-negative
+/// and in range — the grid-indexing workhorse.
+#[inline]
+#[must_use]
+pub fn floor_usize(x: f64) -> usize {
+    let f = checked(x, "floor_usize").floor();
+    debug_assert!(f >= 0.0, "floor_usize: {x} is negative");
+    f as usize // lint:allow(l1) — the checked helper itself
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncation_matches_bare_casts_in_range() {
+        for x in [-3.7, -3.0, -0.2, 0.0, 0.4, 1.0, 7.9, 1e9] {
+            assert_eq!(floor_i64(x), x.floor() as i64);
+            assert_eq!(ceil_i64(x), x.ceil() as i64);
+            assert_eq!(round_i64(x), x.round() as i64);
+        }
+        assert_eq!(floor_usize(7.9), 7);
+        assert_eq!(floor_usize(0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "floor_i64")]
+    #[cfg(debug_assertions)]
+    fn nan_is_caught() {
+        let _ = floor_i64(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "floor_usize")]
+    #[cfg(debug_assertions)]
+    fn negative_grid_index_is_caught() {
+        let _ = floor_usize(-1.5);
+    }
+}

@@ -34,12 +34,18 @@ macro_rules! impl_complex {
             /// `e^{iθ} = cos θ + i sin θ`.
             #[inline]
             pub fn cis(theta: $t) -> Self {
-                Self { re: theta.cos(), im: theta.sin() }
+                Self {
+                    re: theta.cos(),
+                    im: theta.sin(),
+                }
             }
 
             #[inline]
             pub fn conj(self) -> Self {
-                Self { re: self.re, im: -self.im }
+                Self {
+                    re: self.re,
+                    im: -self.im,
+                }
             }
 
             /// Squared modulus `|z|²`.
@@ -56,13 +62,19 @@ macro_rules! impl_complex {
             /// Multiply by the imaginary unit: `i·z = (−im, re)`.
             #[inline]
             pub fn mul_i(self) -> Self {
-                Self { re: -self.im, im: self.re }
+                Self {
+                    re: -self.im,
+                    im: self.re,
+                }
             }
 
             /// Scale by a real factor.
             #[inline]
             pub fn scale(self, s: $t) -> Self {
-                Self { re: self.re * s, im: self.im * s }
+                Self {
+                    re: self.re * s,
+                    im: self.im * s,
+                }
             }
         }
 
@@ -70,14 +82,20 @@ macro_rules! impl_complex {
             type Output = Self;
             #[inline]
             fn add(self, o: Self) -> Self {
-                Self { re: self.re + o.re, im: self.im + o.im }
+                Self {
+                    re: self.re + o.re,
+                    im: self.im + o.im,
+                }
             }
         }
         impl Sub for $name {
             type Output = Self;
             #[inline]
             fn sub(self, o: Self) -> Self {
-                Self { re: self.re - o.re, im: self.im - o.im }
+                Self {
+                    re: self.re - o.re,
+                    im: self.im - o.im,
+                }
             }
         }
         impl Mul for $name {
@@ -94,7 +112,10 @@ macro_rules! impl_complex {
             type Output = Self;
             #[inline]
             fn neg(self) -> Self {
-                Self { re: -self.re, im: -self.im }
+                Self {
+                    re: -self.re,
+                    im: -self.im,
+                }
             }
         }
         impl AddAssign for $name {
@@ -125,7 +146,10 @@ impl Complex64 {
     /// Lossy narrowing to the single-precision FPGA representation.
     #[inline]
     pub fn to_c32(self) -> Complex32 {
-        Complex32 { re: self.re as f32, im: self.im as f32 }
+        Complex32 {
+            re: self.re as f32,
+            im: self.im as f32,
+        }
     }
 }
 
@@ -133,7 +157,10 @@ impl Complex32 {
     /// Widening back to double precision.
     #[inline]
     pub fn to_c64(self) -> Complex64 {
-        Complex64 { re: self.re as f64, im: self.im as f64 }
+        Complex64 {
+            re: self.re as f64,
+            im: self.im as f64,
+        }
     }
 }
 

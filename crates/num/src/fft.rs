@@ -31,13 +31,22 @@ pub struct Fft {
 impl Fft {
     /// Create a plan for transforms of length `n` (must be a power of two ≥ 1).
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two(), "FFT size must be a power of two, got {n}");
+        assert!(
+            n.is_power_of_two(),
+            "FFT size must be a power of two, got {n}"
+        );
         let twiddles = (0..n / 2)
             .map(|k| Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
             .collect();
         let bits = n.trailing_zeros();
         let rev = (0..n as u32)
-            .map(|i| if bits == 0 { 0 } else { i.reverse_bits() >> (32 - bits) })
+            .map(|i| {
+                if bits == 0 {
+                    0
+                } else {
+                    i.reverse_bits() >> (32 - bits)
+                }
+            })
             .collect();
         Self { n, twiddles, rev }
     }
@@ -222,11 +231,18 @@ pub struct RealFft {
 
 impl RealFft {
     pub fn new(n: usize) -> Self {
-        assert!(n >= 2 && n.is_power_of_two(), "real FFT size must be a power of two ≥ 2");
+        assert!(
+            n >= 2 && n.is_power_of_two(),
+            "real FFT size must be a power of two ≥ 2"
+        );
         let twiddles = (0..=n / 2)
             .map(|k| Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
             .collect();
-        Self { n, half: Fft::new(n / 2), twiddles }
+        Self {
+            n,
+            half: Fft::new(n / 2),
+            twiddles,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -250,7 +266,9 @@ impl RealFft {
         assert_eq!(x.len(), n);
         assert_eq!(out.len(), m + 1);
         // Pack and transform at half size.
-        let mut z: Vec<Complex64> = (0..m).map(|k| Complex64::new(x[2 * k], x[2 * k + 1])).collect();
+        let mut z: Vec<Complex64> = (0..m)
+            .map(|k| Complex64::new(x[2 * k], x[2 * k + 1]))
+            .collect();
         self.half.forward(&mut z);
         // Unravel: X_k = E_k + e^{−2πik/n} O_k with
         // E_k = (Z_k + Z̄_{m−k})/2, O_k = −i (Z_k − Z̄_{m−k})/2.
@@ -302,7 +320,14 @@ pub struct Fft3 {
 
 impl Fft3 {
     pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
-        Self { nx, ny, nz, fx: Fft::new(nx), fy: Fft::new(ny), fz: Fft::new(nz) }
+        Self {
+            nx,
+            ny,
+            nz,
+            fx: Fft::new(nx),
+            fy: Fft::new(ny),
+            fz: Fft::new(nz),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -392,7 +417,14 @@ pub struct RealFft3 {
 
 impl RealFft3 {
     pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
-        Self { nx, ny, nz, rz: RealFft::new(nz), fy: Fft::new(ny), fx: Fft::new(nx) }
+        Self {
+            nx,
+            ny,
+            nz,
+            rz: RealFft::new(nz),
+            fy: Fft::new(ny),
+            fx: Fft::new(nx),
+        }
     }
 
     /// Points in the half spectrum: `nx · ny · (nz/2 + 1)`.
@@ -418,7 +450,10 @@ impl RealFft3 {
         assert_eq!(spec.len(), nx * ny * mz);
         // z: r2c per contiguous line.
         for xy in 0..nx * ny {
-            self.rz.forward_real(&data[xy * nz..(xy + 1) * nz], &mut spec[xy * mz..(xy + 1) * mz]);
+            self.rz.forward_real(
+                &data[xy * nz..(xy + 1) * nz],
+                &mut spec[xy * mz..(xy + 1) * mz],
+            );
         }
         // y and x: complex transforms with strides over the half spectrum.
         let mut line = vec![Complex64::ZERO; ny.max(nx)];
@@ -480,7 +515,10 @@ impl RealFft3 {
             }
         }
         for xy in 0..nx * ny {
-            self.rz.inverse_real(&spec[xy * mz..(xy + 1) * mz], &mut data[xy * nz..(xy + 1) * nz]);
+            self.rz.inverse_real(
+                &spec[xy * mz..(xy + 1) * mz],
+                &mut data[xy * nz..(xy + 1) * nz],
+            );
         }
     }
 }
@@ -495,7 +533,8 @@ mod tests {
         let mut out = vec![Complex64::ZERO; n];
         for (k, o) in out.iter_mut().enumerate() {
             for (j, &v) in x.iter().enumerate() {
-                let w = Complex64::cis(sign * 2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64);
+                let w =
+                    Complex64::cis(sign * 2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64);
                 *o += v * w;
             }
             if inverse {
@@ -622,8 +661,7 @@ mod tests {
         for ix in 0..nx {
             for iy in 0..ny {
                 for iz in 0..nz {
-                    let ph = 2.0 * std::f64::consts::PI
-                        * (kx * ix) as f64 / nx as f64
+                    let ph = 2.0 * std::f64::consts::PI * (kx * ix) as f64 / nx as f64
                         + 2.0 * std::f64::consts::PI * (ky * iy) as f64 / ny as f64
                         + 2.0 * std::f64::consts::PI * (kz * iz) as f64 / nz as f64;
                     x[(ix * ny + iy) * nz + iz] = Complex64::cis(ph);
@@ -707,7 +745,9 @@ mod tests {
     #[test]
     fn real_fft3_roundtrip() {
         let (nx, ny, nz) = (8usize, 4, 8);
-        let x: Vec<f64> = (0..nx * ny * nz).map(|i| ((i * 7 % 23) as f64 - 11.0) * 0.17).collect();
+        let x: Vec<f64> = (0..nx * ny * nz)
+            .map(|i| ((i * 7 % 23) as f64 - 11.0) * 0.17)
+            .collect();
         let plan = RealFft3::new(nx, ny, nz);
         let mut spec = vec![Complex64::ZERO; plan.spectrum_len()];
         plan.forward(&x, &mut spec);

@@ -124,7 +124,7 @@ impl<const FRAC: u32> Accum64<FRAC> {
 
     #[inline]
     pub fn from_f64(x: f64) -> Self {
-        Self((x * Self::SCALE).round() as i64)
+        Self(crate::cast::round_i64(x * Self::SCALE))
     }
 
     #[inline]

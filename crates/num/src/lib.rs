@@ -15,10 +15,12 @@
 //!   hardware datapaths (24-bit-fraction polynomial path, 32-bit grid
 //!   accumulation with a tunable binary point).
 
+pub mod cast;
 pub mod complex;
 pub mod fft;
 pub mod fixed;
 pub mod quadrature;
+pub mod rng;
 pub mod special;
 pub mod vec3;
 

@@ -140,7 +140,11 @@ mod tests {
             let q = GaussLegendre::new(n);
             for deg in 0..2 * n {
                 let val = q.integrate(|x| x.powi(deg as i32));
-                let exact = if deg % 2 == 1 { 0.0 } else { 2.0 / (deg as f64 + 1.0) };
+                let exact = if deg % 2 == 1 {
+                    0.0
+                } else {
+                    2.0 / (deg as f64 + 1.0)
+                };
                 assert!(
                     (val - exact).abs() < 1e-13,
                     "n={n} deg={deg} got={val} want={exact}"

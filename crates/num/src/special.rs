@@ -167,7 +167,6 @@ pub fn erfc_fast(x: f64) -> f64 {
 /// need the Gaussian factor too (force term), and it is the expensive part.
 #[inline]
 pub fn erfc_fast_parts(x: f64) -> (f64, f64) {
-    debug_assert!(x >= 0.0);
     const P: f64 = 0.327_591_1;
     const A: [f64; 5] = [
         0.254_829_592,
@@ -176,6 +175,7 @@ pub fn erfc_fast_parts(x: f64) -> (f64, f64) {
         -1.453_152_027,
         1.061_405_429,
     ];
+    debug_assert!(x >= 0.0);
     let t = 1.0 / (1.0 + P * x);
     let poly = t * (A[0] + t * (A[1] + t * (A[2] + t * (A[3] + t * A[4]))));
     let gauss = (-x * x).exp();

@@ -46,7 +46,11 @@ impl EwaldParams {
         // edge so every axis satisfies the bound.
         let lmax = box_l.iter().cloned().fold(0.0, f64::max);
         let n_cut = ((-tol.ln()).sqrt() * alpha * lmax / std::f64::consts::PI).ceil() as i64;
-        Self { alpha, r_cut, n_cut }
+        Self {
+            alpha,
+            r_cut,
+            n_cut,
+        }
     }
 }
 
@@ -169,7 +173,9 @@ mod tests {
         // Simple deterministic LCG so the test needs no RNG dependency here.
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let mut pos = Vec::new();
@@ -217,8 +223,18 @@ mod tests {
     #[test]
     fn energy_independent_of_alpha() {
         let sys = random_neutral_system(8, 2.0, 42);
-        let e1 = Ewald::new(EwaldParams { alpha: 6.0, r_cut: 1.0, n_cut: 16 }).compute(&sys);
-        let e2 = Ewald::new(EwaldParams { alpha: 8.0, r_cut: 1.0, n_cut: 22 }).compute(&sys);
+        let e1 = Ewald::new(EwaldParams {
+            alpha: 6.0,
+            r_cut: 1.0,
+            n_cut: 16,
+        })
+        .compute(&sys);
+        let e2 = Ewald::new(EwaldParams {
+            alpha: 8.0,
+            r_cut: 1.0,
+            n_cut: 22,
+        })
+        .compute(&sys);
         assert!(
             (e1.energy - e2.energy).abs() < 1e-8 * e1.energy.abs().max(1.0),
             "{} vs {}",
@@ -235,7 +251,11 @@ mod tests {
     #[test]
     fn forces_are_minus_energy_gradient() {
         let mut sys = random_neutral_system(4, 2.0, 7);
-        let ew = Ewald::new(EwaldParams { alpha: 5.0, r_cut: 1.0, n_cut: 14 });
+        let ew = Ewald::new(EwaldParams {
+            alpha: 5.0,
+            r_cut: 1.0,
+            n_cut: 14,
+        });
         let res = ew.compute(&sys);
         let h = 1e-5;
         for atom in [0usize, 3] {
@@ -259,7 +279,12 @@ mod tests {
     #[test]
     fn forces_sum_to_zero() {
         let sys = random_neutral_system(10, 3.0, 99);
-        let res = Ewald::new(EwaldParams { alpha: 4.0, r_cut: 1.5, n_cut: 12 }).compute(&sys);
+        let res = Ewald::new(EwaldParams {
+            alpha: 4.0,
+            r_cut: 1.5,
+            n_cut: 12,
+        })
+        .compute(&sys);
         let mut total = [0.0f64; 3];
         for f in &res.forces {
             for a in 0..3 {
@@ -272,8 +297,19 @@ mod tests {
     #[test]
     fn energy_is_half_sum_q_phi() {
         let sys = random_neutral_system(6, 2.5, 123);
-        let res = Ewald::new(EwaldParams { alpha: 4.5, r_cut: 1.25, n_cut: 12 }).compute(&sys);
-        let e2: f64 = 0.5 * sys.q.iter().zip(&res.potentials).map(|(q, p)| q * p).sum::<f64>();
+        let res = Ewald::new(EwaldParams {
+            alpha: 4.5,
+            r_cut: 1.25,
+            n_cut: 12,
+        })
+        .compute(&sys);
+        let e2: f64 = 0.5
+            * sys
+                .q
+                .iter()
+                .zip(&res.potentials)
+                .map(|(q, p)| q * p)
+                .sum::<f64>();
         assert!(
             (res.energy - e2).abs() < 1e-10 * res.energy.abs().max(1.0),
             "{} vs {e2}",
@@ -291,7 +327,11 @@ mod tests {
         );
         // α small enough that n_cut = 20 fully converges the lattice sum
         // (e^{−(πn_c/(αL))²} ≈ 1e−12).
-        let ew = Ewald::new(EwaldParams { alpha: 0.6, r_cut: 9.0, n_cut: 20 });
+        let ew = Ewald::new(EwaldParams {
+            alpha: 0.6,
+            r_cut: 9.0,
+            n_cut: 20,
+        });
         let res = ew.compute(&sys);
         // Periodic images of a ±1 dipole 0.9 nm apart in a 20 nm box shift
         // the energy only at the ~1e-4 level.
@@ -305,12 +345,23 @@ mod tests {
     #[test]
     fn virial_matches_volume_derivative() {
         let sys = random_neutral_system(8, 2.0, 61);
-        let params = EwaldParams { alpha: 5.0, r_cut: 0.9, n_cut: 14 };
+        let params = EwaldParams {
+            alpha: 5.0,
+            r_cut: 0.9,
+            n_cut: 14,
+        };
         let energy_at = |scale: f64| -> f64 {
             let s = CoulombSystem::new(
-                sys.pos.iter().map(|r| [r[0] * scale, r[1] * scale, r[2] * scale]).collect(),
+                sys.pos
+                    .iter()
+                    .map(|r| [r[0] * scale, r[1] * scale, r[2] * scale])
+                    .collect(),
                 sys.q.clone(),
-                [sys.box_l[0] * scale, sys.box_l[1] * scale, sys.box_l[2] * scale],
+                [
+                    sys.box_l[0] * scale,
+                    sys.box_l[1] * scale,
+                    sys.box_l[2] * scale,
+                ],
             );
             // Hold αr_c and the k-sum fixed in *scaled* coordinates so the
             // splitting stays consistent: α and r_c scale inversely with L.

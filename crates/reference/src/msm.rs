@@ -69,7 +69,9 @@ mod tests {
     #[test]
     fn convolution_is_linear() {
         let gc = 1;
-        let kernel = DenseKernel::from_fn(gc, |m| 1.0 / (1.0 + m.iter().map(|c| c.abs()).sum::<i64>() as f64));
+        let kernel = DenseKernel::from_fn(gc, |m| {
+            1.0 / (1.0 + m.iter().map(|c| c.abs()).sum::<i64>() as f64)
+        });
         let mut a = Grid3::zeros([4, 4, 4]);
         let mut b = Grid3::zeros([4, 4, 4]);
         a.set([1, 2, 3], 2.0);

@@ -30,7 +30,13 @@ impl Spme {
         let ops = SplineOps::new(p, n, box_l);
         let influence = greens::influence(n, box_l, alpha, p);
         let fft = RealFft3::new(n[0], n[1], n[2]);
-        Self { ops, influence, fft, alpha, r_cut }
+        Self {
+            ops,
+            influence,
+            fft,
+            alpha,
+            r_cut,
+        }
     }
 
     pub fn alpha(&self) -> f64 {
@@ -83,7 +89,9 @@ mod tests {
     fn random_neutral_system(n_pairs: usize, box_l: f64, seed: u64) -> CoulombSystem {
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let mut pos = Vec::new();

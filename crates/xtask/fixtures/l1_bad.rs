@@ -1,0 +1,13 @@
+//! L1 positive fixture: three lossy float→int casts that must be flagged.
+
+fn grid_index(x: f64, h: f64) -> usize {
+    (x / h).floor() as usize // violation 1: `.floor() as usize`
+}
+
+fn quantise(x: f64) -> i64 {
+    (x * 4096.0).round() as i64 // violation 2: `.round() as i64`
+}
+
+fn literal() -> i32 {
+    2.75 as i32 // violation 3: float literal truncated
+}

@@ -1,0 +1,25 @@
+//! L1 negative fixture: casts that must NOT be flagged.
+
+fn int_to_int(n: u32) -> usize {
+    n as usize // widening int cast: not float-involved
+}
+
+fn int_to_float(n: usize) -> f64 {
+    n as f64 // int→float: not the truncation family L1 targets
+}
+
+fn checked(x: f64) -> i64 {
+    tme_num::cast::floor_i64(x) // the sanctioned helper
+}
+
+fn waived(x: f64) -> i64 {
+    x.floor() as i64 // lint:allow(l1) — fixture demonstrating a waiver
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = 3.7_f64.floor() as i64;
+    }
+}

@@ -1,0 +1,15 @@
+//! L2 positive fixture: three panicking constructs in library code.
+
+fn takes_first(v: &[f64]) -> f64 {
+    *v.first().unwrap() // violation 1: unwrap
+}
+
+fn parses(s: &str) -> f64 {
+    s.parse().expect("not a float") // violation 2: expect
+}
+
+fn rejects(n: usize) {
+    if n == 0 {
+        panic!("empty system"); // violation 3: panic!
+    }
+}

@@ -1,0 +1,29 @@
+//! L2 negative fixture: error propagation and permitted assertions.
+
+fn takes_first(v: &[f64]) -> Result<f64, Error> {
+    v.first().copied().ok_or(Error::Empty)
+}
+
+fn parses(s: &str) -> Result<f64, Error> {
+    s.parse().map_err(|_| Error::Parse)
+}
+
+fn asserts_are_fine(n: usize) {
+    // assert!/debug_assert! are deliberate invariant checks, not L2 targets.
+    debug_assert!(n > 0, "empty system");
+    assert!(n < 1 << 30);
+}
+
+fn waived() -> f64 {
+    // lint:allow(l2) — infallible by construction: the slice is non-empty
+    [1.0f64].first().copied().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_idiomatic() {
+        let v: Result<u8, ()> = Ok(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,10 @@
+//! L3 positive fixture: hashed collections in numeric accumulation code.
+
+use std::collections::HashMap; // violation 1
+
+fn accumulate(charges: &HashSet<usize>) -> f64 {
+    // violation 2 above: HashSet in a numeric path (iteration order is
+    // randomised per process, so the float accumulation order — and the
+    // rounded result — would differ run to run).
+    0.0
+}

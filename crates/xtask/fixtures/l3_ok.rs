@@ -1,0 +1,16 @@
+//! L3 negative fixture: ordered collections keep accumulation deterministic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+fn accumulate(per_cell: &BTreeMap<usize, f64>) -> f64 {
+    per_cell.values().sum()
+}
+
+fn ordered_ids(ids: &BTreeSet<usize>) -> Vec<usize> {
+    ids.iter().copied().collect()
+}
+
+fn waived() {
+    use std::collections::HashMap; // lint:allow(l3) — diagnostics only, never iterated
+    let _ = HashMap::<u32, u32>::new(); // lint:allow(l3)
+}

@@ -1,0 +1,5 @@
+//! L4 positive fixture: an unsafe block with no SAFETY comment.
+
+fn reinterpret(x: u64) -> f64 {
+    unsafe { std::mem::transmute(x) } // violation: no SAFETY comment
+}

@@ -1,0 +1,11 @@
+//! L4 negative fixture: documented unsafe, and a waived case.
+
+fn reinterpret(x: u64) -> f64 {
+    // SAFETY: any u64 bit pattern is a valid f64 (possibly NaN), and
+    // transmute of equal-sized Copy types has no other obligations.
+    unsafe { std::mem::transmute(x) }
+}
+
+fn waived(x: u64) -> f64 {
+    unsafe { std::mem::transmute(x) } // lint:allow(l4)
+}

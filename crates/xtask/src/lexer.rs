@@ -1,0 +1,397 @@
+//! A small, dependency-free Rust lexer for the `tme-lint` rules.
+//!
+//! The container this workspace builds in has no registry access, so `syn`
+//! is not an option; the lint rules (L1–L4) only need a token stream with
+//! line numbers plus the comment text, which a hand-rolled lexer provides
+//! reliably. It understands the constructs that would otherwise produce
+//! false positives: line/doc comments, nested block comments, string and
+//! raw-string literals, byte strings, char literals vs lifetimes, and
+//! numeric literals (with float/int classification).
+
+/// Token classification, just fine-grained enough for the rules.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (including hex/octal/binary).
+    Int,
+    /// Float literal (`1.5`, `1e3`, `2.`, `1.0f64`).
+    Float,
+    /// String, raw string, byte string or char literal.
+    Literal,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Single punctuation character (`.`, `(`, `)`, `!`, …).
+    Punct,
+}
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment (`//`-style or block) with the line it starts on.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// Lexed source: tokens with comments captured out-of-band.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src`, never panicking on malformed input (trailing garbage is
+/// consumed one char at a time as punctuation).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let start = i;
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                let (start, start_line) = (i, line);
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: b[start..i].iter().collect(),
+                    line: start_line,
+                });
+            }
+            '"' => {
+                let start_line = line;
+                i += 1;
+                while i < n {
+                    match b[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::from("\"…\""),
+                    line: start_line,
+                });
+            }
+            'r' | 'b' if is_raw_string_start(&b, i) => {
+                let start_line = line;
+                // Skip `r`/`b`/`br` prefix, count `#`s, then find the
+                // matching `"#…#` closer.
+                while i < n && (b[i] == 'r' || b[i] == 'b') {
+                    i += 1;
+                }
+                let mut hashes = 0usize;
+                while i < n && b[i] == '#' {
+                    hashes += 1;
+                    i += 1;
+                }
+                i += 1; // opening quote
+                'raw: while i < n {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                        continue;
+                    }
+                    if b[i] == '"' {
+                        let mut j = i + 1;
+                        let mut seen = 0usize;
+                        while j < n && b[j] == '#' && seen < hashes {
+                            seen += 1;
+                            j += 1;
+                        }
+                        if seen == hashes {
+                            i = j;
+                            break 'raw;
+                        }
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::from("r\"…\""),
+                    line: start_line,
+                });
+            }
+            '\'' => {
+                // Lifetime vs char literal: a lifetime is `'` + ident not
+                // closed by another `'`.
+                let is_lifetime = i + 1 < n
+                    && (b[i + 1].is_alphabetic() || b[i + 1] == '_')
+                    && b[i + 1] != '\\'
+                    && !(i + 2 < n && b[i + 2] == '\'');
+                if is_lifetime {
+                    let start = i;
+                    i += 1;
+                    while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: b[start..i].iter().collect(),
+                        line,
+                    });
+                } else {
+                    i += 1;
+                    if i < n && b[i] == '\\' {
+                        i += 2;
+                        while i < n && b[i] != '\'' {
+                            i += 1;
+                        }
+                        i += 1;
+                    } else {
+                        while i < n && b[i] != '\'' {
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        text: String::from("'…'"),
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let hex = c == '0' && i + 1 < n && matches!(b[i + 1], 'x' | 'o' | 'b');
+                i += 1;
+                let mut is_float = false;
+                if hex {
+                    i += 1;
+                    while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                } else {
+                    while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                        i += 1;
+                    }
+                    // Fractional part: a `.` NOT followed by an identifier
+                    // start or another `.` (so `1.max(2)` and `0..n` lex as
+                    // method call / range, not floats).
+                    if i < n
+                        && b[i] == '.'
+                        && !(i + 1 < n
+                            && (b[i + 1].is_alphabetic() || b[i + 1] == '_' || b[i + 1] == '.'))
+                    {
+                        is_float = true;
+                        i += 1;
+                        while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                            i += 1;
+                        }
+                    }
+                    // Exponent.
+                    if i < n
+                        && (b[i] == 'e' || b[i] == 'E')
+                        && i + 1 < n
+                        && (b[i + 1].is_ascii_digit() || b[i + 1] == '+' || b[i + 1] == '-')
+                    {
+                        is_float = true;
+                        i += 1;
+                        if b[i] == '+' || b[i] == '-' {
+                            i += 1;
+                        }
+                        while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                            i += 1;
+                        }
+                    }
+                    // Type suffix (`1.0f64`, `3usize`).
+                    let suffix_start = i;
+                    while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    let suffix: String = b[suffix_start..i].iter().collect();
+                    if suffix.starts_with('f') {
+                        is_float = true;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: if is_float {
+                        TokKind::Float
+                    } else {
+                        TokKind::Int
+                    },
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Is `b[i..]` the start of a raw/byte string (`r"`, `r#"`, `br"`, `b"`)?
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    let n = b.len();
+    let mut j = i;
+    // Up to two prefix letters (`b`, `r` in either order Rust allows).
+    let mut letters = 0;
+    while j < n && (b[j] == 'r' || b[j] == 'b') && letters < 2 {
+        j += 1;
+        letters += 1;
+    }
+    // For a plain `b"…"` byte string the quote follows directly; for raw
+    // strings `#`s may intervene, but only if an `r` is present.
+    let has_r = b[i..j].contains(&'r');
+    if has_r {
+        while j < n && b[j] == '#' {
+            j += 1;
+        }
+    }
+    j < n && b[j] == '"'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_puncts() {
+        let t = lex("let x = a.floor() as i64;");
+        let texts: Vec<&str> = t.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["let", "x", "=", "a", ".", "floor", "(", ")", "as", "i64", ";"]
+        );
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let toks = lex("1.5 2 0x1f 1e3 2. 0..n 1.0f64 3usize");
+        let kinds: Vec<TokKind> = toks.tokens.iter().map(|t| t.kind.clone()).collect();
+        assert_eq!(
+            kinds,
+            [
+                TokKind::Float, // 1.5
+                TokKind::Int,   // 2
+                TokKind::Int,   // 0x1f
+                TokKind::Float, // 1e3
+                TokKind::Float, // 2.
+                TokKind::Int,   // 0
+                TokKind::Punct, // .
+                TokKind::Punct, // .
+                TokKind::Ident, // n
+                TokKind::Float, // 1.0f64
+                TokKind::Int,   // 3usize
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let l = lex("a\n// SAFETY: fine\nb /* block\nstill */ c");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 2);
+        assert!(l.comments[0].text.contains("SAFETY"));
+        assert_eq!(l.comments[1].line, 3);
+        assert_eq!(texts("a\n// x\nb")[1], "b");
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let l = lex(r#"let s = "a.floor() as i64 // not code"; t"#);
+        assert!(l.comments.is_empty());
+        assert!(l.tokens.iter().all(|t| t.text != "floor"));
+        assert_eq!(l.tokens.last().map(|t| t.text.as_str()), Some("t"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let l = lex(r###"let s = r#"unwrap() " inside"#; done"###);
+        assert_eq!(l.tokens.last().map(|t| t.text.as_str()), Some("done"));
+        assert!(l.tokens.iter().all(|t| t.text != "unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a u8) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* outer /* inner */ still outer */ b");
+        assert_eq!(l.tokens.len(), 2);
+        assert_eq!(l.comments.len(), 1);
+    }
+}

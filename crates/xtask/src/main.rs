@@ -1,0 +1,68 @@
+//! `cargo xtask` — workspace automation.
+//!
+//! Currently one subcommand:
+//!
+//! * `cargo xtask lint` — run the `tme-lint` numerical-safety static
+//!   analysis (rules L1–L4, see [`rules`]) over every workspace `.rs`
+//!   file. Exits non-zero if any violation is found. `--verbose` also
+//!   lists the files scanned.
+//!
+//! The tool is dependency-free on purpose: it must build in offline
+//! containers and never hold the workspace's own build hostage to an
+//! external parser. See DESIGN.md § "Correctness tooling" for the rule
+//! definitions and the waiver policy.
+
+mod lexer;
+mod rules;
+mod walk;
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(args.iter().any(|a| a == "--verbose")),
+        _ => {
+            eprintln!("usage: cargo xtask lint [--verbose]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(verbose: bool) -> ExitCode {
+    // CARGO_MANIFEST_DIR = crates/xtask; the workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf();
+    let files = walk::workspace_rs_files(&root);
+    let mut total = 0usize;
+    let mut scanned = 0usize;
+    for file in &files {
+        let rel = file.strip_prefix(&root).unwrap_or(file);
+        let Ok(src) = std::fs::read_to_string(file) else {
+            eprintln!("tme-lint: cannot read {}", file.display());
+            return ExitCode::FAILURE;
+        };
+        scanned += 1;
+        if verbose {
+            eprintln!("scanning {}", rel.display());
+        }
+        for v in rules::lint_source(&src, walk::scope_for(rel)) {
+            println!("{}:{}: [{}] {}", rel.display(), v.line, v.rule, v.message);
+            total += 1;
+        }
+    }
+    if total == 0 {
+        eprintln!("tme-lint: {scanned} files clean (rules l1–l4)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "tme-lint: {total} violation(s) in {scanned} files — fix them or add an inline \
+             `lint:allow(<rule>)` with a justification"
+        );
+        ExitCode::FAILURE
+    }
+}

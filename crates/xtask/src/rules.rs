@@ -1,0 +1,493 @@
+//! The `tme-lint` rules: numerical-safety policies specific to this
+//! workspace, evaluated over the token stream from [`crate::lexer`].
+//!
+//! | rule | policy | scope |
+//! |------|--------|-------|
+//! | `l1` | no lossy float→int `as` casts (use `tme_num::cast`) | `num`, `mesh`, `core` |
+//! | `l2` | no `unwrap()` / `expect()` / `panic!` | library crates, non-test code |
+//! | `l3` | no `HashMap` / `HashSet` (iteration order breaks determinism) | numeric crates |
+//! | `l4` | every `unsafe` needs a `// SAFETY:` comment | everywhere |
+//!
+//! Waivers: a `lint:allow(<rule>[, <rule>…])` marker inside a comment on
+//! the violating line or the line directly above it silences that rule for
+//! that line. There are no file- or crate-level waivers by design — every
+//! exception is visible at the exception site.
+
+use crate::lexer::{lex, Comment, TokKind, Token};
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: &'static str,
+    pub line: u32,
+    pub message: String,
+}
+
+/// Which rule families apply to a file (derived from its path by the
+/// driver; fixture tests set it directly).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Scope {
+    /// L1: numeric-kernel crate (`num`, `mesh`, `core`).
+    pub numeric_kernel: bool,
+    /// L2: library crate (`core`, `mesh`, `num`, `md`, `mdgrape`).
+    pub library: bool,
+    /// L3: deterministic-accumulation crate (library crates + `reference`).
+    pub deterministic: bool,
+}
+
+impl Scope {
+    /// Everything on: the scope fixtures use.
+    #[cfg(test)]
+    pub const ALL: Scope = Scope {
+        numeric_kernel: true,
+        library: true,
+        deterministic: true,
+    };
+}
+
+const INT_TYPES: &[&str] = &[
+    "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
+];
+
+/// f64/f32 methods that always return a float; a following `as <int>` is a
+/// lossy truncation L1 flags. Deliberately excludes ambiguous names that
+/// integers also have (`abs`, `min`, `max`, `clamp`, `signum`, `pow`).
+const FLOAT_METHODS: &[&str] = &[
+    "floor",
+    "ceil",
+    "round",
+    "trunc",
+    "fract",
+    "sqrt",
+    "cbrt",
+    "exp",
+    "exp2",
+    "ln",
+    "log2",
+    "log10",
+    "powf",
+    "powi",
+    "recip",
+    "to_radians",
+    "to_degrees",
+    "hypot",
+    "sin",
+    "cos",
+    "tan",
+    "asin",
+    "acos",
+    "atan",
+    "atan2",
+    "sinh",
+    "cosh",
+    "tanh",
+    "mul_add",
+];
+
+/// Lint one source file. `scope` selects the rule families; test code
+/// (`#[cfg(test)]` items) is exempt from everything except L4.
+pub fn lint_source(src: &str, scope: Scope) -> Vec<Violation> {
+    let lexed = lex(src);
+    let waivers = collect_waivers(&lexed.comments);
+    let test_spans = test_code_spans(&lexed.tokens);
+    let mut out = Vec::new();
+
+    let in_test = |idx: usize| test_spans.iter().any(|&(a, b)| idx >= a && idx <= b);
+    let waived = |rule: &str, line: u32| {
+        waivers
+            .iter()
+            .any(|w| w.rule == rule && (w.line == line || w.line + 1 == line))
+    };
+
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        // L4 first: applies everywhere, including test code.
+        if t.kind == TokKind::Ident && t.text == "unsafe" {
+            let has_safety = lexed
+                .comments
+                .iter()
+                .any(|c| c.text.contains("SAFETY:") && c.line <= t.line && c.line + 8 >= t.line);
+            if !has_safety && !waived("l4", t.line) {
+                out.push(Violation {
+                    rule: "l4",
+                    line: t.line,
+                    message: "`unsafe` without a `// SAFETY:` comment in the preceding lines"
+                        .into(),
+                });
+            }
+        }
+
+        if in_test(i) {
+            continue;
+        }
+
+        // L1: lossy float→int `as` casts in numeric kernels.
+        if scope.numeric_kernel && t.kind == TokKind::Ident && t.text == "as" {
+            if let Some(target) = toks.get(i + 1) {
+                if target.kind == TokKind::Ident && INT_TYPES.contains(&target.text.as_str()) {
+                    if let Some(reason) = float_source_before(toks, i) {
+                        if !waived("l1", t.line) {
+                            out.push(Violation {
+                                rule: "l1",
+                                line: t.line,
+                                message: format!(
+                                    "lossy `{reason} as {}` cast; use the checked helpers in `tme_num::cast`",
+                                    target.text
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // L2: unwrap()/expect()/panic! in library non-test code.
+        if scope.library {
+            if t.kind == TokKind::Ident && (t.text == "unwrap" || t.text == "expect") {
+                let is_method_call = i > 0
+                    && toks[i - 1].text == "."
+                    && toks.get(i + 1).is_some_and(|n| n.text == "(");
+                if is_method_call && !waived("l2", t.line) {
+                    out.push(Violation {
+                        rule: "l2",
+                        line: t.line,
+                        message: format!(
+                            "`.{}()` in library code; propagate a `Result` with the crate's error type",
+                            t.text
+                        ),
+                    });
+                }
+            }
+            if t.kind == TokKind::Ident && t.text == "panic" {
+                let is_macro = toks.get(i + 1).is_some_and(|n| n.text == "!");
+                if is_macro && !waived("l2", t.line) {
+                    out.push(Violation {
+                        rule: "l2",
+                        line: t.line,
+                        message: "`panic!` in library code; return an error instead".into(),
+                    });
+                }
+            }
+        }
+
+        // L3: HashMap/HashSet in deterministic numeric code. Iteration
+        // order is randomised per process, so any use risks leaking
+        // nondeterminism into accumulation order; require BTreeMap/Vec.
+        if scope.deterministic
+            && t.kind == TokKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet")
+            && !waived("l3", t.line)
+        {
+            out.push(Violation {
+                rule: "l3",
+                line: t.line,
+                message: format!(
+                    "`{}` in deterministic numeric code; iteration order is random — use `BTreeMap`/`BTreeSet`/`Vec`",
+                    t.text
+                ),
+            });
+        }
+    }
+    out
+}
+
+struct Waiver {
+    rule: String,
+    line: u32,
+}
+
+/// Extract `lint:allow(a, b)` markers from comments.
+fn collect_waivers(comments: &[Comment]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for c in comments {
+        let mut rest = c.text.as_str();
+        while let Some(pos) = rest.find("lint:allow(") {
+            rest = &rest[pos + "lint:allow(".len()..];
+            let Some(end) = rest.find(')') else { break };
+            for rule in rest[..end].split(',') {
+                out.push(Waiver {
+                    rule: rule.trim().to_ascii_lowercase(),
+                    line: c.line,
+                });
+            }
+            rest = &rest[end..];
+        }
+    }
+    out
+}
+
+/// If the expression before the `as` at token index `as_idx` is manifestly
+/// a float (float literal, or a call of a known float-returning method),
+/// return a short description of it.
+fn float_source_before(toks: &[Token], as_idx: usize) -> Option<String> {
+    if as_idx == 0 {
+        return None;
+    }
+    let prev = &toks[as_idx - 1];
+    if prev.kind == TokKind::Float {
+        return Some(prev.text.clone());
+    }
+    if prev.text != ")" {
+        return None;
+    }
+    // Walk back over the balanced `( … )` group to the callee.
+    let mut depth = 0i32;
+    let mut j = as_idx - 1;
+    loop {
+        match toks[j].text.as_str() {
+            ")" => depth += 1,
+            "(" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+    }
+    // Expect `. method (` right before the group.
+    if j >= 2
+        && toks[j - 1].kind == TokKind::Ident
+        && FLOAT_METHODS.contains(&toks[j - 1].text.as_str())
+        && toks[j - 2].text == "."
+    {
+        return Some(format!(".{}()", toks[j - 1].text));
+    }
+    None
+}
+
+/// Byte-index spans (inclusive, over token indices) of `#[cfg(test)]`
+/// items, so rules L1–L3 can skip test code.
+fn test_code_spans(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text == "#" && toks.get(i + 1).is_some_and(|t| t.text == "[") {
+            // Find the matching `]` and check the attribute mentions
+            // `cfg` … `test`.
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut is_cfg = false;
+            let mut has_test = false;
+            let mut negated = false;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "cfg" => is_cfg = true,
+                    "test" => has_test = true,
+                    "not" => negated = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if is_cfg && has_test && !negated {
+                // Span the following item: to the matching `}` of its first
+                // brace group, or to `;` if none opens first.
+                let mut k = j + 1;
+                // Skip any further attributes.
+                while k + 1 < toks.len() && toks[k].text == "#" && toks[k + 1].text == "[" {
+                    let mut d = 0i32;
+                    k += 1;
+                    while k < toks.len() {
+                        match toks[k].text.as_str() {
+                            "[" => d += 1,
+                            "]" => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    k += 1;
+                }
+                let mut brace = 0i32;
+                let mut end = k;
+                while end < toks.len() {
+                    match toks[end].text.as_str() {
+                        "{" => brace += 1,
+                        "}" => {
+                            brace -= 1;
+                            if brace == 0 {
+                                break;
+                            }
+                        }
+                        ";" if brace == 0 => break,
+                        _ => {}
+                    }
+                    end += 1;
+                }
+                spans.push((i, end.min(toks.len().saturating_sub(1))));
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(src: &str, scope: Scope) -> Vec<&'static str> {
+        lint_source(src, scope)
+            .into_iter()
+            .map(|v| v.rule)
+            .collect()
+    }
+
+    // ---- L1 ----------------------------------------------------------
+
+    #[test]
+    fn l1_fixture_positive() {
+        let v = lint_source(include_str!("../fixtures/l1_bad.rs"), Scope::ALL);
+        let l1: Vec<_> = v.iter().filter(|v| v.rule == "l1").collect();
+        assert_eq!(l1.len(), 3, "{v:?}");
+    }
+
+    #[test]
+    fn l1_fixture_negative() {
+        let v = lint_source(include_str!("../fixtures/l1_ok.rs"), Scope::ALL);
+        assert!(v.iter().all(|v| v.rule != "l1"), "{v:?}");
+    }
+
+    #[test]
+    fn l1_only_in_numeric_kernel_scope() {
+        let src = "fn f(x: f64) -> usize { x.floor() as usize }";
+        assert_eq!(rules_hit(src, Scope::ALL), ["l1"]);
+        assert!(rules_hit(
+            src,
+            Scope {
+                numeric_kernel: false,
+                ..Scope::ALL
+            }
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn l1_ignores_int_to_int() {
+        assert!(rules_hit("fn f(n: u32) -> usize { n as usize }", Scope::ALL).is_empty());
+        assert!(rules_hit("fn f(n: usize) -> f64 { n as f64 }", Scope::ALL).is_empty());
+    }
+
+    // ---- L2 ----------------------------------------------------------
+
+    #[test]
+    fn l2_fixture_positive() {
+        let v = lint_source(include_str!("../fixtures/l2_bad.rs"), Scope::ALL);
+        let l2: Vec<_> = v.iter().filter(|v| v.rule == "l2").collect();
+        assert_eq!(l2.len(), 3, "{v:?}");
+    }
+
+    #[test]
+    fn l2_fixture_negative() {
+        let v = lint_source(include_str!("../fixtures/l2_ok.rs"), Scope::ALL);
+        assert!(v.iter().all(|v| v.rule != "l2"), "{v:?}");
+    }
+
+    #[test]
+    fn l2_skips_test_modules() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { foo().unwrap(); }
+            }
+        "#;
+        assert!(rules_hit(src, Scope::ALL).is_empty());
+    }
+
+    #[test]
+    fn l2_expect_ident_is_not_a_call() {
+        // `expect` as a plain identifier (field, variable) must not fire.
+        assert!(rules_hit("fn f(expect: u8) -> u8 { expect }", Scope::ALL).is_empty());
+    }
+
+    // ---- L3 ----------------------------------------------------------
+
+    #[test]
+    fn l3_fixture_positive() {
+        let v = lint_source(include_str!("../fixtures/l3_bad.rs"), Scope::ALL);
+        let l3: Vec<_> = v.iter().filter(|v| v.rule == "l3").collect();
+        assert_eq!(l3.len(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn l3_fixture_negative() {
+        let v = lint_source(include_str!("../fixtures/l3_ok.rs"), Scope::ALL);
+        assert!(v.iter().all(|v| v.rule != "l3"), "{v:?}");
+    }
+
+    // ---- L4 ----------------------------------------------------------
+
+    #[test]
+    fn l4_fixture_positive() {
+        let v = lint_source(include_str!("../fixtures/l4_bad.rs"), Scope::default());
+        let l4: Vec<_> = v.iter().filter(|v| v.rule == "l4").collect();
+        assert_eq!(l4.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn l4_fixture_negative() {
+        let v = lint_source(include_str!("../fixtures/l4_ok.rs"), Scope::default());
+        assert!(v.iter().all(|v| v.rule != "l4"), "{v:?}");
+    }
+
+    #[test]
+    fn l4_applies_even_in_test_code() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                fn t() { unsafe { core::hint::unreachable_unchecked() } }
+            }
+        "#;
+        assert_eq!(rules_hit(src, Scope::default()), ["l4"]);
+    }
+
+    // ---- waivers ------------------------------------------------------
+
+    #[test]
+    fn waiver_on_same_line() {
+        let src = "fn f(x: f64) -> usize { x.floor() as usize } // lint:allow(l1)";
+        assert!(rules_hit(src, Scope::ALL).is_empty());
+    }
+
+    #[test]
+    fn waiver_on_line_above() {
+        let src = "// lint:allow(l2) — startup-only invariant\nfn f() { foo().unwrap(); }";
+        assert!(rules_hit(src, Scope::ALL).is_empty());
+    }
+
+    #[test]
+    fn waiver_is_rule_specific() {
+        let src = "fn f(x: f64) -> usize { x.floor() as usize } // lint:allow(l2)";
+        assert_eq!(rules_hit(src, Scope::ALL), ["l1"]);
+    }
+
+    #[test]
+    fn waiver_does_not_leak_to_later_lines() {
+        let src = "// lint:allow(l2)\nfn f() {}\nfn g() { foo().unwrap(); }";
+        assert_eq!(rules_hit(src, Scope::ALL), ["l2"]);
+    }
+
+    #[test]
+    fn patterns_inside_strings_do_not_fire() {
+        let src = r#"fn f() -> &'static str { "x.floor() as usize and .unwrap() and HashMap" }"#;
+        assert!(rules_hit(src, Scope::ALL).is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Workspace file discovery and per-file rule scoping for `tme-lint`.
+
+use crate::rules::Scope;
+use std::path::{Path, PathBuf};
+
+/// Crates whose kernels must use checked float↔int conversions (L1).
+const NUMERIC_KERNEL_CRATES: &[&str] = &["num", "mesh", "core"];
+/// Library crates where panicking is banned (L2).
+const LIBRARY_CRATES: &[&str] = &["core", "mesh", "num", "md", "mdgrape"];
+/// Crates whose accumulation order must be deterministic (L3).
+const DETERMINISTIC_CRATES: &[&str] = &["core", "mesh", "num", "md", "mdgrape", "reference"];
+
+/// Every `.rs` file under the workspace root that the lint should read,
+/// sorted for stable output. Skips `target/`, VCS metadata and the lint's
+/// own deliberately-violating fixtures.
+pub fn workspace_rs_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') || path.ends_with("xtask/fixtures") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Derive the rule scope for one file from its workspace-relative path.
+///
+/// Test, bench, example and binary-target sources are tool/leaf code: only
+/// L4 (documented `unsafe`) applies there. Library `src/` trees get the
+/// crate-specific rule families.
+pub fn scope_for(rel: &Path) -> Scope {
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    let is_lib_src = parts.iter().any(|p| p == "src")
+        && !parts
+            .iter()
+            .any(|p| p == "bin" || p == "tests" || p == "benches" || p == "examples");
+    if !is_lib_src {
+        return Scope::default(); // L4 only
+    }
+    let krate = match parts.first().map(String::as_str) {
+        Some("crates") => parts.get(1).cloned().unwrap_or_default(),
+        // The workspace-root facade crate (`src/lib.rs`) is a pure
+        // re-export shim; treat it as a library for L2/L3.
+        Some("src") => String::from("facade"),
+        _ => String::new(),
+    };
+    Scope {
+        numeric_kernel: NUMERIC_KERNEL_CRATES.contains(&krate.as_str()),
+        library: LIBRARY_CRATES.contains(&krate.as_str()) || krate == "facade",
+        deterministic: DETERMINISTIC_CRATES.contains(&krate.as_str()) || krate == "facade",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_crates_get_l1() {
+        assert!(scope_for(Path::new("crates/num/src/fft.rs")).numeric_kernel);
+        assert!(scope_for(Path::new("crates/mesh/src/grid.rs")).numeric_kernel);
+        assert!(scope_for(Path::new("crates/core/src/levels.rs")).numeric_kernel);
+        assert!(!scope_for(Path::new("crates/md/src/nve.rs")).numeric_kernel);
+    }
+
+    #[test]
+    fn library_crates_get_l2_but_tools_do_not() {
+        assert!(scope_for(Path::new("crates/md/src/nve.rs")).library);
+        assert!(scope_for(Path::new("crates/mdgrape/src/step.rs")).library);
+        assert!(!scope_for(Path::new("crates/bench/src/lib.rs")).library);
+        assert!(!scope_for(Path::new("crates/xtask/src/main.rs")).library);
+    }
+
+    #[test]
+    fn leaf_code_is_l4_only() {
+        for p in [
+            "tests/paper_claims.rs",
+            "examples/quickstart.rs",
+            "crates/bench/benches/fft.rs",
+            "crates/bench/src/bin/table1.rs",
+            "crates/md/tests/integration.rs",
+        ] {
+            let s = scope_for(Path::new(p));
+            assert!(!s.numeric_kernel && !s.library && !s.deterministic, "{p}");
+        }
+    }
+
+    #[test]
+    fn reference_crate_is_deterministic_but_may_panic() {
+        let s = scope_for(Path::new("crates/reference/src/ewald.rs"));
+        assert!(s.deterministic);
+        assert!(!s.library);
+    }
+
+    #[test]
+    fn discovery_skips_fixtures_and_target() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap();
+        let files = workspace_rs_files(root);
+        assert!(!files.is_empty());
+        assert!(files
+            .iter()
+            .all(|f| !f.to_string_lossy().contains("fixtures")));
+        assert!(files
+            .iter()
+            .all(|f| !f.to_string_lossy().contains("/target/")));
+        assert!(files
+            .iter()
+            .any(|f| f.ends_with("crates/core/src/solver.rs")));
+    }
+}

@@ -25,7 +25,15 @@ fn main() {
     println!("\n-- M sweep (g_c = 8, L = 1, p = 6) --");
     for m in 1..=6 {
         let t = Tme::new(
-            TmeParams { n: [16; 3], p: 6, levels: 1, gc: 8, m_gaussians: m, alpha, r_cut },
+            TmeParams {
+                n: [16; 3],
+                p: 6,
+                levels: 1,
+                gc: 8,
+                m_gaussians: m,
+                alpha,
+                r_cut,
+            },
             box_l,
         );
         let err = relative_force_error(&t.compute(&system).forces, &reference.forces);
@@ -35,7 +43,15 @@ fn main() {
     println!("\n-- g_c sweep (M = 4, L = 1, p = 6) --");
     for gc in [2usize, 4, 6, 8, 12] {
         let t = Tme::new(
-            TmeParams { n: [16; 3], p: 6, levels: 1, gc, m_gaussians: 4, alpha, r_cut },
+            TmeParams {
+                n: [16; 3],
+                p: 6,
+                levels: 1,
+                gc,
+                m_gaussians: 4,
+                alpha,
+                r_cut,
+            },
             box_l,
         );
         let err = relative_force_error(&t.compute(&system).forces, &reference.forces);
@@ -45,7 +61,15 @@ fn main() {
     println!("\n-- spline order sweep (M = 4, g_c = 8, L = 1) --");
     for p in [4usize, 6, 8] {
         let t = Tme::new(
-            TmeParams { n: [16; 3], p, levels: 1, gc: 8, m_gaussians: 4, alpha, r_cut },
+            TmeParams {
+                n: [16; 3],
+                p,
+                levels: 1,
+                gc: 8,
+                m_gaussians: 4,
+                alpha,
+                r_cut,
+            },
             box_l,
         );
         let err = relative_force_error(&t.compute(&system).forces, &reference.forces);

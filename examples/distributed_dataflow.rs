@@ -15,11 +15,11 @@ use mdgrape4a_tme::tme::distributed::{
     assign_distributed, convolve_separable_distributed, long_range_distributed,
     restrict_distributed, Decomposition,
 };
-use mdgrape4a_tme::tme::toplevel::TopLevel;
-use mdgrape4a_tme::tme::{Tme, TmeParams};
 use mdgrape4a_tme::tme::kernel::TensorKernel;
 use mdgrape4a_tme::tme::levels::LevelTransfer;
+use mdgrape4a_tme::tme::toplevel::TopLevel;
 use mdgrape4a_tme::tme::GaussianFit;
+use mdgrape4a_tme::tme::{Tme, TmeParams};
 
 fn max_diff(a: &mdgrape4a_tme::mesh::Grid3, b: &mdgrape4a_tme::mesh::Grid3) -> f64 {
     a.as_slice()
@@ -76,7 +76,13 @@ fn main() {
     //    gather+FFT → prolong → accumulate) against the global TME solver.
     let alpha = 2.2936;
     let params = TmeParams {
-        n: dec.grid, p: 6, levels: 1, gc: 8, m_gaussians: 4, alpha, r_cut: 1.2,
+        n: dec.grid,
+        p: 6,
+        levels: 1,
+        gc: 8,
+        m_gaussians: 4,
+        alpha,
+        r_cut: 1.2,
     };
     let tme = Tme::new(params, box_l);
     let top = TopLevel::new([16; 3], box_l, alpha / 2.0, 6);

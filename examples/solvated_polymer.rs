@@ -23,7 +23,10 @@ fn main() {
     let centre = [sys.box_l[0] * 0.5, sys.box_l[1] * 0.5, sys.box_l[2] * 0.15];
     let chain = solvate_chain(
         &mut sys,
-        &ChainParams { beads: 16, ..Default::default() },
+        &ChainParams {
+            beads: 16,
+            ..Default::default()
+        },
         centre,
         150,
     );
@@ -60,7 +63,10 @@ fn main() {
         "mesh energy: TME {:.5} vs SPME {:.5} e²/nm; force difference {err:.3e}",
         tme_mesh.energy, spme_mesh.energy
     );
-    assert!(err < 1e-2, "TME and SPME disagree on the inhomogeneous system");
+    assert!(
+        err < 1e-2,
+        "TME and SPME disagree on the inhomogeneous system"
+    );
     println!(
         "TME grid work: {} multiply-adds in {} separable passes",
         stats.convolution.madds, stats.convolution.passes
@@ -72,10 +78,16 @@ fn main() {
     let records = sim.run(600, 100);
     println!("\n  t (ps)   E_total      E_bonded   T (K)");
     for r in &records {
-        println!("  {:6.3}   {:10.2}   {:8.2}   {:6.1}", r.time, r.total, r.bonded, r.temperature);
+        println!(
+            "  {:6.3}   {:10.2}   {:8.2}   {:6.1}",
+            r.time, r.total, r.bonded, r.temperature
+        );
     }
     let drift = energy_drift(&records);
-    println!("\nenergy drift: {drift:+.3} kJ/mol/ps (kinetic scale {:.0})", records[0].kinetic);
+    println!(
+        "\nenergy drift: {drift:+.3} kJ/mol/ps (kinetic scale {:.0})",
+        records[0].kinetic
+    );
     assert!(drift.abs() * 0.3 < 0.05 * records[0].kinetic.abs().max(1.0));
     println!("OK — flexible solute + rigid solvent + multilevel mesh all conserve");
 }

@@ -23,7 +23,15 @@ fn main() {
     let r_cut = 0.9;
     let alpha = EwaldParams::alpha_from_tolerance(r_cut, 1e-4);
     let tme = Tme::new(
-        TmeParams { n: [16; 3], p: 6, levels: 1, gc: 8, m_gaussians: 3, alpha, r_cut },
+        TmeParams {
+            n: [16; 3],
+            p: 6,
+            levels: 1,
+            gc: 8,
+            m_gaussians: 3,
+            alpha,
+            r_cut,
+        },
         box_l,
     );
 
@@ -31,7 +39,10 @@ fn main() {
     let records = sim.run(500, 50);
     println!("\n  t (ps)   E_total (kJ/mol)   E_kin      T (K)");
     for r in &records {
-        println!("  {:6.3}   {:14.3}   {:8.2}   {:6.1}", r.time, r.total, r.kinetic, r.temperature);
+        println!(
+            "  {:6.3}   {:14.3}   {:8.2}   {:6.1}",
+            r.time, r.total, r.kinetic, r.temperature
+        );
     }
     let drift = energy_drift(&records);
     let span = records.last().unwrap().time;

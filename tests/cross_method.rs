@@ -19,8 +19,15 @@ fn water(n: usize, seed: u64) -> mdgrape4a_tme::mesh::CoulombSystem {
 /// slowest middle-shell Gaussian inside it (the `table1` harness runs the
 /// paper's regime where g_c = 8 suffices).
 fn paper_params(n_grid: usize, r_cut: f64, m: usize, levels: u32) -> TmeParams {
-    TmeParams { n: [n_grid; 3], p: 6, levels, gc: 8, m_gaussians: m,
-        alpha: EwaldParams::alpha_from_tolerance(r_cut, 1e-4), r_cut }
+    TmeParams {
+        n: [n_grid; 3],
+        p: 6,
+        levels,
+        gc: 8,
+        m_gaussians: m,
+        alpha: EwaldParams::alpha_from_tolerance(r_cut, 1e-4),
+        r_cut,
+    }
 }
 
 /// The Table-1 relationship on an actual water box: TME(M=4, g_c=8) and
@@ -42,7 +49,10 @@ fn tme_and_spme_agree_against_ewald_on_water() {
     };
     assert!(tme_err < 2e-3, "TME force error {tme_err:e}");
     assert!(spme_err < 2e-3, "SPME force error {spme_err:e}");
-    assert!(tme_err < 3.0 * spme_err + 1e-5, "TME {tme_err:e} vs SPME {spme_err:e}");
+    assert!(
+        tme_err < 3.0 * spme_err + 1e-5,
+        "TME {tme_err:e} vs SPME {spme_err:e}"
+    );
 }
 
 /// Energies agree between all three methods (water, full Coulomb sum).
@@ -51,11 +61,21 @@ fn energies_consistent_across_methods() {
     let sys = water(216, 23);
     let box_l = sys.box_l;
     let params = paper_params(16, 0.9, 4, 1);
-    let e_ref = Ewald::new(EwaldParams::reference_quality(box_l, 1e-14)).compute(&sys).energy;
-    let e_spme = Spme::new([16; 3], box_l, params.alpha, 6, 0.9).compute(&sys).energy;
+    let e_ref = Ewald::new(EwaldParams::reference_quality(box_l, 1e-14))
+        .compute(&sys)
+        .energy;
+    let e_spme = Spme::new([16; 3], box_l, params.alpha, 6, 0.9)
+        .compute(&sys)
+        .energy;
     let e_tme = Tme::new(params, box_l).compute(&sys).energy;
-    assert!(((e_spme - e_ref) / e_ref).abs() < 2e-3, "SPME {e_spme} vs {e_ref}");
-    assert!(((e_tme - e_ref) / e_ref).abs() < 2e-3, "TME {e_tme} vs {e_ref}");
+    assert!(
+        ((e_spme - e_ref) / e_ref).abs() < 2e-3,
+        "SPME {e_spme} vs {e_ref}"
+    );
+    assert!(
+        ((e_tme - e_ref) / e_ref).abs() < 2e-3,
+        "TME {e_tme} vs {e_ref}"
+    );
 }
 
 /// The hardware's fixed-point grid path: quantising grid charges and
@@ -126,7 +146,15 @@ fn anisotropic_box_consistent_with_spme() {
     let r_cut = 1.0;
     let alpha = EwaldParams::alpha_from_tolerance(r_cut, 1e-4);
     let n = [16usize, 16, 32];
-    let params = TmeParams { n, p: 6, levels: 1, gc: 16, m_gaussians: 4, alpha, r_cut };
+    let params = TmeParams {
+        n,
+        p: 6,
+        levels: 1,
+        gc: 16,
+        m_gaussians: 4,
+        alpha,
+        r_cut,
+    };
     let tme_mesh_out = Tme::new(params, box_l).long_range(&sys).0;
     let spme_mesh = Spme::new(n, box_l, alpha, 6, r_cut).reciprocal(&sys);
     let err = relative_force_error(&tme_mesh_out.forces, &spme_mesh.forces);

@@ -28,7 +28,12 @@ fn empty_system_returns_zeros_everywhere() {
     assert!(tme.forces.is_empty());
     let spme = Spme::new([16; 3], [4.0; 3], 2.75, 6, 1.0).compute(&sys);
     assert_eq!(spme.energy, 0.0);
-    let ew = Ewald::new(EwaldParams { alpha: 2.0, r_cut: 1.5, n_cut: 6 }).compute(&sys);
+    let ew = Ewald::new(EwaldParams {
+        alpha: 2.0,
+        r_cut: 1.5,
+        n_cut: 6,
+    })
+    .compute(&sys);
     assert_eq!(ew.energy, 0.0);
 }
 
@@ -90,11 +95,7 @@ fn machine_simulator_degenerate_workloads() {
 
 #[test]
 fn extreme_alpha_values_stay_finite() {
-    let sys = CoulombSystem::new(
-        vec![[1.0; 3], [3.0; 3]],
-        vec![1.0, -1.0],
-        [4.0; 3],
-    );
+    let sys = CoulombSystem::new(vec![[1.0; 3], [3.0; 3]], vec![1.0, -1.0], [4.0; 3]);
     for alpha in [0.1, 10.0] {
         let p = TmeParams { alpha, ..params() };
         let out = Tme::new(p, [4.0; 3]).compute(&sys);
@@ -107,7 +108,10 @@ fn extreme_alpha_values_stay_finite() {
 fn tiny_and_large_gaussian_counts() {
     let sys = CoulombSystem::new(vec![[1.0; 3], [2.5; 3]], vec![1.0, -1.0], [4.0; 3]);
     for m in [1usize, 12] {
-        let p = TmeParams { m_gaussians: m, ..params() };
+        let p = TmeParams {
+            m_gaussians: m,
+            ..params()
+        };
         let out = Tme::new(p, [4.0; 3]).compute(&sys);
         assert!(out.energy.is_finite(), "M={m}");
     }

@@ -25,7 +25,15 @@ fn run(solver: &dyn LongRange, steps: usize) -> Vec<mdgrape4a_tme::md::EnergyRec
 /// the paper's h ≈ 0.31 nm, so the grid cutoff must be larger than the
 /// hardware's g_c = 8 to keep the slowest shell Gaussian inside it.
 fn tme_params(m: usize, alpha: f64, r_cut: f64) -> TmeParams {
-    TmeParams { n: [16; 3], p: 6, levels: 1, gc: 16, m_gaussians: m, alpha, r_cut }
+    TmeParams {
+        n: [16; 3],
+        p: 6,
+        levels: 1,
+        gc: 16,
+        m_gaussians: m,
+        alpha,
+        r_cut,
+    }
 }
 
 #[test]
@@ -83,6 +91,10 @@ fn temperature_stays_physical() {
     let tme = Tme::new(tme_params(3, alpha, r_cut), box_l);
     let records = run(&tme, 100);
     for r in &records {
-        assert!(r.temperature > 100.0 && r.temperature < 700.0, "T = {} K", r.temperature);
+        assert!(
+            r.temperature > 100.0 && r.temperature < 700.0,
+            "T = {} K",
+            r.temperature
+        );
     }
 }

@@ -122,7 +122,11 @@ fn claim_long_range_pipeline_breakdown() {
 #[test]
 fn claim_five_percent_overhead() {
     let rep = OverlapReport::compute(&MachineConfig::mdgrape4a(), &StepWorkload::paper_fig9());
-    assert!((rep.overhead_us() - 10.0).abs() < 6.0, "{}", rep.overhead_us());
+    assert!(
+        (rep.overhead_us() - 10.0).abs() < 6.0,
+        "{}",
+        rep.overhead_us()
+    );
     assert!((rep.overhead_percent() - 5.0).abs() < 3.0);
     // Overlap: the LR span is several times the marginal cost.
     assert!(rep.with_long_range.long_range_us() > 3.0 * rep.overhead_us());

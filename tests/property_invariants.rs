@@ -1,0 +1,270 @@
+//! Randomised property tests on the core data structures and mathematical
+//! invariants of the TME stack.
+//!
+//! Formerly a `proptest` suite; now driven by the in-tree deterministic
+//! [`SplitMix64`] generator so the workspace builds with zero external
+//! dependencies and every failure is reproducible from the printed case
+//! seed alone (no shrink files, no OS entropy).
+
+use mdgrape4a_tme::mesh::bspline::BSpline;
+use mdgrape4a_tme::mesh::{Grid3, SplineOps};
+use mdgrape4a_tme::num::fft::Fft;
+use mdgrape4a_tme::num::fixed::Fix32;
+use mdgrape4a_tme::num::quadrature::GaussLegendre;
+use mdgrape4a_tme::num::rng::SplitMix64;
+use mdgrape4a_tme::num::special::{erf, erfc};
+use mdgrape4a_tme::num::vec3;
+use mdgrape4a_tme::num::Complex64;
+use mdgrape4a_tme::tme::convolve::{convolve_axis, convolve_axis_naive};
+use mdgrape4a_tme::tme::kernel::Kernel1D;
+use mdgrape4a_tme::tme::levels::LevelTransfer;
+
+const CASES: u64 = 64;
+
+/// Run `body` for `CASES` independently seeded generators, printing the
+/// failing case index before re-raising any panic.
+fn for_cases(name: &str, mut body: impl FnMut(&mut SplitMix64)) {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(0xD1CE_5EED ^ (case << 8) ^ case);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(e) = result {
+            eprintln!("property `{name}` failed at case {case}");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
+
+/// erf/erfc complement and range for arbitrary finite inputs.
+#[test]
+fn erf_complement_and_bounds() {
+    for_cases("erf_complement_and_bounds", |rng| {
+        let x = rng.gen_range(-30.0..30.0);
+        let e = erf(x);
+        let c = erfc(x);
+        assert!((-1.0..=1.0).contains(&e));
+        assert!((0.0..=2.0).contains(&c));
+        assert!((e + c - 1.0).abs() < 1e-14, "x = {x}");
+    });
+}
+
+/// FFT round trip restores arbitrary signals.
+#[test]
+fn fft_roundtrip() {
+    for_cases("fft_roundtrip", |rng| {
+        let n = 1usize << (1 + rng.gen_index(7));
+        let x: Vec<Complex64> = (0..n)
+            .map(|_| Complex64::new(rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)))
+            .collect();
+        let plan = Fft::new(n);
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        plan.inverse(&mut y);
+        for (a, b) in y.iter().zip(&x) {
+            assert!((*a - *b).abs() < 1e-11, "n = {n}");
+        }
+    });
+}
+
+/// B-spline partition of unity at arbitrary particle positions.
+#[test]
+fn spline_partition_of_unity() {
+    for_cases("spline_partition_of_unity", |rng| {
+        let u = rng.gen_range(-100.0..100.0);
+        let p = [4usize, 6, 8][rng.gen_index(3)];
+        let (_, w, dw) = BSpline::new(p).weights(u);
+        let s: f64 = w.iter().sum();
+        let ds: f64 = dw.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12, "u = {u}, p = {p}");
+        assert!(ds.abs() < 1e-12, "u = {u}, p = {p}");
+    });
+}
+
+/// Charge assignment conserves total charge for arbitrary charges and
+/// positions (inside or outside the box).
+#[test]
+fn assignment_conserves_charge() {
+    for_cases("assignment_conserves_charge", |rng| {
+        let n = 1 + rng.gen_index(10);
+        let pos: Vec<[f64; 3]> = (0..n)
+            .map(|_| {
+                [
+                    rng.gen_range(-10.0..10.0),
+                    rng.gen_range(-10.0..10.0),
+                    rng.gen_range(-10.0..10.0),
+                ]
+            })
+            .collect();
+        let q: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let ops = SplineOps::new(6, [8, 8, 8], [4.0, 4.0, 4.0]);
+        let grid = ops.assign(&pos, &q);
+        let total: f64 = q.iter().sum();
+        assert!(
+            (grid.sum() - total).abs() < 1e-9 * (1.0 + total.abs()),
+            "n = {n}"
+        );
+    });
+}
+
+/// Restriction/prolongation adjointness for random grids.
+#[test]
+fn transfer_adjointness() {
+    for_cases("transfer_adjointness", |rng| {
+        let mut a = Grid3::zeros([8, 8, 8]);
+        for v in a.as_mut_slice() {
+            *v = rng.gen_range(-0.5..0.5);
+        }
+        let mut b = Grid3::zeros([4, 4, 4]);
+        for v in b.as_mut_slice() {
+            *v = rng.gen_range(-0.5..0.5);
+        }
+        let t = LevelTransfer::new(6);
+        let lhs = t.restrict(&a).dot(&b);
+        let rhs = a.dot(&t.prolong(&b));
+        assert!((lhs - rhs).abs() < 1e-10 * (1.0 + lhs.abs()));
+    });
+}
+
+/// Fixed-point round trip bounded by half an ULP; ordering preserved.
+#[test]
+fn fixed_point_quantisation() {
+    for_cases("fixed_point_quantisation", |rng| {
+        let x = rng.gen_range(-60.0..60.0);
+        let y = rng.gen_range(-60.0..60.0);
+        let fx = Fix32::<24>::from_f64(x);
+        let fy = Fix32::<24>::from_f64(y);
+        assert!(
+            (fx.to_f64() - x).abs() <= 0.5 * Fix32::<24>::EPSILON,
+            "x = {x}"
+        );
+        if x + Fix32::<24>::EPSILON < y {
+            assert!(fx < fy, "x = {x}, y = {y}");
+        }
+    });
+}
+
+/// Minimum image is idempotent and within the half-box.
+#[test]
+fn min_image_bounds() {
+    for_cases("min_image_bounds", |rng| {
+        let l = [3.0, 4.0, 5.0];
+        let a = [
+            rng.gen_range(-20.0..20.0),
+            rng.gen_range(-20.0..20.0),
+            rng.gen_range(-20.0..20.0),
+        ];
+        let b = [
+            rng.gen_range(-20.0..20.0),
+            rng.gen_range(-20.0..20.0),
+            rng.gen_range(-20.0..20.0),
+        ];
+        let d = vec3::min_image(a, b, l);
+        for j in 0..3 {
+            assert!(d[j].abs() <= l[j] / 2.0 + 1e-9, "a = {a:?}, b = {b:?}");
+        }
+    });
+}
+
+/// Grid periodic indexing: get after set through any alias.
+#[test]
+fn grid_periodic_aliasing() {
+    for_cases("grid_periodic_aliasing", |rng| {
+        let x = rng.gen_index(100) as i64 - 50;
+        let y = rng.gen_index(100) as i64 - 50;
+        let z = rng.gen_index(100) as i64 - 50;
+        let mut g = Grid3::zeros([4, 8, 16]);
+        g.set([x, y, z], 2.5);
+        assert_eq!(g.get([x + 4, y - 8, z + 32]), 2.5, "({x}, {y}, {z})");
+    });
+}
+
+/// The buffered axis convolution equals the naive reference for arbitrary
+/// kernels, grids and axes (the GCU's functional model).
+#[test]
+fn axis_convolution_equivalence() {
+    for_cases("axis_convolution_equivalence", |rng| {
+        let gc = 1 + rng.gen_index(4);
+        let axis = rng.gen_index(3);
+        let taps: Vec<f64> = (0..2 * gc + 1).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let kernel = Kernel1D::from_vals(gc, taps);
+        let mut g = Grid3::zeros([8, 12, 16]);
+        for v in g.as_mut_slice() {
+            *v = rng.gen_range(-0.5..0.5);
+        }
+        let fast = convolve_axis(&g, &kernel, axis);
+        let slow = convolve_axis_naive(&g, &kernel, axis);
+        for ((_, a), (_, b)) in fast.iter().zip(slow.iter()) {
+            assert!((a - b).abs() < 1e-12, "gc = {gc}, axis = {axis}");
+        }
+    });
+}
+
+/// Axis convolution is linear: K⊛(a·X + Y) = a·(K⊛X) + K⊛Y.
+#[test]
+fn convolution_linearity() {
+    for_cases("convolution_linearity", |rng| {
+        let scale = rng.gen_range(-3.0..3.0);
+        let kernel = Kernel1D::from_vals(2, (0..5).map(|_| rng.gen_range(-0.5..0.5)).collect());
+        let mut x = Grid3::zeros([8, 8, 8]);
+        let mut y = Grid3::zeros([8, 8, 8]);
+        for v in x.as_mut_slice() {
+            *v = rng.gen_range(-0.5..0.5);
+        }
+        for v in y.as_mut_slice() {
+            *v = rng.gen_range(-0.5..0.5);
+        }
+        let mut combo = x.clone();
+        combo.scale(scale);
+        combo.accumulate(&y);
+        let lhs = convolve_axis(&combo, &kernel, 1);
+        let mut rhs = convolve_axis(&x, &kernel, 1);
+        rhs.scale(scale);
+        rhs.accumulate(&convolve_axis(&y, &kernel, 1));
+        for ((_, a), (_, b)) in lhs.iter().zip(rhs.iter()) {
+            assert!((a - b).abs() < 1e-11, "scale = {scale}");
+        }
+    });
+}
+
+/// Gauss–Legendre rules integrate arbitrary polynomials of degree ≤ 2n−1
+/// exactly.
+#[test]
+fn quadrature_exactness() {
+    for_cases("quadrature_exactness", |rng| {
+        let n = 1 + rng.gen_index(11);
+        let c0 = rng.gen_range(-2.0..2.0);
+        let c1 = rng.gen_range(-2.0..2.0);
+        let c2 = rng.gen_range(-2.0..2.0);
+        let deg = (2 * n - 1) as i32;
+        let q = GaussLegendre::new(n);
+        // f(x) = c0 + c1·x^(deg−1) + c2·x^deg
+        let f = |x: f64| c0 + c1 * x.powi(deg - 1) + c2 * x.powi(deg);
+        let got = q.integrate(f);
+        let exact_term = |k: i32, c: f64| {
+            if k % 2 == 1 {
+                0.0
+            } else {
+                2.0 * c / (f64::from(k) + 1.0)
+            }
+        };
+        let want = exact_term(0, c0) + exact_term(deg - 1, c1) + exact_term(deg, c2);
+        assert!((got - want).abs() < 1e-11 * (1.0 + want.abs()), "n = {n}");
+    });
+}
+
+/// Water boxes are rigid TIP3P for any seed/size.
+#[test]
+fn water_box_always_rigid() {
+    use mdgrape4a_tme::md::units::tip3p;
+    use mdgrape4a_tme::md::water::water_box;
+    for_cases("water_box_always_rigid", |rng| {
+        let n = 1 + rng.gen_index(39);
+        let seed = rng.next_u64() % 500;
+        let sys = water_box(n, seed);
+        for w in &sys.waters {
+            let a = sys.pos[w.o];
+            let b = sys.pos[w.h1];
+            let d = ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt();
+            assert!((d - tip3p::R_OH).abs() < 1e-9, "n = {n}, seed = {seed}");
+        }
+    });
+}
