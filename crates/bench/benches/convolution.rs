@@ -4,10 +4,13 @@
 
 use tme_bench::harness::{BenchmarkId, Criterion};
 use tme_bench::{criterion_group, criterion_main};
-use tme_core::convolve::convolve_separable;
+use tme_core::convolve::{
+    convolve_separable, convolve_separable_into, ConvolveScratch, FoldedKernels,
+};
 use tme_core::kernel::TensorKernel;
 use tme_core::shells::GaussianFit;
 use tme_mesh::Grid3;
+use tme_num::pool::Pool;
 use tme_reference::msm::{convolve_direct, DenseKernel};
 
 fn charge(n: usize) -> Grid3 {
@@ -38,5 +41,43 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
+/// Thread scaling of the planned `_into` path (the GCU's line-parallel
+/// streaming): same 32³ rank-4 convolution at 1/2/4/8 threads. Results are
+/// bitwise identical at every thread count; only wall time changes.
+fn bench_threads(c: &mut Criterion) {
+    let gc = 8;
+    let n = 32usize;
+    let h = 9.9727 / n as f64;
+    let fit = GaussianFit::new(2.2936, 4);
+    let kernel = TensorKernel::new(&fit, [h; 3], 6, gc);
+    let folded = FoldedKernels::plan(&kernel, [n; 3]);
+    let q = charge(n);
+    let mut g = c.benchmark_group("convolution_threads_32cubed");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let pool = Pool::new(threads);
+        let mut scratch = ConvolveScratch::for_dims([n; 3]);
+        let mut out = Grid3::zeros([n; 3]);
+        g.bench_with_input(
+            BenchmarkId::new("tme_separable_into", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    convolve_separable_into(
+                        &q,
+                        &kernel,
+                        1.0,
+                        &folded,
+                        &pool,
+                        &mut scratch,
+                        &mut out,
+                    )
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench, bench_threads);
 criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Machine-simulator throughput for the Fig. 9 / Table 2 / §VI.A
 //! workloads (a full 512-node MD-step schedule per iteration).
 
-use mdgrape_sim::{simulate_step, MachineConfig, StepWorkload};
+use mdgrape_sim::{simulate_step, simulate_step_into, MachineConfig, StepScratch, StepWorkload};
 use tme_bench::harness::Criterion;
 use tme_bench::{criterion_group, criterion_main};
 
@@ -16,6 +16,12 @@ fn bench(c: &mut Criterion) {
     g.bench_function("grid64_L2", |b| b.iter(|| simulate_step(&cfg, &grid64)));
     g.bench_function("fig9_no_long_range", |b| {
         b.iter(|| simulate_step(&cfg, &no_lr));
+    });
+    // Scratch reuse (the plan/execute split applied to the simulator): one
+    // StepScratch across iterations, as `simulate_run` does across steps.
+    g.bench_function("fig9_32cubed_scratch_reuse", |b| {
+        let mut scratch = StepScratch::new();
+        b.iter(|| simulate_step_into(&cfg, &fig9, &mut scratch).total_us);
     });
     g.finish();
 }

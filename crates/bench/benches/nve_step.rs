@@ -1,11 +1,14 @@
 //! Fig. 4 kernels: one velocity-Verlet + SETTLE NVE step with SPME and
 //! with TME long-range electrostatics (216 waters).
 
-use tme_bench::harness::Criterion;
+use std::sync::Arc;
+
+use tme_bench::harness::{BenchmarkId, Criterion};
 use tme_bench::{criterion_group, criterion_main};
-use tme_core::{Tme, TmeParams};
+use tme_core::{Tme, TmeParams, TmeWorkspace};
 use tme_md::nve::NveSim;
 use tme_md::water::{relax, thermalize, water_box};
+use tme_num::pool::Pool;
 use tme_reference::ewald::EwaldParams;
 use tme_reference::Spme;
 
@@ -46,5 +49,42 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
+/// Thread scaling of the TME long-range kernel inside the step (charge
+/// assignment, convolutions, back interpolation, short-range pairs), via
+/// the zero-allocation `compute_with` path at 1/2/4/8 threads. Forces are
+/// bitwise identical at every thread count.
+fn bench_threads(c: &mut Criterion) {
+    let r_cut = 0.9;
+    let alpha = EwaldParams::alpha_from_tolerance(r_cut, 1e-4);
+    let md = system();
+    let box_l = md.box_l;
+    let coul = md.coulomb_system();
+    let tme = Tme::new(
+        TmeParams {
+            n: [16; 3],
+            p: 6,
+            levels: 1,
+            gc: 8,
+            m_gaussians: 4,
+            alpha,
+            r_cut,
+        },
+        box_l,
+    );
+    let mut g = c.benchmark_group("tme_compute_threads_216_waters");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let mut ws = TmeWorkspace::with_pool(&tme, Arc::new(Pool::new(threads)));
+        g.bench_with_input(
+            BenchmarkId::new("compute_with", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| tme.compute_with(&mut ws, &coul).energy);
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench, bench_threads);
 criterion_main!(benches);

@@ -1,0 +1,206 @@
+//! Thread-scaling and allocation audit of the plan/execute pipeline.
+//!
+//! Runs the full zero-allocation `Tme::compute_with` path and the bare
+//! separable convolution on the paper's 32³ grid at 1/2/4/8 threads,
+//! checks the forces stay bitwise identical at every thread count, and
+//! writes the timings to `BENCH_pipeline.json` (hand-rolled JSON — the
+//! workspace has no serialisation dependency). With `--features
+//! alloc-count` the steady-state allocation count per call is measured
+//! and reported too (it must be 0).
+//!
+//! Usage: `cargo run --release -p tme-bench --bin pipeline_scaling --
+//!         [--waters 512] [--repeats 20] [--out BENCH_pipeline.json]`
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use tme_bench::{arg_or, arg_value, grid_for_box, water_system};
+use tme_core::convolve::{convolve_separable_into, ConvolveScratch, FoldedKernels};
+use tme_core::kernel::TensorKernel;
+use tme_core::shells::GaussianFit;
+use tme_core::{Tme, TmeParams, TmeWorkspace};
+use tme_mesh::Grid3;
+use tme_num::pool::Pool;
+use tme_reference::ewald::EwaldParams;
+
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static ALLOC: tme_bench::alloc::CountingAllocator = tme_bench::alloc::CountingAllocator::new();
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Median wall time of `repeats` calls, in microseconds.
+fn median_us(repeats: usize, mut call: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..repeats.max(3))
+        .map(|_| {
+            let t = Instant::now();
+            call();
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Allocations per call in steady state (0 when the feature is off too,
+/// but then it is "not measured" and reported as null).
+fn allocs_per_call(repeats: usize, mut call: impl FnMut()) -> Option<u64> {
+    #[cfg(feature = "alloc-count")]
+    {
+        let n = repeats.max(1) as u64;
+        ALLOC.reset();
+        for _ in 0..n {
+            call();
+        }
+        return Some(ALLOC.allocations() / n);
+    }
+    #[cfg(not(feature = "alloc-count"))]
+    {
+        let _ = (repeats, &mut call);
+        None
+    }
+}
+
+struct Row {
+    threads: usize,
+    convolution_us: f64,
+    compute_us: f64,
+    allocs_per_compute: Option<u64>,
+    bitwise_identical: bool,
+}
+
+fn main() {
+    tme_bench::init_cli();
+    let waters: usize = arg_or("--waters", 512);
+    let repeats: usize = arg_or("--repeats", 20);
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+
+    // The paper's box scaled to `waters` at liquid density; grid_for_box
+    // keeps h ≈ 0.3116 nm, giving 32³ near the default 512 waters.
+    let box_edge = 9.9727 * (waters as f64 / 32773.0).cbrt();
+    let n = grid_for_box(box_edge);
+    let system = water_system(waters, 7);
+    let box_l = system.box_l;
+    // Paper cutoff, clamped to the minimum-image bound for small boxes.
+    let r_cut = 0.9f64.min(box_l.iter().cloned().fold(f64::INFINITY, f64::min) / 2.0);
+    let alpha = EwaldParams::alpha_from_tolerance(r_cut, 1e-4);
+    let params = TmeParams {
+        n: [n; 3],
+        p: 6,
+        levels: 1,
+        gc: 8,
+        m_gaussians: 4,
+        alpha,
+        r_cut,
+    };
+    let tme = Tme::new(params, box_l);
+    println!(
+        "# pipeline_scaling: {} atoms, {n}^3 grid, box {:.3} nm, {repeats} repeats",
+        system.len(),
+        box_l[0]
+    );
+
+    // Bare separable convolution input: the assigned charge grid.
+    let fit = GaussianFit::new(2.2936, 4);
+    let kernel = TensorKernel::new(&fit, [box_l[0] / n as f64; 3], 6, 8);
+    let folded = FoldedKernels::plan(&kernel, [n; 3]);
+    let mut q = Grid3::zeros([n; 3]);
+    for (i, v) in q.as_mut_slice().iter_mut().enumerate() {
+        *v = ((i * 31 % 97) as f64 - 48.0) * 0.01;
+    }
+
+    // Single-thread force bits are the determinism reference.
+    let mut reference_bits: Vec<u64> = Vec::new();
+    let mut rows: Vec<Row> = Vec::new();
+    for threads in THREADS {
+        let pool = Arc::new(Pool::new(threads));
+        let mut ws = TmeWorkspace::with_pool(&tme, Arc::clone(&pool));
+        let mut conv_scratch = ConvolveScratch::for_dims([n; 3]);
+        let mut conv_out = Grid3::zeros([n; 3]);
+
+        // Warm-up sizes every buffer; also yields the forces to compare.
+        let bits: Vec<u64> = tme
+            .compute_with(&mut ws, &system)
+            .forces
+            .iter()
+            .flat_map(|f| f.iter().map(|c| c.to_bits()))
+            .collect();
+        if threads == 1 {
+            reference_bits = bits.clone();
+        }
+        let bitwise_identical = bits == reference_bits;
+
+        let convolution_us = median_us(repeats, || {
+            convolve_separable_into(
+                &q,
+                &kernel,
+                1.0,
+                &folded,
+                &pool,
+                &mut conv_scratch,
+                &mut conv_out,
+            );
+        });
+        let compute_us = median_us(repeats, || {
+            tme.compute_with(&mut ws, &system);
+        });
+        let allocs_per_compute = allocs_per_call(repeats, || {
+            tme.compute_with(&mut ws, &system);
+        });
+
+        println!(
+            "threads {threads}: convolution {convolution_us:.1} us, compute {compute_us:.1} us, \
+             bitwise {} , allocs/call {}",
+            if bitwise_identical { "ok" } else { "MISMATCH" },
+            allocs_per_compute.map_or_else(|| "n/a".to_string(), |a| a.to_string()),
+        );
+        rows.push(Row {
+            threads,
+            convolution_us,
+            compute_us,
+            allocs_per_compute,
+            bitwise_identical,
+        });
+    }
+
+    assert!(
+        rows.iter().all(|r| r.bitwise_identical),
+        "forces changed bits across thread counts — determinism contract broken"
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"pipeline_scaling\",");
+    let _ = writeln!(json, "  \"atoms\": {},", system.len());
+    let _ = writeln!(json, "  \"grid\": [{n}, {n}, {n}],");
+    let _ = writeln!(json, "  \"repeats\": {repeats},");
+    let _ = writeln!(
+        json,
+        "  \"alloc_count_feature\": {},",
+        cfg!(feature = "alloc-count")
+    );
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let allocs = r
+            .allocs_per_compute
+            .map_or_else(|| "null".to_string(), |a| a.to_string());
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {}, \"convolution_us\": {:.3}, \"compute_us\": {:.3}, \
+             \"allocs_per_compute\": {}, \"bitwise_identical\": {}}}{}",
+            r.threads,
+            r.convolution_us,
+            r.compute_us,
+            allocs,
+            r.bitwise_identical,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+}

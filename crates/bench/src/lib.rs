@@ -5,6 +5,8 @@
 use tme_md::water::{relax, water_box};
 use tme_mesh::CoulombSystem;
 
+#[cfg(feature = "alloc-count")]
+pub mod alloc;
 pub mod harness;
 
 /// Restore default SIGPIPE semantics so harness output piped into

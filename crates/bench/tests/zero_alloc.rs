@@ -1,0 +1,70 @@
+//! Zero-allocation proof for the plan/execute split (`--features
+//! alloc-count`): after one warm-up call sizes every lazily grown buffer,
+//! repeated `Tme::compute_with` calls on a reused [`TmeWorkspace`] must
+//! perform **zero** heap allocations — the property that lets the execute
+//! phase run at MD-step cadence without allocator jitter.
+
+use std::sync::Arc;
+
+use tme_bench::alloc::CountingAllocator;
+use tme_core::{Tme, TmeParams, TmeWorkspace};
+use tme_mesh::CoulombSystem;
+use tme_num::pool::Pool;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+/// 200 atoms (100 ion pairs, exactly neutral) at LCG-random positions.
+fn random_neutral_system(n_atoms: usize, box_l: f64, seed: u64) -> CoulombSystem {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let pos = (0..n_atoms)
+        .map(|_| [next() * box_l, next() * box_l, next() * box_l])
+        .collect();
+    let q = (0..n_atoms)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
+    CoulombSystem::new(pos, q, [box_l; 3])
+}
+
+#[test]
+fn steady_state_compute_is_allocation_free() {
+    let tme = Tme::new(
+        TmeParams {
+            n: [16; 3],
+            p: 6,
+            levels: 1,
+            gc: 8,
+            m_gaussians: 4,
+            alpha: 2.0,
+            r_cut: 1.2,
+        },
+        [4.0; 3],
+    );
+    let system = random_neutral_system(200, 4.0, 0xA110_C0DE);
+    // Two workers so the test exercises the actual dispatch path, not the
+    // threads == 1 inline shortcut; pool dispatch itself must not allocate.
+    let mut ws = TmeWorkspace::with_pool(&tme, Arc::new(Pool::new(2)));
+
+    // Warm-up: grows the per-worker line buffers, the interpolation and
+    // force vectors, and the pairwise scratch to steady-state capacity.
+    let reference_bits = tme.compute_with(&mut ws, &system).energy.to_bits();
+
+    ALLOC.reset();
+    let mut bits = 0u64;
+    for _ in 0..5 {
+        bits = tme.compute_with(&mut ws, &system).energy.to_bits();
+    }
+    let allocs = ALLOC.allocations();
+    assert_eq!(
+        allocs, 0,
+        "steady-state compute_with heap-allocated {allocs} times after warm-up"
+    );
+    // The warm runs must also still be computing the same answer.
+    assert_eq!(bits, reference_bits);
+}

@@ -22,7 +22,9 @@
 //! GCU streaming blocks past its kernel register file.
 
 use crate::kernel::{Kernel1D, TensorKernel};
+use std::cell::UnsafeCell;
 use tme_mesh::Grid3;
+use tme_num::pool::{Pool, SendPtr};
 
 /// Operation counters for one separable convolution.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -31,6 +33,100 @@ pub struct SeparableStats {
     pub madds: u64,
     /// 1-D convolution passes executed.
     pub passes: u64,
+}
+
+/// Per-worker extended-line ring buffers (the sleeve-cell buffers the torus
+/// exchange provides in hardware), reused across every convolution pass of
+/// a workspace so the gather loop never allocates.
+#[derive(Debug, Default)]
+pub struct LineBuffers {
+    bufs: Vec<UnsafeCell<Vec<f64>>>,
+}
+
+// SAFETY: each pool worker touches only `bufs[worker]`, and the Pool
+// guarantees at most one closure invocation runs per worker index at any
+// instant, so no two threads ever alias the same inner Vec.
+unsafe impl Sync for LineBuffers {}
+
+impl LineBuffers {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensure `workers` buffers of at least `len` elements each
+    /// (allocation-free once warm).
+    pub fn ensure(&mut self, workers: usize, len: usize) {
+        if self.bufs.len() < workers {
+            self.bufs
+                .resize_with(workers, || UnsafeCell::new(Vec::new()));
+        }
+        for b in &mut self.bufs {
+            let v = b.get_mut();
+            if v.len() < len {
+                v.resize(len, 0.0);
+            }
+        }
+    }
+
+    /// # Safety
+    ///
+    /// `w` must be the index of the pool worker invoking this, inside a
+    /// dispatch whose pool has at most `workers` (from [`Self::ensure`])
+    /// workers — that makes the buffer exclusive to the caller.
+    // SAFETY: the `&self → &mut` shape is the whole point of the
+    // UnsafeCell-per-worker design; exclusivity is the caller's contract
+    // above (hence the clippy::mut_from_ref allowance).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn worker_buf(&self, w: usize) -> &mut Vec<f64> {
+        // SAFETY: exclusivity per the function contract above.
+        unsafe { &mut *self.bufs[w].get() }
+    }
+}
+
+/// Fold a kernel wider than the ring onto `len` cells: packets that lap the
+/// torus accumulate per cell. Plan-time — depends only on the kernel and
+/// the axis length.
+#[must_use]
+pub fn fold_kernel(kernel: &Kernel1D, len: usize) -> Vec<f64> {
+    let gc = kernel.gc() as i64;
+    let mut folded = vec![0.0; len];
+    for m in -gc..=gc {
+        folded[m.rem_euclid(len as i64) as usize] += kernel.get(m);
+    }
+    folded
+}
+
+/// Plan-time folded kernels for every `(term, axis)` pair of a tensor
+/// kernel whose support `2g_c+1` exceeds the axis length at some level —
+/// hoisted out of the per-call path of [`convolve_axis`].
+#[derive(Clone, Debug, Default)]
+pub struct FoldedKernels {
+    per_term: Vec<[Option<Vec<f64>>; 3]>,
+}
+
+impl FoldedKernels {
+    /// Plan for applying `kernel` on a grid of `dims`.
+    #[must_use]
+    pub fn plan(kernel: &TensorKernel, dims: [usize; 3]) -> Self {
+        let gc = kernel.gc();
+        let per_term = kernel
+            .terms()
+            .iter()
+            .map(|term| {
+                std::array::from_fn(|axis| {
+                    let len = dims[axis];
+                    (2 * gc + 1 > len).then(|| fold_kernel(&term[axis], len))
+                })
+            })
+            .collect();
+        Self { per_term }
+    }
+
+    /// The folded taps for `(term, axis)`, if that pass needs folding.
+    #[must_use]
+    pub fn get(&self, term: usize, axis: usize) -> Option<&[f64]> {
+        self.per_term.get(term).and_then(|t| t[axis].as_deref())
+    }
 }
 
 /// One periodic 1-D convolution along `axis` (0 = x, 1 = y, 2 = z).
@@ -42,33 +138,81 @@ pub fn convolve_axis(grid: &Grid3, kernel: &Kernel1D, axis: usize) -> Grid3 {
     // Fold the kernel onto the ring if it exceeds the axis (packets that
     // lap the torus accumulate per cell).
     if 2 * gc + 1 > len {
-        let mut folded = vec![0.0; len];
-        for m in -(gc as i64)..=(gc as i64) {
-            folded[m.rem_euclid(len as i64) as usize] += kernel.get(m);
-        }
-        return convolve_axis_folded(grid, &folded, axis);
+        let folded = fold_kernel(kernel, len);
+        convolve_axis_folded_into(grid, &folded, axis, &mut out);
+        return out;
     }
+    let mut lines = LineBuffers::new();
+    convolve_axis_into(
+        grid,
+        kernel,
+        axis,
+        None,
+        Pool::global(),
+        &mut lines,
+        &mut out,
+    );
+    out
+}
+
+/// [`convolve_axis`] writing into a reused output grid with reused
+/// per-worker ring buffers — the execute-phase form: allocation-free once
+/// warm and parallel over the perpendicular line batches (each grid line
+/// is independent, the GCU torus-axis streaming analogue). Results are
+/// bitwise identical at any thread count because every line's arithmetic
+/// is self-contained.
+///
+/// `folded` must be `Some` (from [`FoldedKernels::plan`] or
+/// [`fold_kernel`]) when `2g_c+1` exceeds the axis length, `None`
+/// otherwise.
+pub fn convolve_axis_into(
+    grid: &Grid3,
+    kernel: &Kernel1D,
+    axis: usize,
+    folded: Option<&[f64]>,
+    pool: &Pool,
+    lines: &mut LineBuffers,
+    out: &mut Grid3,
+) {
+    let n = grid.dims();
+    assert_eq!(out.dims(), n, "output grid dims mismatch");
+    let len = n[axis];
+    let gc = kernel.gc();
+    if let Some(folded) = folded {
+        assert_eq!(folded.len(), len, "folded kernel length mismatch");
+        convolve_axis_folded_into(grid, folded, axis, out);
+        return;
+    }
+    assert!(
+        2 * gc < len,
+        "axis {axis} of length {len} needs a plan-time folded kernel for g_c = {gc}"
+    );
+    lines.ensure(pool.threads(), len + 2 * gc);
     let taps = kernel.vals();
-    // Extended line: [wrap tail | line | wrap head].
-    let mut line = vec![0.0f64; len + 2 * gc];
     let (ny, nz) = (n[1], n[2]);
     let src = grid.as_slice();
-    let dst = out.as_mut_slice();
+    let dst = SendPtr(out.as_mut_slice().as_mut_ptr());
     let stride = match axis {
         0 => ny * nz,
         1 => nz,
         _ => 1,
     };
-    // Iterate over all lines perpendicular to `axis`.
+    // Iterate over all lines perpendicular to `axis`; one part per outer
+    // slab (part boundaries fixed by the grid dims, not the thread count).
     let (outer, inner, outer_stride, inner_stride) = match axis {
         0 => (ny, nz, nz, 1),
         1 => (n[0], nz, ny * nz, 1),
         _ => (n[0], ny, ny * nz, nz),
     };
-    for o in 0..outer {
+    let lines_ref: &LineBuffers = lines;
+    pool.run_parts(outer, |o, worker| {
+        // SAFETY: `worker` is this closure's pool worker index and the pool
+        // was sized by the `ensure` above, so the ring buffer is exclusive.
+        let line = unsafe { lines_ref.worker_buf(worker) };
         for i in 0..inner {
             let base = o * outer_stride + i * inner_stride;
-            // Gather with periodic extension.
+            // Gather with periodic extension:
+            // [wrap tail | line | wrap head].
             for k in 0..len {
                 line[gc + k] = src[base + k * stride];
             }
@@ -86,17 +230,29 @@ pub fn convolve_axis(grid: &Grid3, kernel: &Kernel1D, axis: usize) -> Grid3 {
                 for (t, &k) in taps.iter().enumerate() {
                     acc += k * window[2 * gc - t];
                 }
-                dst[base + c * stride] = acc;
+                // SAFETY: lines are disjoint across (o, i) pairs and each
+                // line owns the index set {base + c·stride}, so no two
+                // parts ever write the same output element.
+                unsafe {
+                    *dst.get().add(base + c * stride) = acc;
+                }
             }
         }
-    }
-    out
+    });
 }
 
 /// Fallback for kernels wider than the axis: direct folded evaluation.
 fn convolve_axis_folded(grid: &Grid3, folded: &[f64], axis: usize) -> Grid3 {
-    let n = grid.dims();
-    let mut out = Grid3::zeros(n);
+    let mut out = Grid3::zeros(grid.dims());
+    convolve_axis_folded_into(grid, folded, axis, &mut out);
+    out
+}
+
+/// [`convolve_axis_folded`] into a reused output grid (serial — folding
+/// only happens on the tiny coarse levels where the axis is shorter than
+/// the kernel support).
+fn convolve_axis_folded_into(grid: &Grid3, folded: &[f64], axis: usize, out: &mut Grid3) {
+    assert_eq!(out.dims(), grid.dims());
     for (c, _) in grid.iter() {
         let center = [c[0] as i64, c[1] as i64, c[2] as i64];
         let mut acc = 0.0;
@@ -107,7 +263,6 @@ fn convolve_axis_folded(grid: &Grid3, folded: &[f64], axis: usize) -> Grid3 {
         }
         out.set(center, acc);
     }
-    out
 }
 
 /// Reference implementation used to cross-validate the buffered kernel:
@@ -137,6 +292,30 @@ pub fn convolve_axis_naive(grid: &Grid3, kernel: &Kernel1D, axis: usize) -> Grid
     out
 }
 
+/// Reusable execute-phase state for the separable convolutions at one
+/// level: per-worker ring buffers plus the two axis ping/pong grids.
+#[derive(Debug)]
+pub struct ConvolveScratch {
+    /// Per-worker extended-line ring buffers.
+    pub lines: LineBuffers,
+    /// Axis-pass ping grid (also holds the accumulated term output).
+    pub tmp_a: Grid3,
+    /// Axis-pass pong grid.
+    pub tmp_b: Grid3,
+}
+
+impl ConvolveScratch {
+    /// Scratch for convolving grids of `dims`.
+    #[must_use]
+    pub fn for_dims(dims: [usize; 3]) -> Self {
+        Self {
+            lines: LineBuffers::new(),
+            tmp_a: Grid3::zeros(dims),
+            tmp_b: Grid3::zeros(dims),
+        }
+    }
+}
+
 /// Full separable convolution `Φ = Σ_ν K^{ν,z} ⊛ K^{ν,y} ⊛ K^{ν,x} ⊛ Q`,
 /// scaled by `prefactor` (the level's `1/2^{l−1}`).
 pub fn convolve_separable(
@@ -144,24 +323,61 @@ pub fn convolve_separable(
     kernel: &TensorKernel,
     prefactor: f64,
 ) -> (Grid3, SeparableStats) {
-    let mut out = Grid3::zeros(grid.dims());
+    let n = grid.dims();
+    let folded = FoldedKernels::plan(kernel, n);
+    let mut scratch = ConvolveScratch::for_dims(n);
+    let mut out = Grid3::zeros(n);
+    let stats = convolve_separable_into(
+        grid,
+        kernel,
+        prefactor,
+        &folded,
+        Pool::global(),
+        &mut scratch,
+        &mut out,
+    );
+    (out, stats)
+}
+
+/// [`convolve_separable`] into a reused output grid with plan-time folded
+/// kernels (from [`FoldedKernels::plan`] at `grid.dims()`) and reused
+/// scratch — the execute-phase form: no heap allocation once warm, line
+/// batches running across the pool.
+pub fn convolve_separable_into(
+    grid: &Grid3,
+    kernel: &TensorKernel,
+    prefactor: f64,
+    folded: &FoldedKernels,
+    pool: &Pool,
+    scratch: &mut ConvolveScratch,
+    out: &mut Grid3,
+) -> SeparableStats {
+    let n = grid.dims();
+    assert_eq!(out.dims(), n, "output grid dims mismatch");
+    assert_eq!(scratch.tmp_a.dims(), n, "scratch dims mismatch");
+    assert_eq!(scratch.tmp_b.dims(), n, "scratch dims mismatch");
     let mut stats = SeparableStats::default();
     let points = grid.len() as u64;
-    let n = grid.dims();
     // On a folded (kernel wider than the axis) pass only `len` taps are
     // actually applied per point.
     let taps_for = |axis: usize| ((2 * kernel.gc() + 1) as u64).min(n[axis] as u64);
     let taps_all: u64 = (0..3).map(taps_for).sum();
-    for term in kernel.terms() {
-        let gx = convolve_axis(grid, &term[0], 0);
-        let gy = convolve_axis(&gx, &term[1], 1);
-        let gz = convolve_axis(&gy, &term[2], 2);
-        out.accumulate(&gz);
+    out.fill(0.0);
+    let ConvolveScratch {
+        lines,
+        tmp_a,
+        tmp_b,
+    } = scratch;
+    for (ti, term) in kernel.terms().iter().enumerate() {
+        convolve_axis_into(grid, &term[0], 0, folded.get(ti, 0), pool, lines, tmp_a);
+        convolve_axis_into(tmp_a, &term[1], 1, folded.get(ti, 1), pool, lines, tmp_b);
+        convolve_axis_into(tmp_b, &term[2], 2, folded.get(ti, 2), pool, lines, tmp_a);
+        out.accumulate(tmp_a);
         stats.madds += taps_all * points;
         stats.passes += 3;
     }
     out.scale(prefactor);
-    (out, stats)
+    stats
 }
 
 #[cfg(test)]

@@ -109,6 +109,51 @@ pub fn auto_params(box_l: V3, n: [usize; 3], r_cut: f64, p: usize, rtol: f64) ->
     params
 }
 
+/// A [`TmeParams`] set that cannot be planned. Returned by
+/// [`crate::Tme::try_new`]; [`crate::Tme::new`] panics with the same
+/// message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TmeConfigError {
+    /// `levels = 0`: the method needs at least one middle-range shell.
+    NoLevels,
+    /// `m_gaussians = 0`: each shell needs at least one quadrature term.
+    NoGaussians,
+    /// The finest grid is not divisible by `2^L`, so the restriction
+    /// cascade cannot reach the top level.
+    IndivisibleGrid {
+        /// Finest grid dims `N`.
+        n: [usize; 3],
+        /// Required divisor `2^L`.
+        scale: usize,
+    },
+    /// The top-level grid is smaller than the spline support, so the
+    /// order-`p` interpolation would self-overlap.
+    TopGridTooSmall {
+        /// Top-level grid dims `N / 2^L`.
+        n_top: [usize; 3],
+        /// B-spline order `p`.
+        p: usize,
+    },
+}
+
+impl std::fmt::Display for TmeConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoLevels => write!(f, "TME needs at least one middle level"),
+            Self::NoGaussians => write!(f, "TME needs at least one Gaussian per shell"),
+            Self::IndivisibleGrid { n, scale } => {
+                write!(f, "grid {n:?} not divisible by 2^L = {scale}")
+            }
+            Self::TopGridTooSmall { n_top, p } => write!(
+                f,
+                "top grid {n_top:?} smaller than spline order {p}: interpolation would self-overlap"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TmeConfigError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

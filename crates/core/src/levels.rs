@@ -15,6 +15,35 @@
 
 use tme_mesh::{BSpline, Grid3};
 
+/// Reusable axis-pass intermediates for one restrict/prolong pair between a
+/// `fine` grid and its halved coarse partner — allocated once at plan time
+/// so the execute path never touches the heap.
+#[derive(Clone, Debug)]
+pub struct TransferScratch {
+    /// After restricting axis 0: `[f0/2, f1, f2]`.
+    r1: Grid3,
+    /// After restricting axes 0–1: `[f0/2, f1/2, f2]`.
+    r2: Grid3,
+    /// After prolonging axis 0: `[f0, f1/2, f2/2]`.
+    p1: Grid3,
+    /// After prolonging axes 0–1: `[f0, f1, f2/2]`.
+    p2: Grid3,
+}
+
+impl TransferScratch {
+    /// Scratch for transfers whose *fine* side has dims `fine` (all even).
+    #[must_use]
+    pub fn for_fine_dims(fine: [usize; 3]) -> Self {
+        let [f0, f1, f2] = fine;
+        Self {
+            r1: Grid3::zeros([f0 / 2, f1, f2]),
+            r2: Grid3::zeros([f0 / 2, f1 / 2, f2]),
+            p1: Grid3::zeros([f0, f1 / 2, f2 / 2]),
+            p2: Grid3::zeros([f0, f1, f2 / 2]),
+        }
+    }
+}
+
 /// Restriction/prolongation operator for spline order `p`.
 #[derive(Clone, Debug)]
 pub struct LevelTransfer {
@@ -40,7 +69,7 @@ impl LevelTransfer {
     }
 
     /// One axis of restriction: halve `axis`, `out_m = Σ_k J_k in_{2m+k}`.
-    fn restrict_axis(&self, grid: &Grid3, axis: usize) -> Grid3 {
+    fn restrict_axis_into(&self, grid: &Grid3, axis: usize, out: &mut Grid3) {
         let n = grid.dims();
         assert!(
             n[axis].is_multiple_of(2),
@@ -49,7 +78,7 @@ impl LevelTransfer {
         );
         let mut out_dims = n;
         out_dims[axis] = n[axis] / 2;
-        let mut out = Grid3::zeros(out_dims);
+        assert_eq!(out.dims(), out_dims, "restriction output dims mismatch");
         for x in 0..out_dims[0] as i64 {
             for y in 0..out_dims[1] as i64 {
                 for z in 0..out_dims[2] as i64 {
@@ -63,15 +92,15 @@ impl LevelTransfer {
                 }
             }
         }
-        out
     }
 
     /// One axis of prolongation: double `axis`, `out_n = Σ_m J_{n−2m} in_m`.
-    fn prolong_axis(&self, grid: &Grid3, axis: usize) -> Grid3 {
+    fn prolong_axis_into(&self, grid: &Grid3, axis: usize, out: &mut Grid3) {
         let n = grid.dims();
         let mut out_dims = n;
         out_dims[axis] = n[axis] * 2;
-        let mut out = Grid3::zeros(out_dims);
+        assert_eq!(out.dims(), out_dims, "prolongation output dims mismatch");
+        out.fill(0.0);
         for (c, v) in grid.iter() {
             if v == 0.0 {
                 continue;
@@ -82,7 +111,6 @@ impl LevelTransfer {
                 out.add(dst, self.j(k) * v);
             }
         }
-        out
     }
 
     /// Full 3-D restriction (all dims halved).
@@ -91,16 +119,26 @@ impl LevelTransfer {
     /// `Σ_k J_{2k} = Σ_k J_{2k+1} = 1` means every fine charge lands on the
     /// coarse grid exactly once, so `Σ Q^{l+1} = Σ Q^l` up to rounding.
     pub fn restrict(&self, grid: &Grid3) -> Grid3 {
-        let g = self.restrict_axis(grid, 0);
-        let g = self.restrict_axis(&g, 1);
-        let out = self.restrict_axis(&g, 2);
+        let n = grid.dims();
+        let mut scratch = TransferScratch::for_fine_dims(n);
+        let mut out = Grid3::zeros([n[0] / 2, n[1] / 2, n[2] / 2]);
+        self.restrict_into(grid, &mut out, &mut scratch);
+        out
+    }
+
+    /// [`Self::restrict`] into a reused output grid with reused axis-pass
+    /// scratch (from [`TransferScratch::for_fine_dims`] of `grid.dims()`) —
+    /// no heap allocation.
+    pub fn restrict_into(&self, grid: &Grid3, out: &mut Grid3, scratch: &mut TransferScratch) {
+        self.restrict_axis_into(grid, 0, &mut scratch.r1);
+        self.restrict_axis_into(&scratch.r1, 1, &mut scratch.r2);
+        self.restrict_axis_into(&scratch.r2, 2, out);
         debug_assert!(
             (out.sum() - grid.sum()).abs() <= 1e-9 * abs_sum(grid).max(1.0),
             "restriction lost charge: Σ fine = {}, Σ coarse = {}",
             grid.sum(),
             out.sum()
         );
-        out
     }
 
     /// Full 3-D prolongation (all dims doubled).
@@ -109,16 +147,27 @@ impl LevelTransfer {
     /// axis (the two-scale relation preserves the spline's unit integral on
     /// the half-spaced grid), so the 3-D total scales by exactly 8.
     pub fn prolong(&self, grid: &Grid3) -> Grid3 {
-        let g = self.prolong_axis(grid, 0);
-        let g = self.prolong_axis(&g, 1);
-        let out = self.prolong_axis(&g, 2);
+        let n = grid.dims();
+        let fine = [n[0] * 2, n[1] * 2, n[2] * 2];
+        let mut scratch = TransferScratch::for_fine_dims(fine);
+        let mut out = Grid3::zeros(fine);
+        self.prolong_into(grid, &mut out, &mut scratch);
+        out
+    }
+
+    /// [`Self::prolong`] into a reused output grid with reused axis-pass
+    /// scratch (from [`TransferScratch::for_fine_dims`] of the *doubled*
+    /// dims) — no heap allocation.
+    pub fn prolong_into(&self, grid: &Grid3, out: &mut Grid3, scratch: &mut TransferScratch) {
+        self.prolong_axis_into(grid, 0, &mut scratch.p1);
+        self.prolong_axis_into(&scratch.p1, 1, &mut scratch.p2);
+        self.prolong_axis_into(&scratch.p2, 2, out);
         debug_assert!(
             (out.sum() - 8.0 * grid.sum()).abs() <= 1e-9 * abs_sum(grid).max(1.0),
             "prolongation broke the Σ J = 2 scaling: Σ coarse = {}, Σ fine = {}",
             grid.sum(),
             out.sum()
         );
-        out
     }
 }
 

@@ -31,11 +31,14 @@ pub mod msm;
 pub mod shells;
 pub mod solver;
 pub mod toplevel;
+pub mod workspace;
 
+pub use errors::TmeConfigError;
 pub use kernel::TensorKernel;
 pub use msm::Msm;
 pub use shells::GaussianFit;
 pub use solver::{Tme, TmeParams};
+pub use workspace::TmeWorkspace;
 
 /// Solve `erfc(α r_c) = rtol` for α by bisection — the GROMACS
 /// `ewald-rtol` parameterisation the paper uses throughout (§III.B).

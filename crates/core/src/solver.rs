@@ -11,13 +11,15 @@
 //! this reproduces the full Coulomb interaction with SPME-comparable
 //! accuracy (paper Table 1).
 
-use crate::convolve::{convolve_separable, SeparableStats};
+use crate::convolve::SeparableStats;
+use crate::errors::TmeConfigError;
 use crate::kernel::TensorKernel;
 use crate::levels::LevelTransfer;
 use crate::shells::GaussianFit;
 use crate::toplevel::TopLevel;
+use crate::workspace::TmeWorkspace;
 use tme_mesh::model::{CoulombResult, CoulombSystem};
-use tme_mesh::{pairwise, Grid3, SplineOps};
+use tme_mesh::{Grid3, SplineOps};
 use tme_num::vec3::V3;
 
 /// TME configuration (paper notation in backticks).
@@ -92,41 +94,58 @@ pub struct TmeStats {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Tme {
-    params: TmeParams,
-    ops: SplineOps,
-    kernel: TensorKernel,
-    transfer: LevelTransfer,
-    top: TopLevel,
+    pub(crate) params: TmeParams,
+    pub(crate) ops: SplineOps,
+    pub(crate) kernel: TensorKernel,
+    pub(crate) transfer: LevelTransfer,
+    pub(crate) top: TopLevel,
 }
 
 impl Tme {
+    /// Plan a solver, panicking on an invalid configuration. Prefer
+    /// [`Self::try_new`] when the parameters come from user input.
     pub fn new(params: TmeParams, box_l: V3) -> Self {
-        assert!(params.levels >= 1, "TME needs at least one middle level");
-        assert!(params.m_gaussians >= 1);
+        match Self::try_new(params, box_l) {
+            Ok(tme) => tme,
+            // lint:allow(l2) — documented panicking front-end over try_new
+            Err(e) => panic!("invalid TME configuration: {e}"),
+        }
+    }
+
+    /// Plan a solver, reporting an invalid configuration as a
+    /// [`TmeConfigError`] instead of panicking.
+    pub fn try_new(params: TmeParams, box_l: V3) -> Result<Self, TmeConfigError> {
+        if params.levels < 1 {
+            return Err(TmeConfigError::NoLevels);
+        }
+        if params.m_gaussians < 1 {
+            return Err(TmeConfigError::NoGaussians);
+        }
         let scale = 1usize << params.levels;
-        assert!(
-            params.n.iter().all(|&d| d % scale == 0),
-            "grid {:?} not divisible by 2^L = {scale}",
-            params.n
-        );
-        let ops = SplineOps::new(params.p, params.n, box_l);
-        let fit = GaussianFit::new(params.alpha, params.m_gaussians);
-        let kernel = TensorKernel::new(&fit, ops.spacing(), params.p, params.gc);
-        let transfer = LevelTransfer::new(params.p);
+        if !params.n.iter().all(|&d| d % scale == 0) {
+            return Err(TmeConfigError::IndivisibleGrid { n: params.n, scale });
+        }
         let n_top = [
             params.n[0] / scale,
             params.n[1] / scale,
             params.n[2] / scale,
         ];
+        if n_top.iter().any(|&d| d < params.p) {
+            return Err(TmeConfigError::TopGridTooSmall { n_top, p: params.p });
+        }
+        let ops = SplineOps::new(params.p, params.n, box_l);
+        let fit = GaussianFit::new(params.alpha, params.m_gaussians);
+        let kernel = TensorKernel::new(&fit, ops.spacing(), params.p, params.gc);
+        let transfer = LevelTransfer::new(params.p);
         let alpha_top = params.alpha / scale as f64;
         let top = TopLevel::new(n_top, box_l, alpha_top, params.p);
-        Self {
+        Ok(Self {
             params,
             ops,
             kernel,
             transfer,
             top,
-        }
+        })
     }
 
     pub fn params(&self) -> &TmeParams {
@@ -141,71 +160,36 @@ impl Tme {
     /// Long-range (mesh) part only: steps 1–6. Includes the smooth-kernel
     /// self-images; combine with [`Self::compute`]'s short-range and self
     /// terms for totals.
+    ///
+    /// Allocates a fresh [`TmeWorkspace`] per call; steady-state callers
+    /// should hold one and use [`Self::long_range_with`].
     pub fn long_range(&self, system: &CoulombSystem) -> (CoulombResult, TmeStats) {
-        let phi = self.long_range_grid_potential(&self.ops.assign(&system.pos, &system.q));
-        let interp = self.ops.interpolate(&phi.0, &system.pos, &system.q);
-        (
-            CoulombResult {
-                energy: SplineOps::energy(&system.q, &interp.potential),
-                forces: interp.force,
-                potentials: interp.potential,
-                virial: 0.0, // mesh virial not tracked (see CoulombResult docs)
-            },
-            phi.1,
-        )
+        let mut ws = TmeWorkspace::new(self);
+        let (out, stats) = self.long_range_with(&mut ws, system);
+        (out.clone(), stats)
     }
 
     /// Steps 2–5 on an already-assigned finest-grid charge: returns the
     /// finest-grid long-range potential. Exposed for the fixed-point
     /// emulation tests and the machine simulator's workload accounting.
     pub fn long_range_grid_potential(&self, q_finest: &Grid3) -> (Grid3, TmeStats) {
-        debug_assert!(
-            q_finest.as_slice().iter().all(|v| v.is_finite()),
-            "non-finite charge entering the multilevel pipeline"
-        );
-        let mut stats = TmeStats::default();
-        let levels = self.params.levels;
-        // Downward pass: convolve each level, restrict to the next.
-        let mut q_level = q_finest.clone();
-        let mut mids: Vec<Grid3> = Vec::with_capacity(levels as usize);
-        for l in 1..=levels {
-            let prefactor = crate::distributed::level_prefactor(l);
-            let (phi_mid, s) = convolve_separable(&q_level, &self.kernel, prefactor);
-            stats.convolution.madds += s.madds;
-            stats.convolution.passes += s.passes;
-            mids.push(phi_mid);
-            stats.transfer_points += q_level.len() as u64;
-            q_level = self.transfer.restrict(&q_level);
-        }
-        // Top level: FFT convolution on Q^{L+1}.
-        stats.top_points = q_level.len() as u64;
-        let mut phi = self.top.solve(&q_level);
-        // Upward pass: prolong and accumulate middle potentials (popping
-        // from the stack avoids cloning each level's grid).
-        while let Some(mut phi_l) = mids.pop() {
-            stats.transfer_points += phi_l.len() as u64;
-            phi_l.accumulate(&self.transfer.prolong(&phi));
-            phi = phi_l;
-        }
-        debug_assert!(
-            phi.as_slice().iter().all(|v| v.is_finite()),
-            "non-finite potential leaving the multilevel pipeline"
-        );
-        (phi, stats)
+        assert_eq!(q_finest.dims(), self.params.n, "charge grid dims mismatch");
+        let mut ws = TmeWorkspace::new(self);
+        ws.charge_mut(0)
+            .as_mut_slice()
+            .copy_from_slice(q_finest.as_slice());
+        let stats = self.grid_potential_with(&mut ws);
+        (ws.take_potential(), stats)
     }
 
     /// Full Coulomb interaction: short-range `erfc` pairs + long-range mesh
     /// + Ewald self term (reduced units).
+    ///
+    /// Allocates a fresh [`TmeWorkspace`] per call; steady-state callers
+    /// should hold one and use [`Self::compute_with`].
     pub fn compute(&self, system: &CoulombSystem) -> CoulombResult {
-        let mut out = pairwise::short_range(system, self.params.alpha, self.params.r_cut);
-        out.accumulate(&self.long_range(system).0);
-        out.accumulate(&pairwise::self_term(system, self.params.alpha));
-        debug_assert!(
-            out.energy.is_finite() && out.forces.iter().all(|f| f.iter().all(|c| c.is_finite())),
-            "non-finite energy/force leaving Tme::compute (energy = {})",
-            out.energy
-        );
-        out
+        let mut ws = TmeWorkspace::new(self);
+        self.compute_with(&mut ws, system).clone()
     }
 }
 

@@ -19,6 +19,19 @@
 use tme_mesh::{greens, Grid3};
 use tme_num::fft::{Fft3, RealFft3};
 use tme_num::vec3::V3;
+use tme_num::Complex64;
+
+/// Reusable spectrum and FFT line scratch for [`TopLevel::solve_into`],
+/// sized by [`TopLevel::make_scratch`].
+#[derive(Clone, Debug)]
+pub struct TopScratch {
+    /// Half-spectrum buffer (double-precision path).
+    spec: Vec<Complex64>,
+    /// 1-D FFT line scratch, sized for both transform kinds.
+    line: Vec<Complex64>,
+    /// Full complex grid buffer (single-precision FPGA-emulation path).
+    cbuf: Vec<Complex64>,
+}
 
 /// The FFT-based top-level grid-potential solver.
 #[derive(Clone, Debug)]
@@ -50,29 +63,57 @@ impl TopLevel {
         self.influence.dims()
     }
 
+    /// Allocate scratch sized for this solver (covers both precision paths).
+    #[must_use]
+    pub fn make_scratch(&self) -> TopScratch {
+        let n = self.dims();
+        TopScratch {
+            spec: vec![Complex64::ZERO; self.rfft.spectrum_len()],
+            line: vec![Complex64::ZERO; self.rfft.scratch_len().max(self.fft.scratch_len())],
+            cbuf: vec![Complex64::ZERO; n[0] * n[1] * n[2]],
+        }
+    }
+
     /// Solve grid charges → grid potentials (steps 1–3).
     pub fn solve(&self, q: &Grid3) -> Grid3 {
+        let mut scratch = self.make_scratch();
+        let mut phi = Grid3::zeros(q.dims());
+        self.solve_into(q, &mut phi, &mut scratch);
+        phi
+    }
+
+    /// [`Self::solve`] into a reused output grid with reused scratch (from
+    /// [`Self::make_scratch`]) — no heap allocation.
+    pub fn solve_into(&self, q: &Grid3, phi: &mut Grid3, scratch: &mut TopScratch) {
+        assert_eq!(q.dims(), self.influence.dims());
+        assert_eq!(phi.dims(), self.influence.dims());
         if !self.single_precision {
-            return greens::apply_influence(&self.rfft, &self.influence, q);
+            greens::apply_influence_into(
+                &self.rfft,
+                &self.influence,
+                q,
+                phi,
+                &mut scratch.spec,
+                &mut scratch.line,
+            );
+            return;
         }
         // FPGA emulation: narrow the data and the spectrum through f32,
         // as the single-precision DSP datapath does.
-        assert_eq!(q.dims(), self.influence.dims());
-        let mut buf = q.to_complex();
-        for z in &mut buf {
+        let buf = &mut scratch.cbuf;
+        for (z, &v) in buf.iter_mut().zip(q.as_slice()) {
+            *z = Complex64 { re: v, im: 0.0 };
             *z = z.to_c32().to_c64();
         }
-        self.fft.forward(&mut buf);
+        self.fft.forward_with(buf, &mut scratch.line);
         for (z, &g) in buf.iter_mut().zip(self.influence.as_slice()) {
             *z = z.scale(g);
         }
-        for z in &mut buf {
+        for z in &mut *buf {
             *z = z.to_c32().to_c64();
         }
-        self.fft.inverse(&mut buf);
-        let mut phi = Grid3::zeros(q.dims());
-        phi.set_from_complex(&buf);
-        phi
+        self.fft.inverse_with(buf, &mut scratch.line);
+        phi.set_from_complex(buf);
     }
 
     /// Reciprocal-space energy `½ Σ_m Q_m Φ_m` for given charges.

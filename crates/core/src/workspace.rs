@@ -1,0 +1,385 @@
+//! Plan/execute split for the TME pipeline.
+//!
+//! [`crate::Tme`] is the *plan*: kernels, influence function, two-scale
+//! coefficients — everything that depends only on the box and parameters.
+//! [`TmeWorkspace`] is the *execute-phase state*: every grid, ring buffer
+//! and scratch vector the six-step pipeline touches, allocated once and
+//! reused across steps, so the steady-state entry points
+//! ([`Tme::compute_with`], [`Tme::long_range_with`]) perform **zero heap
+//! allocations** after warm-up.
+//!
+//! The workspace also carries the thread pool the hot loops run on. All
+//! parallel reductions use *fixed* part boundaries (functions of the data
+//! size only, never the thread count) merged in part order, so results are
+//! bitwise identical at any `TME_THREADS` setting — the same property the
+//! hardware gets from its fixed GM accumulation network.
+
+use crate::convolve::{convolve_separable_into, ConvolveScratch, FoldedKernels};
+use crate::levels::TransferScratch;
+use crate::solver::{Tme, TmeStats};
+use crate::toplevel::TopScratch;
+use std::sync::Arc;
+use tme_mesh::assign::Interpolated;
+use tme_mesh::model::{CoulombResult, CoulombSystem};
+use tme_mesh::pairwise::{self, PairwiseScratch};
+use tme_mesh::{Grid3, SplineOps};
+use tme_num::pool::{chunk_bounds, Pool, SendPtr};
+
+/// Fixed number of partial charge grids for parallel assignment. A
+/// constant (not the thread count) so the assignment reduction is
+/// deterministic; it only bounds the useful parallelism of step 1.
+pub const ASSIGN_PARTS: usize = 8;
+
+/// Cells per part when merging the partial charge grids.
+const MERGE_CHUNK: usize = 4096;
+
+/// All per-step mutable state of the TME pipeline (see module docs).
+///
+/// Build once per solver with [`TmeWorkspace::new`] (or
+/// [`TmeWorkspace::with_pool`] to pin a specific thread pool), then feed
+/// it to [`Tme::compute_with`] every step.
+#[derive(Debug)]
+pub struct TmeWorkspace {
+    pub(crate) pool: Arc<Pool>,
+    /// Charge grids `Q^l`, dims `N >> l`, for `l ∈ 0..=L`.
+    q: Vec<Grid3>,
+    /// Middle-level potentials `Φ^l` for `l ∈ 1..=L` (index `l−1`,
+    /// dims `N >> (l−1)`); `mid[0]` holds the final mesh potential.
+    mid: Vec<Grid3>,
+    /// Convolution scratch per middle level (index `l−1`).
+    conv: Vec<ConvolveScratch>,
+    /// Plan-time folded kernels per middle level (index `l−1`).
+    folded: Vec<FoldedKernels>,
+    /// Restriction/prolongation scratch per level pair (index `l−1`,
+    /// fine side dims `N >> (l−1)`).
+    transfer: Vec<TransferScratch>,
+    /// Top-level potential `Φ^{L+1}`, dims `N >> L`.
+    top_phi: Grid3,
+    /// Top-level FFT spectrum/line scratch.
+    top: TopScratch,
+    /// Partial charge grids for the parallel step-1 assignment.
+    assign_parts: Vec<Grid3>,
+    /// Back-interpolation output (step 6).
+    interp: Interpolated,
+    /// Short-range pair-sum partial accumulators.
+    pair: PairwiseScratch,
+    /// Mesh-only result of the last [`Tme::long_range_with`].
+    mesh_out: CoulombResult,
+    /// Full result of the last [`Tme::compute_with`].
+    out: CoulombResult,
+}
+
+impl TmeWorkspace {
+    /// Workspace on the process-global pool (sized by `TME_THREADS`).
+    #[must_use]
+    pub fn new(tme: &Tme) -> Self {
+        Self::with_pool(tme, Arc::clone(Pool::global()))
+    }
+
+    /// Workspace running its parallel sections on a caller-owned pool.
+    #[must_use]
+    pub fn with_pool(tme: &Tme, pool: Arc<Pool>) -> Self {
+        let params = tme.params();
+        let levels = params.levels as usize;
+        let n = params.n;
+        let dims_at = |l: usize| [n[0] >> l, n[1] >> l, n[2] >> l];
+        Self {
+            pool,
+            q: (0..=levels).map(|l| Grid3::zeros(dims_at(l))).collect(),
+            mid: (1..=levels).map(|l| Grid3::zeros(dims_at(l - 1))).collect(),
+            conv: (1..=levels)
+                .map(|l| ConvolveScratch::for_dims(dims_at(l - 1)))
+                .collect(),
+            folded: (1..=levels)
+                .map(|l| FoldedKernels::plan(&tme.kernel, dims_at(l - 1)))
+                .collect(),
+            transfer: (1..=levels)
+                .map(|l| TransferScratch::for_fine_dims(dims_at(l - 1)))
+                .collect(),
+            top_phi: Grid3::zeros(dims_at(levels)),
+            top: tme.top.make_scratch(),
+            assign_parts: (0..ASSIGN_PARTS).map(|_| Grid3::zeros(n)).collect(),
+            interp: Interpolated::default(),
+            pair: PairwiseScratch::new(),
+            mesh_out: CoulombResult::default(),
+            out: CoulombResult::default(),
+        }
+    }
+
+    /// The pool this workspace dispatches on.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.pool
+    }
+
+    /// The finest-grid mesh potential left by the last pipeline run.
+    #[must_use]
+    pub fn potential(&self) -> &Grid3 {
+        &self.mid[0]
+    }
+
+    /// Mutable access to the level-`l` charge grid (level 0 = finest).
+    pub fn charge_mut(&mut self, level: usize) -> &mut Grid3 {
+        &mut self.q[level]
+    }
+
+    /// Move the finest-grid mesh potential out (replacing it with zeros).
+    pub(crate) fn take_potential(&mut self) -> Grid3 {
+        let dims = self.mid[0].dims();
+        std::mem::replace(&mut self.mid[0], Grid3::zeros(dims))
+    }
+}
+
+impl Tme {
+    /// Allocate a workspace sized for this solver (on the global pool).
+    #[must_use]
+    pub fn make_workspace(&self) -> TmeWorkspace {
+        TmeWorkspace::new(self)
+    }
+
+    /// Steps 2–5 on the charge grid already in `ws` level 0: runs the
+    /// level cascade and leaves the finest-grid potential in
+    /// [`TmeWorkspace::potential`]. Allocation-free once warm.
+    pub fn grid_potential_with(&self, ws: &mut TmeWorkspace) -> TmeStats {
+        debug_assert!(
+            ws.q[0].as_slice().iter().all(|v| v.is_finite()),
+            "non-finite charge entering the multilevel pipeline"
+        );
+        let mut stats = TmeStats::default();
+        let levels = self.params.levels as usize;
+        let pool = Arc::clone(&ws.pool);
+        // Downward pass: convolve each level, restrict to the next.
+        for l in 1..=levels {
+            let prefactor = crate::distributed::level_prefactor(l as u32);
+            let s = convolve_separable_into(
+                &ws.q[l - 1],
+                &self.kernel,
+                prefactor,
+                &ws.folded[l - 1],
+                &pool,
+                &mut ws.conv[l - 1],
+                &mut ws.mid[l - 1],
+            );
+            stats.convolution.madds += s.madds;
+            stats.convolution.passes += s.passes;
+            stats.transfer_points += ws.q[l - 1].len() as u64;
+            let (fine, coarse) = ws.q.split_at_mut(l);
+            self.transfer
+                .restrict_into(&fine[l - 1], &mut coarse[0], &mut ws.transfer[l - 1]);
+        }
+        // Top level: FFT convolution on Q^{L+1}.
+        stats.top_points = ws.q[levels].len() as u64;
+        self.top
+            .solve_into(&ws.q[levels], &mut ws.top_phi, &mut ws.top);
+        // Upward pass: prolong the coarser potential onto each middle
+        // level and accumulate. The level's ping grid is free again by
+        // now and serves as the prolongation target.
+        for l in (1..=levels).rev() {
+            stats.transfer_points += ws.mid[l - 1].len() as u64;
+            if l == levels {
+                self.transfer.prolong_into(
+                    &ws.top_phi,
+                    &mut ws.conv[l - 1].tmp_a,
+                    &mut ws.transfer[l - 1],
+                );
+            } else {
+                let (_, mid_coarse) = ws.mid.split_at_mut(l);
+                self.transfer.prolong_into(
+                    &mid_coarse[0],
+                    &mut ws.conv[l - 1].tmp_a,
+                    &mut ws.transfer[l - 1],
+                );
+            }
+            ws.mid[l - 1].accumulate(&ws.conv[l - 1].tmp_a);
+        }
+        debug_assert!(
+            ws.mid[0].as_slice().iter().all(|v| v.is_finite()),
+            "non-finite potential leaving the multilevel pipeline"
+        );
+        stats
+    }
+
+    /// Long-range (mesh) part, steps 1–6, reusing `ws` — the steady-state
+    /// form of [`Self::long_range`]: zero heap allocations once warm, hot
+    /// loops parallel on the workspace's pool, results bitwise identical
+    /// at any thread count.
+    pub fn long_range_with<'w>(
+        &self,
+        ws: &'w mut TmeWorkspace,
+        system: &CoulombSystem,
+    ) -> (&'w CoulombResult, TmeStats) {
+        let n_atoms = system.len();
+        let pool = Arc::clone(&ws.pool);
+        // Step 1: charge assignment. Each part assigns a fixed slice of
+        // the atoms into its own partial grid (the GM accumulate-on-write
+        // pattern); the merge below adds partials in fixed part order.
+        let ops = &self.ops;
+        pool.for_each_chunk(&mut ws.assign_parts, 1, |part, slot| {
+            let grid = &mut slot[0];
+            grid.fill(0.0);
+            let (lo, hi) = chunk_bounds(n_atoms, ASSIGN_PARTS, part);
+            ops.assign_into(&system.pos[lo..hi], &system.q[lo..hi], grid);
+        });
+        {
+            let parts = &ws.assign_parts;
+            let cells = ws.q[0].len();
+            let dst = SendPtr(ws.q[0].as_mut_slice().as_mut_ptr());
+            pool.run_parts(cells.div_ceil(MERGE_CHUNK), |c, _| {
+                let lo = c * MERGE_CHUNK;
+                let hi = (lo + MERGE_CHUNK).min(cells);
+                for i in lo..hi {
+                    let mut acc = 0.0;
+                    for p in parts {
+                        acc += p.as_slice()[i];
+                    }
+                    // SAFETY: parts cover disjoint cell ranges, so no two
+                    // closures write the same output element.
+                    unsafe {
+                        *dst.get().add(i) = acc;
+                    }
+                }
+            });
+        }
+        // Steps 2–5.
+        let stats = self.grid_potential_with(ws);
+        // Step 6: back interpolation of forces and potentials.
+        self.ops
+            .interpolate_into(&ws.mid[0], &system.pos, &system.q, &pool, &mut ws.interp);
+        ws.mesh_out.energy = SplineOps::energy(&system.q, &ws.interp.potential);
+        ws.mesh_out.forces.clear();
+        ws.mesh_out.forces.extend_from_slice(&ws.interp.force);
+        ws.mesh_out.potentials.clear();
+        ws.mesh_out
+            .potentials
+            .extend_from_slice(&ws.interp.potential);
+        ws.mesh_out.virial = 0.0; // mesh virial not tracked (see CoulombResult docs)
+        (&ws.mesh_out, stats)
+    }
+
+    /// Full Coulomb interaction reusing `ws` — the steady-state form of
+    /// [`Self::compute`]: zero heap allocations once warm, deterministic
+    /// at any thread count.
+    pub fn compute_with<'w>(
+        &self,
+        ws: &'w mut TmeWorkspace,
+        system: &CoulombSystem,
+    ) -> &'w CoulombResult {
+        self.long_range_with(ws, system);
+        let pool = Arc::clone(&ws.pool);
+        pairwise::short_range_into(
+            system,
+            self.params.alpha,
+            self.params.r_cut,
+            &pool,
+            &mut ws.pair,
+            &mut ws.out,
+        );
+        ws.out.accumulate(&ws.mesh_out);
+        pairwise::self_term_into(system, self.params.alpha, &mut ws.out);
+        debug_assert!(
+            ws.out.energy.is_finite()
+                && ws
+                    .out
+                    .forces
+                    .iter()
+                    .all(|f| f.iter().all(|c| c.is_finite())),
+            "non-finite energy/force leaving Tme::compute_with (energy = {})",
+            ws.out.energy
+        );
+        &ws.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::TmeParams;
+    use tme_reference::ewald::EwaldParams;
+
+    fn random_neutral_system(n_pairs: usize, box_l: f64, seed: u64) -> CoulombSystem {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut pos = Vec::new();
+        let mut q = Vec::new();
+        for _ in 0..n_pairs {
+            pos.push([next() * box_l, next() * box_l, next() * box_l]);
+            q.push(1.0);
+            pos.push([next() * box_l, next() * box_l, next() * box_l]);
+            q.push(-1.0);
+        }
+        CoulombSystem::new(pos, q, [box_l; 3])
+    }
+
+    fn params(n: usize, levels: u32) -> TmeParams {
+        let r_cut = 1.0;
+        TmeParams {
+            n: [n; 3],
+            p: 6,
+            levels,
+            gc: 8,
+            m_gaussians: 4,
+            alpha: EwaldParams::alpha_from_tolerance(r_cut, 1e-4),
+            r_cut,
+        }
+    }
+
+    /// The allocating wrapper and the workspace path are the same code, so
+    /// their results must agree to the last bit.
+    #[test]
+    fn wrapper_matches_workspace_bitwise() {
+        let box_l = 4.0;
+        let sys = random_neutral_system(40, box_l, 17);
+        let tme = Tme::new(params(16, 1), [box_l; 3]);
+        let via_wrapper = tme.compute(&sys);
+        let mut ws = tme.make_workspace();
+        // Run twice: the second pass must not be polluted by the first.
+        tme.compute_with(&mut ws, &sys);
+        let via_ws = tme.compute_with(&mut ws, &sys);
+        assert_eq!(via_wrapper.energy.to_bits(), via_ws.energy.to_bits());
+        assert_eq!(via_wrapper.forces.len(), via_ws.forces.len());
+        for (a, b) in via_wrapper.forces.iter().zip(&via_ws.forces) {
+            for c in 0..3 {
+                assert_eq!(a[c].to_bits(), b[c].to_bits());
+            }
+        }
+        for (a, b) in via_wrapper.potentials.iter().zip(&via_ws.potentials) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Two-level cascade through the workspace matches the wrapper too
+    /// (exercises the top/mid prolongation split borrows).
+    #[test]
+    fn two_level_wrapper_matches_workspace() {
+        let box_l = 8.0;
+        let sys = random_neutral_system(30, box_l, 23);
+        let tme = Tme::new(params(32, 2), [box_l; 3]);
+        let via_wrapper = tme.compute(&sys);
+        let mut ws = tme.make_workspace();
+        let via_ws = tme.compute_with(&mut ws, &sys);
+        assert_eq!(via_wrapper.energy.to_bits(), via_ws.energy.to_bits());
+    }
+
+    /// Same workspace, different thread counts: bitwise identical.
+    #[test]
+    fn thread_count_does_not_change_bits() {
+        let box_l = 4.0;
+        let sys = random_neutral_system(50, box_l, 29);
+        let tme = Tme::new(params(16, 1), [box_l; 3]);
+        let mut ws1 = TmeWorkspace::with_pool(&tme, Arc::new(Pool::new(1)));
+        let mut ws4 = TmeWorkspace::with_pool(&tme, Arc::new(Pool::new(4)));
+        let r1 = tme.compute_with(&mut ws1, &sys).clone();
+        let r4 = tme.compute_with(&mut ws4, &sys);
+        assert_eq!(r1.energy.to_bits(), r4.energy.to_bits());
+        for (a, b) in r1.forces.iter().zip(&r4.forces) {
+            for c in 0..3 {
+                assert_eq!(a[c].to_bits(), b[c].to_bits());
+            }
+        }
+    }
+}

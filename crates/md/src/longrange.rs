@@ -1,9 +1,17 @@
 //! A common interface over the long-range electrostatics solvers, so the
 //! NVE harness (Fig. 4) can swap SPME ↔ TME ↔ plain cutoff.
 
-use tme_core::Tme;
+use tme_core::{Tme, TmeWorkspace};
 use tme_mesh::model::{CoulombResult, CoulombSystem};
 use tme_reference::Spme;
+
+/// Reusable per-solver execute state for [`LongRange::mesh_into`]. Solvers
+/// without a plan/execute split leave it empty; the TME stores its
+/// [`TmeWorkspace`] here so steady-state stepping stays allocation-free.
+#[derive(Debug, Default)]
+pub struct LongRangeWorkspace {
+    tme: Option<TmeWorkspace>,
+}
 
 /// A mesh (reciprocal-space) solver for the `erf(αr)/r` long-range part.
 ///
@@ -14,6 +22,23 @@ pub trait LongRange {
     fn alpha(&self) -> f64;
     /// Mesh contribution (includes smooth self-images; no self term).
     fn mesh(&self, system: &CoulombSystem) -> CoulombResult;
+    /// Workspace for [`Self::mesh_into`]; solvers with reusable state
+    /// override this to pre-allocate it.
+    fn make_workspace(&self) -> LongRangeWorkspace {
+        LongRangeWorkspace::default()
+    }
+    /// [`Self::mesh`] writing into a reused result with a reused
+    /// workspace. The default delegates to the allocating path; the TME
+    /// overrides it with its zero-allocation pipeline.
+    fn mesh_into(
+        &self,
+        system: &CoulombSystem,
+        ws: &mut LongRangeWorkspace,
+        out: &mut CoulombResult,
+    ) {
+        let _ = ws;
+        out.copy_from(&self.mesh(system));
+    }
     /// Whether this solver actually adds an `erf(αr)/r` reciprocal part.
     /// When false, the NVE harness must not apply the Ewald self term or
     /// the exclusion corrections — they exist to cancel mesh contributions
@@ -46,6 +71,23 @@ impl LongRange for Tme {
 
     fn mesh(&self, system: &CoulombSystem) -> CoulombResult {
         self.long_range(system).0
+    }
+
+    fn make_workspace(&self) -> LongRangeWorkspace {
+        LongRangeWorkspace {
+            tme: Some(Tme::make_workspace(self)),
+        }
+    }
+
+    fn mesh_into(
+        &self,
+        system: &CoulombSystem,
+        ws: &mut LongRangeWorkspace,
+        out: &mut CoulombResult,
+    ) {
+        let tme_ws = ws.tme.get_or_insert_with(|| Tme::make_workspace(self));
+        let (mesh, _) = self.long_range_with(tme_ws, system);
+        out.copy_from(mesh);
     }
 
     fn name(&self) -> &'static str {

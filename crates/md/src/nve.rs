@@ -13,11 +13,12 @@
 //! in kJ/mol. The observable of Fig. 4 is this total vs time.
 
 use crate::constraints::{settle_all_positions, settle_all_velocities, SettleGeom};
-use crate::longrange::LongRange;
+use crate::longrange::{LongRange, LongRangeWorkspace};
 use crate::neighbors::VerletList;
 use crate::nonbond;
 use crate::topology::MdSystem;
 use crate::units::COULOMB;
+use tme_mesh::model::CoulombResult;
 use tme_num::special::TWO_OVER_SQRT_PI;
 use tme_num::vec3::V3;
 
@@ -61,6 +62,11 @@ pub struct NveSim<'a> {
     forces_fast: Vec<V3>,
     /// Mesh forces (× COULOMB) at the last outer (boundary) step.
     mesh_forces: Vec<V3>,
+    /// Reusable solver workspace — the TME's plan/execute state, so
+    /// steady-state stepping does not reallocate the mesh pipeline.
+    lr_ws: LongRangeWorkspace,
+    /// Reused mesh result buffer for [`LongRange::mesh_into`].
+    mesh_result: CoulombResult,
     cached_mesh_energy: f64,
     /// Impulse weight of `mesh_forces` for kicks using the current forces:
     /// `mesh_interval` at outer boundaries, 0 in between.
@@ -102,6 +108,8 @@ impl<'a> NveSim<'a> {
             step_count: 0,
             forces_fast: Vec::new(),
             mesh_forces: Vec::new(),
+            lr_ws: solver.make_workspace(),
+            mesh_result: CoulombResult::default(),
             cached_mesh_energy: 0.0,
             mesh_weight: 1.0,
         };
@@ -148,13 +156,16 @@ impl<'a> NveSim<'a> {
         let interval = self.mesh_interval.max(1);
         let coul_sys = sys.coulomb_system();
         if self.step_count.is_multiple_of(interval) {
-            let mesh = self.solver.mesh(&coul_sys);
-            self.mesh_forces = mesh
-                .forces
-                .iter()
-                .map(|m| [COULOMB * m[0], COULOMB * m[1], COULOMB * m[2]])
-                .collect();
-            self.cached_mesh_energy = mesh.energy;
+            self.solver
+                .mesh_into(&coul_sys, &mut self.lr_ws, &mut self.mesh_result);
+            self.mesh_forces.clear();
+            self.mesh_forces.extend(
+                self.mesh_result
+                    .forces
+                    .iter()
+                    .map(|m| [COULOMB * m[0], COULOMB * m[1], COULOMB * m[2]]),
+            );
+            self.cached_mesh_energy = self.mesh_result.energy;
             self.mesh_weight = interval as f64;
         } else {
             self.mesh_weight = 0.0;

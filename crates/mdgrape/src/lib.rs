@@ -48,5 +48,5 @@ pub mod tmenw_detail;
 pub mod workload;
 
 pub use config::MachineConfig;
-pub use step::{simulate_step, StepReport};
+pub use step::{simulate_run, simulate_step, simulate_step_into, StepReport, StepScratch};
 pub use workload::StepWorkload;

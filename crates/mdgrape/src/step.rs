@@ -97,6 +97,40 @@ fn node_atom_counts(w: &StepWorkload, nodes: usize) -> Vec<f64> {
         .collect()
 }
 
+/// Reusable per-step state for [`simulate_step_into`]: the module
+/// timelines and phase lists are reset in place each step instead of being
+/// reallocated, so multi-step runs reuse one allocation.
+#[derive(Clone, Debug)]
+pub struct StepScratch {
+    report: StepReport,
+}
+
+impl StepScratch {
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            report: StepReport {
+                // The control GP (CGP) is its own core (§II), separate
+                // from the two compute GP cores.
+                modules: ["GP", "CGP", "PP", "LRU", "GCU", "NW", "TMENW"]
+                    .into_iter()
+                    .map(Resource::new)
+                    .collect(),
+                total_us: 0.0,
+                long_range_span: None,
+                long_range_phases: Vec::new(),
+                force_phase: (0.0, 0.0),
+            },
+        }
+    }
+}
+
+impl Default for StepScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Simulate one MD time step; the observed node is the most loaded one
 /// (the paper logs the CGP status transitions of a single SoC).
 ///
@@ -110,21 +144,31 @@ fn node_atom_counts(w: &StepWorkload, nodes: usize) -> Vec<f64> {
 /// assert!(report.long_range_us() < 60.0);          // ~50 µs long-range pipeline
 /// ```
 pub fn simulate_step(cfg: &MachineConfig, w: &StepWorkload) -> StepReport {
+    let mut scratch = StepScratch::new();
+    simulate_step_into(cfg, w, &mut scratch).clone()
+}
+
+/// [`simulate_step`] refilling a reused [`StepScratch`] — the multi-step
+/// form that avoids rebuilding the timelines every step.
+pub fn simulate_step_into<'a>(
+    cfg: &MachineConfig,
+    w: &StepWorkload,
+    scratch: &'a mut StepScratch,
+) -> &'a StepReport {
     let nodes = cfg.node_count();
     let atoms = node_atom_counts(w, nodes);
     let atoms_max = atoms.iter().cloned().fold(0.0, f64::max);
 
-    // Observed-node module timelines.
-    let mut gp = Resource::new("GP");
-    let mut pp = Resource::new("PP");
-    let mut lru = Resource::new("LRU");
-    let mut gcu = Resource::new("GCU");
-    let mut nw = Resource::new("NW");
-    let mut tmenw = Resource::new("TMENW");
-    // The control GP (CGP) is its own core (§II), separate from the two
-    // compute GP cores.
-    let mut cgp = Resource::new("CGP");
-    let mut phases: Vec<(String, Time)> = Vec::new();
+    // Observed-node module timelines, rewound in place.
+    let r = &mut scratch.report;
+    for m in &mut r.modules {
+        m.reset();
+    }
+    let [gp, cgp, pp, lru, gcu, nw, tmenw] = r.modules.as_mut_slice() else {
+        unreachable!("StepScratch always holds the 7 observed modules");
+    };
+    let phases = &mut r.long_range_phases;
+    phases.clear();
 
     // ---- INTEGRATE₁ (all nodes; barrier = slowest) ----
     let t_int1_obs = modules::gp_integrate_us(cfg, atoms_max);
@@ -254,15 +298,11 @@ pub fn simulate_step(cfg: &MachineConfig, w: &StepWorkload) -> StepReport {
     );
     let total = force_phase_end + t_int2 + cfg.cgp_phase_overhead_us;
 
-    let report = StepReport {
-        modules: vec![gp, cgp, pp, lru, gcu, nw, tmenw],
-        total_us: total,
-        long_range_span: lr_span,
-        long_range_phases: phases,
-        force_phase: (force_phase_start, force_phase_end),
-    };
-    debug_assert_step_invariants(&report);
-    report
+    r.total_us = total;
+    r.long_range_span = lr_span;
+    r.force_phase = (force_phase_start, force_phase_end);
+    debug_assert_step_invariants(&scratch.report);
+    &scratch.report
 }
 
 /// Schedule sanity checks, compiled out of release builds: every span is a
@@ -345,16 +385,16 @@ fn debug_assert_step_invariants(r: &StepReport) {
 /// behind Table 2's "average time/step".
 pub fn simulate_run(cfg: &MachineConfig, w: &StepWorkload, steps: usize) -> RunReport {
     let mut totals = Vec::with_capacity(steps);
+    // One workload copy and one scratch, mutated in place per step.
+    let mut ws = w.clone();
+    let mut scratch = StepScratch::new();
     for s in 0..steps {
-        let mut ws = w.clone();
         // Decorrelate the per-node fluctuation draw per step.
         ws.imbalance_seed = s as u64;
         // Multiple time stepping: evaluate the long-range part only every
         // `long_range_every` steps (the Anton policy of the Table 2 note).
-        if ws.long_range && !s.is_multiple_of(ws.long_range_every.max(1)) {
-            ws.long_range = false;
-        }
-        totals.push(simulate_step(cfg, &ws).total_us);
+        ws.long_range = w.long_range && s.is_multiple_of(ws.long_range_every.max(1));
+        totals.push(simulate_step_into(cfg, &ws, &mut scratch).total_us);
     }
     RunReport { step_us: totals }
 }

@@ -60,6 +60,14 @@ impl Resource {
         self.busy_until
     }
 
+    /// Clear the activity log and rewind to t = 0, keeping the span
+    /// capacity — lets one resource be reused across simulated steps
+    /// without reallocating.
+    pub fn reset(&mut self) {
+        self.busy_until = 0.0;
+        self.spans.clear();
+    }
+
     /// Total busy time.
     pub fn busy_total(&self) -> Time {
         self.spans.iter().map(|s| s.end - s.start).sum()

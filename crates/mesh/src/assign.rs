@@ -12,9 +12,14 @@
 //! interpolation exact adjoints — the property that gives mesh Ewald
 //! methods their conservative (zero net self-force) structure.
 
-use crate::bspline::BSpline;
+use crate::bspline::{BSpline, SplineWeights};
 use crate::grid::Grid3;
+use tme_num::pool::{Pool, SendPtr};
 use tme_num::vec3::V3;
+
+/// Atoms per parallel back-interpolation part. Outputs are per-atom
+/// disjoint, so the value affects load balance only, never results.
+const INTERP_CHUNK: usize = 64;
 
 /// Spline-based particle↔grid operator for one periodic box + grid.
 #[derive(Clone, Debug)]
@@ -86,17 +91,20 @@ impl SplineOps {
     pub fn assign_into(&self, pos: &[V3], q: &[f64], grid: &mut Grid3) {
         assert_eq!(pos.len(), q.len());
         assert_eq!(grid.dims(), self.n);
-        let p = self.spline.order();
+        let mut sx = SplineWeights::default();
+        let mut sy = SplineWeights::default();
+        let mut sz = SplineWeights::default();
         for (r, &qi) in pos.iter().zip(q) {
             let u = self.normalised(*r);
-            let (mx, wx, _) = self.spline.weights(u[0]);
-            let (my, wy, _) = self.spline.weights(u[1]);
-            let (mz, wz, _) = self.spline.weights(u[2]);
-            for (ix, &wxv) in wx.iter().enumerate().take(p) {
+            self.spline.weights_into(u[0], &mut sx);
+            self.spline.weights_into(u[1], &mut sy);
+            self.spline.weights_into(u[2], &mut sz);
+            let (mx, my, mz) = (sx.m0(), sy.m0(), sz.m0());
+            for (ix, &wxv) in sx.w().iter().enumerate() {
                 let qx = qi * wxv;
-                for (iy, &wyv) in wy.iter().enumerate().take(p) {
+                for (iy, &wyv) in sy.w().iter().enumerate() {
                     let qxy = qx * wyv;
-                    for (iz, &wzv) in wz.iter().enumerate().take(p) {
+                    for (iz, &wzv) in sz.w().iter().enumerate() {
                         grid.add([mx + ix as i64, my + iy as i64, mz + iz as i64], qxy * wzv);
                     }
                 }
@@ -125,17 +133,71 @@ impl SplineOps {
     /// Back interpolation (BI mode): per-atom potential and force from the
     /// grid potential `Φ` (Eqs. 15–17).
     pub fn interpolate(&self, phi: &Grid3, pos: &[V3], q: &[f64]) -> Interpolated {
+        let mut out = Interpolated::default();
+        self.interpolate_into(phi, pos, q, Pool::global(), &mut out);
+        out
+    }
+
+    /// [`Self::interpolate`] writing into a reused [`Interpolated`] (resized
+    /// as needed, allocation-free once warm), parallel over atom chunks.
+    /// Per-atom outputs are independent, so results are bitwise identical at
+    /// any thread count.
+    pub fn interpolate_into(
+        &self,
+        phi: &Grid3,
+        pos: &[V3],
+        q: &[f64],
+        pool: &Pool,
+        out: &mut Interpolated,
+    ) {
         assert_eq!(pos.len(), q.len());
         assert_eq!(phi.dims(), self.n);
-        let mut out = Interpolated {
-            potential: vec![0.0; pos.len()],
-            force: vec![[0.0; 3]; pos.len()],
-        };
+        let n = pos.len();
+        out.potential.resize(n, 0.0);
+        out.force.resize(n, [0.0; 3]);
+        if n == 0 {
+            return;
+        }
+        let parts = n.div_ceil(INTERP_CHUNK);
+        let pot_base = SendPtr(out.potential.as_mut_ptr());
+        let force_base = SendPtr(out.force.as_mut_ptr());
+        pool.run_parts(parts, |part, _worker| {
+            let lo = part * INTERP_CHUNK;
+            let hi = (lo + INTERP_CHUNK).min(n);
+            // SAFETY: parts cover pairwise-disjoint atom ranges [lo, hi) and
+            // each part runs exactly once, so these sub-slices of the output
+            // vectors are exclusive for this part's duration.
+            let (pot, force) = unsafe {
+                (
+                    std::slice::from_raw_parts_mut(pot_base.get().add(lo), hi - lo),
+                    std::slice::from_raw_parts_mut(force_base.get().add(lo), hi - lo),
+                )
+            };
+            self.interpolate_range(phi, &pos[lo..hi], &q[lo..hi], pot, force);
+        });
+    }
+
+    /// Serial per-atom interpolation kernel shared by the parallel parts.
+    fn interpolate_range(
+        &self,
+        phi: &Grid3,
+        pos: &[V3],
+        q: &[f64],
+        pot_out: &mut [f64],
+        force_out: &mut [V3],
+    ) {
+        let mut sx = SplineWeights::default();
+        let mut sy = SplineWeights::default();
+        let mut sz = SplineWeights::default();
         for (i, (r, &qi)) in pos.iter().zip(q).enumerate() {
             let u = self.normalised(*r);
-            let (mx, wx, dwx) = self.spline.weights(u[0]);
-            let (my, wy, dwy) = self.spline.weights(u[1]);
-            let (mz, wz, dwz) = self.spline.weights(u[2]);
+            self.spline.weights_into(u[0], &mut sx);
+            self.spline.weights_into(u[1], &mut sy);
+            self.spline.weights_into(u[2], &mut sz);
+            let (mx, my, mz) = (sx.m0(), sy.m0(), sz.m0());
+            let (wx, dwx) = (sx.w(), sx.dw());
+            let (wy, dwy) = (sy.w(), sy.dw());
+            let (wz, dwz) = (sz.w(), sz.dw());
             let mut pot = 0.0;
             let mut grad = [0.0f64; 3];
             for ix in 0..wx.len() {
@@ -149,15 +211,14 @@ impl SplineOps {
                     }
                 }
             }
-            out.potential[i] = pot;
+            pot_out[i] = pot;
             // F = −q ∇φ; ∇ in real space divides by the grid spacing.
-            out.force[i] = [
+            force_out[i] = [
                 -qi * grad[0] / self.h[0],
                 -qi * grad[1] / self.h[1],
                 -qi * grad[2] / self.h[2],
             ];
         }
-        out
     }
 
     /// Mesh energy `E = ½ Σ_i q_i φ_i` (Eq. 14), given per-atom potentials.

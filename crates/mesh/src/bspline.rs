@@ -27,6 +27,49 @@ pub struct BSpline {
     p: usize,
 }
 
+/// Fixed-capacity carrier for [`BSpline::weights_into`]: the `p` non-zero
+/// spline weights and their derivatives for one axis, on the stack so the
+/// per-atom CA/BI hot loops never allocate. Capacity 16 covers every
+/// supported order (`p ≤ 12`).
+#[derive(Clone, Copy, Debug)]
+pub struct SplineWeights {
+    m0: i64,
+    p: usize,
+    w: [f64; 16],
+    dw: [f64; 16],
+}
+
+impl Default for SplineWeights {
+    fn default() -> Self {
+        Self {
+            m0: 0,
+            p: 0,
+            w: [0.0; 16],
+            dw: [0.0; 16],
+        }
+    }
+}
+
+impl SplineWeights {
+    /// Grid index that weight 0 multiplies (`floor(u) − p/2 + 1`).
+    #[must_use]
+    pub fn m0(&self) -> i64 {
+        self.m0
+    }
+
+    /// The `p` non-zero weights `M_p^c(u − m_i)`.
+    #[must_use]
+    pub fn w(&self) -> &[f64] {
+        &self.w[..self.p]
+    }
+
+    /// The matching derivative weights `d/du M_p^c(u − m_i)`.
+    #[must_use]
+    pub fn dw(&self) -> &[f64] {
+        &self.dw[..self.p]
+    }
+}
+
 impl BSpline {
     pub fn new(p: usize) -> Self {
         assert!(
@@ -74,9 +117,19 @@ impl BSpline {
     /// Returns `(m_0, weights, dweights)` where `dweights` are the
     /// derivatives `d/du M_p^c(u − m_i)` used for forces (Eq. 16).
     ///
+    /// Allocating convenience over [`BSpline::weights_into`]; the per-step
+    /// hot loops use the `_into` form so they never touch the heap.
+    pub fn weights(&self, u: f64) -> (i64, Vec<f64>, Vec<f64>) {
+        let mut sw = SplineWeights::default();
+        self.weights_into(u, &mut sw);
+        (sw.m0(), sw.w().to_vec(), sw.dw().to_vec())
+    }
+
+    /// [`BSpline::weights`] written into a stack carrier — allocation-free.
+    ///
     /// This is the functional model of the LRU polynomial pipeline, which
     /// "evaluate\[s\] M_p and M_p' on six grid points simultaneously".
-    pub fn weights(&self, u: f64) -> (i64, Vec<f64>, Vec<f64>) {
+    pub fn weights_into(&self, u: f64, out: &mut SplineWeights) {
         let p = self.p;
         let fl = u.floor();
         let t = u - fl; // ∈ [0, 1)
@@ -105,16 +158,15 @@ impl BSpline {
         }
         // w[i] = M_p(t + p−1−i) = V_p[p−1−i];
         // dw[i] = M_{p−1}(t + p−1−i) − M_{p−1}(t + p−2−i).
-        let mut w = vec![0.0; p];
-        let mut dw = vec![0.0; p];
+        out.m0 = m0;
+        out.p = p;
         for i in 0..p {
             let j = p - 1 - i;
-            w[i] = v[j];
+            out.w[i] = v[j];
             let hi = if j < p - 1 { v_prev_order[j] } else { 0.0 };
             let lo = if j > 0 { v_prev_order[j - 1] } else { 0.0 };
-            dw[i] = hi - lo;
+            out.dw[i] = hi - lo;
         }
-        (m0, w, dw)
     }
 
     /// Two-scale (refinement) coefficients `J_m`, `|m| ≤ p/2`, with

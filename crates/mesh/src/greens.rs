@@ -98,12 +98,31 @@ pub fn influence(n: [usize; 3], box_l: V3, alpha: f64, p: usize) -> Grid3 {
 /// real, the multiplier is real and symmetric), halving the transform
 /// work relative to [`apply_influence_complex`].
 pub fn apply_influence(fft: &RealFft3, influence: &Grid3, q: &Grid3) -> Grid3 {
+    let mut spec = vec![Complex64::ZERO; fft.spectrum_len()];
+    let mut scratch = vec![Complex64::ZERO; fft.scratch_len()];
+    let mut phi = Grid3::zeros(q.dims());
+    apply_influence_into(fft, influence, q, &mut phi, &mut spec, &mut scratch);
+    phi
+}
+
+/// [`apply_influence`] writing the grid potential into `phi` using
+/// caller-provided spectrum (`fft.spectrum_len()`) and FFT scratch
+/// (`fft.scratch_len()`) buffers — no heap allocation.
+pub fn apply_influence_into(
+    fft: &RealFft3,
+    influence: &Grid3,
+    q: &Grid3,
+    phi: &mut Grid3,
+    spec: &mut [Complex64],
+    scratch: &mut [Complex64],
+) {
     let n = q.dims();
     assert_eq!(n, influence.dims());
+    assert_eq!(n, phi.dims());
     assert_eq!((fft.nx, fft.ny, fft.nz), (n[0], n[1], n[2]));
+    assert_eq!(spec.len(), fft.spectrum_len());
     let mz = n[2] / 2 + 1;
-    let mut spec = vec![Complex64::ZERO; fft.spectrum_len()];
-    fft.forward(q.as_slice(), &mut spec);
+    fft.forward_with(q.as_slice(), spec, scratch);
     for ix in 0..n[0] {
         for iy in 0..n[1] {
             let row = (ix * n[1] + iy) * mz;
@@ -113,9 +132,7 @@ pub fn apply_influence(fft: &RealFft3, influence: &Grid3, q: &Grid3) -> Grid3 {
             }
         }
     }
-    let mut phi = Grid3::zeros(n);
-    fft.inverse(&mut spec, phi.as_mut_slice());
-    phi
+    fft.inverse_with(spec, phi.as_mut_slice(), scratch);
 }
 
 /// Full-complex-spectrum variant of [`apply_influence`]; kept as the

@@ -76,6 +76,33 @@ impl CoulombResult {
         }
     }
 
+    /// Resize to `n` atoms and zero every field, reusing the existing
+    /// buffers (allocation-free once capacity is warm).
+    pub fn reset(&mut self, n: usize) {
+        self.energy = 0.0;
+        self.virial = 0.0;
+        self.forces.resize(n, [0.0; 3]);
+        self.potentials.resize(n, 0.0);
+        for f in &mut self.forces {
+            *f = [0.0; 3];
+        }
+        for p in &mut self.potentials {
+            *p = 0.0;
+        }
+    }
+
+    /// Overwrite with `other`'s contents, reusing the existing buffers
+    /// (allocation-free once capacity is warm) — unlike `clone_from`,
+    /// which the derived `Clone` routes through a fresh `clone`.
+    pub fn copy_from(&mut self, other: &CoulombResult) {
+        self.energy = other.energy;
+        self.virial = other.virial;
+        self.forces.clear();
+        self.forces.extend_from_slice(&other.forces);
+        self.potentials.clear();
+        self.potentials.extend_from_slice(&other.potentials);
+    }
+
     /// Element-wise accumulate another contribution (e.g. short + long range).
     pub fn accumulate(&mut self, other: &CoulombResult) {
         assert_eq!(self.forces.len(), other.forces.len());

@@ -9,8 +9,29 @@
 //! Verlet-list versions for production stepping.
 
 use crate::model::{CoulombResult, CoulombSystem};
+use tme_num::pool::{chunk_bounds, Pool};
 use tme_num::special::{erf, erfc, TWO_OVER_SQRT_PI};
 use tme_num::vec3;
+
+/// Fixed number of row partitions for the parallel pair sum. The partition
+/// count (not the thread count) defines the reduction order, so results are
+/// bitwise identical for any `TME_THREADS`.
+pub const SHORT_RANGE_PARTS: usize = 8;
+
+/// Reusable per-partition accumulators for [`short_range_into`]: one
+/// full-length [`CoulombResult`] per fixed partition, merged serially in
+/// partition order after the parallel phase (the deterministic-reduction
+/// rule, DESIGN.md §9).
+#[derive(Clone, Debug, Default)]
+pub struct PairwiseScratch {
+    parts: Vec<CoulombResult>,
+}
+
+impl PairwiseScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Pair energy and the radial force factor for the erfc kernel:
 /// returns `(erfc(αr)/r, erfc(αr)/r³ + (2α/√π)·e^{−α²r²}/r²)` so the force
@@ -38,35 +59,67 @@ pub fn erf_kernel(alpha: f64, r: f64) -> (f64, f64) {
 /// Panics if `r_cut` exceeds half the smallest box edge (minimum image
 /// would miss periodic copies).
 pub fn short_range(system: &CoulombSystem, alpha: f64, r_cut: f64) -> CoulombResult {
+    let mut scratch = PairwiseScratch::new();
+    let mut out = CoulombResult::default();
+    short_range_into(system, alpha, r_cut, Pool::global(), &mut scratch, &mut out);
+    out
+}
+
+/// [`short_range`] writing into a reused result via reused per-partition
+/// accumulators — allocation-free once warm, parallel over fixed row
+/// partitions (the software analogue of the 64 nonbond pipelines per SoC).
+///
+/// Determinism: atom rows are split into [`SHORT_RANGE_PARTS`] fixed
+/// partitions; each partition accumulates its pairs in row order into its
+/// own full-length result, and partitions are merged serially in partition
+/// order. Both orders are independent of the thread count.
+pub fn short_range_into(
+    system: &CoulombSystem,
+    alpha: f64,
+    r_cut: f64,
+    pool: &Pool,
+    scratch: &mut PairwiseScratch,
+    out: &mut CoulombResult,
+) {
     let min_edge = system.box_l.iter().cloned().fold(f64::INFINITY, f64::min);
     assert!(
         r_cut <= min_edge / 2.0 + 1e-12,
         "r_cut {r_cut} exceeds half the smallest box edge {min_edge}"
     );
     let n = system.len();
-    let mut out = CoulombResult::zeros(n);
     let rc2 = r_cut * r_cut;
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let d = vec3::min_image(system.pos[i], system.pos[j], system.box_l);
-            let r2 = vec3::norm_sqr(d);
-            if r2 >= rc2 || r2 == 0.0 {
-                continue;
+    scratch
+        .parts
+        .resize_with(SHORT_RANGE_PARTS, CoulombResult::default);
+    pool.for_each_chunk(&mut scratch.parts, 1, |part, slot| {
+        let acc = &mut slot[0];
+        acc.reset(n);
+        let (lo, hi) = chunk_bounds(n, SHORT_RANGE_PARTS, part);
+        for i in lo..hi {
+            for j in (i + 1)..n {
+                let d = vec3::min_image(system.pos[i], system.pos[j], system.box_l);
+                let r2 = vec3::norm_sqr(d);
+                if r2 >= rc2 || r2 == 0.0 {
+                    continue;
+                }
+                let r = r2.sqrt();
+                let (pot, fr) = erfc_kernel(alpha, r);
+                let qq = system.q[i] * system.q[j];
+                acc.energy += qq * pot;
+                acc.potentials[i] += system.q[j] * pot;
+                acc.potentials[j] += system.q[i] * pot;
+                let f = vec3::scale(d, qq * fr);
+                // Pair virial: W = Σ r_ij · F_ij.
+                acc.virial += vec3::dot(d, f);
+                vec3::acc(&mut acc.forces[i], f);
+                vec3::acc(&mut acc.forces[j], vec3::scale(f, -1.0));
             }
-            let r = r2.sqrt();
-            let (pot, fr) = erfc_kernel(alpha, r);
-            let qq = system.q[i] * system.q[j];
-            out.energy += qq * pot;
-            out.potentials[i] += system.q[j] * pot;
-            out.potentials[j] += system.q[i] * pot;
-            let f = vec3::scale(d, qq * fr);
-            // Pair virial: W = Σ r_ij · F_ij.
-            out.virial += vec3::dot(d, f);
-            vec3::acc(&mut out.forces[i], f);
-            vec3::acc(&mut out.forces[j], vec3::scale(f, -1.0));
         }
+    });
+    out.reset(n);
+    for p in &scratch.parts {
+        out.accumulate(p);
     }
-    out
 }
 
 /// Subtract the `erf(αr)/r` interaction of explicitly excluded pairs
@@ -98,12 +151,18 @@ pub fn exclusion_correction(
 /// `−(2α/√π) q_i`, no force.
 pub fn self_term(system: &CoulombSystem, alpha: f64) -> CoulombResult {
     let mut out = CoulombResult::zeros(system.len());
+    self_term_into(system, alpha, &mut out);
+    out
+}
+
+/// [`self_term`] *accumulated* onto an existing result — no allocation.
+pub fn self_term_into(system: &CoulombSystem, alpha: f64, out: &mut CoulombResult) {
+    assert_eq!(out.potentials.len(), system.len());
     let c = TWO_OVER_SQRT_PI * alpha; // = 2α/√π
     for (i, &q) in system.q.iter().enumerate() {
-        out.potentials[i] = -c * q;
+        out.potentials[i] += -c * q;
         out.energy -= 0.5 * c * q * q;
     }
-    out
 }
 
 #[cfg(test)]

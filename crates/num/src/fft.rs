@@ -258,18 +258,32 @@ impl RealFft {
         self.n / 2 + 1
     }
 
+    /// Scratch length required by the `_with` transform variants: `n/2`.
+    pub fn scratch_len(&self) -> usize {
+        self.n / 2
+    }
+
     /// Forward transform of `n` reals into `n/2 + 1` spectrum values
     /// (same convention as [`Fft::forward`]: negative exponent, unscaled).
     pub fn forward_real(&self, x: &[f64], out: &mut [Complex64]) {
+        let mut scratch = vec![Complex64::ZERO; self.scratch_len()];
+        self.forward_real_with(x, out, &mut scratch);
+    }
+
+    /// [`Self::forward_real`] using caller-provided scratch (at least
+    /// [`Self::scratch_len`] values) — no heap allocation.
+    pub fn forward_real_with(&self, x: &[f64], out: &mut [Complex64], scratch: &mut [Complex64]) {
         let n = self.n;
         let m = n / 2;
         assert_eq!(x.len(), n);
         assert_eq!(out.len(), m + 1);
+        assert!(scratch.len() >= m, "real FFT scratch too short");
         // Pack and transform at half size.
-        let mut z: Vec<Complex64> = (0..m)
-            .map(|k| Complex64::new(x[2 * k], x[2 * k + 1]))
-            .collect();
-        self.half.forward(&mut z);
+        let z = &mut scratch[..m];
+        for (k, zk) in z.iter_mut().enumerate() {
+            *zk = Complex64::new(x[2 * k], x[2 * k + 1]);
+        }
+        self.half.forward(z);
         // Unravel: X_k = E_k + e^{−2πik/n} O_k with
         // E_k = (Z_k + Z̄_{m−k})/2, O_k = −i (Z_k − Z̄_{m−k})/2.
         for k in 0..=m {
@@ -284,21 +298,33 @@ impl RealFft {
     /// Inverse of [`Self::forward_real`]: `n/2 + 1` spectrum values back to
     /// `n` reals, scaled by `1/n` (so the pair round-trips).
     pub fn inverse_real(&self, spec: &[Complex64], out: &mut [f64]) {
+        let mut scratch = vec![Complex64::ZERO; self.scratch_len()];
+        self.inverse_real_with(spec, out, &mut scratch);
+    }
+
+    /// [`Self::inverse_real`] using caller-provided scratch (at least
+    /// [`Self::scratch_len`] values) — no heap allocation.
+    pub fn inverse_real_with(
+        &self,
+        spec: &[Complex64],
+        out: &mut [f64],
+        scratch: &mut [Complex64],
+    ) {
         let n = self.n;
         let m = n / 2;
         assert_eq!(spec.len(), m + 1);
         assert_eq!(out.len(), n);
+        assert!(scratch.len() >= m, "real FFT scratch too short");
         // Re-pack: Z_k = E_k + i·W̄_k O_k with E/O from the spectrum ends.
-        let mut z: Vec<Complex64> = (0..m)
-            .map(|k| {
-                let xk = spec[k];
-                let xmk = spec[m - k].conj();
-                let e = (xk + xmk).scale(0.5);
-                let o = ((xk - xmk).scale(0.5)) * self.twiddles[k].conj();
-                e + o.mul_i()
-            })
-            .collect();
-        self.half.inverse(&mut z);
+        let z = &mut scratch[..m];
+        for (k, zk) in z.iter_mut().enumerate() {
+            let xk = spec[k];
+            let xmk = spec[m - k].conj();
+            let e = (xk + xmk).scale(0.5);
+            let o = ((xk - xmk).scale(0.5)) * self.twiddles[k].conj();
+            *zk = e + o.mul_i();
+        }
+        self.half.inverse(z);
         for k in 0..m {
             out[2 * k] = z[k].re;
             out[2 * k + 1] = z[k].im;
@@ -338,20 +364,43 @@ impl Fft3 {
         self.len() == 0
     }
 
+    /// Scratch length required by the `_with` variants: the longest axis.
+    pub fn scratch_len(&self) -> usize {
+        self.nx.max(self.ny).max(self.nz)
+    }
+
     pub fn forward(&self, data: &mut [Complex64]) {
-        self.transform(data, false);
+        let mut line = vec![Complex64::ZERO; self.scratch_len()];
+        self.transform(data, false, &mut line);
     }
 
     pub fn inverse(&self, data: &mut [Complex64]) {
-        self.transform(data, true);
+        let mut line = vec![Complex64::ZERO; self.scratch_len()];
+        self.transform(data, true, &mut line);
+    }
+
+    /// [`Self::forward`] using caller-provided scratch (at least
+    /// [`Self::scratch_len`] values) — no heap allocation.
+    pub fn forward_with(&self, data: &mut [Complex64], scratch: &mut [Complex64]) {
+        self.transform(data, false, scratch);
+    }
+
+    /// [`Self::inverse`] using caller-provided scratch (at least
+    /// [`Self::scratch_len`] values) — no heap allocation.
+    pub fn inverse_with(&self, data: &mut [Complex64], scratch: &mut [Complex64]) {
+        self.transform(data, true, scratch);
     }
 
     /// Apply 1-D transforms along z, then y, then x — the software analogue
     /// of the FPGA orthogonal-memory axis rotation (§IV.C).
-    fn transform(&self, data: &mut [Complex64], inverse: bool) {
+    fn transform(&self, data: &mut [Complex64], inverse: bool, scratch: &mut [Complex64]) {
         assert_eq!(data.len(), self.len());
         let (nx, ny, nz) = (self.nx, self.ny, self.nz);
-        let mut line = vec![Complex64::ZERO; nx.max(ny).max(nz)];
+        assert!(
+            scratch.len() >= self.scratch_len(),
+            "FFT3 scratch too short"
+        );
+        let line = &mut scratch[..nx.max(ny).max(nz)];
         // z lines are contiguous.
         for xy in 0..nx * ny {
             let s = xy * nz;
@@ -441,22 +490,40 @@ impl RealFft3 {
         self.len() == 0
     }
 
+    /// Scratch length required by the `_with` variants: one complex line of
+    /// the longest transverse axis plus the r2c half-size scratch.
+    pub fn scratch_len(&self) -> usize {
+        self.nx.max(self.ny) + self.rz.scratch_len()
+    }
+
     /// Forward: real `(nx, ny, nz)` → complex `(nx, ny, nz/2+1)`
     /// half spectrum (row-major, z fastest).
     pub fn forward(&self, data: &[f64], spec: &mut [Complex64]) {
+        let mut scratch = vec![Complex64::ZERO; self.scratch_len()];
+        self.forward_with(data, spec, &mut scratch);
+    }
+
+    /// [`Self::forward`] using caller-provided scratch (at least
+    /// [`Self::scratch_len`] values) — no heap allocation.
+    pub fn forward_with(&self, data: &[f64], spec: &mut [Complex64], scratch: &mut [Complex64]) {
         let (nx, ny, nz) = (self.nx, self.ny, self.nz);
         let mz = nz / 2 + 1;
         assert_eq!(data.len(), nx * ny * nz);
         assert_eq!(spec.len(), nx * ny * mz);
+        assert!(
+            scratch.len() >= self.scratch_len(),
+            "real FFT3 scratch too short"
+        );
+        let (line, rz_scratch) = scratch.split_at_mut(nx.max(ny));
         // z: r2c per contiguous line.
         for xy in 0..nx * ny {
-            self.rz.forward_real(
+            self.rz.forward_real_with(
                 &data[xy * nz..(xy + 1) * nz],
                 &mut spec[xy * mz..(xy + 1) * mz],
+                rz_scratch,
             );
         }
         // y and x: complex transforms with strides over the half spectrum.
-        let mut line = vec![Complex64::ZERO; ny.max(nx)];
         for x in 0..nx {
             for z in 0..mz {
                 let base = x * ny * mz + z;
@@ -485,11 +552,27 @@ impl RealFft3 {
 
     /// Inverse of [`Self::forward`] (scaled so the pair round-trips).
     pub fn inverse(&self, spec: &mut [Complex64], data: &mut [f64]) {
+        let mut scratch = vec![Complex64::ZERO; self.scratch_len()];
+        self.inverse_with(spec, data, &mut scratch);
+    }
+
+    /// [`Self::inverse`] using caller-provided scratch (at least
+    /// [`Self::scratch_len`] values) — no heap allocation.
+    pub fn inverse_with(
+        &self,
+        spec: &mut [Complex64],
+        data: &mut [f64],
+        scratch: &mut [Complex64],
+    ) {
         let (nx, ny, nz) = (self.nx, self.ny, self.nz);
         let mz = nz / 2 + 1;
         assert_eq!(data.len(), nx * ny * nz);
         assert_eq!(spec.len(), nx * ny * mz);
-        let mut line = vec![Complex64::ZERO; ny.max(nx)];
+        assert!(
+            scratch.len() >= self.scratch_len(),
+            "real FFT3 scratch too short"
+        );
+        let (line, rz_scratch) = scratch.split_at_mut(nx.max(ny));
         for y in 0..ny {
             for z in 0..mz {
                 let base = y * mz + z;
@@ -515,9 +598,10 @@ impl RealFft3 {
             }
         }
         for xy in 0..nx * ny {
-            self.rz.inverse_real(
+            self.rz.inverse_real_with(
                 &spec[xy * mz..(xy + 1) * mz],
                 &mut data[xy * nz..(xy + 1) * nz],
+                rz_scratch,
             );
         }
     }

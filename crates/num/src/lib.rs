@@ -14,11 +14,16 @@
 //! * [`fixed`] — Q-format fixed-point arithmetic mirroring the LRU/GCU
 //!   hardware datapaths (24-bit-fraction polynomial path, 32-bit grid
 //!   accumulation with a tunable binary point).
+//! * [`pool`] — a dependency-free scoped thread pool with deterministic
+//!   static scheduling, the software analogue of the machine's fixed
+//!   particle/grid-line distribution across pipelines (execute phase of the
+//!   plan/execute split, `TME_THREADS`).
 
 pub mod cast;
 pub mod complex;
 pub mod fft;
 pub mod fixed;
+pub mod pool;
 pub mod quadrature;
 pub mod rng;
 pub mod special;
@@ -26,3 +31,4 @@ pub mod vec3;
 
 pub use complex::Complex64;
 pub use fft::{Fft, Fft3, RealFft, RealFft3};
+pub use pool::Pool;

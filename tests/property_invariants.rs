@@ -6,10 +6,13 @@
 //! dependencies and every failure is reproducible from the printed case
 //! seed alone (no shrink files, no OS entropy).
 
+use std::sync::Arc;
+
 use mdgrape4a_tme::mesh::bspline::BSpline;
-use mdgrape4a_tme::mesh::{Grid3, SplineOps};
+use mdgrape4a_tme::mesh::{CoulombSystem, Grid3, SplineOps};
 use mdgrape4a_tme::num::fft::Fft;
 use mdgrape4a_tme::num::fixed::Fix32;
+use mdgrape4a_tme::num::pool::Pool;
 use mdgrape4a_tme::num::quadrature::GaussLegendre;
 use mdgrape4a_tme::num::rng::SplitMix64;
 use mdgrape4a_tme::num::special::{erf, erfc};
@@ -18,6 +21,7 @@ use mdgrape4a_tme::num::Complex64;
 use mdgrape4a_tme::tme::convolve::{convolve_axis, convolve_axis_naive};
 use mdgrape4a_tme::tme::kernel::Kernel1D;
 use mdgrape4a_tme::tme::levels::LevelTransfer;
+use mdgrape4a_tme::tme::{Tme, TmeConfigError, TmeParams, TmeWorkspace};
 
 const CASES: u64 = 64;
 
@@ -267,4 +271,166 @@ fn water_box_always_rigid() {
             assert!((d - tip3p::R_OH).abs() < 1e-9, "n = {n}, seed = {seed}");
         }
     });
+}
+
+/// 200 atoms (100 exactly-cancelling ion pairs) at random positions.
+fn random_neutral_system(rng: &mut SplitMix64, box_l: f64) -> CoulombSystem {
+    let n = 200;
+    let pos = (0..n)
+        .map(|_| {
+            [
+                rng.uniform() * box_l,
+                rng.uniform() * box_l,
+                rng.uniform() * box_l,
+            ]
+        })
+        .collect();
+    let q = (0..n)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
+    CoulombSystem::new(pos, q, [box_l; 3])
+}
+
+fn paper_like_tme(box_l: f64) -> Tme {
+    Tme::new(
+        TmeParams {
+            n: [16; 3],
+            p: 6,
+            levels: 1,
+            gc: 8,
+            m_gaussians: 4,
+            alpha: 2.0,
+            r_cut: 1.2,
+        },
+        [box_l; 3],
+    )
+}
+
+/// The deterministic-reduction contract: `Tme::compute_with` is bitwise
+/// identical at every thread count (fixed part boundaries + ordered merge),
+/// so `TME_THREADS` is a pure performance knob.
+#[test]
+fn compute_with_is_bitwise_identical_across_thread_counts() {
+    let tme = paper_like_tme(4.0);
+    let mut rng = SplitMix64::seed_from_u64(0xD1CE_5EED);
+    let system = random_neutral_system(&mut rng, 4.0);
+    let mut ws1 = TmeWorkspace::with_pool(&tme, Arc::new(Pool::new(1)));
+    let serial = tme.compute_with(&mut ws1, &system).clone();
+    for threads in [2usize, 4] {
+        let mut wst = TmeWorkspace::with_pool(&tme, Arc::new(Pool::new(threads)));
+        let parallel = tme.compute_with(&mut wst, &system);
+        assert_eq!(
+            serial.energy.to_bits(),
+            parallel.energy.to_bits(),
+            "energy bits at {threads} threads"
+        );
+        for (i, (a, b)) in serial.forces.iter().zip(&parallel.forces).enumerate() {
+            for axis in 0..3 {
+                assert_eq!(
+                    a[axis].to_bits(),
+                    b[axis].to_bits(),
+                    "force bits atom {i} axis {axis} at {threads} threads"
+                );
+            }
+        }
+        for (i, (a, b)) in serial
+            .potentials
+            .iter()
+            .zip(&parallel.potentials)
+            .enumerate()
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "potential bits atom {i}");
+        }
+    }
+}
+
+/// The allocating wrappers are thin shells over the workspace path: same
+/// bits, call after call (the reused workspace carries no state across
+/// calls that could change results).
+#[test]
+fn allocating_wrapper_matches_workspace_path_bitwise() {
+    let tme = paper_like_tme(4.0);
+    let mut rng = SplitMix64::seed_from_u64(0x5EED_0200);
+    let system = random_neutral_system(&mut rng, 4.0);
+    let wrapper = tme.compute(&system);
+    let mut ws = tme.make_workspace();
+    for round in 0..3 {
+        let with = tme.compute_with(&mut ws, &system);
+        assert_eq!(
+            wrapper.energy.to_bits(),
+            with.energy.to_bits(),
+            "energy bits round {round}"
+        );
+        for (i, (a, b)) in wrapper.forces.iter().zip(&with.forces).enumerate() {
+            for axis in 0..3 {
+                assert_eq!(a[axis].to_bits(), b[axis].to_bits(), "atom {i} axis {axis}");
+            }
+        }
+    }
+}
+
+/// `Tme::try_new` reports every misconfiguration the panicking front-end
+/// would abort on, as typed [`TmeConfigError`] values.
+#[test]
+fn try_new_reports_typed_config_errors() {
+    let good = TmeParams {
+        n: [16; 3],
+        p: 6,
+        levels: 1,
+        gc: 8,
+        m_gaussians: 4,
+        alpha: 2.0,
+        r_cut: 1.2,
+    };
+    assert!(Tme::try_new(good, [4.0; 3]).is_ok());
+
+    let mut no_levels = good;
+    no_levels.levels = 0;
+    assert_eq!(
+        Tme::try_new(no_levels, [4.0; 3]).unwrap_err(),
+        TmeConfigError::NoLevels
+    );
+
+    let mut no_gaussians = good;
+    no_gaussians.m_gaussians = 0;
+    assert_eq!(
+        Tme::try_new(no_gaussians, [4.0; 3]).unwrap_err(),
+        TmeConfigError::NoGaussians
+    );
+
+    let mut indivisible = good;
+    indivisible.n = [18; 3];
+    indivisible.levels = 2; // 18 divides by 2 but not by 2^2
+    assert_eq!(
+        Tme::try_new(indivisible, [4.0; 3]).unwrap_err(),
+        TmeConfigError::IndivisibleGrid {
+            n: [18; 3],
+            scale: 4
+        }
+    );
+
+    let mut tiny_top = good;
+    tiny_top.levels = 2; // 16 >> 2 = 4 < p = 6
+    assert_eq!(
+        Tme::try_new(tiny_top, [4.0; 3]).unwrap_err(),
+        TmeConfigError::TopGridTooSmall {
+            n_top: [4; 3],
+            p: 6
+        }
+    );
+    // Every error Displays a non-empty diagnostic.
+    for e in [
+        TmeConfigError::NoLevels,
+        TmeConfigError::NoGaussians,
+        TmeConfigError::IndivisibleGrid {
+            n: [18; 3],
+            scale: 2,
+        },
+        TmeConfigError::TopGridTooSmall {
+            n_top: [4; 3],
+            p: 6,
+        },
+    ] {
+        assert!(!e.to_string().is_empty());
+    }
 }
