@@ -8,8 +8,16 @@
 //! alloc-count` the steady-state allocation count per call is measured
 //! and reported too (it must be 0).
 //!
+//! Each row also carries the per-stage breakdown from the workspace stage
+//! timers (assign / convolve / transfer / toplevel / interpolate /
+//! short-range, in µs) and the speedup versus the single-thread row. With
+//! `--baseline <json>` the single-thread `compute_us` is compared against a
+//! previously committed `BENCH_pipeline.json` and the run fails (non-zero
+//! exit) on a regression beyond 15% — the CI smoke gate.
+//!
 //! Usage: `cargo run --release -p tme-bench --bin pipeline_scaling --
-//!         [--waters 512] [--repeats 20] [--out BENCH_pipeline.json]`
+//!         [--waters 512] [--repeats 20] [--out BENCH_pipeline.json]
+//!         [--baseline BENCH_pipeline.json]`
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -19,7 +27,7 @@ use tme_bench::{arg_or, arg_value, grid_for_box, water_system};
 use tme_core::convolve::{convolve_separable_into, ConvolveScratch, FoldedKernels};
 use tme_core::kernel::TensorKernel;
 use tme_core::shells::GaussianFit;
-use tme_core::{Tme, TmeParams, TmeWorkspace};
+use tme_core::{Tme, TmeParams, TmeStageTimings, TmeWorkspace};
 use tme_mesh::Grid3;
 use tme_num::pool::Pool;
 use tme_reference::ewald::EwaldParams;
@@ -68,6 +76,24 @@ struct Row {
     compute_us: f64,
     allocs_per_compute: Option<u64>,
     bitwise_identical: bool,
+    stages: TmeStageTimings,
+}
+
+/// Single-thread `compute_us` of a previously written bench JSON, plus its
+/// atom count (hand-rolled scan — the workspace has no JSON dependency).
+fn baseline_compute_us(text: &str) -> Option<(f64, u64)> {
+    let atoms = scan_number(text, "\"atoms\": ")? as u64;
+    let one = text.find("\"threads\": 1,")?;
+    let us = scan_number(&text[one..], "\"compute_us\": ")?;
+    Some((us, atoms))
+}
+
+/// First `"key": <number>` occurrence after the start of `text`.
+fn scan_number(text: &str, key: &str) -> Option<f64> {
+    let i = text.find(key)? + key.len();
+    let rest = &text[i..];
+    let end = rest.find([',', '}', '\n'])?;
+    rest[..end].trim().parse().ok()
 }
 
 fn main() {
@@ -75,6 +101,7 @@ fn main() {
     let waters: usize = arg_or("--waters", 512);
     let repeats: usize = arg_or("--repeats", 20);
     let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let baseline_path = arg_value("--baseline");
 
     // The paper's box scaled to `waters` at liquid density; grid_for_box
     // keeps h ≈ 0.3116 nm, giving 32³ near the default 512 waters.
@@ -145,6 +172,7 @@ fn main() {
         let compute_us = median_us(repeats, || {
             tme.compute_with(&mut ws, &system);
         });
+        let stages = ws.stage_timings();
         let allocs_per_compute = allocs_per_call(repeats, || {
             tme.compute_with(&mut ws, &system);
         });
@@ -155,12 +183,24 @@ fn main() {
             if bitwise_identical { "ok" } else { "MISMATCH" },
             allocs_per_compute.map_or_else(|| "n/a".to_string(), |a| a.to_string()),
         );
+        println!(
+            "  stages (last call, us): assign {} convolve {} transfer {} toplevel {} \
+             interpolate {} short_range {} total {}",
+            stages.assign_us,
+            stages.convolve_us,
+            stages.transfer_us,
+            stages.toplevel_us,
+            stages.interpolate_us,
+            stages.short_range_us,
+            stages.total_us,
+        );
         rows.push(Row {
             threads,
             convolution_us,
             compute_us,
             allocs_per_compute,
             bitwise_identical,
+            stages,
         });
     }
 
@@ -168,6 +208,49 @@ fn main() {
         rows.iter().all(|r| r.bitwise_identical),
         "forces changed bits across thread counts — determinism contract broken"
     );
+
+    // Parallel-efficiency report: speedup versus the single-thread row.
+    let single_us = rows[0].compute_us;
+    if let Some(r4) = rows.iter().find(|r| r.threads == 4) {
+        let speedup = single_us / r4.compute_us;
+        if speedup < 1.2 {
+            eprintln!(
+                "WARNING: 4-thread speedup is {speedup:.2}x (< 1.2x). On a multi-core host this \
+                 means the parallel stages are not scaling; on a single-core host (as in CI) it \
+                 is expected — check available_parallelism before reading anything into it."
+            );
+        }
+    }
+
+    // Regression gate against a previously committed baseline.
+    if let Some(path) = baseline_path {
+        match std::fs::read_to_string(&path)
+            .ok()
+            .as_deref()
+            .and_then(baseline_compute_us)
+        {
+            Some((base_us, base_atoms)) if base_atoms == system.len() as u64 => {
+                let ratio = single_us / base_us;
+                println!(
+                    "baseline {path}: single-thread compute {base_us:.1} us -> {single_us:.1} us \
+                     ({ratio:.3}x)"
+                );
+                if ratio > 1.15 {
+                    eprintln!(
+                        "FAIL: single-thread compute_us regressed {:.1}% vs baseline (limit 15%)",
+                        (ratio - 1.0) * 100.0
+                    );
+                    std::process::exit(1);
+                }
+            }
+            Some((_, base_atoms)) => eprintln!(
+                "baseline {path} is for {base_atoms} atoms, this run has {} — skipping the \
+                 regression check",
+                system.len()
+            ),
+            None => eprintln!("could not parse baseline {path} — skipping the regression check"),
+        }
+    }
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -185,15 +268,26 @@ fn main() {
         let allocs = r
             .allocs_per_compute
             .map_or_else(|| "null".to_string(), |a| a.to_string());
+        let s = r.stages;
         let _ = writeln!(
             json,
             "    {{\"threads\": {}, \"convolution_us\": {:.3}, \"compute_us\": {:.3}, \
-             \"allocs_per_compute\": {}, \"bitwise_identical\": {}}}{}",
+             \"speedup_vs_1t\": {:.3}, \"allocs_per_compute\": {}, \"bitwise_identical\": {}, \
+             \"stages_us\": {{\"assign\": {}, \"convolve\": {}, \"transfer\": {}, \
+             \"toplevel\": {}, \"interpolate\": {}, \"short_range\": {}, \"total\": {}}}}}{}",
             r.threads,
             r.convolution_us,
             r.compute_us,
+            single_us / r.compute_us,
             allocs,
             r.bitwise_identical,
+            s.assign_us,
+            s.convolve_us,
+            s.transfer_us,
+            s.toplevel_us,
+            s.interpolate_us,
+            s.short_range_us,
+            s.total_us,
             if i + 1 < rows.len() { "," } else { "" }
         );
     }

@@ -137,12 +137,12 @@ pub fn convolve_axis(grid: &Grid3, kernel: &Kernel1D, axis: usize) -> Grid3 {
     let mut out = Grid3::zeros(n);
     // Fold the kernel onto the ring if it exceeds the axis (packets that
     // lap the torus accumulate per cell).
+    let mut lines = LineBuffers::new();
     if 2 * gc + 1 > len {
         let folded = fold_kernel(kernel, len);
-        convolve_axis_folded_into(grid, &folded, axis, &mut out);
+        convolve_axis_folded_into(grid, &folded, axis, Pool::global(), &mut lines, &mut out);
         return out;
     }
-    let mut lines = LineBuffers::new();
     convolve_axis_into(
         grid,
         kernel,
@@ -179,8 +179,7 @@ pub fn convolve_axis_into(
     let len = n[axis];
     let gc = kernel.gc();
     if let Some(folded) = folded {
-        assert_eq!(folded.len(), len, "folded kernel length mismatch");
-        convolve_axis_folded_into(grid, folded, axis, out);
+        convolve_axis_folded_into(grid, folded, axis, pool, lines, out);
         return;
     }
     assert!(
@@ -241,18 +240,10 @@ pub fn convolve_axis_into(
     });
 }
 
-/// Fallback for kernels wider than the axis: direct folded evaluation.
+/// Reference folded evaluation: direct periodic indexing per tap (slow,
+/// obviously correct — only [`convolve_axis_naive`] uses it).
 fn convolve_axis_folded(grid: &Grid3, folded: &[f64], axis: usize) -> Grid3 {
     let mut out = Grid3::zeros(grid.dims());
-    convolve_axis_folded_into(grid, folded, axis, &mut out);
-    out
-}
-
-/// [`convolve_axis_folded`] into a reused output grid (serial — folding
-/// only happens on the tiny coarse levels where the axis is shorter than
-/// the kernel support).
-fn convolve_axis_folded_into(grid: &Grid3, folded: &[f64], axis: usize, out: &mut Grid3) {
-    assert_eq!(out.dims(), grid.dims());
     for (c, _) in grid.iter() {
         let center = [c[0] as i64, c[1] as i64, c[2] as i64];
         let mut acc = 0.0;
@@ -263,6 +254,72 @@ fn convolve_axis_folded_into(grid: &Grid3, folded: &[f64], axis: usize, out: &mu
         }
         out.set(center, acc);
     }
+    out
+}
+
+/// Folded-kernel pass (support `2g_c+1` ≥ the axis length): every tap wraps
+/// the torus, so each line is gathered twice back to back — `[line | line]`
+/// — and the tap loop reads `buf[len + c − m]` with no modular arithmetic.
+/// Taps run in ascending `m`, the same order as the direct reference, so
+/// results are bitwise identical; line batches run across the pool exactly
+/// like the non-folded pass (part boundaries fixed by grid dims, not
+/// thread count).
+fn convolve_axis_folded_into(
+    grid: &Grid3,
+    folded: &[f64],
+    axis: usize,
+    pool: &Pool,
+    lines: &mut LineBuffers,
+    out: &mut Grid3,
+) {
+    let n = grid.dims();
+    assert_eq!(out.dims(), n, "output grid dims mismatch");
+    let len = n[axis];
+    assert_eq!(folded.len(), len, "folded kernel length mismatch");
+    lines.ensure(pool.threads(), 2 * len);
+    let (ny, nz) = (n[1], n[2]);
+    let src = grid.as_slice();
+    let dst = SendPtr(out.as_mut_slice().as_mut_ptr());
+    let stride = match axis {
+        0 => ny * nz,
+        1 => nz,
+        _ => 1,
+    };
+    let (outer, inner, outer_stride, inner_stride) = match axis {
+        0 => (ny, nz, nz, 1),
+        1 => (n[0], nz, ny * nz, 1),
+        _ => (n[0], ny, ny * nz, nz),
+    };
+    let lines_ref: &LineBuffers = lines;
+    pool.run_parts(outer, |o, worker| {
+        // SAFETY: `worker` is this closure's pool worker index and the pool
+        // was sized by the `ensure` above, so the buffer is exclusive.
+        let line = unsafe { lines_ref.worker_buf(worker) };
+        for i in 0..inner {
+            let base = o * outer_stride + i * inner_stride;
+            for k in 0..len {
+                let v = src[base + k * stride];
+                line[k] = v;
+                line[len + k] = v;
+            }
+            for c in 0..len {
+                // out[c] = Σ_m folded[m] · line[(c − m) mod len]
+                //        = Σ_m folded[m] · buf[len + c − m]; the window
+                // view lets the compiler drop the bounds checks.
+                let window = &line[c + 1..c + 1 + len];
+                let mut acc = 0.0;
+                for (m, &kv) in folded.iter().enumerate() {
+                    acc += kv * window[len - 1 - m];
+                }
+                // SAFETY: lines are disjoint across (o, i) pairs and each
+                // line owns the index set {base + c·stride}, so no two
+                // parts ever write the same output element.
+                unsafe {
+                    *dst.get().add(base + c * stride) = acc;
+                }
+            }
+        }
+    });
 }
 
 /// Reference implementation used to cross-validate the buffered kernel:

@@ -112,7 +112,7 @@ pub fn auto_params(box_l: V3, n: [usize; 3], r_cut: f64, p: usize, rtol: f64) ->
 /// A [`TmeParams`] set that cannot be planned. Returned by
 /// [`crate::Tme::try_new`]; [`crate::Tme::new`] panics with the same
 /// message.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum TmeConfigError {
     /// `levels = 0`: the method needs at least one middle-range shell.
     NoLevels,
@@ -134,6 +134,14 @@ pub enum TmeConfigError {
         /// B-spline order `p`.
         p: usize,
     },
+    /// The Ewald splitting is unusable: `α` must be finite and ≥ 0 and
+    /// `r_c` positive (the pair-kernel table is built over `[0, r_c]`).
+    BadSplitting {
+        /// Splitting parameter `α`.
+        alpha: f64,
+        /// Short-range cutoff `r_c`.
+        r_cut: f64,
+    },
 }
 
 impl std::fmt::Display for TmeConfigError {
@@ -147,6 +155,10 @@ impl std::fmt::Display for TmeConfigError {
             Self::TopGridTooSmall { n_top, p } => write!(
                 f,
                 "top grid {n_top:?} smaller than spline order {p}: interpolation would self-overlap"
+            ),
+            Self::BadSplitting { alpha, r_cut } => write!(
+                f,
+                "unusable Ewald splitting: alpha = {alpha} (need finite ≥ 0), r_cut = {r_cut} (need > 0)"
             ),
         }
     }

@@ -30,6 +30,7 @@ pub mod levels;
 pub mod msm;
 pub mod shells;
 pub mod solver;
+pub mod timings;
 pub mod toplevel;
 pub mod workspace;
 
@@ -38,6 +39,7 @@ pub use kernel::TensorKernel;
 pub use msm::Msm;
 pub use shells::GaussianFit;
 pub use solver::{Tme, TmeParams};
+pub use timings::TmeStageTimings;
 pub use workspace::TmeWorkspace;
 
 /// Solve `erfc(α r_c) = rtol` for α by bisection — the GROMACS

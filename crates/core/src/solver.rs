@@ -16,10 +16,12 @@ use crate::errors::TmeConfigError;
 use crate::kernel::TensorKernel;
 use crate::levels::LevelTransfer;
 use crate::shells::GaussianFit;
+use crate::timings::TmeStageTimings;
 use crate::toplevel::TopLevel;
 use crate::workspace::TmeWorkspace;
 use tme_mesh::model::{CoulombResult, CoulombSystem};
 use tme_mesh::{Grid3, SplineOps};
+use tme_num::table::PairKernelTable;
 use tme_num::vec3::V3;
 
 /// TME configuration (paper notation in backticks).
@@ -67,6 +69,9 @@ pub struct TmeStats {
     pub transfer_points: u64,
     /// Top-level grid points (FFT size).
     pub top_points: u64,
+    /// Wall-clock microseconds per pipeline stage of this evaluation
+    /// (stages not run by the entry point stay zero).
+    pub stages: TmeStageTimings,
 }
 
 /// A TME solver bound to one box.
@@ -99,6 +104,10 @@ pub struct Tme {
     pub(crate) kernel: TensorKernel,
     pub(crate) transfer: LevelTransfer,
     pub(crate) top: TopLevel,
+    /// Plan-time segmented-polynomial pair kernels for the short-range
+    /// `erfc(αr)/r` sum — the software mirror of the machine's table-lookup
+    /// nonbond pipelines (DESIGN.md §10).
+    pub(crate) pair_table: PairKernelTable,
 }
 
 impl Tme {
@@ -121,6 +130,12 @@ impl Tme {
         if params.m_gaussians < 1 {
             return Err(TmeConfigError::NoGaussians);
         }
+        if !(params.alpha >= 0.0 && params.alpha.is_finite()) || params.r_cut <= 0.0 {
+            return Err(TmeConfigError::BadSplitting {
+                alpha: params.alpha,
+                r_cut: params.r_cut,
+            });
+        }
         let scale = 1usize << params.levels;
         if !params.n.iter().all(|&d| d % scale == 0) {
             return Err(TmeConfigError::IndivisibleGrid { n: params.n, scale });
@@ -139,17 +154,25 @@ impl Tme {
         let transfer = LevelTransfer::new(params.p);
         let alpha_top = params.alpha / scale as f64;
         let top = TopLevel::new(n_top, box_l, alpha_top, params.p);
+        let pair_table = PairKernelTable::new(params.alpha, params.r_cut);
         Ok(Self {
             params,
             ops,
             kernel,
             transfer,
             top,
+            pair_table,
         })
     }
 
     pub fn params(&self) -> &TmeParams {
         &self.params
+    }
+
+    /// The plan-time short-range pair-kernel table (tabulated
+    /// `erfc(αr)/r` energy/force, exact-complement construction).
+    pub fn pair_table(&self) -> &PairKernelTable {
+        &self.pair_table
     }
 
     /// Emulate the FPGA's single-precision top-level datapath.

@@ -17,8 +17,10 @@
 use crate::convolve::{convolve_separable_into, ConvolveScratch, FoldedKernels};
 use crate::levels::TransferScratch;
 use crate::solver::{Tme, TmeStats};
+use crate::timings::{elapsed_us, TmeStageTimings};
 use crate::toplevel::TopScratch;
 use std::sync::Arc;
+use std::time::Instant;
 use tme_mesh::assign::Interpolated;
 use tme_mesh::model::{CoulombResult, CoulombSystem};
 use tme_mesh::pairwise::{self, PairwiseScratch};
@@ -67,6 +69,9 @@ pub struct TmeWorkspace {
     mesh_out: CoulombResult,
     /// Full result of the last [`Tme::compute_with`].
     out: CoulombResult,
+    /// Per-stage wall-clock of the last execute call (observability layer;
+    /// see [`crate::timings`]).
+    timings: TmeStageTimings,
 }
 
 impl TmeWorkspace {
@@ -103,6 +108,7 @@ impl TmeWorkspace {
             pair: PairwiseScratch::new(),
             mesh_out: CoulombResult::default(),
             out: CoulombResult::default(),
+            timings: TmeStageTimings::default(),
         }
     }
 
@@ -110,6 +116,14 @@ impl TmeWorkspace {
     #[must_use]
     pub fn pool(&self) -> &Arc<Pool> {
         &self.pool
+    }
+
+    /// Per-stage wall-clock microseconds of the last
+    /// [`Tme::compute_with`]/[`Tme::long_range_with`] call on this
+    /// workspace (stages the call did not run are zero).
+    #[must_use]
+    pub fn stage_timings(&self) -> TmeStageTimings {
+        self.timings
     }
 
     /// The finest-grid mesh potential left by the last pipeline run.
@@ -146,11 +160,13 @@ impl Tme {
             "non-finite charge entering the multilevel pipeline"
         );
         let mut stats = TmeStats::default();
+        let mut stages = TmeStageTimings::default();
         let levels = self.params.levels as usize;
         let pool = Arc::clone(&ws.pool);
         // Downward pass: convolve each level, restrict to the next.
         for l in 1..=levels {
             let prefactor = crate::distributed::level_prefactor(l as u32);
+            let t0 = Instant::now();
             let s = convolve_separable_into(
                 &ws.q[l - 1],
                 &self.kernel,
@@ -160,20 +176,26 @@ impl Tme {
                 &mut ws.conv[l - 1],
                 &mut ws.mid[l - 1],
             );
+            stages.convolve_us += elapsed_us(t0);
             stats.convolution.madds += s.madds;
             stats.convolution.passes += s.passes;
             stats.transfer_points += ws.q[l - 1].len() as u64;
+            let t0 = Instant::now();
             let (fine, coarse) = ws.q.split_at_mut(l);
             self.transfer
                 .restrict_into(&fine[l - 1], &mut coarse[0], &mut ws.transfer[l - 1]);
+            stages.transfer_us += elapsed_us(t0);
         }
         // Top level: FFT convolution on Q^{L+1}.
         stats.top_points = ws.q[levels].len() as u64;
+        let t0 = Instant::now();
         self.top
             .solve_into(&ws.q[levels], &mut ws.top_phi, &mut ws.top);
+        stages.toplevel_us = elapsed_us(t0);
         // Upward pass: prolong the coarser potential onto each middle
         // level and accumulate. The level's ping grid is free again by
         // now and serves as the prolongation target.
+        let t0 = Instant::now();
         for l in (1..=levels).rev() {
             stats.transfer_points += ws.mid[l - 1].len() as u64;
             if l == levels {
@@ -192,6 +214,8 @@ impl Tme {
             }
             ws.mid[l - 1].accumulate(&ws.conv[l - 1].tmp_a);
         }
+        stages.transfer_us += elapsed_us(t0);
+        stats.stages = stages;
         debug_assert!(
             ws.mid[0].as_slice().iter().all(|v| v.is_finite()),
             "non-finite potential leaving the multilevel pipeline"
@@ -210,9 +234,11 @@ impl Tme {
     ) -> (&'w CoulombResult, TmeStats) {
         let n_atoms = system.len();
         let pool = Arc::clone(&ws.pool);
+        let t_entry = Instant::now();
         // Step 1: charge assignment. Each part assigns a fixed slice of
         // the atoms into its own partial grid (the GM accumulate-on-write
         // pattern); the merge below adds partials in fixed part order.
+        let t0 = Instant::now();
         let ops = &self.ops;
         pool.for_each_chunk(&mut ws.assign_parts, 1, |part, slot| {
             let grid = &mut slot[0];
@@ -240,11 +266,17 @@ impl Tme {
                 }
             });
         }
+        let assign_us = elapsed_us(t0);
         // Steps 2–5.
-        let stats = self.grid_potential_with(ws);
+        let mut stats = self.grid_potential_with(ws);
         // Step 6: back interpolation of forces and potentials.
+        let t0 = Instant::now();
         self.ops
             .interpolate_into(&ws.mid[0], &system.pos, &system.q, &pool, &mut ws.interp);
+        stats.stages.interpolate_us = elapsed_us(t0);
+        stats.stages.assign_us = assign_us;
+        stats.stages.total_us = elapsed_us(t_entry);
+        ws.timings = stats.stages;
         ws.mesh_out.energy = SplineOps::energy(&system.q, &ws.interp.potential);
         ws.mesh_out.forces.clear();
         ws.mesh_out.forces.extend_from_slice(&ws.interp.force);
@@ -264,18 +296,25 @@ impl Tme {
         ws: &'w mut TmeWorkspace,
         system: &CoulombSystem,
     ) -> &'w CoulombResult {
+        let t_entry = Instant::now();
         self.long_range_with(ws, system);
         let pool = Arc::clone(&ws.pool);
-        pairwise::short_range_into(
+        // Short-range pairs through the plan-time kernel table — the
+        // table-lookup pipeline analogue; the exact-erfc path stays
+        // available as `pairwise::short_range_into` for oracle tests.
+        let t0 = Instant::now();
+        pairwise::short_range_table_into(
             system,
-            self.params.alpha,
+            &self.pair_table,
             self.params.r_cut,
             &pool,
             &mut ws.pair,
             &mut ws.out,
         );
+        ws.timings.short_range_us = elapsed_us(t0);
         ws.out.accumulate(&ws.mesh_out);
         pairwise::self_term_into(system, self.params.alpha, &mut ws.out);
+        ws.timings.total_us = elapsed_us(t_entry);
         debug_assert!(
             ws.out.energy.is_finite()
                 && ws

@@ -5,11 +5,18 @@
 //! (direct Coulomb and van der Waals, §II). Energies in kJ/mol, forces in
 //! kJ/mol/nm (the Coulomb constant is applied here, unlike the reduced
 //! units of the solver crates).
+//!
+//! The Coulomb kernels come from a [`PairKernelTable`] — segmented table
+//! lookup with polynomial interpolation in `r²`, exactly the structure of
+//! the hardware's force pipelines (DESIGN.md §10). The table replaces the
+//! previous A&S `erfc_fast` rational approximation: it is both faster (no
+//! `exp`) and ~6 orders of magnitude more accurate.
 
 use crate::neighbors::{CellList, VerletList};
 use crate::topology::MdSystem;
 use crate::units::COULOMB;
-use tme_num::special::{erfc_fast_parts, TWO_OVER_SQRT_PI};
+use tme_num::special::{erf, TWO_OVER_SQRT_PI};
+use tme_num::table::PairKernelTable;
 use tme_num::vec3::V3;
 
 /// Energy breakdown of one short-range evaluation.
@@ -20,13 +27,14 @@ pub struct ShortRangeEnergy {
 }
 
 /// Evaluate LJ + short-range Coulomb into `forces` (accumulated),
-/// returning the energies. `alpha` is the Ewald splitting parameter;
-/// excluded pairs are skipped entirely (their mesh contribution is removed
-/// separately by the exclusion correction).
+/// returning the energies. `table` carries the Ewald splitting (its α) as
+/// tabulated kernels and must cover the cell-list cutoff; excluded pairs
+/// are skipped entirely (their mesh contribution is removed separately by
+/// the exclusion correction).
 pub fn short_range(
     sys: &MdSystem,
     cells: &CellList,
-    alpha: f64,
+    table: &PairKernelTable,
     forces: &mut [V3],
 ) -> ShortRangeEnergy {
     assert_eq!(forces.len(), sys.len());
@@ -35,7 +43,7 @@ pub fn short_range(
         if sys.is_excluded(i, j) {
             return;
         }
-        accumulate_pair(sys, i, j, d, r2, alpha, &mut e, forces);
+        accumulate_pair(sys, i, j, d, r2, table, &mut e, forces);
     });
     e
 }
@@ -45,20 +53,20 @@ pub fn short_range(
 pub fn short_range_verlet(
     sys: &MdSystem,
     list: &VerletList,
-    alpha: f64,
+    table: &PairKernelTable,
     forces: &mut [V3],
 ) -> ShortRangeEnergy {
     assert_eq!(forces.len(), sys.len());
     let mut e = ShortRangeEnergy::default();
     list.for_each_pair(&sys.pos, |i, j, d, r2| {
-        accumulate_pair(sys, i, j, d, r2, alpha, &mut e, forces);
+        accumulate_pair(sys, i, j, d, r2, table, &mut e, forces);
     });
     e
 }
 
 /// One LJ + screened-Coulomb pair interaction — the shared kernel of both
-/// neighbour-search paths (one `exp` serves both the `erfc` value and the
-/// force's Gaussian term).
+/// neighbour-search paths. The Coulomb energy and radial force factor are
+/// one table lookup (two Horner chains + a square root) — no `exp`/`erfc`.
 #[inline]
 #[allow(clippy::too_many_arguments)] // hot-path kernel; a params struct would obscure it
 fn accumulate_pair(
@@ -67,7 +75,7 @@ fn accumulate_pair(
     j: usize,
     d: V3,
     r2: f64,
-    alpha: f64,
+    table: &PairKernelTable,
     e: &mut ShortRangeEnergy,
     forces: &mut [V3],
 ) {
@@ -86,11 +94,9 @@ fn accumulate_pair(
     }
     let qq = sys.q[i] * sys.q[j];
     if qq != 0.0 {
-        let r = r2.sqrt();
-        let (erfc_v, gauss) = erfc_fast_parts(alpha * r);
-        let ec = erfc_v / r;
+        let (ec, fc) = table.erfc_kernel_r2(r2);
         e.coulomb += COULOMB * qq * ec;
-        f_over_r += COULOMB * qq * (ec + TWO_OVER_SQRT_PI * alpha * gauss) / r2;
+        f_over_r += COULOMB * qq * fc;
     }
     forces[i][0] += f_over_r * d[0];
     forces[i][1] += f_over_r * d[1];
@@ -103,19 +109,30 @@ fn accumulate_pair(
 /// Remove the mesh's `erf(αr)/r` contribution for excluded intramolecular
 /// pairs (they must not interact electrostatically at all).
 /// Returns the energy correction; forces are accumulated.
-pub fn exclusion_correction(sys: &MdSystem, alpha: f64, forces: &mut [V3]) -> f64 {
+///
+/// Bonded pair distances are far inside the table range; should a
+/// pathological topology stretch one past `r_max`, the pair falls back to
+/// the exact `erf`.
+pub fn exclusion_correction(sys: &MdSystem, table: &PairKernelTable, forces: &mut [V3]) -> f64 {
+    let alpha = table.alpha();
     let mut energy = 0.0;
     for &(i, j) in &sys.exclusions {
         let d = tme_num::vec3::min_image(sys.pos[i], sys.pos[j], sys.box_l);
         let r2 = tme_num::vec3::norm_sqr(d);
-        let r = r2.sqrt();
         let qq = sys.q[i] * sys.q[j];
-        let (erfc_v, gauss) = erfc_fast_parts(alpha * r);
-        let erf_r = (1.0 - erfc_v) / r;
+        // Long-range complement kernel: energy erf/r, radial factor
+        // (erf/r − 2α/√π e^{−α²r²})/r² — tabulated, no square root.
+        let (erf_r, fl) = if table.covers(r2) {
+            table.erf_kernel_r2(r2)
+        } else {
+            let r = r2.sqrt();
+            let e = erf(alpha * r) / r;
+            let gauss = TWO_OVER_SQRT_PI * alpha * (-alpha * alpha * r2).exp();
+            (e, (e - gauss) / r2)
+        };
         energy -= COULOMB * qq * erf_r;
-        // d/dr[erf/r] ⇒ radial force factor (erf/r − 2α/√π e^{−α²r²})/r²,
-        // negated because we subtract the interaction.
-        let fr = -COULOMB * qq * (erf_r - TWO_OVER_SQRT_PI * alpha * gauss) / r2;
+        // Negated: we subtract the interaction the mesh added.
+        let fr = -COULOMB * qq * fl;
         forces[i][0] += fr * d[0];
         forces[i][1] += fr * d[1];
         forces[i][2] += fr * d[2];
@@ -158,6 +175,10 @@ mod tests {
         s
     }
 
+    fn table_for(alpha: f64, r_max: f64) -> PairKernelTable {
+        PairKernelTable::new(alpha, r_max)
+    }
+
     #[test]
     fn coulomb_pair_energy_and_force() {
         let r = 0.5;
@@ -165,10 +186,10 @@ mod tests {
         let cells = CellList::build(&sys.pos, sys.box_l, 1.2);
         let mut forces = vec![[0.0; 3]; 2];
         let alpha = 3.0;
-        let e = short_range(&sys, &cells, alpha, &mut forces);
+        let e = short_range(&sys, &cells, &table_for(alpha, 1.2), &mut forces);
         let want = -COULOMB * erfc(alpha * r) / r;
-        // erfc_fast: abs error ≤ 1.5e-7 × f/r ≈ 4e-5.
-        assert!((e.coulomb - want).abs() < 1e-4);
+        // Tabulated kernel: ulp-level against the exact erfc.
+        assert!((e.coulomb - want).abs() < 1e-9 * want.abs());
         assert_eq!(e.lj, 0.0);
         // Newton's third law.
         for a in 0..3 {
@@ -185,7 +206,7 @@ mod tests {
         sys.q = vec![0.0, 0.0];
         let cells = CellList::build(&sys.pos, sys.box_l, 1.2);
         let mut forces = vec![[0.0; 3]; 2];
-        let e = short_range(&sys, &cells, 3.0, &mut forces);
+        let e = short_range(&sys, &cells, &table_for(3.0, 1.2), &mut forces);
         assert!((e.lj + tip3p::EPS_O).abs() < 1e-10, "E_min = {}", e.lj);
         // Zero force at the minimum.
         assert!(forces[0][0].abs() < 1e-9, "{}", forces[0][0]);
@@ -198,14 +219,15 @@ mod tests {
         sys.q = vec![0.0, 0.0];
         let cells = CellList::build(&sys.pos, sys.box_l, 1.2);
         let mut forces = vec![[0.0; 3]; 2];
-        short_range(&sys, &cells, 3.0, &mut forces);
+        let table = table_for(3.0, 1.2);
+        short_range(&sys, &cells, &table, &mut forces);
         let h = 1e-7;
         let e_at = |rr: f64| {
             let mut s2 = pair_system(rr, true);
             s2.q = vec![0.0, 0.0];
             let c = CellList::build(&s2.pos, s2.box_l, 1.2);
             let mut f = vec![[0.0; 3]; 2];
-            short_range(&s2, &c, 3.0, &mut f).lj
+            short_range(&s2, &c, &table, &mut f).lj
         };
         let grad = (e_at(r + h) - e_at(r - h)) / (2.0 * h);
         // Force on atom 1 along +x equals −dE/dr.
@@ -224,13 +246,14 @@ mod tests {
         let alpha = 3.0;
         let r_cut = 0.6; // 64 waters → L ≈ 1.24 nm, half-box 0.62 nm
         let cells = CellList::build(&sys.pos, sys.box_l, r_cut);
+        let table = table_for(alpha, r_cut);
         let mut f_cell = vec![[0.0; 3]; sys.len()];
-        let e_cell = short_range(&sys, &cells, alpha, &mut f_cell);
+        let e_cell = short_range(&sys, &cells, &table, &mut f_cell);
         let list = VerletList::build(&sys.pos, sys.box_l, r_cut, 0.2, |i, j| {
             sys.is_excluded(i, j)
         });
         let mut f_verlet = vec![[0.0; 3]; sys.len()];
-        let e_verlet = short_range_verlet(&sys, &list, alpha, &mut f_verlet);
+        let e_verlet = short_range_verlet(&sys, &list, &table, &mut f_verlet);
         assert!((e_cell.lj - e_verlet.lj).abs() < 1e-10);
         assert!((e_cell.coulomb - e_verlet.coulomb).abs() < 1e-9);
         for (a, b) in f_cell.iter().zip(&f_verlet) {
@@ -248,7 +271,7 @@ mod tests {
         sys.finalize();
         let cells = CellList::build(&sys.pos, sys.box_l, 1.2);
         let mut forces = vec![[0.0; 3]; 2];
-        let e = short_range(&sys, &cells, 3.0, &mut forces);
+        let e = short_range(&sys, &cells, &table_for(3.0, 1.2), &mut forces);
         assert_eq!(e, ShortRangeEnergy::default());
         assert_eq!(forces[0], [0.0; 3]);
     }
@@ -262,10 +285,10 @@ mod tests {
         sys.finalize();
         let alpha = 2.5;
         let mut forces = vec![[0.0; 3]; 2];
-        let e = exclusion_correction(&sys, alpha, &mut forces);
+        let e = exclusion_correction(&sys, &table_for(alpha, 1.2), &mut forces);
         let want = -COULOMB * sys.q[0] * sys.q[1] * (1.0 - erfc(alpha * r)) / r;
-        // erfc_fast in the hot path: absolute error ≤ 1.5e-7 scaled by f·qq/r.
-        assert!((e - want).abs() < 1e-3);
+        // Tabulated erf kernel: ulp-level against the exact function.
+        assert!((e - want).abs() < 1e-9 * want.abs());
         // Momentum conserving.
         for a in 0..3 {
             assert!((forces[0][a] + forces[1][a]).abs() < 1e-10);
@@ -285,7 +308,7 @@ mod tests {
         sys.exclusions = vec![(0, 1)];
         sys.finalize();
         let mut f = vec![[0.0; 3]; 2];
-        let e = exclusion_correction(&sys, alpha, &mut f);
-        assert!((e + COULOMB * 0.25 * erf_part).abs() < 1e-4);
+        let e = exclusion_correction(&sys, &table_for(alpha, 1.2), &mut f);
+        assert!((e + COULOMB * 0.25 * erf_part).abs() < 1e-9);
     }
 }

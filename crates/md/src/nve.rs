@@ -20,6 +20,7 @@ use crate::topology::MdSystem;
 use crate::units::COULOMB;
 use tme_mesh::model::CoulombResult;
 use tme_num::special::TWO_OVER_SQRT_PI;
+use tme_num::table::PairKernelTable;
 use tme_num::vec3::V3;
 
 /// One sampled energy record (kJ/mol, ps, K).
@@ -71,6 +72,10 @@ pub struct NveSim<'a> {
     /// Impulse weight of `mesh_forces` for kicks using the current forces:
     /// `mesh_interval` at outer boundaries, 0 in between.
     mesh_weight: f64,
+    /// Plan-time tabulated pair kernels for the solver's α over `[0, r_c]`
+    /// (rebuilt only if α or the cutoff changes — steady-state stepping
+    /// never reallocates it).
+    pair_table: PairKernelTable,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -112,6 +117,7 @@ impl<'a> NveSim<'a> {
             mesh_result: CoulombResult::default(),
             cached_mesh_energy: 0.0,
             mesh_weight: 1.0,
+            pair_table: PairKernelTable::new(solver.alpha(), r_cut),
         };
         sim.compute_forces();
         sim
@@ -127,10 +133,17 @@ impl<'a> NveSim<'a> {
 
     /// Recompute all forces and cache the potential-energy terms.
     fn compute_forces(&mut self) {
+        let alpha = self.solver.alpha();
+        // Keep the kernel table consistent with the solver's splitting and
+        // the (possibly caller-adjusted) cutoff; a no-op in steady state.
+        if self.pair_table.alpha().to_bits() != alpha.to_bits()
+            || self.pair_table.r_max() < self.r_cut
+        {
+            self.pair_table = PairKernelTable::new(alpha, self.r_cut);
+        }
         let sys = &self.system;
         let n = sys.len();
         let mut forces = vec![[0.0; 3]; n];
-        let alpha = self.solver.alpha();
         // Short range (LJ + erfc Coulomb) over the Verlet list, rebuilt
         // once any atom has drifted half a skin. take()/insert() keeps the
         // "a list exists below this point" guarantee structural instead of
@@ -145,7 +158,7 @@ impl<'a> NveSim<'a> {
                 |i, j| sys.is_excluded(i, j),
             )),
         };
-        let short = nonbond::short_range_verlet(sys, list, alpha, &mut forces);
+        let short = nonbond::short_range_verlet(sys, list, &self.pair_table, &mut forces);
         // Bonded terms (flexible molecules; empty for pure rigid water).
         let bonded_energy = sys.bonded.evaluate(&sys.pos, sys.box_l, &mut forces);
         // Long range (mesh), reduced units → kJ/mol. With multiple time
@@ -177,7 +190,7 @@ impl<'a> NveSim<'a> {
         let (self_energy, excl_energy) = if self.solver.has_mesh() {
             (
                 -COULOMB * 0.5 * TWO_OVER_SQRT_PI * alpha * coul_sys.charge_sq_sum(),
-                nonbond::exclusion_correction(sys, alpha, &mut forces),
+                nonbond::exclusion_correction(sys, &self.pair_table, &mut forces),
             )
         } else {
             (0.0, 0.0)

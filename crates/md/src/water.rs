@@ -180,6 +180,7 @@ pub fn relax(sys: &mut MdSystem, steps: usize, r_cut: f64) -> f64 {
     // Relaxation only needs local contacts; clamp to what the box allows.
     let min_edge = sys.box_l.iter().cloned().fold(f64::INFINITY, f64::min);
     let r_cut = r_cut.min(min_edge / 2.0 - skin).max(0.3);
+    let table = tme_num::table::PairKernelTable::new(alpha, r_cut);
     let mut energy = f64::INFINITY;
     let mut list: Option<VerletList> = None;
     for _ in 0..steps {
@@ -195,7 +196,7 @@ pub fn relax(sys: &mut MdSystem, steps: usize, r_cut: f64) -> f64 {
             )),
         };
         let mut forces = vec![[0.0; 3]; sys.len()];
-        let e = nonbond::short_range_verlet(sys, current, alpha, &mut forces);
+        let e = nonbond::short_range_verlet(sys, current, &table, &mut forces);
         let e_bonded = sys.bonded.evaluate(&sys.pos, sys.box_l, &mut forces);
         energy = e.lj + e.coulomb + e_bonded;
         // Cap the largest displacement at max_step.

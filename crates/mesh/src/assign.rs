@@ -21,6 +21,24 @@ use tme_num::vec3::V3;
 /// disjoint, so the value affects load balance only, never results.
 const INTERP_CHUNK: usize = 64;
 
+/// Wrapped per-axis support indices: `out[i] = (m0 + i) mod n` for the `p`
+/// support points of one axis, computed once per atom so the `p³` transfer
+/// loops do no modular arithmetic. Returns the first wrapped index (the
+/// support is contiguous in memory iff `first + p ≤ n`).
+#[inline]
+fn wrap_support(n: usize, m0: i64, p: usize, out: &mut [usize; 16]) -> usize {
+    let mut m = m0.rem_euclid(n as i64) as usize;
+    let first = m;
+    for slot in out.iter_mut().take(p) {
+        *slot = m;
+        m += 1;
+        if m == n {
+            m = 0;
+        }
+    }
+    first
+}
+
 /// Spline-based particle↔grid operator for one periodic box + grid.
 #[derive(Clone, Debug)]
 pub struct SplineOps {
@@ -88,24 +106,46 @@ impl SplineOps {
 
     /// Charge assignment accumulating into an existing grid (the GM
     /// accumulate-on-write pattern: distributed partial sums just add).
+    ///
+    /// Fused hot loop: the wrapped support indices of each axis are
+    /// computed once per atom, and the innermost z pass walks the grid row
+    /// as a dense slice whenever the support does not lap the boundary —
+    /// no per-point modular arithmetic. Accumulation order matches the
+    /// naive triple loop exactly, so results are bitwise unchanged.
     pub fn assign_into(&self, pos: &[V3], q: &[f64], grid: &mut Grid3) {
         assert_eq!(pos.len(), q.len());
         assert_eq!(grid.dims(), self.n);
+        let p = self.spline.order();
+        let [nx, ny, nz] = self.n;
+        let data = grid.as_mut_slice();
         let mut sx = SplineWeights::default();
         let mut sy = SplineWeights::default();
         let mut sz = SplineWeights::default();
+        let (mut idx_x, mut idx_y, mut idx_z) = ([0usize; 16], [0usize; 16], [0usize; 16]);
         for (r, &qi) in pos.iter().zip(q) {
             let u = self.normalised(*r);
             self.spline.weights_into(u[0], &mut sx);
             self.spline.weights_into(u[1], &mut sy);
             self.spline.weights_into(u[2], &mut sz);
-            let (mx, my, mz) = (sx.m0(), sy.m0(), sz.m0());
+            wrap_support(nx, sx.m0(), p, &mut idx_x);
+            wrap_support(ny, sy.m0(), p, &mut idx_y);
+            let z0 = wrap_support(nz, sz.m0(), p, &mut idx_z);
+            let wz = sz.w();
+            let z_contig = z0 + p <= nz;
             for (ix, &wxv) in sx.w().iter().enumerate() {
                 let qx = qi * wxv;
+                let row_x = idx_x[ix] * ny;
                 for (iy, &wyv) in sy.w().iter().enumerate() {
                     let qxy = qx * wyv;
-                    for (iz, &wzv) in sz.w().iter().enumerate() {
-                        grid.add([mx + ix as i64, my + iy as i64, mz + iz as i64], qxy * wzv);
+                    let row = (row_x + idx_y[iy]) * nz;
+                    if z_contig {
+                        for (cell, &wzv) in data[row + z0..row + z0 + p].iter_mut().zip(wz) {
+                            *cell += qxy * wzv;
+                        }
+                    } else {
+                        for (&iz, &wzv) in idx_z[..p].iter().zip(wz) {
+                            data[row + iz] += qxy * wzv;
+                        }
                     }
                 }
             }
@@ -178,6 +218,11 @@ impl SplineOps {
     }
 
     /// Serial per-atom interpolation kernel shared by the parallel parts.
+    ///
+    /// Same fused structure as [`Self::assign_into`]: wrapped support
+    /// indices once per atom, hoisted xy-weight products, dense z-row walk
+    /// when the support does not lap the boundary. Term order matches the
+    /// naive triple loop, so potentials and forces are bitwise unchanged.
     fn interpolate_range(
         &self,
         phi: &Grid3,
@@ -186,28 +231,52 @@ impl SplineOps {
         pot_out: &mut [f64],
         force_out: &mut [V3],
     ) {
+        let p = self.spline.order();
+        let [nx, ny, nz] = self.n;
+        let data = phi.as_slice();
         let mut sx = SplineWeights::default();
         let mut sy = SplineWeights::default();
         let mut sz = SplineWeights::default();
+        let (mut idx_x, mut idx_y, mut idx_z) = ([0usize; 16], [0usize; 16], [0usize; 16]);
         for (i, (r, &qi)) in pos.iter().zip(q).enumerate() {
             let u = self.normalised(*r);
             self.spline.weights_into(u[0], &mut sx);
             self.spline.weights_into(u[1], &mut sy);
             self.spline.weights_into(u[2], &mut sz);
-            let (mx, my, mz) = (sx.m0(), sy.m0(), sz.m0());
+            wrap_support(nx, sx.m0(), p, &mut idx_x);
+            wrap_support(ny, sy.m0(), p, &mut idx_y);
+            let z0 = wrap_support(nz, sz.m0(), p, &mut idx_z);
             let (wx, dwx) = (sx.w(), sx.dw());
             let (wy, dwy) = (sy.w(), sy.dw());
             let (wz, dwz) = (sz.w(), sz.dw());
+            let z_contig = z0 + p <= nz;
             let mut pot = 0.0;
             let mut grad = [0.0f64; 3];
-            for ix in 0..wx.len() {
-                for iy in 0..wy.len() {
-                    for iz in 0..wz.len() {
-                        let v = phi.get([mx + ix as i64, my + iy as i64, mz + iz as i64]);
-                        pot += wx[ix] * wy[iy] * wz[iz] * v;
-                        grad[0] += dwx[ix] * wy[iy] * wz[iz] * v;
-                        grad[1] += wx[ix] * dwy[iy] * wz[iz] * v;
-                        grad[2] += wx[ix] * wy[iy] * dwz[iz] * v;
+            for ix in 0..p {
+                let (wxv, dxv) = (wx[ix], dwx[ix]);
+                let row_x = idx_x[ix] * ny;
+                for iy in 0..p {
+                    let wxy = wxv * wy[iy];
+                    let dxy = dxv * wy[iy];
+                    let xdy = wxv * dwy[iy];
+                    let row = (row_x + idx_y[iy]) * nz;
+                    if z_contig {
+                        for (&v, (&wzv, &dzv)) in
+                            data[row + z0..row + z0 + p].iter().zip(wz.iter().zip(dwz))
+                        {
+                            pot += wxy * wzv * v;
+                            grad[0] += dxy * wzv * v;
+                            grad[1] += xdy * wzv * v;
+                            grad[2] += wxy * dzv * v;
+                        }
+                    } else {
+                        for (&iz, (&wzv, &dzv)) in idx_z[..p].iter().zip(wz.iter().zip(dwz)) {
+                            let v = data[row + iz];
+                            pot += wxy * wzv * v;
+                            grad[0] += dxy * wzv * v;
+                            grad[1] += xdy * wzv * v;
+                            grad[2] += wxy * dzv * v;
+                        }
                     }
                 }
             }

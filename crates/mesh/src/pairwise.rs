@@ -11,6 +11,7 @@
 use crate::model::{CoulombResult, CoulombSystem};
 use tme_num::pool::{chunk_bounds, Pool};
 use tme_num::special::{erf, erfc, TWO_OVER_SQRT_PI};
+use tme_num::table::PairKernelTable;
 use tme_num::vec3;
 
 /// Fixed number of row partitions for the parallel pair sum. The partition
@@ -69,6 +70,10 @@ pub fn short_range(system: &CoulombSystem, alpha: f64, r_cut: f64) -> CoulombRes
 /// accumulators — allocation-free once warm, parallel over fixed row
 /// partitions (the software analogue of the 64 nonbond pipelines per SoC).
 ///
+/// This is the *exact* path (series/continued-fraction `erfc`), kept as
+/// the reference oracle; the TME production pipeline calls
+/// [`short_range_table_into`] with a plan-time [`PairKernelTable`].
+///
 /// Determinism: atom rows are split into [`SHORT_RANGE_PARTS`] fixed
 /// partitions; each partition accumulates its pairs in row order into its
 /// own full-length result, and partitions are merged serially in partition
@@ -81,6 +86,45 @@ pub fn short_range_into(
     scratch: &mut PairwiseScratch,
     out: &mut CoulombResult,
 ) {
+    short_range_with(system, r_cut, pool, scratch, out, |r2| {
+        erfc_kernel(alpha, r2.sqrt())
+    });
+}
+
+/// [`short_range_into`] with the pair kernel served from a segmented
+/// polynomial table instead of the exact `erfc` — the software analogue of
+/// MDGRAPE-4A's table-lookup nonbond pipelines (DESIGN.md §10). The table
+/// must cover `r_cut` ([`PairKernelTable::r_max`] ≥ `r_cut`).
+pub fn short_range_table_into(
+    system: &CoulombSystem,
+    table: &PairKernelTable,
+    r_cut: f64,
+    pool: &Pool,
+    scratch: &mut PairwiseScratch,
+    out: &mut CoulombResult,
+) {
+    debug_assert!(
+        table.r_max() >= r_cut,
+        "kernel table covers r ≤ {} but the cutoff is {r_cut}",
+        table.r_max()
+    );
+    short_range_with(system, r_cut, pool, scratch, out, |r2| {
+        table.erfc_kernel_r2(r2)
+    });
+}
+
+/// Shared minimum-image pair loop behind both short-range entry points:
+/// `kernel(r²)` returns `(energy, radial force factor)` for one pair.
+fn short_range_with<K>(
+    system: &CoulombSystem,
+    r_cut: f64,
+    pool: &Pool,
+    scratch: &mut PairwiseScratch,
+    out: &mut CoulombResult,
+    kernel: K,
+) where
+    K: Fn(f64) -> (f64, f64) + Sync,
+{
     let min_edge = system.box_l.iter().cloned().fold(f64::INFINITY, f64::min);
     assert!(
         r_cut <= min_edge / 2.0 + 1e-12,
@@ -102,8 +146,7 @@ pub fn short_range_into(
                 if r2 >= rc2 || r2 == 0.0 {
                     continue;
                 }
-                let r = r2.sqrt();
-                let (pot, fr) = erfc_kernel(alpha, r);
+                let (pot, fr) = kernel(r2);
                 let qq = system.q[i] * system.q[j];
                 acc.energy += qq * pot;
                 acc.potentials[i] += system.q[j] * pot;
@@ -254,6 +297,43 @@ mod tests {
     fn oversized_cutoff_rejected() {
         let s = CoulombSystem::new(vec![[0.0; 3]], vec![1.0], [2.0, 2.0, 2.0]);
         let _ = short_range(&s, 1.0, 1.5);
+    }
+
+    #[test]
+    fn table_path_matches_exact_oracle() {
+        // A scattered many-body system: the tabulated kernel must agree
+        // with the exact continued-fraction path far below the mesh error.
+        let mut pos = Vec::new();
+        let mut q = Vec::new();
+        let mut rng = tme_num::rng::SplitMix64::seed_from_u64(9);
+        for i in 0..40 {
+            pos.push([
+                rng.gen_range(0.0..4.0),
+                rng.gen_range(0.0..4.0),
+                rng.gen_range(0.0..4.0),
+            ]);
+            q.push(if i % 2 == 0 { 1.0 } else { -1.0 });
+        }
+        let s = CoulombSystem::new(pos, q, [4.0; 3]);
+        let (alpha, r_cut) = (2.4, 1.6);
+        let exact = short_range(&s, alpha, r_cut);
+        let table = PairKernelTable::new(alpha, r_cut);
+        let mut scratch = PairwiseScratch::new();
+        let mut got = CoulombResult::default();
+        short_range_table_into(&s, &table, r_cut, Pool::global(), &mut scratch, &mut got);
+        let scale = exact.energy.abs().max(1.0);
+        assert!(
+            (got.energy - exact.energy).abs() < 1e-10 * scale,
+            "{} vs {}",
+            got.energy,
+            exact.energy
+        );
+        for (a, b) in got.forces.iter().zip(&exact.forces) {
+            for c in 0..3 {
+                assert!((a[c] - b[c]).abs() < 1e-9, "{a:?} vs {b:?}");
+            }
+        }
+        assert!((got.virial - exact.virial).abs() < 1e-9 * scale.max(exact.virial.abs()));
     }
 
     #[test]

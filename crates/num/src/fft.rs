@@ -776,7 +776,7 @@ mod tests {
 
     #[test]
     fn real_fft_matches_complex_spectrum() {
-        for n in [2usize, 4, 16, 128] {
+        for n in [2usize, 4, 8, 16, 32, 128] {
             let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() + 0.2).collect();
             let plan = RealFft::new(n);
             let mut spec = vec![Complex64::ZERO; n / 2 + 1];
@@ -792,7 +792,7 @@ mod tests {
 
     #[test]
     fn real_fft_roundtrip() {
-        for n in [2usize, 8, 64, 512] {
+        for n in [2usize, 8, 16, 32, 64, 512] {
             let x: Vec<f64> = (0..n).map(|i| ((i * 37 % 19) as f64 - 9.0) * 0.3).collect();
             let plan = RealFft::new(n);
             let mut spec = vec![Complex64::ZERO; n / 2 + 1];
@@ -822,6 +822,48 @@ mod tests {
                     let want = full[(ix * ny + iy) * nz + iz];
                     assert!((got - want).abs() < 1e-9, "at {ix},{iy},{iz}");
                 }
+            }
+        }
+    }
+
+    /// The real-input path must agree with the full complex transform and
+    /// invert exactly on random grids at the cubic sizes the top-level
+    /// solver actually plans (8³, 16³, 32³).
+    #[test]
+    fn real_fft3_random_grids_toplevel_sizes() {
+        for n in [8usize, 16, 32] {
+            let len = n * n * n;
+            let mut state = 1442695040888963407u64 ^ n as u64;
+            let x: Vec<f64> = (0..len)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+                })
+                .collect();
+            let rplan = RealFft3::new(n, n, n);
+            let mut spec = vec![Complex64::ZERO; rplan.spectrum_len()];
+            rplan.forward(&x, &mut spec);
+            // Half-spectrum matches the full complex transform.
+            let mut full: Vec<Complex64> = x.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+            Fft3::new(n, n, n).forward(&mut full);
+            let mz = n / 2 + 1;
+            let tol = 1e-9 * (len as f64).sqrt();
+            for ix in 0..n {
+                for iy in 0..n {
+                    for iz in 0..mz {
+                        let got = spec[(ix * n + iy) * mz + iz];
+                        let want = full[(ix * n + iy) * n + iz];
+                        assert!((got - want).abs() < tol, "n={n} at {ix},{iy},{iz}");
+                    }
+                }
+            }
+            // Round trip restores the input.
+            let mut back = vec![0.0; len];
+            rplan.inverse(&mut spec, &mut back);
+            for (a, b) in back.iter().zip(&x) {
+                assert!((a - b).abs() < 1e-12, "n={n}");
             }
         }
     }

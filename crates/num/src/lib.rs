@@ -18,6 +18,9 @@
 //!   static scheduling, the software analogue of the machine's fixed
 //!   particle/grid-line distribution across pipelines (execute phase of the
 //!   plan/execute split, `TME_THREADS`).
+//! * [`table`] — segmented-polynomial pair-kernel tables in `r²`, the
+//!   software mirror of the machine's table-lookup force pipelines (no
+//!   transcendentals in the pair inner loops; DESIGN.md §10).
 
 pub mod cast;
 pub mod complex;
@@ -27,6 +30,7 @@ pub mod pool;
 pub mod quadrature;
 pub mod rng;
 pub mod special;
+pub mod table;
 pub mod vec3;
 
 pub use complex::Complex64;

@@ -1,0 +1,363 @@
+//! Segmented-polynomial tables for the Ewald pair kernels.
+//!
+//! MDGRAPE-4A never evaluates transcendentals in its force pipelines: the
+//! nonbond units implement `g(r²)` by *segmented table lookup with
+//! polynomial interpolation* (paper §II — the same structure the earlier
+//! MDGRAPE generations and Anton's pairwise point interaction modules use).
+//! This module mirrors that design in software. The independent variable is
+//! `s = r²` — exactly what the hardware uses, because the pair distance is
+//! produced as a squared norm and a square root would cost another pipeline
+//! stage.
+//!
+//! Two smooth functions are tabulated over uniform segments of `[0, r_max²]`
+//! as degree-[`DEG`] polynomials fit at Chebyshev nodes:
+//!
+//! * `V(s) = erf(α√s)/√s` — the long-range (mesh-complement) energy kernel;
+//!   analytic in `s` with `V(0) = 2α/√π`.
+//! * `F(s) = (V(s) − (2α/√π)·e^{−α²s})/s` — its radial force factor, also
+//!   analytic with `F(0) = (2α/√π)·2α²/3`.
+//!
+//! Both short- and long-range kernels derive from the pair:
+//!
+//! * `erf(αr)/r` energy/force = `(V, F)` directly — no square root at all;
+//! * `erfc(αr)/r` energy/force = `(1/r − V, 1/r³ − F)` — one square root,
+//!   using `erfc = 1 − erf` exactly (the complement identity in `s`).
+//!
+//! The fit error is ~1 ulp (see the error budget in DESIGN.md §10): with
+//! segments of width `Δ(α²s) ≤ 1/8` the degree-8 Chebyshev remainder is
+//! below 1e-16 relative, so the table is *more* accurate than the A&S
+//! rational approximation previously used in the MD inner loops while
+//! costing no `exp`/`erf` at all. The exact series/continued-fraction path
+//! ([`crate::special`]) stays as the reference oracle; property tests bound
+//! the table against it at ≤1e-10 relative energy error over `[0, r_cut]`.
+
+use crate::cast::floor_usize;
+use crate::special::{erf, TWO_OVER_SQRT_PI};
+
+/// Polynomial degree per segment (9 coefficients, Horner-evaluated).
+pub const DEG: usize = 8;
+const NCOEF: usize = DEG + 1;
+
+/// Per-segment coefficient block: `V` coefficients then `F` coefficients,
+/// interleaved per segment so one cache line covers most of a lookup.
+type Segment = [f64; 2 * NCOEF];
+
+/// Tabulated `erf(αr)/r` / `erfc(αr)/r` energy+force pair kernels on
+/// `r ∈ [0, r_max]`, indexed by `r²`.
+///
+/// Built once at plan time ([`PairKernelTable::new`]); lookups are pure
+/// float arithmetic (segment index, two Horner chains) and therefore
+/// bitwise-deterministic regardless of thread count.
+#[derive(Clone, Debug)]
+pub struct PairKernelTable {
+    alpha: f64,
+    r_max: f64,
+    s_max: f64,
+    /// Segments per unit `s`: `idx = floor(s · inv_h)`.
+    inv_h: f64,
+    segs: Vec<Segment>,
+}
+
+impl PairKernelTable {
+    /// Build the table for splitting parameter `alpha` covering pair
+    /// distances up to `r_max` (use the neighbour-list cutoff, not the
+    /// force cutoff, so every listed pair is in range).
+    ///
+    /// Segment width is chosen so `Δ(α²s) ≤ 1/8`, keeping the degree-8
+    /// Chebyshev fit at ulp-level accuracy for any `alpha`.
+    pub fn new(alpha: f64, r_max: f64) -> Self {
+        // α = 0 is allowed: V ≡ F ≡ 0 and the erfc kernel degenerates to
+        // the bare Coulomb 1/r — what an unscreened cutoff solver needs.
+        assert!(
+            alpha >= 0.0 && r_max > 0.0 && alpha.is_finite() && r_max.is_finite(),
+            "PairKernelTable needs finite positive r_max ({r_max}) and alpha ≥ 0 ({alpha})"
+        );
+        let s_max = r_max * r_max;
+        let u_max = alpha * alpha * s_max;
+        let n_seg = ((u_max * 8.0).ceil().max(32.0) as usize).min(4096); // lint:allow(l1) — bounded by the min/max clamps
+        let h = s_max / n_seg as f64;
+        let inv_h = n_seg as f64 / s_max;
+        let mut segs = Vec::with_capacity(n_seg);
+        for i in 0..n_seg {
+            let lo = i as f64 * h;
+            let mut seg = [0.0; 2 * NCOEF];
+            let v_fit = fit_segment(lo, h, |s| v_exact(alpha, s));
+            let f_fit = fit_segment(lo, h, |s| f_exact(alpha, s));
+            seg[..NCOEF].copy_from_slice(&v_fit);
+            seg[NCOEF..].copy_from_slice(&f_fit);
+            segs.push(seg);
+        }
+        Self {
+            alpha,
+            r_max,
+            s_max,
+            inv_h,
+            segs,
+        }
+    }
+
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Largest pair distance the table covers (lookups beyond it clamp to
+    /// the last segment and lose accuracy — callers cut off before this).
+    pub fn r_max(&self) -> f64 {
+        self.r_max
+    }
+
+    pub fn segments(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Whether a squared distance lies inside the tabulated range — callers
+    /// with unbounded pair distances (exclusion corrections on stretched
+    /// bonded pairs) fall back to the exact kernel outside it.
+    #[inline]
+    pub fn covers(&self, r2: f64) -> bool {
+        r2 <= self.s_max
+    }
+
+    /// Raw tabulated pair `(V(s), F(s))` at `s = r²` — two Horner chains
+    /// over one segment's coefficient block.
+    #[inline]
+    pub fn eval_vf(&self, s: f64) -> (f64, f64) {
+        debug_assert!(
+            s >= 0.0 && s <= self.s_max * (1.0 + 1e-9),
+            "table lookup outside [0, r_max²]: s = {s}, s_max = {}",
+            self.s_max
+        );
+        let x = s * self.inv_h;
+        let i = floor_usize(x).min(self.segs.len() - 1);
+        // Local Chebyshev variable t ∈ [−1, 1] within segment i.
+        let t = 2.0 * (x - i as f64) - 1.0;
+        let c = &self.segs[i];
+        let mut v = c[DEG];
+        let mut f = c[NCOEF + DEG];
+        for k in (0..DEG).rev() {
+            v = v * t + c[k];
+            f = f * t + c[NCOEF + k];
+        }
+        (v, f)
+    }
+
+    /// Long-range kernel at squared distance `r2`: returns
+    /// `(erf(αr)/r, (erf(αr)/r − 2α/√π·e^{−α²r²})/r²)` — energy and radial
+    /// force factor, with *no* square root (both are smooth in `r²`).
+    #[inline]
+    pub fn erf_kernel_r2(&self, r2: f64) -> (f64, f64) {
+        self.eval_vf(r2)
+    }
+
+    /// Short-range kernel at squared distance `r2`: returns
+    /// `(erfc(αr)/r, erfc(αr)/r³ + 2α/√π·e^{−α²r²}/r²)` via the exact
+    /// complement `erfc/r = 1/r − erf/r` — one square root per pair.
+    #[inline]
+    pub fn erfc_kernel_r2(&self, r2: f64) -> (f64, f64) {
+        let (v, f) = self.eval_vf(r2);
+        let inv_r = 1.0 / r2.sqrt();
+        let inv_r3 = inv_r * inv_r * inv_r;
+        (inv_r - v, inv_r3 - f)
+    }
+}
+
+/// Fit one segment `[lo, lo+h]` with a degree-[`DEG`] polynomial in the
+/// local variable `t ∈ [−1, 1]`: sample at Chebyshev nodes, compute the
+/// Chebyshev-basis interpolant, convert to monomial coefficients for
+/// Horner evaluation (well-conditioned at this low degree).
+fn fit_segment(lo: f64, h: f64, f: impl Fn(f64) -> f64) -> [f64; NCOEF] {
+    // Chebyshev points of the first kind and the sampled values.
+    let mut fx = [0.0; NCOEF];
+    for (j, slot) in fx.iter_mut().enumerate() {
+        let theta = std::f64::consts::PI * (j as f64 + 0.5) / NCOEF as f64;
+        let t = theta.cos();
+        *slot = f(lo + 0.5 * h * (t + 1.0));
+    }
+    // Chebyshev coefficients by the discrete cosine sum.
+    let mut cheb = [0.0; NCOEF];
+    for (k, ck) in cheb.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (j, &v) in fx.iter().enumerate() {
+            let theta = std::f64::consts::PI * (j as f64 + 0.5) / NCOEF as f64;
+            acc += v * (k as f64 * theta).cos();
+        }
+        *ck = acc * 2.0 / NCOEF as f64;
+    }
+    cheb[0] *= 0.5;
+    // Accumulate c_k · T_k(t) in the monomial basis via the three-term
+    // recurrence T_{k+1} = 2t·T_k − T_{k−1}.
+    let mut mono = [0.0; NCOEF];
+    let mut t_prev = [0.0; NCOEF]; // T_{k−1}
+    let mut t_cur = [0.0; NCOEF]; // T_k
+    t_prev[0] = 1.0; // T_0 = 1
+    t_cur[1] = 1.0; // T_1 = t
+    mono[0] += cheb[0];
+    for (k, &ck) in cheb.iter().enumerate().skip(1) {
+        for (m, &tc) in t_cur.iter().enumerate() {
+            mono[m] += ck * tc;
+        }
+        if k + 1 < NCOEF {
+            let mut t_next = [0.0; NCOEF];
+            for m in 0..NCOEF - 1 {
+                t_next[m + 1] = 2.0 * t_cur[m];
+            }
+            for (m, &tp) in t_prev.iter().enumerate() {
+                t_next[m] -= tp;
+            }
+            t_prev = t_cur;
+            t_cur = t_next;
+        }
+    }
+    mono
+}
+
+/// Exact `V(s) = erf(α√s)/√s`, series near zero to dodge the 0/0 form.
+fn v_exact(alpha: f64, s: f64) -> f64 {
+    let u = alpha * alpha * s; // (αr)²
+    if u <= 0.25 {
+        // V = α·(2/√π)·Σ_{k≥0} (−u)^k / (k!(2k+1)); converges in ~10 terms.
+        let mut sum = 0.0;
+        let mut pow = 1.0; // (−u)^k / k!
+        for k in 0..24u32 {
+            sum += pow / (2 * k + 1) as f64;
+            pow *= -u / (k + 1) as f64;
+        }
+        alpha * TWO_OVER_SQRT_PI * sum
+    } else {
+        let r = s.sqrt();
+        erf(alpha * r) / r
+    }
+}
+
+/// Exact `F(s) = (V(s) − (2α/√π)e^{−α²s})/s`, series near zero where the
+/// numerator cancels to O(s).
+fn f_exact(alpha: f64, s: f64) -> f64 {
+    let u = alpha * alpha * s;
+    if u <= 0.25 {
+        // F = (2α³/√π)·Σ_{k≥1} (−1)^{k+1} u^{k−1} · 2k / (k!(2k+1)).
+        let mut sum = 0.0;
+        let mut pow = 1.0; // u^{k−1}·(−1)^{k+1}/k!-ish, built iteratively
+        for k in 1..24u32 {
+            let coeff = (2 * k) as f64 / ((2 * k + 1) as f64);
+            sum += pow * coeff;
+            pow *= -u / ((k + 1) as f64);
+        }
+        // pow above carries 1/k! built by the running division by (k+1):
+        // k=1 term uses pow=1 (=1/1!), matching 2k/(k!(2k+1)) with the
+        // division by k! folded into the recurrence.
+        alpha * alpha * alpha * TWO_OVER_SQRT_PI * sum
+    } else {
+        let gauss = TWO_OVER_SQRT_PI * alpha * (-u).exp();
+        (v_exact(alpha, s) - gauss) / s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::special::erfc;
+
+    #[test]
+    fn v_exact_series_matches_direct_across_seam() {
+        let alpha = 2.0;
+        // u = 0.25 ⇒ s = 0.0625; probe both sides of the series hand-off.
+        for &s in &[0.0624f64, 0.0625, 0.0626, 1e-12, 0.01] {
+            let direct = erf(alpha * s.sqrt()) / s.sqrt();
+            let v = v_exact(alpha, s);
+            assert!(
+                ((v - direct) / direct).abs() < 1e-13,
+                "s={s}: {v} vs {direct}"
+            );
+        }
+        assert!((v_exact(alpha, 0.0) - alpha * TWO_OVER_SQRT_PI).abs() < 1e-15);
+    }
+
+    #[test]
+    fn f_exact_series_matches_direct_across_seam() {
+        let alpha = 2.0;
+        for &s in &[0.0624f64, 0.0626, 0.03, 0.06] {
+            let gauss = TWO_OVER_SQRT_PI * alpha * (-alpha * alpha * s).exp();
+            let direct = (erf(alpha * s.sqrt()) / s.sqrt() - gauss) / s;
+            let f = f_exact(alpha, s);
+            assert!(
+                ((f - direct) / direct).abs() < 1e-11,
+                "s={s}: {f} vs {direct}"
+            );
+        }
+        // F(0) = (2α/√π)·2α²/3.
+        let f0 = TWO_OVER_SQRT_PI * alpha * 2.0 * alpha * alpha / 3.0;
+        assert!(((f_exact(alpha, 0.0) - f0) / f0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn table_reproduces_exact_kernels() {
+        let alpha = 3.2;
+        let r_max = 0.9;
+        let table = PairKernelTable::new(alpha, r_max);
+        for i in 1..=900 {
+            let r = i as f64 * 1e-3;
+            let (ve, fe) = table.erf_kernel_r2(r * r);
+            let v_ref = erf(alpha * r) / r;
+            assert!(((ve - v_ref) / v_ref).abs() < 1e-13, "erf energy at r={r}");
+            let gauss = TWO_OVER_SQRT_PI * alpha * (-alpha * alpha * r * r).exp();
+            let f_ref = (v_ref - gauss) / (r * r);
+            assert!(((fe - f_ref) / f_ref).abs() < 1e-10, "erf force at r={r}");
+            let (se, sf) = table.erfc_kernel_r2(r * r);
+            let s_ref = erfc(alpha * r) / r;
+            assert!(
+                ((se - s_ref) / s_ref).abs() < 1e-10,
+                "erfc energy at r={r}: {se} vs {s_ref}"
+            );
+            let sf_ref = s_ref / (r * r) + gauss / (r * r);
+            assert!(
+                ((sf - sf_ref) / sf_ref).abs() < 1e-10,
+                "erfc force at r={r}"
+            );
+        }
+    }
+
+    #[test]
+    fn complement_identity_holds_to_rounding() {
+        // erfc_kernel + erf_kernel reconstruct 1/r and 1/r³ to within the
+        // final subtraction's rounding (the same V/F values are added
+        // back), so the split cannot leak kernel-approximation error.
+        let table = PairKernelTable::new(2.5, 1.2);
+        for i in 1..=40 {
+            let r2 = i as f64 * 0.03;
+            let (es, fs) = table.erfc_kernel_r2(r2);
+            let (el, fl) = table.erf_kernel_r2(r2);
+            let inv_r = 1.0 / r2.sqrt();
+            let inv_r3 = inv_r * inv_r * inv_r;
+            assert!((es + el - inv_r).abs() <= 2.0 * f64::EPSILON * inv_r);
+            assert!((fs + fl - inv_r3).abs() <= 2.0 * f64::EPSILON * inv_r3);
+        }
+    }
+
+    #[test]
+    fn lookup_clamps_at_the_far_edge() {
+        let table = PairKernelTable::new(2.0, 1.0);
+        // Exactly s_max lands on the (clamped) last segment.
+        let (v, _) = table.eval_vf(1.0);
+        let want = erf(2.0) / 1.0;
+        assert!(((v - want) / want).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite positive")]
+    fn rejects_negative_alpha() {
+        let _ = PairKernelTable::new(-1.0, 1.0);
+    }
+
+    #[test]
+    fn zero_alpha_degenerates_to_bare_coulomb() {
+        let table = PairKernelTable::new(0.0, 1.0);
+        for i in 1..=10 {
+            let r2 = i as f64 * 0.09;
+            let (e, f) = table.erfc_kernel_r2(r2);
+            let inv_r = 1.0 / r2.sqrt();
+            assert!((e - inv_r).abs() <= 2.0 * f64::EPSILON * inv_r);
+            let inv_r3 = inv_r * inv_r * inv_r;
+            assert!((f - inv_r3).abs() <= 2.0 * f64::EPSILON * inv_r3);
+        }
+    }
+}
