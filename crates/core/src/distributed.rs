@@ -22,6 +22,37 @@ pub fn level_prefactor(level: u32) -> f64 {
     1.0 / (1u64 << (level - 1)) as f64
 }
 
+/// A rejected [`Decomposition`] configuration: zero-sized axes or a grid
+/// that does not tile evenly over the node mesh.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecompositionError {
+    /// `nodes[axis]` is zero.
+    ZeroNodes { axis: usize },
+    /// `grid[axis]` is zero.
+    ZeroGrid { axis: usize },
+    /// `grid[axis]` is not a multiple of `nodes[axis]`.
+    NotDivisible {
+        axis: usize,
+        nodes: [usize; 3],
+        grid: [usize; 3],
+    },
+}
+
+impl std::fmt::Display for DecompositionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroNodes { axis } => write!(f, "node mesh has zero extent on axis {axis}"),
+            Self::ZeroGrid { axis } => write!(f, "grid has zero extent on axis {axis}"),
+            Self::NotDivisible { axis, nodes, grid } => write!(
+                f,
+                "grid {grid:?} not divisible by nodes {nodes:?} on axis {axis}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DecompositionError {}
+
 /// A block decomposition of a global grid over a 3-D node mesh.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Decomposition {
@@ -32,14 +63,33 @@ pub struct Decomposition {
 }
 
 impl Decomposition {
-    pub fn new(nodes: [usize; 3], grid: [usize; 3]) -> Self {
-        for a in 0..3 {
-            assert!(
-                grid[a].is_multiple_of(nodes[a]),
-                "grid {grid:?} not divisible by nodes {nodes:?}"
-            );
+    /// Validating constructor: every axis must be nonzero and the grid
+    /// must tile evenly over the node mesh. Degraded-mode re-planning
+    /// (DESIGN.md §11) re-decomposes around dead nodes at run time, so a
+    /// bad shape must surface as a typed error, not an abort.
+    pub fn try_new(nodes: [usize; 3], grid: [usize; 3]) -> Result<Self, DecompositionError> {
+        for axis in 0..3 {
+            if nodes[axis] == 0 {
+                return Err(DecompositionError::ZeroNodes { axis });
+            }
+            if grid[axis] == 0 {
+                return Err(DecompositionError::ZeroGrid { axis });
+            }
+            if !grid[axis].is_multiple_of(nodes[axis]) {
+                return Err(DecompositionError::NotDivisible { axis, nodes, grid });
+            }
         }
-        Self { nodes, grid }
+        Ok(Self { nodes, grid })
+    }
+
+    /// Panicking constructor for statically-known shapes; see
+    /// [`Decomposition::try_new`] for the checked variant.
+    pub fn new(nodes: [usize; 3], grid: [usize; 3]) -> Self {
+        match Self::try_new(nodes, grid) {
+            Ok(d) => d,
+            // lint:allow(l2) — documented panicking front-end over try_new
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Local block dims per node.
@@ -705,5 +755,29 @@ mod tests {
     #[should_panic(expected = "not divisible")]
     fn indivisible_decomposition_rejected() {
         let _ = Decomposition::new([3, 2, 2], [16, 16, 16]);
+    }
+
+    /// The checked constructor reports zero axes and indivisible shapes
+    /// as typed errors and accepts valid shapes.
+    #[test]
+    fn try_new_validates_shapes() {
+        assert_eq!(
+            Decomposition::try_new([0, 2, 2], [16, 16, 16]),
+            Err(DecompositionError::ZeroNodes { axis: 0 })
+        );
+        assert_eq!(
+            Decomposition::try_new([2, 2, 2], [16, 0, 16]),
+            Err(DecompositionError::ZeroGrid { axis: 1 })
+        );
+        assert_eq!(
+            Decomposition::try_new([2, 2, 3], [16, 16, 16]),
+            Err(DecompositionError::NotDivisible {
+                axis: 2,
+                nodes: [2, 2, 3],
+                grid: [16, 16, 16],
+            })
+        );
+        let ok = Decomposition::try_new([2, 4, 2], [8, 16, 8]);
+        assert_eq!(ok, Ok(Decomposition::new([2, 4, 2], [8, 16, 8])));
     }
 }

@@ -166,6 +166,67 @@ impl std::fmt::Display for TmeConfigError {
 
 impl std::error::Error for TmeConfigError {}
 
+/// A *runtime* numerical fault the solver detected mid-step — in release
+/// builds too, where the hot-path `debug_assert!` invariants are compiled
+/// out. Unlike [`TmeConfigError`] (a plan-time rejection) these are
+/// recoverable: the caller can answer by re-evaluating the step through
+/// the exact `erfc` oracle path ([`crate::Tme::compute_exact_with`])
+/// instead of the tabulated kernels, or by discarding the step (DESIGN.md
+/// §11).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TmeRecoverableError {
+    /// The total energy left the solver non-finite.
+    NonFiniteEnergy {
+        /// The offending value (NaN or ±∞).
+        value: f64,
+    },
+    /// A per-atom force component left the solver non-finite.
+    NonFiniteForce {
+        /// Index of the first offending atom.
+        atom: usize,
+    },
+    /// An input position/charge was non-finite before the solve even
+    /// started — recovery must fix the state, not the kernel.
+    NonFiniteInput {
+        /// Index of the first offending atom.
+        atom: usize,
+    },
+    /// The pair-kernel table does not cover the short-range cutoff, so
+    /// tabulated lookups would clamp silently; the exact-`erfc` path is
+    /// unaffected.
+    PairTableDomain {
+        /// Requested short-range cutoff.
+        r_cut: f64,
+        /// Largest distance the table covers.
+        r_table: f64,
+    },
+}
+
+impl std::fmt::Display for TmeRecoverableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NonFiniteEnergy { value } => {
+                write!(f, "non-finite energy {value} leaving the solver")
+            }
+            Self::NonFiniteForce { atom } => {
+                write!(f, "non-finite force on atom {atom} leaving the solver")
+            }
+            Self::NonFiniteInput { atom } => {
+                write!(
+                    f,
+                    "non-finite position/charge on atom {atom} entering the solver"
+                )
+            }
+            Self::PairTableDomain { r_cut, r_table } => write!(
+                f,
+                "pair-kernel table covers r ≤ {r_table} but the cutoff is {r_cut}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TmeRecoverableError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -34,7 +34,8 @@ pub mod timings;
 pub mod toplevel;
 pub mod workspace;
 
-pub use errors::TmeConfigError;
+pub use distributed::{Decomposition, DecompositionError};
+pub use errors::{TmeConfigError, TmeRecoverableError};
 pub use kernel::TensorKernel;
 pub use msm::Msm;
 pub use shells::GaussianFit;

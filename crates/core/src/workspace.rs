@@ -15,6 +15,7 @@
 //! hardware gets from its fixed GM accumulation network.
 
 use crate::convolve::{convolve_separable_into, ConvolveScratch, FoldedKernels};
+use crate::errors::TmeRecoverableError;
 use crate::levels::TransferScratch;
 use crate::solver::{Tme, TmeStats};
 use crate::timings::{elapsed_us, TmeStageTimings};
@@ -327,6 +328,90 @@ impl Tme {
         );
         &ws.out
     }
+
+    /// [`Self::compute_with`] with the hot-path invariants promoted to
+    /// *release-mode* checks returning a typed
+    /// [`TmeRecoverableError`] instead of a debug-only abort: the inputs
+    /// must be finite, the pair-kernel table must cover the cutoff, and
+    /// the energy/forces leaving the solver must be finite. On `Err` the
+    /// caller can re-evaluate the step through
+    /// [`Self::compute_exact_with`] (the exact-`erfc` oracle path) or
+    /// discard the step — DESIGN.md §11.
+    pub fn try_compute_with<'w>(
+        &self,
+        ws: &'w mut TmeWorkspace,
+        system: &CoulombSystem,
+    ) -> Result<&'w CoulombResult, TmeRecoverableError> {
+        validate_inputs(system)?;
+        // Table-domain violation: the tabulated short-range kernels clamp
+        // silently past r_max, so a cutoff beyond the table is corrupt
+        // output, not a crash — exactly the release-mode hazard this
+        // entry point exists to catch.
+        let r_table = self.pair_table.r_max();
+        if r_table < self.params.r_cut {
+            return Err(TmeRecoverableError::PairTableDomain {
+                r_cut: self.params.r_cut,
+                r_table,
+            });
+        }
+        self.compute_with(ws, system);
+        validate_result(&ws.out)?;
+        Ok(&ws.out)
+    }
+
+    /// Full Coulomb interaction with the short-range pair sum on the
+    /// **exact** `erfc` path (`pairwise::short_range_into`) instead of the
+    /// tabulated kernels — the recovery fallback for a step on which
+    /// [`Self::try_compute_with`] reported a fault, and the oracle the
+    /// accuracy tests compare against. Slower (one `erfc`+`exp` per pair)
+    /// but immune to table-domain faults.
+    pub fn compute_exact_with<'w>(
+        &self,
+        ws: &'w mut TmeWorkspace,
+        system: &CoulombSystem,
+    ) -> Result<&'w CoulombResult, TmeRecoverableError> {
+        validate_inputs(system)?;
+        self.long_range_with(ws, system);
+        let pool = Arc::clone(&ws.pool);
+        let t0 = Instant::now();
+        pairwise::short_range_into(
+            system,
+            self.params.alpha,
+            self.params.r_cut,
+            &pool,
+            &mut ws.pair,
+            &mut ws.out,
+        );
+        ws.timings.short_range_us = elapsed_us(t0);
+        ws.out.accumulate(&ws.mesh_out);
+        pairwise::self_term_into(system, self.params.alpha, &mut ws.out);
+        validate_result(&ws.out)?;
+        Ok(&ws.out)
+    }
+}
+
+/// Reject non-finite positions/charges before they poison the pipeline.
+fn validate_inputs(system: &CoulombSystem) -> Result<(), TmeRecoverableError> {
+    for (i, p) in system.pos.iter().enumerate() {
+        if !(p.iter().all(|c| c.is_finite()) && system.q[i].is_finite()) {
+            return Err(TmeRecoverableError::NonFiniteInput { atom: i });
+        }
+    }
+    Ok(())
+}
+
+/// Reject non-finite energy/forces leaving the solver (the release-mode
+/// version of the `compute_with` debug assertion).
+fn validate_result(out: &CoulombResult) -> Result<(), TmeRecoverableError> {
+    if !out.energy.is_finite() {
+        return Err(TmeRecoverableError::NonFiniteEnergy { value: out.energy });
+    }
+    for (i, f) in out.forces.iter().enumerate() {
+        if !f.iter().all(|c| c.is_finite()) {
+            return Err(TmeRecoverableError::NonFiniteForce { atom: i });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -402,6 +487,71 @@ mod tests {
         let mut ws = tme.make_workspace();
         let via_ws = tme.compute_with(&mut ws, &sys);
         assert_eq!(via_wrapper.energy.to_bits(), via_ws.energy.to_bits());
+    }
+
+    /// The checked entry point is the same computation: identical bits on
+    /// a healthy system, and a typed (not panicking) rejection of
+    /// non-finite inputs in release builds.
+    #[test]
+    fn try_compute_validates_and_matches_bitwise() {
+        let box_l = 4.0;
+        let sys = random_neutral_system(30, box_l, 31);
+        let tme = Tme::new(params(16, 1), [box_l; 3]);
+        let mut ws = tme.make_workspace();
+        let plain = tme.compute_with(&mut ws, &sys).clone();
+        let mut ws2 = tme.make_workspace();
+        let checked = match tme.try_compute_with(&mut ws2, &sys) {
+            Ok(out) => out.clone(),
+            Err(e) => panic!("healthy system rejected: {e}"),
+        };
+        assert_eq!(plain.energy.to_bits(), checked.energy.to_bits());
+        for (a, b) in plain.forces.iter().zip(&checked.forces) {
+            for c in 0..3 {
+                assert_eq!(a[c].to_bits(), b[c].to_bits());
+            }
+        }
+        // Poison one position: typed error naming the atom.
+        let mut bad = random_neutral_system(30, box_l, 31);
+        bad.pos[7][1] = f64::NAN;
+        assert_eq!(
+            tme.try_compute_with(&mut ws2, &bad).err(),
+            Some(TmeRecoverableError::NonFiniteInput { atom: 7 })
+        );
+        let mut bad_q = random_neutral_system(30, box_l, 31);
+        bad_q.q[3] = f64::INFINITY;
+        assert_eq!(
+            tme.try_compute_with(&mut ws2, &bad_q).err(),
+            Some(TmeRecoverableError::NonFiniteInput { atom: 3 })
+        );
+    }
+
+    /// The exact-`erfc` fallback is the oracle: it must agree with the
+    /// tabulated production path to table accuracy (~1e-9 relative) on a
+    /// healthy system, so falling back mid-run is physically safe.
+    #[test]
+    fn exact_fallback_agrees_with_table_path() {
+        let box_l = 4.0;
+        let sys = random_neutral_system(40, box_l, 37);
+        let tme = Tme::new(params(16, 1), [box_l; 3]);
+        let mut ws = tme.make_workspace();
+        let table = tme.compute_with(&mut ws, &sys).clone();
+        let mut ws2 = tme.make_workspace();
+        let exact = match tme.compute_exact_with(&mut ws2, &sys) {
+            Ok(out) => out,
+            Err(e) => panic!("exact fallback failed on a healthy system: {e}"),
+        };
+        let scale = table.energy.abs().max(1.0);
+        assert!(
+            (table.energy - exact.energy).abs() < 1e-8 * scale,
+            "{} vs {}",
+            table.energy,
+            exact.energy
+        );
+        for (a, b) in table.forces.iter().zip(&exact.forces) {
+            for c in 0..3 {
+                assert!((a[c] - b[c]).abs() < 1e-6, "{} vs {}", a[c], b[c]);
+            }
+        }
     }
 
     /// Same workspace, different thread counts: bitwise identical.

@@ -20,9 +20,12 @@
 //! * [`trajectory`] — extended-XYZ frame output for standard MD viewers
 //! * [`nve`] — velocity-Verlet NVE integrator and energy bookkeeping
 //!   (Fig. 4's observable)
+//! * [`checkpoint`] — bitwise checkpoint/restart of the NVE state and the
+//!   auto-checkpointing run loop (DESIGN.md §11)
 
 pub mod analysis;
 pub mod bonded;
+pub mod checkpoint;
 pub mod constraints;
 pub mod longrange;
 pub mod neighbors;
@@ -35,5 +38,6 @@ pub mod trajectory;
 pub mod units;
 pub mod water;
 
-pub use nve::{EnergyRecord, NveSim};
+pub use checkpoint::{run_with_checkpoints, CheckpointError, CheckpointedRun};
+pub use nve::{EnergyRecord, NveSim, RecoveryEvent};
 pub use topology::MdSystem;

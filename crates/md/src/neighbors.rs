@@ -204,6 +204,49 @@ impl VerletList {
         self.cutoff
     }
 
+    /// The stored pairs in iteration order. Exposed for checkpointing
+    /// (DESIGN.md §11): the pair order fixes the floating-point summation
+    /// order of the short-range forces, so a bitwise-identical restart
+    /// must restore the list verbatim rather than rebuild it.
+    pub fn pairs(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+
+    /// Effective skin (nm) after the half-box clamp applied at build time.
+    pub fn skin(&self) -> f64 {
+        self.skin
+    }
+
+    /// The box the minimum-image convention uses.
+    pub fn box_l(&self) -> V3 {
+        self.box_l
+    }
+
+    /// Reference positions the rebuild criterion measures drift against.
+    pub fn ref_pos(&self) -> &[V3] {
+        &self.ref_pos
+    }
+
+    /// Reassemble a list from checkpointed parts — the inverse of the
+    /// accessors above. The caller vouches that the parts came from a list
+    /// produced by [`VerletList::build`] (same exclusion filter, skin
+    /// already clamped); no pair search is repeated.
+    pub fn from_parts(
+        pairs: Vec<(u32, u32)>,
+        cutoff: f64,
+        skin: f64,
+        box_l: V3,
+        ref_pos: Vec<V3>,
+    ) -> Self {
+        Self {
+            pairs,
+            cutoff,
+            skin,
+            box_l,
+            ref_pos,
+        }
+    }
+
     /// True once some atom has moved more than `skin/2` since the build —
     /// beyond that a pair could have entered the cutoff unseen. (With a
     /// zero effective skin this is true for any movement.)

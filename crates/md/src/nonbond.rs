@@ -15,7 +15,7 @@
 use crate::neighbors::{CellList, VerletList};
 use crate::topology::MdSystem;
 use crate::units::COULOMB;
-use tme_num::special::{erf, TWO_OVER_SQRT_PI};
+use tme_num::special::{erf, erfc, TWO_OVER_SQRT_PI};
 use tme_num::table::PairKernelTable;
 use tme_num::vec3::V3;
 
@@ -60,6 +60,48 @@ pub fn short_range_verlet(
     let mut e = ShortRangeEnergy::default();
     list.for_each_pair(&sys.pos, |i, j, d, r2| {
         accumulate_pair(sys, i, j, d, r2, table, &mut e, forces);
+    });
+    e
+}
+
+/// [`short_range_verlet`] through the exact `erfc` oracle instead of the
+/// tabulated kernels — the graceful-degradation fallback when the table
+/// path produces a non-finite result (DESIGN.md §11). Slower (an `exp`
+/// and an `erfc` per pair) but with no table domain to violate.
+pub fn short_range_verlet_exact(
+    sys: &MdSystem,
+    list: &VerletList,
+    alpha: f64,
+    forces: &mut [V3],
+) -> ShortRangeEnergy {
+    assert_eq!(forces.len(), sys.len());
+    let mut e = ShortRangeEnergy::default();
+    list.for_each_pair(&sys.pos, |i, j, d, r2| {
+        let mut f_over_r = 0.0;
+        let (li, lj_) = (sys.lj[i], sys.lj[j]);
+        if li.epsilon > 0.0 && lj_.epsilon > 0.0 {
+            let sigma = 0.5 * (li.sigma + lj_.sigma);
+            let eps = (li.epsilon * lj_.epsilon).sqrt();
+            let s2 = sigma * sigma / r2;
+            let s6 = s2 * s2 * s2;
+            let s12 = s6 * s6;
+            e.lj += 4.0 * eps * (s12 - s6);
+            f_over_r += 24.0 * eps * (2.0 * s12 - s6) / r2;
+        }
+        let qq = sys.q[i] * sys.q[j];
+        if qq != 0.0 {
+            let r = r2.sqrt();
+            let ec = erfc(alpha * r) / r;
+            let gauss = TWO_OVER_SQRT_PI * alpha * (-alpha * alpha * r2).exp();
+            e.coulomb += COULOMB * qq * ec;
+            f_over_r += COULOMB * qq * (ec + gauss) / r2;
+        }
+        forces[i][0] += f_over_r * d[0];
+        forces[i][1] += f_over_r * d[1];
+        forces[i][2] += f_over_r * d[2];
+        forces[j][0] -= f_over_r * d[0];
+        forces[j][1] -= f_over_r * d[1];
+        forces[j][2] -= f_over_r * d[2];
     });
     e
 }
@@ -259,6 +301,36 @@ mod tests {
         for (a, b) in f_cell.iter().zip(&f_verlet) {
             for c in 0..3 {
                 assert!((a[c] - b[c]).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// The exact-`erfc` oracle (the DESIGN.md §11 fallback) agrees with
+    /// the tabulated hot path to table accuracy on a dense water box.
+    #[test]
+    fn exact_fallback_matches_table_path() {
+        use crate::water::water_box;
+        let sys = water_box(64, 6);
+        let alpha = 3.0;
+        let r_cut = 0.6;
+        let list = VerletList::build(&sys.pos, sys.box_l, r_cut, 0.2, |i, j| {
+            sys.is_excluded(i, j)
+        });
+        let table = table_for(alpha, r_cut);
+        let mut f_table = vec![[0.0; 3]; sys.len()];
+        let e_table = short_range_verlet(&sys, &list, &table, &mut f_table);
+        let mut f_exact = vec![[0.0; 3]; sys.len()];
+        let e_exact = short_range_verlet_exact(&sys, &list, alpha, &mut f_exact);
+        assert!((e_table.lj - e_exact.lj).abs() < 1e-10 * e_exact.lj.abs().max(1.0));
+        assert!((e_table.coulomb - e_exact.coulomb).abs() < 1e-8 * e_exact.coulomb.abs());
+        let scale = f_exact
+            .iter()
+            .flatten()
+            .fold(0.0f64, |m, c| m.max(c.abs()))
+            .max(1.0);
+        for (a, b) in f_table.iter().zip(&f_exact) {
+            for c in 0..3 {
+                assert!((a[c] - b[c]).abs() < 1e-8 * scale, "{a:?} vs {b:?}");
             }
         }
     }

@@ -12,16 +12,22 @@
 //! Total energy = kinetic + LJ + Coulomb(short + mesh + self + exclusion),
 //! in kJ/mol. The observable of Fig. 4 is this total vs time.
 
+use crate::checkpoint::CheckpointError;
 use crate::constraints::{settle_all_positions, settle_all_velocities, SettleGeom};
 use crate::longrange::{LongRange, LongRangeWorkspace};
 use crate::neighbors::VerletList;
 use crate::nonbond;
 use crate::topology::MdSystem;
 use crate::units::COULOMB;
+use tme_core::TmeRecoverableError;
 use tme_mesh::model::CoulombResult;
+use tme_num::bytes::{ByteReader, ByteWriter, CodecError};
 use tme_num::special::TWO_OVER_SQRT_PI;
 use tme_num::table::PairKernelTable;
 use tme_num::vec3::V3;
+
+/// Magic/version word of the [`NveSim::checkpoint`] byte format.
+const NVE_CHECKPOINT_MAGIC: u64 = u64::from_le_bytes(*b"TMENVE1\0");
 
 /// One sampled energy record (kJ/mol, ps, K).
 #[derive(Clone, Copy, Debug, Default)]
@@ -34,6 +40,19 @@ pub struct EnergyRecord {
     pub potential: f64,
     pub total: f64,
     pub temperature: f64,
+}
+
+/// One numerical-fault recovery the integrator performed mid-run
+/// (DESIGN.md §11): the tabulated short-range path produced a non-finite
+/// result and the step was re-evaluated through the exact `erfc` oracle.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryEvent {
+    /// Step count at which the fault was detected.
+    pub step: usize,
+    /// Simulation time (ps) at detection.
+    pub time: f64,
+    /// What the evaluation reported.
+    pub error: TmeRecoverableError,
 }
 
 /// An NVE simulation bound to a system and a long-range solver.
@@ -76,6 +95,14 @@ pub struct NveSim<'a> {
     /// (rebuilt only if α or the cutoff changes — steady-state stepping
     /// never reallocates it).
     pair_table: PairKernelTable,
+    /// Force the exact-`erfc` short-range path on every step (bypassing
+    /// the tabulated kernels). Normally off — it is the degraded mode the
+    /// fault fallback drops into per-evaluation.
+    pub exact_short_range: bool,
+    /// Faults detected and recovered from (exact-oracle re-evaluations).
+    recoveries: Vec<RecoveryEvent>,
+    /// The unrecoverable numerical fault that stopped stepping, if any.
+    last_error: Option<TmeRecoverableError>,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -118,8 +145,13 @@ impl<'a> NveSim<'a> {
             cached_mesh_energy: 0.0,
             mesh_weight: 1.0,
             pair_table: PairKernelTable::new(solver.alpha(), r_cut),
+            exact_short_range: false,
+            recoveries: Vec::new(),
+            last_error: None,
         };
-        sim.compute_forces();
+        if let Err(e) = sim.compute_forces() {
+            sim.last_error = Some(e);
+        }
         sim
     }
 
@@ -132,7 +164,13 @@ impl<'a> NveSim<'a> {
     }
 
     /// Recompute all forces and cache the potential-energy terms.
-    fn compute_forces(&mut self) {
+    ///
+    /// Numerical faults are handled per DESIGN.md §11: a non-finite result
+    /// from the tabulated short-range path is re-evaluated through the
+    /// exact `erfc` oracle (recorded in [`NveSim::recoveries`]); anything
+    /// still non-finite afterwards — mesh included — is unrecoverable here
+    /// and surfaces as a typed error for the checkpoint/restart layer.
+    fn compute_forces(&mut self) -> Result<(), TmeRecoverableError> {
         let alpha = self.solver.alpha();
         // Keep the kernel table consistent with the solver's splitting and
         // the (possibly caller-adjusted) cutoff; a no-op in steady state.
@@ -158,7 +196,25 @@ impl<'a> NveSim<'a> {
                 |i, j| sys.is_excluded(i, j),
             )),
         };
-        let short = nonbond::short_range_verlet(sys, list, &self.pair_table, &mut forces);
+        let short = if self.exact_short_range {
+            nonbond::short_range_verlet_exact(sys, list, alpha, &mut forces)
+        } else {
+            let s = nonbond::short_range_verlet(sys, list, &self.pair_table, &mut forces);
+            match short_range_fault(&s, &forces) {
+                None => s,
+                Some(error) => {
+                    // Graceful degradation: redo this evaluation through
+                    // the exact erfc oracle and record the recovery.
+                    self.recoveries.push(RecoveryEvent {
+                        step: self.step_count,
+                        time: self.time,
+                        error,
+                    });
+                    forces.fill([0.0; 3]);
+                    nonbond::short_range_verlet_exact(sys, list, alpha, &mut forces)
+                }
+            }
+        };
         // Bonded terms (flexible molecules; empty for pure rigid water).
         let bonded_energy = sys.bonded.evaluate(&sys.pos, sys.box_l, &mut forces);
         // Long range (mesh), reduced units → kJ/mol. With multiple time
@@ -171,6 +227,22 @@ impl<'a> NveSim<'a> {
         if self.step_count.is_multiple_of(interval) {
             self.solver
                 .mesh_into(&coul_sys, &mut self.lr_ws, &mut self.mesh_result);
+            // The mesh has no oracle fallback at this layer — a non-finite
+            // reciprocal result is unrecoverable in-step and goes to the
+            // checkpoint/restart layer as a typed error.
+            if !self.mesh_result.energy.is_finite() {
+                return Err(TmeRecoverableError::NonFiniteEnergy {
+                    value: self.mesh_result.energy,
+                });
+            }
+            if let Some(atom) = self
+                .mesh_result
+                .forces
+                .iter()
+                .position(|f| !f.iter().all(|c| c.is_finite()))
+            {
+                return Err(TmeRecoverableError::NonFiniteForce { atom });
+            }
             self.mesh_forces.clear();
             self.mesh_forces.extend(
                 self.mesh_result
@@ -215,17 +287,24 @@ impl<'a> NveSim<'a> {
             })
             .collect();
         // Forces are the solver↔integrator boundary: a NaN here (overlapping
-        // atoms, broken solver) would silently poison every later step.
-        debug_assert!(
-            self.forces.iter().all(|f| f.iter().all(|c| c.is_finite())),
-            "non-finite force after evaluation at t = {} ps",
-            self.time
-        );
+        // atoms, broken solver) would silently poison every later step —
+        // checked in release builds too, now that the caller can answer.
+        if let Some(atom) = self
+            .forces
+            .iter()
+            .position(|f| !f.iter().all(|c| c.is_finite()))
+        {
+            return Err(TmeRecoverableError::NonFiniteForce { atom });
+        }
+        Ok(())
     }
 
-    /// One velocity-Verlet + SETTLE step.
+    /// One velocity-Verlet + SETTLE step, surfacing unrecoverable
+    /// numerical faults as typed errors. On `Err` the in-flight step is
+    /// abandoned mid-update — restart from a checkpoint
+    /// ([`NveSim::restore`]) rather than continuing.
     #[allow(clippy::needless_range_loop)] // axis loops index parallel arrays
-    pub fn step(&mut self) {
+    pub fn try_step(&mut self) -> Result<(), TmeRecoverableError> {
         let dt = self.dt;
         let n = self.system.len();
         // Half kick + drift.
@@ -256,7 +335,7 @@ impl<'a> NveSim<'a> {
             }
         }
         // New forces, second half kick, velocity constraints.
-        self.compute_forces();
+        self.compute_forces()?;
         for i in 0..n {
             let inv_m = 1.0 / self.system.mass[i];
             for a in 0..3 {
@@ -283,6 +362,208 @@ impl<'a> NveSim<'a> {
             self.step_count,
             self.time
         );
+        Ok(())
+    }
+
+    /// One velocity-Verlet + SETTLE step. Infallible wrapper around
+    /// [`NveSim::try_step`]: a fault is latched into
+    /// [`NveSim::last_error`] and further stepping becomes a no-op until
+    /// the state is restored.
+    pub fn step(&mut self) {
+        if self.last_error.is_some() {
+            return;
+        }
+        if let Err(e) = self.try_step() {
+            self.last_error = Some(e);
+        }
+    }
+
+    /// The fault that stopped stepping, if any. Cleared by
+    /// [`NveSim::restore`].
+    pub fn last_error(&self) -> Option<TmeRecoverableError> {
+        self.last_error
+    }
+
+    /// Faults detected and recovered from in-step (oldest first).
+    pub fn recoveries(&self) -> &[RecoveryEvent] {
+        &self.recoveries
+    }
+
+    /// Serialise the full dynamical state for a bitwise-identical restart
+    /// (DESIGN.md §11): positions, velocities, every cached force view,
+    /// the r-RESPA mesh-impulse state, AND the Verlet list — its pair
+    /// order fixes the floating-point summation order of the short-range
+    /// forces, so rebuilding the list on restore would break bit identity.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(NVE_CHECKPOINT_MAGIC);
+        w.put_usize(self.system.len());
+        w.put_usize(self.system.waters.len());
+        w.put_u64(topology_fingerprint(&self.system));
+        w.put_f64(self.solver.alpha());
+        w.put_f64(self.dt);
+        w.put_f64(self.r_cut);
+        w.put_f64(self.skin);
+        w.put_usize(self.mesh_interval);
+        w.put_f64(self.time);
+        w.put_usize(self.step_count);
+        w.put_f64(self.cached_mesh_energy);
+        w.put_f64(self.mesh_weight);
+        w.put_f64(self.energies.lj);
+        w.put_f64(self.energies.coulomb);
+        w.put_f64(self.energies.bonded);
+        w.put_u8(u8::from(self.exact_short_range));
+        w.put_v3_slice(&self.system.pos);
+        w.put_v3_slice(&self.system.vel);
+        w.put_v3_slice(&self.forces);
+        w.put_v3_slice(&self.forces_fast);
+        w.put_v3_slice(&self.mesh_forces);
+        match &self.neighbours {
+            None => w.put_u8(0),
+            Some(l) => {
+                w.put_u8(1);
+                w.put_usize(l.pairs().len());
+                for &(i, j) in l.pairs() {
+                    w.put_u32(i);
+                    w.put_u32(j);
+                }
+                w.put_f64(l.cutoff());
+                w.put_f64(l.skin());
+                for b in l.box_l() {
+                    w.put_f64(b);
+                }
+                w.put_v3_slice(l.ref_pos());
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Restore a [`NveSim::checkpoint`] into this simulation, resuming the
+    /// trajectory bitwise. The checkpoint must belong to this system and
+    /// solver — guarded by atom/water counts, a topology fingerprint
+    /// (masses, charges, LJ parameters, box, exclusions), the solver's α
+    /// and the cutoff the kernel table was built for. The restore is
+    /// atomic: on `Err` the simulation is untouched. Clears any latched
+    /// [`NveSim::last_error`].
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let n = self.system.len();
+        let mut r = ByteReader::new(bytes);
+        r.expect_u64(NVE_CHECKPOINT_MAGIC)?;
+        if r.get_u64()? as usize != n {
+            return Err(CheckpointError::Mismatch { what: "atom count" });
+        }
+        if r.get_u64()? as usize != self.system.waters.len() {
+            return Err(CheckpointError::Mismatch {
+                what: "water count",
+            });
+        }
+        if r.get_u64()? != topology_fingerprint(&self.system) {
+            return Err(CheckpointError::Mismatch {
+                what: "topology fingerprint",
+            });
+        }
+        if r.get_f64()?.to_bits() != self.solver.alpha().to_bits() {
+            return Err(CheckpointError::Mismatch {
+                what: "solver splitting alpha",
+            });
+        }
+        let dt = r.get_f64()?;
+        let r_cut = r.get_f64()?;
+        // The pair-kernel table layout depends on the cutoff it was built
+        // over; a different cutoff would silently change lookup bits.
+        if r_cut.to_bits() != self.r_cut.to_bits() {
+            return Err(CheckpointError::Mismatch {
+                what: "short-range cutoff",
+            });
+        }
+        let skin = r.get_f64()?;
+        let mesh_interval = r.get_u64()? as usize;
+        let time = r.get_f64()?;
+        let step_count = r.get_u64()? as usize;
+        let cached_mesh_energy = r.get_f64()?;
+        let mesh_weight = r.get_f64()?;
+        let energies = CachedEnergies {
+            lj: r.get_f64()?,
+            coulomb: r.get_f64()?,
+            bonded: r.get_f64()?,
+        };
+        let exact_short_range = r.get_u8()? != 0;
+        let pos = r.get_v3_vec()?;
+        let vel = r.get_v3_vec()?;
+        let forces = r.get_v3_vec()?;
+        let forces_fast = r.get_v3_vec()?;
+        let mesh_forces = r.get_v3_vec()?;
+        for (what, v) in [
+            ("position array", &pos),
+            ("velocity array", &vel),
+            ("force array", &forces),
+            ("fast-force array", &forces_fast),
+            ("mesh-force array", &mesh_forces),
+        ] {
+            if v.len() != n {
+                return Err(CheckpointError::Mismatch { what });
+            }
+        }
+        let neighbours = match r.get_u8()? {
+            0 => None,
+            1 => {
+                let n_pairs = r.get_len(8)?;
+                let mut pairs = Vec::with_capacity(n_pairs);
+                for _ in 0..n_pairs {
+                    pairs.push((r.get_u32()?, r.get_u32()?));
+                }
+                if pairs
+                    .iter()
+                    .any(|&(i, j)| i as usize >= n || j as usize >= n)
+                {
+                    return Err(CheckpointError::Mismatch {
+                        what: "neighbour pair index",
+                    });
+                }
+                let cutoff = r.get_f64()?;
+                let list_skin = r.get_f64()?;
+                let box_l = [r.get_f64()?, r.get_f64()?, r.get_f64()?];
+                let ref_pos = r.get_v3_vec()?;
+                if ref_pos.len() != n {
+                    return Err(CheckpointError::Mismatch {
+                        what: "neighbour reference positions",
+                    });
+                }
+                Some(VerletList::from_parts(
+                    pairs, cutoff, list_skin, box_l, ref_pos,
+                ))
+            }
+            t => {
+                return Err(CheckpointError::Codec(CodecError::BadTag {
+                    at: bytes.len() - r.remaining() - 1,
+                    want: 1,
+                    got: u64::from(t),
+                }))
+            }
+        };
+        if !r.is_empty() {
+            return Err(CheckpointError::Codec(CodecError::BadLength {
+                at: bytes.len() - r.remaining(),
+                len: r.remaining() as u64,
+            }));
+        }
+        self.system.pos = pos;
+        self.system.vel = vel;
+        self.forces = forces;
+        self.forces_fast = forces_fast;
+        self.mesh_forces = mesh_forces;
+        self.neighbours = neighbours;
+        self.dt = dt;
+        self.skin = skin;
+        self.mesh_interval = mesh_interval;
+        self.time = time;
+        self.step_count = step_count;
+        self.cached_mesh_energy = cached_mesh_energy;
+        self.mesh_weight = mesh_weight;
+        self.energies = energies;
+        self.exact_short_range = exact_short_range;
+        self.last_error = None;
+        Ok(())
     }
 
     /// Current energies (uses cached potential terms from the last force
@@ -303,16 +584,63 @@ impl<'a> NveSim<'a> {
     }
 
     /// Run `steps` steps, sampling every `sample_every` (plus t = 0).
+    /// Stops early (with the records gathered so far) if a numerical
+    /// fault latches into [`NveSim::last_error`].
     pub fn run(&mut self, steps: usize, sample_every: usize) -> Vec<EnergyRecord> {
         let mut records = vec![self.energy_record()];
         for s in 1..=steps {
             self.step();
+            if self.last_error.is_some() {
+                break;
+            }
             if s % sample_every.max(1) == 0 {
                 records.push(self.energy_record());
             }
         }
         records
     }
+}
+
+/// FNV-1a over the immutable topology (masses, charges, LJ parameters,
+/// box, exclusions) — the guard that a checkpoint is only restored into
+/// the system it was taken from.
+fn topology_fingerprint(sys: &MdSystem) -> u64 {
+    fn mix(h: u64, v: u64) -> u64 {
+        (h ^ v).wrapping_mul(0x0000_0100_0000_01b3)
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &m in &sys.mass {
+        h = mix(h, m.to_bits());
+    }
+    for &q in &sys.q {
+        h = mix(h, q.to_bits());
+    }
+    for l in &sys.lj {
+        h = mix(h, l.sigma.to_bits());
+        h = mix(h, l.epsilon.to_bits());
+    }
+    for b in sys.box_l {
+        h = mix(h, b.to_bits());
+    }
+    for &(i, j) in &sys.exclusions {
+        h = mix(h, i as u64);
+        h = mix(h, j as u64);
+    }
+    h
+}
+
+/// Classify a non-finite short-range result, if any.
+fn short_range_fault(e: &nonbond::ShortRangeEnergy, forces: &[V3]) -> Option<TmeRecoverableError> {
+    if !e.lj.is_finite() {
+        return Some(TmeRecoverableError::NonFiniteEnergy { value: e.lj });
+    }
+    if !e.coulomb.is_finite() {
+        return Some(TmeRecoverableError::NonFiniteEnergy { value: e.coulomb });
+    }
+    forces
+        .iter()
+        .position(|f| !f.iter().all(|c| c.is_finite()))
+        .map(|atom| TmeRecoverableError::NonFiniteForce { atom })
 }
 
 /// Least-squares drift (kJ/mol/ps) of the total energy across records —

@@ -1,0 +1,735 @@
+//! Deterministic fault injection for the machine simulator (DESIGN.md §11).
+//!
+//! MDGRAPE-4A is a 512-SoC machine with no spare nodes; the paper's
+//! schedules assume every link, SoC and the TMENW octree stay healthy for
+//! the whole run. This module asks the co-design question the paper
+//! leaves open: *what does a fault cost?* It injects three families of
+//! hardware faults into the discrete-event schedule and models the
+//! machine's graceful-degradation responses:
+//!
+//! * **Torus link faults** — a link of the observed node dies (traffic
+//!   reroutes around a neighbour: 1 hop becomes 3, computed by
+//!   [`crate::network::torus_hops_routed`]) or degrades (bandwidth
+//!   derated by a configured factor).
+//! * **SoC dropout** — a node dies; the run re-decomposes the workload
+//!   over the survivors (a one-time CGP re-planning span) and every
+//!   surviving node carries `nodes/(nodes − dead)` of the original load.
+//! * **TMENW timeouts** — a top-level round trip times out and is
+//!   retried with exponential backoff up to a retry budget.
+//!
+//! All randomness comes from one seeded [`SplitMix64`] stream with a
+//! fixed per-step draw order, so a fault scenario is a pure function of
+//! `(seed, rates, step count)` — bitwise reproducible across platforms,
+//! thread counts and checkpoint/restart boundaries. Every injected event
+//! and the recovery it triggered is recorded as a [`FaultRecord`] so the
+//! degraded-step overhead is quantifiable per event class.
+
+use crate::config::MachineConfig;
+use crate::network;
+use tme_num::bytes::{ByteReader, ByteWriter, CodecError};
+use tme_num::rng::SplitMix64;
+
+/// Fault rates and recovery parameters. All `*_per_step` fields are
+/// per-step probabilities in `[0, 1]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the injection stream; equal seeds replay equal scenarios.
+    pub seed: u64,
+    /// Probability per step that a healthy observed-node link dies.
+    pub link_fail_per_step: f64,
+    /// Probability per step that a healthy link degrades.
+    pub link_degrade_per_step: f64,
+    /// Bandwidth multiplier of a degraded link (e.g. 0.5 = half rate).
+    pub degrade_factor: f64,
+    /// Probability per step that another SoC drops out.
+    pub soc_fail_per_step: f64,
+    /// Probability that one TMENW round-trip attempt times out.
+    pub tmenw_timeout_per_attempt: f64,
+    /// Retry budget for a timed-out TMENW round trip.
+    pub max_retries: u32,
+    /// First retry backoff (µs); doubles per further retry.
+    pub backoff_base_us: f64,
+    /// One-time CGP re-planning cost (µs) after a SoC dropout.
+    pub redecompose_us: f64,
+}
+
+impl FaultConfig {
+    /// A configuration that never injects anything — the identity model.
+    #[must_use]
+    pub fn quiet(seed: u64) -> Self {
+        Self {
+            seed,
+            link_fail_per_step: 0.0,
+            link_degrade_per_step: 0.0,
+            degrade_factor: 0.5,
+            soc_fail_per_step: 0.0,
+            tmenw_timeout_per_attempt: 0.0,
+            max_retries: 3,
+            backoff_base_us: 2.0,
+            redecompose_us: 25.0,
+        }
+    }
+
+    /// A chaos configuration with every fault family at `rate` (the
+    /// sweep axis of `chaos_run`).
+    #[must_use]
+    pub fn chaos(seed: u64, rate: f64) -> Self {
+        Self {
+            link_fail_per_step: rate,
+            link_degrade_per_step: 2.0 * rate,
+            soc_fail_per_step: rate,
+            tmenw_timeout_per_attempt: 4.0 * rate,
+            ..Self::quiet(seed)
+        }
+    }
+}
+
+/// An injected hardware event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Observed-node torus link `link` (0..6: ±x, ±y, ±z) died.
+    LinkFailed { link: usize },
+    /// Observed-node torus link `link` degraded.
+    LinkDegraded { link: usize },
+    /// Another SoC dropped out (`dead` total so far).
+    SocFailed { dead: usize },
+    /// TMENW round-trip attempt `attempt` (0-based) timed out.
+    TmenwTimeout { attempt: u32 },
+}
+
+/// The recovery the machine model applied to a [`FaultEvent`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RecoveryAction {
+    /// Traffic rerouted around the dead link; each former 1-hop transfer
+    /// now takes `1 + extra_hops` hops.
+    Rerouted { extra_hops: usize },
+    /// Link kept in service at `factor` of its bandwidth.
+    Derated { factor: f64 },
+    /// Workload re-decomposed over the survivors; each carries
+    /// `load_factor ≥ 1` of its original share.
+    Redecomposed { load_factor: f64 },
+    /// Round trip retried after an exponential backoff.
+    RetriedAfterBackoff { backoff_us: f64 },
+    /// Retry budget exhausted; the step proceeds with the last attempt's
+    /// result (the driver is expected to fall back, e.g. to the exact
+    /// pairwise path).
+    RetriesExhausted,
+}
+
+/// One injected event, the recovery applied, and the directly
+/// attributable overhead. Transfer-stretch overheads (reroute/derate)
+/// are schedule-dependent and land in the step's aggregate
+/// `fault_overhead_us` instead of per record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultRecord {
+    /// Step index the event fired on.
+    pub step: u64,
+    pub event: FaultEvent,
+    pub action: RecoveryAction,
+    /// Overhead directly attributable to this record (µs).
+    pub overhead_us: f64,
+}
+
+/// The per-step fault picture consumed by the step scheduler: computed
+/// once per step by [`FaultModel::begin_step`] from the RNG stream, then
+/// read as plain data while scheduling (no draws mid-schedule, so the
+/// schedule shape cannot perturb the stream).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StepFaults {
+    /// Extra hops every former 1-hop observed-node transfer now takes
+    /// (0 when all links are alive; detour via
+    /// [`network::torus_hops_routed`] otherwise).
+    pub reroute_extra_hops: usize,
+    /// Worst surviving-link bandwidth multiplier (1.0 = healthy).
+    pub bandwidth_factor: f64,
+    /// Per-surviving-node load multiplier `nodes/(nodes − dead)`.
+    pub load_factor: f64,
+    /// One-time CGP re-planning span this step (µs; 0 when no SoC died).
+    pub redecompose_us: f64,
+    /// TMENW round-trip attempts that timed out this step.
+    pub tmenw_retries: u32,
+    /// Total exponential-backoff wait accompanying those retries (µs).
+    pub tmenw_backoff_us: f64,
+}
+
+impl StepFaults {
+    /// The no-fault picture (also what a healthy step draws).
+    #[must_use]
+    pub fn clean() -> Self {
+        Self {
+            reroute_extra_hops: 0,
+            bandwidth_factor: 1.0,
+            load_factor: 1.0,
+            redecompose_us: 0.0,
+            tmenw_retries: 0,
+            tmenw_backoff_us: 0.0,
+        }
+    }
+
+    /// True when this step's schedule is identical to a fault-free one.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        *self == Self::clean()
+    }
+}
+
+/// Persistent fault state across a run: which links/SoCs are down, the
+/// RNG stream position, and the records of everything injected so far.
+#[derive(Clone, Debug)]
+pub struct FaultModel {
+    cfg: FaultConfig,
+    rng: SplitMix64,
+    step: u64,
+    dead_links: [bool; 6],
+    degraded_links: [bool; 6],
+    dead_nodes: usize,
+    current: StepFaults,
+    /// Records drained by the step scheduler into the report.
+    pending: Vec<FaultRecord>,
+}
+
+/// Serialisation magic: `b"TMEFLT1\0"` as little-endian u64.
+const FAULT_MAGIC: u64 = u64::from_le_bytes(*b"TMEFLT1\0");
+
+impl FaultModel {
+    #[must_use]
+    pub fn new(cfg: FaultConfig) -> Self {
+        let rng = SplitMix64::seed_from_u64(cfg.seed);
+        Self {
+            cfg,
+            rng,
+            step: 0,
+            dead_links: [false; 6],
+            degraded_links: [false; 6],
+            dead_nodes: 0,
+            current: StepFaults::clean(),
+            pending: Vec::new(),
+        }
+    }
+
+    #[must_use]
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Steps already drawn.
+    #[must_use]
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    #[must_use]
+    pub fn dead_nodes(&self) -> usize {
+        self.dead_nodes
+    }
+
+    /// The picture drawn by the last [`Self::begin_step`].
+    #[must_use]
+    pub fn current(&self) -> StepFaults {
+        self.current
+    }
+
+    /// Drain the records accumulated since the last drain (the step
+    /// scheduler moves them into the [`crate::StepReport`]).
+    pub fn drain_records(&mut self) -> Vec<FaultRecord> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Draw this step's events in a fixed order (2 draws per link, 1 SoC
+    /// draw, then the TMENW attempt loop) and fold them into the
+    /// persistent state. Returns the resulting per-step picture.
+    pub fn begin_step(&mut self, cfg: &MachineConfig) -> StepFaults {
+        let step = self.step;
+        // Links: always two draws per link so the stream position does
+        // not depend on which links happen to be dead.
+        for link in 0..6 {
+            let fail = self.rng.uniform();
+            let degrade = self.rng.uniform();
+            if self.dead_links[link] {
+                continue;
+            }
+            if fail < self.cfg.link_fail_per_step {
+                self.dead_links[link] = true;
+                let extra = reroute_extra_hops(&self.dead_links, cfg.torus);
+                self.pending.push(FaultRecord {
+                    step,
+                    event: FaultEvent::LinkFailed { link },
+                    action: RecoveryAction::Rerouted { extra_hops: extra },
+                    overhead_us: 0.0,
+                });
+            } else if !self.degraded_links[link] && degrade < self.cfg.link_degrade_per_step {
+                self.degraded_links[link] = true;
+                self.pending.push(FaultRecord {
+                    step,
+                    event: FaultEvent::LinkDegraded { link },
+                    action: RecoveryAction::Derated {
+                        factor: self.cfg.degrade_factor,
+                    },
+                    overhead_us: 0.0,
+                });
+            }
+        }
+        // SoC dropout: at most one per step, never the last node.
+        let nodes = cfg.node_count();
+        let mut redecompose_us = 0.0;
+        let soc = self.rng.uniform();
+        if soc < self.cfg.soc_fail_per_step && self.dead_nodes + 1 < nodes {
+            self.dead_nodes += 1;
+            redecompose_us = self.cfg.redecompose_us;
+            let lf = nodes as f64 / (nodes - self.dead_nodes) as f64;
+            self.pending.push(FaultRecord {
+                step,
+                event: FaultEvent::SocFailed {
+                    dead: self.dead_nodes,
+                },
+                action: RecoveryAction::Redecomposed { load_factor: lf },
+                overhead_us: redecompose_us,
+            });
+        }
+        // TMENW: draw attempts until one succeeds or the budget runs out.
+        let mut retries = 0u32;
+        let mut backoff_us = 0.0;
+        loop {
+            let timeout = self.rng.uniform();
+            if timeout >= self.cfg.tmenw_timeout_per_attempt {
+                break;
+            }
+            if retries >= self.cfg.max_retries {
+                self.pending.push(FaultRecord {
+                    step,
+                    event: FaultEvent::TmenwTimeout { attempt: retries },
+                    action: RecoveryAction::RetriesExhausted,
+                    overhead_us: 0.0,
+                });
+                break;
+            }
+            let wait = self.cfg.backoff_base_us * f64::from(1u32 << retries.min(30));
+            backoff_us += wait;
+            self.pending.push(FaultRecord {
+                step,
+                event: FaultEvent::TmenwTimeout { attempt: retries },
+                action: RecoveryAction::RetriedAfterBackoff { backoff_us: wait },
+                overhead_us: wait,
+            });
+            retries += 1;
+        }
+        let bandwidth_factor = if self
+            .degraded_links
+            .iter()
+            .zip(&self.dead_links)
+            .any(|(&deg, &dead)| deg && !dead)
+        {
+            self.cfg.degrade_factor
+        } else {
+            1.0
+        };
+        self.current = StepFaults {
+            reroute_extra_hops: reroute_extra_hops(&self.dead_links, cfg.torus),
+            bandwidth_factor,
+            load_factor: nodes as f64 / (nodes - self.dead_nodes) as f64,
+            redecompose_us,
+            tmenw_retries: retries,
+            tmenw_backoff_us: backoff_us,
+        };
+        self.step += 1;
+        self.current
+    }
+
+    /// Serialise the full model state (config, RNG position, topology
+    /// damage) for checkpoint/restart. Pending records are drained by the
+    /// scheduler each step, so a between-steps checkpoint carries none.
+    pub fn write_bytes(&self, w: &mut ByteWriter) {
+        w.put_u64(FAULT_MAGIC);
+        w.put_u64(self.cfg.seed);
+        w.put_f64(self.cfg.link_fail_per_step);
+        w.put_f64(self.cfg.link_degrade_per_step);
+        w.put_f64(self.cfg.degrade_factor);
+        w.put_f64(self.cfg.soc_fail_per_step);
+        w.put_f64(self.cfg.tmenw_timeout_per_attempt);
+        w.put_u32(self.cfg.max_retries);
+        w.put_f64(self.cfg.backoff_base_us);
+        w.put_f64(self.cfg.redecompose_us);
+        w.put_u64(self.rng.state());
+        w.put_u64(self.step);
+        let mut links = 0u8;
+        let mut degraded = 0u8;
+        for i in 0..6 {
+            links |= u8::from(self.dead_links[i]) << i;
+            degraded |= u8::from(self.degraded_links[i]) << i;
+        }
+        w.put_u8(links);
+        w.put_u8(degraded);
+        w.put_usize(self.dead_nodes);
+    }
+
+    /// Counterpart of [`Self::write_bytes`].
+    pub fn read_bytes(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        r.expect_u64(FAULT_MAGIC)?;
+        let cfg = FaultConfig {
+            seed: r.get_u64()?,
+            link_fail_per_step: r.get_f64()?,
+            link_degrade_per_step: r.get_f64()?,
+            degrade_factor: r.get_f64()?,
+            soc_fail_per_step: r.get_f64()?,
+            tmenw_timeout_per_attempt: r.get_f64()?,
+            max_retries: r.get_u32()?,
+            backoff_base_us: r.get_f64()?,
+            redecompose_us: r.get_f64()?,
+        };
+        let rng = SplitMix64::from_state(r.get_u64()?);
+        let step = r.get_u64()?;
+        let links = r.get_u8()?;
+        let degraded = r.get_u8()?;
+        let dead_nodes = r.get_u64()? as usize;
+        let mut dead_links = [false; 6];
+        let mut degraded_links = [false; 6];
+        for i in 0..6 {
+            dead_links[i] = links & (1 << i) != 0;
+            degraded_links[i] = degraded & (1 << i) != 0;
+        }
+        Ok(Self {
+            cfg,
+            rng,
+            step,
+            dead_links,
+            degraded_links,
+            dead_nodes,
+            current: StepFaults::clean(),
+            pending: Vec::new(),
+        })
+    }
+}
+
+/// Detour cost of the worst dead observed-node link: BFS hops to the
+/// neighbour behind it, minus the healthy single hop. All six links dead
+/// means the node is isolated; the model then charges the torus diameter
+/// (the honest upper bound for any surviving indirect route).
+fn reroute_extra_hops(dead_links: &[bool; 6], dims: [usize; 3]) -> usize {
+    let origin = [0usize; 3];
+    let neighbour = |link: usize| -> [usize; 3] {
+        let axis = link / 2;
+        let mut c = origin;
+        c[axis] = if link.is_multiple_of(2) {
+            1 % dims[axis]
+        } else {
+            dims[axis] - 1
+        };
+        c
+    };
+    let blocked: Vec<([usize; 3], [usize; 3])> = (0..6)
+        .filter(|&l| dead_links[l])
+        .map(|l| (origin, neighbour(l)))
+        .collect();
+    if blocked.is_empty() {
+        return 0;
+    }
+    let mut worst = 0usize;
+    for &(_, dst) in &blocked {
+        let hops = network::torus_hops_routed(origin, dst, dims, |from, to| {
+            !blocked
+                .iter()
+                .any(|&(a, b)| (from == a && to == b) || (from == b && to == a))
+        });
+        let diameter = dims[0] / 2 + dims[1] / 2 + dims[2] / 2;
+        worst = worst.max(hops.unwrap_or(diameter).saturating_sub(1));
+    }
+    worst
+}
+
+/// Encode fault records (used by the run checkpoint).
+pub fn write_records(w: &mut ByteWriter, records: &[FaultRecord]) {
+    w.put_usize(records.len());
+    for rec in records {
+        w.put_u64(rec.step);
+        match rec.event {
+            FaultEvent::LinkFailed { link } => {
+                w.put_u8(0);
+                w.put_usize(link);
+            }
+            FaultEvent::LinkDegraded { link } => {
+                w.put_u8(1);
+                w.put_usize(link);
+            }
+            FaultEvent::SocFailed { dead } => {
+                w.put_u8(2);
+                w.put_usize(dead);
+            }
+            FaultEvent::TmenwTimeout { attempt } => {
+                w.put_u8(3);
+                w.put_u32(attempt);
+            }
+        }
+        match rec.action {
+            RecoveryAction::Rerouted { extra_hops } => {
+                w.put_u8(0);
+                w.put_usize(extra_hops);
+            }
+            RecoveryAction::Derated { factor } => {
+                w.put_u8(1);
+                w.put_f64(factor);
+            }
+            RecoveryAction::Redecomposed { load_factor } => {
+                w.put_u8(2);
+                w.put_f64(load_factor);
+            }
+            RecoveryAction::RetriedAfterBackoff { backoff_us } => {
+                w.put_u8(3);
+                w.put_f64(backoff_us);
+            }
+            RecoveryAction::RetriesExhausted => w.put_u8(4),
+        }
+        w.put_f64(rec.overhead_us);
+    }
+}
+
+/// Counterpart of [`write_records`].
+pub fn read_records(r: &mut ByteReader<'_>) -> Result<Vec<FaultRecord>, CodecError> {
+    // Each record is ≥ 22 bytes (step + tags + smallest payloads + overhead).
+    let len = r.get_len(22)?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        let step = r.get_u64()?;
+        let event = match r.get_u8()? {
+            0 => FaultEvent::LinkFailed {
+                link: r.get_u64()? as usize,
+            },
+            1 => FaultEvent::LinkDegraded {
+                link: r.get_u64()? as usize,
+            },
+            2 => FaultEvent::SocFailed {
+                dead: r.get_u64()? as usize,
+            },
+            3 => FaultEvent::TmenwTimeout {
+                attempt: r.get_u32()?,
+            },
+            tag => {
+                return Err(CodecError::BadTag {
+                    at: 0,
+                    want: 3,
+                    got: u64::from(tag),
+                })
+            }
+        };
+        let action = match r.get_u8()? {
+            0 => RecoveryAction::Rerouted {
+                extra_hops: r.get_u64()? as usize,
+            },
+            1 => RecoveryAction::Derated {
+                factor: r.get_f64()?,
+            },
+            2 => RecoveryAction::Redecomposed {
+                load_factor: r.get_f64()?,
+            },
+            3 => RecoveryAction::RetriedAfterBackoff {
+                backoff_us: r.get_f64()?,
+            },
+            4 => RecoveryAction::RetriesExhausted,
+            tag => {
+                return Err(CodecError::BadTag {
+                    at: 0,
+                    want: 4,
+                    got: u64::from(tag),
+                })
+            }
+        };
+        let overhead_us = r.get_f64()?;
+        out.push(FaultRecord {
+            step,
+            event,
+            action,
+            overhead_us,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
+    fn mcfg() -> MachineConfig {
+        MachineConfig::mdgrape4a()
+    }
+
+    /// Same seed → identical event logs and per-step pictures; different
+    /// seed → a different scenario.
+    #[test]
+    fn fault_stream_is_seed_deterministic() {
+        let c = mcfg();
+        let run = |seed: u64| {
+            let mut m = FaultModel::new(FaultConfig::chaos(seed, 0.05));
+            let mut pics = Vec::new();
+            let mut recs = Vec::new();
+            for _ in 0..50 {
+                pics.push(m.begin_step(&c));
+                recs.extend(m.drain_records());
+            }
+            (pics, recs)
+        };
+        let (p1, r1) = run(7);
+        let (p2, r2) = run(7);
+        assert_eq!(p1, p2);
+        assert_eq!(r1, r2);
+        let (p3, _) = run(8);
+        assert_ne!(p1, p3);
+    }
+
+    /// A quiet model never injects and always reports the clean picture.
+    #[test]
+    fn quiet_model_is_the_identity() {
+        let c = mcfg();
+        let mut m = FaultModel::new(FaultConfig::quiet(1));
+        for _ in 0..100 {
+            assert!(m.begin_step(&c).is_clean());
+        }
+        assert!(m.drain_records().is_empty());
+        assert_eq!(m.dead_nodes(), 0);
+    }
+
+    /// One dead link costs the 3-hop detour (2 extra); an isolated node
+    /// (all six links dead) charges the torus diameter. A model driven
+    /// to certain failure records the events with reroute recoveries.
+    #[test]
+    fn dead_link_costs_two_extra_hops() {
+        let mut one_dead = [false; 6];
+        one_dead[0] = true;
+        assert_eq!(reroute_extra_hops(&one_dead, [8, 8, 8]), 2);
+        assert_eq!(reroute_extra_hops(&[true; 6], [8, 8, 8]), 11);
+        let c = mcfg();
+        let mut cfg = FaultConfig::quiet(3);
+        cfg.link_fail_per_step = 1.0; // every link dies on step 0
+        let mut m = FaultModel::new(cfg);
+        let pic = m.begin_step(&c);
+        assert_eq!(pic.reroute_extra_hops, 11);
+        let recs = m.drain_records();
+        assert_eq!(
+            recs.iter()
+                .filter(|r| matches!(r.event, FaultEvent::LinkFailed { .. }))
+                .count(),
+            6
+        );
+        assert!(recs
+            .iter()
+            .all(|r| matches!(r.action, RecoveryAction::Rerouted { .. })));
+    }
+
+    /// SoC dropout raises the surviving-node load factor and charges the
+    /// one-time re-decomposition exactly once per failure.
+    #[test]
+    fn soc_dropout_redistributes_load() {
+        let c = mcfg();
+        let mut cfg = FaultConfig::quiet(9);
+        cfg.soc_fail_per_step = 1.0;
+        let mut m = FaultModel::new(cfg.clone());
+        let p1 = m.begin_step(&c);
+        assert!((p1.load_factor - 512.0 / 511.0).abs() < 1e-12);
+        assert_eq!(p1.redecompose_us, cfg.redecompose_us);
+        let p2 = m.begin_step(&c);
+        assert!((p2.load_factor - 512.0 / 510.0).abs() < 1e-12);
+        assert_eq!(m.dead_nodes(), 2);
+    }
+
+    /// TMENW retries follow the exponential backoff schedule and stop at
+    /// the retry budget.
+    #[test]
+    fn tmenw_backoff_is_exponential_and_bounded() {
+        let c = mcfg();
+        let mut cfg = FaultConfig::quiet(4);
+        cfg.tmenw_timeout_per_attempt = 1.0; // every attempt times out
+        cfg.max_retries = 3;
+        cfg.backoff_base_us = 2.0;
+        let mut m = FaultModel::new(cfg);
+        let pic = m.begin_step(&c);
+        assert_eq!(pic.tmenw_retries, 3);
+        // 2 + 4 + 8
+        assert!((pic.tmenw_backoff_us - 14.0).abs() < 1e-12);
+        let recs = m.drain_records();
+        assert!(recs
+            .iter()
+            .any(|r| matches!(r.action, RecoveryAction::RetriesExhausted)));
+    }
+
+    /// Checkpointed model state resumes the stream bit-for-bit: running
+    /// 30 steps straight equals 12 steps, serialise/deserialise, 18 more.
+    #[test]
+    fn model_checkpoint_resumes_bitwise() -> TestResult {
+        let c = mcfg();
+        let cfg = FaultConfig::chaos(11, 0.04);
+        let mut whole = FaultModel::new(cfg.clone());
+        let mut straight = Vec::new();
+        for _ in 0..30 {
+            straight.push(whole.begin_step(&c));
+            let _ = whole.drain_records();
+        }
+        let mut first = FaultModel::new(cfg);
+        let mut resumed_pics = Vec::new();
+        for _ in 0..12 {
+            resumed_pics.push(first.begin_step(&c));
+            let _ = first.drain_records();
+        }
+        let mut w = ByteWriter::new();
+        first.write_bytes(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let mut second = FaultModel::read_bytes(&mut r)?;
+        assert!(r.is_empty());
+        for _ in 0..18 {
+            resumed_pics.push(second.begin_step(&c));
+            let _ = second.drain_records();
+        }
+        assert_eq!(straight, resumed_pics);
+        Ok(())
+    }
+
+    /// Fault records round-trip through the codec.
+    #[test]
+    fn records_round_trip() -> TestResult {
+        let recs = vec![
+            FaultRecord {
+                step: 3,
+                event: FaultEvent::LinkFailed { link: 4 },
+                action: RecoveryAction::Rerouted { extra_hops: 2 },
+                overhead_us: 0.0,
+            },
+            FaultRecord {
+                step: 5,
+                event: FaultEvent::SocFailed { dead: 1 },
+                action: RecoveryAction::Redecomposed {
+                    load_factor: 512.0 / 511.0,
+                },
+                overhead_us: 25.0,
+            },
+            FaultRecord {
+                step: 9,
+                event: FaultEvent::TmenwTimeout { attempt: 1 },
+                action: RecoveryAction::RetriedAfterBackoff { backoff_us: 4.0 },
+                overhead_us: 4.0,
+            },
+        ];
+        let mut w = ByteWriter::new();
+        write_records(&mut w, &recs);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = read_records(&mut r)?;
+        assert_eq!(back, recs);
+        assert!(r.is_empty());
+        Ok(())
+    }
+
+    /// Corrupt record tags surface as typed errors, not aborts.
+    #[test]
+    fn corrupt_records_are_typed_errors() {
+        let mut w = ByteWriter::new();
+        w.put_usize(1);
+        w.put_u64(0); // step
+        w.put_u8(9); // bogus event tag
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            read_records(&mut r),
+            Err(CodecError::BadTag { .. }) | Err(CodecError::BadLength { .. })
+        ));
+    }
+}

@@ -27,6 +27,8 @@
 //!   cross-validating the coarse model
 //! * [`tmenw_detail`] — tree-level simulation of the TMENW octree round
 //!   trip (Fig. 7)
+//! * [`faults`] — deterministic fault injection and the machine's
+//!   graceful-degradation responses (DESIGN.md §11)
 //! * [`step`] — the full-step schedule (Fig. 9's content)
 //! * [`timechart`] — ASCII time charts (Fig. 9/10 rendering)
 //! * [`report`] — Table 2, §V.C overlap and §VI.A 64³ projections
@@ -35,6 +37,7 @@
 //! * [`nextgen`] — §VI.B next-generation what-if configurations
 
 pub mod config;
+pub mod faults;
 pub mod gcu_detail;
 pub mod modules;
 pub mod network;
@@ -48,5 +51,9 @@ pub mod tmenw_detail;
 pub mod workload;
 
 pub use config::MachineConfig;
-pub use step::{simulate_run, simulate_step, simulate_step_into, StepReport, StepScratch};
+pub use faults::{FaultConfig, FaultEvent, FaultModel, FaultRecord, RecoveryAction, StepFaults};
+pub use step::{
+    resume_run_faulted, simulate_run, simulate_run_faulted, simulate_step, simulate_step_faulted,
+    simulate_step_into, RunCheckpoint, RunReport, StepReport, StepScratch,
+};
 pub use workload::StepWorkload;

@@ -24,10 +24,12 @@
 //! "load imbalance" the paper blames for the apparent GCU wait time.
 
 use crate::config::MachineConfig;
+use crate::faults::{FaultModel, FaultRecord, StepFaults};
 use crate::modules;
 use crate::network;
 use crate::timeline::{barrier, Resource, Span, Time};
 use crate::workload::StepWorkload;
+use tme_num::bytes::{ByteReader, ByteWriter, CodecError};
 
 /// Per-module spans of the *observed* node plus global phase timings.
 #[derive(Clone, Debug)]
@@ -43,6 +45,15 @@ pub struct StepReport {
     /// The force-phase window (after coordinate exchange, before the
     /// final barrier).
     pub force_phase: (Time, Time),
+    /// Faults injected this step and the recoveries applied (empty on an
+    /// unfaulted step).
+    pub faults: Vec<FaultRecord>,
+    /// Scheduler-visible extra time this step paid for faults (µs):
+    /// reroute/derate transfer stretch, TMENW retries + backoff, GCU
+    /// load-factor stretch and re-decomposition. The *full* degraded
+    /// cost (including the load factor on GP/PP/LRU via the scaled atom
+    /// counts) is `total_us` versus a fault-free run of the same seed.
+    pub fault_overhead_us: Time,
 }
 
 impl StepReport {
@@ -120,6 +131,8 @@ impl StepScratch {
                 long_range_span: None,
                 long_range_phases: Vec::new(),
                 force_phase: (0.0, 0.0),
+                faults: Vec::new(),
+                fault_overhead_us: 0.0,
             },
         }
     }
@@ -155,8 +168,47 @@ pub fn simulate_step_into<'a>(
     w: &StepWorkload,
     scratch: &'a mut StepScratch,
 ) -> &'a StepReport {
+    schedule_step(cfg, w, scratch, StepFaults::clean(), Vec::new())
+}
+
+/// [`simulate_step_into`] under an active fault model: draws this step's
+/// events from the model's seeded stream and schedules the machine's
+/// degraded responses (reroute, derate, retry + backoff, re-plan).
+/// With a quiet model ([`crate::faults::FaultConfig::quiet`]) the
+/// schedule — and every floating-point value in the report — is bitwise
+/// identical to [`simulate_step_into`]: the fault path takes effect only
+/// when at least one fault is live.
+pub fn simulate_step_faulted<'a>(
+    cfg: &MachineConfig,
+    w: &StepWorkload,
+    scratch: &'a mut StepScratch,
+    model: &mut FaultModel,
+) -> &'a StepReport {
+    let picture = model.begin_step(cfg);
+    let records = model.drain_records();
+    schedule_step(cfg, w, scratch, picture, records)
+}
+
+/// The shared step scheduler. `f` is this step's fault picture
+/// ([`StepFaults::clean`] for the unfaulted entry points); `records` are
+/// the events behind it, moved into the report.
+fn schedule_step<'a>(
+    cfg: &MachineConfig,
+    w: &StepWorkload,
+    scratch: &'a mut StepScratch,
+    f: StepFaults,
+    records: Vec<FaultRecord>,
+) -> &'a StepReport {
+    let clean = f.is_clean();
+    let mut fault_overhead = 0.0;
     let nodes = cfg.node_count();
-    let atoms = node_atom_counts(w, nodes);
+    let mut atoms = node_atom_counts(w, nodes);
+    if f.load_factor != 1.0 {
+        // Survivors carry the dead nodes' share (re-decomposition).
+        for a in &mut atoms {
+            *a *= f.load_factor;
+        }
+    }
     let atoms_max = atoms.iter().cloned().fold(0.0, f64::max);
 
     // Observed-node module timelines, rewound in place.
@@ -170,17 +222,36 @@ pub fn simulate_step_into<'a>(
     let phases = &mut r.long_range_phases;
     phases.clear();
 
+    // ---- re-decomposition after a SoC loss: a one-time CGP re-plan
+    // excluding the dead node, before the step proper starts. ----
+    let step_start = if f.redecompose_us > 0.0 {
+        fault_overhead += f.redecompose_us;
+        let (_, e) = cgp.schedule(0.0, f.redecompose_us, "re-decomposition");
+        e
+    } else {
+        0.0
+    };
+
     // ---- INTEGRATE₁ (all nodes; barrier = slowest) ----
     let t_int1_obs = modules::gp_integrate_us(cfg, atoms_max);
-    gp.schedule(0.0, t_int1_obs, "INTEGRATE");
-    let int1_end = barrier(atoms.iter().map(|&a| modules::gp_integrate_us(cfg, a)))
+    gp.schedule(step_start, t_int1_obs, "INTEGRATE");
+    let int1_end = step_start
+        + barrier(atoms.iter().map(|&a| modules::gp_integrate_us(cfg, a)))
         + cfg.cgp_phase_overhead_us;
 
     // ---- coordinate exchange ----
     let coord_bytes = atoms_max * 16.0; // xyz + index per migrating sleeve atom
+    let mut t_coord = network::torus_transfer_us(cfg, coord_bytes, 1);
+    if !clean {
+        // Dead link: detour hops; degraded link: derated bandwidth.
+        let faulted = network::torus_transfer_us(cfg, coord_bytes, 1 + f.reroute_extra_hops)
+            / f.bandwidth_factor;
+        fault_overhead += faulted - t_coord;
+        t_coord = faulted;
+    }
     let (_, coord_end) = nw.schedule(
         int1_end,
-        network::torus_transfer_us(cfg, coord_bytes, 1) + cfg.cgp_phase_overhead_us,
+        t_coord + cfg.cgp_phase_overhead_us,
         "coord exchange",
     );
     let force_phase_start = coord_end;
@@ -215,15 +286,27 @@ pub fn simulate_step_into<'a>(
         phases.push(("CA".into(), t_ca));
         // CA sleeve exchange: local grid + 4-deep sleeves.
         let local = w.local_grid(cfg.torus[0]);
-        let t_sleeve = network::sleeve_exchange_us(cfg, local, 4)
+        let mut t_sleeve = network::sleeve_exchange_us(cfg, local, 4)
             + w.gcu_blocks_per_node(cfg.torus) as f64 * cfg.sleeve_us_per_block;
+        if !clean {
+            // The dead face's traffic detours; survivors carry the dead
+            // nodes' sleeve volume at possibly derated bandwidth.
+            let stretched =
+                t_sleeve * (1.0 + f.reroute_extra_hops as f64) * f.load_factor / f.bandwidth_factor;
+            fault_overhead += stretched - t_sleeve;
+            t_sleeve = stretched;
+        }
         let (_, sleeve_end) = nw.schedule(ca_end, t_sleeve, "CA sleeves");
         phases.push(("CA sleeves".into(), t_sleeve));
 
         // (2) Restrictions down to the top level (GCU, exclusive).
         let mut t = sleeve_end;
         for l in 1..=w.levels {
-            let d = modules::transfer_us(cfg, w, l);
+            let mut d = modules::transfer_us(cfg, w, l);
+            if f.load_factor != 1.0 {
+                fault_overhead += d * (f.load_factor - 1.0);
+                d *= f.load_factor;
+            }
             let (_, e) = gcu.schedule(t, d, format!("restriction L{l}"));
             phases.push((format!("restriction L{l}"), d));
             gcu_exclusive_total += d;
@@ -234,14 +317,26 @@ pub fn simulate_step_into<'a>(
         // (4) TMENW round trip starts as soon as top-level charges exist;
         // it runs on the octree, overlapping the GCU convolutions.
         let top_grid = w.grid >> w.levels;
-        let t_tmenw = network::tmenw_roundtrip_us(cfg, top_grid) + cfg.cgp_phase_overhead_us;
+        let rt = network::tmenw_roundtrip_us(cfg, top_grid);
+        let mut t_tmenw = rt + cfg.cgp_phase_overhead_us;
+        if f.tmenw_retries > 0 {
+            // Each timed-out attempt costs a full round trip plus its
+            // exponential backoff before the retry is issued.
+            let extra = f64::from(f.tmenw_retries) * rt + f.tmenw_backoff_us;
+            fault_overhead += extra;
+            t_tmenw += extra;
+        }
         let (_, tmenw_end) = tmenw.schedule(restrict_end, t_tmenw, "top-level round trip");
         phases.push(("TMENW round trip".into(), t_tmenw));
 
         // (3) Middle-level convolutions on the GCU (exclusive).
         let mut conv_end = restrict_end;
         for l in 1..=w.levels {
-            let d = modules::gcu_convolution_us(cfg, w, l);
+            let mut d = modules::gcu_convolution_us(cfg, w, l);
+            if f.load_factor != 1.0 {
+                fault_overhead += d * (f.load_factor - 1.0);
+                d *= f.load_factor;
+            }
             let (_, e) = gcu.schedule(conv_end, d, format!("convolution L{l}"));
             phases.push((format!("convolution L{l}"), d));
             gcu_exclusive_total += d;
@@ -256,7 +351,11 @@ pub fn simulate_step_into<'a>(
         phases.push(("CGP prep".into(), cfg.cgp_lr_software_us));
         up = prep_end;
         for l in (1..=w.levels).rev() {
-            let d = modules::transfer_us(cfg, w, l);
+            let mut d = modules::transfer_us(cfg, w, l);
+            if f.load_factor != 1.0 {
+                fault_overhead += d * (f.load_factor - 1.0);
+                d *= f.load_factor;
+            }
             let (_, e) = gcu.schedule(up, d, format!("prolongation L{l}"));
             phases.push((format!("prolongation L{l}"), d));
             gcu_exclusive_total += d;
@@ -282,9 +381,16 @@ pub fn simulate_step_into<'a>(
     let force_bytes = atoms_max * 12.0;
     let stall = gcu_exclusive_total;
     let tracks_end = barrier([pp_end + stall, bonded_end + stall, lr_end]);
+    let mut t_force = network::torus_transfer_us(cfg, force_bytes, 1);
+    if !clean {
+        let faulted = network::torus_transfer_us(cfg, force_bytes, 1 + f.reroute_extra_hops)
+            / f.bandwidth_factor;
+        fault_overhead += faulted - t_force;
+        t_force = faulted;
+    }
     let (_, force_exch_end) = nw.schedule(
         tracks_end,
-        network::torus_transfer_us(cfg, force_bytes, 1) + cfg.cgp_phase_overhead_us,
+        t_force + cfg.cgp_phase_overhead_us,
         "force exchange",
     );
     let force_phase_end = force_exch_end;
@@ -301,6 +407,8 @@ pub fn simulate_step_into<'a>(
     r.total_us = total;
     r.long_range_span = lr_span;
     r.force_phase = (force_phase_start, force_phase_end);
+    r.faults = records;
+    r.fault_overhead_us = fault_overhead;
     debug_assert_step_invariants(&scratch.report);
     &scratch.report
 }
@@ -384,33 +492,163 @@ fn debug_assert_step_invariants(r: &StepReport) {
 /// migrate between cells) and return the per-step totals — the quantity
 /// behind Table 2's "average time/step".
 pub fn simulate_run(cfg: &MachineConfig, w: &StepWorkload, steps: usize) -> RunReport {
-    let mut totals = Vec::with_capacity(steps);
-    // One workload copy and one scratch, mutated in place per step.
+    let mut report = RunReport::empty();
     let mut ws = w.clone();
     let mut scratch = StepScratch::new();
-    for s in 0..steps {
-        // Decorrelate the per-node fluctuation draw per step.
-        ws.imbalance_seed = s as u64;
-        // Multiple time stepping: evaluate the long-range part only every
-        // `long_range_every` steps (the Anton policy of the Table 2 note).
-        ws.long_range = w.long_range && s.is_multiple_of(ws.long_range_every.max(1));
-        totals.push(simulate_step_into(cfg, &ws, &mut scratch).total_us);
+    for s in report.step_us.len()..steps {
+        prepare_step_workload(&mut ws, w, s);
+        report
+            .step_us
+            .push(simulate_step_into(cfg, &ws, &mut scratch).total_us);
     }
-    RunReport { step_us: totals }
+    report
+}
+
+/// Per-step workload mutation shared by the run drivers: decorrelate the
+/// per-node fluctuation draw, and apply the multiple-time-stepping
+/// long-range policy (the Anton policy of the Table 2 note). Keyed on
+/// the step index alone so a resumed run replays identical workloads.
+fn prepare_step_workload(ws: &mut StepWorkload, w: &StepWorkload, s: usize) {
+    ws.imbalance_seed = s as u64;
+    ws.long_range = w.long_range && s.is_multiple_of(ws.long_range_every.max(1));
+}
+
+/// [`simulate_run`] under an active fault model: every step draws from
+/// the model's seeded stream, so the whole degraded run is a pure
+/// function of `(workload, fault seed, steps)`.
+pub fn simulate_run_faulted(
+    cfg: &MachineConfig,
+    w: &StepWorkload,
+    steps: usize,
+    model: &mut FaultModel,
+) -> RunReport {
+    let mut report = RunReport::empty();
+    continue_run_faulted(cfg, w, steps, model, &mut report);
+    report
+}
+
+/// Advance a (possibly restored) faulted run to `steps` total steps.
+fn continue_run_faulted(
+    cfg: &MachineConfig,
+    w: &StepWorkload,
+    steps: usize,
+    model: &mut FaultModel,
+    report: &mut RunReport,
+) {
+    let mut ws = w.clone();
+    let mut scratch = StepScratch::new();
+    for s in report.step_us.len()..steps {
+        prepare_step_workload(&mut ws, w, s);
+        let step = simulate_step_faulted(cfg, &ws, &mut scratch, model);
+        report.step_us.push(step.total_us);
+        report.faults.extend_from_slice(&step.faults);
+        report.fault_overhead_us += step.fault_overhead_us;
+    }
+}
+
+/// A between-steps snapshot of a faulted run: the partial [`RunReport`]
+/// plus the [`FaultModel`] state. Serialising and resuming reproduces
+/// the uninterrupted run bit-for-bit (the fault stream position and the
+/// per-step workload keying both travel with the checkpoint).
+#[derive(Clone, Debug)]
+pub struct RunCheckpoint {
+    pub report: RunReport,
+    pub model: FaultModel,
+}
+
+/// Serialisation magic: `b"TMERUN1\0"` as little-endian u64.
+const RUN_MAGIC: u64 = u64::from_le_bytes(*b"TMERUN1\0");
+
+impl RunCheckpoint {
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(RUN_MAGIC);
+        w.put_f64_slice(&self.report.step_us);
+        crate::faults::write_records(&mut w, &self.report.faults);
+        w.put_f64(self.report.fault_overhead_us);
+        self.model.write_bytes(&mut w);
+        w.into_bytes()
+    }
+
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        r.expect_u64(RUN_MAGIC)?;
+        let step_us = r.get_f64_vec()?;
+        let faults = crate::faults::read_records(&mut r)?;
+        let fault_overhead_us = r.get_f64()?;
+        let model = FaultModel::read_bytes(&mut r)?;
+        if !r.is_empty() {
+            return Err(CodecError::BadLength {
+                at: bytes.len() - r.remaining(),
+                len: r.remaining() as u64,
+            });
+        }
+        Ok(Self {
+            report: RunReport {
+                step_us,
+                faults,
+                fault_overhead_us,
+            },
+            model,
+        })
+    }
+}
+
+/// Resume a checkpointed faulted run and carry it to `steps` total steps.
+/// The result is bitwise identical to the uninterrupted
+/// [`simulate_run_faulted`] of the same workload and fault seed.
+pub fn resume_run_faulted(
+    cfg: &MachineConfig,
+    w: &StepWorkload,
+    steps: usize,
+    checkpoint: RunCheckpoint,
+) -> RunReport {
+    let RunCheckpoint {
+        mut report,
+        mut model,
+    } = checkpoint;
+    continue_run_faulted(cfg, w, steps, &mut model, &mut report);
+    report
 }
 
 /// Totals of a multi-step simulated run.
+///
+/// The summary statistics saturate on degenerate runs instead of
+/// producing NaN/∞: an empty run reports `mean == min == max == stddev
+/// == 0.0`, and a single-step run reports `stddev == 0.0`.
 #[derive(Clone, Debug)]
 pub struct RunReport {
     pub step_us: Vec<Time>,
+    /// Every fault injected over the run, step-stamped (empty for
+    /// unfaulted runs).
+    pub faults: Vec<FaultRecord>,
+    /// Total scheduler-visible fault overhead across the run (µs); see
+    /// [`StepReport::fault_overhead_us`] for what is counted.
+    pub fault_overhead_us: Time,
 }
 
 impl RunReport {
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            step_us: Vec::new(),
+            faults: Vec::new(),
+            fault_overhead_us: 0.0,
+        }
+    }
+
     pub fn mean(&self) -> Time {
+        if self.step_us.is_empty() {
+            return 0.0;
+        }
         self.step_us.iter().sum::<f64>() / self.step_us.len() as f64
     }
 
     pub fn min(&self) -> Time {
+        if self.step_us.is_empty() {
+            return 0.0;
+        }
         self.step_us.iter().cloned().fold(f64::INFINITY, f64::min)
     }
 
@@ -418,10 +656,13 @@ impl RunReport {
         self.step_us.iter().cloned().fold(0.0, f64::max)
     }
 
-    /// Sample standard deviation.
+    /// Sample standard deviation (0.0 for runs shorter than two steps).
     pub fn stddev(&self) -> Time {
+        if self.step_us.len() < 2 {
+            return 0.0;
+        }
         let m = self.mean();
-        let n = self.step_us.len().max(2) as f64;
+        let n = self.step_us.len() as f64;
         (self.step_us.iter().map(|t| (t - m) * (t - m)).sum::<f64>() / (n - 1.0)).sqrt()
     }
 }
@@ -634,5 +875,125 @@ mod tests {
         let a = simulate_step(&c, &StepWorkload::paper_fig9());
         let b = simulate_step(&c, &StepWorkload::paper_fig9());
         assert_eq!(a.total_us, b.total_us);
+    }
+
+    /// The zero-fault contract: a quiet fault model produces a schedule
+    /// bitwise identical to the unfaulted entry points — every span, the
+    /// total, and every step of a run.
+    #[test]
+    fn quiet_fault_model_is_bitwise_identical() {
+        use crate::faults::{FaultConfig, FaultModel};
+        let c = cfg();
+        let w = StepWorkload::paper_fig9();
+        let plain = simulate_step(&c, &w);
+        let mut scratch = StepScratch::new();
+        let mut model = FaultModel::new(FaultConfig::quiet(42));
+        let faulted = simulate_step_faulted(&c, &w, &mut scratch, &mut model);
+        assert_eq!(plain.total_us.to_bits(), faulted.total_us.to_bits());
+        assert!(faulted.faults.is_empty());
+        assert_eq!(faulted.fault_overhead_us.to_bits(), 0.0f64.to_bits());
+        for (a, b) in plain.modules.iter().zip(&faulted.modules) {
+            assert_eq!(a.spans.len(), b.spans.len(), "{} span count", a.name);
+            for (sa, sb) in a.spans.iter().zip(&b.spans) {
+                assert_eq!(sa.start.to_bits(), sb.start.to_bits());
+                assert_eq!(sa.end.to_bits(), sb.end.to_bits());
+            }
+        }
+        let run_plain = simulate_run(&c, &w, 12);
+        let mut model = FaultModel::new(FaultConfig::quiet(42));
+        let run_faulted = simulate_run_faulted(&c, &w, 12, &mut model);
+        let plain_bits: Vec<u64> = run_plain.step_us.iter().map(|t| t.to_bits()).collect();
+        let faulted_bits: Vec<u64> = run_faulted.step_us.iter().map(|t| t.to_bits()).collect();
+        assert_eq!(plain_bits, faulted_bits);
+    }
+
+    /// A chaos run completes every step, records its events with
+    /// recoveries, and costs measurably more than the clean run.
+    #[test]
+    fn faulted_run_completes_with_quantified_overhead() {
+        use crate::faults::{FaultConfig, FaultModel};
+        let c = cfg();
+        let w = StepWorkload::paper_fig9();
+        let clean = simulate_run(&c, &w, 40);
+        let mut model = FaultModel::new(FaultConfig::chaos(5, 0.05));
+        let r = simulate_run_faulted(&c, &w, 40, &mut model);
+        assert_eq!(r.step_us.len(), 40);
+        assert!(!r.faults.is_empty(), "chaos at 5% injected nothing");
+        assert!(r.fault_overhead_us > 0.0);
+        assert!(
+            r.mean() > clean.mean(),
+            "degraded {} !> clean {}",
+            r.mean(),
+            clean.mean()
+        );
+        // Every record pairs an event with a recovery (enum invariants
+        // make this structural; spot-check the step stamps are in range).
+        assert!(r.faults.iter().all(|rec| (rec.step as usize) < 40));
+    }
+
+    /// Kill-and-restart equivalence: checkpoint a faulted run mid-way,
+    /// serialise, restore, finish — bitwise identical to the
+    /// uninterrupted run (per-step times, event log, overhead).
+    #[test]
+    fn run_checkpoint_resumes_bitwise() -> TestResult {
+        use crate::faults::{FaultConfig, FaultModel};
+        let c = cfg();
+        let w = StepWorkload::paper_fig9();
+        let mut whole_model = FaultModel::new(FaultConfig::chaos(21, 0.04));
+        let whole = simulate_run_faulted(&c, &w, 30, &mut whole_model);
+
+        let mut model = FaultModel::new(FaultConfig::chaos(21, 0.04));
+        let partial = simulate_run_faulted(&c, &w, 13, &mut model);
+        let bytes = RunCheckpoint {
+            report: partial,
+            model,
+        }
+        .to_bytes();
+        let restored = RunCheckpoint::from_bytes(&bytes)?;
+        let resumed = resume_run_faulted(&c, &w, 30, restored);
+
+        let whole_bits: Vec<u64> = whole.step_us.iter().map(|t| t.to_bits()).collect();
+        let resumed_bits: Vec<u64> = resumed.step_us.iter().map(|t| t.to_bits()).collect();
+        assert_eq!(whole_bits, resumed_bits);
+        assert_eq!(whole.faults, resumed.faults);
+        assert_eq!(
+            whole.fault_overhead_us.to_bits(),
+            resumed.fault_overhead_us.to_bits()
+        );
+        Ok(())
+    }
+
+    /// A truncated or mistagged checkpoint is a typed error, never an
+    /// abort.
+    #[test]
+    fn corrupt_run_checkpoint_is_a_typed_error() {
+        use crate::faults::{FaultConfig, FaultModel};
+        let ckpt = RunCheckpoint {
+            report: RunReport::empty(),
+            model: FaultModel::new(FaultConfig::quiet(1)),
+        };
+        let bytes = ckpt.to_bytes();
+        assert!(RunCheckpoint::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF; // break the magic
+        assert!(RunCheckpoint::from_bytes(&bad).is_err());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(RunCheckpoint::from_bytes(&trailing).is_err());
+    }
+
+    /// Degenerate runs saturate to 0.0 instead of NaN/∞ (the documented
+    /// contract on [`RunReport`]).
+    #[test]
+    fn degenerate_run_stats_saturate() {
+        let empty = RunReport::empty();
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.min(), 0.0);
+        assert_eq!(empty.max(), 0.0);
+        assert_eq!(empty.stddev(), 0.0);
+        let single = simulate_run(&cfg(), &StepWorkload::paper_fig9(), 1);
+        assert!(single.mean() > 0.0 && single.mean().is_finite());
+        assert_eq!(single.min().to_bits(), single.max().to_bits());
+        assert_eq!(single.stddev(), 0.0);
     }
 }

@@ -1,0 +1,291 @@
+//! Minimal binary codec for checkpoint files.
+//!
+//! Checkpoint/restart (DESIGN.md §11) needs an in-tree serialisation layer
+//! with two properties the workspace's determinism contract imposes:
+//!
+//! * **Bit transparency** — `f64` values round-trip through
+//!   [`f64::to_bits`]/[`f64::from_bits`], so a restored state is bitwise
+//!   identical to the saved one (including negative zeros and NaN
+//!   payloads, which a textual format would destroy).
+//! * **No panics** — reads return [`CodecError`] on truncated or
+//!   malformed input; a corrupt checkpoint must surface as a typed error
+//!   the caller can answer (fall back to an older checkpoint, restart
+//!   from scratch), never as an abort.
+//!
+//! All integers are little-endian. The format carries no self-description;
+//! each consumer writes its own magic/version header with these
+//! primitives and validates it on read.
+
+/// A decode failure: the buffer ended early or a header field did not
+/// match what the reader expected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ran out at byte `at` while `needed` more were required.
+    UnexpectedEof { at: usize, needed: usize },
+    /// A header/tag word did not match (`want` expected, `got` found).
+    BadTag { at: usize, want: u64, got: u64 },
+    /// A declared length is implausible for the remaining buffer.
+    BadLength { at: usize, len: u64 },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnexpectedEof { at, needed } => {
+                write!(
+                    f,
+                    "checkpoint truncated at byte {at} ({needed} more needed)"
+                )
+            }
+            Self::BadTag { at, want, got } => write!(
+                f,
+                "bad checkpoint tag at byte {at}: expected {want:#018x}, got {got:#018x}"
+            ),
+            Self::BadLength { at, len } => {
+                write!(f, "implausible length {len} at byte {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only encoder over a growable byte buffer.
+#[derive(Clone, Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume the writer, returning the encoded bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `usize` is stored as `u64` so the format is identical across
+    /// pointer widths.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Bit-transparent float write (see module docs).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Length-prefixed `f64` slice.
+    pub fn put_f64_slice(&mut self, vs: &[f64]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_f64(v);
+        }
+    }
+
+    /// Length-prefixed `[f64; 3]` slice (positions, velocities, forces).
+    pub fn put_v3_slice(&mut self, vs: &[[f64; 3]]) {
+        self.put_usize(vs.len());
+        for v in vs {
+            self.put_f64(v[0]);
+            self.put_f64(v[1]);
+            self.put_f64(v[2]);
+        }
+    }
+}
+
+/// Cursor-based decoder; every read is bounds-checked and returns a
+/// [`CodecError`] instead of panicking.
+#[derive(Clone, Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof {
+                at: self.pos,
+                needed: n - self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Read a `u64` length and validate it against the remaining bytes
+    /// (each element at least `elem_bytes` wide), so a corrupt length
+    /// cannot drive an enormous allocation.
+    pub fn get_len(&mut self, elem_bytes: usize) -> Result<usize, CodecError> {
+        let at = self.pos;
+        let len = self.get_u64()?;
+        let need = len.saturating_mul(elem_bytes.max(1) as u64);
+        if need > self.remaining() as u64 {
+            return Err(CodecError::BadLength { at, len });
+        }
+        Ok(len as usize)
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read a `u64` and require it to equal `want` — magic/version checks.
+    pub fn expect_u64(&mut self, want: u64) -> Result<(), CodecError> {
+        let at = self.pos;
+        let got = self.get_u64()?;
+        if got != want {
+            return Err(CodecError::BadTag { at, want, got });
+        }
+        Ok(())
+    }
+
+    /// Length-prefixed `f64` slice (counterpart of
+    /// [`ByteWriter::put_f64_slice`]).
+    pub fn get_f64_vec(&mut self) -> Result<Vec<f64>, CodecError> {
+        let len = self.get_len(8)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.get_f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Length-prefixed `[f64; 3]` slice (counterpart of
+    /// [`ByteWriter::put_v3_slice`]).
+    pub fn get_v3_vec(&mut self) -> Result<Vec<[f64; 3]>, CodecError> {
+        let len = self.get_len(24)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push([self.get_f64()?, self.get_f64()?, self.get_f64()?]);
+        }
+        Ok(out)
+    }
+
+    /// True when every byte has been consumed — callers use this to
+    /// reject trailing garbage after a successful decode.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type TestResult = Result<(), CodecError>;
+
+    #[test]
+    fn round_trip_preserves_bits() -> TestResult {
+        let mut w = ByteWriter::new();
+        w.put_u64(0xDEAD_BEEF_0BAD_F00D);
+        w.put_u8(7);
+        w.put_u32(1234);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_f64_slice(&[1.5, -2.25, 1e-308]);
+        w.put_v3_slice(&[[0.1, 0.2, 0.3], [f64::INFINITY, -1.0, 4.0]]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u64()?, 0xDEAD_BEEF_0BAD_F00D);
+        assert_eq!(r.get_u8()?, 7);
+        assert_eq!(r.get_u32()?, 1234);
+        assert_eq!(r.get_f64()?.to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.get_f64()?.to_bits(), f64::NAN.to_bits());
+        let xs = r.get_f64_vec()?;
+        assert_eq!(xs, vec![1.5, -2.25, 1e-308]);
+        let vs = r.get_v3_vec()?;
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs[1][0], f64::INFINITY);
+        assert!(r.is_empty());
+        Ok(())
+    }
+
+    #[test]
+    fn truncated_input_is_a_typed_error() {
+        let mut w = ByteWriter::new();
+        w.put_u64(42);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..5]);
+        match r.get_u64() {
+            Err(CodecError::UnexpectedEof { at: 0, needed: 3 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_tag_reports_both_values() {
+        let mut w = ByteWriter::new();
+        w.put_u64(1);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        match r.expect_u64(2) {
+            Err(CodecError::BadTag {
+                at: 0,
+                want: 2,
+                got: 1,
+            }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_length_rejected_before_allocating() {
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX); // absurd element count
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        match r.get_f64_vec() {
+            Err(CodecError::BadLength { .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -22,6 +22,7 @@
 //!   software mirror of the machine's table-lookup force pipelines (no
 //!   transcendentals in the pair inner loops; DESIGN.md §10).
 
+pub mod bytes;
 pub mod cast;
 pub mod complex;
 pub mod fft;

@@ -1,0 +1,27 @@
+//! L5 fixture: panicking constructs in fault/recovery code, including
+//! inside test modules, must all be flagged.
+
+pub fn restore(bytes: &[u8]) -> u64 {
+    // Violation 1: expect() in the recovery path itself.
+    decode(bytes).expect("checkpoint decodes")
+}
+
+fn decode(bytes: &[u8]) -> Option<u64> {
+    if bytes.len() < 8 {
+        // Violation 2: panic! instead of a typed error.
+        panic!("short checkpoint");
+    }
+    Some(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        // Violation 3: unwrap() in a test — L5 reaches test code too.
+        let v = decode(&[0; 8]).unwrap();
+        assert_eq!(v, 0);
+    }
+}

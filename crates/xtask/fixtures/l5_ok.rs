@@ -1,0 +1,33 @@
+//! L5 fixture: compliant fault/recovery code — typed errors throughout,
+//! `Result`-based tests, assertions (not panics) for test expectations.
+
+#[derive(Debug, PartialEq)]
+pub struct ShortCheckpoint;
+
+pub fn restore(bytes: &[u8]) -> Result<u64, ShortCheckpoint> {
+    decode(bytes).ok_or(ShortCheckpoint)
+}
+
+fn decode(bytes: &[u8]) -> Option<u64> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    Some(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() -> Result<(), ShortCheckpoint> {
+        let v = restore(&[0; 8])?;
+        assert_eq!(v, 0);
+        Ok(())
+    }
+
+    #[test]
+    fn short_input_is_a_typed_error() {
+        assert_eq!(restore(&[0; 3]), Err(ShortCheckpoint));
+    }
+}

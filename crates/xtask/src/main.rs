@@ -3,7 +3,7 @@
 //! Currently one subcommand:
 //!
 //! * `cargo xtask lint` — run the `tme-lint` numerical-safety static
-//!   analysis (rules L1–L4, see [`rules`]) over every workspace `.rs`
+//!   analysis (rules L1–L5, see [`rules`]) over every workspace `.rs`
 //!   file. Exits non-zero if any violation is found. `--verbose` also
 //!   lists the files scanned.
 //!
@@ -56,7 +56,7 @@ fn lint(verbose: bool) -> ExitCode {
         }
     }
     if total == 0 {
-        eprintln!("tme-lint: {scanned} files clean (rules l1–l4)");
+        eprintln!("tme-lint: {scanned} files clean (rules l1–l5)");
         ExitCode::SUCCESS
     } else {
         eprintln!(

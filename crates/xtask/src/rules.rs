@@ -7,6 +7,7 @@
 //! | `l2` | no `unwrap()` / `expect()` / `panic!` | library crates, non-test code |
 //! | `l3` | no `HashMap` / `HashSet` (iteration order breaks determinism) | numeric crates |
 //! | `l4` | every `unsafe` needs a `// SAFETY:` comment | everywhere |
+//! | `l5` | no `unwrap()` / `expect()` / `panic!` — test code included | fault/chaos/checkpoint/recovery files |
 //!
 //! Waivers: a `lint:allow(<rule>[, <rule>…])` marker inside a comment on
 //! the violating line or the line directly above it silences that rule for
@@ -33,15 +34,23 @@ pub struct Scope {
     pub library: bool,
     /// L3: deterministic-accumulation crate (library crates + `reference`).
     pub deterministic: bool,
+    /// L5: fault-handling / checkpoint / recovery file (by file name).
+    /// The whole point of that code is to *not* panic on bad input, so
+    /// the L2 ban extends into its test code: tests must be
+    /// `Result`-based (plain `assert!`/`assert_eq!` stay allowed — an
+    /// assertion failing is the harness's business, not the code's).
+    pub recovery: bool,
 }
 
 impl Scope {
-    /// Everything on: the scope fixtures use.
+    /// The L1–L3 families on: the scope most fixtures use. L5 stays off
+    /// so the exact-match expectations of the older tests hold.
     #[cfg(test)]
     pub const ALL: Scope = Scope {
         numeric_kernel: true,
         library: true,
         deterministic: true,
+        recovery: false,
     };
 }
 
@@ -112,6 +121,42 @@ pub fn lint_source(src: &str, scope: Scope) -> Vec<Violation> {
                     rule: "l4",
                     line: t.line,
                     message: "`unsafe` without a `// SAFETY:` comment in the preceding lines"
+                        .into(),
+                });
+            }
+        }
+
+        // L5 second: like L2 but for fault/checkpoint/recovery files,
+        // where even test code must stay panic-free (the machinery under
+        // test exists to turn faults into typed errors — a test that can
+        // panic is exercising the wrong contract).
+        if scope.recovery {
+            if t.kind == TokKind::Ident && (t.text == "unwrap" || t.text == "expect") {
+                let is_method_call = i > 0
+                    && toks[i - 1].text == "."
+                    && toks.get(i + 1).is_some_and(|n| n.text == "(");
+                if is_method_call && !waived("l5", t.line) {
+                    out.push(Violation {
+                        rule: "l5",
+                        line: t.line,
+                        message: format!(
+                            "`.{}()` in fault/recovery code (tests included); use `Result`-based \
+                             flow — this code's contract is to never panic",
+                            t.text
+                        ),
+                    });
+                }
+            }
+            if t.kind == TokKind::Ident
+                && t.text == "panic"
+                && toks.get(i + 1).is_some_and(|n| n.text == "!")
+                && !waived("l5", t.line)
+            {
+                out.push(Violation {
+                    rule: "l5",
+                    line: t.line,
+                    message: "`panic!` in fault/recovery code (tests included); return a typed \
+                              error instead"
                         .into(),
                 });
             }
@@ -457,6 +502,66 @@ mod tests {
             }
         "#;
         assert_eq!(rules_hit(src, Scope::default()), ["l4"]);
+    }
+
+    // ---- L5 ----------------------------------------------------------
+
+    const L5_ONLY: Scope = Scope {
+        numeric_kernel: false,
+        library: false,
+        deterministic: false,
+        recovery: true,
+    };
+
+    #[test]
+    fn l5_fixture_positive() {
+        let v = lint_source(include_str!("../fixtures/l5_bad.rs"), L5_ONLY);
+        let l5: Vec<_> = v.iter().filter(|v| v.rule == "l5").collect();
+        assert_eq!(l5.len(), 3, "{v:?}");
+    }
+
+    #[test]
+    fn l5_fixture_negative() {
+        let v = lint_source(include_str!("../fixtures/l5_ok.rs"), L5_ONLY);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn l5_reaches_test_code_unlike_l2() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { foo().unwrap(); }
+            }
+        "#;
+        // L2 alone exempts test modules …
+        assert!(rules_hit(src, Scope::ALL).is_empty());
+        // … L5 does not.
+        assert_eq!(rules_hit(src, L5_ONLY), ["l5"]);
+    }
+
+    #[test]
+    fn l5_allows_assertions_and_is_waivable() {
+        let src = "fn t() { assert_eq!(restore(&[]).is_err(), true); }";
+        assert!(rules_hit(src, L5_ONLY).is_empty());
+        let waived = "fn f() { foo().unwrap() } // lint:allow(l5) — startup only";
+        assert!(rules_hit(waived, L5_ONLY).is_empty());
+    }
+
+    #[test]
+    fn l5_off_outside_recovery_scope() {
+        let src = "fn f() { foo().unwrap(); }";
+        assert_eq!(
+            rules_hit(
+                src,
+                Scope {
+                    library: false,
+                    ..Scope::ALL
+                }
+            ),
+            Vec::<&str>::new()
+        );
     }
 
     // ---- waivers ------------------------------------------------------

@@ -9,6 +9,9 @@ const NUMERIC_KERNEL_CRATES: &[&str] = &["num", "mesh", "core"];
 const LIBRARY_CRATES: &[&str] = &["core", "mesh", "num", "md", "mdgrape"];
 /// Crates whose accumulation order must be deterministic (L3).
 const DETERMINISTIC_CRATES: &[&str] = &["core", "mesh", "num", "md", "mdgrape", "reference"];
+/// File-name keywords marking fault-handling / checkpoint / recovery code
+/// (L5): these files' contract is to never panic, tests included.
+const RECOVERY_KEYWORDS: &[&str] = &["fault", "chaos", "checkpoint", "recover"];
 
 /// Every `.rs` file under the workspace root that the lint should read,
 /// sorted for stable output. Skips `target/`, VCS metadata and the lint's
@@ -41,19 +44,27 @@ pub fn workspace_rs_files(root: &Path) -> Vec<PathBuf> {
 /// Derive the rule scope for one file from its workspace-relative path.
 ///
 /// Test, bench, example and binary-target sources are tool/leaf code: only
-/// L4 (documented `unsafe`) applies there. Library `src/` trees get the
+/// L4 (documented `unsafe`) applies there — plus L5 wherever the file name
+/// marks fault-handling/checkpoint code, since that contract follows the
+/// code into tests and driver binaries. Library `src/` trees get the
 /// crate-specific rule families.
 pub fn scope_for(rel: &Path) -> Scope {
     let parts: Vec<String> = rel
         .components()
         .map(|c| c.as_os_str().to_string_lossy().into_owned())
         .collect();
+    let recovery = parts
+        .last()
+        .is_some_and(|f| RECOVERY_KEYWORDS.iter().any(|k| f.contains(k)));
     let is_lib_src = parts.iter().any(|p| p == "src")
         && !parts
             .iter()
             .any(|p| p == "bin" || p == "tests" || p == "benches" || p == "examples");
     if !is_lib_src {
-        return Scope::default(); // L4 only
+        return Scope {
+            recovery,
+            ..Scope::default()
+        }; // L4 (+ L5 by file name) only
     }
     let krate = match parts.first().map(String::as_str) {
         Some("crates") => parts.get(1).cloned().unwrap_or_default(),
@@ -66,6 +77,7 @@ pub fn scope_for(rel: &Path) -> Scope {
         numeric_kernel: NUMERIC_KERNEL_CRATES.contains(&krate.as_str()),
         library: LIBRARY_CRATES.contains(&krate.as_str()) || krate == "facade",
         deterministic: DETERMINISTIC_CRATES.contains(&krate.as_str()) || krate == "facade",
+        recovery,
     }
 }
 
@@ -101,6 +113,22 @@ mod tests {
             let s = scope_for(Path::new(p));
             assert!(!s.numeric_kernel && !s.library && !s.deterministic, "{p}");
         }
+    }
+
+    #[test]
+    fn recovery_files_get_l5_everywhere() {
+        // Library sources, test targets and bench binaries all carry L5
+        // when the file name marks fault/checkpoint code.
+        for p in [
+            "crates/mdgrape/src/faults.rs",
+            "crates/md/src/checkpoint.rs",
+            "crates/bench/src/bin/chaos_run.rs",
+            "tests/fault_recovery.rs",
+        ] {
+            assert!(scope_for(Path::new(p)).recovery, "{p}");
+        }
+        assert!(!scope_for(Path::new("crates/md/src/nve.rs")).recovery);
+        assert!(!scope_for(Path::new("tests/paper_claims.rs")).recovery);
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Cross-crate property tests of the fault-injection / checkpoint-restart
+//! layer (DESIGN.md §11).
+//!
+//! Everything here is `Result`-based: this file tests the machinery whose
+//! contract is to never panic, so the tests hold themselves to the same
+//! rule (tme-lint rule L5; `assert!`/`assert_eq!` stay allowed).
+
+use std::sync::Arc;
+
+use mdgrape4a_tme::machine::{
+    resume_run_faulted, simulate_run, simulate_run_faulted, FaultConfig, FaultModel, MachineConfig,
+    RunCheckpoint, RunReport, StepWorkload,
+};
+use mdgrape4a_tme::md::checkpoint::CheckpointError;
+use mdgrape4a_tme::md::water::{thermalize, water_box};
+use mdgrape4a_tme::md::{run_with_checkpoints, NveSim};
+use mdgrape4a_tme::num::pool::Pool;
+use mdgrape4a_tme::tme::{alpha_from_rtol, Tme, TmeParams, TmeWorkspace};
+
+fn bits_of(v: &[[f64; 3]]) -> Vec<u64> {
+    v.iter().flatten().map(|c| c.to_bits()).collect()
+}
+
+fn step_bits(r: &RunReport) -> Vec<u64> {
+    r.step_us.iter().map(|t| t.to_bits()).collect()
+}
+
+fn paper_tme(box_l: [f64; 3], r_cut: f64) -> Tme {
+    let alpha = alpha_from_rtol(r_cut, 1e-4);
+    Tme::new(
+        TmeParams {
+            n: [16; 3],
+            p: 6,
+            levels: 1,
+            gc: 8,
+            m_gaussians: 4,
+            alpha,
+            r_cut,
+        },
+        box_l,
+    )
+}
+
+/// The MD driver's checkpoint restarts a TME-solved trajectory bitwise:
+/// kill after 7 of 10 steps, restore the step-4 checkpoint into a fresh
+/// simulation, finish, and compare every position/velocity/force bit.
+#[test]
+fn nve_tme_checkpoint_restart_is_bitwise() -> Result<(), CheckpointError> {
+    let mut sys = water_box(64, 6);
+    thermalize(&mut sys, 300.0, 11);
+    let r_cut = 0.55;
+    let tme = paper_tme(sys.box_l, r_cut);
+
+    let total_steps = 10;
+    let mut reference = NveSim::new(sys.clone(), &tme, 0.001, r_cut);
+    reference.run(total_steps, total_steps);
+    assert!(reference.last_error().is_none());
+
+    let mut crashed = NveSim::new(sys.clone(), &tme, 0.001, r_cut);
+    let run = run_with_checkpoints(&mut crashed, 7, 7, 4);
+    assert!(run.fault.is_none());
+    let (at, bytes) = match run.latest() {
+        Some((at, bytes)) => (*at, bytes.clone()),
+        None => {
+            return Err(CheckpointError::Mismatch {
+                what: "missing checkpoint",
+            })
+        }
+    };
+    assert_eq!(at, 4);
+    drop(crashed);
+
+    let mut restarted = NveSim::new(sys, &tme, 0.001, r_cut);
+    restarted.restore(&bytes)?;
+    for _ in at..total_steps {
+        restarted.step();
+    }
+    assert!(restarted.last_error().is_none());
+    assert_eq!(
+        bits_of(&reference.system.pos),
+        bits_of(&restarted.system.pos)
+    );
+    assert_eq!(
+        bits_of(&reference.system.vel),
+        bits_of(&restarted.system.vel)
+    );
+    assert_eq!(bits_of(reference.forces()), bits_of(restarted.forces()));
+    Ok(())
+}
+
+/// The TME forces feeding that trajectory do not depend on the thread
+/// count: 1-thread and 4-thread workspaces produce identical bits, so a
+/// checkpoint taken on one host restarts bitwise on another.
+#[test]
+fn tme_forces_bitwise_identical_at_1_and_4_threads() {
+    let mut sys = water_box(64, 6);
+    thermalize(&mut sys, 300.0, 11);
+    let r_cut = 0.55;
+    let tme = paper_tme(sys.box_l, r_cut);
+    let coul = sys.coulomb_system();
+
+    let mut bits: Vec<Vec<u64>> = Vec::new();
+    for threads in [1usize, 4] {
+        let pool = Arc::new(Pool::new(threads));
+        let mut ws = TmeWorkspace::with_pool(&tme, pool);
+        let out = tme.compute_with(&mut ws, &coul);
+        bits.push(bits_of(&out.forces));
+    }
+    assert_eq!(bits[0], bits[1], "TME forces changed bits with threads");
+}
+
+/// The fault model is a pure function of its seed: two models with the
+/// same config replay the same event sequence over the same machine run,
+/// and a different seed produces a different one.
+#[test]
+fn fault_model_is_deterministic_in_its_seed() {
+    let cfg = MachineConfig::mdgrape4a();
+    let w = StepWorkload::paper_fig9();
+    let run = |seed: u64| {
+        let mut model = FaultModel::new(FaultConfig::chaos(seed, 0.02));
+        simulate_run_faulted(&cfg, &w, 60, &mut model)
+    };
+    let a = run(7);
+    let b = run(7);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.fault_overhead_us.to_bits(), b.fault_overhead_us.to_bits());
+    assert_eq!(step_bits(&a), step_bits(&b));
+    let c = run(8);
+    assert_ne!(
+        step_bits(&a),
+        step_bits(&c),
+        "different fault seeds gave identical runs"
+    );
+}
+
+/// A fixed-seed faulted run completes, records a recovery for every
+/// event, and a quiet model is bitwise invisible next to the plain
+/// scheduler.
+#[test]
+fn faulted_run_completes_and_quiet_model_is_invisible() {
+    let cfg = MachineConfig::mdgrape4a();
+    let w = StepWorkload::paper_fig9();
+    let steps = 80;
+    let clean = simulate_run(&cfg, &w, steps);
+
+    let mut quiet = FaultModel::new(FaultConfig::quiet(3));
+    let silent = simulate_run_faulted(&cfg, &w, steps, &mut quiet);
+    assert!(silent.faults.is_empty());
+    assert_eq!(silent.fault_overhead_us.to_bits(), 0.0f64.to_bits());
+    assert_eq!(
+        step_bits(&clean),
+        step_bits(&silent),
+        "quiet model perturbed the schedule"
+    );
+
+    let mut model = FaultModel::new(FaultConfig::chaos(3, 0.03));
+    let faulted = simulate_run_faulted(&cfg, &w, steps, &mut model);
+    assert_eq!(faulted.step_us.len(), steps, "faulted run did not complete");
+    assert!(!faulted.faults.is_empty(), "rate 0.03 produced no events");
+    assert!(faulted.fault_overhead_us > 0.0);
+    assert!(
+        faulted.mean() > clean.mean(),
+        "degradation cost no schedule time"
+    );
+    for record in &faulted.faults {
+        // Every surviving event carries the recovery the machine applied.
+        assert!(record.overhead_us >= 0.0, "{record:?}");
+    }
+}
+
+/// A machine run split through checkpoint bytes lands bitwise on the
+/// uninterrupted run; corrupted bytes surface as typed codec errors.
+#[test]
+fn machine_run_checkpoint_resume_and_corruption() -> Result<(), String> {
+    let cfg = MachineConfig::mdgrape4a();
+    let w = StepWorkload::paper_fig9();
+    let config = FaultConfig::chaos(21, 0.02);
+    let steps = 50;
+
+    let mut straight_model = FaultModel::new(config.clone());
+    let straight = simulate_run_faulted(&cfg, &w, steps, &mut straight_model);
+
+    let mut model = FaultModel::new(config);
+    let partial = simulate_run_faulted(&cfg, &w, steps / 2, &mut model);
+    let bytes = RunCheckpoint {
+        report: partial,
+        model,
+    }
+    .to_bytes();
+
+    // Corruption at any prefix is a typed error, never a panic.
+    for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+        if RunCheckpoint::from_bytes(&bytes[..cut]).is_ok() {
+            return Err(format!("truncated checkpoint of {cut} bytes decoded"));
+        }
+    }
+    let mut padded = bytes.clone();
+    padded.extend_from_slice(&[0; 4]);
+    if RunCheckpoint::from_bytes(&padded).is_ok() {
+        return Err("checkpoint with trailing garbage decoded".into());
+    }
+
+    let restored = RunCheckpoint::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    let resumed = resume_run_faulted(&cfg, &w, steps, restored);
+    if straight.faults != resumed.faults {
+        return Err("fault records diverged across resume".into());
+    }
+    if step_bits(&straight) != step_bits(&resumed) {
+        return Err("step times diverged across resume".into());
+    }
+    Ok(())
+}
+
+/// The NVE exact-`erfc` degraded mode stays on the table-mode trajectory
+/// to table accuracy — the fallback the in-step recovery switches to is
+/// a faithful stand-in, not different physics.
+#[test]
+fn degraded_exact_mode_tracks_table_mode() -> Result<(), String> {
+    let mut sys = water_box(64, 6);
+    thermalize(&mut sys, 300.0, 11);
+    let r_cut = 0.55;
+    let tme = paper_tme(sys.box_l, r_cut);
+
+    let run = |exact: bool| -> Result<f64, String> {
+        let mut sim = NveSim::new(sys.clone(), &tme, 0.001, r_cut);
+        sim.exact_short_range = exact;
+        let records = sim.run(20, 20);
+        if let Some(e) = sim.last_error() {
+            return Err(format!("run (exact={exact}) faulted: {e}"));
+        }
+        records
+            .last()
+            .map(|r| r.total)
+            .ok_or_else(|| format!("run (exact={exact}) produced no samples"))
+    };
+    let table = run(false)?;
+    let exact = run(true)?;
+    assert!(
+        (table - exact).abs() < 1e-6 * table.abs().max(1.0),
+        "table {table} vs exact {exact} kJ/mol"
+    );
+    Ok(())
+}
