@@ -25,8 +25,6 @@
 //! Usage: `cargo run --release -p tme-bench --bin chaos_run --
 //!         [--steps 200] [--seed 42] [--out BENCH_chaos.json]`
 
-use std::fmt::Write as _;
-
 use mdgrape_sim::{
     resume_run_faulted, simulate_run, simulate_run_faulted, FaultConfig, FaultEvent, FaultModel,
     MachineConfig, RunCheckpoint, RunReport, StepWorkload,
@@ -207,37 +205,25 @@ fn main() {
     );
 
     let clean_mean = clean.mean();
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"benchmark\": \"chaos_run\",");
-    let _ = writeln!(json, "  \"steps\": {steps},");
-    let _ = writeln!(json, "  \"seed\": {seed},");
-    let _ = writeln!(json, "  \"clean_mean_us\": {clean_mean:.3},");
-    let _ = writeln!(json, "  \"machine_checkpoint_bitwise\": {machine_ok},");
-    let _ = writeln!(json, "  \"driver_checkpoint_bitwise\": {driver_ok},");
-    let _ = writeln!(json, "  \"rows\": [");
-    for (i, r) in rows.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "    {{\"rate\": {}, \"mean_us\": {:.3}, \"max_us\": {:.3}, \
-             \"overhead_vs_clean\": {:.4}, \"fault_overhead_us\": {:.3}, \
-             \"link_failures\": {}, \"link_degradations\": {}, \"soc_failures\": {}, \
-             \"tmenw_timeouts\": {}, \"recoveries\": {}}}{}",
-            r.rate,
-            r.mean_us,
-            r.max_us,
-            r.mean_us / clean_mean,
-            r.fault_overhead_us,
-            r.link_failures,
-            r.link_degradations,
-            r.soc_failures,
-            r.tmenw_timeouts,
-            r.recoveries,
-            if i + 1 < rows.len() { "," } else { "" }
-        );
-    }
-    let _ = writeln!(json, "  ]");
-    let _ = writeln!(json, "}}");
+    let json = tme_bench::json::report("chaos_run", |o| {
+        o.u64("steps", steps as u64)
+            .u64("seed", seed)
+            .f64("clean_mean_us", clean_mean, 3)
+            .bool("machine_checkpoint_bitwise", machine_ok)
+            .bool("driver_checkpoint_bitwise", driver_ok)
+            .rows("rows", &rows, |r, row| {
+                row.f64("rate", r.rate, 3)
+                    .f64("mean_us", r.mean_us, 3)
+                    .f64("max_us", r.max_us, 3)
+                    .f64("overhead_vs_clean", r.mean_us / clean_mean, 4)
+                    .f64("fault_overhead_us", r.fault_overhead_us, 3)
+                    .u64("link_failures", r.link_failures as u64)
+                    .u64("link_degradations", r.link_degradations as u64)
+                    .u64("soc_failures", r.soc_failures as u64)
+                    .u64("tmenw_timeouts", r.tmenw_timeouts as u64)
+                    .u64("recoveries", r.recoveries as u64);
+            });
+    });
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("wrote {out_path}"),
         Err(e) => eprintln!("could not write {out_path}: {e}"),

@@ -3,8 +3,8 @@
 //! Runs the full zero-allocation `Tme::compute_with` path and the bare
 //! separable convolution on the paper's 32³ grid at 1/2/4/8 threads,
 //! checks the forces stay bitwise identical at every thread count, and
-//! writes the timings to `BENCH_pipeline.json` (hand-rolled JSON — the
-//! workspace has no serialisation dependency). With `--features
+//! writes the timings to `BENCH_pipeline.json` (via `tme_bench::json` —
+//! the workspace has no serialisation dependency). With `--features
 //! alloc-count` the steady-state allocation count per call is measured
 //! and reported too (it must be 0).
 //!
@@ -19,7 +19,6 @@
 //!         [--waters 512] [--repeats 20] [--out BENCH_pipeline.json]
 //!         [--baseline BENCH_pipeline.json]`
 
-use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -252,47 +251,33 @@ fn main() {
         }
     }
 
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"benchmark\": \"pipeline_scaling\",");
-    let _ = writeln!(json, "  \"atoms\": {},", system.len());
-    let _ = writeln!(json, "  \"grid\": [{n}, {n}, {n}],");
-    let _ = writeln!(json, "  \"repeats\": {repeats},");
-    let _ = writeln!(
-        json,
-        "  \"alloc_count_feature\": {},",
-        cfg!(feature = "alloc-count")
-    );
-    let _ = writeln!(json, "  \"rows\": [");
-    for (i, r) in rows.iter().enumerate() {
-        let allocs = r
-            .allocs_per_compute
-            .map_or_else(|| "null".to_string(), |a| a.to_string());
-        let s = r.stages;
-        let _ = writeln!(
-            json,
-            "    {{\"threads\": {}, \"convolution_us\": {:.3}, \"compute_us\": {:.3}, \
-             \"speedup_vs_1t\": {:.3}, \"allocs_per_compute\": {}, \"bitwise_identical\": {}, \
-             \"stages_us\": {{\"assign\": {}, \"convolve\": {}, \"transfer\": {}, \
-             \"toplevel\": {}, \"interpolate\": {}, \"short_range\": {}, \"total\": {}}}}}{}",
-            r.threads,
-            r.convolution_us,
-            r.compute_us,
-            single_us / r.compute_us,
-            allocs,
-            r.bitwise_identical,
-            s.assign_us,
-            s.convolve_us,
-            s.transfer_us,
-            s.toplevel_us,
-            s.interpolate_us,
-            s.short_range_us,
-            s.total_us,
-            if i + 1 < rows.len() { "," } else { "" }
-        );
-    }
-    let _ = writeln!(json, "  ]");
-    let _ = writeln!(json, "}}");
+    let json = tme_bench::json::report("pipeline_scaling", |o| {
+        o.u64("atoms", system.len() as u64)
+            .raw("grid", &format!("[{n}, {n}, {n}]"))
+            .u64("repeats", repeats as u64)
+            .bool("alloc_count_feature", cfg!(feature = "alloc-count"))
+            .rows("rows", &rows, |r, row| {
+                let allocs = r
+                    .allocs_per_compute
+                    .map_or_else(|| "null".to_string(), |a| a.to_string());
+                let s = r.stages;
+                row.u64("threads", r.threads as u64)
+                    .f64("convolution_us", r.convolution_us, 3)
+                    .f64("compute_us", r.compute_us, 3)
+                    .f64("speedup_vs_1t", single_us / r.compute_us, 3)
+                    .raw("allocs_per_compute", &allocs)
+                    .bool("bitwise_identical", r.bitwise_identical)
+                    .obj("stages_us", |o| {
+                        o.u64("assign", s.assign_us)
+                            .u64("convolve", s.convolve_us)
+                            .u64("transfer", s.transfer_us)
+                            .u64("toplevel", s.toplevel_us)
+                            .u64("interpolate", s.interpolate_us)
+                            .u64("short_range", s.short_range_us)
+                            .u64("total", s.total_us);
+                    });
+            });
+    });
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("wrote {out_path}"),
         Err(e) => eprintln!("could not write {out_path}: {e}"),

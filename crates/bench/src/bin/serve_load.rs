@@ -1,0 +1,382 @@
+//! Load-test harness for the `tme-serve` service (DESIGN.md §12.5).
+//!
+//! Starts an in-process server on an ephemeral port, then:
+//!
+//! 1. **Plan-cache demo** — two identical configurations back to back:
+//!    the second must report a cache hit and bitwise-identical energy.
+//! 2. **Capacity probe** — sequential requests give the median service
+//!    time, from which the offered loads are derived.
+//! 3. **Open-loop sweep** — seeded (`SplitMix64`) Poisson arrivals at
+//!    three offered loads (~0.5×, 1×, 2.5× measured capacity) over a few
+//!    client connections. Open loop means arrivals do not wait for
+//!    responses — over-capacity load piles into the bounded queue and
+//!    must surface as `Rejected` responses with retry hints, never as
+//!    queue growth (the final stats' high-water mark proves it).
+//! 4. **Graceful drain** — the server drains; the final snapshot must
+//!    account for every submitted request.
+//!
+//! Emits `BENCH_serve.json` (throughput, p50/p99 latency, cache hit
+//! rate, rejection rate per load) and exits non-zero if any service
+//! contract is violated — the CI `serve-smoke` gate.
+//!
+//! Usage: `cargo run --release -p tme-bench --bin serve_load --
+//!         [--quick] [--workers 2] [--queue 8] [--seed 42]
+//!         [--out BENCH_serve.json]`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use tme_bench::{arg_flag, arg_or, arg_value};
+use tme_core::TmeParams;
+use tme_num::rng::SplitMix64;
+use tme_reference::ewald::EwaldParams;
+use tme_serve::{serve, Client, Request, Response, ServeConfig};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// The small repeat-client workload: a 16-site dipole lattice on the
+/// 16³ grid. Cheap to execute, so the sweep measures the *service*
+/// layers (queueing, cache, protocol), not the solver.
+fn workload_request(alpha_salt: u64) -> Request {
+    let r_cut = 1.0;
+    // Two distinct alphas → two plan-cache entries; every request after
+    // the first pair of misses should hit.
+    let alpha = EwaldParams::alpha_from_tolerance(r_cut, 1e-4) + alpha_salt as f64 * 1e-3;
+    let mut pos = Vec::new();
+    let mut q = Vec::new();
+    for i in 0..8 {
+        let base = [
+            1.0 + f64::from(i % 2) * 2.0,
+            1.0 + f64::from((i / 2) % 2) * 2.0,
+            1.0 + f64::from(i / 4) * 2.0,
+        ];
+        pos.push(base);
+        q.push(1.0);
+        pos.push([base[0] + 0.8, base[1], base[2]]);
+        q.push(-1.0);
+    }
+    Request::Compute {
+        deadline_ms: 0,
+        params: TmeParams {
+            n: [16; 3],
+            p: 6,
+            levels: 1,
+            gc: 8,
+            m_gaussians: 4,
+            alpha,
+            r_cut,
+        },
+        box_l: [4.0; 3],
+        pos,
+        q,
+    }
+}
+
+#[derive(Default)]
+struct LoadOutcome {
+    completed: u64,
+    rejected: u64,
+    expired: u64,
+    errors: u64,
+    cache_hits: u64,
+    latencies_us: Vec<u64>,
+}
+
+struct LoadRow {
+    offered_rps: f64,
+    achieved_rps: f64,
+    completed: u64,
+    rejected: u64,
+    expired: u64,
+    rejection_rate: f64,
+    cache_hit_rate: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Drive one offered load: open-loop Poisson arrivals split round-robin
+/// over `clients` connections. Returns client-side outcome counts.
+fn run_load(
+    addr: std::net::SocketAddr,
+    offered_rps: f64,
+    duration_s: f64,
+    clients: usize,
+    seed: u64,
+    protocol_errors: &AtomicU64,
+) -> LoadOutcome {
+    // Pre-draw the whole arrival schedule so the load is a pure function
+    // of the seed.
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut schedules: Vec<Vec<(f64, u64)>> = vec![Vec::new(); clients];
+    let mut t = 0.0;
+    let mut i = 0usize;
+    while t < duration_s {
+        t += -(1.0 - rng.uniform()).ln() / offered_rps;
+        // ~1 in 8 requests uses the second configuration, exercising
+        // plan-cache multi-tenancy.
+        let salt = u64::from(rng.gen_index(8) == 0);
+        schedules[i % clients].push((t, salt));
+        i += 1;
+    }
+    let start = Instant::now();
+    let mut merged = LoadOutcome::default();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for schedule in schedules {
+            joins.push(scope.spawn(move || {
+                let mut out = LoadOutcome::default();
+                let Ok(mut client) = Client::connect(addr) else {
+                    out.errors += schedule.len() as u64;
+                    return out;
+                };
+                for (at, salt) in schedule {
+                    // Open loop: arrivals follow the schedule, not the
+                    // previous response. When behind, fire immediately.
+                    let due = Duration::from_secs_f64(at);
+                    if let Some(wait) = due.checked_sub(start.elapsed()) {
+                        std::thread::sleep(wait);
+                    }
+                    let t0 = Instant::now();
+                    match client.call(&workload_request(salt)) {
+                        Ok(Response::Computed { cache_hit, .. }) => {
+                            out.completed += 1;
+                            out.cache_hits += u64::from(cache_hit);
+                            out.latencies_us
+                                .push(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+                        }
+                        Ok(Response::Rejected { retry_after_ms, .. }) => {
+                            out.rejected += 1;
+                            if retry_after_ms == 0 {
+                                out.errors += 1; // rejection must carry a hint
+                            }
+                        }
+                        Ok(Response::Expired { .. }) => out.expired += 1,
+                        // Unexpected kinds and transport failures count as
+                        // generic errors; only decode failures are protocol.
+                        Ok(_) | Err(tme_serve::WireError::Io { .. }) => out.errors += 1,
+                        Err(_) => {
+                            protocol_errors.fetch_add(1, Ordering::SeqCst);
+                            out.errors += 1;
+                        }
+                    }
+                }
+                out
+            }));
+        }
+        for j in joins {
+            let Ok(out) = j.join() else {
+                fail("load client thread panicked");
+            };
+            merged.completed += out.completed;
+            merged.rejected += out.rejected;
+            merged.expired += out.expired;
+            merged.errors += out.errors;
+            merged.cache_hits += out.cache_hits;
+            merged.latencies_us.extend(out.latencies_us);
+        }
+    });
+    merged
+}
+
+fn main() {
+    tme_bench::init_cli();
+    let quick = arg_flag("--quick");
+    let workers: usize = arg_or("--workers", 2);
+    let queue: usize = arg_or("--queue", 8);
+    let seed: u64 = arg_or("--seed", 42);
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let duration_s = if quick { 1.0 } else { 3.0 };
+    // Enough serial connections that the in-flight count can exceed
+    // workers + queue capacity — otherwise the queue can never fill and
+    // backpressure would go untested.
+    let clients = workers + queue + 4;
+
+    let handle = match serve(ServeConfig {
+        workers,
+        queue_capacity: queue,
+        ..ServeConfig::default()
+    }) {
+        Ok(h) => h,
+        Err(e) => fail(&format!("server failed to start: {e}")),
+    };
+    let addr = handle.local_addr();
+    println!("# serve_load: server on {addr}, {workers} workers, queue {queue}, seed {seed}");
+
+    // 1. Plan-cache demo: second identical config must hit, same bits.
+    let mut probe = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => fail(&format!("could not connect: {e}")),
+    };
+    let (e1, hit1) = match probe.call(&workload_request(0)) {
+        Ok(Response::Computed {
+            energy, cache_hit, ..
+        }) => (energy, cache_hit),
+        other => fail(&format!("probe compute failed: {other:?}")),
+    };
+    let (e2, hit2) = match probe.call(&workload_request(0)) {
+        Ok(Response::Computed {
+            energy, cache_hit, ..
+        }) => (energy, cache_hit),
+        other => fail(&format!("probe compute failed: {other:?}")),
+    };
+    if hit1 || !hit2 {
+        fail(&format!(
+            "plan cache broken: first hit={hit1} (want miss), second hit={hit2} (want hit)"
+        ));
+    }
+    if e1.to_bits() != e2.to_bits() {
+        fail("cache hit changed the energy bits");
+    }
+    println!("plan cache: miss then hit, energy bitwise identical ({e1:.6})");
+
+    // 2. Capacity probe: median sequential service time.
+    let probe_n = if quick { 10 } else { 30 };
+    let mut service_us: Vec<u64> = Vec::new();
+    for _ in 0..probe_n {
+        let t0 = Instant::now();
+        if !matches!(
+            probe.call(&workload_request(0)),
+            Ok(Response::Computed { .. })
+        ) {
+            fail("capacity probe request failed");
+        }
+        service_us.push(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+    }
+    service_us.sort_unstable();
+    let median_us = service_us[service_us.len() / 2].max(50);
+    let capacity_rps = (workers as f64) * 1e6 / median_us as f64;
+    println!("capacity probe: median service {median_us} µs -> ~{capacity_rps:.0} rps capacity");
+
+    // 3. Open-loop sweep at three offered loads.
+    let protocol_errors = AtomicU64::new(0);
+    let mut rows: Vec<LoadRow> = Vec::new();
+    for (li, factor) in [0.5, 1.0, 2.5].into_iter().enumerate() {
+        let offered_rps = (capacity_rps * factor).clamp(4.0, 5000.0);
+        let t0 = Instant::now();
+        let out = run_load(
+            addr,
+            offered_rps,
+            duration_s,
+            clients,
+            seed ^ ((li as u64 + 1) << 32),
+            &protocol_errors,
+        );
+        let elapsed = t0.elapsed().as_secs_f64().max(1e-6);
+        let mut lat = out.latencies_us.clone();
+        lat.sort_unstable();
+        let submitted = out.completed + out.rejected + out.expired + out.errors;
+        let row = LoadRow {
+            offered_rps,
+            achieved_rps: out.completed as f64 / elapsed,
+            completed: out.completed,
+            rejected: out.rejected,
+            expired: out.expired,
+            rejection_rate: if submitted == 0 {
+                0.0
+            } else {
+                out.rejected as f64 / submitted as f64
+            },
+            cache_hit_rate: if out.completed == 0 {
+                0.0
+            } else {
+                out.cache_hits as f64 / out.completed as f64
+            },
+            p50_us: percentile(&lat, 0.50),
+            p99_us: percentile(&lat, 0.99),
+        };
+        println!(
+            "load {factor:>3}x: offered {:.0} rps, achieved {:.0} rps, {} completed / {} \
+             rejected / {} expired, p50 {} µs, p99 {} µs, cache hit {:.1}%",
+            row.offered_rps,
+            row.achieved_rps,
+            row.completed,
+            row.rejected,
+            row.expired,
+            row.p50_us,
+            row.p99_us,
+            100.0 * row.cache_hit_rate
+        );
+        if out.errors > 0 {
+            fail(&format!(
+                "{} client-side errors at load {factor}x",
+                out.errors
+            ));
+        }
+        rows.push(row);
+    }
+
+    // 4. Drain and final bookkeeping.
+    handle.trigger_drain();
+    let stats = handle.join();
+    println!("--- final server stats ---\n{stats}");
+
+    let proto_errs = protocol_errors.load(Ordering::SeqCst) + stats.protocol_errors;
+    if proto_errs > 0 {
+        fail(&format!("{proto_errs} protocol errors"));
+    }
+    let top = rows.last().map_or(0, |r| r.rejected);
+    if top == 0 {
+        fail("over-capacity load produced zero rejections — backpressure is not engaging");
+    }
+    if stats.queue_max_depth > queue as u64 {
+        fail(&format!(
+            "queue grew to {} beyond its capacity {queue}",
+            stats.queue_max_depth
+        ));
+    }
+    let answered = stats.completed + stats.rejected + stats.expired + stats.server_errors;
+    let work_received = stats.kinds.compute + stats.kinds.nve_run + stats.kinds.estimate;
+    if answered != work_received {
+        fail(&format!(
+            "drain lost requests: {work_received} work requests received, {answered} answered"
+        ));
+    }
+    if quick {
+        let p99 = rows.iter().map(|r| r.p99_us).max().unwrap_or(0);
+        if p99 > 2_000_000 {
+            fail(&format!("p99 {p99} µs exceeds the 2 s quick-mode bound"));
+        }
+    }
+    println!(
+        "drain: all {work_received} work requests answered; queue high-water {} <= {queue}",
+        stats.queue_max_depth
+    );
+
+    let json = tme_bench::json::report("serve_load", |o| {
+        o.u64("seed", seed)
+            .u64("workers", workers as u64)
+            .u64("queue_capacity", queue as u64)
+            .bool("quick", quick)
+            .f64("capacity_probe_rps", capacity_rps, 1)
+            .u64("median_service_us", median_us)
+            .u64("protocol_errors", proto_errs)
+            .u64("queue_max_depth", stats.queue_max_depth)
+            .f64("overall_cache_hit_rate", stats.cache_hit_rate(), 4)
+            .rows("rows", &rows, |r, row| {
+                row.f64("offered_rps", r.offered_rps, 1)
+                    .f64("achieved_rps", r.achieved_rps, 1)
+                    .u64("completed", r.completed)
+                    .u64("rejected", r.rejected)
+                    .u64("expired", r.expired)
+                    .f64("rejection_rate", r.rejection_rate, 4)
+                    .f64("cache_hit_rate", r.cache_hit_rate, 4)
+                    .u64("p50_us", r.p50_us)
+                    .u64("p99_us", r.p99_us);
+            });
+    });
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+}

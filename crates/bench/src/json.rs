@@ -1,0 +1,194 @@
+//! Shared JSON emission for the `BENCH_*.json` reports.
+//!
+//! `chaos_run` and `pipeline_scaling` used to hand-roll their writers
+//! with `writeln!`; this module is the one implementation all bench bins
+//! (including `serve_load`) go through. Still dependency-free — the
+//! workspace has no serialisation crate — but with one shape: a
+//! top-level object carrying a `schema` version tag and the benchmark
+//! name first, scalar fields in insertion order, and row arrays rendered
+//! as compact one-line objects (the committed-baseline diff stays
+//! readable and the `pipeline_scaling` regression scanner keeps finding
+//! `"threads": 1,` on one line).
+//!
+//! Floats are written with a caller-chosen precision; non-finite values
+//! become `null` (JSON has no NaN/∞, and a report that silently printed
+//! `inf` would be unparseable downstream).
+
+/// An object under construction: ordered `key → rendered value` pairs.
+#[derive(Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    fn put(&mut self, key: &str, value: String) {
+        self.fields.push((key.to_string(), value));
+    }
+
+    pub fn u64(&mut self, key: &str, v: u64) -> &mut Self {
+        self.put(key, v.to_string());
+        self
+    }
+
+    /// Fixed-precision float; non-finite renders as `null`.
+    pub fn f64(&mut self, key: &str, v: f64, decimals: usize) -> &mut Self {
+        let rendered = if v.is_finite() {
+            format!("{v:.decimals$}")
+        } else {
+            "null".to_string()
+        };
+        self.put(key, rendered);
+        self
+    }
+
+    pub fn bool(&mut self, key: &str, v: bool) -> &mut Self {
+        self.put(key, v.to_string());
+        self
+    }
+
+    /// Escaped string value.
+    pub fn str(&mut self, key: &str, v: &str) -> &mut Self {
+        self.put(key, format!("\"{}\"", escape(v)));
+        self
+    }
+
+    /// Pre-rendered JSON value, verbatim — `null`, a small inline array
+    /// like `[32, 32, 32]`, or an integer-or-null option.
+    pub fn raw(&mut self, key: &str, v: &str) -> &mut Self {
+        self.put(key, v.to_string());
+        self
+    }
+
+    /// Nested object, rendered compactly on one line.
+    pub fn obj(&mut self, key: &str, build: impl FnOnce(&mut JsonObject)) -> &mut Self {
+        let mut o = JsonObject::default();
+        build(&mut o);
+        self.put(key, o.render_compact());
+        self
+    }
+
+    /// Array of objects, one compact object per line — the `rows` shape
+    /// every bench report uses.
+    pub fn rows<T>(
+        &mut self,
+        key: &str,
+        items: &[T],
+        mut build: impl FnMut(&T, &mut JsonObject),
+    ) -> &mut Self {
+        let rendered: Vec<String> = items
+            .iter()
+            .map(|item| {
+                let mut o = JsonObject::default();
+                build(item, &mut o);
+                format!("    {}", o.render_compact())
+            })
+            .collect();
+        if rendered.is_empty() {
+            self.put(key, "[]".to_string());
+        } else {
+            self.put(key, format!("[\n{}\n  ]", rendered.join(",\n")));
+        }
+        self
+    }
+
+    fn render_compact(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a complete benchmark report: `schema` and `benchmark` first,
+/// then whatever `build` adds, pretty-printed two-space at the top level.
+pub fn report(benchmark: &str, build: impl FnOnce(&mut JsonObject)) -> String {
+    let mut o = JsonObject::default();
+    o.str("schema", "tme-bench/1");
+    o.str("benchmark", benchmark);
+    build(&mut o);
+    let body: Vec<String> = o
+        .fields
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect();
+    format!("{{\n{}\n}}\n", body.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_has_schema_and_order() {
+        let out = report("demo", |o| {
+            o.u64("steps", 7)
+                .f64("mean_us", 12.3456, 3)
+                .bool("ok", true);
+        });
+        let schema = out.find("\"schema\": \"tme-bench/1\"");
+        let bench = out.find("\"benchmark\": \"demo\"");
+        let steps = out.find("\"steps\": 7");
+        assert!(schema < bench && bench < steps, "field order broken: {out}");
+        assert!(out.contains("\"mean_us\": 12.346"));
+        assert!(out.contains("\"ok\": true"));
+        assert!(out.ends_with("}\n"));
+    }
+
+    #[test]
+    fn rows_render_one_compact_object_per_line() {
+        let out = report("demo", |o| {
+            o.rows("rows", &[1u64, 2], |&v, row| {
+                row.u64("threads", v).obj("stages_us", |s| {
+                    s.u64("assign", v * 10);
+                });
+            });
+        });
+        // The regression scanner's pattern must survive: row fields stay
+        // on one line with `, ` separators.
+        assert!(
+            out.contains("{\"threads\": 1, \"stages_us\": {\"assign\": 10}}"),
+            "{out}"
+        );
+        assert!(out.contains("{\"threads\": 2, "));
+        let row_lines = out.lines().filter(|l| l.contains("\"threads\"")).count();
+        assert_eq!(row_lines, 2);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null_and_strings_escape() {
+        let out = report("demo", |o| {
+            o.f64("bad", f64::NAN, 2)
+                .raw("maybe", "null")
+                .str("msg", "a \"quoted\"\nline");
+        });
+        assert!(out.contains("\"bad\": null"));
+        assert!(out.contains("\"maybe\": null"));
+        assert!(out.contains("\"msg\": \"a \\\"quoted\\\"\\nline\""));
+    }
+
+    #[test]
+    fn empty_rows_render_as_empty_array() {
+        let out = report("demo", |o| {
+            o.rows("rows", &[] as &[u64], |_, _| {});
+        });
+        assert!(out.contains("\"rows\": []"));
+    }
+}

@@ -8,6 +8,7 @@ use tme_mesh::CoulombSystem;
 #[cfg(feature = "alloc-count")]
 pub mod alloc;
 pub mod harness;
+pub mod json;
 
 /// Restore default SIGPIPE semantics so harness output piped into
 /// `head`/`less` terminates quietly instead of panicking (Rust masks

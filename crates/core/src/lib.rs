@@ -39,7 +39,7 @@ pub use errors::{TmeConfigError, TmeRecoverableError};
 pub use kernel::TensorKernel;
 pub use msm::Msm;
 pub use shells::GaussianFit;
-pub use solver::{Tme, TmeParams};
+pub use solver::{Tme, TmeParams, TmeStats};
 pub use timings::TmeStageTimings;
 pub use workspace::TmeWorkspace;
 

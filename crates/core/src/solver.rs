@@ -25,7 +25,7 @@ use tme_num::table::PairKernelTable;
 use tme_num::vec3::V3;
 
 /// TME configuration (paper notation in backticks).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TmeParams {
     /// Finest grid numbers `N`; powers of two.
     pub n: [usize; 3],
@@ -72,6 +72,31 @@ pub struct TmeStats {
     /// Wall-clock microseconds per pipeline stage of this evaluation
     /// (stages not run by the entry point stay zero).
     pub stages: TmeStageTimings,
+}
+
+impl std::fmt::Display for TmeStats {
+    /// Human-readable rendering for stats endpoints and `--stats` output:
+    /// one line of work counters, one line of per-stage wall clock.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "convolution {} madds in {} passes, {} transfer points, {} top-level points",
+            self.convolution.madds, self.convolution.passes, self.transfer_points, self.top_points
+        )?;
+        let s = &self.stages;
+        write!(
+            f,
+            "stages (µs): assign {} | convolve {} | transfer {} | toplevel {} | \
+             interpolate {} | short-range {} | total {}",
+            s.assign_us,
+            s.convolve_us,
+            s.transfer_us,
+            s.toplevel_us,
+            s.interpolate_us,
+            s.short_range_us,
+            s.total_us
+        )
+    }
 }
 
 /// A TME solver bound to one box.

@@ -297,8 +297,20 @@ impl Tme {
         ws: &'w mut TmeWorkspace,
         system: &CoulombSystem,
     ) -> &'w CoulombResult {
+        self.compute_with_stats(ws, system).0
+    }
+
+    /// [`Self::compute_with`] returning the execution statistics of the
+    /// evaluation alongside the result (work counters from the mesh part,
+    /// stage timings covering the whole call including the short-range
+    /// sum) — the form service layers use to report per-request cost.
+    pub fn compute_with_stats<'w>(
+        &self,
+        ws: &'w mut TmeWorkspace,
+        system: &CoulombSystem,
+    ) -> (&'w CoulombResult, TmeStats) {
         let t_entry = Instant::now();
-        self.long_range_with(ws, system);
+        let mut stats = self.long_range_with(ws, system).1;
         let pool = Arc::clone(&ws.pool);
         // Short-range pairs through the plan-time kernel table — the
         // table-lookup pipeline analogue; the exact-erfc path stays
@@ -316,6 +328,7 @@ impl Tme {
         ws.out.accumulate(&ws.mesh_out);
         pairwise::self_term_into(system, self.params.alpha, &mut ws.out);
         ws.timings.total_us = elapsed_us(t_entry);
+        stats.stages = ws.timings;
         debug_assert!(
             ws.out.energy.is_finite()
                 && ws
@@ -326,7 +339,7 @@ impl Tme {
             "non-finite energy/force leaving Tme::compute_with (energy = {})",
             ws.out.energy
         );
-        &ws.out
+        (&ws.out, stats)
     }
 
     /// [`Self::compute_with`] with the hot-path invariants promoted to
@@ -342,6 +355,16 @@ impl Tme {
         ws: &'w mut TmeWorkspace,
         system: &CoulombSystem,
     ) -> Result<&'w CoulombResult, TmeRecoverableError> {
+        self.try_compute_with_stats(ws, system).map(|(out, _)| out)
+    }
+
+    /// [`Self::try_compute_with`] returning the execution statistics
+    /// alongside the result — the checked entry point service layers use.
+    pub fn try_compute_with_stats<'w>(
+        &self,
+        ws: &'w mut TmeWorkspace,
+        system: &CoulombSystem,
+    ) -> Result<(&'w CoulombResult, TmeStats), TmeRecoverableError> {
         validate_inputs(system)?;
         // Table-domain violation: the tabulated short-range kernels clamp
         // silently past r_max, so a cutoff beyond the table is corrupt
@@ -354,9 +377,9 @@ impl Tme {
                 r_table,
             });
         }
-        self.compute_with(ws, system);
+        let stats = self.compute_with_stats(ws, system).1;
         validate_result(&ws.out)?;
-        Ok(&ws.out)
+        Ok((&ws.out, stats))
     }
 
     /// Full Coulomb interaction with the short-range pair sum on the

@@ -667,6 +667,32 @@ impl RunReport {
     }
 }
 
+impl std::fmt::Display for RunReport {
+    /// Human-readable run summary for stats endpoints and `--stats`
+    /// output: step count, the mean/min/max/stddev step times, and the
+    /// fault tally when any were injected.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} steps: mean {:.1} µs/step (min {:.1}, max {:.1}, stddev {:.1})",
+            self.step_us.len(),
+            self.mean(),
+            self.min(),
+            self.max(),
+            self.stddev()
+        )?;
+        if !self.faults.is_empty() {
+            write!(
+                f,
+                "; {} faults, {:.1} µs overhead",
+                self.faults.len(),
+                self.fault_overhead_us
+            )?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

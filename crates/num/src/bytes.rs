@@ -26,6 +26,8 @@ pub enum CodecError {
     BadTag { at: usize, want: u64, got: u64 },
     /// A declared length is implausible for the remaining buffer.
     BadLength { at: usize, len: u64 },
+    /// A length-prefixed string was not valid UTF-8.
+    BadUtf8 { at: usize },
 }
 
 impl std::fmt::Display for CodecError {
@@ -43,6 +45,9 @@ impl std::fmt::Display for CodecError {
             ),
             Self::BadLength { at, len } => {
                 write!(f, "implausible length {len} at byte {at}")
+            }
+            Self::BadUtf8 { at } => {
+                write!(f, "length-prefixed string at byte {at} is not valid UTF-8")
             }
         }
     }
@@ -97,6 +102,19 @@ impl ByteWriter {
         for &v in vs {
             self.put_f64(v);
         }
+    }
+
+    /// Raw bytes, *not* length-prefixed (frame payloads whose length the
+    /// outer container already carries).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Length-prefixed UTF-8 string (counterpart of
+    /// [`ByteReader::get_str`]).
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
     }
 
     /// Length-prefixed `[f64; 3]` slice (positions, velocities, forces).
@@ -175,6 +193,21 @@ impl<'a> ByteReader<'a> {
 
     pub fn get_f64(&mut self) -> Result<f64, CodecError> {
         Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Borrow `n` raw bytes (counterpart of [`ByteWriter::put_raw`]).
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take(n)
+    }
+
+    /// Length-prefixed UTF-8 string (counterpart of
+    /// [`ByteWriter::put_str`]). Rejects invalid UTF-8 with
+    /// [`CodecError::BadUtf8`] instead of lossily converting.
+    pub fn get_str(&mut self) -> Result<String, CodecError> {
+        let len = self.get_len(1)?;
+        let at = self.pos;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8 { at })
     }
 
     /// Read a `u64` and require it to equal `want` — magic/version checks.
@@ -275,6 +308,26 @@ mod tests {
             }) => {}
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn strings_round_trip_and_reject_bad_utf8() -> TestResult {
+        let mut w = ByteWriter::new();
+        w.put_str("plan cache α=3.2 \"quoted\"");
+        w.put_raw(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_str()?, "plan cache α=3.2 \"quoted\"");
+        assert_eq!(r.get_raw(2)?, &[0xff, 0xfe]);
+        assert!(r.is_empty());
+        // A length-prefixed blob of invalid UTF-8 is a typed error.
+        let mut w = ByteWriter::new();
+        w.put_usize(2);
+        w.put_raw(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_str(), Err(CodecError::BadUtf8 { at: 8 }));
+        Ok(())
     }
 
     #[test]

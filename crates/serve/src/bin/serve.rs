@@ -1,0 +1,97 @@
+//! `serve` — run the TME simulation service from the command line.
+//!
+//! ```text
+//! serve [--addr 127.0.0.1:7878] [--workers 2] [--queue 16] [--cache 8]
+//!       [--retry-after-ms 50] [--stats-out stats.json]
+//! ```
+//!
+//! The server runs until SIGTERM/SIGINT, then drains gracefully: admission
+//! stops, queued requests are answered, and the final stats snapshot is
+//! printed (and written to `--stats-out` when given).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use tme_serve::{serve, ServeConfig};
+
+/// Set by the signal handler; polled by the main loop.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+fn install_signal_handlers() {
+    #[cfg(unix)]
+    {
+        // Raw libc binding, as in the bench harnesses: `signal(2)` exists
+        // in every libc Rust links against and std offers no safe
+        // interface for dispositions.
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2; // POSIX-mandated values on every unix
+        const SIGTERM: i32 = 15; // target Rust supports
+                                 // SAFETY: installed before any server thread is spawned, so no
+                                 // handler races thread startup. The handler only stores a relaxed
+                                 // flag into an atomic — async-signal-safe, no allocation, no
+                                 // unwinding across the FFI boundary.
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+}
+
+fn arg_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> std::process::ExitCode {
+    install_signal_handlers();
+    let cfg = ServeConfig {
+        addr: arg_or("--addr", "127.0.0.1:7878".to_string()),
+        workers: arg_or("--workers", 2),
+        queue_capacity: arg_or("--queue", 16),
+        plan_cache_capacity: arg_or("--cache", 8),
+        retry_after_ms: arg_or("--retry-after-ms", 50),
+        stats_path: {
+            let p: String = arg_or("--stats-out", String::new());
+            if p.is_empty() {
+                None
+            } else {
+                Some(p)
+            }
+        },
+        ..ServeConfig::default()
+    };
+    let handle = match serve(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve: failed to start: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    println!("serve: listening on {}", handle.local_addr());
+    // A shutdown request over the wire also ends the wait (the accept
+    // thread exits), so poll both the signal flag and the handle.
+    while !STOP.load(Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        if handle_finished(&handle) {
+            break;
+        }
+    }
+    println!("serve: draining");
+    handle.trigger_drain();
+    let stats = handle.join();
+    println!("{stats}");
+    std::process::ExitCode::SUCCESS
+}
+
+/// Whether the server already shut down on its own (wire-level shutdown).
+fn handle_finished(handle: &tme_serve::ServerHandle) -> bool {
+    handle.is_shut_down()
+}

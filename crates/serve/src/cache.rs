@@ -1,0 +1,189 @@
+//! The plan cache (DESIGN.md §12.2).
+//!
+//! `Tme::try_new` is the expensive part of a one-shot request: it fits
+//! Gaussians, folds kernels and tabulates pair potentials — tens of
+//! milliseconds against a sub-millisecond execute for small systems.
+//! Repeat clients (an MD facility's workloads are dominated by a handful
+//! of configurations) should pay it once. The cache maps a 64-bit
+//! **configuration fingerprint** — FNV-1a over the exact bits of every
+//! `TmeParams` field plus the box — to a shared `Arc<Tme>` plan, with LRU
+//! eviction at a fixed capacity.
+//!
+//! Keying on raw `f64` bits makes the key exact: two configs hit the same
+//! plan only when every parameter is bit-identical, so a cache hit can
+//! never change numerical results (the same determinism argument as the
+//! checkpoint fingerprints in `tme_md::nve`). Workspaces are *not* cached
+//! here — they are mutable per-worker state; each worker keeps its own
+//! small workspace LRU keyed by the same fingerprint.
+
+use std::sync::Arc;
+use tme_core::{Tme, TmeConfigError, TmeParams};
+
+/// FNV-1a over a stream of `u64` words (the same mixing as the
+/// checkpoint topology fingerprint in `tme_md`).
+fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        h = (h ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Exact 64-bit fingerprint of a solver configuration: every `TmeParams`
+/// field and the box lengths, floats by raw bits.
+#[must_use]
+pub fn config_fingerprint(params: &TmeParams, box_l: [f64; 3]) -> u64 {
+    fnv1a([
+        params.n[0] as u64,
+        params.n[1] as u64,
+        params.n[2] as u64,
+        params.p as u64,
+        u64::from(params.levels),
+        params.gc as u64,
+        params.m_gaussians as u64,
+        params.alpha.to_bits(),
+        params.r_cut.to_bits(),
+        box_l[0].to_bits(),
+        box_l[1].to_bits(),
+        box_l[2].to_bits(),
+    ])
+}
+
+/// LRU cache of planned solvers, keyed by [`config_fingerprint`].
+///
+/// A `Vec` ordered most-recently-used-first: capacities are single-digit
+/// to low tens (each plan holds kernel tables and FFT state), so linear
+/// scans beat any pointer-chasing structure and keep the type std-only.
+pub struct PlanCache {
+    entries: Vec<(u64, Arc<Tme>)>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (at least 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Fetch the plan for `key`, building it with `build` on a miss.
+    /// Returns the plan and whether it was a cache hit. A failed build is
+    /// not cached (the next identical request retries), and still counts
+    /// as a miss.
+    pub fn get_or_try_build(
+        &mut self,
+        key: u64,
+        build: impl FnOnce() -> Result<Tme, TmeConfigError>,
+    ) -> Result<(Arc<Tme>, bool), TmeConfigError> {
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.hits += 1;
+            let entry = self.entries.remove(i);
+            self.entries.insert(0, entry);
+            return Ok((Arc::clone(&self.entries[0].1), true));
+        }
+        self.misses += 1;
+        let plan = Arc::new(build()?);
+        if self.entries.len() >= self.capacity {
+            self.entries.pop();
+        }
+        self.entries.insert(0, (key, Arc::clone(&plan)));
+        Ok((plan, false))
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` since construction.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n: usize) -> TmeParams {
+        TmeParams {
+            n: [n; 3],
+            p: 6,
+            levels: 1,
+            gc: 8,
+            m_gaussians: 4,
+            alpha: 3.2,
+            r_cut: 1.0,
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_configs_and_is_stable() {
+        let a = config_fingerprint(&params(16), [4.0; 3]);
+        assert_eq!(a, config_fingerprint(&params(16), [4.0; 3]));
+        assert_ne!(a, config_fingerprint(&params(32), [4.0; 3]));
+        assert_ne!(a, config_fingerprint(&params(16), [8.0; 3]));
+        let mut p = params(16);
+        p.alpha = 3.200_000_000_000_001;
+        assert_ne!(a, config_fingerprint(&p, [4.0; 3]));
+    }
+
+    #[test]
+    fn second_identical_request_hits_and_shares_the_plan() -> Result<(), TmeConfigError> {
+        let mut cache = PlanCache::new(2);
+        let key = config_fingerprint(&params(16), [4.0; 3]);
+        let (first, hit1) = cache.get_or_try_build(key, || Tme::try_new(params(16), [4.0; 3]))?;
+        let (second, hit2) = cache.get_or_try_build(key, || Tme::try_new(params(16), [4.0; 3]))?;
+        assert!(!hit1 && hit2);
+        assert!(Arc::ptr_eq(&first, &second), "hit must share the plan");
+        assert_eq!(cache.counters(), (1, 1));
+        Ok(())
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_plan() -> Result<(), TmeConfigError> {
+        let mut cache = PlanCache::new(2);
+        let k16 = config_fingerprint(&params(16), [4.0; 3]);
+        let k32 = config_fingerprint(&params(32), [8.0; 3]);
+        let k64 = config_fingerprint(&params(64), [8.0; 3]);
+        cache.get_or_try_build(k16, || Tme::try_new(params(16), [4.0; 3]))?;
+        cache.get_or_try_build(k32, || Tme::try_new(params(32), [8.0; 3]))?;
+        // Touch 16 so 32 becomes coldest, then insert a third.
+        cache.get_or_try_build(k16, || Tme::try_new(params(16), [4.0; 3]))?;
+        cache.get_or_try_build(k64, || Tme::try_new(params(64), [8.0; 3]))?;
+        assert_eq!(cache.len(), 2);
+        // 16 survived (it was touched before the insert)...
+        let (_, hit) = cache.get_or_try_build(k16, || Tme::try_new(params(16), [4.0; 3]))?;
+        assert!(hit);
+        // ...and 32, the coldest entry, was the one evicted.
+        let (_, hit) = cache.get_or_try_build(k32, || Tme::try_new(params(32), [8.0; 3]))?;
+        assert!(!hit);
+        Ok(())
+    }
+
+    #[test]
+    fn failed_builds_are_not_cached() {
+        let mut cache = PlanCache::new(2);
+        let mut bad = params(16);
+        bad.levels = 0;
+        let key = config_fingerprint(&bad, [4.0; 3]);
+        assert!(cache
+            .get_or_try_build(key, || Tme::try_new(bad, [4.0; 3]))
+            .is_err());
+        assert!(cache.is_empty());
+        assert_eq!(cache.counters(), (0, 1));
+    }
+}

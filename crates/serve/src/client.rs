@@ -1,0 +1,27 @@
+//! A minimal blocking client for the serve protocol — used by the load
+//! harness, the example, and the integration tests. One TCP connection,
+//! one request in flight at a time.
+
+use crate::protocol::{read_frame, write_frame, Request, Response, WireError};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Send one request and block for its response.
+    pub fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream)?;
+        Response::decode(&payload)
+    }
+}

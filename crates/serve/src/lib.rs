@@ -1,0 +1,42 @@
+//! `tme-serve` — the multi-tenant TME simulation service (DESIGN.md §12).
+//!
+//! The paper's machine is operated as a *facility*: many users' MD
+//! workloads funnel through one shared accelerator. This crate is the
+//! software analogue of that boundary — the first request/response layer
+//! over the solver stack, std-only like the rest of the workspace:
+//!
+//! * [`protocol`] — length-prefixed binary frames over TCP (version
+//!   byte, typed [`protocol::WireError`], no panics on hostile input);
+//! * [`cache`] — the plan cache: LRU over configuration fingerprints so
+//!   repeat clients skip `Tme::try_new`;
+//! * [`queue`] — the bounded request queue behind admission control;
+//! * [`server`] — worker pool, per-request deadlines, graceful drain;
+//! * [`stats`] — counters + fixed-bucket latency histograms (p50/p99
+//!   in-tree), queryable over the wire and dumped as JSON on drain;
+//! * [`client`] — a minimal blocking client for harnesses and examples.
+//!
+//! ```no_run
+//! use tme_serve::{serve, Client, Request, Response, ServeConfig};
+//!
+//! let handle = serve(ServeConfig::default())?;
+//! let mut client = Client::connect(handle.local_addr())?;
+//! let reply = client.call(&Request::Stats)?;
+//! assert!(matches!(reply, Response::Stats { .. }));
+//! handle.trigger_drain();
+//! handle.join();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod stats;
+
+pub use cache::{config_fingerprint, PlanCache};
+pub use client::Client;
+pub use protocol::{Request, Response, ServerErrorCode, WireError, PROTOCOL_VERSION};
+pub use queue::Bounded;
+pub use server::{serve, ServeConfig, ServeError, ServerHandle};
+pub use stats::ServeStats;

@@ -1,0 +1,746 @@
+//! The `tme-serve` wire protocol (DESIGN.md §12.1).
+//!
+//! Length-prefixed binary frames over any `Read`/`Write` transport
+//! (in production a TCP stream):
+//!
+//! ```text
+//! frame   := len:u32le payload
+//! payload := version:u8 kind:u8 body
+//! ```
+//!
+//! Bodies are encoded with the bit-transparent [`tme_num::bytes`] codec
+//! (all integers little-endian, `f64` as raw bits), so a request replayed
+//! from a capture reproduces the exact same computation. Every decode
+//! path returns a typed [`WireError`] — truncated frames, bad version
+//! bytes, unknown kinds and trailing garbage are all answers the peer can
+//! log and survive, never panics (lint rule L6 holds the crate to that).
+
+use tme_core::TmeParams;
+use tme_num::bytes::{ByteReader, ByteWriter, CodecError};
+
+/// Protocol version carried in byte 0 of every payload. Bump on any
+/// incompatible change; a server rejects other versions with
+/// [`WireError::BadVersion`] before touching the body.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard ceiling on a frame payload (16 MiB) — an absurd length prefix is
+/// rejected before any allocation.
+pub const MAX_FRAME_BYTES: u32 = 16 << 20;
+
+/// Why a frame could not be read, decoded, or written.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload body is malformed (truncated, bad tag, trailing bytes).
+    Codec(CodecError),
+    /// The peer speaks a different protocol version.
+    BadVersion { got: u8 },
+    /// The request kind byte is not one this version defines.
+    UnknownRequestKind { got: u8 },
+    /// The response kind byte is not one this version defines.
+    UnknownResponseKind { got: u8 },
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    FrameTooLarge { len: u64 },
+    /// The transport failed mid-frame (connection reset, EOF, timeout).
+    Io { kind: std::io::ErrorKind },
+}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> Self {
+        Self::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io { kind: e.kind() }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Codec(e) => write!(f, "malformed frame body: {e}"),
+            Self::BadVersion { got } => {
+                write!(
+                    f,
+                    "protocol version {got} (this side speaks {PROTOCOL_VERSION})"
+                )
+            }
+            Self::UnknownRequestKind { got } => write!(f, "unknown request kind {got}"),
+            Self::UnknownResponseKind { got } => write!(f, "unknown response kind {got}"),
+            Self::FrameTooLarge { len } => {
+                write!(
+                    f,
+                    "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte ceiling"
+                )
+            }
+            Self::Io { kind } => write!(f, "transport error: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A machine-schedule estimate workload — the subset of
+/// [`mdgrape_sim::StepWorkload`] a client specifies; the server fills in
+/// the machine configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EstimateSpec {
+    pub n_atoms: u64,
+    pub grid: u64,
+    pub levels: u32,
+    pub gc: u64,
+    pub m_gaussians: u64,
+    pub r_cut: f64,
+    pub box_l: [f64; 3],
+    /// MD steps to schedule (server clamps to its own ceiling).
+    pub steps: u64,
+}
+
+/// One client request. Every variant carries `deadline_ms` (0 = none):
+/// if the request waits in the server queue longer than this, the worker
+/// aborts it unexecuted and answers [`Response::Expired`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// One-shot energy/forces evaluation: plan (or reuse from the plan
+    /// cache) a TME solver for `params`/`box_l` and run the full pipeline
+    /// over the positions/charges.
+    Compute {
+        deadline_ms: u64,
+        params: TmeParams,
+        box_l: [f64; 3],
+        pos: Vec<[f64; 3]>,
+        q: Vec<f64>,
+    },
+    /// N-step NVE run over a server-built TIP3P water box (SPME mesh,
+    /// `water_box(waters, seed)`); the response reports energy drift.
+    NveRun {
+        deadline_ms: u64,
+        waters: u64,
+        seed: u64,
+        steps: u64,
+        dt: f64,
+        r_cut: f64,
+    },
+    /// Machine-schedule estimate: run the MDGRAPE-4A discrete-event
+    /// simulator over the given workload for `steps` MD steps.
+    Estimate {
+        deadline_ms: u64,
+        spec: EstimateSpec,
+    },
+    /// Service observability snapshot (counters, histograms, cache rates).
+    Stats,
+    /// Stop the server. `drain = true` answers everything already queued
+    /// before exiting; `false` abandons the queue.
+    Shutdown { drain: bool },
+}
+
+const REQ_COMPUTE: u8 = 1;
+const REQ_NVE_RUN: u8 = 2;
+const REQ_ESTIMATE: u8 = 3;
+const REQ_STATS: u8 = 4;
+const REQ_SHUTDOWN: u8 = 5;
+
+/// Why the server refused to execute a request (carried in
+/// [`Response::ServerError`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerErrorCode {
+    /// The request's configuration failed validation (grid not a power of
+    /// two, atom/step counts over the server's limits, non-finite data,
+    /// mismatched array lengths, invalid TME parameters).
+    BadRequest = 1,
+    /// The solver hit a recoverable numerical fault executing the request.
+    SolverFault = 2,
+    /// The server failed internally (worker died mid-request).
+    Internal = 3,
+}
+
+impl ServerErrorCode {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(Self::BadRequest),
+            2 => Some(Self::SolverFault),
+            3 => Some(Self::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// One server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Compute`].
+    Computed {
+        energy: f64,
+        /// Did the plan come from the plan cache (vs a fresh `try_new`)?
+        cache_hit: bool,
+        forces: Vec<[f64; 3]>,
+        potentials: Vec<f64>,
+    },
+    /// Answer to [`Request::NveRun`].
+    NveDone {
+        steps: u64,
+        /// Total energy at t = 0 and after the last step.
+        first_total: f64,
+        last_total: f64,
+        /// `|E_last − E_first| / |E_first|`.
+        drift: f64,
+        temperature: f64,
+    },
+    /// Answer to [`Request::Estimate`].
+    Estimated {
+        steps: u64,
+        mean_us: f64,
+        max_us: f64,
+        /// Human-readable `RunReport` rendering.
+        report: String,
+    },
+    /// Answer to [`Request::Stats`]: a human-readable rendering plus the
+    /// same numbers as JSON.
+    Stats { text: String, json: String },
+    /// Acknowledgement of [`Request::Shutdown`].
+    ShuttingDown { drain: bool },
+    /// Admission control: the bounded queue is full (or the server is
+    /// draining). Retry after the hinted delay; nothing was executed.
+    Rejected {
+        retry_after_ms: u64,
+        queue_depth: u64,
+    },
+    /// The request out-waited its own deadline in the queue and was
+    /// aborted unexecuted.
+    Expired { waited_ms: u64, deadline_ms: u64 },
+    /// The request was admitted but could not be executed.
+    ServerError {
+        code: ServerErrorCode,
+        message: String,
+    },
+}
+
+const RESP_COMPUTED: u8 = 1;
+const RESP_NVE_DONE: u8 = 2;
+const RESP_ESTIMATED: u8 = 3;
+const RESP_STATS: u8 = 4;
+const RESP_SHUTTING_DOWN: u8 = 5;
+const RESP_REJECTED: u8 = 6;
+const RESP_EXPIRED: u8 = 7;
+const RESP_SERVER_ERROR: u8 = 8;
+
+fn put_params(w: &mut ByteWriter, p: &TmeParams) {
+    for d in p.n {
+        w.put_usize(d);
+    }
+    w.put_usize(p.p);
+    w.put_u32(p.levels);
+    w.put_usize(p.gc);
+    w.put_usize(p.m_gaussians);
+    w.put_f64(p.alpha);
+    w.put_f64(p.r_cut);
+}
+
+fn get_params(r: &mut ByteReader<'_>) -> Result<TmeParams, CodecError> {
+    Ok(TmeParams {
+        n: [
+            r.get_u64()? as usize,
+            r.get_u64()? as usize,
+            r.get_u64()? as usize,
+        ],
+        p: r.get_u64()? as usize,
+        levels: r.get_u32()?,
+        gc: r.get_u64()? as usize,
+        m_gaussians: r.get_u64()? as usize,
+        alpha: r.get_f64()?,
+        r_cut: r.get_f64()?,
+    })
+}
+
+fn put_v3(w: &mut ByteWriter, v: [f64; 3]) {
+    w.put_f64(v[0]);
+    w.put_f64(v[1]);
+    w.put_f64(v[2]);
+}
+
+fn get_v3(r: &mut ByteReader<'_>) -> Result<[f64; 3], CodecError> {
+    Ok([r.get_f64()?, r.get_f64()?, r.get_f64()?])
+}
+
+impl Request {
+    /// Encode into a frame payload (version byte + kind byte + body).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u8(PROTOCOL_VERSION);
+        match self {
+            Self::Compute {
+                deadline_ms,
+                params,
+                box_l,
+                pos,
+                q,
+            } => {
+                w.put_u8(REQ_COMPUTE);
+                w.put_u64(*deadline_ms);
+                put_params(&mut w, params);
+                put_v3(&mut w, *box_l);
+                w.put_v3_slice(pos);
+                w.put_f64_slice(q);
+            }
+            Self::NveRun {
+                deadline_ms,
+                waters,
+                seed,
+                steps,
+                dt,
+                r_cut,
+            } => {
+                w.put_u8(REQ_NVE_RUN);
+                w.put_u64(*deadline_ms);
+                w.put_u64(*waters);
+                w.put_u64(*seed);
+                w.put_u64(*steps);
+                w.put_f64(*dt);
+                w.put_f64(*r_cut);
+            }
+            Self::Estimate { deadline_ms, spec } => {
+                w.put_u8(REQ_ESTIMATE);
+                w.put_u64(*deadline_ms);
+                w.put_u64(spec.n_atoms);
+                w.put_u64(spec.grid);
+                w.put_u32(spec.levels);
+                w.put_u64(spec.gc);
+                w.put_u64(spec.m_gaussians);
+                w.put_f64(spec.r_cut);
+                put_v3(&mut w, spec.box_l);
+                w.put_u64(spec.steps);
+            }
+            Self::Stats => w.put_u8(REQ_STATS),
+            Self::Shutdown { drain } => {
+                w.put_u8(REQ_SHUTDOWN);
+                w.put_u8(u8::from(*drain));
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload. Rejects trailing garbage.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = ByteReader::new(payload);
+        let version = r.get_u8()?;
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::BadVersion { got: version });
+        }
+        let kind = r.get_u8()?;
+        let req = match kind {
+            REQ_COMPUTE => {
+                let deadline_ms = r.get_u64()?;
+                let params = get_params(&mut r)?;
+                let box_l = get_v3(&mut r)?;
+                let pos = r.get_v3_vec()?;
+                let q = r.get_f64_vec()?;
+                Self::Compute {
+                    deadline_ms,
+                    params,
+                    box_l,
+                    pos,
+                    q,
+                }
+            }
+            REQ_NVE_RUN => Self::NveRun {
+                deadline_ms: r.get_u64()?,
+                waters: r.get_u64()?,
+                seed: r.get_u64()?,
+                steps: r.get_u64()?,
+                dt: r.get_f64()?,
+                r_cut: r.get_f64()?,
+            },
+            REQ_ESTIMATE => Self::Estimate {
+                deadline_ms: r.get_u64()?,
+                spec: EstimateSpec {
+                    n_atoms: r.get_u64()?,
+                    grid: r.get_u64()?,
+                    levels: r.get_u32()?,
+                    gc: r.get_u64()?,
+                    m_gaussians: r.get_u64()?,
+                    r_cut: r.get_f64()?,
+                    box_l: get_v3(&mut r)?,
+                    steps: r.get_u64()?,
+                },
+            },
+            REQ_STATS => Self::Stats,
+            REQ_SHUTDOWN => Self::Shutdown {
+                drain: r.get_u8()? != 0,
+            },
+            got => return Err(WireError::UnknownRequestKind { got }),
+        };
+        reject_trailing(&r, payload)?;
+        Ok(req)
+    }
+
+    /// The deadline carried by this request (0 for control requests).
+    #[must_use]
+    pub fn deadline_ms(&self) -> u64 {
+        match self {
+            Self::Compute { deadline_ms, .. }
+            | Self::NveRun { deadline_ms, .. }
+            | Self::Estimate { deadline_ms, .. } => *deadline_ms,
+            Self::Stats | Self::Shutdown { .. } => 0,
+        }
+    }
+
+    /// Short kind name for stats and logs.
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Self::Compute { .. } => "compute",
+            Self::NveRun { .. } => "nve_run",
+            Self::Estimate { .. } => "estimate",
+            Self::Stats => "stats",
+            Self::Shutdown { .. } => "shutdown",
+        }
+    }
+}
+
+impl Response {
+    /// Encode into a frame payload (version byte + kind byte + body).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u8(PROTOCOL_VERSION);
+        match self {
+            Self::Computed {
+                energy,
+                cache_hit,
+                forces,
+                potentials,
+            } => {
+                w.put_u8(RESP_COMPUTED);
+                w.put_f64(*energy);
+                w.put_u8(u8::from(*cache_hit));
+                w.put_v3_slice(forces);
+                w.put_f64_slice(potentials);
+            }
+            Self::NveDone {
+                steps,
+                first_total,
+                last_total,
+                drift,
+                temperature,
+            } => {
+                w.put_u8(RESP_NVE_DONE);
+                w.put_u64(*steps);
+                w.put_f64(*first_total);
+                w.put_f64(*last_total);
+                w.put_f64(*drift);
+                w.put_f64(*temperature);
+            }
+            Self::Estimated {
+                steps,
+                mean_us,
+                max_us,
+                report,
+            } => {
+                w.put_u8(RESP_ESTIMATED);
+                w.put_u64(*steps);
+                w.put_f64(*mean_us);
+                w.put_f64(*max_us);
+                w.put_str(report);
+            }
+            Self::Stats { text, json } => {
+                w.put_u8(RESP_STATS);
+                w.put_str(text);
+                w.put_str(json);
+            }
+            Self::ShuttingDown { drain } => {
+                w.put_u8(RESP_SHUTTING_DOWN);
+                w.put_u8(u8::from(*drain));
+            }
+            Self::Rejected {
+                retry_after_ms,
+                queue_depth,
+            } => {
+                w.put_u8(RESP_REJECTED);
+                w.put_u64(*retry_after_ms);
+                w.put_u64(*queue_depth);
+            }
+            Self::Expired {
+                waited_ms,
+                deadline_ms,
+            } => {
+                w.put_u8(RESP_EXPIRED);
+                w.put_u64(*waited_ms);
+                w.put_u64(*deadline_ms);
+            }
+            Self::ServerError { code, message } => {
+                w.put_u8(RESP_SERVER_ERROR);
+                w.put_u8(*code as u8);
+                w.put_str(message);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload. Rejects trailing garbage.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = ByteReader::new(payload);
+        let version = r.get_u8()?;
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::BadVersion { got: version });
+        }
+        let kind = r.get_u8()?;
+        let resp = match kind {
+            RESP_COMPUTED => Self::Computed {
+                energy: r.get_f64()?,
+                cache_hit: r.get_u8()? != 0,
+                forces: r.get_v3_vec()?,
+                potentials: r.get_f64_vec()?,
+            },
+            RESP_NVE_DONE => Self::NveDone {
+                steps: r.get_u64()?,
+                first_total: r.get_f64()?,
+                last_total: r.get_f64()?,
+                drift: r.get_f64()?,
+                temperature: r.get_f64()?,
+            },
+            RESP_ESTIMATED => Self::Estimated {
+                steps: r.get_u64()?,
+                mean_us: r.get_f64()?,
+                max_us: r.get_f64()?,
+                report: r.get_str()?,
+            },
+            RESP_STATS => Self::Stats {
+                text: r.get_str()?,
+                json: r.get_str()?,
+            },
+            RESP_SHUTTING_DOWN => Self::ShuttingDown {
+                drain: r.get_u8()? != 0,
+            },
+            RESP_REJECTED => Self::Rejected {
+                retry_after_ms: r.get_u64()?,
+                queue_depth: r.get_u64()?,
+            },
+            RESP_EXPIRED => Self::Expired {
+                waited_ms: r.get_u64()?,
+                deadline_ms: r.get_u64()?,
+            },
+            RESP_SERVER_ERROR => {
+                let raw = r.get_u8()?;
+                let code = ServerErrorCode::from_u8(raw)
+                    .ok_or(WireError::UnknownResponseKind { got: raw })?;
+                Self::ServerError {
+                    code,
+                    message: r.get_str()?,
+                }
+            }
+            got => return Err(WireError::UnknownResponseKind { got }),
+        };
+        reject_trailing(&r, payload)?;
+        Ok(resp)
+    }
+
+    /// Short kind name for stats and logs.
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Self::Computed { .. } => "computed",
+            Self::NveDone { .. } => "nve_done",
+            Self::Estimated { .. } => "estimated",
+            Self::Stats { .. } => "stats",
+            Self::ShuttingDown { .. } => "shutting_down",
+            Self::Rejected { .. } => "rejected",
+            Self::Expired { .. } => "expired",
+            Self::ServerError { .. } => "server_error",
+        }
+    }
+}
+
+fn reject_trailing(r: &ByteReader<'_>, payload: &[u8]) -> Result<(), WireError> {
+    if r.is_empty() {
+        Ok(())
+    } else {
+        Err(WireError::Codec(CodecError::BadLength {
+            at: payload.len() - r.remaining(),
+            len: r.remaining() as u64,
+        }))
+    }
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl std::io::Write, payload: &[u8]) -> Result<(), WireError> {
+    let len = u32::try_from(payload.len()).map_err(|_| WireError::FrameTooLarge {
+        len: payload.len() as u64,
+    })?;
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge {
+            len: u64::from(len),
+        });
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one length-prefixed frame. The length prefix is validated against
+/// [`MAX_FRAME_BYTES`] before any allocation.
+pub fn read_frame(r: &mut impl std::io::Read) -> Result<Vec<u8>, WireError> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge {
+            len: u64::from(len),
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_params() -> TmeParams {
+        TmeParams {
+            n: [16; 3],
+            p: 6,
+            levels: 1,
+            gc: 8,
+            m_gaussians: 4,
+            alpha: 3.2,
+            r_cut: 1.0,
+        }
+    }
+
+    fn round_trip_request(req: &Request) -> Result<(), WireError> {
+        let got = Request::decode(&req.encode())?;
+        assert_eq!(&got, req);
+        Ok(())
+    }
+
+    fn round_trip_response(resp: &Response) -> Result<(), WireError> {
+        let got = Response::decode(&resp.encode())?;
+        assert_eq!(&got, resp);
+        Ok(())
+    }
+
+    #[test]
+    fn every_request_variant_round_trips() -> Result<(), WireError> {
+        round_trip_request(&Request::Compute {
+            deadline_ms: 250,
+            params: sample_params(),
+            box_l: [4.0; 3],
+            pos: vec![[1.0, 2.0, 3.0], [0.5, -0.25, 4.0]],
+            q: vec![1.0, -1.0],
+        })?;
+        round_trip_request(&Request::NveRun {
+            deadline_ms: 0,
+            waters: 64,
+            seed: 9,
+            steps: 10,
+            dt: 0.001,
+            r_cut: 0.55,
+        })?;
+        round_trip_request(&Request::Estimate {
+            deadline_ms: 1000,
+            spec: EstimateSpec {
+                n_atoms: 80_540,
+                grid: 32,
+                levels: 1,
+                gc: 8,
+                m_gaussians: 4,
+                r_cut: 1.2,
+                box_l: [9.7, 8.3, 10.6],
+                steps: 20,
+            },
+        })?;
+        round_trip_request(&Request::Stats)?;
+        round_trip_request(&Request::Shutdown { drain: true })
+    }
+
+    #[test]
+    fn every_response_variant_round_trips() -> Result<(), WireError> {
+        round_trip_response(&Response::Computed {
+            energy: -3.25,
+            cache_hit: true,
+            forces: vec![[0.1, -0.2, 0.3]],
+            potentials: vec![-1.5],
+        })?;
+        round_trip_response(&Response::NveDone {
+            steps: 10,
+            first_total: -1.0,
+            last_total: -1.0000001,
+            drift: 1e-7,
+            temperature: 301.5,
+        })?;
+        round_trip_response(&Response::Estimated {
+            steps: 20,
+            mean_us: 206.25,
+            max_us: 213.5,
+            report: "20 steps: mean 206.2 µs".to_string(),
+        })?;
+        round_trip_response(&Response::Stats {
+            text: "requests: 12".to_string(),
+            json: "{\"received\": 12}".to_string(),
+        })?;
+        round_trip_response(&Response::ShuttingDown { drain: false })?;
+        round_trip_response(&Response::Rejected {
+            retry_after_ms: 40,
+            queue_depth: 8,
+        })?;
+        round_trip_response(&Response::Expired {
+            waited_ms: 600,
+            deadline_ms: 500,
+        })?;
+        round_trip_response(&Response::ServerError {
+            code: ServerErrorCode::BadRequest,
+            message: "grid 24 is not a power of two".to_string(),
+        })
+    }
+
+    #[test]
+    fn truncation_and_bad_bytes_are_typed_errors() {
+        let payload = Request::Stats.encode();
+        assert!(matches!(
+            Request::decode(&payload[..1]),
+            Err(WireError::Codec(_))
+        ));
+        let mut wrong_version = payload.clone();
+        wrong_version[0] = 99;
+        assert_eq!(
+            Request::decode(&wrong_version),
+            Err(WireError::BadVersion { got: 99 })
+        );
+        let mut bad_kind = payload.clone();
+        bad_kind[1] = 200;
+        assert_eq!(
+            Request::decode(&bad_kind),
+            Err(WireError::UnknownRequestKind { got: 200 })
+        );
+        let mut padded = payload;
+        padded.push(0);
+        assert!(matches!(Request::decode(&padded), Err(WireError::Codec(_))));
+    }
+
+    #[test]
+    fn frames_round_trip_and_oversize_is_rejected() -> Result<(), WireError> {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Stats.encode())?;
+        write_frame(&mut buf, &Request::Shutdown { drain: true }.encode())?;
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(Request::decode(&read_frame(&mut cursor)?)?, Request::Stats);
+        assert_eq!(
+            Request::decode(&read_frame(&mut cursor)?)?,
+            Request::Shutdown { drain: true }
+        );
+        // EOF at a frame boundary is an Io error, not a panic.
+        assert!(matches!(read_frame(&mut cursor), Err(WireError::Io { .. })));
+        // An absurd length prefix is rejected before allocating.
+        let huge = (MAX_FRAME_BYTES + 1).to_le_bytes();
+        let mut cursor = std::io::Cursor::new(huge.to_vec());
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+        Ok(())
+    }
+}

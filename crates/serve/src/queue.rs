@@ -1,0 +1,192 @@
+//! The bounded request queue behind admission control (DESIGN.md §12.3).
+//!
+//! This is the **only** queue type serve code may hold requests in — lint
+//! rule L6 rejects raw `push` calls on queue-named bindings elsewhere in
+//! the crate — because the whole backpressure story rests on one
+//! invariant: *the queue never grows past its capacity*. A full queue
+//! turns into an immediate [`Response::Rejected`] at the admission edge
+//! (`try_push` fails without blocking), never into unbounded memory
+//! growth or unbounded waiting.
+//!
+//! Built on `Mutex<VecDeque> + Condvar` only (the crate is std-only):
+//! producers never block, consumers block in [`Bounded::pop`] until work
+//! or close. After [`Bounded::close`], pops drain what is already queued
+//! and then return `None` — exactly the graceful-drain semantics the
+//! server's shutdown path needs.
+//!
+//! [`Response::Rejected`]: crate::protocol::Response::Rejected
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// High-water mark of the queue depth, for the stats layer.
+    max_depth: usize,
+}
+
+/// A bounded multi-producer multi-consumer queue (see module docs).
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `capacity` items (at least 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.max(1)),
+                closed: false,
+                max_depth: 0,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        // A poisoned lock means a holder panicked; the queue state itself
+        // is a plain VecDeque that cannot be left mid-invariant, so
+        // continue with the data rather than cascading the panic (L6:
+        // no unwrap in serve).
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admit `item` if the queue has room and is open. On success returns
+    /// the queue depth *after* the push; on failure returns the item back
+    /// so the caller can answer the client with a rejection. Never blocks.
+    pub fn try_push(&self, item: T) -> Result<usize, T> {
+        let mut g = self.lock();
+        if g.closed || g.items.len() >= self.capacity {
+            return Err(item);
+        }
+        g.items.push_back(item);
+        let depth = g.items.len();
+        g.max_depth = g.max_depth.max(depth);
+        drop(g);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Block until an item is available or the queue is closed *and*
+    /// empty. `None` means closed-and-drained: the consumer should exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.lock();
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.ready.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Stop admitting new items. Items already queued remain poppable
+    /// (drain); blocked consumers wake and exit once the queue empties.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Current depth (racy by nature; for stats and rejection hints).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// High-water mark of the depth since construction.
+    #[must_use]
+    pub fn max_depth(&self) -> usize {
+        self.lock().max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_at_capacity_without_blocking() {
+        let q = Bounded::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        // Full: the item comes straight back.
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.max_depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        // Room again.
+        assert_eq!(q.try_push(4), Ok(2));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = Bounded::new(4);
+        assert!(q.try_push("a").is_ok());
+        assert!(q.try_push("b").is_ok());
+        q.close();
+        // New work is refused...
+        assert_eq!(q.try_push("c"), Err("c"));
+        // ...but queued work still drains, in order.
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(Bounded::<u32>::new(1));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop());
+        // Give the consumer time to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().ok(), Some(None));
+    }
+
+    #[test]
+    fn items_cross_threads() {
+        let q = Arc::new(Bounded::new(8));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = q2.pop() {
+                got.push(v);
+            }
+            got
+        });
+        for i in 0..20u32 {
+            // Spin until admitted: the consumer drains concurrently.
+            let mut item = i;
+            loop {
+                match q.try_push(item) {
+                    Ok(_) => break,
+                    Err(back) => {
+                        item = back;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        q.close();
+        let got = consumer.join().unwrap_or_default();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,855 @@
+//! The TME simulation server (DESIGN.md §12.3).
+//!
+//! Threading model:
+//!
+//! * one **accept thread** polls a non-blocking `TcpListener` and spawns a
+//!   connection thread per client;
+//! * each **connection thread** reads frames, answers control requests
+//!   (stats, shutdown) inline, and submits work requests to the shared
+//!   bounded queue — a full queue is an immediate
+//!   [`Response::Rejected`] with a retry-after hint, never a block;
+//! * a fixed pool of **worker threads** pops jobs, checks the job's own
+//!   deadline (expired work is answered [`Response::Expired`] unexecuted),
+//!   resolves the plan through the shared [`PlanCache`], executes on a
+//!   long-lived per-worker [`TmeWorkspace`], and sends the response back
+//!   over the job's channel.
+//!
+//! **Drain** ([`ServerHandle::trigger_drain`] or a `Shutdown` request):
+//! the queue closes — admission stops, workers finish everything already
+//! queued, connection threads answer their in-flight clients, and
+//! [`ServerHandle::join`] returns the final stats snapshot (optionally
+//! also written as JSON to `stats_path`, the SIGTERM hook's job in the
+//! `serve` binary).
+
+use crate::cache::{config_fingerprint, PlanCache};
+use crate::protocol::{
+    read_frame, write_frame, EstimateSpec, Request, Response, ServerErrorCode, WireError,
+};
+use crate::queue::Bounded;
+use crate::stats::ServeStats;
+use mdgrape_sim::{simulate_run, MachineConfig, StepWorkload};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+use tme_core::{Tme, TmeParams, TmeWorkspace};
+use tme_md::nve::NveSim;
+use tme_md::water::{thermalize, water_box};
+use tme_num::pool::Pool;
+use tme_reference::ewald::EwaldParams;
+use tme_reference::Spme;
+
+/// Server configuration; [`ServeConfig::default`] is sized for tests and
+/// the load harness (ephemeral port, two workers).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address; port 0 picks an ephemeral port (read it back from
+    /// [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Worker threads, each owning long-lived workspaces.
+    pub workers: usize,
+    /// Bounded request-queue capacity — the backpressure knob.
+    pub queue_capacity: usize,
+    /// Plans kept in the shared LRU cache.
+    pub plan_cache_capacity: usize,
+    /// Largest accepted atom count per compute request.
+    pub max_atoms: usize,
+    /// Retry hint (ms) sent with rejections.
+    pub retry_after_ms: u64,
+    /// When set, the final stats snapshot is written here as JSON on
+    /// drain.
+    pub stats_path: Option<String>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 16,
+            plan_cache_capacity: 8,
+            max_atoms: 50_000,
+            retry_after_ms: 50,
+            stats_path: None,
+        }
+    }
+}
+
+/// Why the server failed to start or dump stats.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding the listener or writing the stats dump failed.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "serve I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A work request in flight: the decoded request, when it was admitted,
+/// and the channel its connection thread is waiting on.
+struct Job {
+    req: Request,
+    enqueued: Instant,
+    reply: SyncSender<Response>,
+}
+
+/// State shared by every thread of one server instance.
+struct Shared {
+    queue: Bounded<Job>,
+    stats: Mutex<ServeStats>,
+    plans: Mutex<PlanCache>,
+    /// Set once by drain/shutdown; accept and connection loops poll it.
+    shutdown: AtomicBool,
+    cfg: ServeConfig,
+}
+
+impl Shared {
+    fn stats(&self) -> std::sync::MutexGuard<'_, ServeStats> {
+        // Continue with the data after a holder panic (counters have no
+        // multi-step invariants); avoids unwrap per lint L6.
+        self.stats.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::trigger_drain`] then [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Begin a graceful drain: stop admitting, let workers finish the
+    /// queue, answer all in-flight requests. Idempotent.
+    pub fn trigger_drain(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Whether shutdown was already triggered (by drain, a wire-level
+    /// `Shutdown` request, or a signal handler).
+    #[must_use]
+    pub fn is_shut_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Wait for the drain to finish and return the final stats snapshot
+    /// (written to `stats_path` first when configured).
+    pub fn join(mut self) -> ServeStats {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        let snapshot = self.shared.stats().clone();
+        if let Some(path) = &self.shared.cfg.stats_path {
+            let _ = std::fs::write(path, snapshot.to_json());
+        }
+        snapshot
+    }
+}
+
+/// Start a server. Returns once the listener is bound and all worker
+/// threads are running.
+pub fn serve(cfg: ServeConfig) -> Result<ServerHandle, ServeError> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        queue: Bounded::new(cfg.queue_capacity),
+        stats: Mutex::new(ServeStats::default()),
+        plans: Mutex::new(PlanCache::new(cfg.plan_cache_capacity)),
+        shutdown: AtomicBool::new(false),
+        cfg: cfg.clone(),
+    });
+    let mut workers = Vec::new();
+    for w in 0..cfg.workers.max(1) {
+        let sh = Arc::clone(&shared);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("tme-serve-worker-{w}"))
+                .spawn(move || worker_loop(&sh))?,
+        );
+    }
+    let sh = Arc::clone(&shared);
+    let accept = std::thread::Builder::new()
+        .name("tme-serve-accept".to_string())
+        .spawn(move || accept_loop(&listener, &sh, workers))?;
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+    })
+}
+
+/// Poll-accept connections until shutdown, then join connections and
+/// workers (the workers exit once the closed queue drains).
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+) {
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Frames are small request/response pairs; leaving Nagle
+                // on costs a delayed-ACK round trip (~40 ms) per call.
+                let _ = stream.set_nodelay(true);
+                let sh = Arc::clone(shared);
+                if let Ok(t) = std::thread::Builder::new()
+                    .name("tme-serve-conn".to_string())
+                    .spawn(move || connection_loop(stream, &sh))
+                {
+                    conns.push(t);
+                }
+                conns.retain(|t| !t.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    for t in conns {
+        let _ = t.join();
+    }
+    for t in workers {
+        let _ = t.join();
+    }
+    let max_depth = shared.queue.max_depth() as u64;
+    let mut stats = shared.stats();
+    stats.queue_max_depth = stats.queue_max_depth.max(max_depth);
+}
+
+/// Serve one client connection until it closes, errors, or the server
+/// shuts down. Protocol errors are counted and are connection-fatal (the
+/// stream may be mid-frame; there is no resynchronisation point).
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let Ok(mut reader) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(p) => p,
+            Err(WireError::Io { kind })
+                if kind == std::io::ErrorKind::WouldBlock
+                    || kind == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(WireError::Io { .. }) => return, // closed / reset
+            Err(_) => {
+                shared.stats().protocol_errors += 1;
+                return;
+            }
+        };
+        let Ok(req) = Request::decode(&payload) else {
+            shared.stats().protocol_errors += 1;
+            return;
+        };
+        {
+            let mut stats = shared.stats();
+            stats.received += 1;
+            stats.kinds.bump(req.kind_name());
+        }
+        let resp = match req {
+            Request::Stats => {
+                let stats = shared.stats().clone();
+                Response::Stats {
+                    text: stats.to_string(),
+                    json: stats.to_json(),
+                }
+            }
+            Request::Shutdown { drain } => {
+                shared.begin_shutdown();
+                Response::ShuttingDown { drain }
+            }
+            work => submit_and_wait(shared, work),
+        };
+        let done = matches!(resp, Response::ShuttingDown { .. });
+        if write_frame(&mut writer, &resp.encode()).is_err() || done {
+            return;
+        }
+    }
+}
+
+/// Admission control: try to enqueue the work request and block on its
+/// reply channel. A full (or closed) queue answers immediately with a
+/// rejection and a retry hint — the connection thread never waits on a
+/// queue slot.
+fn submit_and_wait(shared: &Arc<Shared>, req: Request) -> Response {
+    let t_admit = Instant::now();
+    let (tx, rx) = sync_channel(1);
+    let job = Job {
+        req,
+        enqueued: t_admit,
+        reply: tx,
+    };
+    match shared.queue.try_push(job) {
+        Err(_) => {
+            let depth = shared.queue.len() as u64;
+            shared.stats().rejected += 1;
+            Response::Rejected {
+                retry_after_ms: shared.cfg.retry_after_ms,
+                queue_depth: depth,
+            }
+        }
+        Ok(_) => match rx.recv() {
+            Ok(resp) => {
+                let mut stats = shared.stats();
+                stats.latency.record(elapsed_us(t_admit));
+                match &resp {
+                    Response::Expired { .. } => stats.expired += 1,
+                    Response::ServerError { .. } => stats.server_errors += 1,
+                    _ => stats.completed += 1,
+                }
+                resp
+            }
+            // Worker dropped the channel without answering (panicked).
+            Err(_) => {
+                shared.stats().server_errors += 1;
+                Response::ServerError {
+                    code: ServerErrorCode::Internal,
+                    message: "worker failed to answer".to_string(),
+                }
+            }
+        },
+    }
+}
+
+/// Per-worker workspace LRU size: workspaces are the big allocations
+/// (every grid of the cascade), so keep only a few per worker.
+const WORKSPACES_PER_WORKER: usize = 4;
+
+/// One worker: long-lived workspaces, single-threaded execute pool (the
+/// service parallelism is across workers, not within a request).
+fn worker_loop(shared: &Arc<Shared>) {
+    let pool = Arc::new(Pool::new(1));
+    let machine = MachineConfig::mdgrape4a();
+    let mut workspaces: Vec<(u64, TmeWorkspace)> = Vec::new();
+    while let Some(job) = shared.queue.pop() {
+        let waited_us = elapsed_us(job.enqueued);
+        shared.stats().queue_wait.record(waited_us);
+        let deadline_ms = job.req.deadline_ms();
+        let resp = if deadline_ms > 0 && waited_us / 1000 > deadline_ms {
+            Response::Expired {
+                waited_ms: waited_us / 1000,
+                deadline_ms,
+            }
+        } else {
+            execute(shared, &pool, &machine, &mut workspaces, &job.req)
+        };
+        // A dead receiver (client hung up mid-wait) is not a worker error.
+        let _ = job.reply.send(resp);
+    }
+}
+
+fn execute(
+    shared: &Arc<Shared>,
+    pool: &Arc<Pool>,
+    machine: &MachineConfig,
+    workspaces: &mut Vec<(u64, TmeWorkspace)>,
+    req: &Request,
+) -> Response {
+    match req {
+        Request::Compute {
+            params,
+            box_l,
+            pos,
+            q,
+            ..
+        } => compute_request(shared, pool, workspaces, params, *box_l, pos, q),
+        Request::NveRun {
+            waters,
+            seed,
+            steps,
+            dt,
+            r_cut,
+            ..
+        } => nve_request(*waters, *seed, *steps, *dt, *r_cut),
+        Request::Estimate { spec, .. } => estimate_request(machine, spec),
+        // Control requests never reach the queue.
+        Request::Stats | Request::Shutdown { .. } => Response::ServerError {
+            code: ServerErrorCode::Internal,
+            message: "control request routed to a worker".to_string(),
+        },
+    }
+}
+
+fn bad_request(message: String) -> Response {
+    Response::ServerError {
+        code: ServerErrorCode::BadRequest,
+        message,
+    }
+}
+
+/// Validate a compute configuration *before* planning: `Tme::try_new`
+/// checks mathematical consistency, but a hostile or buggy client could
+/// request a grid that allocates gigabytes before any check fires. These
+/// bounds mirror the hardware envelope (§V.A).
+fn validate_compute(
+    params: &TmeParams,
+    box_l: [f64; 3],
+    n_atoms: usize,
+    q_len: usize,
+    max_atoms: usize,
+) -> Result<(), String> {
+    if n_atoms != q_len {
+        return Err(format!("{n_atoms} positions but {q_len} charges"));
+    }
+    if n_atoms == 0 || n_atoms > max_atoms {
+        return Err(format!(
+            "atom count {n_atoms} outside the accepted range 1..={max_atoms}"
+        ));
+    }
+    for d in params.n {
+        if !(8..=128).contains(&d) || !d.is_power_of_two() {
+            return Err(format!("grid dimension {d} not a power of two in 8..=128"));
+        }
+    }
+    if !(2..=12).contains(&params.p) {
+        return Err(format!("spline order {} outside 2..=12", params.p));
+    }
+    if !(1..=4).contains(&params.levels) {
+        return Err(format!("levels {} outside 1..=4", params.levels));
+    }
+    if !(1..=16).contains(&params.gc) {
+        return Err(format!("grid cutoff {} outside 1..=16", params.gc));
+    }
+    if !(1..=8).contains(&params.m_gaussians) {
+        return Err(format!("gaussians {} outside 1..=8", params.m_gaussians));
+    }
+    if !box_l.iter().all(|l| l.is_finite() && *l > 0.0) {
+        return Err(format!("box {box_l:?} must be finite and positive"));
+    }
+    if !(params.alpha.is_finite() && params.alpha >= 0.0 && params.r_cut.is_finite()) {
+        return Err(format!(
+            "splitting alpha {} / r_cut {} must be finite",
+            params.alpha, params.r_cut
+        ));
+    }
+    let min_edge = box_l[0].min(box_l[1]).min(box_l[2]);
+    if !(params.r_cut > 0.0 && params.r_cut <= 0.5 * min_edge) {
+        return Err(format!(
+            "r_cut {} outside (0, half the shortest box edge {:.3}]",
+            params.r_cut,
+            0.5 * min_edge
+        ));
+    }
+    Ok(())
+}
+
+fn compute_request(
+    shared: &Arc<Shared>,
+    pool: &Arc<Pool>,
+    workspaces: &mut Vec<(u64, TmeWorkspace)>,
+    params: &TmeParams,
+    box_l: [f64; 3],
+    pos: &[[f64; 3]],
+    q: &[f64],
+) -> Response {
+    if let Err(msg) = validate_compute(params, box_l, pos.len(), q.len(), shared.cfg.max_atoms) {
+        return bad_request(msg);
+    }
+    let key = config_fingerprint(params, box_l);
+    let built = shared
+        .plans
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get_or_try_build(key, || Tme::try_new(*params, box_l));
+    let (plan, cache_hit) = match built {
+        Ok(pair) => pair,
+        Err(e) => return bad_request(format!("invalid TME configuration: {e}")),
+    };
+    {
+        let mut stats = shared.stats();
+        if cache_hit {
+            stats.cache_hits += 1;
+        } else {
+            stats.cache_misses += 1;
+        }
+    }
+    // Per-worker workspace LRU keyed by the same fingerprint: a repeat
+    // config reuses its buffers (the zero-alloc steady state).
+    let ws = match workspaces.iter().position(|(k, _)| *k == key) {
+        Some(i) => {
+            let entry = workspaces.remove(i);
+            workspaces.insert(0, entry);
+            &mut workspaces[0].1
+        }
+        None => {
+            if workspaces.len() >= WORKSPACES_PER_WORKER {
+                workspaces.pop();
+            }
+            let ws = TmeWorkspace::with_pool(&plan, Arc::clone(pool));
+            workspaces.insert(0, (key, ws));
+            &mut workspaces[0].1
+        }
+    };
+    // Validation guaranteed pos/q agree, so the struct literal upholds
+    // CoulombSystem's invariants without the panicking constructor.
+    let system = tme_mesh::CoulombSystem {
+        pos: pos.to_vec(),
+        q: q.to_vec(),
+        box_l,
+    };
+    match plan.try_compute_with_stats(ws, &system) {
+        Ok((out, tme_stats)) => {
+            shared.stats().last_tme = Some(tme_stats);
+            Response::Computed {
+                energy: out.energy,
+                cache_hit,
+                forces: out.forces.clone(),
+                potentials: out.potentials.clone(),
+            }
+        }
+        Err(e) => Response::ServerError {
+            code: ServerErrorCode::SolverFault,
+            message: e.to_string(),
+        },
+    }
+}
+
+fn nve_request(waters: u64, seed: u64, steps: u64, dt: f64, r_cut: f64) -> Response {
+    if !(8..=512).contains(&waters) {
+        return bad_request(format!("waters {waters} outside 8..=512"));
+    }
+    if !(1..=1000).contains(&steps) {
+        return bad_request(format!("steps {steps} outside 1..=1000"));
+    }
+    if !(dt.is_finite() && dt > 0.0 && dt <= 0.005) {
+        return bad_request(format!("dt {dt} outside (0, 0.005] ps"));
+    }
+    if !(r_cut.is_finite() && r_cut > 0.0) {
+        return bad_request(format!("r_cut {r_cut} must be positive and finite"));
+    }
+    let mut sys = water_box(waters as usize, seed);
+    thermalize(&mut sys, 300.0, seed ^ 0x5EED);
+    // The neighbour lists enforce the half-box minimum-image bound; keep a
+    // margin below it.
+    let min_edge = sys.box_l[0].min(sys.box_l[1]).min(sys.box_l[2]);
+    let r_cut = r_cut.min(0.45 * min_edge);
+    let alpha = EwaldParams::alpha_from_tolerance(r_cut, 1e-4);
+    let spme = Spme::new([16; 3], sys.box_l, alpha, 6, r_cut);
+    let mut sim = NveSim::new(sys, &spme, dt, r_cut);
+    let steps = steps as usize;
+    let records = sim.run(steps, (steps / 10).max(1));
+    let (Some(first), Some(last)) = (records.first(), records.last()) else {
+        return Response::ServerError {
+            code: ServerErrorCode::Internal,
+            message: "NVE run produced no energy records".to_string(),
+        };
+    };
+    Response::NveDone {
+        steps: steps as u64,
+        first_total: first.total,
+        last_total: last.total,
+        drift: (last.total - first.total).abs() / first.total.abs().max(1.0),
+        temperature: last.temperature,
+    }
+}
+
+fn estimate_request(machine: &MachineConfig, spec: &EstimateSpec) -> Response {
+    if !(1..=1_000_000_000).contains(&spec.n_atoms) {
+        return bad_request(format!("n_atoms {} outside 1..=1e9", spec.n_atoms));
+    }
+    if !(1..=10_000).contains(&spec.steps) {
+        return bad_request(format!("steps {} outside 1..=10000", spec.steps));
+    }
+    let grid = spec.grid as usize;
+    if !(8..=128).contains(&grid) || !grid.is_power_of_two() {
+        return bad_request(format!("grid {grid} not a power of two in 8..=128"));
+    }
+    if !(1..=4).contains(&spec.levels) {
+        return bad_request(format!("levels {} outside 1..=4", spec.levels));
+    }
+    if !(spec.box_l.iter().all(|l| l.is_finite() && *l > 0.0)
+        && spec.r_cut.is_finite()
+        && spec.r_cut > 0.0)
+    {
+        return bad_request(format!(
+            "box {:?} / r_cut {} must be finite and positive",
+            spec.box_l, spec.r_cut
+        ));
+    }
+    let workload = StepWorkload {
+        n_atoms: spec.n_atoms as usize,
+        grid,
+        levels: spec.levels,
+        gc: (spec.gc as usize).clamp(1, 16),
+        m_gaussians: (spec.m_gaussians as usize).clamp(1, 8),
+        r_cut: spec.r_cut,
+        box_l: spec.box_l,
+        ..StepWorkload::paper_fig9()
+    };
+    let report = simulate_run(machine, &workload, spec.steps as usize);
+    Response::Estimated {
+        steps: spec.steps,
+        mean_us: report.mean(),
+        max_us: report.max(),
+        report: report.to_string(),
+    }
+}
+
+fn elapsed_us(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    fn tiny_params() -> TmeParams {
+        TmeParams {
+            n: [16; 3],
+            p: 6,
+            levels: 1,
+            gc: 8,
+            m_gaussians: 4,
+            alpha: EwaldParams::alpha_from_tolerance(1.0, 1e-4),
+            r_cut: 1.0,
+        }
+    }
+
+    fn dipole_request(deadline_ms: u64) -> Request {
+        Request::Compute {
+            deadline_ms,
+            params: tiny_params(),
+            box_l: [4.0; 3],
+            pos: vec![[1.0, 1.0, 1.0], [2.5, 1.0, 1.0]],
+            q: vec![1.0, -1.0],
+        }
+    }
+
+    #[test]
+    fn end_to_end_compute_with_cache_hit_and_drain() -> Result<(), Box<dyn std::error::Error>> {
+        let handle = serve(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        })?;
+        let mut client = Client::connect(handle.local_addr())?;
+        // First request plans (miss), second reuses (hit) — and both
+        // return the identical energy (cache hits cannot change results).
+        let first = client.call(&dipole_request(0))?;
+        let second = client.call(&dipole_request(0))?;
+        let (
+            Response::Computed {
+                energy: e1,
+                cache_hit: h1,
+                ..
+            },
+            Response::Computed {
+                energy: e2,
+                cache_hit: h2,
+                ..
+            },
+        ) = (first, second)
+        else {
+            return Err("expected Computed responses".into());
+        };
+        assert!(!h1 && h2, "second identical config must hit the cache");
+        assert_eq!(e1.to_bits(), e2.to_bits());
+        assert!(e1 < 0.0, "opposite charges attract");
+        // Stats are queryable over the wire.
+        let Response::Stats { text, json } = client.call(&Request::Stats)? else {
+            return Err("expected Stats response".into());
+        };
+        assert!(text.contains("1 hits"), "stats text: {text}");
+        assert!(json.contains("\"cache_hits\": 1"), "stats json: {json}");
+        // Bad configuration → typed server error, connection stays up.
+        let mut bad = tiny_params();
+        bad.n = [24; 3];
+        let resp = client.call(&Request::Compute {
+            deadline_ms: 0,
+            params: bad,
+            box_l: [4.0; 3],
+            pos: vec![[1.0; 3]],
+            q: vec![0.0],
+        })?;
+        assert!(
+            matches!(
+                resp,
+                Response::ServerError {
+                    code: ServerErrorCode::BadRequest,
+                    ..
+                }
+            ),
+            "got {resp:?}"
+        );
+        // Drain via the wire.
+        let resp = client.call(&Request::Shutdown { drain: true })?;
+        assert_eq!(resp, Response::ShuttingDown { drain: true });
+        let stats = handle.join();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.server_errors, 1);
+        assert_eq!(stats.protocol_errors, 0);
+        Ok(())
+    }
+
+    #[test]
+    fn estimate_and_nve_round_trip() -> Result<(), Box<dyn std::error::Error>> {
+        let handle = serve(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        })?;
+        let mut client = Client::connect(handle.local_addr())?;
+        let resp = client.call(&Request::Estimate {
+            deadline_ms: 0,
+            spec: EstimateSpec {
+                n_atoms: 80_540,
+                grid: 32,
+                levels: 1,
+                gc: 8,
+                m_gaussians: 4,
+                r_cut: 1.2,
+                box_l: [9.7, 8.3, 10.6],
+                steps: 5,
+            },
+        })?;
+        let Response::Estimated {
+            steps,
+            mean_us,
+            report,
+            ..
+        } = resp
+        else {
+            return Err(format!("expected Estimated, got {resp:?}").into());
+        };
+        assert_eq!(steps, 5);
+        assert!(mean_us > 0.0);
+        assert!(report.contains("5 steps"), "report: {report}");
+        let resp = client.call(&Request::NveRun {
+            deadline_ms: 0,
+            waters: 27,
+            seed: 7,
+            steps: 5,
+            dt: 0.001,
+            r_cut: 0.45,
+        })?;
+        let Response::NveDone { steps, drift, .. } = resp else {
+            return Err(format!("expected NveDone, got {resp:?}").into());
+        };
+        assert_eq!(steps, 5);
+        assert!(drift.is_finite());
+        handle.trigger_drain();
+        handle.join();
+        Ok(())
+    }
+
+    #[test]
+    fn zero_capacity_queue_rejects_with_retry_hint() -> Result<(), Box<dyn std::error::Error>> {
+        // Capacity 1 with a worker wedged on a slow request: the second
+        // and third concurrent submissions see a full queue.
+        let handle = serve(ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            retry_after_ms: 25,
+            ..ServeConfig::default()
+        })?;
+        let addr = handle.local_addr();
+        // Wedge: an estimate over many steps takes long enough to hold
+        // the single worker while the flood arrives.
+        let slow = Request::Estimate {
+            deadline_ms: 0,
+            spec: EstimateSpec {
+                n_atoms: 80_540,
+                grid: 32,
+                levels: 1,
+                gc: 8,
+                m_gaussians: 4,
+                r_cut: 1.2,
+                box_l: [9.7, 8.3, 10.6],
+                steps: 2000,
+            },
+        };
+        let mut clients: Vec<std::thread::JoinHandle<bool>> = Vec::new();
+        for _ in 0..6 {
+            let slow = slow.clone();
+            clients.push(std::thread::spawn(move || {
+                let Ok(mut c) = Client::connect(addr) else {
+                    return false;
+                };
+                matches!(
+                    c.call(&slow),
+                    Ok(Response::Rejected {
+                        retry_after_ms: 25,
+                        ..
+                    })
+                )
+            }));
+        }
+        let rejected = clients
+            .into_iter()
+            .filter_map(|t| t.join().ok())
+            .filter(|&r| r)
+            .count();
+        assert!(
+            rejected >= 1,
+            "with capacity 1 and six concurrent slow requests, at least one must be rejected"
+        );
+        handle.trigger_drain();
+        let stats = handle.join();
+        assert!(stats.rejected >= 1);
+        assert!(stats.queue_max_depth <= 1, "queue must stay bounded");
+        Ok(())
+    }
+
+    #[test]
+    fn queued_deadline_expires_unexecuted() {
+        // Unit-level: a job whose deadline already passed is answered
+        // Expired by the worker without executing.
+        let shared = Arc::new(Shared {
+            queue: Bounded::new(4),
+            stats: Mutex::new(ServeStats::default()),
+            plans: Mutex::new(PlanCache::new(2)),
+            shutdown: AtomicBool::new(false),
+            cfg: ServeConfig::default(),
+        });
+        let (tx, rx) = sync_channel(1);
+        let job = Job {
+            req: dipole_request(1), // 1 ms deadline
+            enqueued: Instant::now() - Duration::from_millis(50),
+            reply: tx,
+        };
+        assert!(shared.queue.try_push(job).is_ok());
+        shared.queue.close();
+        worker_loop(&shared);
+        match rx.recv() {
+            Ok(Response::Expired {
+                waited_ms,
+                deadline_ms: 1,
+            }) => assert!(waited_ms >= 1),
+            other => panic!("expected Expired, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Service observability (DESIGN.md §12.4).
+//!
+//! Counters and fixed-bucket latency histograms updated on every request,
+//! readable three ways: a [`Request::Stats`] round-trip (human text +
+//! JSON), the JSON dump the server writes on drain/SIGTERM, and in
+//! process via [`ServerHandle::join`]. Percentiles are computed in-tree from
+//! power-of-two bucket boundaries — no sorting of per-request samples, no
+//! unbounded memory, and a worst-case 2× overestimate (the bucket's upper
+//! bound) which is the right bias for an SLO check.
+//!
+//! [`Request::Stats`]: crate::protocol::Request::Stats
+//! [`ServerHandle::join`]: crate::server::ServerHandle::join
+
+use tme_core::TmeStats;
+
+/// Number of power-of-two latency buckets: bucket `i` covers
+/// `[2^i, 2^{i+1})` µs (bucket 0 is `[0, 2)`), so 40 buckets span half a
+/// microsecond to ~12 days.
+pub const BUCKETS: usize = 40;
+
+/// A fixed-bucket histogram of microsecond durations.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            total: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket(us: u64) -> usize {
+        // 0/1 µs land in bucket 0; otherwise floor(log2(us)).
+        (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    pub fn record(&mut self, us: u64) {
+        self.counts[Self::bucket(us)] += 1;
+        self.total += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean in microseconds (0 when empty).
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.sum_us as f64 / self.total as f64
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`) as the upper bound of the bucket
+    /// where the cumulative count crosses `q·total`, clamped to the
+    /// largest value actually observed. 0 when empty.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    1u64 << (i + 1)
+                };
+                return upper.min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+}
+
+/// Per-request-kind counter block.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KindCounts {
+    pub compute: u64,
+    pub nve_run: u64,
+    pub estimate: u64,
+    pub stats: u64,
+    pub shutdown: u64,
+}
+
+impl KindCounts {
+    pub fn bump(&mut self, kind_name: &str) {
+        match kind_name {
+            "compute" => self.compute += 1,
+            "nve_run" => self.nve_run += 1,
+            "estimate" => self.estimate += 1,
+            "stats" => self.stats += 1,
+            _ => self.shutdown += 1,
+        }
+    }
+}
+
+/// Everything the service counts. One instance lives behind a mutex in
+/// the server; snapshots are cheap copies.
+#[derive(Clone, Debug, Default)]
+pub struct ServeStats {
+    /// Requests decoded off the wire (any kind).
+    pub received: u64,
+    /// Work requests answered with a result.
+    pub completed: u64,
+    /// Requests refused at admission (queue full / draining).
+    pub rejected: u64,
+    /// Requests aborted in the queue by their own deadline.
+    pub expired: u64,
+    /// Requests answered with `ServerError`.
+    pub server_errors: u64,
+    /// Malformed frames received (typed `WireError`s; connection-fatal).
+    pub protocol_errors: u64,
+    /// Plan-cache hits/misses across all workers.
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// High-water mark of the request queue depth.
+    pub queue_max_depth: u64,
+    pub kinds: KindCounts,
+    /// End-to-end service time (admission to response ready).
+    pub latency: LatencyHistogram,
+    /// Time spent waiting in the queue before a worker picked the job up.
+    pub queue_wait: LatencyHistogram,
+    /// Execution statistics of the most recent TME evaluation, so the
+    /// stats endpoint can show where solver time goes.
+    pub last_tme: Option<TmeStats>,
+}
+
+impl ServeStats {
+    /// Cache hit rate in `[0, 1]` (0 when no cache lookups happened).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / lookups as f64
+    }
+
+    /// Flat JSON rendering (hand-rolled; the serve crate is std-only and
+    /// cannot depend on the bench helpers).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"schema\": \"tme-serve-stats/1\",\n");
+        let fields: [(&str, u64); 10] = [
+            ("received", self.received),
+            ("completed", self.completed),
+            ("rejected", self.rejected),
+            ("expired", self.expired),
+            ("server_errors", self.server_errors),
+            ("protocol_errors", self.protocol_errors),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+            ("queue_max_depth", self.queue_max_depth),
+            ("latency_count", self.latency.count()),
+        ];
+        for (k, v) in fields {
+            s.push_str(&format!("  \"{k}\": {v},\n"));
+        }
+        s.push_str(&format!(
+            "  \"kinds\": {{\"compute\": {}, \"nve_run\": {}, \"estimate\": {}, \
+             \"stats\": {}, \"shutdown\": {}}},\n",
+            self.kinds.compute,
+            self.kinds.nve_run,
+            self.kinds.estimate,
+            self.kinds.stats,
+            self.kinds.shutdown
+        ));
+        s.push_str(&format!(
+            "  \"latency_us\": {{\"mean\": {:.1}, \"p50\": {}, \"p99\": {}}},\n",
+            self.latency.mean_us(),
+            self.latency.quantile_us(0.50),
+            self.latency.quantile_us(0.99)
+        ));
+        s.push_str(&format!(
+            "  \"queue_wait_us\": {{\"mean\": {:.1}, \"p50\": {}, \"p99\": {}}},\n",
+            self.queue_wait.mean_us(),
+            self.queue_wait.quantile_us(0.50),
+            self.queue_wait.quantile_us(0.99)
+        ));
+        s.push_str(&format!(
+            "  \"cache_hit_rate\": {:.4}\n}}\n",
+            self.cache_hit_rate()
+        ));
+        s
+    }
+}
+
+impl std::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "requests: {} received, {} completed, {} rejected, {} expired, \
+             {} server errors, {} protocol errors",
+            self.received,
+            self.completed,
+            self.rejected,
+            self.expired,
+            self.server_errors,
+            self.protocol_errors
+        )?;
+        writeln!(
+            f,
+            "kinds: {} compute, {} nve_run, {} estimate, {} stats",
+            self.kinds.compute, self.kinds.nve_run, self.kinds.estimate, self.kinds.stats
+        )?;
+        writeln!(
+            f,
+            "plan cache: {} hits, {} misses ({:.1}% hit rate)",
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.cache_hit_rate()
+        )?;
+        writeln!(
+            f,
+            "latency (µs): mean {:.1}, p50 {}, p99 {} over {} requests",
+            self.latency.mean_us(),
+            self.latency.quantile_us(0.50),
+            self.latency.quantile_us(0.99),
+            self.latency.count()
+        )?;
+        write!(
+            f,
+            "queue: max depth {}, wait p50 {} µs, p99 {} µs",
+            self.queue_max_depth,
+            self.queue_wait.quantile_us(0.50),
+            self.queue_wait.quantile_us(0.99)
+        )?;
+        if let Some(tme) = &self.last_tme {
+            write!(f, "\nlast TME evaluation: {tme}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(LatencyHistogram::bucket(0), 0);
+        assert_eq!(LatencyHistogram::bucket(1), 0);
+        assert_eq!(LatencyHistogram::bucket(2), 1);
+        assert_eq!(LatencyHistogram::bucket(3), 1);
+        assert_eq!(LatencyHistogram::bucket(4), 2);
+        assert_eq!(LatencyHistogram::bucket(1023), 9);
+        assert_eq!(LatencyHistogram::bucket(1024), 10);
+        assert_eq!(LatencyHistogram::bucket(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_bound_the_data() {
+        let mut h = LatencyHistogram::default();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 5000] {
+            h.record(us);
+        }
+        let p50 = h.quantile_us(0.50);
+        let p99 = h.quantile_us(0.99);
+        // p50 lands in the bucket holding the 5th sample (50 µs →
+        // [32, 64)), reported as its upper bound.
+        assert_eq!(p50, 64);
+        // p99 is the outlier's bucket, clamped to the observed max.
+        assert_eq!(p99, 5000);
+        assert!(h.mean_us() > 0.0);
+        assert_eq!(h.count(), 10);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn json_and_display_render() {
+        let mut s = ServeStats {
+            received: 5,
+            completed: 4,
+            rejected: 1,
+            cache_hits: 3,
+            cache_misses: 1,
+            ..ServeStats::default()
+        };
+        s.kinds.bump("compute");
+        s.latency.record(120);
+        let json = s.to_json();
+        assert!(json.contains("\"schema\": \"tme-serve-stats/1\""));
+        assert!(json.contains("\"received\": 5"));
+        assert!(json.contains("\"cache_hit_rate\": 0.7500"));
+        let text = s.to_string();
+        assert!(text.contains("5 received"));
+        assert!(text.contains("75.0% hit rate"));
+    }
+}

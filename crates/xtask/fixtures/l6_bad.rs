@@ -1,0 +1,48 @@
+//! L6 fixture: service-crate violations — panicking error handling and
+//! raw pushes onto request queues outside the bounded queue module.
+
+use std::collections::VecDeque;
+
+pub struct Dispatcher {
+    queue: VecDeque<u64>,
+}
+
+impl Dispatcher {
+    pub fn submit(&mut self, job: u64) {
+        // Violation 1: raw push_back onto a request queue — unbounded,
+        // admission control never sees it.
+        self.queue.push_back(job);
+    }
+
+    pub fn submit_all(&mut self, jobs: Vec<u64>, retry_queue: &mut Vec<u64>) {
+        for job in jobs {
+            // Violation 2: push onto a queue-named Vec.
+            retry_queue.push(job);
+        }
+    }
+
+    pub fn first(&self) -> u64 {
+        // Violation 3: unwrap() tears down the worker thread on empty.
+        self.queue.front().copied().unwrap()
+    }
+
+    pub fn config(path: &str) -> String {
+        // Violation 4: expect() in service startup code.
+        std::fs::read_to_string(path).expect("config readable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        // Not a violation: L6 does not reach test code (unlike L5).
+        let mut d = Dispatcher {
+            queue: VecDeque::new(),
+        };
+        d.submit(1);
+        assert_eq!(d.queue.front().copied().unwrap(), 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! L6 fixture: compliant service code — errors handled without panics,
+//! request admission through the bounded queue's fallible API, and
+//! non-queue collections free to push.
+
+pub struct Bounded {
+    items: Vec<u64>,
+    capacity: usize,
+}
+
+impl Bounded {
+    pub fn try_push(&mut self, job: u64) -> Result<usize, u64> {
+        if self.items.len() >= self.capacity {
+            return Err(job);
+        }
+        // Fine: `items` is not queue-named; this IS the bounded module's
+        // internal storage in the real crate (where the file-name carve-out
+        // applies instead).
+        self.items.push(job);
+        Ok(self.items.len())
+    }
+}
+
+pub fn submit(queue: &mut Bounded, job: u64) -> Result<usize, u64> {
+    // Fine: admission goes through the fallible bounded API.
+    queue.try_push(job)
+}
+
+pub fn config(path: &str) -> String {
+    // Fine: fallible call handled without a panic path.
+    std::fs::read_to_string(path).unwrap_or_default()
+}
+
+pub fn poisoned_lock(m: &std::sync::Mutex<u64>) -> u64 {
+    // Fine: poison-tolerant lock instead of `.lock().unwrap()`.
+    *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+pub fn latencies(mut samples: Vec<u64>, v: u64) -> Vec<u64> {
+    // Fine: pushing onto a plain Vec that is not a request queue.
+    samples.push(v);
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_rejects_when_full() {
+        let mut q = Bounded {
+            items: vec![1, 2],
+            capacity: 2,
+        };
+        // Fine: test code may unwrap (L6 stops at the test boundary).
+        assert_eq!(submit(&mut q, 3).unwrap_err(), 3);
+    }
+}

@@ -56,7 +56,7 @@ fn lint(verbose: bool) -> ExitCode {
         }
     }
     if total == 0 {
-        eprintln!("tme-lint: {scanned} files clean (rules l1–l5)");
+        eprintln!("tme-lint: {scanned} files clean (rules l1–l6)");
         ExitCode::SUCCESS
     } else {
         eprintln!(

@@ -8,6 +8,7 @@
 //! | `l3` | no `HashMap` / `HashSet` (iteration order breaks determinism) | numeric crates |
 //! | `l4` | every `unsafe` needs a `// SAFETY:` comment | everywhere |
 //! | `l5` | no `unwrap()` / `expect()` / `panic!` — test code included | fault/chaos/checkpoint/recovery files |
+//! | `l6` | no `unwrap()` / `expect()`; request queues only via the bounded queue module | `serve` crate, non-test code |
 //!
 //! Waivers: a `lint:allow(<rule>[, <rule>…])` marker inside a comment on
 //! the violating line or the line directly above it silences that rule for
@@ -40,6 +41,16 @@ pub struct Scope {
     /// `Result`-based (plain `assert!`/`assert_eq!` stay allowed — an
     /// assertion failing is the harness's business, not the code's).
     pub recovery: bool,
+    /// L6: the `serve` crate (every file, binaries included). A panic in
+    /// the service tears down a worker or connection thread for *all*
+    /// tenants, so `unwrap()`/`expect()` are banned outside tests, and
+    /// request queues must go through the bounded queue module —
+    /// `push`-ing onto anything named like a queue elsewhere bypasses
+    /// admission control.
+    pub serve: bool,
+    /// The file IS the bounded queue module (`queue.rs` in `serve`);
+    /// only there may queue-named collections be pushed to directly.
+    pub queue_module: bool,
 }
 
 impl Scope {
@@ -51,6 +62,8 @@ impl Scope {
         library: true,
         deterministic: true,
         recovery: false,
+        serve: false,
+        queue_module: false,
     };
 }
 
@@ -210,6 +223,53 @@ pub fn lint_source(src: &str, scope: Scope) -> Vec<Violation> {
                         rule: "l2",
                         line: t.line,
                         message: "`panic!` in library code; return an error instead".into(),
+                    });
+                }
+            }
+        }
+
+        // L6: service-crate discipline. A panicking worker or connection
+        // thread silently drops every queued request it owned, so the
+        // serve crate must never `unwrap()`/`expect()` outside tests;
+        // and request queues must go through the bounded queue module —
+        // a raw `push` onto a queue-named collection is an unbounded
+        // buffer that admission control never sees.
+        if scope.serve {
+            if t.kind == TokKind::Ident && (t.text == "unwrap" || t.text == "expect") {
+                let is_method_call = i > 0
+                    && toks[i - 1].text == "."
+                    && toks.get(i + 1).is_some_and(|n| n.text == "(");
+                if is_method_call && !waived("l6", t.line) {
+                    out.push(Violation {
+                        rule: "l6",
+                        line: t.line,
+                        message: format!(
+                            "`.{}()` in service code; a panic here tears down a worker or \
+                             connection thread for every tenant — handle the error",
+                            t.text
+                        ),
+                    });
+                }
+            }
+            if !scope.queue_module
+                && t.kind == TokKind::Ident
+                && (t.text == "push" || t.text == "push_back" || t.text == "push_front")
+            {
+                let queue_receiver = i >= 2
+                    && toks[i - 1].text == "."
+                    && toks[i - 2].kind == TokKind::Ident
+                    && toks[i - 2].text.to_ascii_lowercase().contains("queue")
+                    && toks.get(i + 1).is_some_and(|n| n.text == "(");
+                if queue_receiver && !waived("l6", t.line) {
+                    out.push(Violation {
+                        rule: "l6",
+                        line: t.line,
+                        message: format!(
+                            "`{}.{}(…)` bypasses admission control; request queues must go \
+                             through the bounded queue module (`queue::Bounded::try_push`)",
+                            toks[i - 2].text,
+                            t.text
+                        ),
                     });
                 }
             }
@@ -511,6 +571,8 @@ mod tests {
         library: false,
         deterministic: false,
         recovery: true,
+        serve: false,
+        queue_module: false,
     };
 
     #[test]
@@ -562,6 +624,64 @@ mod tests {
             ),
             Vec::<&str>::new()
         );
+    }
+
+    // ---- L6 ----------------------------------------------------------
+
+    const L6_ONLY: Scope = Scope {
+        numeric_kernel: false,
+        library: false,
+        deterministic: false,
+        recovery: false,
+        serve: true,
+        queue_module: false,
+    };
+
+    #[test]
+    fn l6_fixture_positive() {
+        let v = lint_source(include_str!("../fixtures/l6_bad.rs"), L6_ONLY);
+        let l6: Vec<_> = v.iter().filter(|v| v.rule == "l6").collect();
+        assert_eq!(l6.len(), 4, "{v:?}");
+    }
+
+    #[test]
+    fn l6_fixture_negative() {
+        let v = lint_source(include_str!("../fixtures/l6_ok.rs"), L6_ONLY);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn l6_queue_pushes_allowed_only_in_the_queue_module() {
+        let src = "fn f(q: &mut Inner, j: u64) { q.queue.push_back(j); }";
+        assert_eq!(rules_hit(src, L6_ONLY), ["l6"]);
+        let in_module = Scope {
+            queue_module: true,
+            ..L6_ONLY
+        };
+        assert!(rules_hit(src, in_module).is_empty());
+    }
+
+    #[test]
+    fn l6_skips_test_code_and_plain_vec_pushes() {
+        let test_src = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { foo().unwrap(); }
+            }
+        "#;
+        assert!(rules_hit(test_src, L6_ONLY).is_empty());
+        assert!(rules_hit("fn f(v: &mut Vec<u64>) { v.push(1); }", L6_ONLY).is_empty());
+        // unwrap_or_else is not unwrap.
+        let tolerant =
+            "fn f(m: &Mutex<u64>) -> u64 { *m.lock().unwrap_or_else(PoisonError::into_inner) }";
+        assert!(rules_hit(tolerant, L6_ONLY).is_empty());
+    }
+
+    #[test]
+    fn l6_off_outside_the_serve_crate() {
+        let src = "fn f(q: &mut VecDeque<u64>) { q.front().copied().unwrap(); }";
+        assert!(rules_hit(src, Scope::default()).is_empty());
     }
 
     // ---- waivers ------------------------------------------------------

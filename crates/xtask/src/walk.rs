@@ -56,6 +56,11 @@ pub fn scope_for(rel: &Path) -> Scope {
     let recovery = parts
         .last()
         .is_some_and(|f| RECOVERY_KEYWORDS.iter().any(|k| f.contains(k)));
+    // L6 covers the whole serve crate — binaries included, since the
+    // `serve` bin hosts the same worker/connection threads.
+    let serve =
+        parts.first().is_some_and(|p| p == "crates") && parts.get(1).is_some_and(|p| p == "serve");
+    let queue_module = serve && parts.last().is_some_and(|f| f == "queue.rs");
     let is_lib_src = parts.iter().any(|p| p == "src")
         && !parts
             .iter()
@@ -63,8 +68,10 @@ pub fn scope_for(rel: &Path) -> Scope {
     if !is_lib_src {
         return Scope {
             recovery,
+            serve,
+            queue_module,
             ..Scope::default()
-        }; // L4 (+ L5 by file name) only
+        }; // L4 (+ L5 by file name, + L6 in `serve`) only
     }
     let krate = match parts.first().map(String::as_str) {
         Some("crates") => parts.get(1).cloned().unwrap_or_default(),
@@ -78,6 +85,8 @@ pub fn scope_for(rel: &Path) -> Scope {
         library: LIBRARY_CRATES.contains(&krate.as_str()) || krate == "facade",
         deterministic: DETERMINISTIC_CRATES.contains(&krate.as_str()) || krate == "facade",
         recovery,
+        serve,
+        queue_module,
     }
 }
 
@@ -129,6 +138,22 @@ mod tests {
         }
         assert!(!scope_for(Path::new("crates/md/src/nve.rs")).recovery);
         assert!(!scope_for(Path::new("tests/paper_claims.rs")).recovery);
+    }
+
+    #[test]
+    fn serve_crate_gets_l6_everywhere_including_binaries() {
+        for p in [
+            "crates/serve/src/server.rs",
+            "crates/serve/src/protocol.rs",
+            "crates/serve/src/bin/serve.rs",
+        ] {
+            assert!(scope_for(Path::new(p)).serve, "{p}");
+        }
+        assert!(!scope_for(Path::new("crates/serve/src/server.rs")).queue_module);
+        assert!(scope_for(Path::new("crates/serve/src/queue.rs")).queue_module);
+        // Other crates never pick up L6, even for files named queue.rs.
+        assert!(!scope_for(Path::new("crates/md/src/queue.rs")).serve);
+        assert!(!scope_for(Path::new("crates/bench/src/bin/serve_load.rs")).serve);
     }
 
     #[test]

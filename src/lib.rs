@@ -9,6 +9,8 @@
 //! * `reference` — Ewald summation, SPME and B-spline MSM baselines
 //! * [`md`] — the molecular-dynamics substrate (TIP3P water, NVE, SETTLE)
 //! * [`machine`] — the discrete-event MDGRAPE-4A machine simulator
+//! * [`serve`] — the multi-tenant simulation service (wire protocol,
+//!   plan cache, worker pool with backpressure)
 
 pub use mdgrape_sim as machine;
 pub use tme_core as tme;
@@ -16,3 +18,4 @@ pub use tme_md as md;
 pub use tme_mesh as mesh;
 pub use tme_num as num;
 pub use tme_reference as reference;
+pub use tme_serve as serve;
