@@ -29,7 +29,7 @@ use mdgrape_sim::{
     resume_run_faulted, simulate_run, simulate_run_faulted, FaultConfig, FaultEvent, FaultModel,
     MachineConfig, RunCheckpoint, RunReport, StepWorkload,
 };
-use tme_bench::{arg_or, arg_value};
+use tme_bench::args::Args;
 use tme_md::water::{thermalize, water_box};
 use tme_md::{run_with_checkpoints, NveSim};
 use tme_reference::ewald::EwaldParams;
@@ -138,9 +138,13 @@ fn driver_checkpoint_demo() -> bool {
 
 fn main() {
     tme_bench::init_cli();
-    let steps: usize = arg_or("--steps", 200);
-    let seed: u64 = arg_or("--seed", 42);
-    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_chaos.json".to_string());
+    let mut args = Args::parse();
+    let steps: usize = args.get("--steps", 200);
+    let seed: u64 = args.get("--seed", 42);
+    let out_path = args
+        .opt("--out")
+        .unwrap_or_else(|| "BENCH_chaos.json".to_string());
+    args.finish();
 
     let cfg = MachineConfig::mdgrape4a();
     let w = StepWorkload::paper_fig9();

@@ -22,7 +22,8 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use tme_bench::{arg_or, arg_value, grid_for_box, water_system};
+use tme_bench::args::Args;
+use tme_bench::{grid_for_box, water_system};
 use tme_core::convolve::{convolve_separable_into, ConvolveScratch, FoldedKernels};
 use tme_core::kernel::TensorKernel;
 use tme_core::shells::GaussianFit;
@@ -97,10 +98,14 @@ fn scan_number(text: &str, key: &str) -> Option<f64> {
 
 fn main() {
     tme_bench::init_cli();
-    let waters: usize = arg_or("--waters", 512);
-    let repeats: usize = arg_or("--repeats", 20);
-    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_pipeline.json".to_string());
-    let baseline_path = arg_value("--baseline");
+    let mut args = Args::parse();
+    let waters: usize = args.get("--waters", 512);
+    let repeats: usize = args.get("--repeats", 20);
+    let out_path = args
+        .opt("--out")
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let baseline_path = args.opt("--baseline");
+    args.finish();
 
     // The paper's box scaled to `waters` at liquid density; grid_for_box
     // keeps h ≈ 0.3116 nm, giving 32³ near the default 512 waters.

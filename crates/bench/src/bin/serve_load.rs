@@ -26,7 +26,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use tme_bench::{arg_flag, arg_or, arg_value};
+use tme_bench::args::Args;
 use tme_core::TmeParams;
 use tme_num::rng::SplitMix64;
 use tme_reference::ewald::EwaldParams;
@@ -191,11 +191,15 @@ fn run_load(
 
 fn main() {
     tme_bench::init_cli();
-    let quick = arg_flag("--quick");
-    let workers: usize = arg_or("--workers", 2);
-    let queue: usize = arg_or("--queue", 8);
-    let seed: u64 = arg_or("--seed", 42);
-    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let mut args = Args::parse();
+    let quick = args.flag("--quick");
+    let workers: usize = args.get("--workers", 2);
+    let queue: usize = args.get("--queue", 8);
+    let seed: u64 = args.get("--seed", 42);
+    let out_path = args
+        .opt("--out")
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    args.finish();
     let duration_s = if quick { 1.0 } else { 3.0 };
     // Enough serial connections that the in-flight count can exceed
     // workers + queue capacity — otherwise the queue can never fill and

@@ -7,6 +7,7 @@ use tme_mesh::CoulombSystem;
 
 #[cfg(feature = "alloc-count")]
 pub mod alloc;
+pub mod args;
 pub mod harness;
 pub mod json;
 
@@ -66,24 +67,21 @@ pub fn grid_for_box(box_edge: f64) -> usize {
     n
 }
 
-/// Tiny command-line flag reader: `--name value`.
+/// Tiny command-line flag reader: `--name value`. One-shot wrapper over
+/// [`args::Args`] for harnesses that don't validate leftovers.
 pub fn arg_value(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
+    args::Args::parse().opt(name)
 }
 
-/// `--flag` presence.
+/// `--flag` presence. One-shot wrapper over [`args::Args`].
 pub fn arg_flag(name: &str) -> bool {
-    std::env::args().any(|a| a == name)
+    args::Args::parse().flag(name)
 }
 
-/// Parse `--name v` with a default.
+/// Parse `--name v` with a default. One-shot wrapper over [`args::Args`];
+/// unparseable values keep the legacy silent-default behaviour.
 pub fn arg_or<T: std::str::FromStr>(name: &str, default: T) -> T {
-    arg_value(name)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    args::Args::parse().get(name, default)
 }
 
 #[cfg(test)]

@@ -91,21 +91,23 @@ impl StepReport {
 }
 
 /// Deterministic per-node atom counts with the workload's fluctuation.
-fn node_atom_counts(w: &StepWorkload, nodes: usize) -> Vec<f64> {
+fn node_atom_counts_into(w: &StepWorkload, nodes: usize, out: &mut Vec<f64>) {
     let mean = w.atoms_per_node(nodes);
-    (0..nodes)
-        .map(|i| {
-            // Splitmix-style hash → uniform in [−1, 1).
-            let mut z = (i as u64)
-                .wrapping_add(w.imbalance_seed.wrapping_mul(0x2545F4914F6CDD1D))
-                .wrapping_add(0x9e3779b97f4a7c15);
-            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-            z ^= z >> 31;
-            let u = (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
-            mean * (1.0 + w.imbalance * u)
-        })
-        .collect()
+    // Refill in place: `resize` on the retained scratch buffer is a no-op
+    // after the first step, keeping multi-step runs allocation-free.
+    out.clear();
+    out.resize(nodes, 0.0);
+    for (i, slot) in out.iter_mut().enumerate() {
+        // Splitmix-style hash → uniform in [−1, 1).
+        let mut z = (i as u64)
+            .wrapping_add(w.imbalance_seed.wrapping_mul(0x2545F4914F6CDD1D))
+            .wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
+        *slot = mean * (1.0 + w.imbalance * u);
+    }
 }
 
 /// Reusable per-step state for [`simulate_step_into`]: the module
@@ -114,6 +116,8 @@ fn node_atom_counts(w: &StepWorkload, nodes: usize) -> Vec<f64> {
 #[derive(Clone, Debug)]
 pub struct StepScratch {
     report: StepReport,
+    /// Per-node atom counts, refilled in place each step.
+    atoms: Vec<f64>,
 }
 
 impl StepScratch {
@@ -134,6 +138,7 @@ impl StepScratch {
                 faults: Vec::new(),
                 fault_overhead_us: 0.0,
             },
+            atoms: Vec::new(),
         }
     }
 }
@@ -202,17 +207,19 @@ fn schedule_step<'a>(
     let clean = f.is_clean();
     let mut fault_overhead = 0.0;
     let nodes = cfg.node_count();
-    let mut atoms = node_atom_counts(w, nodes);
+    // Disjoint borrows: the atom-count scratch refills alongside the
+    // report the rest of the step writes into.
+    let StepScratch { report: r, atoms } = scratch;
+    node_atom_counts_into(w, nodes, atoms);
     if f.load_factor != 1.0 {
         // Survivors carry the dead nodes' share (re-decomposition).
-        for a in &mut atoms {
+        for a in atoms.iter_mut() {
             *a *= f.load_factor;
         }
     }
     let atoms_max = atoms.iter().cloned().fold(0.0, f64::max);
 
     // Observed-node module timelines, rewound in place.
-    let r = &mut scratch.report;
     for m in &mut r.modules {
         m.reset();
     }
@@ -409,8 +416,8 @@ fn schedule_step<'a>(
     r.force_phase = (force_phase_start, force_phase_end);
     r.faults = records;
     r.fault_overhead_us = fault_overhead;
-    debug_assert_step_invariants(&scratch.report);
-    &scratch.report
+    debug_assert_step_invariants(r);
+    r
 }
 
 /// Schedule sanity checks, compiled out of release builds: every span is a

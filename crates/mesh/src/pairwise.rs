@@ -9,7 +9,7 @@
 //! Verlet-list versions for production stepping.
 
 use crate::model::{CoulombResult, CoulombSystem};
-use tme_num::pool::{chunk_bounds, Pool};
+use tme_num::pool::{chunk_bounds, merge_ordered, Pool};
 use tme_num::special::{erf, erfc, TWO_OVER_SQRT_PI};
 use tme_num::table::PairKernelTable;
 use tme_num::vec3;
@@ -160,9 +160,7 @@ fn short_range_with<K>(
         }
     });
     out.reset(n);
-    for p in &scratch.parts {
-        out.accumulate(p);
-    }
+    merge_ordered(&scratch.parts, out, |acc, _part, p| acc.accumulate(p));
 }
 
 /// Subtract the `erf(αr)/r` interaction of explicitly excluded pairs

@@ -43,6 +43,19 @@ pub fn chunk_bounds(len: usize, parts: usize, part: usize) -> (usize, usize) {
     (len * part / parts, len * (part + 1) / parts)
 }
 
+/// The ordered-merge rule as a named helper: fold per-part partial results
+/// into `acc` serially, in ascending part index. Every reduction over pool
+/// worker output must flow through this (or write disjoint regions via
+/// [`SendPtr`]/[`Pool::for_each_chunk`]) so the floating-point accumulation
+/// order — and therefore every bit of the result — is independent of the
+/// thread count. `tme-analyze` rule a3 flags fan-out sites that merge any
+/// other way.
+pub fn merge_ordered<T, A>(parts: &[T], acc: &mut A, mut merge: impl FnMut(&mut A, usize, &T)) {
+    for (part, p) in parts.iter().enumerate() {
+        merge(acc, part, p);
+    }
+}
+
 /// A dispatched job: a lifetime-erased borrow of the caller's closure plus
 /// the static schedule it is run under.
 #[derive(Clone, Copy)]
@@ -370,6 +383,19 @@ unsafe impl<T: Send> Sync for SendPtr<T> {}
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn merge_ordered_folds_in_ascending_part_order() {
+        let parts = [1.0f64, 2.0, 3.0, 4.0];
+        let mut seen = Vec::new();
+        let mut sum = 0.0;
+        merge_ordered(&parts, &mut sum, |acc, part, p| {
+            seen.push(part);
+            *acc += *p;
+        });
+        assert_eq!(seen, [0, 1, 2, 3]);
+        assert_eq!(sum, 10.0);
+    }
 
     #[test]
     fn chunk_bounds_cover_range_without_overlap() {

@@ -1,0 +1,19 @@
+//! a1 positive: an allocation primitive two calls below the hot-path
+//! entry point. Analyzed under a fake `crates/core/` path so the real
+//! `Tme::compute_with` entry table matches.
+pub struct Tme;
+
+impl Tme {
+    pub fn compute_with(&self) {
+        stage();
+    }
+}
+
+fn stage() {
+    grow();
+}
+
+fn grow() {
+    let mut v = Vec::new();
+    v.push(1.0_f64);
+}

@@ -1,0 +1,17 @@
+//! a3 positive: a pool fan-out whose enclosing function shows no
+//! ordered-merge discipline (no `merge_ordered`, `chunk_bounds`,
+//! `for_each_chunk` or `SendPtr` anywhere in its body).
+pub struct Pool;
+
+impl Pool {
+    pub fn run_parts<F: Fn(usize, usize)>(&self, parts: usize, f: F) {
+        for p in 0..parts {
+            f(p, 0);
+        }
+    }
+}
+
+pub fn reduce(pool: &Pool, parts: &mut [f64]) -> f64 {
+    pool.run_parts(parts.len(), |_p, _w| {});
+    parts.iter().sum()
+}

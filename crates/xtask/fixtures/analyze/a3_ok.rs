@@ -1,0 +1,24 @@
+//! a3 negative: the same fan-out, merged through the ordered-merge
+//! helper — the named marker of index-ordered reduction.
+pub struct Pool;
+
+impl Pool {
+    pub fn run_parts<F: Fn(usize, usize)>(&self, parts: usize, f: F) {
+        for p in 0..parts {
+            f(p, 0);
+        }
+    }
+}
+
+pub fn merge_ordered<T, A>(parts: &[T], acc: &mut A, mut f: impl FnMut(&mut A, usize, &T)) {
+    for (i, p) in parts.iter().enumerate() {
+        f(acc, i, p);
+    }
+}
+
+pub fn reduce(pool: &Pool, parts: &mut [f64]) -> f64 {
+    pool.run_parts(parts.len(), |_p, _w| {});
+    let mut acc = 0.0;
+    merge_ordered(parts, &mut acc, |a, _i, p| *a += *p);
+    acc
+}

@@ -1,0 +1,20 @@
+//! a4 positive: a decode helper below `Request::decode` indexing the
+//! wire buffer raw instead of going through a checked cursor.
+pub struct Request;
+
+impl Request {
+    pub fn decode(buf: &[u8]) -> Request {
+        let _ = read_len(buf);
+        Request
+    }
+}
+
+fn read_len(buf: &[u8]) -> usize {
+    let mut pos = 0;
+    let mut n = 0usize;
+    while pos < 2 {
+        n = (n << 8) | buf[pos] as usize;
+        pos += 1;
+    }
+    n
+}

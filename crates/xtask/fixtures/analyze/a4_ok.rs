@@ -1,0 +1,31 @@
+//! a4 negative: every wire read funnels through a checked cursor whose
+//! single read primitive is bounds-guarded.
+pub struct Request;
+
+impl Request {
+    pub fn decode(buf: &[u8]) -> Option<Request> {
+        let mut r = Reader { buf, pos: 0 };
+        let _ = r.get_u8()?;
+        Some(Request)
+    }
+}
+
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn get_u8(&mut self) -> Option<u8> {
+        if self.remaining() < 1 {
+            return None;
+        }
+        let b = self.buf.get(self.pos).copied();
+        self.pos += 1;
+        b
+    }
+}

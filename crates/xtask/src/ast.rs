@@ -1,0 +1,390 @@
+//! Item/impl/fn extraction over the [`crate::lexer`] token stream.
+//!
+//! `tme-analyze` needs just enough structure to build a call graph: which
+//! functions exist, which `impl` block (if any) owns each one, where each
+//! body's token span lies, and whether the function is test-only code.
+//! A full parser is out of scope (and `syn` is unavailable offline); this
+//! extractor is a single linear pass with a brace-depth counter and an
+//! `impl` stack, which is exact for the constructs this workspace uses
+//! and degrades conservatively (a missed body span means missed *edges*,
+//! never a crash).
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// One extracted function definition.
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// Bare function name (`compute_with`).
+    pub name: String,
+    /// Owning `impl` type, if the fn is an associated fn/method.
+    pub owner: Option<String>,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: u32,
+    /// Inclusive token span of the body `{ … }`, indices into the file's
+    /// token vector. Bodiless fns (trait declarations) are not recorded.
+    pub body: (usize, usize),
+    /// Defined under `#[cfg(test)]` / `#[test]` — excluded from findings.
+    pub is_test: bool,
+}
+
+impl FnDef {
+    /// Qualified display name: `Owner::name` or bare `name`.
+    pub fn qual(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One lexed + extracted source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    pub tokens: Vec<Token>,
+    pub fns: Vec<FnDef>,
+}
+
+/// Lex `src` and extract every function definition with its body span.
+pub fn parse_file(path: &str, src: &str) -> SourceFile {
+    let lexed = lex(src);
+    let fns = extract_fns(&lexed.tokens);
+    SourceFile {
+        path: path.replace('\\', "/"),
+        tokens: lexed.tokens,
+        fns,
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern",
+    "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true", "type",
+    "unsafe", "use", "where", "while",
+];
+
+pub fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+fn extract_fns(toks: &[Token]) -> Vec<FnDef> {
+    let test_spans = test_spans(toks);
+    let in_test = |idx: usize| test_spans.iter().any(|&(a, b)| idx >= a && idx <= b);
+    let mut fns = Vec::new();
+    // Stack of (impl owner, brace depth of the impl body).
+    let mut impls: Vec<(String, i32)> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                while impls.last().is_some_and(|&(_, d)| depth < d) {
+                    impls.pop();
+                }
+            }
+            "impl" if t.kind == TokKind::Ident => {
+                if let Some((owner, body_open)) = impl_header(toks, i) {
+                    impls.push((owner, depth + 1));
+                    // Resume at the body `{` so the depth counter sees it.
+                    i = body_open;
+                    continue;
+                }
+            }
+            "fn" if t.kind == TokKind::Ident => {
+                // `fn(` is a fn-pointer type, not an item.
+                let Some(name_tok) = toks.get(i + 1) else {
+                    break;
+                };
+                if name_tok.kind == TokKind::Ident && !is_keyword(&name_tok.text) {
+                    if let Some(open) = body_open_after(toks, i + 2) {
+                        let close = matching_brace(toks, open);
+                        fns.push(FnDef {
+                            name: name_tok.text.clone(),
+                            owner: impls.last().map(|(o, _)| o.clone()),
+                            line: t.line,
+                            body: (open, close),
+                            is_test: in_test(i),
+                        });
+                        // Resume at the `{` (not past the body) so nested
+                        // fns are also extracted and depth stays exact.
+                        i = open;
+                        continue;
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// Parse an `impl` header starting at token `i` (`impl<…> Trait for Type
+/// where … {`). Returns the implementing type's last path segment and the
+/// index of the body `{`.
+fn impl_header(toks: &[Token], i: usize) -> Option<(String, usize)> {
+    let mut j = i + 1;
+    let mut owner = String::new();
+    let mut in_where = false;
+    while j < toks.len() {
+        let t = &toks[j];
+        match t.text.as_str() {
+            "{" => {
+                if owner.is_empty() {
+                    return None;
+                }
+                return Some((owner, j));
+            }
+            ";" => return None,
+            "<" => {
+                j = skip_angles(toks, j);
+                continue;
+            }
+            "where" => in_where = true,
+            "for" | "dyn" | "unsafe" | "const" | "mut" => {}
+            _ if t.kind == TokKind::Ident && !is_keyword(&t.text) && !in_where => {
+                owner = t.text.clone();
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Skip a balanced `<…>` group starting at `open` (`toks[open] == "<"`).
+/// Returns the index just past the closing `>`. A `>` preceded by `-`
+/// (the `->` arrow) does not close the group.
+fn skip_angles(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "<" => depth += 1,
+            ">" if j > 0 && toks[j - 1].text == "-" => {}
+            ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            "{" | ";" => return j, // malformed; bail before the body
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// From a position inside a fn signature, find the body `{` — or `None`
+/// for a bodiless (trait-declaration) fn ending in `;`. The signature
+/// itself contains no braces, but its generics may contain `<`/`>`.
+fn body_open_after(toks: &[Token], from: usize) -> Option<usize> {
+    let mut j = from;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "{" => return Some(j),
+            ";" => return None,
+            "<" => {
+                j = skip_angles(toks, j);
+                continue;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token if the
+/// file is truncated).
+fn matching_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Token spans of test-only code: items under `#[cfg(test)]`-style
+/// attributes (any `cfg` attribute mentioning `test` un-negated) and
+/// `#[test]`-attributed fns.
+fn test_spans(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text == "#" && toks.get(i + 1).is_some_and(|t| t.text == "[") {
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let (mut is_cfg, mut has_test, mut negated) = (false, false, false);
+            let attr_start = j;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "cfg" => is_cfg = true,
+                    "test" => has_test = true,
+                    "not" => negated = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            // `#[test]` is exactly `[ test ]` → the closer sits two past
+            // the opener.
+            let plain_test = has_test && !is_cfg && j == attr_start + 2;
+            if (is_cfg && has_test && !negated) || plain_test {
+                let end = item_end(toks, j + 1);
+                spans.push((i, end));
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// End (inclusive token index) of the item following an attribute: skip
+/// further attributes, then span to the matching `}` of the first brace
+/// group — or the first `;` if one comes first.
+fn item_end(toks: &[Token], mut k: usize) -> usize {
+    while k + 1 < toks.len() && toks[k].text == "#" && toks[k + 1].text == "[" {
+        let mut d = 0i32;
+        k += 1;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "[" => d += 1,
+                "]" => {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        k += 1;
+    }
+    while k < toks.len() {
+        match toks[k].text.as_str() {
+            ";" => return k,
+            "{" => return matching_brace(toks, k),
+            _ => k += 1,
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn defs(src: &str) -> Vec<FnDef> {
+        parse_file("t.rs", src).fns
+    }
+
+    #[test]
+    fn free_and_associated_fns() {
+        let f = defs(
+            "fn alpha() { beta(); }\n\
+             pub struct S;\n\
+             impl S { pub fn m(&self) -> usize { 1 } }\n\
+             impl Default for S { fn default() -> Self { S } }\n\
+             fn omega() {}\n",
+        );
+        let quals: Vec<String> = f.iter().map(FnDef::qual).collect();
+        assert_eq!(quals, ["alpha", "S::m", "S::default", "omega"]);
+    }
+
+    #[test]
+    fn generic_impls_resolve_to_the_type_not_its_params() {
+        let f = defs(
+            "impl<'a, T: Clone> Wrapper<'a, T> where T: Send { fn get(&self) -> &T { &self.0 } }",
+        );
+        assert_eq!(f[0].qual(), "Wrapper::get");
+    }
+
+    #[test]
+    fn trait_for_type_owner_is_the_type() {
+        let f = defs("impl std::fmt::Display for Tme { fn fmt(&self) {} }");
+        assert_eq!(f[0].qual(), "Tme::fmt");
+    }
+
+    #[test]
+    fn arrow_in_generic_bounds_does_not_break_angle_skipping() {
+        let f = defs("impl<F: Fn(usize) -> f64> Holder<F> { fn call(&self) {} }");
+        assert_eq!(f[0].qual(), "Holder::call");
+    }
+
+    #[test]
+    fn nested_and_following_fns_keep_owners_straight() {
+        let f = defs(
+            "impl A { fn outer(&self) { fn inner() {} inner(); } }\n\
+             fn free_after() {}",
+        );
+        let quals: Vec<String> = f.iter().map(FnDef::qual).collect();
+        // `inner` inherits the enclosing impl (conservative; fine).
+        assert_eq!(quals, ["A::outer", "A::inner", "free_after"]);
+        assert_eq!(f[2].owner, None);
+    }
+
+    #[test]
+    fn trait_declarations_without_bodies_are_skipped() {
+        let f = defs("trait T { fn decl(&self); fn has_default(&self) { } }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].name, "has_default");
+    }
+
+    #[test]
+    fn test_code_is_marked() {
+        let f = defs(
+            "fn prod() {}\n\
+             #[cfg(test)]\nmod tests { fn helper() {} #[test] fn case() {} }\n\
+             #[test]\nfn standalone_case() {}\n",
+        );
+        let flags: Vec<(String, bool)> = f.iter().map(|d| (d.name.clone(), d.is_test)).collect();
+        assert_eq!(
+            flags,
+            [
+                ("prod".into(), false),
+                ("helper".into(), true),
+                ("case".into(), true),
+                ("standalone_case".into(), true),
+            ]
+        );
+    }
+
+    #[test]
+    fn body_spans_cover_the_braces() {
+        let sf = parse_file("t.rs", "fn f() { g(1); }");
+        let (a, b) = sf.fns[0].body;
+        assert_eq!(sf.tokens[a].text, "{");
+        assert_eq!(sf.tokens[b].text, "}");
+        let inner: Vec<&str> = sf.tokens[a + 1..b]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(inner, ["g", "(", "1", ")", ";"]);
+    }
+}

@@ -13,9 +13,27 @@ const DETERMINISTIC_CRATES: &[&str] = &["core", "mesh", "num", "md", "mdgrape", 
 /// (L5): these files' contract is to never panic, tests included.
 const RECOVERY_KEYWORDS: &[&str] = &["fault", "chaos", "checkpoint", "recover"];
 
+/// The single ignore list shared by `lint` and `analyze`: directory names
+/// that are never workspace sources. `target` covers cargo's default;
+/// the rest are common out-of-tree build/vendor dirs whose generated `.rs`
+/// files used to be re-tokenized on every run when present.
+const IGNORED_DIRS: &[&str] = &["target", "node_modules", "vendor", "out", "build", "dist"];
+
+/// Should the walker descend into `dir` (named `name`)? One predicate for
+/// both passes — plus a `CACHEDIR.TAG` probe, the marker cargo writes into
+/// *any* target dir (`CARGO_TARGET_DIR` renames included), so redirected
+/// build output is skipped even under an unlisted name.
+pub fn walk_into(dir: &Path, name: &str) -> bool {
+    if IGNORED_DIRS.contains(&name) || name.starts_with('.') || dir.ends_with("xtask/fixtures") {
+        return false;
+    }
+    !dir.join("CACHEDIR.TAG").exists()
+}
+
 /// Every `.rs` file under the workspace root that the lint should read,
-/// sorted for stable output. Skips `target/`, VCS metadata and the lint's
-/// own deliberately-violating fixtures.
+/// sorted for stable output. Skips the shared ignore list ([`walk_into`]):
+/// build output, VCS metadata and the tools' own deliberately-violating
+/// fixtures.
 pub fn workspace_rs_files(root: &Path) -> Vec<PathBuf> {
     let mut out = Vec::new();
     let mut stack = vec![root.to_path_buf()];
@@ -28,10 +46,9 @@ pub fn workspace_rs_files(root: &Path) -> Vec<PathBuf> {
             let name = entry.file_name();
             let name = name.to_string_lossy();
             if path.is_dir() {
-                if name == "target" || name.starts_with('.') || path.ends_with("xtask/fixtures") {
-                    continue;
+                if walk_into(&path, &name) {
+                    stack.push(path);
                 }
-                stack.push(path);
             } else if name.ends_with(".rs") {
                 out.push(path);
             }
@@ -161,6 +178,28 @@ mod tests {
         let s = scope_for(Path::new("crates/reference/src/ewald.rs"));
         assert!(s.deterministic);
         assert!(!s.library);
+    }
+
+    #[test]
+    fn shared_ignore_list_covers_renamed_target_dirs() {
+        let tmp = std::env::temp_dir().join(format!("xtask-walk-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&tmp);
+        // Listed names and dot-dirs are skipped by name alone.
+        assert!(!walk_into(&tmp.join("target"), "target"));
+        assert!(!walk_into(&tmp.join("node_modules"), "node_modules"));
+        assert!(!walk_into(&tmp.join(".git"), ".git"));
+        assert!(!walk_into(&tmp.join("xtask/fixtures"), "fixtures"));
+        // A renamed CARGO_TARGET_DIR is caught by its CACHEDIR.TAG.
+        let redirected = tmp.join("build-out");
+        std::fs::create_dir_all(&redirected).unwrap();
+        assert!(walk_into(&redirected, "build-out"));
+        std::fs::write(
+            redirected.join("CACHEDIR.TAG"),
+            "Signature: 8a477f597d28d172789f06886806bc55",
+        )
+        .unwrap();
+        assert!(!walk_into(&redirected, "build-out"));
+        let _ = std::fs::remove_dir_all(&tmp);
     }
 
     #[test]
