@@ -6,11 +6,11 @@ use std::sync::Arc;
 use tme_bench::harness::{BenchmarkId, Criterion};
 use tme_bench::{criterion_group, criterion_main};
 use tme_core::{Tme, TmeParams, TmeWorkspace};
+use tme_md::backend::{SpmeBackend, SpmeParams, TmeBackend};
 use tme_md::nve::NveSim;
 use tme_md::water::{relax, thermalize, water_box};
 use tme_num::pool::Pool;
 use tme_reference::ewald::EwaldParams;
-use tme_reference::Spme;
 
 fn system() -> tme_md::MdSystem {
     let mut s = water_box(216, 3);
@@ -23,8 +23,17 @@ fn bench(c: &mut Criterion) {
     let r_cut = 0.9;
     let alpha = EwaldParams::alpha_from_tolerance(r_cut, 1e-4);
     let box_l = system().box_l;
-    let spme = Spme::new([16; 3], box_l, alpha, 6, r_cut);
-    let tme = Tme::new(
+    let spme = SpmeBackend::new(
+        SpmeParams {
+            n: [16; 3],
+            p: 6,
+            alpha,
+            r_cut,
+        },
+        box_l,
+    )
+    .expect("valid SPME configuration");
+    let tme = TmeBackend::new(
         TmeParams {
             n: [16; 3],
             p: 6,
@@ -35,7 +44,8 @@ fn bench(c: &mut Criterion) {
             r_cut,
         },
         box_l,
-    );
+    )
+    .expect("valid TME configuration");
     let mut g = c.benchmark_group("nve_step_216_waters");
     g.sample_size(10);
     g.bench_function("spme", |b| {

@@ -30,10 +30,10 @@ use mdgrape_sim::{
     MachineConfig, RunCheckpoint, RunReport, StepWorkload,
 };
 use tme_bench::args::Args;
+use tme_md::backend::{SpmeBackend, SpmeParams};
 use tme_md::water::{thermalize, water_box};
 use tme_md::{run_with_checkpoints, NveSim};
 use tme_reference::ewald::EwaldParams;
-use tme_reference::Spme;
 
 const RATES: [f64; 4] = [0.0, 0.002, 0.01, 0.05];
 
@@ -103,7 +103,17 @@ fn driver_checkpoint_demo() -> bool {
     thermalize(&mut sys, 300.0, 9);
     let r_cut = 0.55;
     let alpha = EwaldParams::alpha_from_tolerance(r_cut, 1e-4);
-    let spme = Spme::new([16; 3], sys.box_l, alpha, 6, r_cut);
+    let Ok(spme) = SpmeBackend::new(
+        SpmeParams {
+            n: [16; 3],
+            p: 6,
+            alpha,
+            r_cut,
+        },
+        sys.box_l,
+    ) else {
+        fail("SPME plan rejected a valid configuration");
+    };
 
     let total_steps = 12;
     let mut reference = NveSim::new(sys.clone(), &spme, 0.001, r_cut);

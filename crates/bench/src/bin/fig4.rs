@@ -20,13 +20,12 @@
 //! GROMACS-equilibrated configurations.
 
 use tme_bench::{arg_or, grid_for_box};
-use tme_core::{Tme, TmeParams};
-use tme_md::longrange::LongRange;
+use tme_core::TmeParams;
+use tme_md::backend::{plan_backend, BackendParams, LongRangeBackend, SpmeParams};
 use tme_md::nve::{energy_drift, NveSim};
 use tme_md::thermostat::Berendsen;
 use tme_md::water::{relax, thermalize, water_box};
 use tme_reference::ewald::EwaldParams;
-use tme_reference::Spme;
 
 fn main() {
     tme_bench::init_cli();
@@ -60,12 +59,21 @@ fn main() {
         n_waters, probe.box_l[0], steps
     );
 
-    let spme = Spme::new([n_grid; 3], probe.box_l, alpha, 6, r_cut);
+    let spme = plan_backend(
+        &BackendParams::Spme(SpmeParams {
+            n: [n_grid; 3],
+            p: 6,
+            alpha,
+            r_cut,
+        }),
+        probe.box_l,
+    )
+    .expect("SPME plan");
 
     // Shared equilibration: Berendsen-thermostatted dynamics from the
     // relaxed lattice, so the NVE measurement starts at ~300 K.
     let equilibrated = {
-        let mut sim = NveSim::new(base_system.clone(), &spme, 0.001, r_cut);
+        let mut sim = NveSim::new(base_system.clone(), spme.as_ref(), 0.001, r_cut);
         let thermo = Berendsen::new(300.0, 0.1);
         let equil_steps = (equil_ps * 1000.0).round() as usize;
         for _ in 0..equil_steps {
@@ -78,7 +86,8 @@ fn main() {
         );
         sim.system
     };
-    let mut solvers: Vec<(String, Box<dyn LongRange>)> = vec![("SPME".into(), Box::new(spme))];
+    let mut solvers: Vec<(String, std::sync::Arc<dyn LongRangeBackend>)> =
+        vec![("SPME".into(), spme)];
     for m in 1..=3usize {
         let params = TmeParams {
             n: [n_grid; 3],
@@ -91,7 +100,7 @@ fn main() {
         };
         solvers.push((
             format!("TME M={m}"),
-            Box::new(Tme::new(params, probe.box_l)),
+            plan_backend(&BackendParams::Tme(params), probe.box_l).expect("TME plan"),
         ));
     }
 

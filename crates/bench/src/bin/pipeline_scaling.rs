@@ -15,9 +15,19 @@
 //! previously committed `BENCH_pipeline.json` and the run fails (non-zero
 //! exit) on a regression beyond 15% — the CI smoke gate.
 //!
+//! The report also carries one row per long-range backend (DESIGN.md
+//! §14) at a matched 5e-4 force-error target against the pairwise Ewald
+//! oracle: each backend's grid size is the smallest that meets the
+//! target, and the row records grid points, measured force error and
+//! `compute_us`. The `pswf_demo` object pins the PSWF acceptance claim
+//! (equal-or-better accuracy than the B-spline window on the same
+//! marginal grid, meeting the target with 8× fewer grid points) and the
+//! run fails if it stops holding. `--backend <name>` restricts the
+//! table to one backend (the CI backend matrix).
+//!
 //! Usage: `cargo run --release -p tme-bench --bin pipeline_scaling --
 //!         [--waters 512] [--repeats 20] [--out BENCH_pipeline.json]
-//!         [--baseline BENCH_pipeline.json]`
+//!         [--baseline BENCH_pipeline.json] [--backend spme-pswf]`
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -28,9 +38,11 @@ use tme_core::convolve::{convolve_separable_into, ConvolveScratch, FoldedKernels
 use tme_core::kernel::TensorKernel;
 use tme_core::shells::GaussianFit;
 use tme_core::{Tme, TmeParams, TmeStageTimings, TmeWorkspace};
-use tme_mesh::Grid3;
+use tme_md::backend::{plan_backend, BackendParams, PswfParams, SpmeParams};
+use tme_mesh::model::relative_force_error;
+use tme_mesh::{CoulombResult, CoulombSystem, Grid3};
 use tme_num::pool::Pool;
-use tme_reference::ewald::EwaldParams;
+use tme_reference::ewald::{Ewald, EwaldParams};
 
 #[cfg(feature = "alloc-count")]
 #[global_allocator]
@@ -79,6 +91,187 @@ struct Row {
     stages: TmeStageTimings,
 }
 
+/// The matched-accuracy force-error target of the per-backend table —
+/// the same 5e-4 bar `crates/reference/src/spme.rs` pins.
+const FORCE_TARGET: f64 = 5e-4;
+
+struct BackendRow {
+    name: &'static str,
+    grid_points: u64,
+    force_err: f64,
+    compute_us: f64,
+}
+
+/// Deterministic net-neutral random system (splitmix64 positions,
+/// alternating unit charges) — the marginal-grid regime of
+/// `crates/reference/src/spme.rs`.
+fn random_neutral(n: usize, box_edge: f64, seed: u64) -> CoulombSystem {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) as f64 / u64::MAX as f64
+    };
+    let pos = (0..n)
+        .map(|_| [next() * box_edge, next() * box_edge, next() * box_edge])
+        .collect();
+    let q = (0..n)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
+    CoulombSystem::new(pos, q, [box_edge; 3])
+}
+
+/// Plan `params`, warm its workspace, and return (grid points, force
+/// error vs `oracle`, median compute µs on one thread).
+fn measure_backend(
+    params: &BackendParams,
+    sys: &CoulombSystem,
+    oracle: &CoulombResult,
+    repeats: usize,
+) -> (u64, f64, f64) {
+    let plan = match plan_backend(params, sys.box_l) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("FAIL: backend table configuration rejected: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut ws = plan.make_workspace_with_pool(Arc::new(Pool::new(1)));
+    let mut out = CoulombResult::zeros(sys.len());
+    if let Err(e) = plan.compute_into(sys, &mut ws, &mut out) {
+        eprintln!("FAIL: {} execute failed: {e}", plan.name());
+        std::process::exit(1);
+    }
+    let force_err = relative_force_error(&out.forces, &oracle.forces);
+    let compute_us = median_us(repeats, || {
+        let _ = plan.compute_into(sys, &mut ws, &mut out);
+    });
+    (plan.grid_points(), force_err, compute_us)
+}
+
+/// The per-backend accuracy/cost table plus the PSWF demonstration.
+/// Each backend runs on the smallest grid that meets `FORCE_TARGET`;
+/// the quasi-2D slab backend is deliberately absent (different
+/// geometry, no matched-error row — its oracle lives in
+/// `tests/backend_oracle.rs`).
+fn backend_table(repeats: usize, filter: Option<&str>) -> (Vec<BackendRow>, Option<f64>) {
+    if filter == Some("slab") {
+        println!(
+            "backend slab: no matched-error row (quasi-2D geometry has no periodic oracle \
+             here; see tests/backend_oracle.rs)"
+        );
+        return (Vec::new(), None);
+    }
+    let sys = random_neutral(60, 4.0, 2024);
+    let r_cut = 1.2;
+    let alpha = EwaldParams::alpha_from_tolerance(r_cut, 1e-5);
+    let oracle = Ewald::new(EwaldParams::reference_quality(sys.box_l, 1e-14)).compute(&sys);
+    let mesh = |n: usize| TmeParams {
+        n: [n; 3],
+        p: 6,
+        levels: 1,
+        gc: 12,
+        m_gaussians: 4,
+        alpha,
+        r_cut,
+    };
+    let cases: Vec<(&'static str, BackendParams)> = vec![
+        ("tme", BackendParams::Tme(mesh(32))),
+        (
+            "spme",
+            BackendParams::Spme(SpmeParams {
+                n: [32; 3],
+                p: 8,
+                alpha,
+                r_cut,
+            }),
+        ),
+        (
+            "spme-pswf",
+            BackendParams::SpmePswf(PswfParams {
+                n: [16; 3],
+                p: 8,
+                alpha,
+                r_cut,
+                shape: 0.0,
+            }),
+        ),
+        (
+            "ewald",
+            BackendParams::Ewald(EwaldParams {
+                alpha,
+                r_cut,
+                n_cut: 16,
+            }),
+        ),
+        ("msm", BackendParams::Msm(mesh(32))),
+    ];
+    let mut rows = Vec::new();
+    for (name, params) in &cases {
+        if filter.is_some_and(|f| f != *name) {
+            continue;
+        }
+        let (grid_points, force_err, compute_us) = measure_backend(params, &sys, &oracle, repeats);
+        let ok = force_err < FORCE_TARGET;
+        println!(
+            "backend {name:<10}: {grid_points:>6} grid points, force err {force_err:.3e} \
+             (target {FORCE_TARGET:.0e} {}), compute {compute_us:.1} us",
+            if ok { "ok" } else { "MISSED" },
+        );
+        if !ok {
+            eprintln!("FAIL: backend {name} missed the matched force-error target");
+            std::process::exit(1);
+        }
+        rows.push(BackendRow {
+            name,
+            grid_points,
+            force_err,
+            compute_us,
+        });
+    }
+    if let Some(f) = filter {
+        if rows.is_empty() {
+            eprintln!("FAIL: --backend {f} names no table backend");
+            std::process::exit(1);
+        }
+        // Focused CI leg: no cross-backend demo to check.
+        return (rows, None);
+    }
+
+    // The PSWF acceptance demonstration: same marginal 16³ grid, the
+    // PSWF window is at least as accurate as the B-spline and meets the
+    // target the B-spline needs 32³ (8x the points) for.
+    let (_, bspline16_err, _) = measure_backend(
+        &BackendParams::Spme(SpmeParams {
+            n: [16; 3],
+            p: 8,
+            alpha,
+            r_cut,
+        }),
+        &sys,
+        &oracle,
+        repeats,
+    );
+    let pswf = rows.iter().find(|r| r.name == "spme-pswf");
+    let bspline = rows.iter().find(|r| r.name == "spme");
+    let (Some(pswf), Some(bspline)) = (pswf, bspline) else {
+        eprintln!("FAIL: PSWF demo rows missing from the backend table");
+        std::process::exit(1);
+    };
+    println!(
+        "pswf demo: 16^3 pswf {:.3e} vs 16^3 b-spline {bspline16_err:.3e} vs 32^3 b-spline \
+         {:.3e} ({} vs {} grid points at the {FORCE_TARGET:.0e} target)",
+        pswf.force_err, bspline.force_err, pswf.grid_points, bspline.grid_points,
+    );
+    if pswf.force_err > bspline16_err || pswf.grid_points >= bspline.grid_points {
+        eprintln!("FAIL: PSWF no longer beats the B-spline window on the marginal grid");
+        std::process::exit(1);
+    }
+    (rows, Some(bspline16_err))
+}
+
 /// Single-thread `compute_us` of a previously written bench JSON, plus its
 /// atom count (hand-rolled scan — the workspace has no JSON dependency).
 fn baseline_compute_us(text: &str) -> Option<(f64, u64)> {
@@ -105,6 +298,7 @@ fn main() {
         .opt("--out")
         .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
     let baseline_path = args.opt("--baseline");
+    let backend_filter = args.opt("--backend");
     args.finish();
 
     // The paper's box scaled to `waters` at liquid density; grid_for_box
@@ -256,6 +450,9 @@ fn main() {
         }
     }
 
+    // Per-backend accuracy/cost table (DESIGN.md §14) + PSWF demo.
+    let (backend_rows, bspline16_err) = backend_table(repeats, backend_filter.as_deref());
+
     let json = tme_bench::json::report("pipeline_scaling", |o| {
         o.u64("atoms", system.len() as u64)
             .raw("grid", &format!("[{n}, {n}, {n}]"))
@@ -281,7 +478,27 @@ fn main() {
                             .u64("short_range", s.short_range_us)
                             .u64("total", s.total_us);
                     });
+            })
+            .f64("backend_force_target", FORCE_TARGET, 6)
+            .rows("backends", &backend_rows, |r, row| {
+                row.str("backend", r.name)
+                    .u64("grid_points", r.grid_points)
+                    .f64("force_err", r.force_err, 8)
+                    .f64("compute_us", r.compute_us, 3);
             });
+        if let Some(b16) = bspline16_err {
+            let pswf = backend_rows.iter().find(|r| r.name == "spme-pswf");
+            let bspline = backend_rows.iter().find(|r| r.name == "spme");
+            if let (Some(p), Some(b)) = (pswf, bspline) {
+                o.obj("pswf_demo", |d| {
+                    d.u64("pswf_grid_points", p.grid_points)
+                        .f64("pswf_force_err", p.force_err, 8)
+                        .f64("bspline_same_grid_force_err", b16, 8)
+                        .u64("bspline_matched_grid_points", b.grid_points)
+                        .f64("bspline_matched_force_err", b.force_err, 8);
+                });
+            }
+        }
     });
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("wrote {out_path}"),

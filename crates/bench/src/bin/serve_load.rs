@@ -28,6 +28,7 @@ use std::time::{Duration, Instant};
 
 use tme_bench::args::Args;
 use tme_core::TmeParams;
+use tme_md::backend::BackendParams;
 use tme_num::rng::SplitMix64;
 use tme_reference::ewald::EwaldParams;
 use tme_serve::{serve, Client, Request, Response, ServeConfig};
@@ -60,7 +61,7 @@ fn workload_request(alpha_salt: u64) -> Request {
     }
     Request::Compute {
         deadline_ms: 0,
-        params: TmeParams {
+        params: BackendParams::Tme(TmeParams {
             n: [16; 3],
             p: 6,
             levels: 1,
@@ -68,7 +69,7 @@ fn workload_request(alpha_salt: u64) -> Request {
             m_gaussians: 4,
             alpha,
             r_cut,
-        },
+        }),
         box_l: [4.0; 3],
         pos,
         q,

@@ -200,6 +200,11 @@ pub enum TmeRecoverableError {
         /// Largest distance the table covers.
         r_table: f64,
     },
+    /// The caller passed an execute workspace that was built for a
+    /// different plan (backend kind or geometry). Recovery: rebuild the
+    /// workspace with the plan's `make_workspace` — the hot path cannot
+    /// do that itself, it is allocation-free by contract.
+    WorkspaceMismatch,
 }
 
 impl std::fmt::Display for TmeRecoverableError {
@@ -220,6 +225,10 @@ impl std::fmt::Display for TmeRecoverableError {
             Self::PairTableDomain { r_cut, r_table } => write!(
                 f,
                 "pair-kernel table covers r ≤ {r_table} but the cutoff is {r_cut}"
+            ),
+            Self::WorkspaceMismatch => write!(
+                f,
+                "execute workspace does not match this plan (rebuild it with make_workspace)"
             ),
         }
     }

@@ -37,7 +37,7 @@ pub mod workspace;
 pub use distributed::{Decomposition, DecompositionError};
 pub use errors::{TmeConfigError, TmeRecoverableError};
 pub use kernel::TensorKernel;
-pub use msm::Msm;
+pub use msm::{Msm, MsmStats, MsmWorkspace};
 pub use shells::GaussianFit;
 pub use solver::{Tme, TmeParams, TmeStats};
 pub use timings::TmeStageTimings;

@@ -17,14 +17,19 @@
 //! error term — it trades that for the `(2g_c+1)³/((2g_c+1)·3M)` compute
 //! blow-up and the full-halo communication §III.C quantifies.
 
-use crate::levels::LevelTransfer;
+use crate::errors::TmeConfigError;
+use crate::levels::{LevelTransfer, TransferScratch};
 use crate::shells::shell_exact;
 use crate::solver::TmeParams;
-use crate::toplevel::TopLevel;
+use crate::toplevel::{TopLevel, TopScratch};
+use std::sync::Arc;
+use tme_mesh::assign::Interpolated;
 use tme_mesh::bspline::BSpline;
-use tme_mesh::dense::{convolve_direct, DenseKernel};
+use tme_mesh::dense::{convolve_direct_into, DenseKernel};
 use tme_mesh::model::{CoulombResult, CoulombSystem};
+use tme_mesh::pairwise::{self, PairwiseScratch};
 use tme_mesh::{Grid3, SplineOps};
+use tme_num::pool::Pool;
 use tme_num::vec3::V3;
 
 /// Dense level-1 grid kernel for the exact shell: quasi-interpolation of
@@ -97,72 +102,211 @@ pub struct MsmStats {
     pub madds: u64,
 }
 
+/// All per-step mutable state of the MSM evaluation — same plan/execute
+/// split as [`crate::TmeWorkspace`], so the baseline comparator can sit
+/// behind the backend workspace contract with a zero-alloc steady state.
+#[derive(Debug)]
+pub struct MsmWorkspace {
+    pool: Arc<Pool>,
+    /// Charge grids `Q^l`, dims `N >> l`, for `l ∈ 0..=L`.
+    q: Vec<Grid3>,
+    /// Middle-level potentials `Φ^l` for `l ∈ 1..=L` (index `l−1`).
+    mid: Vec<Grid3>,
+    /// Prolongation targets per middle level (index `l−1`).
+    tmp: Vec<Grid3>,
+    /// Restriction/prolongation scratch per level pair (index `l−1`).
+    transfer: Vec<TransferScratch>,
+    /// Top-level potential `Φ^{L+1}`, dims `N >> L`.
+    top_phi: Grid3,
+    top: TopScratch,
+    interp: Interpolated,
+    pair: PairwiseScratch,
+    mesh_out: CoulombResult,
+}
+
+impl MsmWorkspace {
+    /// The pool the short-range and interpolation loops dispatch on.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.pool
+    }
+}
+
 impl Msm {
     pub fn new(params: TmeParams, box_l: V3) -> Self {
+        match Self::try_new(params, box_l) {
+            Ok(msm) => msm,
+            // lint:allow(l2) — documented panicking front-end over try_new
+            Err(e) => panic!("invalid MSM configuration: {e}"),
+        }
+    }
+
+    /// [`Msm::new`] with the configuration contract as typed errors
+    /// (`m_gaussians` is not validated — MSM ignores it).
+    pub fn try_new(params: TmeParams, box_l: V3) -> Result<Self, TmeConfigError> {
+        if params.levels < 1 {
+            return Err(TmeConfigError::NoLevels);
+        }
+        if !(params.alpha >= 0.0 && params.alpha.is_finite()) || params.r_cut <= 0.0 {
+            return Err(TmeConfigError::BadSplitting {
+                alpha: params.alpha,
+                r_cut: params.r_cut,
+            });
+        }
         let scale = 1usize << params.levels;
-        assert!(
-            params.n.iter().all(|&d| d % scale == 0),
-            "grid {:?} not divisible by 2^L = {scale}",
-            params.n
-        );
-        let ops = SplineOps::new(params.p, params.n, box_l);
-        let kernel = dense_shell_kernel(params.alpha, ops.spacing(), params.p, params.gc);
-        let transfer = LevelTransfer::new(params.p);
+        if !params.n.iter().all(|&d| d % scale == 0) {
+            return Err(TmeConfigError::IndivisibleGrid { n: params.n, scale });
+        }
         let n_top = [
             params.n[0] / scale,
             params.n[1] / scale,
             params.n[2] / scale,
         ];
+        if n_top.iter().any(|&d| d < params.p) {
+            return Err(TmeConfigError::TopGridTooSmall { n_top, p: params.p });
+        }
+        let ops = SplineOps::new(params.p, params.n, box_l);
+        let kernel = dense_shell_kernel(params.alpha, ops.spacing(), params.p, params.gc);
+        let transfer = LevelTransfer::new(params.p);
         let top = TopLevel::new(n_top, box_l, params.alpha / scale as f64, params.p);
-        Self {
+        Ok(Self {
             params,
             ops,
             kernel,
             transfer,
             top,
-        }
+        })
     }
 
     pub fn params(&self) -> &TmeParams {
         &self.params
     }
 
+    /// Box edge lengths this plan was built for.
+    #[must_use]
+    pub fn box_lengths(&self) -> V3 {
+        self.ops.box_lengths()
+    }
+
+    /// Allocate the per-step buffers for the workspace entry points (on
+    /// the global pool).
+    #[must_use]
+    pub fn make_workspace(&self) -> MsmWorkspace {
+        self.make_workspace_with_pool(Arc::clone(Pool::global()))
+    }
+
+    /// [`Msm::make_workspace`] on a caller-owned pool.
+    #[must_use]
+    pub fn make_workspace_with_pool(&self, pool: Arc<Pool>) -> MsmWorkspace {
+        let levels = self.params.levels as usize;
+        let n = self.params.n;
+        let dims_at = |l: usize| [n[0] >> l, n[1] >> l, n[2] >> l];
+        MsmWorkspace {
+            pool,
+            q: (0..=levels).map(|l| Grid3::zeros(dims_at(l))).collect(),
+            mid: (1..=levels).map(|l| Grid3::zeros(dims_at(l - 1))).collect(),
+            tmp: (1..=levels).map(|l| Grid3::zeros(dims_at(l - 1))).collect(),
+            transfer: (1..=levels)
+                .map(|l| TransferScratch::for_fine_dims(dims_at(l - 1)))
+                .collect(),
+            top_phi: Grid3::zeros(dims_at(levels)),
+            top: self.top.make_scratch(),
+            interp: Interpolated::default(),
+            pair: PairwiseScratch::new(),
+            mesh_out: CoulombResult::default(),
+        }
+    }
+
+    /// [`Msm::long_range`] through reused buffers — bitwise identical to
+    /// the allocating path (serial assignment, same cascade order), zero
+    /// heap allocations once warm.
+    pub fn long_range_into<'w>(
+        &self,
+        system: &CoulombSystem,
+        ws: &'w mut MsmWorkspace,
+    ) -> (&'w CoulombResult, MsmStats) {
+        let mut stats = MsmStats::default();
+        let levels = self.params.levels as usize;
+        let taps = (2 * self.params.gc + 1) as u64;
+        let pool = Arc::clone(&ws.pool);
+        ws.q[0].fill(0.0);
+        self.ops.assign_into(&system.pos, &system.q, &mut ws.q[0]);
+        // Downward pass: dense convolution per level, restrict to the next.
+        for l in 1..=levels {
+            convolve_direct_into(&self.kernel, &ws.q[l - 1], &mut ws.mid[l - 1]);
+            ws.mid[l - 1].scale(crate::distributed::level_prefactor(l as u32));
+            stats.madds += taps.pow(3) * ws.q[l - 1].len() as u64;
+            let (fine, coarse) = ws.q.split_at_mut(l);
+            self.transfer
+                .restrict_into(&fine[l - 1], &mut coarse[0], &mut ws.transfer[l - 1]);
+        }
+        self.top
+            .solve_into(&ws.q[levels], &mut ws.top_phi, &mut ws.top);
+        // Upward pass: prolong the coarser potential and accumulate.
+        for l in (1..=levels).rev() {
+            if l == levels {
+                self.transfer.prolong_into(
+                    &ws.top_phi,
+                    &mut ws.tmp[l - 1],
+                    &mut ws.transfer[l - 1],
+                );
+            } else {
+                let (_, mid_coarse) = ws.mid.split_at_mut(l);
+                self.transfer.prolong_into(
+                    &mid_coarse[0],
+                    &mut ws.tmp[l - 1],
+                    &mut ws.transfer[l - 1],
+                );
+            }
+            ws.mid[l - 1].accumulate(&ws.tmp[l - 1]);
+        }
+        self.ops
+            .interpolate_into(&ws.mid[0], &system.pos, &system.q, &pool, &mut ws.interp);
+        ws.mesh_out.energy = SplineOps::energy(&system.q, &ws.interp.potential);
+        ws.mesh_out.forces.clear();
+        ws.mesh_out.forces.extend_from_slice(&ws.interp.force);
+        ws.mesh_out.potentials.clear();
+        ws.mesh_out
+            .potentials
+            .extend_from_slice(&ws.interp.potential);
+        ws.mesh_out.virial = 0.0; // mesh virial not tracked (see CoulombResult docs)
+        (&ws.mesh_out, stats)
+    }
+
+    /// [`Msm::compute`] through reused buffers — `out` is reset.
+    pub fn compute_into(
+        &self,
+        system: &CoulombSystem,
+        ws: &mut MsmWorkspace,
+        out: &mut CoulombResult,
+    ) -> MsmStats {
+        let (_, stats) = self.long_range_into(system, ws);
+        let pool = Arc::clone(&ws.pool);
+        pairwise::short_range_into(
+            system,
+            self.params.alpha,
+            self.params.r_cut,
+            &pool,
+            &mut ws.pair,
+            out,
+        );
+        out.accumulate(&ws.mesh_out);
+        pairwise::self_term_into(system, self.params.alpha, out);
+        stats
+    }
+
     /// Mesh (long-range) part via direct multilevel convolutions.
     pub fn long_range(&self, system: &CoulombSystem) -> (CoulombResult, MsmStats) {
-        let mut stats = MsmStats::default();
-        let levels = self.params.levels;
-        let taps = (2 * self.params.gc + 1) as u64;
-        let mut q_level = self.ops.assign(&system.pos, &system.q);
-        let mut mids: Vec<Grid3> = Vec::with_capacity(levels as usize);
-        for l in 1..=levels {
-            let mut phi_mid = convolve_direct(&self.kernel, &q_level);
-            phi_mid.scale(crate::distributed::level_prefactor(l));
-            stats.madds += taps.pow(3) * q_level.len() as u64;
-            mids.push(phi_mid);
-            q_level = self.transfer.restrict(&q_level);
-        }
-        let mut phi = self.top.solve(&q_level);
-        while let Some(mut phi_l) = mids.pop() {
-            phi_l.accumulate(&self.transfer.prolong(&phi));
-            phi = phi_l;
-        }
-        let interp = self.ops.interpolate(&phi, &system.pos, &system.q);
-        (
-            CoulombResult {
-                energy: SplineOps::energy(&system.q, &interp.potential),
-                forces: interp.force,
-                potentials: interp.potential,
-                virial: 0.0, // mesh virial not tracked (see CoulombResult docs)
-            },
-            stats,
-        )
+        let mut ws = self.make_workspace();
+        let (out, stats) = self.long_range_into(system, &mut ws);
+        (out.clone(), stats)
     }
 
     /// Full Coulomb sum (short range + mesh + self term).
     pub fn compute(&self, system: &CoulombSystem) -> CoulombResult {
-        let mut out = tme_mesh::pairwise::short_range(system, self.params.alpha, self.params.r_cut);
-        out.accumulate(&self.long_range(system).0);
-        out.accumulate(&tme_mesh::pairwise::self_term(system, self.params.alpha));
+        let mut ws = self.make_workspace();
+        let mut out = CoulombResult::default();
+        self.compute_into(system, &mut ws, &mut out);
         out
     }
 }

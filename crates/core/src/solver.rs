@@ -194,6 +194,12 @@ impl Tme {
         &self.params
     }
 
+    /// Box edge lengths this plan was built for.
+    #[must_use]
+    pub fn box_lengths(&self) -> V3 {
+        self.ops.box_lengths()
+    }
+
     /// The plan-time short-range pair-kernel table (tabulated
     /// `erfc(αr)/r` energy/force, exact-complement construction).
     pub fn pair_table(&self) -> &PairKernelTable {

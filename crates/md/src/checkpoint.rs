@@ -120,10 +120,9 @@ pub fn run_with_checkpoints(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::longrange::CutoffOnly;
+    use crate::backend::{CutoffOnly, SpmeBackend, SpmeParams};
     use crate::water::{thermalize, water_box};
     use tme_reference::ewald::EwaldParams;
-    use tme_reference::Spme;
 
     fn small_water() -> crate::MdSystem {
         let mut s = water_box(64, 6);
@@ -149,7 +148,19 @@ mod tests {
         let sys = small_water();
         let r_cut = 0.55;
         let alpha = EwaldParams::alpha_from_tolerance(r_cut, 1e-4);
-        let spme = Spme::new([16; 3], sys.box_l, alpha, 6, r_cut);
+        let Ok(spme) = SpmeBackend::new(
+            SpmeParams {
+                n: [16; 3],
+                p: 6,
+                alpha,
+                r_cut,
+            },
+            sys.box_l,
+        ) else {
+            return Err(CheckpointError::Mismatch {
+                what: "test SPME configuration rejected",
+            });
+        };
         // Uninterrupted reference: 10 steps.
         let mut reference = NveSim::new(sys.clone(), &spme, 0.001, r_cut);
         reference.mesh_interval = 2; // exercise the r-RESPA impulse state
@@ -198,7 +209,7 @@ mod tests {
     #[test]
     fn corrupt_checkpoint_is_a_typed_error() -> Result<(), CheckpointError> {
         let sys = small_water();
-        let solver = CutoffOnly;
+        let solver = CutoffOnly { r_cut: 0.55 };
         let mut sim = NveSim::new(sys, &solver, 0.001, 0.55);
         sim.step();
         let good = sim.checkpoint();
@@ -244,7 +255,7 @@ mod tests {
     /// guards, not silently accepted.
     #[test]
     fn foreign_checkpoint_is_rejected() -> Result<(), CheckpointError> {
-        let solver = CutoffOnly;
+        let solver = CutoffOnly { r_cut: 0.55 };
         let mut small = NveSim::new(small_water(), &solver, 0.001, 0.55);
         let big_sys = {
             let mut s = water_box(125, 4);
@@ -281,7 +292,7 @@ mod tests {
     #[test]
     fn checkpoint_cadence_and_degraded_mode() -> Result<(), CheckpointError> {
         let sys = small_water();
-        let solver = CutoffOnly;
+        let solver = CutoffOnly { r_cut: 0.55 };
         let mut sim = NveSim::new(sys, &solver, 0.001, 0.55);
         sim.exact_short_range = true; // degraded mode: exact erfc oracle
         let run = run_with_checkpoints(&mut sim, 7, 2, 3);

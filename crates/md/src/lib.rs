@@ -11,8 +11,9 @@
 //! * [`nonbond`] — Lennard-Jones + short-range Coulomb with exclusions
 //! * [`constraints`] — SETTLE (analytic) and SHAKE/RATTLE (iterative) rigid
 //!   constraints
-//! * [`longrange`] — a common interface over SPME / TME / plain-cutoff
-//!   long-range electrostatics
+//! * [`backend`] — the long-range backend layer: one plan/execute interface
+//!   over TME / SPME (B-spline and PSWF) / Ewald / MSM / slab / cutoff
+//!   electrostatics (DESIGN.md §14)
 //! * [`bonded`] — harmonic bonds/angles (the GP cores' bonded track)
 //! * [`solute`] — flexible charged bead chains (protein surrogates)
 //! * [`thermostat`] — Berendsen weak coupling for equilibration
@@ -24,10 +25,10 @@
 //!   auto-checkpointing run loop (DESIGN.md §11)
 
 pub mod analysis;
+pub mod backend;
 pub mod bonded;
 pub mod checkpoint;
 pub mod constraints;
-pub mod longrange;
 pub mod neighbors;
 pub mod nonbond;
 pub mod nve;
@@ -38,6 +39,10 @@ pub mod trajectory;
 pub mod units;
 pub mod water;
 
+pub use backend::{
+    plan_backend, BackendConfigError, BackendKind, BackendParams, BackendStats, BackendWorkspace,
+    LongRangeBackend,
+};
 pub use checkpoint::{run_with_checkpoints, CheckpointError, CheckpointedRun};
 pub use nve::{EnergyRecord, NveSim, RecoveryEvent};
 pub use topology::MdSystem;

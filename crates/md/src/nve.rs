@@ -12,9 +12,9 @@
 //! Total energy = kinetic + LJ + Coulomb(short + mesh + self + exclusion),
 //! in kJ/mol. The observable of Fig. 4 is this total vs time.
 
+use crate::backend::{BackendWorkspace, LongRangeBackend};
 use crate::checkpoint::CheckpointError;
 use crate::constraints::{settle_all_positions, settle_all_velocities, SettleGeom};
-use crate::longrange::{LongRange, LongRangeWorkspace};
 use crate::neighbors::VerletList;
 use crate::nonbond;
 use crate::topology::MdSystem;
@@ -58,7 +58,7 @@ pub struct RecoveryEvent {
 /// An NVE simulation bound to a system and a long-range solver.
 pub struct NveSim<'a> {
     pub system: MdSystem,
-    solver: &'a dyn LongRange,
+    solver: &'a dyn LongRangeBackend,
     geom: SettleGeom,
     /// Time step (ps).
     pub dt: f64,
@@ -82,10 +82,10 @@ pub struct NveSim<'a> {
     forces_fast: Vec<V3>,
     /// Mesh forces (× COULOMB) at the last outer (boundary) step.
     mesh_forces: Vec<V3>,
-    /// Reusable solver workspace — the TME's plan/execute state, so
+    /// Opaque per-backend execute workspace (DESIGN.md §14), so
     /// steady-state stepping does not reallocate the mesh pipeline.
-    lr_ws: LongRangeWorkspace,
-    /// Reused mesh result buffer for [`LongRange::mesh_into`].
+    lr_ws: BackendWorkspace,
+    /// Reused mesh result buffer for [`LongRangeBackend::mesh_into`].
     mesh_result: CoulombResult,
     cached_mesh_energy: f64,
     /// Impulse weight of `mesh_forces` for kicks using the current forces:
@@ -115,7 +115,12 @@ struct CachedEnergies {
 impl<'a> NveSim<'a> {
     /// Set up the simulation: projects initial velocities onto the
     /// constraint manifold and computes initial forces.
-    pub fn new(mut system: MdSystem, solver: &'a dyn LongRange, dt: f64, r_cut: f64) -> Self {
+    pub fn new(
+        mut system: MdSystem,
+        solver: &'a dyn LongRangeBackend,
+        dt: f64,
+        r_cut: f64,
+    ) -> Self {
         let min_edge = system.box_l.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(
             r_cut <= min_edge / 2.0 + 1e-12,
@@ -226,7 +231,7 @@ impl<'a> NveSim<'a> {
         let coul_sys = sys.coulomb_system();
         if self.step_count.is_multiple_of(interval) {
             self.solver
-                .mesh_into(&coul_sys, &mut self.lr_ws, &mut self.mesh_result);
+                .mesh_into(&coul_sys, &mut self.lr_ws, &mut self.mesh_result)?;
             // The mesh has no oracle fallback at this layer — a non-finite
             // reciprocal result is unrecoverable in-step and goes to the
             // checkpoint/restart layer as a typed error.
@@ -664,11 +669,10 @@ pub fn energy_drift(records: &[EnergyRecord]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::longrange::CutoffOnly;
+    use crate::backend::{CutoffOnly, SpmeBackend, SpmeParams};
     use crate::water::{thermalize, water_box};
     use tme_num::vec3;
     use tme_reference::ewald::EwaldParams;
-    use tme_reference::Spme;
 
     fn small_water() -> MdSystem {
         // 125 waters → L ≈ 1.56 nm, so cutoffs up to 0.75 nm respect the
@@ -681,7 +685,7 @@ mod tests {
     #[test]
     fn constraints_hold_over_many_steps() {
         let sys = small_water();
-        let solver = CutoffOnly;
+        let solver = CutoffOnly { r_cut: 0.75 };
         let mut sim = NveSim::new(sys, &solver, 0.001, 0.75);
         for _ in 0..50 {
             sim.step();
@@ -698,7 +702,7 @@ mod tests {
     #[test]
     fn momentum_conserved() {
         let sys = small_water();
-        let solver = CutoffOnly;
+        let solver = CutoffOnly { r_cut: 0.75 };
         let mut sim = NveSim::new(sys, &solver, 0.001, 0.75);
         let p0 = sim.system.momentum();
         for _ in 0..20 {
@@ -715,7 +719,16 @@ mod tests {
         let sys = small_water();
         let r_cut = 0.75;
         let alpha = EwaldParams::alpha_from_tolerance(r_cut, 1e-4);
-        let spme = Spme::new([16; 3], sys.box_l, alpha, 6, r_cut);
+        let spme = SpmeBackend::new(
+            SpmeParams {
+                n: [16; 3],
+                p: 6,
+                alpha,
+                r_cut,
+            },
+            sys.box_l,
+        )
+        .unwrap();
         let mut sim = NveSim::new(sys, &spme, 0.001, r_cut);
         let records = sim.run(100, 10);
         let e0 = records[0].total;
@@ -748,11 +761,19 @@ mod tests {
     fn multiple_time_stepping_stays_conservative() {
         // Mesh every other step (the Anton policy): total energy must stay
         // close to the every-step result over a short run.
-        use tme_reference::Spme;
         let sys = small_water();
         let r_cut = 0.75;
         let alpha = tme_reference::ewald::EwaldParams::alpha_from_tolerance(r_cut, 1e-4);
-        let spme = Spme::new([16; 3], sys.box_l, alpha, 6, r_cut);
+        let spme = SpmeBackend::new(
+            SpmeParams {
+                n: [16; 3],
+                p: 6,
+                alpha,
+                r_cut,
+            },
+            sys.box_l,
+        )
+        .unwrap();
         let run = |interval: usize| {
             let mut sim = NveSim::new(small_water(), &spme, 0.001, r_cut);
             sim.mesh_interval = interval;
@@ -778,7 +799,7 @@ mod tests {
     #[test]
     fn initial_velocities_satisfy_constraints() {
         let sys = small_water();
-        let solver = CutoffOnly;
+        let solver = CutoffOnly { r_cut: 0.75 };
         let sim = NveSim::new(sys, &solver, 0.001, 0.75);
         for w in &sim.system.waters {
             let e = vec3::sub(sim.system.pos[w.o], sim.system.pos[w.h1]);

@@ -195,7 +195,7 @@ pub fn solvate_chain(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::longrange::WolfScreened;
+    use crate::backend::WolfScreened;
     use crate::nve::NveSim;
     use crate::water::{thermalize, water_box};
 

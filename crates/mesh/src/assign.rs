@@ -14,6 +14,7 @@
 
 use crate::bspline::{BSpline, SplineWeights};
 use crate::grid::Grid3;
+use crate::window::PswfWindow;
 use tme_num::pool::{Pool, SendPtr};
 use tme_num::vec3::V3;
 
@@ -43,6 +44,10 @@ fn wrap_support(n: usize, m0: i64, p: usize, out: &mut [usize; 16]) -> usize {
 #[derive(Clone, Debug)]
 pub struct SplineOps {
     spline: BSpline,
+    /// Replaces the B-spline as the gridding window when set (PSWF-SPME
+    /// backend); `None` is the classic B-spline path. Both share the same
+    /// support convention, so every transfer loop below is window-blind.
+    window: Option<PswfWindow>,
     n: [usize; 3],
     box_l: V3,
     h: V3,
@@ -69,10 +74,27 @@ impl SplineOps {
         ];
         Self {
             spline: BSpline::new(p),
+            window: None,
             n,
             box_l,
             h,
         }
+    }
+
+    /// Operator gridding with a [`PswfWindow`] instead of the B-spline
+    /// (same support width `window.order()`, same transfer loops). The
+    /// matching Fourier-space deconvolution is
+    /// [`crate::greens::influence_windowed`].
+    pub fn with_window(n: [usize; 3], box_l: V3, window: PswfWindow) -> Self {
+        let mut ops = Self::new(window.order(), n, box_l);
+        ops.window = Some(window);
+        ops
+    }
+
+    /// The gridding window when this operator is PSWF-windowed.
+    #[must_use]
+    pub fn window(&self) -> Option<&PswfWindow> {
+        self.window.as_ref()
     }
 
     pub fn order(&self) -> usize {
@@ -95,6 +117,16 @@ impl SplineOps {
     #[inline]
     fn normalised(&self, r: V3) -> V3 {
         [r[0] / self.h[0], r[1] / self.h[1], r[2] / self.h[2]]
+    }
+
+    /// One-axis gridding weights through the active window (B-spline or
+    /// PSWF) — the single dispatch point of every transfer loop.
+    #[inline]
+    fn weights_into(&self, u: f64, out: &mut SplineWeights) {
+        match &self.window {
+            Some(w) => w.weights_into(u, out),
+            None => self.spline.weights_into(u, out),
+        }
     }
 
     /// Charge assignment (Eq. 12): returns the grid of charges `Q_m`.
@@ -124,9 +156,9 @@ impl SplineOps {
         let (mut idx_x, mut idx_y, mut idx_z) = ([0usize; 16], [0usize; 16], [0usize; 16]);
         for (r, &qi) in pos.iter().zip(q) {
             let u = self.normalised(*r);
-            self.spline.weights_into(u[0], &mut sx);
-            self.spline.weights_into(u[1], &mut sy);
-            self.spline.weights_into(u[2], &mut sz);
+            self.weights_into(u[0], &mut sx);
+            self.weights_into(u[1], &mut sy);
+            self.weights_into(u[2], &mut sz);
             wrap_support(nx, sx.m0(), p, &mut idx_x);
             wrap_support(ny, sy.m0(), p, &mut idx_y);
             let z0 = wrap_support(nz, sz.m0(), p, &mut idx_z);
@@ -155,14 +187,18 @@ impl SplineOps {
     /// Interpolate the potential `φ(r)` from a grid potential (Eq. 13).
     pub fn potential_at(&self, phi: &Grid3, r: V3) -> f64 {
         let u = self.normalised(r);
-        let (mx, wx, _) = self.spline.weights(u[0]);
-        let (my, wy, _) = self.spline.weights(u[1]);
-        let (mz, wz, _) = self.spline.weights(u[2]);
+        let mut sx = SplineWeights::default();
+        let mut sy = SplineWeights::default();
+        let mut sz = SplineWeights::default();
+        self.weights_into(u[0], &mut sx);
+        self.weights_into(u[1], &mut sy);
+        self.weights_into(u[2], &mut sz);
+        let (mx, my, mz) = (sx.m0(), sy.m0(), sz.m0());
         let mut acc = 0.0;
-        for (ix, &wxv) in wx.iter().enumerate() {
-            for (iy, &wyv) in wy.iter().enumerate() {
+        for (ix, &wxv) in sx.w().iter().enumerate() {
+            for (iy, &wyv) in sy.w().iter().enumerate() {
                 let wxy = wxv * wyv;
-                for (iz, &wzv) in wz.iter().enumerate() {
+                for (iz, &wzv) in sz.w().iter().enumerate() {
                     acc += wxy * wzv * phi.get([mx + ix as i64, my + iy as i64, mz + iz as i64]);
                 }
             }
@@ -240,9 +276,9 @@ impl SplineOps {
         let (mut idx_x, mut idx_y, mut idx_z) = ([0usize; 16], [0usize; 16], [0usize; 16]);
         for (i, (r, &qi)) in pos.iter().zip(q).enumerate() {
             let u = self.normalised(*r);
-            self.spline.weights_into(u[0], &mut sx);
-            self.spline.weights_into(u[1], &mut sy);
-            self.spline.weights_into(u[2], &mut sz);
+            self.weights_into(u[0], &mut sx);
+            self.weights_into(u[1], &mut sy);
+            self.weights_into(u[2], &mut sz);
             wrap_support(nx, sx.m0(), p, &mut idx_x);
             wrap_support(ny, sy.m0(), p, &mut idx_y);
             let z0 = wrap_support(nz, sz.m0(), p, &mut idx_z);

@@ -33,10 +33,10 @@ pub struct BSpline {
 /// supported order (`p ≤ 12`).
 #[derive(Clone, Copy, Debug)]
 pub struct SplineWeights {
-    m0: i64,
-    p: usize,
-    w: [f64; 16],
-    dw: [f64; 16],
+    pub(crate) m0: i64,
+    pub(crate) p: usize,
+    pub(crate) w: [f64; 16],
+    pub(crate) dw: [f64; 16],
 }
 
 impl Default for SplineWeights {

@@ -68,9 +68,17 @@ impl DenseKernel {
 
 /// Direct range-limited periodic convolution `Φ = K ⊛ Q`.
 pub fn convolve_direct(kernel: &DenseKernel, q: &Grid3) -> Grid3 {
+    let mut phi = Grid3::zeros(q.dims());
+    convolve_direct_into(kernel, q, &mut phi);
+    phi
+}
+
+/// [`convolve_direct`] writing into a caller-provided grid — the
+/// allocation-free form the MSM workspace path uses.
+pub fn convolve_direct_into(kernel: &DenseKernel, q: &Grid3, phi: &mut Grid3) {
     let n = q.dims();
+    assert_eq!(phi.dims(), n);
     let g = kernel.gc;
-    let mut phi = Grid3::zeros(n);
     for (c, _) in q.iter() {
         let center = [c[0] as i64, c[1] as i64, c[2] as i64];
         let mut acc = 0.0;
@@ -84,5 +92,4 @@ pub fn convolve_direct(kernel: &DenseKernel, q: &Grid3) -> Grid3 {
         }
         phi.set(center, acc);
     }
-    phi
 }

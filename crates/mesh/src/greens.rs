@@ -22,6 +22,7 @@
 
 use crate::bspline::BSpline;
 use crate::grid::Grid3;
+use crate::window::PswfWindow;
 use tme_num::fft::{Fft3, RealFft3};
 use tme_num::vec3::V3;
 use tme_num::Complex64;
@@ -80,6 +81,66 @@ pub fn influence(n: [usize; 3], box_l: V3, alpha: f64, p: usize) -> Grid3 {
                 let m2 = mx * mx + my * my + mz * mz;
                 let expo = -pi * pi * m2 / (alpha * alpha);
                 // exp(−π²m̄²/α²) underflows harmlessly; skip the work.
+                let val = if expo < -700.0 {
+                    0.0
+                } else {
+                    ntot * expo.exp() / (pi * vol * m2) * bx[ix] * by[iy] * bz[iz]
+                };
+                g.set([ix as i64, iy as i64, iz as i64], val);
+            }
+        }
+    }
+    g
+}
+
+/// [`influence`] for a PSWF-windowed mesh: the per-axis B-spline Euler
+/// factor is replaced by `1/ŵ(θ)²` with `ŵ` the continuous Fourier
+/// transform of the window at `θ = 2π ñ/N` rad per grid unit (`ñ` the
+/// signed alias — `ŵ` is aperiodic, so the in-band branch is the right
+/// one). Everything else — Gaussian screen, tinfoil `G̃_0 = 0`,
+/// `N_tot`/volume normalisation — is identical, so the windowed mesh
+/// drops into the same [`apply_influence_into`] pipeline.
+///
+/// Modes the window cannot resolve (`ŵ(θ)² < 10⁻²⁴·ŵ(0)²`, beyond the
+/// evanescent tail) are dropped rather than amplified: their Gaussian
+/// weight is negligible for any sane `α`/grid pairing, while dividing by
+/// a denormal would blow aliasing noise up into the result.
+#[allow(clippy::needless_range_loop)] // ix/iy/iz index grid coords and factor tables together
+pub fn influence_windowed(n: [usize; 3], box_l: V3, alpha: f64, window: &PswfWindow) -> Grid3 {
+    let ntot = (n[0] * n[1] * n[2]) as f64;
+    let vol = box_l[0] * box_l[1] * box_l[2];
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let floor = 1e-24 * window.fourier(0.0).powi(2);
+    // Per-axis deconvolution factors 1/ŵ(θ)², or 0 for unresolvable modes.
+    let factors = |nn: usize| -> Vec<f64> {
+        (0..nn)
+            .map(|i| {
+                let theta = two_pi * signed_freq(i, nn) as f64 / nn as f64;
+                let wsq = window.fourier(theta).powi(2);
+                if wsq < floor {
+                    0.0
+                } else {
+                    1.0 / wsq
+                }
+            })
+            .collect()
+    };
+    let bx = factors(n[0]);
+    let by = factors(n[1]);
+    let bz = factors(n[2]);
+    let mut g = Grid3::zeros(n);
+    let pi = std::f64::consts::PI;
+    for ix in 0..n[0] {
+        let mx = signed_freq(ix, n[0]) as f64 / box_l[0];
+        for iy in 0..n[1] {
+            let my = signed_freq(iy, n[1]) as f64 / box_l[1];
+            for iz in 0..n[2] {
+                if (ix, iy, iz) == (0, 0, 0) {
+                    continue; // tinfoil boundary: drop the k = 0 mode
+                }
+                let mz = signed_freq(iz, n[2]) as f64 / box_l[2];
+                let m2 = mx * mx + my * my + mz * mz;
+                let expo = -pi * pi * m2 / (alpha * alpha);
                 let val = if expo < -700.0 {
                     0.0
                 } else {

@@ -13,8 +13,10 @@ pub mod greens;
 pub mod grid;
 pub mod model;
 pub mod pairwise;
+pub mod window;
 
 pub use assign::SplineOps;
 pub use bspline::BSpline;
 pub use grid::Grid3;
 pub use model::{CoulombResult, CoulombSystem};
+pub use window::PswfWindow;

@@ -11,12 +11,15 @@
 //! Total: `E = E_real(erfc pairs) + E_recip(lattice sum) + E_self`.
 
 use crate::pairwise;
+use std::sync::Arc;
 use tme_mesh::model::{CoulombResult, CoulombSystem};
+use tme_mesh::pairwise::PairwiseScratch;
+use tme_num::pool::Pool;
 use tme_num::vec3::V3;
 use tme_num::Complex64;
 
 /// Parameters of a direct Ewald summation.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EwaldParams {
     /// Ewald splitting parameter α (nm⁻¹).
     pub alpha: f64,
@@ -60,6 +63,22 @@ pub struct Ewald {
     pub params: EwaldParams,
 }
 
+/// Reusable buffers for [`Ewald::compute_into`] — the per-axis phase
+/// tables, the per-mode `e^{ik·r}` column, the short-range partition
+/// accumulators and the reciprocal sub-result. Allocation-free once warm,
+/// which lets the reference solver honour the backend workspace contract
+/// (DESIGN.md §14) exactly like the mesh methods.
+#[derive(Debug)]
+pub struct EwaldScratch {
+    pool: Arc<Pool>,
+    /// `phases[axis][atom·(n_cut+1) + m] = e^{2πi m x/L}`, `m = 0..=n_cut`.
+    phases: [Vec<Complex64>; 3],
+    /// Per-mode `e^{ik·r_j}` column reused across k-vectors.
+    eikr: Vec<Complex64>,
+    pair: PairwiseScratch,
+    recip: CoulombResult,
+}
+
 impl Ewald {
     pub fn new(params: EwaldParams) -> Self {
         Self { params }
@@ -73,34 +92,89 @@ impl Ewald {
         out
     }
 
+    /// Build the reusable buffers for [`Ewald::compute_into`].
+    pub fn make_scratch(&self, pool: Arc<Pool>) -> EwaldScratch {
+        EwaldScratch {
+            pool,
+            phases: [Vec::new(), Vec::new(), Vec::new()],
+            eikr: Vec::new(),
+            pair: PairwiseScratch::new(),
+            recip: CoulombResult::default(),
+        }
+    }
+
+    /// [`Ewald::compute`] through reused buffers — `out` is reset, not
+    /// accumulated. Bitwise identical to [`Ewald::compute`]: the pair sum
+    /// uses the same fixed-partition reduction and the lattice sum is
+    /// serial, so the thread count never enters the arithmetic.
+    pub fn compute_into(
+        &self,
+        system: &CoulombSystem,
+        ws: &mut EwaldScratch,
+        out: &mut CoulombResult,
+    ) {
+        self.reciprocal_scratch(system, ws);
+        let pool = Arc::clone(&ws.pool);
+        pairwise::short_range_into(
+            system,
+            self.params.alpha,
+            self.params.r_cut,
+            &pool,
+            &mut ws.pair,
+            out,
+        );
+        out.accumulate(&ws.recip);
+        pairwise::self_term_into(system, self.params.alpha, out);
+    }
+
+    /// [`Ewald::reciprocal`] through reused buffers — `out` is reset.
+    pub fn reciprocal_into(
+        &self,
+        system: &CoulombSystem,
+        ws: &mut EwaldScratch,
+        out: &mut CoulombResult,
+    ) {
+        self.reciprocal_scratch(system, ws);
+        out.copy_from(&ws.recip);
+    }
+
     /// Reciprocal-space lattice sum over `0 < |n| ≤ n_cut`.
     ///
     /// Per-axis phase factors `e^{2πi n x/L}` are built once by recurrence,
     /// then each k-vector costs O(N) for the structure factor and O(N) for
     /// the force back-substitution. Only a half space of k-vectors is
     /// visited (S(−k) = S̄(k) for real charges).
-    #[allow(clippy::needless_range_loop)] // j indexes three parallel arrays
     pub fn reciprocal(&self, system: &CoulombSystem) -> CoulombResult {
+        let mut ws = self.make_scratch(Arc::clone(Pool::global()));
+        self.reciprocal_scratch(system, &mut ws);
+        ws.recip
+    }
+
+    /// Shared lattice-sum core writing into `ws.recip`.
+    #[allow(clippy::needless_range_loop)] // j indexes three parallel arrays
+    fn reciprocal_scratch(&self, system: &CoulombSystem, ws: &mut EwaldScratch) {
         let n = system.len();
         let nc = self.params.n_cut;
         let alpha = self.params.alpha;
         let vol = system.volume();
         let two_pi = 2.0 * std::f64::consts::PI;
-        let mut out = CoulombResult::zeros(n);
+        ws.recip.reset(n);
+        let out = &mut ws.recip;
 
         // phases[axis][atom][m] = e^{2πi m x/L}, m = 0..=nc.
-        let mut phases: [Vec<Complex64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-        for (axis, store) in phases.iter_mut().enumerate() {
-            let mut v = vec![Complex64::ONE; n * (nc as usize + 1)];
+        for (axis, store) in ws.phases.iter_mut().enumerate() {
+            store.clear();
+            store.resize(n * (nc as usize + 1), Complex64::ONE);
             for (i, r) in system.pos.iter().enumerate() {
                 let base = Complex64::cis(two_pi * r[axis] / system.box_l[axis]);
-                let row = &mut v[i * (nc as usize + 1)..(i + 1) * (nc as usize + 1)];
+                let row = &mut store[i * (nc as usize + 1)..(i + 1) * (nc as usize + 1)];
+                row[0] = Complex64::ONE;
                 for m in 1..=nc as usize {
                     row[m] = row[m - 1] * base;
                 }
             }
-            *store = v;
         }
+        let phases = &ws.phases;
         let phase = |axis: usize, atom: usize, m: i64| -> Complex64 {
             let p = phases[axis][atom * (nc as usize + 1) + m.unsigned_abs() as usize];
             if m >= 0 {
@@ -111,7 +185,9 @@ impl Ewald {
         };
 
         let nc2 = nc * nc;
-        let mut eikr = vec![Complex64::ZERO; n];
+        ws.eikr.clear();
+        ws.eikr.resize(n, Complex64::ZERO);
+        let eikr = &mut ws.eikr;
         for nx in 0..=nc {
             for ny in -nc..=nc {
                 for nz in -nc..=nc {
@@ -161,7 +237,6 @@ impl Ewald {
                 }
             }
         }
-        out
     }
 }
 

@@ -22,5 +22,5 @@ pub mod msm;
 pub mod pairwise;
 pub mod spme;
 
-pub use ewald::{Ewald, EwaldParams};
-pub use spme::Spme;
+pub use ewald::{Ewald, EwaldParams, EwaldScratch};
+pub use spme::{Spme, SpmeScratch};

@@ -1,52 +1,35 @@
 //! The plan cache (DESIGN.md §12.2).
 //!
-//! `Tme::try_new` is the expensive part of a one-shot request: it fits
-//! Gaussians, folds kernels and tabulates pair potentials — tens of
-//! milliseconds against a sub-millisecond execute for small systems.
-//! Repeat clients (an MD facility's workloads are dominated by a handful
-//! of configurations) should pay it once. The cache maps a 64-bit
-//! **configuration fingerprint** — FNV-1a over the exact bits of every
-//! `TmeParams` field plus the box — to a shared `Arc<Tme>` plan, with LRU
-//! eviction at a fixed capacity.
+//! Planning is the expensive part of a one-shot request — `Tme::try_new`
+//! fits Gaussians, folds kernels and tabulates pair potentials; SPME
+//! plans tabulate window transforms — tens of milliseconds against a
+//! sub-millisecond execute for small systems. Repeat clients (an MD
+//! facility's workloads are dominated by a handful of configurations)
+//! should pay it once. The cache maps a 64-bit **plan fingerprint**
+//! ([`BackendParams::fingerprint`]: FNV-1a over the backend kind tag, the
+//! exact bits of every parameter field, and the box) to a shared
+//! `Arc<dyn LongRangeBackend>` plan, with LRU eviction at a fixed
+//! capacity.
 //!
 //! Keying on raw `f64` bits makes the key exact: two configs hit the same
-//! plan only when every parameter is bit-identical, so a cache hit can
-//! never change numerical results (the same determinism argument as the
-//! checkpoint fingerprints in `tme_md::nve`). Workspaces are *not* cached
-//! here — they are mutable per-worker state; each worker keeps its own
-//! small workspace LRU keyed by the same fingerprint.
+//! plan only when the backend kind and every parameter are bit-identical,
+//! so a cache hit can never change numerical results (the same
+//! determinism argument as the checkpoint fingerprints in `tme_md::nve`).
+//! Workspaces are *not* cached here — they are mutable per-worker state;
+//! each worker keeps its own small [`tme_md::backend::BackendWorkspace`]
+//! LRU keyed by the same fingerprint.
 
 use std::sync::Arc;
-use tme_core::{Tme, TmeConfigError, TmeParams};
+use tme_md::backend::{BackendConfigError, BackendParams, LongRangeBackend};
 
-/// FNV-1a over a stream of `u64` words (the same mixing as the
-/// checkpoint topology fingerprint in `tme_md`).
-fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for w in words {
-        h = (h ^ w).wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// Exact 64-bit fingerprint of a solver configuration: every `TmeParams`
-/// field and the box lengths, floats by raw bits.
+/// Exact 64-bit fingerprint of a solver configuration: the backend kind
+/// tag, every parameter field and the box lengths, floats by raw bits.
+/// Delegates to [`BackendParams::fingerprint`] so the serve cache key is
+/// the same value the backend layer (and checkpoint compatibility
+/// checks) use.
 #[must_use]
-pub fn config_fingerprint(params: &TmeParams, box_l: [f64; 3]) -> u64 {
-    fnv1a([
-        params.n[0] as u64,
-        params.n[1] as u64,
-        params.n[2] as u64,
-        params.p as u64,
-        u64::from(params.levels),
-        params.gc as u64,
-        params.m_gaussians as u64,
-        params.alpha.to_bits(),
-        params.r_cut.to_bits(),
-        box_l[0].to_bits(),
-        box_l[1].to_bits(),
-        box_l[2].to_bits(),
-    ])
+pub fn config_fingerprint(params: &BackendParams, box_l: [f64; 3]) -> u64 {
+    params.fingerprint(box_l)
 }
 
 /// LRU cache of planned solvers, keyed by [`config_fingerprint`].
@@ -55,7 +38,7 @@ pub fn config_fingerprint(params: &TmeParams, box_l: [f64; 3]) -> u64 {
 /// to low tens (each plan holds kernel tables and FFT state), so linear
 /// scans beat any pointer-chasing structure and keep the type std-only.
 pub struct PlanCache {
-    entries: Vec<(u64, Arc<Tme>)>,
+    entries: Vec<(u64, Arc<dyn LongRangeBackend>)>,
     capacity: usize,
     hits: u64,
     misses: u64,
@@ -80,8 +63,8 @@ impl PlanCache {
     pub fn get_or_try_build(
         &mut self,
         key: u64,
-        build: impl FnOnce() -> Result<Tme, TmeConfigError>,
-    ) -> Result<(Arc<Tme>, bool), TmeConfigError> {
+        build: impl FnOnce() -> Result<Arc<dyn LongRangeBackend>, BackendConfigError>,
+    ) -> Result<(Arc<dyn LongRangeBackend>, bool), BackendConfigError> {
         if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
             self.hits += 1;
             let entry = self.entries.remove(i);
@@ -89,7 +72,7 @@ impl PlanCache {
             return Ok((Arc::clone(&self.entries[0].1), true));
         }
         self.misses += 1;
-        let plan = Arc::new(build()?);
+        let plan = build()?;
         if self.entries.len() >= self.capacity {
             self.entries.pop();
         }
@@ -117,9 +100,11 @@ impl PlanCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tme_core::TmeParams;
+    use tme_md::backend::{plan_backend, SpmeParams};
 
-    fn params(n: usize) -> TmeParams {
-        TmeParams {
+    fn params(n: usize) -> BackendParams {
+        BackendParams::Tme(TmeParams {
             n: [n; 3],
             p: 6,
             levels: 1,
@@ -127,7 +112,7 @@ mod tests {
             m_gaussians: 4,
             alpha: 3.2,
             r_cut: 1.0,
-        }
+        })
     }
 
     #[test]
@@ -137,16 +122,27 @@ mod tests {
         assert_ne!(a, config_fingerprint(&params(32), [4.0; 3]));
         assert_ne!(a, config_fingerprint(&params(16), [8.0; 3]));
         let mut p = params(16);
-        p.alpha = 3.200_000_000_000_001;
+        if let BackendParams::Tme(ref mut t) = p {
+            t.alpha = 3.200_000_000_000_001;
+        }
         assert_ne!(a, config_fingerprint(&p, [4.0; 3]));
+        // The kind tag is part of the key: an SPME plan with the same
+        // grid/order/splitting must not alias the TME plan.
+        let spme = BackendParams::Spme(SpmeParams {
+            n: [16; 3],
+            p: 6,
+            alpha: 3.2,
+            r_cut: 1.0,
+        });
+        assert_ne!(a, config_fingerprint(&spme, [4.0; 3]));
     }
 
     #[test]
-    fn second_identical_request_hits_and_shares_the_plan() -> Result<(), TmeConfigError> {
+    fn second_identical_request_hits_and_shares_the_plan() -> Result<(), BackendConfigError> {
         let mut cache = PlanCache::new(2);
         let key = config_fingerprint(&params(16), [4.0; 3]);
-        let (first, hit1) = cache.get_or_try_build(key, || Tme::try_new(params(16), [4.0; 3]))?;
-        let (second, hit2) = cache.get_or_try_build(key, || Tme::try_new(params(16), [4.0; 3]))?;
+        let (first, hit1) = cache.get_or_try_build(key, || plan_backend(&params(16), [4.0; 3]))?;
+        let (second, hit2) = cache.get_or_try_build(key, || plan_backend(&params(16), [4.0; 3]))?;
         assert!(!hit1 && hit2);
         assert!(Arc::ptr_eq(&first, &second), "hit must share the plan");
         assert_eq!(cache.counters(), (1, 1));
@@ -154,22 +150,22 @@ mod tests {
     }
 
     #[test]
-    fn lru_evicts_the_coldest_plan() -> Result<(), TmeConfigError> {
+    fn lru_evicts_the_coldest_plan() -> Result<(), BackendConfigError> {
         let mut cache = PlanCache::new(2);
         let k16 = config_fingerprint(&params(16), [4.0; 3]);
         let k32 = config_fingerprint(&params(32), [8.0; 3]);
         let k64 = config_fingerprint(&params(64), [8.0; 3]);
-        cache.get_or_try_build(k16, || Tme::try_new(params(16), [4.0; 3]))?;
-        cache.get_or_try_build(k32, || Tme::try_new(params(32), [8.0; 3]))?;
+        cache.get_or_try_build(k16, || plan_backend(&params(16), [4.0; 3]))?;
+        cache.get_or_try_build(k32, || plan_backend(&params(32), [8.0; 3]))?;
         // Touch 16 so 32 becomes coldest, then insert a third.
-        cache.get_or_try_build(k16, || Tme::try_new(params(16), [4.0; 3]))?;
-        cache.get_or_try_build(k64, || Tme::try_new(params(64), [8.0; 3]))?;
+        cache.get_or_try_build(k16, || plan_backend(&params(16), [4.0; 3]))?;
+        cache.get_or_try_build(k64, || plan_backend(&params(64), [8.0; 3]))?;
         assert_eq!(cache.len(), 2);
         // 16 survived (it was touched before the insert)...
-        let (_, hit) = cache.get_or_try_build(k16, || Tme::try_new(params(16), [4.0; 3]))?;
+        let (_, hit) = cache.get_or_try_build(k16, || plan_backend(&params(16), [4.0; 3]))?;
         assert!(hit);
         // ...and 32, the coldest entry, was the one evicted.
-        let (_, hit) = cache.get_or_try_build(k32, || Tme::try_new(params(32), [8.0; 3]))?;
+        let (_, hit) = cache.get_or_try_build(k32, || plan_backend(&params(32), [8.0; 3]))?;
         assert!(!hit);
         Ok(())
     }
@@ -178,10 +174,12 @@ mod tests {
     fn failed_builds_are_not_cached() {
         let mut cache = PlanCache::new(2);
         let mut bad = params(16);
-        bad.levels = 0;
+        if let BackendParams::Tme(ref mut t) = bad {
+            t.levels = 0;
+        }
         let key = config_fingerprint(&bad, [4.0; 3]);
         assert!(cache
-            .get_or_try_build(key, || Tme::try_new(bad, [4.0; 3]))
+            .get_or_try_build(key, || plan_backend(&bad, [4.0; 3]))
             .is_err());
         assert!(cache.is_empty());
         assert_eq!(cache.counters(), (0, 1));

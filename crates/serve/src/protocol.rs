@@ -16,12 +16,18 @@
 //! log and survive, never panics (lint rule L6 holds the crate to that).
 
 use tme_core::TmeParams;
+use tme_md::backend::{BackendKind, BackendParams, PswfParams, SlabParams, SpmeParams};
 use tme_num::bytes::{ByteReader, ByteWriter, CodecError};
+use tme_reference::EwaldParams;
 
 /// Protocol version carried in byte 0 of every payload. Bump on any
 /// incompatible change; a server rejects other versions with
 /// [`WireError::BadVersion`] before touching the body.
-pub const PROTOCOL_VERSION: u8 = 1;
+///
+/// Version history: 1 carried a bare `TmeParams` in `Compute`; 2 carries
+/// a tagged [`BackendParams`] (per-plan backend choice) and a backend
+/// kind in [`EstimateSpec`].
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Hard ceiling on a frame payload (16 MiB) — an absurd length prefix is
 /// rejected before any allocation.
@@ -38,6 +44,9 @@ pub enum WireError {
     UnknownRequestKind { got: u8 },
     /// The response kind byte is not one this version defines.
     UnknownResponseKind { got: u8 },
+    /// The backend tag is not a servable [`BackendKind`] (unknown value,
+    /// or the cutoff tag, which is deliberately not wire-decodable).
+    UnknownBackendKind { got: u8 },
     /// The length prefix exceeds [`MAX_FRAME_BYTES`].
     FrameTooLarge { len: u64 },
     /// The transport failed mid-frame (connection reset, EOF, timeout).
@@ -68,6 +77,7 @@ impl std::fmt::Display for WireError {
             }
             Self::UnknownRequestKind { got } => write!(f, "unknown request kind {got}"),
             Self::UnknownResponseKind { got } => write!(f, "unknown response kind {got}"),
+            Self::UnknownBackendKind { got } => write!(f, "unknown backend kind {got}"),
             Self::FrameTooLarge { len } => {
                 write!(
                     f,
@@ -86,6 +96,8 @@ impl std::error::Error for WireError {}
 /// the machine configuration.
 #[derive(Clone, Debug, PartialEq)]
 pub struct EstimateSpec {
+    /// Which long-range backend to price the workload for.
+    pub backend: BackendKind,
     pub n_atoms: u64,
     pub grid: u64,
     pub levels: u32,
@@ -103,11 +115,11 @@ pub struct EstimateSpec {
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// One-shot energy/forces evaluation: plan (or reuse from the plan
-    /// cache) a TME solver for `params`/`box_l` and run the full pipeline
-    /// over the positions/charges.
+    /// cache) the requested long-range backend for `params`/`box_l` and
+    /// run the full pipeline over the positions/charges.
     Compute {
         deadline_ms: u64,
-        params: TmeParams,
+        params: BackendParams,
         box_l: [f64; 3],
         pos: Vec<[f64; 3]>,
         q: Vec<f64>,
@@ -225,7 +237,7 @@ const RESP_REJECTED: u8 = 6;
 const RESP_EXPIRED: u8 = 7;
 const RESP_SERVER_ERROR: u8 = 8;
 
-fn put_params(w: &mut ByteWriter, p: &TmeParams) {
+fn put_tme_params(w: &mut ByteWriter, p: &TmeParams) {
     for d in p.n {
         w.put_usize(d);
     }
@@ -237,7 +249,7 @@ fn put_params(w: &mut ByteWriter, p: &TmeParams) {
     w.put_f64(p.r_cut);
 }
 
-fn get_params(r: &mut ByteReader<'_>) -> Result<TmeParams, CodecError> {
+fn get_tme_params(r: &mut ByteReader<'_>) -> Result<TmeParams, CodecError> {
     Ok(TmeParams {
         n: [
             r.get_u64()? as usize,
@@ -250,6 +262,98 @@ fn get_params(r: &mut ByteReader<'_>) -> Result<TmeParams, CodecError> {
         m_gaussians: r.get_u64()? as usize,
         alpha: r.get_f64()?,
         r_cut: r.get_f64()?,
+    })
+}
+
+fn get_grid(r: &mut ByteReader<'_>) -> Result<[usize; 3], CodecError> {
+    Ok([
+        r.get_u64()? as usize,
+        r.get_u64()? as usize,
+        r.get_u64()? as usize,
+    ])
+}
+
+/// Encode a tagged backend parameter set: the [`BackendKind`] wire tag,
+/// then the variant's fields in declaration order (the same order the
+/// fingerprint mixes them).
+fn put_backend_params(w: &mut ByteWriter, params: &BackendParams) {
+    w.put_u8(params.kind().tag());
+    match params {
+        BackendParams::Tme(p) | BackendParams::Msm(p) => put_tme_params(w, p),
+        BackendParams::Spme(p) => {
+            for d in p.n {
+                w.put_usize(d);
+            }
+            w.put_usize(p.p);
+            w.put_f64(p.alpha);
+            w.put_f64(p.r_cut);
+        }
+        BackendParams::SpmePswf(p) => {
+            for d in p.n {
+                w.put_usize(d);
+            }
+            w.put_usize(p.p);
+            w.put_f64(p.alpha);
+            w.put_f64(p.r_cut);
+            w.put_f64(p.shape);
+        }
+        BackendParams::Ewald(p) => {
+            w.put_f64(p.alpha);
+            w.put_f64(p.r_cut);
+            w.put_u64(p.n_cut as u64);
+        }
+        BackendParams::Slab(p) => {
+            for d in p.n {
+                w.put_usize(d);
+            }
+            w.put_usize(p.p);
+            w.put_f64(p.alpha);
+            w.put_f64(p.r_cut);
+            w.put_f64(p.gamma_top);
+            w.put_f64(p.gamma_bot);
+            w.put_u32(p.n_images);
+        }
+    }
+}
+
+/// Decode a tagged backend parameter set. An unknown tag (including the
+/// cutoff tag, which is not servable) is the typed, connection-fatal
+/// [`WireError::UnknownBackendKind`] — never a panic.
+fn get_backend_params(r: &mut ByteReader<'_>) -> Result<BackendParams, WireError> {
+    let tag = r.get_u8()?;
+    let kind = BackendKind::from_tag(tag).ok_or(WireError::UnknownBackendKind { got: tag })?;
+    Ok(match kind {
+        BackendKind::Tme => BackendParams::Tme(get_tme_params(r)?),
+        BackendKind::Msm => BackendParams::Msm(get_tme_params(r)?),
+        BackendKind::Spme => BackendParams::Spme(SpmeParams {
+            n: get_grid(r)?,
+            p: r.get_u64()? as usize,
+            alpha: r.get_f64()?,
+            r_cut: r.get_f64()?,
+        }),
+        BackendKind::SpmePswf => BackendParams::SpmePswf(PswfParams {
+            n: get_grid(r)?,
+            p: r.get_u64()? as usize,
+            alpha: r.get_f64()?,
+            r_cut: r.get_f64()?,
+            shape: r.get_f64()?,
+        }),
+        BackendKind::Ewald => BackendParams::Ewald(EwaldParams {
+            alpha: r.get_f64()?,
+            r_cut: r.get_f64()?,
+            n_cut: r.get_u64()? as i64,
+        }),
+        BackendKind::Slab => BackendParams::Slab(SlabParams {
+            n: get_grid(r)?,
+            p: r.get_u64()? as usize,
+            alpha: r.get_f64()?,
+            r_cut: r.get_f64()?,
+            gamma_top: r.get_f64()?,
+            gamma_bot: r.get_f64()?,
+            n_images: r.get_u32()?,
+        }),
+        // `from_tag` never returns Cutoff (not servable).
+        BackendKind::Cutoff => return Err(WireError::UnknownBackendKind { got: tag }),
     })
 }
 
@@ -279,7 +383,7 @@ impl Request {
             } => {
                 w.put_u8(REQ_COMPUTE);
                 w.put_u64(*deadline_ms);
-                put_params(&mut w, params);
+                put_backend_params(&mut w, params);
                 put_v3(&mut w, *box_l);
                 w.put_v3_slice(pos);
                 w.put_f64_slice(q);
@@ -303,6 +407,7 @@ impl Request {
             Self::Estimate { deadline_ms, spec } => {
                 w.put_u8(REQ_ESTIMATE);
                 w.put_u64(*deadline_ms);
+                w.put_u8(spec.backend.tag());
                 w.put_u64(spec.n_atoms);
                 w.put_u64(spec.grid);
                 w.put_u32(spec.levels);
@@ -332,7 +437,7 @@ impl Request {
         let req = match kind {
             REQ_COMPUTE => {
                 let deadline_ms = r.get_u64()?;
-                let params = get_params(&mut r)?;
+                let params = get_backend_params(&mut r)?;
                 let box_l = get_v3(&mut r)?;
                 let pos = r.get_v3_vec()?;
                 let q = r.get_f64_vec()?;
@@ -355,6 +460,11 @@ impl Request {
             REQ_ESTIMATE => Self::Estimate {
                 deadline_ms: r.get_u64()?,
                 spec: EstimateSpec {
+                    backend: {
+                        let tag = r.get_u8()?;
+                        BackendKind::from_tag(tag)
+                            .ok_or(WireError::UnknownBackendKind { got: tag })?
+                    },
                     n_atoms: r.get_u64()?,
                     grid: r.get_u64()?,
                     levels: r.get_u32()?,
@@ -623,15 +733,47 @@ mod tests {
         Ok(())
     }
 
-    #[test]
-    fn every_request_variant_round_trips() -> Result<(), WireError> {
-        round_trip_request(&Request::Compute {
+    fn compute_with(params: BackendParams) -> Request {
+        Request::Compute {
             deadline_ms: 250,
-            params: sample_params(),
+            params,
             box_l: [4.0; 3],
             pos: vec![[1.0, 2.0, 3.0], [0.5, -0.25, 4.0]],
             q: vec![1.0, -1.0],
-        })?;
+        }
+    }
+
+    #[test]
+    fn every_request_variant_round_trips() -> Result<(), WireError> {
+        round_trip_request(&compute_with(BackendParams::Tme(sample_params())))?;
+        round_trip_request(&compute_with(BackendParams::Msm(sample_params())))?;
+        round_trip_request(&compute_with(BackendParams::Spme(SpmeParams {
+            n: [16, 32, 16],
+            p: 6,
+            alpha: 3.2,
+            r_cut: 1.0,
+        })))?;
+        round_trip_request(&compute_with(BackendParams::SpmePswf(PswfParams {
+            n: [16; 3],
+            p: 8,
+            alpha: 3.2,
+            r_cut: 1.0,
+            shape: 0.0,
+        })))?;
+        round_trip_request(&compute_with(BackendParams::Ewald(EwaldParams {
+            alpha: 3.2,
+            r_cut: 1.0,
+            n_cut: 12,
+        })))?;
+        round_trip_request(&compute_with(BackendParams::Slab(SlabParams {
+            n: [16, 16, 64],
+            p: 6,
+            alpha: 3.2,
+            r_cut: 1.0,
+            gamma_top: -1.0,
+            gamma_bot: 0.25,
+            n_images: 1,
+        })))?;
         round_trip_request(&Request::NveRun {
             deadline_ms: 0,
             waters: 64,
@@ -643,6 +785,7 @@ mod tests {
         round_trip_request(&Request::Estimate {
             deadline_ms: 1000,
             spec: EstimateSpec {
+                backend: BackendKind::Tme,
                 n_atoms: 80_540,
                 grid: 32,
                 levels: 1,
@@ -655,6 +798,42 @@ mod tests {
         })?;
         round_trip_request(&Request::Stats)?;
         round_trip_request(&Request::Shutdown { drain: true })
+    }
+
+    #[test]
+    fn unknown_backend_tags_are_typed_errors() {
+        // The backend tag sits right after version, kind, and deadline in
+        // both Compute and Estimate payloads.
+        const TAG_AT: usize = 1 + 1 + 8;
+        let mut payload = compute_with(BackendParams::Tme(sample_params())).encode();
+        for bad in [0u8, 7, 200] {
+            payload[TAG_AT] = bad;
+            assert_eq!(
+                Request::decode(&payload),
+                Err(WireError::UnknownBackendKind { got: bad }),
+                "compute backend tag {bad}"
+            );
+        }
+        let mut payload = Request::Estimate {
+            deadline_ms: 0,
+            spec: EstimateSpec {
+                backend: BackendKind::Spme,
+                n_atoms: 100,
+                grid: 16,
+                levels: 1,
+                gc: 8,
+                m_gaussians: 4,
+                r_cut: 1.0,
+                box_l: [4.0; 3],
+                steps: 5,
+            },
+        }
+        .encode();
+        payload[TAG_AT] = 7; // the cutoff tag is deliberately not servable
+        assert_eq!(
+            Request::decode(&payload),
+            Err(WireError::UnknownBackendKind { got: 7 })
+        );
     }
 
     #[test]

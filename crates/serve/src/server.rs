@@ -10,9 +10,10 @@
 //!   [`Response::Rejected`] with a retry-after hint, never a block;
 //! * a fixed pool of **worker threads** pops jobs, checks the job's own
 //!   deadline (expired work is answered [`Response::Expired`] unexecuted),
-//!   resolves the plan through the shared [`PlanCache`], executes on a
-//!   long-lived per-worker [`TmeWorkspace`], and sends the response back
-//!   over the job's channel.
+//!   resolves the plan through the shared [`PlanCache`] (any long-range
+//!   backend, keyed by the backend-tagged plan fingerprint), executes on
+//!   a long-lived per-worker [`BackendWorkspace`], and sends the response
+//!   back over the job's channel.
 //!
 //! **Drain** ([`ServerHandle::trigger_drain`] or a `Shutdown` request):
 //! the queue closes — admission stops, workers finish everything already
@@ -33,12 +34,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
-use tme_core::{Tme, TmeParams, TmeWorkspace};
+use tme_md::backend::{
+    plan_backend, BackendKind, BackendParams, BackendWorkspace, SpmeBackend, SpmeParams,
+};
 use tme_md::nve::NveSim;
 use tme_md::water::{thermalize, water_box};
+use tme_mesh::CoulombResult;
 use tme_num::pool::Pool;
 use tme_reference::ewald::EwaldParams;
-use tme_reference::Spme;
 
 /// Server configuration; [`ServeConfig::default`] is sized for tests and
 /// the load harness (ephemeral port, two workers).
@@ -355,7 +358,10 @@ const WORKSPACES_PER_WORKER: usize = 4;
 fn worker_loop(shared: &Arc<Shared>) {
     let pool = Arc::new(Pool::new(1));
     let machine = MachineConfig::mdgrape4a();
-    let mut workspaces: Vec<(u64, TmeWorkspace)> = Vec::new();
+    let mut workspaces: Vec<(u64, BackendWorkspace)> = Vec::new();
+    // Reusable result buffer: `compute_into` resets it per call, so a
+    // warm worker serves repeat shapes without fresh result allocations.
+    let mut scratch = CoulombResult::zeros(0);
     while let Some(job) = shared.queue.pop() {
         let waited_us = elapsed_us(job.enqueued);
         shared.stats().queue_wait.record(waited_us);
@@ -366,7 +372,14 @@ fn worker_loop(shared: &Arc<Shared>) {
                 deadline_ms,
             }
         } else {
-            execute(shared, &pool, &machine, &mut workspaces, &job.req)
+            execute(
+                shared,
+                &pool,
+                &machine,
+                &mut workspaces,
+                &mut scratch,
+                &job.req,
+            )
         };
         // A dead receiver (client hung up mid-wait) is not a worker error.
         let _ = job.reply.send(resp);
@@ -377,7 +390,8 @@ fn execute(
     shared: &Arc<Shared>,
     pool: &Arc<Pool>,
     machine: &MachineConfig,
-    workspaces: &mut Vec<(u64, TmeWorkspace)>,
+    workspaces: &mut Vec<(u64, BackendWorkspace)>,
+    scratch: &mut CoulombResult,
     req: &Request,
 ) -> Response {
     match req {
@@ -387,7 +401,7 @@ fn execute(
             pos,
             q,
             ..
-        } => compute_request(shared, pool, workspaces, params, *box_l, pos, q),
+        } => compute_request(shared, pool, workspaces, scratch, params, *box_l, pos, q),
         Request::NveRun {
             waters,
             seed,
@@ -412,12 +426,14 @@ fn bad_request(message: String) -> Response {
     }
 }
 
-/// Validate a compute configuration *before* planning: `Tme::try_new`
+/// Validate a compute configuration *before* planning: `plan_backend`
 /// checks mathematical consistency, but a hostile or buggy client could
 /// request a grid that allocates gigabytes before any check fires. These
-/// bounds mirror the hardware envelope (§V.A).
+/// bounds mirror the hardware envelope (§V.A); the finer per-backend
+/// rules (order/splitting/shape validity) are `plan_backend`'s job and
+/// surface as `BadRequest` through its typed error.
 fn validate_compute(
-    params: &TmeParams,
+    params: &BackendParams,
     box_l: [f64; 3],
     n_atoms: usize,
     q_len: usize,
@@ -431,48 +447,53 @@ fn validate_compute(
             "atom count {n_atoms} outside the accepted range 1..={max_atoms}"
         ));
     }
-    for d in params.n {
-        if !(8..=128).contains(&d) || !d.is_power_of_two() {
-            return Err(format!("grid dimension {d} not a power of two in 8..=128"));
+    let grid = match params {
+        BackendParams::Tme(p) | BackendParams::Msm(p) => Some(p.n),
+        BackendParams::Spme(p) => Some(p.n),
+        BackendParams::SpmePswf(p) => Some(p.n),
+        BackendParams::Slab(p) => Some(p.n),
+        BackendParams::Ewald(_) => None,
+    };
+    if let Some(n) = grid {
+        for d in n {
+            if !(8..=128).contains(&d) || !d.is_power_of_two() {
+                return Err(format!("grid dimension {d} not a power of two in 8..=128"));
+            }
         }
     }
-    if !(2..=12).contains(&params.p) {
-        return Err(format!("spline order {} outside 2..=12", params.p));
-    }
-    if !(1..=4).contains(&params.levels) {
-        return Err(format!("levels {} outside 1..=4", params.levels));
-    }
-    if !(1..=16).contains(&params.gc) {
-        return Err(format!("grid cutoff {} outside 1..=16", params.gc));
-    }
-    if !(1..=8).contains(&params.m_gaussians) {
-        return Err(format!("gaussians {} outside 1..=8", params.m_gaussians));
+    match params {
+        BackendParams::Tme(p) | BackendParams::Msm(p) => {
+            if !(1..=4).contains(&p.levels) {
+                return Err(format!("levels {} outside 1..=4", p.levels));
+            }
+            if !(1..=16).contains(&p.gc) {
+                return Err(format!("grid cutoff {} outside 1..=16", p.gc));
+            }
+            if !(1..=8).contains(&p.m_gaussians) {
+                return Err(format!("gaussians {} outside 1..=8", p.m_gaussians));
+            }
+        }
+        BackendParams::Ewald(p) => {
+            // The reciprocal sum is O(N·n_cut³); bound it like the grids.
+            if !(1..=64).contains(&p.n_cut) {
+                return Err(format!("Ewald n_cut {} outside 1..=64", p.n_cut));
+            }
+        }
+        BackendParams::Spme(_) | BackendParams::SpmePswf(_) | BackendParams::Slab(_) => {}
     }
     if !box_l.iter().all(|l| l.is_finite() && *l > 0.0) {
         return Err(format!("box {box_l:?} must be finite and positive"));
     }
-    if !(params.alpha.is_finite() && params.alpha >= 0.0 && params.r_cut.is_finite()) {
-        return Err(format!(
-            "splitting alpha {} / r_cut {} must be finite",
-            params.alpha, params.r_cut
-        ));
-    }
-    let min_edge = box_l[0].min(box_l[1]).min(box_l[2]);
-    if !(params.r_cut > 0.0 && params.r_cut <= 0.5 * min_edge) {
-        return Err(format!(
-            "r_cut {} outside (0, half the shortest box edge {:.3}]",
-            params.r_cut,
-            0.5 * min_edge
-        ));
-    }
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn compute_request(
     shared: &Arc<Shared>,
     pool: &Arc<Pool>,
-    workspaces: &mut Vec<(u64, TmeWorkspace)>,
-    params: &TmeParams,
+    workspaces: &mut Vec<(u64, BackendWorkspace)>,
+    scratch: &mut CoulombResult,
+    params: &BackendParams,
     box_l: [f64; 3],
     pos: &[[f64; 3]],
     q: &[f64],
@@ -485,10 +506,15 @@ fn compute_request(
         .plans
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
-        .get_or_try_build(key, || Tme::try_new(*params, box_l));
+        .get_or_try_build(key, || plan_backend(params, box_l));
     let (plan, cache_hit) = match built {
         Ok(pair) => pair,
-        Err(e) => return bad_request(format!("invalid TME configuration: {e}")),
+        Err(e) => {
+            return bad_request(format!(
+                "invalid {} configuration: {e}",
+                params.kind().name()
+            ))
+        }
     };
     {
         let mut stats = shared.stats();
@@ -510,7 +536,7 @@ fn compute_request(
             if workspaces.len() >= WORKSPACES_PER_WORKER {
                 workspaces.pop();
             }
-            let ws = TmeWorkspace::with_pool(&plan, Arc::clone(pool));
+            let ws = plan.make_workspace_with_pool(Arc::clone(pool));
             workspaces.insert(0, (key, ws));
             &mut workspaces[0].1
         }
@@ -522,14 +548,16 @@ fn compute_request(
         q: q.to_vec(),
         box_l,
     };
-    match plan.try_compute_with_stats(ws, &system) {
-        Ok((out, tme_stats)) => {
-            shared.stats().last_tme = Some(tme_stats);
+    match plan.compute_into(&system, ws, scratch) {
+        Ok(stats) => {
+            if stats.tme.is_some() {
+                shared.stats().last_tme = stats.tme;
+            }
             Response::Computed {
-                energy: out.energy,
+                energy: scratch.energy,
                 cache_hit,
-                forces: out.forces.clone(),
-                potentials: out.potentials.clone(),
+                forces: scratch.forces.clone(),
+                potentials: scratch.potentials.clone(),
             }
         }
         Err(e) => Response::ServerError {
@@ -559,7 +587,23 @@ fn nve_request(waters: u64, seed: u64, steps: u64, dt: f64, r_cut: f64) -> Respo
     let min_edge = sys.box_l[0].min(sys.box_l[1]).min(sys.box_l[2]);
     let r_cut = r_cut.min(0.45 * min_edge);
     let alpha = EwaldParams::alpha_from_tolerance(r_cut, 1e-4);
-    let spme = Spme::new([16; 3], sys.box_l, alpha, 6, r_cut);
+    let spme = match SpmeBackend::new(
+        SpmeParams {
+            n: [16; 3],
+            p: 6,
+            alpha,
+            r_cut,
+        },
+        sys.box_l,
+    ) {
+        Ok(plan) => plan,
+        Err(e) => {
+            return Response::ServerError {
+                code: ServerErrorCode::Internal,
+                message: format!("server-side SPME plan failed: {e}"),
+            }
+        }
+    };
     let mut sim = NveSim::new(sys, &spme, dt, r_cut);
     let steps = steps as usize;
     let records = sim.run(steps, (steps / 10).max(1));
@@ -575,6 +619,28 @@ fn nve_request(waters: u64, seed: u64, steps: u64, dt: f64, r_cut: f64) -> Respo
         last_total: last.total,
         drift: (last.total - first.total).abs() / first.total.abs().max(1.0),
         temperature: last.temperature,
+    }
+}
+
+/// Relative cost of one MD step on each backend against the TME
+/// pipeline, which the MDGRAPE-4A discrete-event model prices directly.
+/// Crude but ordered correctly: SPME swaps the tensorised cascade for
+/// full-grid FFTs (window spreading dominates; the PSWF window costs a
+/// little more per point than the B-spline recurrence), MSM runs direct
+/// untensorised convolutions over every level, the slab backend works on
+/// a 3×-extended box with up to doubled atom count, and direct Ewald's
+/// O(N·n_cut³) reciprocal sum is why mesh methods exist.
+fn backend_cost_multiplier(kind: BackendKind) -> f64 {
+    match kind {
+        BackendKind::Tme => 1.0,
+        BackendKind::Spme => 1.25,
+        BackendKind::SpmePswf => 1.4,
+        BackendKind::Msm => 3.0,
+        BackendKind::Slab => 4.0,
+        BackendKind::Ewald => 8.0,
+        // Not servable over the wire; priced as the short-range part
+        // alone for completeness.
+        BackendKind::Cutoff => 0.5,
     }
 }
 
@@ -612,11 +678,12 @@ fn estimate_request(machine: &MachineConfig, spec: &EstimateSpec) -> Response {
         ..StepWorkload::paper_fig9()
     };
     let report = simulate_run(machine, &workload, spec.steps as usize);
+    let factor = backend_cost_multiplier(spec.backend);
     Response::Estimated {
         steps: spec.steps,
-        mean_us: report.mean(),
-        max_us: report.max(),
-        report: report.to_string(),
+        mean_us: report.mean() * factor,
+        max_us: report.max() * factor,
+        report: format!("{} (x{factor:.2} vs TME): {report}", spec.backend.name()),
     }
 }
 
@@ -628,6 +695,7 @@ fn elapsed_us(t0: Instant) -> u64 {
 mod tests {
     use super::*;
     use crate::client::Client;
+    use tme_core::TmeParams;
 
     fn tiny_params() -> TmeParams {
         TmeParams {
@@ -644,7 +712,7 @@ mod tests {
     fn dipole_request(deadline_ms: u64) -> Request {
         Request::Compute {
             deadline_ms,
-            params: tiny_params(),
+            params: BackendParams::Tme(tiny_params()),
             box_l: [4.0; 3],
             pos: vec![[1.0, 1.0, 1.0], [2.5, 1.0, 1.0]],
             q: vec![1.0, -1.0],
@@ -691,7 +759,7 @@ mod tests {
         bad.n = [24; 3];
         let resp = client.call(&Request::Compute {
             deadline_ms: 0,
-            params: bad,
+            params: BackendParams::Tme(bad),
             box_l: [4.0; 3],
             pos: vec![[1.0; 3]],
             q: vec![0.0],
@@ -717,6 +785,90 @@ mod tests {
     }
 
     #[test]
+    fn per_plan_backend_choice_with_bitwise_cache_hits() -> Result<(), Box<dyn std::error::Error>> {
+        use tme_md::backend::PswfParams;
+        let handle = serve(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        })?;
+        let mut client = Client::connect(handle.local_addr())?;
+        let t = tiny_params();
+        let backends = [
+            BackendParams::Tme(t),
+            BackendParams::Spme(SpmeParams {
+                n: [16; 3],
+                p: 6,
+                alpha: t.alpha,
+                r_cut: t.r_cut,
+            }),
+            BackendParams::SpmePswf(PswfParams {
+                n: [16; 3],
+                p: 8,
+                alpha: t.alpha,
+                r_cut: t.r_cut,
+                shape: 0.0,
+            }),
+            BackendParams::Ewald(EwaldParams {
+                alpha: t.alpha,
+                r_cut: t.r_cut,
+                n_cut: 8,
+            }),
+            BackendParams::Msm(t),
+        ];
+        let mut energies = Vec::new();
+        for params in backends {
+            let request = Request::Compute {
+                deadline_ms: 0,
+                params,
+                box_l: [4.0; 3],
+                pos: vec![[1.0, 1.0, 1.0], [2.5, 1.0, 1.0]],
+                q: vec![1.0, -1.0],
+            };
+            let first = client.call(&request)?;
+            let second = client.call(&request)?;
+            let (
+                Response::Computed {
+                    energy: e1,
+                    cache_hit: h1,
+                    ..
+                },
+                Response::Computed {
+                    energy: e2,
+                    cache_hit: h2,
+                    ..
+                },
+            ) = (first, second)
+            else {
+                return Err(format!("expected Computed for {params:?}").into());
+            };
+            assert!(
+                !h1 && h2,
+                "{params:?}: plan must miss then hit its own cache entry"
+            );
+            assert_eq!(
+                e1.to_bits(),
+                e2.to_bits(),
+                "{params:?}: cache hit changed the energy bits"
+            );
+            assert!(e1.is_finite() && e1 < 0.0, "{params:?}: energy {e1}");
+            energies.push(e1);
+        }
+        // Same splitting, same system: every backend agrees on the
+        // physics to mesh accuracy (the cross-backend oracle suite pins
+        // this much tighter per backend).
+        for (i, e) in energies.iter().enumerate() {
+            assert!(
+                (e - energies[0]).abs() <= 2e-2 * energies[0].abs(),
+                "backend {i} energy {e} far from TME {}",
+                energies[0]
+            );
+        }
+        handle.trigger_drain();
+        handle.join();
+        Ok(())
+    }
+
+    #[test]
     fn estimate_and_nve_round_trip() -> Result<(), Box<dyn std::error::Error>> {
         let handle = serve(ServeConfig {
             workers: 1,
@@ -726,6 +878,7 @@ mod tests {
         let resp = client.call(&Request::Estimate {
             deadline_ms: 0,
             spec: EstimateSpec {
+                backend: BackendKind::Tme,
                 n_atoms: 80_540,
                 grid: 32,
                 levels: 1,
@@ -782,6 +935,7 @@ mod tests {
         let slow = Request::Estimate {
             deadline_ms: 0,
             spec: EstimateSpec {
+                backend: BackendKind::Tme,
                 n_atoms: 80_540,
                 grid: 32,
                 levels: 1,

@@ -36,10 +36,21 @@ use crate::report::Finding;
 use std::path::Path;
 
 /// Rule entry points: (qualified name, file-path hint).
+///
+/// Every [`crate::…`] backend's `compute_into` is an a1 *and* a2 entry:
+/// the `LongRangeBackend` execute contract (DESIGN.md §14) promises a
+/// zero-alloc, panic-free steady state for each of them, not just TME.
 pub const A1_ENTRIES: &[(&str, &str)] = &[
     ("Tme::compute_with", "crates/core/"),
     ("Tme::try_compute_with_stats", "crates/core/"),
     ("simulate_step_into", "crates/mdgrape/"),
+    ("TmeBackend::compute_into", "crates/md/"),
+    ("SpmeBackend::compute_into", "crates/md/"),
+    ("EwaldBackend::compute_into", "crates/md/"),
+    ("MsmBackend::compute_into", "crates/md/"),
+    ("SlabBackend::compute_into", "crates/md/"),
+    ("CutoffOnly::compute_into", "crates/md/"),
+    ("WolfScreened::compute_into", "crates/md/"),
 ];
 
 pub const A2_ENTRIES: &[(&str, &str)] = &[
@@ -55,6 +66,14 @@ pub const A2_ENTRIES: &[(&str, &str)] = &[
     ("connection_loop", "crates/serve/"),
     ("worker_loop", "crates/serve/"),
     ("submit_and_wait", "crates/serve/"),
+    ("Request::decode", "crates/serve/"),
+    ("TmeBackend::compute_into", "crates/md/"),
+    ("SpmeBackend::compute_into", "crates/md/"),
+    ("EwaldBackend::compute_into", "crates/md/"),
+    ("MsmBackend::compute_into", "crates/md/"),
+    ("SlabBackend::compute_into", "crates/md/"),
+    ("CutoffOnly::compute_into", "crates/md/"),
+    ("WolfScreened::compute_into", "crates/md/"),
 ];
 
 pub const A4_ENTRIES: &[(&str, &str)] = &[

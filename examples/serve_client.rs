@@ -8,6 +8,7 @@
 //!
 //! Run: `cargo run --example serve_client --release`
 
+use mdgrape4a_tme::md::backend::{BackendKind, BackendParams, SpmeParams};
 use mdgrape4a_tme::md::water::water_box;
 use mdgrape4a_tme::reference::ewald::EwaldParams;
 use mdgrape4a_tme::serve::{serve, Client, Request, Response, ServeConfig};
@@ -26,17 +27,18 @@ fn main() {
     //    quickstart, shipped over the wire.
     let system = water_box(125, 42).coulomb_system();
     let r_cut = 0.75;
+    let alpha = EwaldParams::alpha_from_tolerance(r_cut, 1e-4);
     let request = Request::Compute {
         deadline_ms: 0, // no deadline
-        params: TmeParams {
+        params: BackendParams::Tme(TmeParams {
             n: [16; 3],
             p: 6,
             levels: 1,
             gc: 8,
             m_gaussians: 4,
-            alpha: EwaldParams::alpha_from_tolerance(r_cut, 1e-4),
+            alpha,
             r_cut,
-        },
+        }),
         box_l: system.box_l,
         pos: system.pos.clone(),
         q: system.q.clone(),
@@ -60,10 +62,30 @@ fn main() {
         }
     }
 
-    // 3. A machine-schedule estimate on the same connection.
+    // 3. A second tenant on the same server picks a different backend per
+    //    plan: the identical system through B-spline SPME. The plan cache
+    //    keys on (backend kind, params, box), so this is a fresh entry.
+    let spme_request = Request::Compute {
+        deadline_ms: 0,
+        params: BackendParams::Spme(SpmeParams {
+            n: [16; 3],
+            p: 6,
+            alpha,
+            r_cut,
+        }),
+        box_l: system.box_l,
+        pos: system.pos.clone(),
+        q: system.q.clone(),
+    };
+    if let Response::Computed { energy, .. } = client.call(&spme_request).expect("spme compute") {
+        println!("SPME tenant: energy {energy:.6} e²/nm");
+    }
+
+    // 4. A machine-schedule estimate on the same connection.
     let estimate = Request::Estimate {
         deadline_ms: 2_000,
         spec: mdgrape4a_tme::serve::protocol::EstimateSpec {
+            backend: BackendKind::Tme,
             n_atoms: 80_540,
             grid: 32,
             levels: 1,
@@ -81,7 +103,7 @@ fn main() {
         println!("machine estimate: {mean_us:.1} µs/step ({report})");
     }
 
-    // 4. Observability snapshot, then a graceful drain.
+    // 5. Observability snapshot, then a graceful drain.
     if let Response::Stats { text, .. } = client.call(&Request::Stats).expect("stats") {
         println!("--- server stats ---\n{text}");
     }

@@ -9,12 +9,13 @@
 //!
 //! Run: `cargo run --example solvated_polymer --release`
 
+use mdgrape4a_tme::md::backend::TmeBackend;
 use mdgrape4a_tme::md::nve::{energy_drift, NveSim};
 use mdgrape4a_tme::md::solute::{solvate_chain, ChainParams};
 use mdgrape4a_tme::md::water::{thermalize, water_box};
 use mdgrape4a_tme::mesh::model::relative_force_error;
 use mdgrape4a_tme::reference::Spme;
-use mdgrape4a_tme::tme::{alpha_from_rtol, Tme, TmeParams};
+use mdgrape4a_tme::tme::{alpha_from_rtol, TmeParams};
 
 fn main() {
     // Solvent + solute: 343 waters, a 16-bead ±0.5 e chain through the
@@ -51,12 +52,13 @@ fn main() {
         auto.gc,
         box_l[0] / 16.0
     );
-    let tme = Tme::new(TmeParams { levels: 1, ..auto }, box_l);
+    let tme =
+        TmeBackend::new(TmeParams { levels: 1, ..auto }, box_l).expect("valid TME configuration");
     let spme = Spme::new([16; 3], box_l, alpha, 6, r_cut);
 
     // Static check: the two meshes agree on the inhomogeneous system.
     let coul = sys.coulomb_system();
-    let (tme_mesh, stats) = tme.long_range(&coul);
+    let (tme_mesh, stats) = tme.tme().long_range(&coul);
     let spme_mesh = spme.reciprocal(&coul);
     let err = relative_force_error(&tme_mesh.forces, &spme_mesh.forces);
     println!(

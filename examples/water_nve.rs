@@ -3,10 +3,11 @@
 //!
 //! Run: `cargo run --example water_nve --release`
 
+use mdgrape4a_tme::md::backend::TmeBackend;
 use mdgrape4a_tme::md::nve::{energy_drift, NveSim};
 use mdgrape4a_tme::md::water::{relax, thermalize, water_box};
 use mdgrape4a_tme::reference::ewald::EwaldParams;
-use mdgrape4a_tme::tme::{Tme, TmeParams};
+use mdgrape4a_tme::tme::TmeParams;
 
 fn main() {
     let mut system = water_box(216, 7);
@@ -22,7 +23,7 @@ fn main() {
     // Box is ~1.9 nm, so keep the cutoff below L/2.
     let r_cut = 0.9;
     let alpha = EwaldParams::alpha_from_tolerance(r_cut, 1e-4);
-    let tme = Tme::new(
+    let tme = TmeBackend::new(
         TmeParams {
             n: [16; 3],
             p: 6,
@@ -33,7 +34,8 @@ fn main() {
             r_cut,
         },
         box_l,
-    );
+    )
+    .expect("valid TME configuration");
 
     let mut sim = NveSim::new(system, &tme, 0.001, r_cut);
     let records = sim.run(500, 50);

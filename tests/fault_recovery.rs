@@ -11,11 +11,12 @@ use mdgrape4a_tme::machine::{
     resume_run_faulted, simulate_run, simulate_run_faulted, FaultConfig, FaultModel, MachineConfig,
     RunCheckpoint, RunReport, StepWorkload,
 };
+use mdgrape4a_tme::md::backend::TmeBackend;
 use mdgrape4a_tme::md::checkpoint::CheckpointError;
 use mdgrape4a_tme::md::water::{thermalize, water_box};
 use mdgrape4a_tme::md::{run_with_checkpoints, NveSim};
 use mdgrape4a_tme::num::pool::Pool;
-use mdgrape4a_tme::tme::{alpha_from_rtol, Tme, TmeParams, TmeWorkspace};
+use mdgrape4a_tme::tme::{alpha_from_rtol, TmeParams, TmeWorkspace};
 
 fn bits_of(v: &[[f64; 3]]) -> Vec<u64> {
     v.iter().flatten().map(|c| c.to_bits()).collect()
@@ -25,9 +26,9 @@ fn step_bits(r: &RunReport) -> Vec<u64> {
     r.step_us.iter().map(|t| t.to_bits()).collect()
 }
 
-fn paper_tme(box_l: [f64; 3], r_cut: f64) -> Tme {
+fn paper_tme(box_l: [f64; 3], r_cut: f64) -> Result<TmeBackend, String> {
     let alpha = alpha_from_rtol(r_cut, 1e-4);
-    Tme::new(
+    TmeBackend::new(
         TmeParams {
             n: [16; 3],
             p: 6,
@@ -39,6 +40,7 @@ fn paper_tme(box_l: [f64; 3], r_cut: f64) -> Tme {
         },
         box_l,
     )
+    .map_err(|e| format!("paper TME configuration rejected: {e}"))
 }
 
 /// The MD driver's checkpoint restarts a TME-solved trajectory bitwise:
@@ -49,7 +51,11 @@ fn nve_tme_checkpoint_restart_is_bitwise() -> Result<(), CheckpointError> {
     let mut sys = water_box(64, 6);
     thermalize(&mut sys, 300.0, 11);
     let r_cut = 0.55;
-    let tme = paper_tme(sys.box_l, r_cut);
+    let Ok(tme) = paper_tme(sys.box_l, r_cut) else {
+        return Err(CheckpointError::Mismatch {
+            what: "test TME configuration rejected",
+        });
+    };
 
     let total_steps = 10;
     let mut reference = NveSim::new(sys.clone(), &tme, 0.001, r_cut);
@@ -92,21 +98,22 @@ fn nve_tme_checkpoint_restart_is_bitwise() -> Result<(), CheckpointError> {
 /// count: 1-thread and 4-thread workspaces produce identical bits, so a
 /// checkpoint taken on one host restarts bitwise on another.
 #[test]
-fn tme_forces_bitwise_identical_at_1_and_4_threads() {
+fn tme_forces_bitwise_identical_at_1_and_4_threads() -> Result<(), String> {
     let mut sys = water_box(64, 6);
     thermalize(&mut sys, 300.0, 11);
     let r_cut = 0.55;
-    let tme = paper_tme(sys.box_l, r_cut);
+    let tme = paper_tme(sys.box_l, r_cut)?;
     let coul = sys.coulomb_system();
 
     let mut bits: Vec<Vec<u64>> = Vec::new();
     for threads in [1usize, 4] {
         let pool = Arc::new(Pool::new(threads));
-        let mut ws = TmeWorkspace::with_pool(&tme, pool);
-        let out = tme.compute_with(&mut ws, &coul);
+        let mut ws = TmeWorkspace::with_pool(tme.tme(), pool);
+        let out = tme.tme().compute_with(&mut ws, &coul);
         bits.push(bits_of(&out.forces));
     }
     assert_eq!(bits[0], bits[1], "TME forces changed bits with threads");
+    Ok(())
 }
 
 /// The fault model is a pure function of its seed: two models with the
@@ -219,7 +226,7 @@ fn degraded_exact_mode_tracks_table_mode() -> Result<(), String> {
     let mut sys = water_box(64, 6);
     thermalize(&mut sys, 300.0, 11);
     let r_cut = 0.55;
-    let tme = paper_tme(sys.box_l, r_cut);
+    let tme = paper_tme(sys.box_l, r_cut)?;
 
     let run = |exact: bool| -> Result<f64, String> {
         let mut sim = NveSim::new(sys.clone(), &tme, 0.001, r_cut);

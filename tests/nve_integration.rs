@@ -1,12 +1,13 @@
 //! Fig.-4-style NVE integration tests: energy conservation and the
 //! TME-vs-SPME total-energy offset structure on rigid TIP3P water.
 
-use mdgrape4a_tme::md::longrange::LongRange;
+use mdgrape4a_tme::md::backend::{
+    plan_backend, BackendParams, LongRangeBackend, SpmeBackend, SpmeParams, TmeBackend,
+};
 use mdgrape4a_tme::md::nve::{energy_drift, NveSim};
 use mdgrape4a_tme::md::water::{relax, thermalize, water_box};
 use mdgrape4a_tme::reference::ewald::EwaldParams;
-use mdgrape4a_tme::reference::Spme;
-use mdgrape4a_tme::tme::{Tme, TmeParams};
+use mdgrape4a_tme::tme::TmeParams;
 
 fn build_system() -> mdgrape4a_tme::md::MdSystem {
     let mut s = water_box(125, 8);
@@ -15,7 +16,7 @@ fn build_system() -> mdgrape4a_tme::md::MdSystem {
     s
 }
 
-fn run(solver: &dyn LongRange, steps: usize) -> Vec<mdgrape4a_tme::md::EnergyRecord> {
+fn run(solver: &dyn LongRangeBackend, steps: usize) -> Vec<mdgrape4a_tme::md::EnergyRecord> {
     let sys = build_system();
     let mut sim = NveSim::new(sys, solver, 0.001, 0.75);
     sim.run(steps, 10)
@@ -41,9 +42,18 @@ fn spme_and_tme_both_conserve_energy() {
     let box_l = build_system().box_l;
     let r_cut = 0.75;
     let alpha = EwaldParams::alpha_from_tolerance(r_cut, 1e-4);
-    let spme = Spme::new([16; 3], box_l, alpha, 6, r_cut);
-    let tme = Tme::new(tme_params(3, alpha, r_cut), box_l);
-    for (name, solver) in [("SPME", &spme as &dyn LongRange), ("TME", &tme)] {
+    let spme = SpmeBackend::new(
+        SpmeParams {
+            n: [16; 3],
+            p: 6,
+            alpha,
+            r_cut,
+        },
+        box_l,
+    )
+    .unwrap();
+    let tme = TmeBackend::new(tme_params(3, alpha, r_cut), box_l).unwrap();
+    for (name, solver) in [("SPME", &spme as &dyn LongRangeBackend), ("TME", &tme)] {
         let records = run(solver, 150);
         let drift = energy_drift(&records);
         let kinetic = records[0].kinetic.abs().max(1.0);
@@ -63,16 +73,27 @@ fn tme_total_energy_offset_shrinks_with_m() {
     let box_l = build_system().box_l;
     let r_cut = 0.75;
     let alpha = EwaldParams::alpha_from_tolerance(r_cut, 1e-4);
-    let spme = Spme::new([16; 3], box_l, alpha, 6, r_cut);
+    let spme = SpmeBackend::new(
+        SpmeParams {
+            n: [16; 3],
+            p: 6,
+            alpha,
+            r_cut,
+        },
+        box_l,
+    )
+    .unwrap();
     let e_spme = {
         let sys = build_system();
         NveSim::new(sys, &spme, 0.001, r_cut).energy_record().total
     };
     let mut offsets = Vec::new();
     for m in [1usize, 2, 3] {
-        let tme = Tme::new(tme_params(m, alpha, r_cut), box_l);
+        let tme = plan_backend(&BackendParams::Tme(tme_params(m, alpha, r_cut)), box_l).unwrap();
         let sys = build_system();
-        let e = NveSim::new(sys, &tme, 0.001, r_cut).energy_record().total;
+        let e = NveSim::new(sys, tme.as_ref(), 0.001, r_cut)
+            .energy_record()
+            .total;
         offsets.push((e - e_spme).abs());
     }
     // M = 1 visibly offset; M = 2, 3 close to SPME (near convergence the
@@ -88,7 +109,7 @@ fn temperature_stays_physical() {
     let box_l = build_system().box_l;
     let r_cut = 0.75;
     let alpha = EwaldParams::alpha_from_tolerance(r_cut, 1e-4);
-    let tme = Tme::new(tme_params(3, alpha, r_cut), box_l);
+    let tme = TmeBackend::new(tme_params(3, alpha, r_cut), box_l).unwrap();
     let records = run(&tme, 100);
     for r in &records {
         assert!(

@@ -10,7 +10,9 @@
 //!    [`WireError`], never a panic, and never silently succeed on a
 //!    short payload.
 
+use mdgrape4a_tme::md::backend::{BackendKind, BackendParams, PswfParams, SlabParams, SpmeParams};
 use mdgrape4a_tme::num::rng::SplitMix64;
+use mdgrape4a_tme::reference::ewald::EwaldParams;
 use mdgrape4a_tme::serve::protocol::{read_frame, write_frame, EstimateSpec};
 use mdgrape4a_tme::serve::{Request, Response, ServerErrorCode, WireError};
 use mdgrape4a_tme::tme::TmeParams;
@@ -53,9 +55,75 @@ fn rand_v3s(rng: &mut SplitMix64, max_len: usize) -> Vec<[f64; 3]> {
         .collect()
 }
 
+fn rand_grid(rng: &mut SplitMix64) -> [usize; 3] {
+    [
+        1 << rng.gen_index(8),
+        1 << rng.gen_index(8),
+        1 << rng.gen_index(8),
+    ]
+}
+
+/// Random parameters across every servable backend kind — the wire layer
+/// must carry any field values, sensible or not (validation is the
+/// server's job, not the codec's).
+fn rand_backend_params(rng: &mut SplitMix64) -> BackendParams {
+    let tme = TmeParams {
+        n: rand_grid(rng),
+        p: rng.gen_index(16),
+        levels: rng.next_u64() as u32 & 0xF,
+        gc: rng.gen_index(32),
+        m_gaussians: rng.gen_index(12),
+        alpha: rng.gen_range(0.0..10.0),
+        r_cut: rng.gen_range(0.0..5.0),
+    };
+    match rng.gen_index(6) {
+        0 => BackendParams::Tme(tme),
+        1 => BackendParams::Msm(tme),
+        2 => BackendParams::Spme(SpmeParams {
+            n: rand_grid(rng),
+            p: rng.gen_index(16),
+            alpha: rng.gen_range(0.0..10.0),
+            r_cut: rng.gen_range(0.0..5.0),
+        }),
+        3 => BackendParams::SpmePswf(PswfParams {
+            n: rand_grid(rng),
+            p: rng.gen_index(16),
+            alpha: rng.gen_range(0.0..10.0),
+            r_cut: rng.gen_range(0.0..5.0),
+            shape: rng.gen_range(0.0..40.0),
+        }),
+        4 => BackendParams::Ewald(EwaldParams {
+            alpha: rng.gen_range(0.0..10.0),
+            r_cut: rng.gen_range(0.0..5.0),
+            n_cut: rng.gen_index(64) as i64,
+        }),
+        _ => BackendParams::Slab(SlabParams {
+            n: rand_grid(rng),
+            p: rng.gen_index(16),
+            alpha: rng.gen_range(0.0..10.0),
+            r_cut: rng.gen_range(0.0..5.0),
+            gamma_top: rng.gen_range(-1.0..1.0),
+            gamma_bot: rng.gen_range(-1.0..1.0),
+            n_images: rng.gen_index(2) as u32,
+        }),
+    }
+}
+
+fn rand_backend_kind(rng: &mut SplitMix64) -> BackendKind {
+    [
+        BackendKind::Tme,
+        BackendKind::Spme,
+        BackendKind::SpmePswf,
+        BackendKind::Ewald,
+        BackendKind::Msm,
+        BackendKind::Slab,
+    ][rng.gen_index(6)]
+}
+
 fn rand_request(rng: &mut SplitMix64) -> Request {
     match rng.gen_index(5) {
         0 => {
+            let params = rand_backend_params(rng);
             let pos = rand_v3s(rng, 32);
             // Deliberately independent of `pos` length: the codec must
             // carry mismatched arrays too (validation is the server's
@@ -65,19 +133,7 @@ fn rand_request(rng: &mut SplitMix64) -> Request {
                 .collect();
             Request::Compute {
                 deadline_ms: rng.next_u64() >> 40,
-                params: TmeParams {
-                    n: [
-                        1 << rng.gen_index(8),
-                        1 << rng.gen_index(8),
-                        1 << rng.gen_index(8),
-                    ],
-                    p: rng.gen_index(16),
-                    levels: rng.next_u64() as u32 & 0xF,
-                    gc: rng.gen_index(32),
-                    m_gaussians: rng.gen_index(12),
-                    alpha: rng.gen_range(0.0..10.0),
-                    r_cut: rng.gen_range(0.0..5.0),
-                },
+                params,
                 box_l: [
                     rng.gen_range(0.1..100.0),
                     rng.gen_range(0.1..100.0),
@@ -98,6 +154,7 @@ fn rand_request(rng: &mut SplitMix64) -> Request {
         2 => Request::Estimate {
             deadline_ms: rng.next_u64() >> 40,
             spec: EstimateSpec {
+                backend: rand_backend_kind(rng),
                 n_atoms: rng.next_u64() >> 20,
                 grid: 1 << rng.gen_index(10),
                 levels: rng.next_u64() as u32 & 0xF,
@@ -251,6 +308,57 @@ fn corrupted_payloads_never_panic() {
             Response::decode(&bad_kind),
             Err(WireError::UnknownResponseKind { got: 0xEE })
         ));
+    });
+}
+
+/// The backend-selection wire field: corrupting the backend tag to any
+/// value outside the servable set decodes to the typed, connection-fatal
+/// [`WireError::UnknownBackendKind`] — never a panic, never a silent
+/// fallback to some default backend.
+#[test]
+fn unknown_backend_tags_are_typed_errors() {
+    // The tag sits after version(1) + kind(1) + deadline_ms(8) in both
+    // Compute and Estimate payloads.
+    const TAG_AT: usize = 10;
+    for_cases("unknown_backend_tags_are_typed_errors", |rng| {
+        let compute = Request::Compute {
+            deadline_ms: rng.next_u64() >> 40,
+            params: rand_backend_params(rng),
+            box_l: [4.0; 3],
+            pos: rand_v3s(rng, 8),
+            q: vec![1.0],
+        };
+        let estimate = Request::Estimate {
+            deadline_ms: rng.next_u64() >> 40,
+            spec: EstimateSpec {
+                backend: rand_backend_kind(rng),
+                n_atoms: 100,
+                grid: 16,
+                levels: 1,
+                gc: 8,
+                m_gaussians: 4,
+                r_cut: 1.0,
+                box_l: [4.0; 3],
+                steps: 5,
+            },
+        };
+        for req in [compute, estimate] {
+            let mut bytes = req.encode();
+            // Draw a tag outside the servable 1..=6 range; 7 (the cutoff
+            // model) is deliberately not servable either.
+            let bad = loop {
+                let t = rng.next_u64() as u8;
+                if !(1..=6).contains(&t) {
+                    break t;
+                }
+            };
+            bytes[TAG_AT] = bad;
+            assert_eq!(
+                Request::decode(&bytes),
+                Err(WireError::UnknownBackendKind { got: bad }),
+                "tag {bad} in {req:?}"
+            );
+        }
     });
 }
 
