@@ -147,7 +147,12 @@ impl Msm {
         if params.levels < 1 {
             return Err(TmeConfigError::NoLevels);
         }
-        if !(params.alpha >= 0.0 && params.alpha.is_finite()) || params.r_cut <= 0.0 {
+        // As in `Tme::try_new`: `r_cut > 0.0` so a NaN cutoff is rejected.
+        if !(params.alpha >= 0.0
+            && params.alpha.is_finite()
+            && params.r_cut > 0.0
+            && params.r_cut.is_finite())
+        {
             return Err(TmeConfigError::BadSplitting {
                 alpha: params.alpha,
                 r_cut: params.r_cut,

@@ -155,7 +155,13 @@ impl Tme {
         if params.m_gaussians < 1 {
             return Err(TmeConfigError::NoGaussians);
         }
-        if !(params.alpha >= 0.0 && params.alpha.is_finite()) || params.r_cut <= 0.0 {
+        // `r_cut > 0.0` (not `<= 0.0` negated) so NaN is rejected too —
+        // a NaN cutoff would otherwise panic in `PairKernelTable::new`.
+        if !(params.alpha >= 0.0
+            && params.alpha.is_finite()
+            && params.r_cut > 0.0
+            && params.r_cut.is_finite())
+        {
             return Err(TmeConfigError::BadSplitting {
                 alpha: params.alpha,
                 r_cut: params.r_cut,

@@ -142,7 +142,9 @@ pub struct SlabParams {
     pub p: usize,
     /// Ewald splitting parameter α (nm⁻¹).
     pub alpha: f64,
-    /// Real-space cutoff (nm), ≤ half the smallest extended edge.
+    /// Real-space cutoff (nm), ≤ half the smallest **real** edge (the
+    /// short-range reduction runs on the real box; since the extended
+    /// box only grows z, this also satisfies its minimum-image bound).
     pub r_cut: f64,
     /// Image-charge reflection coefficient of the `z = L_z` wall
     /// (`0` = vacuum, `−1` = ideal conductor); `|γ| ≤ 1`.
@@ -558,6 +560,10 @@ impl TmeBackend {
     /// Plan the TME for `params` in `box_l`.
     pub fn new(params: TmeParams, box_l: V3) -> Result<Self, BackendConfigError> {
         check_box(box_l)?;
+        // `Tme::try_new` validates α/r_cut against zero but not against
+        // the box: the minimum-image bound must be enforced here so the
+        // execute path cannot hit the short-range pair sum's assert.
+        check_splitting(params.alpha, params.r_cut, box_l)?;
         let tme = Tme::try_new(params, box_l)?;
         Ok(Self {
             fingerprint: BackendParams::Tme(params).fingerprint(box_l),
@@ -821,6 +827,9 @@ impl MsmBackend {
     /// Plan an MSM with direct multilevel convolutions.
     pub fn new(params: TmeParams, box_l: V3) -> Result<Self, BackendConfigError> {
         check_box(box_l)?;
+        // As for the TME: `Msm::try_new` does not bound r_cut against
+        // the box, so the minimum-image requirement is enforced here.
+        check_splitting(params.alpha, params.r_cut, box_l)?;
         let msm = Msm::try_new(params, box_l)?;
         Ok(Self {
             fingerprint: BackendParams::Msm(params).fingerprint(box_l),
@@ -973,7 +982,11 @@ impl SlabBackend {
         check_pow2(params.n)?;
         check_order(params.p, params.n)?;
         let ext_box = [box_l[0], box_l[1], 3.0 * box_l[2]];
-        check_splitting(params.alpha, params.r_cut, ext_box)?;
+        // Validate the cutoff against the **real** box, not the extended
+        // one: `mesh_into` runs the short-range reduction on the real box,
+        // and min(real) ≤ min(extended), so the real-box bound also covers
+        // the extended-box SPME's own minimum-image requirement.
+        check_splitting(params.alpha, params.r_cut, box_l)?;
         for gamma in [params.gamma_top, params.gamma_bot] {
             if !(gamma.is_finite() && (-1.0..=1.0).contains(&gamma)) {
                 return Err(BackendConfigError::BadReflection { gamma });
@@ -1533,6 +1546,42 @@ mod tests {
                 .err()
                 .unwrap(),
             BackendConfigError::BadBox { .. }
+        ));
+        // TME/MSM: a NaN cutoff or one past the minimum-image bound is a
+        // plan-time error, never an execute-time panic.
+        let mut nan_cut = tme_params();
+        nan_cut.r_cut = f64::NAN;
+        let mut wide_cut = tme_params();
+        wide_cut.r_cut = 2.5; // > min(box)/2 = 2.0
+        for p in [nan_cut, wide_cut] {
+            assert!(matches!(
+                plan_backend(&BackendParams::Tme(p), box_l).err().unwrap(),
+                BackendConfigError::BadSplitting { .. }
+            ));
+            assert!(matches!(
+                plan_backend(&BackendParams::Msm(p), box_l).err().unwrap(),
+                BackendConfigError::BadSplitting { .. }
+            ));
+        }
+        // Slab: the cutoff bound is the *real* box — r_cut = 1.4 fits the
+        // extended box [4, 4, 6] but not the real box [4, 4, 2], whose
+        // minimum image the short-range reduction runs under.
+        assert!(matches!(
+            plan_backend(
+                &BackendParams::Slab(SlabParams {
+                    n: [16, 16, 64],
+                    p: 6,
+                    alpha: 2.0,
+                    r_cut: 1.4,
+                    gamma_top: 0.0,
+                    gamma_bot: 0.0,
+                    n_images: 0,
+                }),
+                [4.0, 4.0, 2.0]
+            )
+            .err()
+            .unwrap(),
+            BackendConfigError::BadSplitting { .. }
         ));
     }
 

@@ -11,13 +11,17 @@
 //! `Arc<dyn LongRangeBackend>` plan, with LRU eviction at a fixed
 //! capacity.
 //!
-//! Keying on raw `f64` bits makes the key exact: two configs hit the same
-//! plan only when the backend kind and every parameter are bit-identical,
-//! so a cache hit can never change numerical results (the same
-//! determinism argument as the checkpoint fingerprints in `tme_md::nve`).
-//! Workspaces are *not* cached here — they are mutable per-worker state;
-//! each worker keeps its own small [`tme_md::backend::BackendWorkspace`]
-//! LRU keyed by the same fingerprint.
+//! Keying on raw `f64` bits makes the key exact, but FNV-1a is not
+//! collision-resistant: a hostile tenant could craft two configurations
+//! with the same 64-bit fingerprint. Every entry therefore also stores
+//! its [`BackendParams`] and box, and a lookup only hits when the
+//! fingerprint **and** the full parameter set match structurally — so a
+//! cache hit can never change numerical results (the same determinism
+//! argument as the checkpoint fingerprints in `tme_md::nve`), even under
+//! deliberate collisions. Colliding configurations simply occupy
+//! separate entries. Workspaces are *not* cached here — they are mutable
+//! per-worker state; each worker keeps its own small
+//! [`tme_md::backend::BackendWorkspace`] LRU tied to the plan instance.
 
 use std::sync::Arc;
 use tme_md::backend::{BackendConfigError, BackendParams, LongRangeBackend};
@@ -32,13 +36,23 @@ pub fn config_fingerprint(params: &BackendParams, box_l: [f64; 3]) -> u64 {
     params.fingerprint(box_l)
 }
 
-/// LRU cache of planned solvers, keyed by [`config_fingerprint`].
+/// One cached plan: the fingerprint plus the exact configuration that
+/// produced it, so a fingerprint collision can be detected on lookup.
+struct Entry {
+    key: u64,
+    params: BackendParams,
+    box_l: [f64; 3],
+    plan: Arc<dyn LongRangeBackend>,
+}
+
+/// LRU cache of planned solvers, keyed by [`config_fingerprint`] with a
+/// structural parameter check on every hit.
 ///
 /// A `Vec` ordered most-recently-used-first: capacities are single-digit
 /// to low tens (each plan holds kernel tables and FFT state), so linear
 /// scans beat any pointer-chasing structure and keep the type std-only.
 pub struct PlanCache {
-    entries: Vec<(u64, Arc<dyn LongRangeBackend>)>,
+    entries: Vec<Entry>,
     capacity: usize,
     hits: u64,
     misses: u64,
@@ -56,27 +70,44 @@ impl PlanCache {
         }
     }
 
-    /// Fetch the plan for `key`, building it with `build` on a miss.
-    /// Returns the plan and whether it was a cache hit. A failed build is
-    /// not cached (the next identical request retries), and still counts
-    /// as a miss.
+    /// Fetch the plan for `(params, box_l)`, building it with `build` on
+    /// a miss. Returns the plan and whether it was a cache hit. A hit
+    /// requires both the fingerprint and the stored configuration to
+    /// match — a crafted fingerprint collision builds (and caches) its
+    /// own entry instead of serving another tenant's plan. A failed
+    /// build is not cached (the next identical request retries), and
+    /// still counts as a miss.
     pub fn get_or_try_build(
         &mut self,
-        key: u64,
+        params: &BackendParams,
+        box_l: [f64; 3],
         build: impl FnOnce() -> Result<Arc<dyn LongRangeBackend>, BackendConfigError>,
     ) -> Result<(Arc<dyn LongRangeBackend>, bool), BackendConfigError> {
-        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+        let key = config_fingerprint(params, box_l);
+        if let Some(i) = self
+            .entries
+            .iter()
+            .position(|e| e.key == key && e.params == *params && e.box_l == box_l)
+        {
             self.hits += 1;
             let entry = self.entries.remove(i);
             self.entries.insert(0, entry);
-            return Ok((Arc::clone(&self.entries[0].1), true));
+            return Ok((Arc::clone(&self.entries[0].plan), true));
         }
         self.misses += 1;
         let plan = build()?;
         if self.entries.len() >= self.capacity {
             self.entries.pop();
         }
-        self.entries.insert(0, (key, Arc::clone(&plan)));
+        self.entries.insert(
+            0,
+            Entry {
+                key,
+                params: *params,
+                box_l,
+                plan: Arc::clone(&plan),
+            },
+        );
         Ok((plan, false))
     }
 
@@ -140,9 +171,9 @@ mod tests {
     #[test]
     fn second_identical_request_hits_and_shares_the_plan() -> Result<(), BackendConfigError> {
         let mut cache = PlanCache::new(2);
-        let key = config_fingerprint(&params(16), [4.0; 3]);
-        let (first, hit1) = cache.get_or_try_build(key, || plan_backend(&params(16), [4.0; 3]))?;
-        let (second, hit2) = cache.get_or_try_build(key, || plan_backend(&params(16), [4.0; 3]))?;
+        let p = params(16);
+        let (first, hit1) = cache.get_or_try_build(&p, [4.0; 3], || plan_backend(&p, [4.0; 3]))?;
+        let (second, hit2) = cache.get_or_try_build(&p, [4.0; 3], || plan_backend(&p, [4.0; 3]))?;
         assert!(!hit1 && hit2);
         assert!(Arc::ptr_eq(&first, &second), "hit must share the plan");
         assert_eq!(cache.counters(), (1, 1));
@@ -152,20 +183,18 @@ mod tests {
     #[test]
     fn lru_evicts_the_coldest_plan() -> Result<(), BackendConfigError> {
         let mut cache = PlanCache::new(2);
-        let k16 = config_fingerprint(&params(16), [4.0; 3]);
-        let k32 = config_fingerprint(&params(32), [8.0; 3]);
-        let k64 = config_fingerprint(&params(64), [8.0; 3]);
-        cache.get_or_try_build(k16, || plan_backend(&params(16), [4.0; 3]))?;
-        cache.get_or_try_build(k32, || plan_backend(&params(32), [8.0; 3]))?;
+        let (p16, p32, p64) = (params(16), params(32), params(64));
+        cache.get_or_try_build(&p16, [4.0; 3], || plan_backend(&p16, [4.0; 3]))?;
+        cache.get_or_try_build(&p32, [8.0; 3], || plan_backend(&p32, [8.0; 3]))?;
         // Touch 16 so 32 becomes coldest, then insert a third.
-        cache.get_or_try_build(k16, || plan_backend(&params(16), [4.0; 3]))?;
-        cache.get_or_try_build(k64, || plan_backend(&params(64), [8.0; 3]))?;
+        cache.get_or_try_build(&p16, [4.0; 3], || plan_backend(&p16, [4.0; 3]))?;
+        cache.get_or_try_build(&p64, [8.0; 3], || plan_backend(&p64, [8.0; 3]))?;
         assert_eq!(cache.len(), 2);
         // 16 survived (it was touched before the insert)...
-        let (_, hit) = cache.get_or_try_build(k16, || plan_backend(&params(16), [4.0; 3]))?;
+        let (_, hit) = cache.get_or_try_build(&p16, [4.0; 3], || plan_backend(&p16, [4.0; 3]))?;
         assert!(hit);
         // ...and 32, the coldest entry, was the one evicted.
-        let (_, hit) = cache.get_or_try_build(k32, || plan_backend(&params(32), [8.0; 3]))?;
+        let (_, hit) = cache.get_or_try_build(&p32, [8.0; 3], || plan_backend(&p32, [8.0; 3]))?;
         assert!(!hit);
         Ok(())
     }
@@ -177,11 +206,40 @@ mod tests {
         if let BackendParams::Tme(ref mut t) = bad {
             t.levels = 0;
         }
-        let key = config_fingerprint(&bad, [4.0; 3]);
         assert!(cache
-            .get_or_try_build(key, || plan_backend(&bad, [4.0; 3]))
+            .get_or_try_build(&bad, [4.0; 3], || plan_backend(&bad, [4.0; 3]))
             .is_err());
         assert!(cache.is_empty());
         assert_eq!(cache.counters(), (0, 1));
+    }
+
+    #[test]
+    fn fingerprint_collision_never_serves_a_foreign_plan() -> Result<(), BackendConfigError> {
+        // FNV-1a collisions can be crafted; simulate one by rewriting a
+        // cached TME entry's key to the fingerprint of an SPME config.
+        let mut cache = PlanCache::new(2);
+        let tme = params(16);
+        cache.get_or_try_build(&tme, [4.0; 3], || plan_backend(&tme, [4.0; 3]))?;
+        let spme = BackendParams::Spme(SpmeParams {
+            n: [16; 3],
+            p: 6,
+            alpha: 3.2,
+            r_cut: 1.0,
+        });
+        cache.entries[0].key = config_fingerprint(&spme, [4.0; 3]);
+        // The colliding request must miss (params differ structurally)
+        // and build its own, correct plan.
+        let (plan, hit) = cache.get_or_try_build(&spme, [4.0; 3], || {
+            plan_backend(&spme, [4.0; 3])
+        })?;
+        assert!(!hit, "collision must not count as a hit");
+        assert_eq!(plan.kind(), tme_md::backend::BackendKind::Spme);
+        // Both entries coexist under the same key.
+        assert_eq!(cache.len(), 2);
+        let (again, hit) = cache.get_or_try_build(&spme, [4.0; 3], || {
+            plan_backend(&spme, [4.0; 3])
+        })?;
+        assert!(hit && Arc::ptr_eq(&plan, &again));
+        Ok(())
     }
 }

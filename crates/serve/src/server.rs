@@ -22,7 +22,7 @@
 //! also written as JSON to `stats_path`, the SIGTERM hook's job in the
 //! `serve` binary).
 
-use crate::cache::{config_fingerprint, PlanCache};
+use crate::cache::PlanCache;
 use crate::protocol::{
     read_frame, write_frame, EstimateSpec, Request, Response, ServerErrorCode, WireError,
 };
@@ -35,7 +35,8 @@ use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 use tme_md::backend::{
-    plan_backend, BackendKind, BackendParams, BackendWorkspace, SpmeBackend, SpmeParams,
+    plan_backend, BackendKind, BackendParams, BackendWorkspace, LongRangeBackend, SpmeBackend,
+    SpmeParams,
 };
 use tme_md::nve::NveSim;
 use tme_md::water::{thermalize, water_box};
@@ -358,7 +359,7 @@ const WORKSPACES_PER_WORKER: usize = 4;
 fn worker_loop(shared: &Arc<Shared>) {
     let pool = Arc::new(Pool::new(1));
     let machine = MachineConfig::mdgrape4a();
-    let mut workspaces: Vec<(u64, BackendWorkspace)> = Vec::new();
+    let mut workspaces: Vec<(Arc<dyn LongRangeBackend>, BackendWorkspace)> = Vec::new();
     // Reusable result buffer: `compute_into` resets it per call, so a
     // warm worker serves repeat shapes without fresh result allocations.
     let mut scratch = CoulombResult::zeros(0);
@@ -390,7 +391,7 @@ fn execute(
     shared: &Arc<Shared>,
     pool: &Arc<Pool>,
     machine: &MachineConfig,
-    workspaces: &mut Vec<(u64, BackendWorkspace)>,
+    workspaces: &mut Vec<(Arc<dyn LongRangeBackend>, BackendWorkspace)>,
     scratch: &mut CoulombResult,
     req: &Request,
 ) -> Response {
@@ -491,7 +492,7 @@ fn validate_compute(
 fn compute_request(
     shared: &Arc<Shared>,
     pool: &Arc<Pool>,
-    workspaces: &mut Vec<(u64, BackendWorkspace)>,
+    workspaces: &mut Vec<(Arc<dyn LongRangeBackend>, BackendWorkspace)>,
     scratch: &mut CoulombResult,
     params: &BackendParams,
     box_l: [f64; 3],
@@ -501,12 +502,11 @@ fn compute_request(
     if let Err(msg) = validate_compute(params, box_l, pos.len(), q.len(), shared.cfg.max_atoms) {
         return bad_request(msg);
     }
-    let key = config_fingerprint(params, box_l);
     let built = shared
         .plans
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
-        .get_or_try_build(key, || plan_backend(params, box_l));
+        .get_or_try_build(params, box_l, || plan_backend(params, box_l));
     let (plan, cache_hit) = match built {
         Ok(pair) => pair,
         Err(e) => {
@@ -524,9 +524,12 @@ fn compute_request(
             stats.cache_misses += 1;
         }
     }
-    // Per-worker workspace LRU keyed by the same fingerprint: a repeat
-    // config reuses its buffers (the zero-alloc steady state).
-    let ws = match workspaces.iter().position(|(k, _)| *k == key) {
+    // Per-worker workspace LRU tied to the plan *instance* (`Arc`
+    // identity, not the fingerprint): a repeat config reuses its buffers
+    // (the zero-alloc steady state), while a crafted fingerprint
+    // collision — two configs, one key — can never pair a plan with a
+    // workspace sized for a different one.
+    let ws = match workspaces.iter().position(|(p, _)| Arc::ptr_eq(p, &plan)) {
         Some(i) => {
             let entry = workspaces.remove(i);
             workspaces.insert(0, entry);
@@ -537,7 +540,7 @@ fn compute_request(
                 workspaces.pop();
             }
             let ws = plan.make_workspace_with_pool(Arc::clone(pool));
-            workspaces.insert(0, (key, ws));
+            workspaces.insert(0, (Arc::clone(&plan), ws));
             &mut workspaces[0].1
         }
     };
@@ -863,6 +866,73 @@ mod tests {
                 energies[0]
             );
         }
+        handle.trigger_drain();
+        handle.join();
+        Ok(())
+    }
+
+    /// Hostile splitting parameters (NaN cutoff, cutoff past the
+    /// minimum-image bound — including the slab's *real*-box bound) must
+    /// come back as `BadRequest`, and the worker must survive to serve
+    /// the next request: a panic here would permanently kill it.
+    #[test]
+    fn hostile_cutoffs_are_rejected_and_workers_survive() -> Result<(), Box<dyn std::error::Error>>
+    {
+        use tme_md::backend::SlabParams;
+        let handle = serve(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        })?;
+        let mut client = Client::connect(handle.local_addr())?;
+        let mut nan_cut = tiny_params();
+        nan_cut.r_cut = f64::NAN;
+        let mut half_box = tiny_params();
+        half_box.r_cut = 2.5; // > min(box)/2 = 2.0
+        let hostile = [
+            (BackendParams::Tme(nan_cut), [4.0; 3]),
+            (BackendParams::Tme(half_box), [4.0; 3]),
+            (BackendParams::Msm(half_box), [4.0; 3]),
+            // Slab real box [4, 4, 2]: extended box is [4, 4, 6], so
+            // r_cut = 1.4 passes the extended bound (≤ 2.0) but violates
+            // the real-box minimum image (> 1.0) on the execute path.
+            (
+                BackendParams::Slab(SlabParams {
+                    n: [16, 16, 64],
+                    p: 6,
+                    alpha: 2.0,
+                    r_cut: 1.4,
+                    gamma_top: 0.0,
+                    gamma_bot: 0.0,
+                    n_images: 0,
+                }),
+                [4.0, 4.0, 2.0],
+            ),
+        ];
+        for (params, box_l) in hostile {
+            let resp = client.call(&Request::Compute {
+                deadline_ms: 0,
+                params,
+                box_l,
+                pos: vec![[1.0, 1.0, 1.0], [2.5, 1.0, 1.0]],
+                q: vec![1.0, -1.0],
+            })?;
+            assert!(
+                matches!(
+                    resp,
+                    Response::ServerError {
+                        code: ServerErrorCode::BadRequest,
+                        ..
+                    }
+                ),
+                "{params:?} in {box_l:?}: got {resp:?}"
+            );
+        }
+        // The single worker is still alive and computes.
+        let resp = client.call(&dipole_request(0))?;
+        assert!(
+            matches!(resp, Response::Computed { .. }),
+            "worker died: {resp:?}"
+        );
         handle.trigger_drain();
         handle.join();
         Ok(())
