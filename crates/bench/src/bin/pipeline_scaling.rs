@@ -1,19 +1,34 @@
 //! Thread-scaling and allocation audit of the plan/execute pipeline.
 //!
 //! Runs the full zero-allocation `Tme::compute_with` path and the bare
-//! separable convolution on the paper's 32³ grid at 1/2/4/8 threads,
-//! checks the forces stay bitwise identical at every thread count, and
-//! writes the timings to `BENCH_pipeline.json` (via `tme_bench::json` —
-//! the workspace has no serialisation dependency). With `--features
-//! alloc-count` the steady-state allocation count per call is measured
-//! and reported too (it must be 0).
+//! separable convolution at 1/2/4/8 threads, checks the forces stay
+//! bitwise identical at every thread count, and writes the timings to
+//! `BENCH_pipeline.json` (via `tme_bench::json` — the workspace has no
+//! serialisation dependency). With `--features alloc-count` the
+//! steady-state allocation count per call is measured and reported too
+//! (it must be 0).
 //!
-//! Each row also carries the per-stage breakdown from the workspace stage
-//! timers (assign / convolve / transfer / toplevel / interpolate /
-//! short-range, in µs) and the speedup versus the single-thread row. With
-//! `--baseline <json>` the single-thread `compute_us` is compared against a
-//! previously committed `BENCH_pipeline.json` and the run fails (non-zero
-//! exit) on a regression beyond 15% — the CI smoke gate.
+//! Timing statistic: `--warmup` uncounted calls, then the **minimum** of
+//! `--repeats` timed calls. The workload is deterministic, so every
+//! sample is the true cost plus non-negative scheduler/cache noise and
+//! the minimum is the robust estimate (medians left the committed rows
+//! so noisy that 8 threads "beat" 4 on identical work). The per-stage
+//! breakdown is captured from the repeat that achieved the minimum, so
+//! `stages_us.total` agrees with `compute_us`.
+//!
+//! Two row families share this machinery: the default scaled box
+//! (`--waters`, 512 → 1536 atoms on a 32³-ish grid) and, with
+//! `--paper-waters N`, the paper's Table 1 geometry (32,773 waters /
+//! 98,319 atoms in a 9.97 nm box) reported under the `paper_box` key —
+//! the configuration the serve cost model is calibrated against. The
+//! report records `host_threads` (the machine's available parallelism)
+//! so speedup columns can be read in context: on a single-core CI runner
+//! every multi-thread row necessarily sits near 1×.
+//!
+//! With `--baseline <json>` the single-thread `compute_us` (and the
+//! short-range stage) of each family present in the committed
+//! `BENCH_pipeline.json` is compared and the run fails (non-zero exit)
+//! on a regression beyond 15% — the CI smoke gate.
 //!
 //! The report also carries one row per long-range backend (DESIGN.md
 //! §14) at a matched 5e-4 force-error target against the pairwise Ewald
@@ -26,8 +41,10 @@
 //! table to one backend (the CI backend matrix).
 //!
 //! Usage: `cargo run --release -p tme-bench --bin pipeline_scaling --
-//!         [--waters 512] [--repeats 20] [--out BENCH_pipeline.json]
-//!         [--baseline BENCH_pipeline.json] [--backend spme-pswf]`
+//!         [--waters 512] [--repeats 20] [--warmup 2]
+//!         [--paper-waters 32773] [--paper-repeats 3]
+//!         [--out BENCH_pipeline.json] [--baseline BENCH_pipeline.json]
+//!         [--backend spme-pswf]`
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -50,17 +67,47 @@ static ALLOC: tme_bench::alloc::CountingAllocator = tme_bench::alloc::CountingAl
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
-/// Median wall time of `repeats` calls, in microseconds.
-fn median_us(repeats: usize, mut call: impl FnMut()) -> f64 {
-    let mut samples: Vec<f64> = (0..repeats.max(3))
+/// Minimum wall time over `repeats` calls after `warmup` uncounted
+/// warm-up calls, in microseconds (see the module docs for why min, not
+/// median).
+fn min_us(warmup: usize, repeats: usize, mut call: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        call();
+    }
+    (0..repeats.max(1))
         .map(|_| {
             let t = Instant::now();
             call();
             t.elapsed().as_secs_f64() * 1e6
         })
-        .collect();
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Min-of-repeats `compute_with` timing plus the stage breakdown of the
+/// repeat that achieved the minimum (so the stages sum to the reported
+/// time instead of describing some other call).
+fn min_compute_us(
+    warmup: usize,
+    repeats: usize,
+    tme: &Tme,
+    ws: &mut TmeWorkspace,
+    system: &CoulombSystem,
+) -> (f64, TmeStageTimings) {
+    for _ in 0..warmup {
+        tme.compute_with(ws, system);
+    }
+    let mut best = f64::INFINITY;
+    let mut stages = ws.stage_timings();
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        tme.compute_with(ws, system);
+        let us = t.elapsed().as_secs_f64() * 1e6;
+        if us < best {
+            best = us;
+            stages = ws.stage_timings();
+        }
+    }
+    (best, stages)
 }
 
 /// Allocations per call in steady state (0 when the feature is off too,
@@ -89,6 +136,112 @@ struct Row {
     allocs_per_compute: Option<u64>,
     bitwise_identical: bool,
     stages: TmeStageTimings,
+}
+
+/// One scaled water box measured at every thread count: bitwise check,
+/// bare-convolution and full-pipeline min-of-repeats timings, allocation
+/// audit. Shared by the default family and the `paper_box` family.
+fn measure_family(
+    tme: &Tme,
+    system: &CoulombSystem,
+    n: usize,
+    repeats: usize,
+    warmup: usize,
+    label: &str,
+) -> Vec<Row> {
+    let box_l = system.box_l;
+    // Bare separable convolution input: a synthetic charge grid.
+    let fit = GaussianFit::new(2.2936, 4);
+    let kernel = TensorKernel::new(&fit, [box_l[0] / n as f64; 3], 6, 8);
+    let folded = FoldedKernels::plan(&kernel, [n; 3]);
+    let mut q = Grid3::zeros([n; 3]);
+    for (i, v) in q.as_mut_slice().iter_mut().enumerate() {
+        *v = ((i * 31 % 97) as f64 - 48.0) * 0.01;
+    }
+
+    // Single-thread force bits are the determinism reference.
+    let mut reference_bits: Vec<u64> = Vec::new();
+    let mut rows: Vec<Row> = Vec::new();
+    for threads in THREADS {
+        let pool = Arc::new(Pool::new(threads));
+        let mut ws = TmeWorkspace::with_pool(tme, Arc::clone(&pool));
+        let mut conv_scratch = ConvolveScratch::for_dims([n; 3]);
+        let mut conv_out = Grid3::zeros([n; 3]);
+
+        // First call sizes every buffer; also yields the forces to compare.
+        let bits: Vec<u64> = tme
+            .compute_with(&mut ws, system)
+            .forces
+            .iter()
+            .flat_map(|f| f.iter().map(|c| c.to_bits()))
+            .collect();
+        if threads == 1 {
+            reference_bits = bits.clone();
+        }
+        let bitwise_identical = bits == reference_bits;
+
+        let convolution_us = min_us(warmup, repeats, || {
+            convolve_separable_into(
+                &q,
+                &kernel,
+                1.0,
+                &folded,
+                &pool,
+                &mut conv_scratch,
+                &mut conv_out,
+            );
+        });
+        let (compute_us, stages) = min_compute_us(warmup, repeats, tme, &mut ws, system);
+        let allocs_per_compute = allocs_per_call(repeats, || {
+            tme.compute_with(&mut ws, system);
+        });
+
+        println!(
+            "{label} threads {threads}: convolution {convolution_us:.1} us, compute \
+             {compute_us:.1} us, bitwise {} , allocs/call {}",
+            if bitwise_identical { "ok" } else { "MISMATCH" },
+            allocs_per_compute.map_or_else(|| "n/a".to_string(), |a| a.to_string()),
+        );
+        println!(
+            "  stages (min repeat, us): assign {} convolve {} transfer {} toplevel {} \
+             interpolate {} short_range {} total {}",
+            stages.assign_us,
+            stages.convolve_us,
+            stages.transfer_us,
+            stages.toplevel_us,
+            stages.interpolate_us,
+            stages.short_range_us,
+            stages.total_us,
+        );
+        rows.push(Row {
+            threads,
+            convolution_us,
+            compute_us,
+            allocs_per_compute,
+            bitwise_identical,
+            stages,
+        });
+    }
+
+    assert!(
+        rows.iter().all(|r| r.bitwise_identical),
+        "{label}: forces changed bits across thread counts — determinism contract broken"
+    );
+
+    // Parallel-efficiency report: speedup versus the single-thread row.
+    let single_us = rows[0].compute_us;
+    if let Some(r4) = rows.iter().find(|r| r.threads == 4) {
+        let speedup = single_us / r4.compute_us;
+        if speedup < 1.2 {
+            eprintln!(
+                "WARNING: {label} 4-thread speedup is {speedup:.2}x (< 1.2x). On a multi-core \
+                 host this means the parallel stages are not scaling; on a single-core host (as \
+                 in CI) it is expected — check the host_threads field before reading anything \
+                 into it."
+            );
+        }
+    }
+    rows
 }
 
 /// The matched-accuracy force-error target of the per-backend table —
@@ -124,7 +277,7 @@ fn random_neutral(n: usize, box_edge: f64, seed: u64) -> CoulombSystem {
 }
 
 /// Plan `params`, warm its workspace, and return (grid points, force
-/// error vs `oracle`, median compute µs on one thread).
+/// error vs `oracle`, min compute µs on one thread).
 fn measure_backend(
     params: &BackendParams,
     sys: &CoulombSystem,
@@ -145,7 +298,7 @@ fn measure_backend(
         std::process::exit(1);
     }
     let force_err = relative_force_error(&out.forces, &oracle.forces);
-    let compute_us = median_us(repeats, || {
+    let compute_us = min_us(1, repeats, || {
         let _ = plan.compute_into(sys, &mut ws, &mut out);
     });
     (plan.grid_points(), force_err, compute_us)
@@ -272,13 +425,30 @@ fn backend_table(repeats: usize, filter: Option<&str>) -> (Vec<BackendRow>, Opti
     (rows, Some(bspline16_err))
 }
 
-/// Single-thread `compute_us` of a previously written bench JSON, plus its
-/// atom count (hand-rolled scan — the workspace has no JSON dependency).
-fn baseline_compute_us(text: &str) -> Option<(f64, u64)> {
+/// One committed row family's gate-relevant numbers: atom count,
+/// single-thread `compute_us` and (when present) the single-thread
+/// short-range stage.
+struct BaselineFamily {
+    atoms: u64,
+    compute_us: f64,
+    short_range_us: Option<f64>,
+}
+
+/// Parse a family from `text` — the whole report for the default rows,
+/// or the slice starting at `"paper_box"` for the paper rows (each row
+/// renders on one line, so scanning forward from `"threads": 1,` stays
+/// inside that row's object).
+fn parse_baseline_family(text: &str) -> Option<BaselineFamily> {
     let atoms = scan_number(text, "\"atoms\": ")? as u64;
     let one = text.find("\"threads\": 1,")?;
-    let us = scan_number(&text[one..], "\"compute_us\": ")?;
-    Some((us, atoms))
+    let row = &text[one..];
+    let compute_us = scan_number(row, "\"compute_us\": ")?;
+    let short_range_us = scan_number(row, "\"short_range\": ");
+    Some(BaselineFamily {
+        atoms,
+        compute_us,
+        short_range_us,
+    })
 }
 
 /// First `"key": <number>` occurrence after the start of `text`.
@@ -289,26 +459,87 @@ fn scan_number(text: &str, key: &str) -> Option<f64> {
     rest[..end].trim().parse().ok()
 }
 
-fn main() {
-    tme_bench::init_cli();
-    let mut args = Args::parse();
-    let waters: usize = args.get("--waters", 512);
-    let repeats: usize = args.get("--repeats", 20);
-    let out_path = args
-        .opt("--out")
-        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
-    let baseline_path = args.opt("--baseline");
-    let backend_filter = args.opt("--backend");
-    args.finish();
+/// `>15%` regression gate on one metric; returns true on failure.
+fn gate_regression(what: &str, current_us: f64, base_us: f64) -> bool {
+    let ratio = current_us / base_us;
+    println!("baseline {what}: {base_us:.1} us -> {current_us:.1} us ({ratio:.3}x)");
+    if ratio > 1.15 {
+        eprintln!(
+            "FAIL: {what} regressed {:.1}% vs baseline (limit 15%)",
+            (ratio - 1.0) * 100.0
+        );
+        return true;
+    }
+    false
+}
 
-    // The paper's box scaled to `waters` at liquid density; grid_for_box
-    // keeps h ≈ 0.3116 nm, giving 32³ near the default 512 waters.
+/// Gate one measured family against its committed counterpart (compute
+/// plus the short-range stage when the baseline records it). Returns
+/// true on any failure.
+fn gate_family(label: &str, rows: &[Row], baseline: Option<&BaselineFamily>, atoms: u64) -> bool {
+    let Some(base) = baseline else {
+        eprintln!("no {label} family in the baseline — skipping its regression check");
+        return false;
+    };
+    if base.atoms != atoms {
+        eprintln!(
+            "baseline {label} family is for {} atoms, this run has {atoms} — skipping its \
+             regression check",
+            base.atoms
+        );
+        return false;
+    }
+    let mut failed = gate_regression(
+        &format!("{label} single-thread compute_us"),
+        rows[0].compute_us,
+        base.compute_us,
+    );
+    if let Some(base_sr) = base.short_range_us {
+        failed |= gate_regression(
+            &format!("{label} single-thread short_range stage"),
+            rows[0].stages.short_range_us as f64,
+            base_sr,
+        );
+    }
+    failed
+}
+
+/// Append one family's rows to a JSON object (the shared row schema of
+/// the default and `paper_box` families).
+fn emit_rows(o: &mut tme_bench::json::JsonObject, rows: &[Row]) {
+    let single_us = rows[0].compute_us;
+    o.rows("rows", rows, |r, row| {
+        let allocs = r
+            .allocs_per_compute
+            .map_or_else(|| "null".to_string(), |a| a.to_string());
+        let s = r.stages;
+        row.u64("threads", r.threads as u64)
+            .f64("convolution_us", r.convolution_us, 3)
+            .f64("compute_us", r.compute_us, 3)
+            .f64("speedup_vs_1t", single_us / r.compute_us, 3)
+            .raw("allocs_per_compute", &allocs)
+            .bool("bitwise_identical", r.bitwise_identical)
+            .obj("stages_us", |o| {
+                o.u64("assign", s.assign_us)
+                    .u64("convolve", s.convolve_us)
+                    .u64("transfer", s.transfer_us)
+                    .u64("toplevel", s.toplevel_us)
+                    .u64("interpolate", s.interpolate_us)
+                    .u64("short_range", s.short_range_us)
+                    .u64("total", s.total_us);
+            });
+    });
+}
+
+/// The paper-density water box scaled to `waters`, with its grid and TME
+/// parameters (h ≈ 0.3116 nm, paper cutoff clamped to the minimum-image
+/// bound for small boxes).
+fn scaled_config(waters: usize) -> (CoulombSystem, usize, Tme) {
     let box_edge = 9.9727 * (waters as f64 / 32773.0).cbrt();
     let n = grid_for_box(box_edge);
     let system = water_system(waters, 7);
     let box_l = system.box_l;
-    // Paper cutoff, clamped to the minimum-image bound for small boxes.
-    let r_cut = 0.9f64.min(box_l.iter().cloned().fold(f64::INFINITY, f64::min) / 2.0);
+    let r_cut = 0.9f64.min(box_l.iter().copied().fold(f64::INFINITY, f64::min) / 2.0);
     let alpha = EwaldParams::alpha_from_tolerance(r_cut, 1e-4);
     let params = TmeParams {
         n: [n; 3],
@@ -320,133 +551,65 @@ fn main() {
         r_cut,
     };
     let tme = Tme::new(params, box_l);
+    (system, n, tme)
+}
+
+fn main() {
+    tme_bench::init_cli();
+    let mut args = Args::parse();
+    let waters: usize = args.get("--waters", 512);
+    let repeats: usize = args.get("--repeats", 20);
+    let warmup: usize = args.get("--warmup", 2);
+    let paper_waters: usize = args.get("--paper-waters", 0);
+    let paper_repeats: usize = args.get("--paper-repeats", 3);
+    let out_path = args
+        .opt("--out")
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let baseline_path = args.opt("--baseline");
+    let backend_filter = args.opt("--backend");
+    args.finish();
+
+    let host_threads = std::thread::available_parallelism().map_or(0, |v| v.get() as u64);
+
+    let (system, n, tme) = scaled_config(waters);
     println!(
-        "# pipeline_scaling: {} atoms, {n}^3 grid, box {:.3} nm, {repeats} repeats",
+        "# pipeline_scaling: {} atoms, {n}^3 grid, box {:.3} nm, {repeats} repeats \
+         (+{warmup} warmup), host threads {host_threads}",
         system.len(),
-        box_l[0]
+        system.box_l[0]
     );
+    let rows = measure_family(&tme, &system, n, repeats, warmup, "default");
 
-    // Bare separable convolution input: the assigned charge grid.
-    let fit = GaussianFit::new(2.2936, 4);
-    let kernel = TensorKernel::new(&fit, [box_l[0] / n as f64; 3], 6, 8);
-    let folded = FoldedKernels::plan(&kernel, [n; 3]);
-    let mut q = Grid3::zeros([n; 3]);
-    for (i, v) in q.as_mut_slice().iter_mut().enumerate() {
-        *v = ((i * 31 % 97) as f64 - 48.0) * 0.01;
-    }
-
-    // Single-thread force bits are the determinism reference.
-    let mut reference_bits: Vec<u64> = Vec::new();
-    let mut rows: Vec<Row> = Vec::new();
-    for threads in THREADS {
-        let pool = Arc::new(Pool::new(threads));
-        let mut ws = TmeWorkspace::with_pool(&tme, Arc::clone(&pool));
-        let mut conv_scratch = ConvolveScratch::for_dims([n; 3]);
-        let mut conv_out = Grid3::zeros([n; 3]);
-
-        // Warm-up sizes every buffer; also yields the forces to compare.
-        let bits: Vec<u64> = tme
-            .compute_with(&mut ws, &system)
-            .forces
-            .iter()
-            .flat_map(|f| f.iter().map(|c| c.to_bits()))
-            .collect();
-        if threads == 1 {
-            reference_bits = bits.clone();
-        }
-        let bitwise_identical = bits == reference_bits;
-
-        let convolution_us = median_us(repeats, || {
-            convolve_separable_into(
-                &q,
-                &kernel,
-                1.0,
-                &folded,
-                &pool,
-                &mut conv_scratch,
-                &mut conv_out,
-            );
-        });
-        let compute_us = median_us(repeats, || {
-            tme.compute_with(&mut ws, &system);
-        });
-        let stages = ws.stage_timings();
-        let allocs_per_compute = allocs_per_call(repeats, || {
-            tme.compute_with(&mut ws, &system);
-        });
-
+    // The paper's full Table 1 geometry as its own tracked row family.
+    let paper = (paper_waters > 0).then(|| {
+        let (psystem, pn, ptme) = scaled_config(paper_waters);
         println!(
-            "threads {threads}: convolution {convolution_us:.1} us, compute {compute_us:.1} us, \
-             bitwise {} , allocs/call {}",
-            if bitwise_identical { "ok" } else { "MISMATCH" },
-            allocs_per_compute.map_or_else(|| "n/a".to_string(), |a| a.to_string()),
+            "# paper box: {} atoms, {pn}^3 grid, box {:.3} nm, {paper_repeats} repeats",
+            psystem.len(),
+            psystem.box_l[0]
         );
-        println!(
-            "  stages (last call, us): assign {} convolve {} transfer {} toplevel {} \
-             interpolate {} short_range {} total {}",
-            stages.assign_us,
-            stages.convolve_us,
-            stages.transfer_us,
-            stages.toplevel_us,
-            stages.interpolate_us,
-            stages.short_range_us,
-            stages.total_us,
-        );
-        rows.push(Row {
-            threads,
-            convolution_us,
-            compute_us,
-            allocs_per_compute,
-            bitwise_identical,
-            stages,
-        });
-    }
+        let prows = measure_family(&ptme, &psystem, pn, paper_repeats, 1, "paper_box");
+        (psystem.len() as u64, pn, prows)
+    });
 
-    assert!(
-        rows.iter().all(|r| r.bitwise_identical),
-        "forces changed bits across thread counts — determinism contract broken"
-    );
-
-    // Parallel-efficiency report: speedup versus the single-thread row.
-    let single_us = rows[0].compute_us;
-    if let Some(r4) = rows.iter().find(|r| r.threads == 4) {
-        let speedup = single_us / r4.compute_us;
-        if speedup < 1.2 {
-            eprintln!(
-                "WARNING: 4-thread speedup is {speedup:.2}x (< 1.2x). On a multi-core host this \
-                 means the parallel stages are not scaling; on a single-core host (as in CI) it \
-                 is expected — check available_parallelism before reading anything into it."
-            );
-        }
-    }
-
-    // Regression gate against a previously committed baseline.
+    // Regression gate against a previously committed baseline, per family.
     if let Some(path) = baseline_path {
-        match std::fs::read_to_string(&path)
-            .ok()
-            .as_deref()
-            .and_then(baseline_compute_us)
-        {
-            Some((base_us, base_atoms)) if base_atoms == system.len() as u64 => {
-                let ratio = single_us / base_us;
-                println!(
-                    "baseline {path}: single-thread compute {base_us:.1} us -> {single_us:.1} us \
-                     ({ratio:.3}x)"
-                );
-                if ratio > 1.15 {
-                    eprintln!(
-                        "FAIL: single-thread compute_us regressed {:.1}% vs baseline (limit 15%)",
-                        (ratio - 1.0) * 100.0
-                    );
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let base_default = parse_baseline_family(&text);
+                let base_paper = text
+                    .find("\"paper_box\"")
+                    .and_then(|i| parse_baseline_family(&text[i..]));
+                let mut failed =
+                    gate_family("default", &rows, base_default.as_ref(), system.len() as u64);
+                if let Some((atoms, _, prows)) = &paper {
+                    failed |= gate_family("paper_box", prows, base_paper.as_ref(), *atoms);
+                }
+                if failed {
                     std::process::exit(1);
                 }
             }
-            Some((_, base_atoms)) => eprintln!(
-                "baseline {path} is for {base_atoms} atoms, this run has {} — skipping the \
-                 regression check",
-                system.len()
-            ),
-            None => eprintln!("could not parse baseline {path} — skipping the regression check"),
+            Err(e) => eprintln!("could not read baseline {path}: {e} — skipping the gate"),
         }
     }
 
@@ -457,29 +620,19 @@ fn main() {
         o.u64("atoms", system.len() as u64)
             .raw("grid", &format!("[{n}, {n}, {n}]"))
             .u64("repeats", repeats as u64)
-            .bool("alloc_count_feature", cfg!(feature = "alloc-count"))
-            .rows("rows", &rows, |r, row| {
-                let allocs = r
-                    .allocs_per_compute
-                    .map_or_else(|| "null".to_string(), |a| a.to_string());
-                let s = r.stages;
-                row.u64("threads", r.threads as u64)
-                    .f64("convolution_us", r.convolution_us, 3)
-                    .f64("compute_us", r.compute_us, 3)
-                    .f64("speedup_vs_1t", single_us / r.compute_us, 3)
-                    .raw("allocs_per_compute", &allocs)
-                    .bool("bitwise_identical", r.bitwise_identical)
-                    .obj("stages_us", |o| {
-                        o.u64("assign", s.assign_us)
-                            .u64("convolve", s.convolve_us)
-                            .u64("transfer", s.transfer_us)
-                            .u64("toplevel", s.toplevel_us)
-                            .u64("interpolate", s.interpolate_us)
-                            .u64("short_range", s.short_range_us)
-                            .u64("total", s.total_us);
-                    });
-            })
-            .f64("backend_force_target", FORCE_TARGET, 6)
+            .u64("warmup", warmup as u64)
+            .u64("host_threads", host_threads)
+            .bool("alloc_count_feature", cfg!(feature = "alloc-count"));
+        emit_rows(o, &rows);
+        if let Some((atoms, pn, prows)) = &paper {
+            o.obj("paper_box", |p| {
+                p.u64("atoms", *atoms)
+                    .raw("grid", &format!("[{pn}, {pn}, {pn}]"))
+                    .u64("repeats", paper_repeats as u64);
+                emit_rows(p, prows);
+            });
+        }
+        o.f64("backend_force_target", FORCE_TARGET, 6)
             .rows("backends", &backend_rows, |r, row| {
                 row.str("backend", r.name)
                     .u64("grid_points", r.grid_points)

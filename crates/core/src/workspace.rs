@@ -23,6 +23,7 @@ use crate::toplevel::TopScratch;
 use std::sync::Arc;
 use std::time::Instant;
 use tme_mesh::assign::Interpolated;
+use tme_mesh::cells::{self, CellScratch};
 use tme_mesh::model::{CoulombResult, CoulombSystem};
 use tme_mesh::pairwise::{self, PairwiseScratch};
 use tme_mesh::{Grid3, SplineOps};
@@ -35,6 +36,15 @@ pub const ASSIGN_PARTS: usize = 8;
 
 /// Cells per part when merging the partial charge grids.
 const MERGE_CHUNK: usize = 4096;
+
+/// Below this many atoms per pool thread the charge assignment runs
+/// inline — spreading a few hundred atoms over workers costs more in
+/// dispatch latency than the spline work saves (DESIGN.md §15).
+const ASSIGN_SERIAL_ATOMS_PER_THREAD: usize = 512;
+
+/// Below this many grid cells per pool thread the partial-grid merge
+/// runs inline (the merge is a pure streaming add — memory bound).
+const GRID_MERGE_SERIAL_CELLS_PER_THREAD: usize = 8192;
 
 /// All per-step mutable state of the TME pipeline (see module docs).
 ///
@@ -64,8 +74,12 @@ pub struct TmeWorkspace {
     assign_parts: Vec<Grid3>,
     /// Back-interpolation output (step 6).
     interp: Interpolated,
-    /// Short-range pair-sum partial accumulators.
+    /// Short-range pair-sum partial accumulators (exact-`erfc` oracle
+    /// path of [`Tme::compute_exact_with`]).
     pair: PairwiseScratch,
+    /// SoA cell-list state of the production short-range path
+    /// (DESIGN.md §15).
+    cells: CellScratch,
     /// Mesh-only result of the last [`Tme::long_range_with`].
     mesh_out: CoulombResult,
     /// Full result of the last [`Tme::compute_with`].
@@ -107,6 +121,7 @@ impl TmeWorkspace {
             assign_parts: (0..ASSIGN_PARTS).map(|_| Grid3::zeros(n)).collect(),
             interp: Interpolated::default(),
             pair: PairwiseScratch::new(),
+            cells: CellScratch::new(),
             mesh_out: CoulombResult::default(),
             out: CoulombResult::default(),
             timings: TmeStageTimings::default(),
@@ -241,31 +256,43 @@ impl Tme {
         // pattern); the merge below adds partials in fixed part order.
         let t0 = Instant::now();
         let ops = &self.ops;
-        pool.for_each_chunk(&mut ws.assign_parts, 1, |part, slot| {
-            let grid = &mut slot[0];
-            grid.fill(0.0);
-            let (lo, hi) = chunk_bounds(n_atoms, ASSIGN_PARTS, part);
-            ops.assign_into(&system.pos[lo..hi], &system.q[lo..hi], grid);
-        });
+        pool.for_each_chunk_sized(
+            &mut ws.assign_parts,
+            1,
+            n_atoms,
+            ASSIGN_SERIAL_ATOMS_PER_THREAD,
+            |part, slot| {
+                let grid = &mut slot[0];
+                grid.fill(0.0);
+                let (lo, hi) = chunk_bounds(n_atoms, ASSIGN_PARTS, part);
+                ops.assign_into(&system.pos[lo..hi], &system.q[lo..hi], grid);
+            },
+        );
         {
             let parts = &ws.assign_parts;
-            let cells = ws.q[0].len();
+            let n_cells = ws.q[0].len();
             let dst = SendPtr(ws.q[0].as_mut_slice().as_mut_ptr());
-            pool.run_parts(cells.div_ceil(MERGE_CHUNK), |c, _| {
-                let lo = c * MERGE_CHUNK;
-                let hi = (lo + MERGE_CHUNK).min(cells);
-                for i in lo..hi {
-                    let mut acc = 0.0;
-                    for p in parts {
-                        acc += p.as_slice()[i];
+            let tasks = n_cells.div_ceil(MERGE_CHUNK);
+            pool.run_parts_sized(
+                tasks,
+                n_cells,
+                GRID_MERGE_SERIAL_CELLS_PER_THREAD,
+                |c, _| {
+                    let lo = c * MERGE_CHUNK;
+                    let hi = (lo + MERGE_CHUNK).min(n_cells);
+                    for i in lo..hi {
+                        let mut acc = 0.0;
+                        for p in parts {
+                            acc += p.as_slice()[i];
+                        }
+                        // SAFETY: parts cover disjoint cell ranges, so no two
+                        // closures write the same output element.
+                        unsafe {
+                            *dst.get().add(i) = acc;
+                        }
                     }
-                    // SAFETY: parts cover disjoint cell ranges, so no two
-                    // closures write the same output element.
-                    unsafe {
-                        *dst.get().add(i) = acc;
-                    }
-                }
-            });
+                },
+            );
         }
         let assign_us = elapsed_us(t0);
         // Steps 2–5.
@@ -312,16 +339,17 @@ impl Tme {
         let t_entry = Instant::now();
         let mut stats = self.long_range_with(ws, system).1;
         let pool = Arc::clone(&ws.pool);
-        // Short-range pairs through the plan-time kernel table — the
-        // table-lookup pipeline analogue; the exact-erfc path stays
-        // available as `pairwise::short_range_into` for oracle tests.
+        // Short-range pairs through the plan-time kernel table on the SoA
+        // cell-list layout (DESIGN.md §15) — the table-lookup pipeline
+        // analogue; the exact-erfc O(N²) path stays available as
+        // `pairwise::short_range_into` for oracle tests and recovery.
         let t0 = Instant::now();
-        pairwise::short_range_table_into(
+        cells::short_range_cells_into(
             system,
             &self.pair_table,
             self.params.r_cut,
             &pool,
-            &mut ws.pair,
+            &mut ws.cells,
             &mut ws.out,
         );
         ws.timings.short_range_us = elapsed_us(t0);

@@ -1,19 +1,31 @@
 //! Cell-list neighbour search for the short-range (cutoff) interactions.
 //!
 //! The machine decomposes space into cells of up to 64 atoms managed by
-//! the global memories; the nonbond pipelines then stream cell pairs. Here
-//! the equivalent is a classic linked-cell list: bins of edge ≥ `cutoff`,
-//! pairs from each bin and its 13 forward neighbours (half stencil), with
-//! an O(N²) fallback when the box is too small for 3 bins per axis.
+//! the global memories; the nonbond pipelines then stream cell pairs. The
+//! binning here is the same structure-of-arrays layout the solver's
+//! short-range hot path runs on ([`tme_mesh::cells::CellBins`], DESIGN.md
+//! §15): a stable counting sort into cells of edge ≥ `cutoff`, pairs from
+//! each cell and its 13 forward neighbours (half stencil,
+//! [`tme_mesh::cells::STENCIL`]), with an O(N²) fallback when the box is
+//! too small for 3 bins per axis. NVE Verlet rebuilds pass their bins
+//! back in ([`VerletList::build_with_bins`]) so the rebuild is
+//! allocation-free once warm.
+//!
+//! Distances stay on `vec3::min_image` over the caller's raw positions —
+//! the enumeration uses the bins, the geometry does not — so the pair
+//! stream is bit-for-bit what the O(N²) reference produces and checkpoint
+//! restarts remain bitwise (the Verlet pair *order* fixes the force
+//! summation order).
 
+use tme_mesh::cells::{CellBins, CellGrid, STENCIL};
 use tme_num::vec3::{self, V3};
 
 /// A rebuildable cell list over one configuration.
 #[derive(Clone, Debug)]
 pub struct CellList {
-    dims: [usize; 3],
-    /// Atom indices, bucketed per cell.
-    cells: Vec<Vec<u32>>,
+    /// SoA bins shared with the mesh short-range layout. Empty (untouched)
+    /// in brute-force mode.
+    bins: CellBins,
     cutoff: f64,
     box_l: V3,
     /// True when the box is too small for cells and we fall back to O(N²).
@@ -23,42 +35,27 @@ pub struct CellList {
 
 impl CellList {
     pub fn build(pos: &[V3], box_l: V3, cutoff: f64) -> Self {
+        Self::build_reusing(pos, box_l, cutoff, CellBins::default())
+    }
+
+    /// [`CellList::build`] reusing a previous list's bins so steady-state
+    /// rebuilds allocate nothing. Recover the bins with
+    /// [`CellList::into_bins`].
+    pub fn build_reusing(pos: &[V3], box_l: V3, cutoff: f64, mut bins: CellBins) -> Self {
         assert!(cutoff > 0.0);
-        let min_edge = box_l.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min_edge = box_l.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(
             cutoff <= min_edge / 2.0 + 1e-12,
             "cutoff {cutoff} exceeds half the smallest box edge {min_edge}: \
              minimum-image pair search would miss periodic copies"
         );
-        let dims = [
-            (box_l[0] / cutoff).floor() as usize,
-            (box_l[1] / cutoff).floor() as usize,
-            (box_l[2] / cutoff).floor() as usize,
-        ];
-        let brute_force = dims.iter().any(|&d| d < 3);
-        if brute_force {
-            return Self {
-                dims: [1; 3],
-                cells: Vec::new(),
-                cutoff,
-                box_l,
-                brute_force,
-                n_atoms: pos.len(),
-            };
-        }
-        let mut cells = vec![Vec::new(); dims[0] * dims[1] * dims[2]];
-        for (i, r) in pos.iter().enumerate() {
-            let w = vec3::wrap(*r, box_l);
-            let c = [
-                ((w[0] / box_l[0] * dims[0] as f64) as usize).min(dims[0] - 1),
-                ((w[1] / box_l[1] * dims[1] as f64) as usize).min(dims[1] - 1),
-                ((w[2] / box_l[2] * dims[2] as f64) as usize).min(dims[2] - 1),
-            ];
-            cells[(c[0] * dims[1] + c[1]) * dims[2] + c[2]].push(i as u32);
+        let grid = CellGrid::plan_capped(box_l, cutoff, pos.len());
+        let brute_force = grid.is_none();
+        if let Some(g) = grid {
+            bins.bin(pos, box_l, g);
         }
         Self {
-            dims,
-            cells,
+            bins,
             cutoff,
             box_l,
             brute_force,
@@ -70,25 +67,15 @@ impl CellList {
         self.brute_force
     }
 
+    /// Take the bins back for the next [`CellList::build_reusing`].
+    #[must_use]
+    pub fn into_bins(self) -> CellBins {
+        self.bins
+    }
+
     /// Visit every unordered pair within the cutoff exactly once with the
     /// minimum-image displacement `d = pos[i] − pos[j]` and `r²`.
     pub fn for_each_pair(&self, pos: &[V3], mut f: impl FnMut(usize, usize, V3, f64)) {
-        // Half stencil: self cell + 13 forward neighbours.
-        const STENCIL: [[i64; 3]; 13] = [
-            [1, 0, 0],
-            [-1, 1, 0],
-            [0, 1, 0],
-            [1, 1, 0],
-            [-1, -1, 1],
-            [0, -1, 1],
-            [1, -1, 1],
-            [-1, 0, 1],
-            [0, 0, 1],
-            [1, 0, 1],
-            [-1, 1, 1],
-            [0, 1, 1],
-            [1, 1, 1],
-        ];
         let rc2 = self.cutoff * self.cutoff;
         if self.brute_force {
             for i in 0..self.n_atoms {
@@ -102,36 +89,41 @@ impl CellList {
             }
             return;
         }
-        let dims = self.dims;
-        for cx in 0..dims[0] {
-            for cy in 0..dims[1] {
-                for cz in 0..dims[2] {
-                    let home = &self.cells[(cx * dims[1] + cy) * dims[2] + cz];
-                    // Pairs within the home cell.
-                    for (a, &i) in home.iter().enumerate() {
-                        for &j in home.iter().skip(a + 1) {
-                            let d = vec3::min_image(pos[i as usize], pos[j as usize], self.box_l);
-                            let r2 = vec3::norm_sqr(d);
-                            if r2 < rc2 && r2 > 0.0 {
-                                f(i as usize, j as usize, d, r2);
-                            }
-                        }
+        let dims = self.bins.dims();
+        let order = self.bins.order();
+        let n_cells = dims[0] * dims[1] * dims[2];
+        for c in 0..n_cells {
+            let cz = c % dims[2];
+            let cy = (c / dims[2]) % dims[1];
+            let cx = c / (dims[2] * dims[1]);
+            let (h0, h1) = self.bins.cell_range(c);
+            // Pairs within the home cell (slots are in ascending original
+            // index, so this enumerates exactly like the O(N²) loop).
+            for a in h0..h1 {
+                let i = order[a] as usize;
+                for &j in &order[(a + 1)..h1] {
+                    let j = j as usize;
+                    let d = vec3::min_image(pos[i], pos[j], self.box_l);
+                    let r2 = vec3::norm_sqr(d);
+                    if r2 < rc2 && r2 > 0.0 {
+                        f(i, j, d, r2);
                     }
-                    // Pairs with forward neighbour cells.
-                    for s in STENCIL {
-                        let nx = (cx as i64 + s[0]).rem_euclid(dims[0] as i64) as usize;
-                        let ny = (cy as i64 + s[1]).rem_euclid(dims[1] as i64) as usize;
-                        let nz = (cz as i64 + s[2]).rem_euclid(dims[2] as i64) as usize;
-                        let other = &self.cells[(nx * dims[1] + ny) * dims[2] + nz];
-                        for &i in home {
-                            for &j in other {
-                                let d =
-                                    vec3::min_image(pos[i as usize], pos[j as usize], self.box_l);
-                                let r2 = vec3::norm_sqr(d);
-                                if r2 < rc2 && r2 > 0.0 {
-                                    f(i as usize, j as usize, d, r2);
-                                }
-                            }
+                }
+            }
+            // Pairs with forward neighbour cells.
+            for s in STENCIL {
+                let nx = (cx as i64 + s[0]).rem_euclid(dims[0] as i64) as usize;
+                let ny = (cy as i64 + s[1]).rem_euclid(dims[1] as i64) as usize;
+                let nz = (cz as i64 + s[2]).rem_euclid(dims[2] as i64) as usize;
+                let (n0, n1) = self.bins.cell_range((nx * dims[1] + ny) * dims[2] + nz);
+                for &i in &order[h0..h1] {
+                    let i = i as usize;
+                    for &j in &order[n0..n1] {
+                        let j = j as usize;
+                        let d = vec3::min_image(pos[i], pos[j], self.box_l);
+                        let r2 = vec3::norm_sqr(d);
+                        if r2 < rc2 && r2 > 0.0 {
+                            f(i, j, d, r2);
                         }
                     }
                 }
@@ -162,10 +154,25 @@ impl VerletList {
         box_l: V3,
         cutoff: f64,
         skin: f64,
+        exclude: impl FnMut(usize, usize) -> bool,
+    ) -> Self {
+        let mut bins = CellBins::default();
+        Self::build_with_bins(pos, box_l, cutoff, skin, exclude, &mut bins)
+    }
+
+    /// [`VerletList::build`] binning into caller-owned [`CellBins`] so
+    /// periodic NVE rebuilds reuse the same buffers (allocation-free once
+    /// warm, apart from pair-list growth).
+    pub fn build_with_bins(
+        pos: &[V3],
+        box_l: V3,
+        cutoff: f64,
+        skin: f64,
         mut exclude: impl FnMut(usize, usize) -> bool,
+        bins: &mut CellBins,
     ) -> Self {
         assert!(skin >= 0.0);
-        let min_edge = box_l.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min_edge = box_l.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(
             cutoff <= min_edge / 2.0 + 1e-12,
             "cutoff {cutoff} exceeds half the smallest box edge {min_edge}"
@@ -176,13 +183,14 @@ impl VerletList {
         // zero effective skin simply rebuilds every step).
         let reach = (cutoff + skin).min(min_edge / 2.0);
         let skin = reach - cutoff;
-        let cells = CellList::build(pos, box_l, reach);
+        let cells = CellList::build_reusing(pos, box_l, reach, std::mem::take(bins));
         let mut pairs = Vec::new();
         cells.for_each_pair(pos, |i, j, _, _| {
             if !exclude(i, j) {
                 pairs.push((i as u32, j as u32));
             }
         });
+        *bins = cells.into_bins();
         Self {
             pairs,
             cutoff,
@@ -354,11 +362,54 @@ mod tests {
     }
 
     #[test]
+    fn sparse_box_falls_back_to_brute_force() {
+        // Few atoms in a box that would shatter into thousands of cells:
+        // the cell-count cap sends this to the O(N²) path with identical
+        // pairs.
+        let pos = random_positions(12, 30.0, 5);
+        let cells = CellList::build(&pos, [30.0; 3], 1.0);
+        assert!(cells.is_brute_force());
+        let got = collect_pairs(&cells, &pos);
+        let mut want = Vec::new();
+        for i in 0..pos.len() {
+            for j in (i + 1)..pos.len() {
+                let d = vec3::min_image(pos[i], pos[j], [30.0; 3]);
+                let r2 = vec3::norm_sqr(d);
+                if r2 < 1.0 && r2 > 0.0 {
+                    want.push((i, j));
+                }
+            }
+        }
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
     fn pairs_across_periodic_boundary_found() {
         let pos = vec![[0.05, 2.0, 2.0], [4.95, 2.0, 2.0]];
         let cells = CellList::build(&pos, [5.0; 3], 1.0);
         let pairs = collect_pairs(&cells, &pos);
         assert_eq!(pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn reused_bins_enumerate_identically() {
+        let box_l = 5.0;
+        let pos_a = random_positions(180, box_l, 33);
+        let pos_b = random_positions(180, box_l, 34);
+        let fresh_a = CellList::build(&pos_a, [box_l; 3], 1.0);
+        let want_a = collect_pairs(&fresh_a, &pos_a);
+        // Bin a different configuration into the recovered bins, then the
+        // first one again: both must match fresh builds pair-for-pair.
+        let bins = fresh_a.into_bins();
+        let reused_b = CellList::build_reusing(&pos_b, [box_l; 3], 1.0, bins);
+        let fresh_b = CellList::build(&pos_b, [box_l; 3], 1.0);
+        assert_eq!(
+            collect_pairs(&reused_b, &pos_b),
+            collect_pairs(&fresh_b, &pos_b)
+        );
+        let reused_a = CellList::build_reusing(&pos_a, [box_l; 3], 1.0, reused_b.into_bins());
+        assert_eq!(collect_pairs(&reused_a, &pos_a), want_a);
     }
 
     #[test]
@@ -375,6 +426,21 @@ mod tests {
         let cells = CellList::build(&pos, [box_l; 3], cutoff);
         let want = collect_pairs(&cells, &pos);
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn verlet_build_with_bins_matches_plain_build() {
+        let box_l = 4.0;
+        let pos = random_positions(200, box_l, 19);
+        let plain = VerletList::build(&pos, [box_l; 3], 1.0, 0.25, |i, j| i + j == 3);
+        let mut bins = CellBins::default();
+        let reused =
+            VerletList::build_with_bins(&pos, [box_l; 3], 1.0, 0.25, |i, j| i + j == 3, &mut bins);
+        assert_eq!(plain.pairs(), reused.pairs());
+        // And again with the warmed bins.
+        let again =
+            VerletList::build_with_bins(&pos, [box_l; 3], 1.0, 0.25, |i, j| i + j == 3, &mut bins);
+        assert_eq!(plain.pairs(), again.pairs());
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::nonbond;
 use crate::topology::MdSystem;
 use crate::units::COULOMB;
 use tme_core::TmeRecoverableError;
+use tme_mesh::cells::CellBins;
 use tme_mesh::model::CoulombResult;
 use tme_num::bytes::{ByteReader, ByteWriter, CodecError};
 use tme_num::special::TWO_OVER_SQRT_PI;
@@ -68,6 +69,9 @@ pub struct NveSim<'a> {
     energies: CachedEnergies,
     time: f64,
     neighbours: Option<VerletList>,
+    /// SoA cell bins reused across Verlet rebuilds (scratch only — not
+    /// checkpointed; the list itself is restored verbatim, DESIGN.md §11).
+    bins: CellBins,
     /// Verlet skin (nm); pairs within `r_cut + skin` are listed and the
     /// list is rebuilt once an atom moves `skin/2`.
     pub skin: f64,
@@ -140,6 +144,7 @@ impl<'a> NveSim<'a> {
             energies: CachedEnergies::default(),
             time: 0.0,
             neighbours: None,
+            bins: CellBins::default(),
             skin: 0.2,
             mesh_interval: 1,
             step_count: 0,
@@ -193,12 +198,13 @@ impl<'a> NveSim<'a> {
         // asserted with unwrap (lint rule L2).
         let list = match self.neighbours.take() {
             Some(l) if !l.needs_rebuild(&sys.pos) => self.neighbours.insert(l),
-            _ => self.neighbours.insert(VerletList::build(
+            _ => self.neighbours.insert(VerletList::build_with_bins(
                 &sys.pos,
                 sys.box_l,
                 self.r_cut,
                 self.skin,
                 |i, j| sys.is_excluded(i, j),
+                &mut self.bins,
             )),
         };
         let short = if self.exact_short_range {

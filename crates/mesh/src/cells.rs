@@ -1,0 +1,868 @@
+//! Structure-of-arrays cell-list layout for the short-range pair sum
+//! (DESIGN.md §15).
+//!
+//! [`crate::pairwise`] keeps the O(N²) minimum-image loop as the reference
+//! oracle; this module is the production layout the solver hot path runs
+//! on. Atoms are binned into cells of side ≥ `r_cut` by a stable counting
+//! sort, and the sorted copy stores positions and charges as contiguous
+//! `x/y/z/q` slices per cell — the same dense, regular stream the
+//! MDGRAPE-4A nonbond pipelines consume. Pair work then walks each cell
+//! against itself and its 13 forward stencil neighbours (half stencil, so
+//! every unordered pair is visited exactly once) in a chunked, two-phase
+//! inner loop:
+//!
+//! 1. **Phase A (vector-friendly):** fixed-width chunks of the neighbour
+//!    slice get `dx/dy/dz/r²` computed straight-line into per-part
+//!    buffers — no branches, no gathers, so the compiler auto-vectorises
+//!    it — followed by a branch-free cursor compaction of the indices
+//!    that pass the cutoff mask (hit rates are ~10–20%, so mispredicted
+//!    per-pair branches would dominate otherwise).
+//! 2. **Phase B:** the segmented r²-table kernel (Horner form,
+//!    `tme_num::table`) is evaluated only over the compacted hits, and
+//!    forces/potentials accumulate into per-part full-length slabs in
+//!    sorted-slot space.
+//!
+//! Periodicity is resolved *per cell pair*, not per pair of atoms: with at
+//! least 3 cells per axis and cell side ≥ `r_cut`, at most one periodic
+//! image of any atom can sit inside the cutoff, so a constant per-stencil
+//! box shift makes the displacement exact minimum-image with zero
+//! rounding work in the inner loop. Boxes too small for that (fewer than
+//! 3 cells on some axis) or too empty for binning to pay fall back to a
+//! brute-force pass over the same SoA layout with a branch-free
+//! half-box fold.
+//!
+//! Determinism (DESIGN.md §9): work is split into [`CELL_PARTS`] fixed
+//! cell-range partitions (functions of the cell count only), each part
+//! accumulates in a fixed traversal order into its own slabs, and the
+//! final merge folds parts in ascending order per slot before scattering
+//! back to the original atom order — bitwise-identical results at any
+//! `TME_THREADS`. Dispatches go through the pool's per-thread work sizing
+//! ([`tme_num::pool::Pool::run_parts_sized`]) so sub-threshold systems
+//! run inline instead of paying worker wake-ups.
+
+use crate::model::{CoulombResult, CoulombSystem};
+use tme_num::cast::floor_usize;
+use tme_num::pool::{chunk_bounds, merge_ordered, Pool, SendPtr};
+use tme_num::table::PairKernelTable;
+use tme_num::vec3::{self, V3};
+
+/// Fixed number of cell-range partitions for the parallel pair phase. A
+/// constant (not the thread count) so the reduction order is deterministic.
+pub const CELL_PARTS: usize = 16;
+
+/// Below this many atoms per pool thread the pair phase runs inline: the
+/// measured pool dispatch cost (~tens of µs of wake-up/quiesce latency)
+/// swamps the ~µs-scale per-atom pair work of small systems, which is
+/// exactly the negative scaling the 1536-atom benchmark rows showed.
+/// The serial fallback only changes *where* parts run, never the part
+/// boundaries or merge order, so results stay bitwise identical.
+pub const SERIAL_ATOMS_PER_THREAD: usize = 256;
+
+/// Fixed phase-A chunk width (pairs per distance/mask pass). Sized so the
+/// four f64 chunk buffers plus the hit indices stay well inside L1.
+pub const CHUNK_W: usize = 128;
+
+/// Slots per task when merging the per-part slabs back to atom order.
+const MERGE_CHUNK: usize = 4096;
+
+/// Half stencil: 13 forward neighbours. Together with in-cell pairs this
+/// visits every unordered cell pair exactly once. The order is part of
+/// the deterministic traversal (and matches the MD cell list).
+pub const STENCIL: [[i64; 3]; 13] = [
+    [1, 0, 0],
+    [-1, 1, 0],
+    [0, 1, 0],
+    [1, 1, 0],
+    [-1, -1, 1],
+    [0, -1, 1],
+    [1, -1, 1],
+    [-1, 0, 1],
+    [0, 0, 1],
+    [1, 0, 1],
+    [-1, 1, 1],
+    [0, 1, 1],
+    [1, 1, 1],
+];
+
+/// Plan-time cell decomposition of a periodic box: how many cells of side
+/// ≥ `cell_side` fit along each axis.
+#[derive(Clone, Copy, Debug)]
+pub struct CellGrid {
+    dims: [usize; 3],
+}
+
+impl CellGrid {
+    /// Decompose `box_l` into cells of side ≥ `cell_side`, requiring at
+    /// least 3 cells per axis (the bound that makes per-cell-pair shifts
+    /// exact minimum images — see the module docs). `None` when the box
+    /// is too small on some axis; callers then use a brute-force path.
+    #[must_use]
+    pub fn plan(box_l: V3, cell_side: f64) -> Option<Self> {
+        assert!(cell_side > 0.0, "cell side must be positive");
+        let mut dims = [0usize; 3];
+        for j in 0..3 {
+            let d = (box_l[j] / cell_side).floor();
+            if !d.is_finite() || d < 3.0 {
+                return None;
+            }
+            dims[j] = floor_usize(d);
+        }
+        Some(Self { dims })
+    }
+
+    /// [`CellGrid::plan`] with a cell-count cap tied to the atom count:
+    /// `None` (→ brute force) when the box would shatter into far more
+    /// cells than there are atoms, where binning costs memory without
+    /// pruning work — and where a hostile sparse box could otherwise
+    /// demand unbounded cell storage.
+    #[must_use]
+    pub fn plan_capped(box_l: V3, cell_side: f64, n_atoms: usize) -> Option<Self> {
+        let grid = Self::plan(box_l, cell_side)?;
+        if grid.n_cells() > 4 * n_atoms.max(16) + 64 {
+            return None;
+        }
+        Some(grid)
+    }
+
+    /// Cells per axis.
+    #[must_use]
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// Total cell count.
+    #[must_use]
+    pub fn n_cells(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+}
+
+/// Atoms binned into cells, stored structure-of-arrays in sorted-slot
+/// order: slot `s` holds atom `order[s]` with wrapped coordinates
+/// `(x[s], y[s], z[s])`, and each cell's slots are contiguous
+/// (`cell_range`). The counting sort is stable, so slots within a cell
+/// are in ascending original-index order. All buffers are reused across
+/// rebuilds (resize-only — allocation-free once warm).
+#[derive(Clone, Debug, Default)]
+pub struct CellBins {
+    dims: [usize; 3],
+    n: usize,
+    max_cell: usize,
+    /// Original index → cell, scratch for the counting sort.
+    cell_of: Vec<u32>,
+    /// Cell → first slot; `n_cells + 1` entries (prefix sums).
+    start: Vec<u32>,
+    /// Counting-sort write cursors, one per cell.
+    cursor: Vec<u32>,
+    /// Slot → original atom index (a permutation of `0..n`).
+    order: Vec<u32>,
+    x: Vec<f64>,
+    y: Vec<f64>,
+    z: Vec<f64>,
+}
+
+impl CellBins {
+    /// Bin `pos` into `grid` over `box_l` (stable counting sort; positions
+    /// are wrapped into the box first). Reuses every buffer.
+    pub fn bin(&mut self, pos: &[V3], box_l: V3, grid: CellGrid) {
+        let dims = grid.dims();
+        let n = pos.len();
+        let n_cells = grid.n_cells();
+        self.dims = dims;
+        self.n = n;
+        self.cell_of.resize(n, 0);
+        self.start.resize(n_cells + 1, 0);
+        self.cursor.resize(n_cells, 0);
+        self.order.resize(n, 0);
+        self.x.resize(n, 0.0);
+        self.y.resize(n, 0.0);
+        self.z.resize(n, 0.0);
+        self.start.fill(0);
+        let df = [dims[0] as f64, dims[1] as f64, dims[2] as f64];
+        // Pass 1: cell index and occupancy count per atom.
+        for (i, r) in pos.iter().enumerate() {
+            let w = vec3::wrap(*r, box_l);
+            let cx = floor_usize(w[0] / box_l[0] * df[0]).min(dims[0] - 1);
+            let cy = floor_usize(w[1] / box_l[1] * df[1]).min(dims[1] - 1);
+            let cz = floor_usize(w[2] / box_l[2] * df[2]).min(dims[2] - 1);
+            let c = (cx * dims[1] + cy) * dims[2] + cz;
+            self.cell_of[i] = c as u32;
+            self.start[c + 1] += 1;
+        }
+        // Prefix sums → per-cell slot ranges; track the fullest cell for
+        // hit-buffer sizing.
+        let mut max_cell = 0u32;
+        for c in 0..n_cells {
+            max_cell = max_cell.max(self.start[c + 1]);
+            self.start[c + 1] += self.start[c];
+        }
+        self.max_cell = max_cell as usize;
+        // Pass 2: stable scatter into slot order.
+        self.cursor.copy_from_slice(&self.start[..n_cells]);
+        for (i, r) in pos.iter().enumerate() {
+            let c = self.cell_of[i] as usize;
+            let s = self.cursor[c] as usize;
+            self.cursor[c] += 1;
+            self.order[s] = i as u32;
+            let w = vec3::wrap(*r, box_l);
+            self.x[s] = w[0];
+            self.y[s] = w[1];
+            self.z[s] = w[2];
+        }
+    }
+
+    /// Load `pos` unsorted (identity order, single implicit cell) — the
+    /// SoA layout of the brute-force fallback. Positions are wrapped so
+    /// the inner loop's single-fold minimum image is exact.
+    pub fn load_unbinned(&mut self, pos: &[V3], box_l: V3) {
+        let n = pos.len();
+        self.dims = [1; 3];
+        self.n = n;
+        self.max_cell = n;
+        self.start.resize(2, 0);
+        self.start[0] = 0;
+        self.start[1] = n as u32;
+        self.order.resize(n, 0);
+        self.x.resize(n, 0.0);
+        self.y.resize(n, 0.0);
+        self.z.resize(n, 0.0);
+        for (i, r) in pos.iter().enumerate() {
+            let w = vec3::wrap(*r, box_l);
+            self.order[i] = i as u32;
+            self.x[i] = w[0];
+            self.y[i] = w[1];
+            self.z[i] = w[2];
+        }
+    }
+
+    /// Cells per axis of the last bin.
+    #[must_use]
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// Atom count of the last bin.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when no atoms are binned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Occupancy of the fullest cell (hit-buffer sizing).
+    #[must_use]
+    pub fn max_cell(&self) -> usize {
+        self.max_cell
+    }
+
+    /// Slot range `[lo, hi)` of cell `c`.
+    #[must_use]
+    pub fn cell_range(&self, c: usize) -> (usize, usize) {
+        (self.start[c] as usize, self.start[c + 1] as usize)
+    }
+
+    /// Slot → original atom index (a permutation of `0..len()`).
+    #[must_use]
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Wrapped coordinates in slot order.
+    #[must_use]
+    pub fn coords(&self) -> (&[f64], &[f64], &[f64]) {
+        (&self.x, &self.y, &self.z)
+    }
+}
+
+/// One partition's pair-phase state: full-length accumulation slabs in
+/// sorted-slot space plus the phase-A chunk buffers. Everything resizes
+/// in place (allocation-free once warm).
+#[derive(Clone, Debug, Default)]
+struct PartState {
+    energy: f64,
+    virial: f64,
+    fx: Vec<f64>,
+    fy: Vec<f64>,
+    fz: Vec<f64>,
+    pot: Vec<f64>,
+    dx: Vec<f64>,
+    dy: Vec<f64>,
+    dz: Vec<f64>,
+    r2: Vec<f64>,
+    ks: Vec<u32>,
+}
+
+impl PartState {
+    fn prepare(&mut self, n: usize) {
+        self.fx.resize(n, 0.0);
+        self.fy.resize(n, 0.0);
+        self.fz.resize(n, 0.0);
+        self.pot.resize(n, 0.0);
+        self.dx.resize(CHUNK_W, 0.0);
+        self.dy.resize(CHUNK_W, 0.0);
+        self.dz.resize(CHUNK_W, 0.0);
+        self.r2.resize(CHUNK_W, 0.0);
+        self.ks.resize(CHUNK_W, 0);
+    }
+
+    fn reset(&mut self) {
+        self.energy = 0.0;
+        self.virial = 0.0;
+        self.fx.fill(0.0);
+        self.fy.fill(0.0);
+        self.fz.fill(0.0);
+        self.pot.fill(0.0);
+    }
+
+    /// Pair atom (slot `i`) against the contiguous slot slice `[j0, j1)`
+    /// displaced by the constant image `shift`: phase-A chunked
+    /// distances + branch-free compaction, phase-B table kernel over the
+    /// hits, Newton-3 accumulation into the slabs.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn pair_slice(
+        &mut self,
+        table: &PairKernelTable,
+        rc2: f64,
+        x: &[f64],
+        y: &[f64],
+        z: &[f64],
+        q: &[f64],
+        i: usize,
+        j0: usize,
+        j1: usize,
+        shift: V3,
+    ) {
+        let (xi, yi, zi, qi) = (x[i] - shift[0], y[i] - shift[1], z[i] - shift[2], q[i]);
+        let mut j = j0;
+        while j < j1 {
+            let len = (j1 - j).min(CHUNK_W);
+            // Phase A: straight-line distances over the chunk (the
+            // auto-vectorised pass — equal-length slices, no branches).
+            {
+                let dxb = &mut self.dx[..len];
+                let dyb = &mut self.dy[..len];
+                let dzb = &mut self.dz[..len];
+                let r2b = &mut self.r2[..len];
+                let xs = &x[j..j + len];
+                let ys = &y[j..j + len];
+                let zs = &z[j..j + len];
+                for k in 0..len {
+                    let dx = xi - xs[k];
+                    let dy = yi - ys[k];
+                    let dz = zi - zs[k];
+                    dxb[k] = dx;
+                    dyb[k] = dy;
+                    dzb[k] = dz;
+                    r2b[k] = dx * dx + dy * dy + dz * dz;
+                }
+            }
+            // Cutoff mask → branch-free cursor compaction of the hits.
+            let mut nh = 0usize;
+            for k in 0..len {
+                self.ks[nh] = k as u32;
+                let r2 = self.r2[k];
+                nh += usize::from(r2 < rc2 && r2 > 0.0);
+            }
+            // Phase B: table kernel over the compacted hits only.
+            for &k in &self.ks[..nh] {
+                let k = k as usize;
+                let jj = j + k;
+                let r2 = self.r2[k];
+                let (e, f) = table.erfc_kernel_r2(r2);
+                let qj = q[jj];
+                let qq = qi * qj;
+                self.energy += qq * e;
+                self.pot[i] += qj * e;
+                self.pot[jj] += qi * e;
+                let fs = qq * f;
+                // Pair virial W = r⃗·F⃗ = fs·r².
+                self.virial += fs * r2;
+                let fxv = fs * self.dx[k];
+                let fyv = fs * self.dy[k];
+                let fzv = fs * self.dz[k];
+                self.fx[i] += fxv;
+                self.fy[i] += fyv;
+                self.fz[i] += fzv;
+                self.fx[jj] -= fxv;
+                self.fy[jj] -= fyv;
+                self.fz[jj] -= fzv;
+            }
+            j += len;
+        }
+    }
+
+    /// Brute-force variant of [`PartState::pair_slice`]: no cell shift;
+    /// instead each component gets a branch-free single-fold minimum
+    /// image (exact because the coordinates are pre-wrapped, so raw
+    /// differences lie in `(−L, L)`).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn pair_slice_min_image(
+        &mut self,
+        table: &PairKernelTable,
+        rc2: f64,
+        x: &[f64],
+        y: &[f64],
+        z: &[f64],
+        q: &[f64],
+        i: usize,
+        j0: usize,
+        j1: usize,
+        box_l: V3,
+    ) {
+        let (xi, yi, zi) = (x[i], y[i], z[i]);
+        let (bx, by, bz) = (box_l[0], box_l[1], box_l[2]);
+        let (hx, hy, hz) = (0.5 * bx, 0.5 * by, 0.5 * bz);
+        let mut j = j0;
+        while j < j1 {
+            let len = (j1 - j).min(CHUNK_W);
+            {
+                let dxb = &mut self.dx[..len];
+                let dyb = &mut self.dy[..len];
+                let dzb = &mut self.dz[..len];
+                let r2b = &mut self.r2[..len];
+                let xs = &x[j..j + len];
+                let ys = &y[j..j + len];
+                let zs = &z[j..j + len];
+                for k in 0..len {
+                    let mut dx = xi - xs[k];
+                    let mut dy = yi - ys[k];
+                    let mut dz = zi - zs[k];
+                    // Select-based fold (vectorises to cmp+blend): at
+                    // most one box length of correction is ever needed.
+                    dx -= if dx > hx { bx } else { 0.0 };
+                    dx += if dx < -hx { bx } else { 0.0 };
+                    dy -= if dy > hy { by } else { 0.0 };
+                    dy += if dy < -hy { by } else { 0.0 };
+                    dz -= if dz > hz { bz } else { 0.0 };
+                    dz += if dz < -hz { bz } else { 0.0 };
+                    dxb[k] = dx;
+                    dyb[k] = dy;
+                    dzb[k] = dz;
+                    r2b[k] = dx * dx + dy * dy + dz * dz;
+                }
+            }
+            let mut nh = 0usize;
+            for k in 0..len {
+                self.ks[nh] = k as u32;
+                let r2 = self.r2[k];
+                nh += usize::from(r2 < rc2 && r2 > 0.0);
+            }
+            for &k in &self.ks[..nh] {
+                let k = k as usize;
+                let jj = j + k;
+                let r2 = self.r2[k];
+                let (e, f) = table.erfc_kernel_r2(r2);
+                let qj = q[jj];
+                let qi = q[i];
+                let qq = qi * qj;
+                self.energy += qq * e;
+                self.pot[i] += qj * e;
+                self.pot[jj] += qi * e;
+                let fs = qq * f;
+                self.virial += fs * r2;
+                let fxv = fs * self.dx[k];
+                let fyv = fs * self.dy[k];
+                let fzv = fs * self.dz[k];
+                self.fx[i] += fxv;
+                self.fy[i] += fyv;
+                self.fz[i] += fzv;
+                self.fx[jj] -= fxv;
+                self.fy[jj] -= fyv;
+                self.fz[jj] -= fzv;
+            }
+            j += len;
+        }
+    }
+}
+
+/// Reusable state of the cell-list short-range path: the bins, the
+/// sorted charge slab, and one [`PartState`] per fixed partition.
+#[derive(Clone, Debug, Default)]
+pub struct CellScratch {
+    bins: CellBins,
+    /// Charges in slot order.
+    q: Vec<f64>,
+    parts: Vec<PartState>,
+}
+
+impl CellScratch {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bins of the last [`short_range_cells_into`] call (shared with
+    /// the MD neighbour search so Verlet rebuilds can reuse the layout).
+    #[must_use]
+    pub fn bins(&self) -> &CellBins {
+        &self.bins
+    }
+}
+
+/// One cell coordinate plus offset, wrapped periodically; returns the
+/// wrapped coordinate and the box shift (±L or 0) the image crossed.
+#[inline]
+fn wrap_dim(c: usize, off: i64, dim: usize, box_len: f64) -> (usize, f64) {
+    let raw = c as i64 + off;
+    let dim_i = dim as i64;
+    if raw < 0 {
+        ((raw + dim_i) as usize, -box_len)
+    } else if raw >= dim_i {
+        ((raw - dim_i) as usize, box_len)
+    } else {
+        (raw as usize, 0.0)
+    }
+}
+
+/// Short-range `erfc(αr)/r` pair sum over the SoA cell-list layout,
+/// writing energy/forces/potentials/virial into `out` (overwritten, not
+/// accumulated — same contract as `pairwise::short_range_table_into`,
+/// which remains the O(N²) oracle this path is tested against).
+///
+/// Panics if `r_cut` exceeds half the smallest box edge.
+pub fn short_range_cells_into(
+    system: &CoulombSystem,
+    table: &PairKernelTable,
+    r_cut: f64,
+    pool: &Pool,
+    scratch: &mut CellScratch,
+    out: &mut CoulombResult,
+) {
+    let min_edge = system.box_l.iter().copied().fold(f64::INFINITY, f64::min);
+    assert!(
+        r_cut <= min_edge / 2.0 + 1e-12,
+        "r_cut {r_cut} exceeds half the smallest box edge {min_edge}"
+    );
+    debug_assert!(
+        table.r_max() >= r_cut,
+        "kernel table covers r ≤ {} but the cutoff is {r_cut}",
+        table.r_max()
+    );
+    let n = system.len();
+    let rc2 = r_cut * r_cut;
+    let box_l = system.box_l;
+    let grid = CellGrid::plan_capped(box_l, r_cut, n);
+    match grid {
+        Some(g) => scratch.bins.bin(&system.pos, box_l, g),
+        None => scratch.bins.load_unbinned(&system.pos, box_l),
+    }
+    // Charge slab in slot order.
+    scratch.q.resize(n, 0.0);
+    for (s, &a) in scratch.bins.order.iter().enumerate() {
+        scratch.q[s] = system.q[a as usize];
+    }
+    scratch.parts.resize_with(CELL_PARTS, PartState::default);
+    for p in &mut scratch.parts {
+        p.prepare(n);
+    }
+    // Parallel pair phase over fixed cell-range (or row-range) parts.
+    let bins = &scratch.bins;
+    let q = &scratch.q[..];
+    let (x, y, z) = bins.coords();
+    pool.for_each_chunk_sized(
+        &mut scratch.parts,
+        1,
+        n,
+        SERIAL_ATOMS_PER_THREAD,
+        |part, slot| {
+            let st = &mut slot[0];
+            st.reset();
+            if grid.is_some() {
+                accumulate_cells_part(st, bins, q, x, y, z, table, rc2, box_l, part);
+            } else {
+                // Brute-force rows: part boundaries over atoms.
+                let (ilo, ihi) = chunk_bounds(n, CELL_PARTS, part);
+                for i in ilo..ihi {
+                    st.pair_slice_min_image(table, rc2, x, y, z, q, i, i + 1, n, box_l);
+                }
+            }
+        },
+    );
+    // Ordered merge: scalars in part order, then per-slot slab sums in
+    // part order scattered back to the original atom indices.
+    out.reset(n);
+    merge_ordered(&scratch.parts, out, |acc, _part, st| {
+        acc.energy += st.energy;
+        acc.virial += st.virial;
+    });
+    let parts = &scratch.parts;
+    let order = bins.order();
+    let fdst = SendPtr(out.forces.as_mut_ptr());
+    let pdst = SendPtr(out.potentials.as_mut_ptr());
+    pool.run_parts_sized(
+        n.div_ceil(MERGE_CHUNK),
+        n,
+        SERIAL_ATOMS_PER_THREAD,
+        |chunk, _| {
+            let lo = chunk * MERGE_CHUNK;
+            let hi = (lo + MERGE_CHUNK).min(n);
+            for (s, &atom) in order.iter().enumerate().take(hi).skip(lo) {
+                let (mut fx, mut fy, mut fz, mut po) = (0.0f64, 0.0, 0.0, 0.0);
+                for st in parts {
+                    fx += st.fx[s];
+                    fy += st.fy[s];
+                    fz += st.fz[s];
+                    po += st.pot[s];
+                }
+                let a = atom as usize;
+                // SAFETY: `order` is a permutation of 0..n and the slot
+                // chunks are pairwise disjoint, so every output element
+                // is written exactly once by exactly one part.
+                unsafe {
+                    *fdst.get().add(a) = [fx, fy, fz];
+                    *pdst.get().add(a) = po;
+                }
+            }
+        },
+    );
+}
+
+/// One partition of the cell traversal: cells `[chunk_bounds(part)]`, each
+/// paired against itself (upper triangle) and its 13 forward stencil
+/// neighbours with the per-cell-pair image shift.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_cells_part(
+    st: &mut PartState,
+    bins: &CellBins,
+    q: &[f64],
+    x: &[f64],
+    y: &[f64],
+    z: &[f64],
+    table: &PairKernelTable,
+    rc2: f64,
+    box_l: V3,
+    part: usize,
+) {
+    let dims = bins.dims();
+    let n_cells = dims[0] * dims[1] * dims[2];
+    let (clo, chi) = chunk_bounds(n_cells, CELL_PARTS, part);
+    for c in clo..chi {
+        let cz = c % dims[2];
+        let cy = (c / dims[2]) % dims[1];
+        let cx = c / (dims[2] * dims[1]);
+        let (h0, h1) = bins.cell_range(c);
+        if h0 == h1 {
+            continue;
+        }
+        // In-cell pairs: slot i against the slots after it.
+        for i in h0..h1 {
+            st.pair_slice(table, rc2, x, y, z, q, i, i + 1, h1, [0.0; 3]);
+        }
+        // Forward neighbours with constant image shifts.
+        for s in STENCIL {
+            let (nx, sx) = wrap_dim(cx, s[0], dims[0], box_l[0]);
+            let (ny, sy) = wrap_dim(cy, s[1], dims[1], box_l[1]);
+            let (nz, sz) = wrap_dim(cz, s[2], dims[2], box_l[2]);
+            let nc = (nx * dims[1] + ny) * dims[2] + nz;
+            let (n0, n1) = bins.cell_range(nc);
+            if n0 == n1 {
+                continue;
+            }
+            let shift = [sx, sy, sz];
+            for i in h0..h1 {
+                st.pair_slice(table, rc2, x, y, z, q, i, n0, n1, shift);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairwise::{short_range_table_into, PairwiseScratch};
+    use tme_num::rng::SplitMix64;
+
+    fn random_system(n: usize, box_l: V3, seed: u64) -> CoulombSystem {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let pos = (0..n)
+            .map(|_| {
+                [
+                    rng.gen_range(0.0..box_l[0]),
+                    rng.gen_range(0.0..box_l[1]),
+                    rng.gen_range(0.0..box_l[2]),
+                ]
+            })
+            .collect();
+        let q = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        CoulombSystem::new(pos, q, box_l)
+    }
+
+    fn assert_matches_oracle(sys: &CoulombSystem, r_cut: f64, tol: f64) {
+        let table = PairKernelTable::new(1.9, r_cut);
+        let pool = Pool::new(1);
+        let mut oracle = CoulombResult::default();
+        let mut pw = PairwiseScratch::new();
+        short_range_table_into(sys, &table, r_cut, &pool, &mut pw, &mut oracle);
+        let mut got = CoulombResult::default();
+        let mut scratch = CellScratch::new();
+        short_range_cells_into(sys, &table, r_cut, &pool, &mut scratch, &mut got);
+        let scale = oracle.energy.abs().max(1.0);
+        assert!(
+            (got.energy - oracle.energy).abs() < tol * scale,
+            "energy {} vs {}",
+            got.energy,
+            oracle.energy
+        );
+        assert!((got.virial - oracle.virial).abs() < tol * scale.max(oracle.virial.abs()));
+        for (a, b) in got.forces.iter().zip(&oracle.forces) {
+            for c in 0..3 {
+                assert!((a[c] - b[c]).abs() < tol, "{a:?} vs {b:?}");
+            }
+        }
+        for (a, b) in got.potentials.iter().zip(&oracle.potentials) {
+            assert!((a - b).abs() < tol, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn grid_plan_requires_three_cells_per_axis() {
+        assert!(CellGrid::plan([3.0; 3], 1.0).is_some());
+        assert!(CellGrid::plan([2.9, 3.0, 3.0], 1.0).is_none());
+        let g = CellGrid::plan([5.0, 4.0, 3.5], 1.0).unwrap();
+        assert_eq!(g.dims(), [5, 4, 3]);
+        assert_eq!(g.n_cells(), 60);
+    }
+
+    #[test]
+    fn grid_cap_rejects_shattered_sparse_boxes() {
+        // 20 atoms in a box that would shatter into 1000 cells.
+        assert!(CellGrid::plan_capped([10.0; 3], 1.0, 20).is_none());
+        assert!(CellGrid::plan_capped([10.0; 3], 1.0, 5000).is_some());
+    }
+
+    #[test]
+    fn bins_are_a_stable_permutation() {
+        let box_l = [6.0, 5.0, 4.0];
+        let sys = random_system(200, box_l, 3);
+        let grid = CellGrid::plan(box_l, 1.0).unwrap();
+        let mut bins = CellBins::default();
+        bins.bin(&sys.pos, box_l, grid);
+        let mut seen = [false; 200];
+        for &a in bins.order() {
+            assert!(!seen[a as usize], "atom {a} binned twice");
+            seen[a as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Stability: ascending original index within each cell.
+        for c in 0..grid.n_cells() {
+            let (lo, hi) = bins.cell_range(c);
+            for w in bins.order()[lo..hi].windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+        // Every slot's coordinate lies inside its cell.
+        let (x, y, z) = bins.coords();
+        for c in 0..grid.n_cells() {
+            let (lo, hi) = bins.cell_range(c);
+            let cz = c % grid.dims()[2];
+            let cy = (c / grid.dims()[2]) % grid.dims()[1];
+            let cx = c / (grid.dims()[2] * grid.dims()[1]);
+            for s in lo..hi {
+                let side = [
+                    box_l[0] / grid.dims()[0] as f64,
+                    box_l[1] / grid.dims()[1] as f64,
+                    box_l[2] / grid.dims()[2] as f64,
+                ];
+                assert!(x[s] >= cx as f64 * side[0] - 1e-12);
+                assert!(x[s] <= (cx + 1) as f64 * side[0] + 1e-12);
+                assert!(y[s] >= cy as f64 * side[1] - 1e-12);
+                assert!(y[s] <= (cy + 1) as f64 * side[1] + 1e-12);
+                assert!(z[s] >= cz as f64 * side[2] - 1e-12);
+                assert!(z[s] <= (cz + 1) as f64 * side[2] + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cell_path_matches_oracle_on_random_box() {
+        let sys = random_system(300, [5.0; 3], 42);
+        assert_matches_oracle(&sys, 1.1, 1e-11);
+    }
+
+    #[test]
+    fn brute_path_matches_oracle_on_small_box() {
+        // dims = 2 per axis → brute-force SoA path.
+        let sys = random_system(120, [2.5; 3], 7);
+        assert_matches_oracle(&sys, 0.9, 1e-11);
+    }
+
+    #[test]
+    fn empty_and_tiny_systems() {
+        let pool = Pool::new(1);
+        let table = PairKernelTable::new(2.0, 1.0);
+        let mut scratch = CellScratch::new();
+        let mut out = CoulombResult::default();
+        let empty = CoulombSystem::new(Vec::new(), Vec::new(), [4.0; 3]);
+        short_range_cells_into(&empty, &table, 1.0, &pool, &mut scratch, &mut out);
+        assert_eq!(out.energy, 0.0);
+        let one = CoulombSystem::new(vec![[1.0; 3]], vec![1.0], [4.0; 3]);
+        short_range_cells_into(&one, &table, 1.0, &pool, &mut scratch, &mut out);
+        assert_eq!(out.energy, 0.0);
+        assert_eq!(out.forces[0], [0.0; 3]);
+    }
+
+    #[test]
+    fn bitwise_identical_across_thread_counts() {
+        let sys = random_system(400, [6.0; 3], 11);
+        let table = PairKernelTable::new(1.7, 1.3);
+        let run = |threads: usize| {
+            let pool = Pool::new(threads);
+            let mut scratch = CellScratch::new();
+            let mut out = CoulombResult::default();
+            short_range_cells_into(&sys, &table, 1.3, &pool, &mut scratch, &mut out);
+            out
+        };
+        let r1 = run(1);
+        for threads in [2usize, 4, 8] {
+            let rt = run(threads);
+            assert_eq!(r1.energy.to_bits(), rt.energy.to_bits(), "t={threads}");
+            assert_eq!(r1.virial.to_bits(), rt.virial.to_bits(), "t={threads}");
+            for (a, b) in r1.forces.iter().zip(&rt.forces) {
+                for c in 0..3 {
+                    assert_eq!(a[c].to_bits(), b[c].to_bits(), "t={threads}");
+                }
+            }
+            for (a, b) in r1.potentials.iter().zip(&rt.potentials) {
+                assert_eq!(a.to_bits(), b.to_bits(), "t={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeat_calls_are_bitwise_stable() {
+        // Scratch reuse must not leak state between calls.
+        let sys = random_system(150, [5.0; 3], 23);
+        let table = PairKernelTable::new(2.1, 1.0);
+        let pool = Pool::new(2);
+        let mut scratch = CellScratch::new();
+        let mut first = CoulombResult::default();
+        short_range_cells_into(&sys, &table, 1.0, &pool, &mut scratch, &mut first);
+        let mut again = CoulombResult::default();
+        short_range_cells_into(&sys, &table, 1.0, &pool, &mut scratch, &mut again);
+        assert_eq!(first.energy.to_bits(), again.energy.to_bits());
+        for (a, b) in first.forces.iter().zip(&again.forces) {
+            for c in 0..3 {
+                assert_eq!(a[c].to_bits(), b[c].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds half")]
+    fn oversized_cutoff_rejected() {
+        let sys = random_system(4, [2.0; 3], 1);
+        let table = PairKernelTable::new(2.0, 1.5);
+        let pool = Pool::new(1);
+        let mut scratch = CellScratch::new();
+        let mut out = CoulombResult::default();
+        short_range_cells_into(&sys, &table, 1.5, &pool, &mut scratch, &mut out);
+    }
+}

@@ -8,6 +8,7 @@
 
 pub mod assign;
 pub mod bspline;
+pub mod cells;
 pub mod dense;
 pub mod greens;
 pub mod grid;

@@ -5,8 +5,10 @@
 //! and TME all evaluate it by direct pair summation inside the cutoff
 //! `r_c` (on MDGRAPE-4A it runs on the 64 nonbond pipelines per SoC), so
 //! it lives in the shared mesh crate. The O(N²) minimum-image loop here is
-//! the *reference* implementation; the MD substrate has cell-list and
-//! Verlet-list versions for production stepping.
+//! the *reference* implementation (and the exact-`erfc` recovery fallback);
+//! the production hot path is the SoA cell-list layout in [`crate::cells`]
+//! (DESIGN.md §15), and the MD substrate's Verlet lists bin through the
+//! same layout.
 
 use crate::model::{CoulombResult, CoulombSystem};
 use tme_num::pool::{chunk_bounds, merge_ordered, Pool};

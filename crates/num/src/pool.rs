@@ -300,6 +300,40 @@ impl Pool {
         self.run_parts(tasks, |part, _worker| f(part));
     }
 
+    /// True when splitting `work_items` over this pool would leave each
+    /// thread less than `min_per_thread` items of work. Below that point a
+    /// dispatch costs more in wake-up/quiesce latency than the parallelism
+    /// recovers, so callers should run the same part schedule inline
+    /// ([`Pool::run_parts_sized`] does exactly that). The decision changes
+    /// only *where* parts execute, never the part boundaries or the merge
+    /// order, so results stay bitwise identical either way.
+    #[must_use]
+    pub fn should_serialize(&self, work_items: usize, min_per_thread: usize) -> bool {
+        self.threads > 1 && work_items < min_per_thread.saturating_mul(self.threads)
+    }
+
+    /// [`Pool::run_parts`] with per-thread work sizing: when `work_items`
+    /// split over the pool falls below `min_per_thread` items per thread
+    /// (see [`Pool::should_serialize`]), every part runs inline on the
+    /// calling thread — same parts, same order, same worker-0 scratch —
+    /// instead of waking the workers. Bitwise-identical output by
+    /// construction; only the dispatch cost changes.
+    pub fn run_parts_sized<F: Fn(usize, usize) + Sync>(
+        &self,
+        parts: usize,
+        work_items: usize,
+        min_per_thread: usize,
+        f: F,
+    ) {
+        if self.should_serialize(work_items, min_per_thread) {
+            for part in 0..parts {
+                f(part, 0);
+            }
+            return;
+        }
+        self.run_parts(parts, f);
+    }
+
     /// Split `data` into consecutive chunks of `chunk_len` elements (the
     /// last may be short) and run `f(chunk_index, chunk)` for each across
     /// the pool. Chunk boundaries depend only on `(data.len(), chunk_len)`,
@@ -327,6 +361,32 @@ impl Pool {
                 unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
             f(part, chunk);
         });
+    }
+
+    /// [`Pool::for_each_chunk`] with the per-thread work sizing of
+    /// [`Pool::run_parts_sized`]: below `min_per_thread` items of
+    /// `work_items` per thread the chunks run inline on the calling
+    /// thread. Chunk boundaries and visit order are unchanged, so results
+    /// are bitwise identical to the dispatched form.
+    pub fn for_each_chunk_sized<T, F>(
+        &self,
+        data: &mut [T],
+        chunk_len: usize,
+        work_items: usize,
+        min_per_thread: usize,
+        f: F,
+    ) where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if self.should_serialize(work_items, min_per_thread) {
+            let chunk_len = chunk_len.max(1);
+            for (part, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(part, chunk);
+            }
+            return;
+        }
+        self.for_each_chunk(data, chunk_len, f);
     }
 }
 
@@ -499,6 +559,104 @@ mod tests {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn chunk_bounds_len_smaller_than_parts() {
+        // With fewer items than parts, every item is still covered exactly
+        // once and the trailing parts are empty — never out of range.
+        let (len, parts) = (3usize, 8usize);
+        let mut next = 0;
+        for part in 0..parts {
+            let (lo, hi) = chunk_bounds(len, parts, part);
+            assert_eq!(lo, next, "part={part}");
+            assert!(hi >= lo && hi <= len, "part={part}");
+            next = hi;
+        }
+        assert_eq!(next, len);
+        // At least parts − len of the parts must be empty.
+        let empty = (0..parts)
+            .filter(|&p| {
+                let (lo, hi) = chunk_bounds(len, parts, p);
+                lo == hi
+            })
+            .count();
+        assert!(empty >= parts - len);
+    }
+
+    #[test]
+    fn chunk_bounds_empty_input() {
+        for parts in [1usize, 2, 7] {
+            for part in 0..parts {
+                assert_eq!(chunk_bounds(0, parts, part), (0, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_bounds_single_part_covers_everything() {
+        for len in [0usize, 1, 5, 1000] {
+            assert_eq!(chunk_bounds(len, 1, 0), (0, len));
+        }
+    }
+
+    /// Property test for the serial-fallback contract: for random work
+    /// sizes, a sized dispatch forced serial (huge per-thread minimum) and
+    /// the same dispatch forced parallel (zero minimum) must produce
+    /// bitwise-identical reductions on a multi-thread pool.
+    #[test]
+    fn serial_fallback_is_bitwise_identical_to_forced_parallel() {
+        const PARTS: usize = 16;
+        let pool = Pool::new(4);
+        let mut rng = crate::rng::SplitMix64::seed_from_u64(0xB17);
+        for trial in 0..20 {
+            let len = 1 + (rng.next_u64() as usize % 5000);
+            let data: Vec<f64> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let reduce = |min_per_thread: usize| {
+                let mut partials = [0.0f64; PARTS];
+                let slots = SendPtr(partials.as_mut_ptr());
+                pool.run_parts_sized(PARTS, len, min_per_thread, |part, _| {
+                    let (lo, hi) = chunk_bounds(data.len(), PARTS, part);
+                    let mut acc = 0.0;
+                    for &x in &data[lo..hi] {
+                        acc += (x * 3.7).sin() * x;
+                    }
+                    // SAFETY: each part writes only its own slot.
+                    unsafe {
+                        *slots.get().add(part) = acc;
+                    }
+                });
+                let mut total = 0.0;
+                merge_ordered(&partials, &mut total, |t, _, p| *t += *p);
+                total
+            };
+            let serial = reduce(usize::MAX); // always below threshold -> inline
+            assert!(pool.should_serialize(len, usize::MAX));
+            let parallel = reduce(0); // never below threshold -> dispatched
+            assert!(!pool.should_serialize(len, 0));
+            assert_eq!(
+                serial.to_bits(),
+                parallel.to_bits(),
+                "trial={trial} len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn sized_chunk_dispatch_matches_plain_dispatch() {
+        let pool = Pool::new(4);
+        for min_per_thread in [0usize, usize::MAX] {
+            let mut data = vec![0u32; 317];
+            let items = data.len();
+            pool.for_each_chunk_sized(&mut data, 10, items, min_per_thread, |part, chunk| {
+                for v in chunk.iter_mut() {
+                    *v = 1 + u32::try_from(part).unwrap_or(0);
+                }
+            });
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, 1 + u32::try_from(i / 10).unwrap_or(0), "i={i}");
+            }
+        }
     }
 
     #[test]

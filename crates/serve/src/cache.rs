@@ -229,16 +229,14 @@ mod tests {
         cache.entries[0].key = config_fingerprint(&spme, [4.0; 3]);
         // The colliding request must miss (params differ structurally)
         // and build its own, correct plan.
-        let (plan, hit) = cache.get_or_try_build(&spme, [4.0; 3], || {
-            plan_backend(&spme, [4.0; 3])
-        })?;
+        let (plan, hit) =
+            cache.get_or_try_build(&spme, [4.0; 3], || plan_backend(&spme, [4.0; 3]))?;
         assert!(!hit, "collision must not count as a hit");
         assert_eq!(plan.kind(), tme_md::backend::BackendKind::Spme);
         // Both entries coexist under the same key.
         assert_eq!(cache.len(), 2);
-        let (again, hit) = cache.get_or_try_build(&spme, [4.0; 3], || {
-            plan_backend(&spme, [4.0; 3])
-        })?;
+        let (again, hit) =
+            cache.get_or_try_build(&spme, [4.0; 3], || plan_backend(&spme, [4.0; 3]))?;
         assert!(hit && Arc::ptr_eq(&plan, &again));
         Ok(())
     }
