@@ -1,4 +1,4 @@
-//! Load-test harness for the `tme-serve` service (DESIGN.md §12.5).
+//! Load-test harness for the `tme-serve` service (DESIGN.md §12.5, §16).
 //!
 //! Starts an in-process server on an ephemeral port, then:
 //!
@@ -6,22 +6,32 @@
 //!    the second must report a cache hit and bitwise-identical energy.
 //! 2. **Capacity probe** — sequential requests give the median service
 //!    time, from which the offered loads are derived.
-//! 3. **Open-loop sweep** — seeded (`SplitMix64`) Poisson arrivals at
-//!    three offered loads (~0.5×, 1×, 2.5× measured capacity) over a few
-//!    client connections. Open loop means arrivals do not wait for
-//!    responses — over-capacity load piles into the bounded queue and
-//!    must surface as `Rejected` responses with retry hints, never as
-//!    queue growth (the final stats' high-water mark proves it).
-//! 4. **Graceful drain** — the server drains; the final snapshot must
-//!    account for every submitted request.
+//! 3. **Open-loop overload ramp** — seeded (`SplitMix64`) Poisson
+//!    arrivals at four offered loads (~0.5×, 1×, 2.5×, 5× measured
+//!    capacity). Open loop means arrivals do not wait for responses —
+//!    over-capacity load must surface as `Rejected` responses with retry
+//!    hints or shed connections, never as queue growth. The **goodput
+//!    gate** requires achieved throughput at 2.5× to stay within 15% of
+//!    the 1× row: admission control must hold goodput flat under
+//!    overload rather than letting reject-path work starve the workers.
+//! 4. **Tight-deadline leg** — 2.5× load again, but every request
+//!    carries a deadline a few multiples of the median service time.
+//!    The server's `expired` counter must move (the EDF queue and
+//!    deadline sweep are actually retiring doomed work) and clients must
+//!    see `Expired` responses.
+//! 5. **Closed-loop backoff leg** — `RetryingClient`s that honour
+//!    `retry_after_ms` hints with jittered exponential backoff. Every
+//!    request must reach a terminal outcome with zero protocol errors.
+//! 6. **Graceful drain** — the final snapshot must account for every
+//!    decoded work request, and the admission-cost ledger must balance
+//!    (`outstanding == 0`, admitted == released).
 //!
-//! Emits `BENCH_serve.json` (throughput, p50/p99 latency, cache hit
-//! rate, rejection rate per load) and exits non-zero if any service
-//! contract is violated — the CI `serve-smoke` gate.
+//! Emits `BENCH_serve.json` and exits non-zero if any service contract
+//! is violated — the CI `serve-smoke` gate.
 //!
 //! Usage: `cargo run --release -p tme-bench --bin serve_load --
-//!         [--quick] [--workers 2] [--queue 8] [--seed 42]
-//!         [--out BENCH_serve.json]`
+//!         [--quick] [--workers 2] [--queue 8] [--cost-budget 32768]
+//!         [--seed 42] [--out BENCH_serve.json]`
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -31,7 +41,9 @@ use tme_core::TmeParams;
 use tme_md::backend::BackendParams;
 use tme_num::rng::SplitMix64;
 use tme_reference::ewald::EwaldParams;
-use tme_serve::{serve, Client, Request, Response, ServeConfig};
+use tme_serve::{
+    serve, BackoffPolicy, Client, Request, Response, RetryingClient, ServeConfig, WireError,
+};
 
 fn fail(msg: &str) -> ! {
     eprintln!("FAIL: {msg}");
@@ -40,8 +52,8 @@ fn fail(msg: &str) -> ! {
 
 /// The small repeat-client workload: a 16-site dipole lattice on the
 /// 16³ grid. Cheap to execute, so the sweep measures the *service*
-/// layers (queueing, cache, protocol), not the solver.
-fn workload_request(alpha_salt: u64) -> Request {
+/// layers (queueing, admission, cache, protocol), not the solver.
+fn workload_request(alpha_salt: u64, deadline_ms: u64) -> Request {
     let r_cut = 1.0;
     // Two distinct alphas → two plan-cache entries; every request after
     // the first pair of misses should hit.
@@ -60,7 +72,7 @@ fn workload_request(alpha_salt: u64) -> Request {
         q.push(-1.0);
     }
     Request::Compute {
-        deadline_ms: 0,
+        deadline_ms,
         params: BackendParams::Tme(TmeParams {
             n: [16; 3],
             p: 6,
@@ -81,6 +93,7 @@ struct LoadOutcome {
     completed: u64,
     rejected: u64,
     expired: u64,
+    shed: u64,
     errors: u64,
     cache_hits: u64,
     latencies_us: Vec<u64>,
@@ -92,6 +105,7 @@ struct LoadRow {
     completed: u64,
     rejected: u64,
     expired: u64,
+    shed: u64,
     rejection_rate: f64,
     cache_hit_rate: f64,
     p50_us: u64,
@@ -108,11 +122,17 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
 
 /// Drive one offered load: open-loop Poisson arrivals split round-robin
 /// over `clients` connections. Returns client-side outcome counts.
+///
+/// A shed connection (the server's one-byte pre-accept refusal) or a
+/// dropped transport is the *designed* overload response, not a failure:
+/// it counts in `shed` and the client reconnects on its next scheduled
+/// arrival, exactly like a real client would.
 fn run_load(
     addr: std::net::SocketAddr,
     offered_rps: f64,
     duration_s: f64,
     clients: usize,
+    deadline_ms: u64,
     seed: u64,
     protocol_errors: &AtomicU64,
 ) -> LoadOutcome {
@@ -137,10 +157,14 @@ fn run_load(
         for schedule in schedules {
             joins.push(scope.spawn(move || {
                 let mut out = LoadOutcome::default();
-                let Ok(mut client) = Client::connect(addr) else {
-                    out.errors += schedule.len() as u64;
-                    return out;
-                };
+                let mut client: Option<Client> = None;
+                // Build the two request variants once: the generator must
+                // not burn the shared core re-allocating payloads at
+                // flood rate.
+                let reqs = [
+                    workload_request(0, deadline_ms),
+                    workload_request(1, deadline_ms),
+                ];
                 for (at, salt) in schedule {
                     // Open loop: arrivals follow the schedule, not the
                     // previous response. When behind, fire immediately.
@@ -148,8 +172,22 @@ fn run_load(
                     if let Some(wait) = due.checked_sub(start.elapsed()) {
                         std::thread::sleep(wait);
                     }
+                    let cl = match &mut client {
+                        Some(cl) => cl,
+                        // Bounded connect: a full listen backlog (the
+                        // server pacing its sheds) must read as a fast
+                        // busy signal, not a seconds-long SYN stall that
+                        // would smear this leg's measurement window.
+                        None => match Client::connect_timeout(addr, Duration::from_millis(100)) {
+                            Ok(cl) => client.insert(cl),
+                            Err(_) => {
+                                out.shed += 1;
+                                continue;
+                            }
+                        },
+                    };
                     let t0 = Instant::now();
-                    match client.call(&workload_request(salt)) {
+                    match cl.call(&reqs[(salt as usize).min(1)]) {
                         Ok(Response::Computed { cache_hit, .. }) => {
                             out.completed += 1;
                             out.cache_hits += u64::from(cache_hit);
@@ -163,12 +201,17 @@ fn run_load(
                             }
                         }
                         Ok(Response::Expired { .. }) => out.expired += 1,
-                        // Unexpected kinds and transport failures count as
-                        // generic errors; only decode failures are protocol.
-                        Ok(_) | Err(tme_serve::WireError::Io { .. }) => out.errors += 1,
+                        // Shed or dropped connection: the designed
+                        // overload response. Reconnect on next arrival.
+                        Err(WireError::Shed) | Err(WireError::Io { .. }) => {
+                            out.shed += 1;
+                            client = None;
+                        }
+                        Ok(_) => out.errors += 1,
                         Err(_) => {
                             protocol_errors.fetch_add(1, Ordering::SeqCst);
                             out.errors += 1;
+                            client = None;
                         }
                     }
                 }
@@ -182,6 +225,7 @@ fn run_load(
             merged.completed += out.completed;
             merged.rejected += out.rejected;
             merged.expired += out.expired;
+            merged.shed += out.shed;
             merged.errors += out.errors;
             merged.cache_hits += out.cache_hits;
             merged.latencies_us.extend(out.latencies_us);
@@ -190,12 +234,67 @@ fn run_load(
     merged
 }
 
+/// Closed-loop leg: every client waits for its response and retries
+/// rejections/sheds through `RetryingClient`'s jittered, hint-honouring
+/// backoff. Returns (completed, gave_up, retries, sheds).
+fn run_closed_loop(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    per_client: usize,
+    seed: u64,
+) -> (u64, u64, u64, u64) {
+    let mut totals = (0u64, 0u64, 0u64, 0u64);
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for c in 0..clients {
+            joins.push(scope.spawn(move || {
+                let policy = BackoffPolicy {
+                    base_ms: 2,
+                    cap_ms: 500,
+                    max_attempts: 10,
+                };
+                let mut rc =
+                    RetryingClient::new(addr, policy, seed ^ (c as u64).wrapping_mul(0x9e37));
+                let mut completed = 0u64;
+                let mut gave_up = 0u64;
+                for i in 0..per_client {
+                    let salt = u64::from(i % 8 == 0);
+                    match rc.call(&workload_request(salt, 0)) {
+                        Ok(Response::Computed { .. }) => completed += 1,
+                        // Attempts exhausted while the server was still
+                        // saturated: a legitimate terminal outcome.
+                        Ok(Response::Rejected { .. }) | Ok(Response::Expired { .. }) => {
+                            gave_up += 1;
+                        }
+                        Ok(other) => fail(&format!("closed loop: unexpected response {other:?}")),
+                        Err(WireError::Shed) | Err(WireError::Io { .. }) => gave_up += 1,
+                        Err(e) => fail(&format!("closed loop: protocol error {e}")),
+                    }
+                }
+                (completed, gave_up, rc.retries(), rc.sheds())
+            }));
+        }
+        for j in joins {
+            let Ok((c, g, r, s)) = j.join() else {
+                fail("closed-loop client thread panicked");
+            };
+            totals.0 += c;
+            totals.1 += g;
+            totals.2 += r;
+            totals.3 += s;
+        }
+    });
+    totals
+}
+
+#[allow(clippy::too_many_lines)]
 fn main() {
     tme_bench::init_cli();
     let mut args = Args::parse();
     let quick = args.flag("--quick");
     let workers: usize = args.get("--workers", 2);
     let queue: usize = args.get("--queue", 8);
+    let cost_budget: u64 = args.get("--cost-budget", 32_768);
     let seed: u64 = args.get("--seed", 42);
     let out_path = args
         .opt("--out")
@@ -210,26 +309,30 @@ fn main() {
     let handle = match serve(ServeConfig {
         workers,
         queue_capacity: queue,
+        cost_budget,
         ..ServeConfig::default()
     }) {
         Ok(h) => h,
         Err(e) => fail(&format!("server failed to start: {e}")),
     };
     let addr = handle.local_addr();
-    println!("# serve_load: server on {addr}, {workers} workers, queue {queue}, seed {seed}");
+    println!(
+        "# serve_load: server on {addr}, {workers} workers, queue {queue}, \
+         cost budget {cost_budget}, seed {seed}"
+    );
 
     // 1. Plan-cache demo: second identical config must hit, same bits.
     let mut probe = match Client::connect(addr) {
         Ok(c) => c,
         Err(e) => fail(&format!("could not connect: {e}")),
     };
-    let (e1, hit1) = match probe.call(&workload_request(0)) {
+    let (e1, hit1) = match probe.call(&workload_request(0, 0)) {
         Ok(Response::Computed {
             energy, cache_hit, ..
         }) => (energy, cache_hit),
         other => fail(&format!("probe compute failed: {other:?}")),
     };
-    let (e2, hit2) = match probe.call(&workload_request(0)) {
+    let (e2, hit2) = match probe.call(&workload_request(0, 0)) {
         Ok(Response::Computed {
             energy, cache_hit, ..
         }) => (energy, cache_hit),
@@ -251,7 +354,7 @@ fn main() {
     for _ in 0..probe_n {
         let t0 = Instant::now();
         if !matches!(
-            probe.call(&workload_request(0)),
+            probe.call(&workload_request(0, 0)),
             Ok(Response::Computed { .. })
         ) {
             fail("capacity probe request failed");
@@ -263,34 +366,37 @@ fn main() {
     let capacity_rps = (workers as f64) * 1e6 / median_us as f64;
     println!("capacity probe: median service {median_us} µs -> ~{capacity_rps:.0} rps capacity");
 
-    // 3. Open-loop sweep at three offered loads.
+    // 3. Open-loop overload ramp at four offered loads.
     let protocol_errors = AtomicU64::new(0);
     let mut rows: Vec<LoadRow> = Vec::new();
-    for (li, factor) in [0.5, 1.0, 2.5].into_iter().enumerate() {
-        let offered_rps = (capacity_rps * factor).clamp(4.0, 5000.0);
+    let factors = [0.5, 1.0, 2.5, 5.0];
+    for (li, factor) in factors.into_iter().enumerate() {
+        let offered_rps = (capacity_rps * factor).clamp(4.0, 10_000.0);
         let t0 = Instant::now();
         let out = run_load(
             addr,
             offered_rps,
             duration_s,
             clients,
+            0,
             seed ^ ((li as u64 + 1) << 32),
             &protocol_errors,
         );
         let elapsed = t0.elapsed().as_secs_f64().max(1e-6);
         let mut lat = out.latencies_us.clone();
         lat.sort_unstable();
-        let submitted = out.completed + out.rejected + out.expired + out.errors;
+        let submitted = out.completed + out.rejected + out.expired + out.shed + out.errors;
         let row = LoadRow {
             offered_rps,
             achieved_rps: out.completed as f64 / elapsed,
             completed: out.completed,
             rejected: out.rejected,
             expired: out.expired,
+            shed: out.shed,
             rejection_rate: if submitted == 0 {
                 0.0
             } else {
-                out.rejected as f64 / submitted as f64
+                (out.rejected + out.shed) as f64 / submitted as f64
             },
             cache_hit_rate: if out.completed == 0 {
                 0.0
@@ -302,11 +408,12 @@ fn main() {
         };
         println!(
             "load {factor:>3}x: offered {:.0} rps, achieved {:.0} rps, {} completed / {} \
-             rejected / {} expired, p50 {} µs, p99 {} µs, cache hit {:.1}%",
+             rejected / {} shed / {} expired, p50 {} µs, p99 {} µs, cache hit {:.1}%",
             row.offered_rps,
             row.achieved_rps,
             row.completed,
             row.rejected,
+            row.shed,
             row.expired,
             row.p50_us,
             row.p99_us,
@@ -321,7 +428,80 @@ fn main() {
         rows.push(row);
     }
 
-    // 4. Drain and final bookkeeping.
+    // The goodput gate: overload must not melt throughput. Achieved rps
+    // at 2.5× offered load must stay within 15% of the 1× row — the
+    // shed-before-decode path has to keep reject work off the CPU the
+    // workers need (DESIGN.md §16.1).
+    let achieved_1x = rows[1].achieved_rps;
+    let achieved_over = rows[2].achieved_rps;
+    if achieved_over < 0.85 * achieved_1x {
+        fail(&format!(
+            "goodput collapse: {achieved_over:.0} rps at 2.5x vs {achieved_1x:.0} rps at 1x \
+             (gate: >= 85%)"
+        ));
+    }
+    println!(
+        "goodput gate: 2.5x achieved {achieved_over:.0} rps >= 85% of 1x {achieved_1x:.0} rps"
+    );
+    if rows[3].rejected + rows[3].shed == 0 {
+        fail("5x overload produced zero rejections or sheds — backpressure is not engaging");
+    }
+
+    // 4. Tight-deadline leg: 2.5× load with deadlines a small multiple
+    // of the median service time, so queue wait alone kills requests.
+    // The server's expired counter must move, and expired work must
+    // never execute (covered by tests/serve_overload.rs; here we check
+    // the live counters).
+    let tight_deadline_ms = (median_us.saturating_mul(3) / 1000).max(2);
+    let before = handle.stats();
+    let tight = run_load(
+        addr,
+        (capacity_rps * 2.5).clamp(4.0, 10_000.0),
+        duration_s,
+        clients,
+        tight_deadline_ms,
+        seed ^ (0xDEAD << 32),
+        &protocol_errors,
+    );
+    let after = handle.stats();
+    let expired_delta = after.expired.saturating_sub(before.expired);
+    println!(
+        "tight-deadline leg ({tight_deadline_ms} ms): {} completed / {} rejected / {} shed / \
+         {} expired (server expired delta {expired_delta})",
+        tight.completed, tight.rejected, tight.shed, tight.expired
+    );
+    if tight.errors > 0 {
+        fail(&format!(
+            "{} client-side errors in the tight-deadline leg",
+            tight.errors
+        ));
+    }
+    if expired_delta == 0 || tight.expired == 0 {
+        fail(&format!(
+            "tight-deadline leg expired nothing (server delta {expired_delta}, client {}) — \
+             deadline enforcement is not engaging",
+            tight.expired
+        ));
+    }
+
+    // 5. Closed-loop backoff leg: RetryingClients that honour the
+    // adaptive retry_after_ms hint. Zero protocol errors allowed.
+    let per_client = if quick { 10 } else { 40 };
+    let (cl_completed, cl_gave_up, cl_retries, cl_sheds) =
+        run_closed_loop(addr, clients, per_client, seed ^ 0xC105ED);
+    let cl_total = (clients * per_client) as u64;
+    println!(
+        "closed loop: {cl_completed}/{cl_total} completed, {cl_gave_up} gave up, \
+         {cl_retries} backoffs, {cl_sheds} sheds"
+    );
+    if cl_completed + cl_gave_up != cl_total {
+        fail("closed-loop accounting lost a request");
+    }
+    if cl_completed == 0 {
+        fail("closed-loop clients completed nothing — backoff is not recovering");
+    }
+
+    // 6. Drain and final bookkeeping.
     handle.trigger_drain();
     let stats = handle.join();
     println!("--- final server stats ---\n{stats}");
@@ -329,10 +509,6 @@ fn main() {
     let proto_errs = protocol_errors.load(Ordering::SeqCst) + stats.protocol_errors;
     if proto_errs > 0 {
         fail(&format!("{proto_errs} protocol errors"));
-    }
-    let top = rows.last().map_or(0, |r| r.rejected);
-    if top == 0 {
-        fail("over-capacity load produced zero rejections — backpressure is not engaging");
     }
     if stats.queue_max_depth > queue as u64 {
         fail(&format!(
@@ -347,6 +523,18 @@ fn main() {
             "drain lost requests: {work_received} work requests received, {answered} answered"
         ));
     }
+    if stats.outstanding_cost != 0 {
+        fail(&format!(
+            "admission ledger leak: {} cost units outstanding after drain",
+            stats.outstanding_cost
+        ));
+    }
+    if stats.admitted_cost != stats.released_cost {
+        fail(&format!(
+            "admission ledger imbalance: {} admitted vs {} released",
+            stats.admitted_cost, stats.released_cost
+        ));
+    }
     if quick {
         let p99 = rows.iter().map(|r| r.p99_us).max().unwrap_or(0);
         if p99 > 2_000_000 {
@@ -354,31 +542,44 @@ fn main() {
         }
     }
     println!(
-        "drain: all {work_received} work requests answered; queue high-water {} <= {queue}",
-        stats.queue_max_depth
+        "drain: all {work_received} work requests answered; queue high-water {} <= {queue}; \
+         cost ledger balanced ({} admitted = released)",
+        stats.queue_max_depth, stats.admitted_cost
     );
 
     let json = tme_bench::json::report("serve_load", |o| {
         o.u64("seed", seed)
             .u64("workers", workers as u64)
             .u64("queue_capacity", queue as u64)
+            .u64("cost_budget", cost_budget)
             .bool("quick", quick)
             .f64("capacity_probe_rps", capacity_rps, 1)
             .u64("median_service_us", median_us)
             .u64("protocol_errors", proto_errs)
             .u64("queue_max_depth", stats.queue_max_depth)
+            .u64("shed_connections", stats.shed_connections)
+            .u64("rejected_before_decode", stats.rejected_before_decode)
             .f64("overall_cache_hit_rate", stats.cache_hit_rate(), 4)
             .rows("rows", &rows, |r, row| {
                 row.f64("offered_rps", r.offered_rps, 1)
                     .f64("achieved_rps", r.achieved_rps, 1)
                     .u64("completed", r.completed)
                     .u64("rejected", r.rejected)
+                    .u64("shed", r.shed)
                     .u64("expired", r.expired)
                     .f64("rejection_rate", r.rejection_rate, 4)
                     .f64("cache_hit_rate", r.cache_hit_rate, 4)
                     .u64("p50_us", r.p50_us)
                     .u64("p99_us", r.p99_us);
-            });
+            })
+            .u64("tight_deadline_ms", tight_deadline_ms)
+            .u64("tight_deadline_client_expired", tight.expired)
+            .u64("tight_deadline_server_expired_delta", expired_delta)
+            .u64("closed_loop_requests", cl_total)
+            .u64("closed_loop_completed", cl_completed)
+            .u64("closed_loop_gave_up", cl_gave_up)
+            .u64("closed_loop_retries", cl_retries)
+            .u64("closed_loop_sheds", cl_sheds);
     });
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("wrote {out_path}"),

@@ -1,9 +1,17 @@
 //! `serve` — run the TME simulation service from the command line.
 //!
 //! ```text
-//! serve [--addr 127.0.0.1:7878] [--workers 2] [--queue 16] [--cache 8]
-//!       [--retry-after-ms 50] [--stats-out stats.json]
+//! serve [--addr 127.0.0.1:7878] [--workers 2] [--queue 16]
+//!       [--cost-budget 32768] [--cache 8] [--retry-after-ms 50]
+//!       [--stats-out stats.json]
 //! ```
+//!
+//! Flags are parsed strictly: an unknown flag, a missing value, or an
+//! unparsable number is a startup error with the offending flag named —
+//! never a silent fall-back to a default the operator didn't ask for.
+//! Nonsensical values that *do* parse (zero workers, an overflowing
+//! queue depth) are rejected by `ServeConfig::validate` with a typed
+//! error before any socket is bound.
 //!
 //! The server runs until SIGTERM/SIGINT, then drains gracefully: admission
 //! stops, queued requests are answered, and the final stats snapshot is
@@ -41,32 +49,49 @@ fn install_signal_handlers() {
     }
 }
 
-fn arg_or<T: std::str::FromStr>(name: &str, default: T) -> T {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+const USAGE: &str = "usage: serve [--addr HOST:PORT] [--workers N] [--queue N] \
+                     [--cost-budget N] [--cache N] [--retry-after-ms N] [--stats-out PATH]";
+
+/// Parse the value following `flag`, naming the flag in every failure.
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let raw = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    raw.parse()
+        .map_err(|e| format!("{flag}: invalid value {raw:?}: {e}"))
+}
+
+/// Strict CLI parsing: every flag is recognised or the parse fails.
+fn parse_args(args: impl Iterator<Item = String>) -> Result<ServeConfig, String> {
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut it = args;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => cfg.addr = parse_value(&flag, it.next())?,
+            "--workers" => cfg.workers = parse_value(&flag, it.next())?,
+            "--queue" => cfg.queue_capacity = parse_value(&flag, it.next())?,
+            "--cost-budget" => cfg.cost_budget = parse_value(&flag, it.next())?,
+            "--cache" => cfg.plan_cache_capacity = parse_value(&flag, it.next())?,
+            "--retry-after-ms" => cfg.retry_after_ms = parse_value(&flag, it.next())?,
+            "--stats-out" => cfg.stats_path = Some(parse_value(&flag, it.next())?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(cfg)
 }
 
 fn main() -> std::process::ExitCode {
     install_signal_handlers();
-    let cfg = ServeConfig {
-        addr: arg_or("--addr", "127.0.0.1:7878".to_string()),
-        workers: arg_or("--workers", 2),
-        queue_capacity: arg_or("--queue", 16),
-        plan_cache_capacity: arg_or("--cache", 8),
-        retry_after_ms: arg_or("--retry-after-ms", 50),
-        stats_path: {
-            let p: String = arg_or("--stats-out", String::new());
-            if p.is_empty() {
-                None
-            } else {
-                Some(p)
-            }
-        },
-        ..ServeConfig::default()
+    let cfg = match parse_args(std::env::args().skip(1)) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("serve: {e}\n{USAGE}");
+            return std::process::ExitCode::FAILURE;
+        }
     };
     let handle = match serve(cfg) {
         Ok(h) => h,
@@ -94,4 +119,50 @@ fn main() -> std::process::ExitCode {
 /// Whether the server already shut down on its own (wire-level shutdown).
 fn handle_finished(handle: &tme_serve::ServerHandle) -> bool {
     handle.is_shut_down()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<ServeConfig, String> {
+        parse_args(words.iter().map(|s| (*s).to_string()))
+    }
+
+    #[test]
+    fn flags_parse_strictly() {
+        let cfg = parse(&[
+            "--workers",
+            "4",
+            "--queue",
+            "32",
+            "--cost-budget",
+            "65536",
+            "--retry-after-ms",
+            "40",
+        ])
+        .expect("valid flags must parse");
+        assert_eq!(cfg.workers, 4);
+        assert_eq!(cfg.queue_capacity, 32);
+        assert_eq!(cfg.cost_budget, 65_536);
+        assert_eq!(cfg.retry_after_ms, 40);
+
+        // Unknown flags, missing values, and garbage numbers all fail
+        // loudly instead of silently defaulting.
+        assert!(parse(&["--quue", "8"]).is_err());
+        assert!(parse(&["--queue"]).is_err());
+        assert!(parse(&["--queue", "eight"]).is_err());
+        assert!(parse(&["--cost-budget", "-1"]).is_err());
+    }
+
+    #[test]
+    fn parsed_zeroes_fail_validation_not_parsing() {
+        // "0" parses fine — rejecting it is validate()'s job, with a
+        // typed error.
+        let cfg = parse(&["--queue", "0"]).expect("0 is a parsable usize");
+        assert!(matches!(
+            cfg.validate(),
+            Err(tme_serve::ConfigError::ZeroQueueCapacity)
+        ));
+    }
 }

@@ -1,9 +1,18 @@
-//! A minimal blocking client for the serve protocol — used by the load
-//! harness, the example, and the integration tests. One TCP connection,
-//! one request in flight at a time.
+//! Clients for the serve protocol.
+//!
+//! [`Client`] is the minimal blocking transport — one TCP connection, one
+//! request in flight — used by the load harness, the example, and the
+//! integration tests. [`RetryingClient`] wraps it with the cooperative
+//! overload behaviour the server's admission pipeline expects from a
+//! well-behaved tenant (DESIGN.md §16.4): jittered exponential backoff
+//! that honours the server's adaptive `retry_after_ms` hint on
+//! [`Response::Rejected`], and reconnect-after-backoff when the server
+//! sheds the connection outright ([`WireError::Shed`]).
 
 use crate::protocol::{read_frame, write_frame, Request, Response, WireError};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+use tme_num::rng::SplitMix64;
 
 /// A connected client.
 pub struct Client {
@@ -18,10 +27,170 @@ impl Client {
         Ok(Self { stream })
     }
 
+    /// Connect with a bounded wait. Against a server whose listen
+    /// backlog is full (the accept loop is pacing sheds under overload),
+    /// a plain `connect` stalls in SYN retransmit for seconds; an
+    /// open-loop caller that treats "can't get through" as backpressure
+    /// wants the busy signal quickly instead.
+    pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> Result<Self, WireError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
     /// Send one request and block for its response.
     pub fn call(&mut self, req: &Request) -> Result<Response, WireError> {
         write_frame(&mut self.stream, &req.encode())?;
         let payload = read_frame(&mut self.stream)?;
         Response::decode(&payload)
+    }
+}
+
+/// How a [`RetryingClient`] waits between attempts.
+#[derive(Clone, Copy, Debug)]
+pub struct BackoffPolicy {
+    /// First-retry delay; doubles every further attempt.
+    pub base_ms: u64,
+    /// Ceiling on any single delay (the exponential stops here, and a
+    /// server hint larger than this is clamped to it).
+    pub cap_ms: u64,
+    /// Attempts per [`RetryingClient::call`] before giving up and
+    /// returning the last outcome as-is.
+    pub max_attempts: u32,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        Self {
+            base_ms: 5,
+            cap_ms: 2_000,
+            max_attempts: 8,
+        }
+    }
+}
+
+/// A client that cooperates with server-side admission control: on
+/// [`Response::Rejected`] it sleeps for the server's measured-drain-rate
+/// hint (or its own exponential schedule, whichever is longer) with
+/// multiplicative jitter in `[0.5, 1.0]` so a rejected cohort does not
+/// re-arrive in lockstep; on a shed or transport error it drops the
+/// connection and reconnects after the same backoff (re-entering through
+/// the server's accept-loop gate). Protocol errors are never retried —
+/// they mean a version or framing bug, not load.
+pub struct RetryingClient {
+    addr: SocketAddr,
+    client: Option<Client>,
+    policy: BackoffPolicy,
+    rng: SplitMix64,
+    retries: u64,
+    sheds: u64,
+}
+
+impl RetryingClient {
+    /// A lazily-connecting retrying client. `seed` drives the backoff
+    /// jitter — give each concurrent client its own seed, or the jitter
+    /// does nothing to break up synchronised retry waves.
+    #[must_use]
+    pub fn new(addr: SocketAddr, policy: BackoffPolicy, seed: u64) -> Self {
+        Self {
+            addr,
+            client: None,
+            policy,
+            rng: SplitMix64::seed_from_u64(seed),
+            retries: 0,
+            sheds: 0,
+        }
+    }
+
+    /// Backoff sleeps taken so far (rejections, sheds, reconnects).
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Times the server shed this client (at accept or mid-connection).
+    #[must_use]
+    pub fn sheds(&self) -> u64 {
+        self.sheds
+    }
+
+    /// Sleep out one backoff step: `max(server hint, base·2^attempt)`,
+    /// clamped to the policy cap, scaled by jitter in `[0.5, 1.0]`.
+    fn backoff(&mut self, hint_ms: Option<u64>, attempt: u32) {
+        self.retries += 1;
+        let exp = self
+            .policy
+            .base_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.policy.cap_ms);
+        let target_ms = hint_ms
+            .unwrap_or(0)
+            .max(exp)
+            .clamp(1, self.policy.cap_ms.max(1));
+        let jitter = 0.5 + 0.5 * self.rng.uniform();
+        let sleep_us = (target_ms as f64 * 1000.0 * jitter) as u64;
+        std::thread::sleep(Duration::from_micros(sleep_us));
+    }
+
+    /// Send `req`, retrying through rejections, sheds, and transport
+    /// drops per the policy. Returns the first conclusive outcome; when
+    /// attempts run out, the last outcome (e.g. the final `Rejected`
+    /// response, or the final connect error) is returned as-is so the
+    /// caller can still see *why* it gave up.
+    pub fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+        let mut attempt = 0u32;
+        let max_attempts = self.policy.max_attempts.max(1);
+        loop {
+            let last_attempt = attempt + 1 >= max_attempts;
+            if self.client.is_none() {
+                match Client::connect(self.addr) {
+                    Ok(c) => self.client = Some(c),
+                    Err(e) if last_attempt => return Err(e),
+                    Err(_) => {
+                        self.backoff(None, attempt);
+                        attempt += 1;
+                        continue;
+                    }
+                }
+            }
+            let Some(client) = self.client.as_mut() else {
+                continue;
+            };
+            match client.call(req) {
+                Ok(Response::Rejected {
+                    retry_after_ms,
+                    queue_depth,
+                    outstanding_cost,
+                    cost_budget,
+                }) => {
+                    if last_attempt {
+                        return Ok(Response::Rejected {
+                            retry_after_ms,
+                            queue_depth,
+                            outstanding_cost,
+                            cost_budget,
+                        });
+                    }
+                    self.backoff(Some(retry_after_ms), attempt);
+                    attempt += 1;
+                }
+                Ok(resp) => return Ok(resp),
+                Err(e @ (WireError::Shed | WireError::Io { .. })) => {
+                    // The stream is dead (shed marker or transport drop):
+                    // reconnect on the next attempt, after backing off.
+                    self.client = None;
+                    if matches!(e, WireError::Shed) {
+                        self.sheds += 1;
+                    }
+                    if last_attempt {
+                        return Err(e);
+                    }
+                    self.backoff(None, attempt);
+                    attempt += 1;
+                }
+                // Version/framing errors are bugs, not load; never retry.
+                Err(e) => return Err(e),
+            }
+        }
     }
 }

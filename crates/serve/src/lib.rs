@@ -9,11 +9,16 @@
 //!   byte, typed [`protocol::WireError`], no panics on hostile input);
 //! * [`cache`] — the plan cache: LRU over configuration fingerprints so
 //!   repeat clients skip `Tme::try_new`;
-//! * [`queue`] — the bounded request queue behind admission control;
+//! * [`admission`] — overload stability (DESIGN.md §16): the lock-free
+//!   load gauge behind shed-before-decode, the request cost model, and
+//!   the drain-rate-derived retry hint;
+//! * [`queue`] — the bounded, expiry-ordered request queue behind
+//!   admission control;
 //! * [`server`] — worker pool, per-request deadlines, graceful drain;
 //! * [`stats`] — counters + fixed-bucket latency histograms (p50/p99
 //!   in-tree), queryable over the wire and dumped as JSON on drain;
-//! * [`client`] — a minimal blocking client for harnesses and examples.
+//! * [`client`] — a minimal blocking client for harnesses and examples,
+//!   plus [`RetryingClient`] with hint-honouring jittered backoff.
 //!
 //! ```no_run
 //! use tme_serve::{serve, Client, Request, Response, ServeConfig};
@@ -27,6 +32,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod admission;
 pub mod cache;
 pub mod client;
 pub mod protocol;
@@ -34,9 +40,10 @@ pub mod queue;
 pub mod server;
 pub mod stats;
 
+pub use admission::{request_cost, LoadGauge};
 pub use cache::{config_fingerprint, PlanCache};
-pub use client::Client;
-pub use protocol::{Request, Response, ServerErrorCode, WireError, PROTOCOL_VERSION};
-pub use queue::Bounded;
-pub use server::{serve, ServeConfig, ServeError, ServerHandle};
+pub use client::{BackoffPolicy, Client, RetryingClient};
+pub use protocol::{Request, Response, ServerErrorCode, WireError, PROTOCOL_VERSION, SHED_BYTE};
+pub use queue::{Bounded, Popped};
+pub use server::{serve, ConfigError, ServeConfig, ServeError, ServerHandle};
 pub use stats::ServeStats;

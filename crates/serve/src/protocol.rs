@@ -26,8 +26,21 @@ use tme_reference::EwaldParams;
 ///
 /// Version history: 1 carried a bare `TmeParams` in `Compute`; 2 carries
 /// a tagged [`BackendParams`] (per-plan backend choice) and a backend
-/// kind in [`EstimateSpec`].
-pub const PROTOCOL_VERSION: u8 = 2;
+/// kind in [`EstimateSpec`]; 3 adds the admission-cost fields to
+/// [`Response::Rejected`] and the out-of-band shed marker
+/// ([`SHED_BYTE`]).
+pub const PROTOCOL_VERSION: u8 = 3;
+
+/// The overload shed marker: when the server refuses a connection (or an
+/// established connection's next frame) *before decoding anything*, it
+/// writes this single byte and closes. Detection needs no byte-value
+/// magic — [`read_frame`] recognises *exactly one byte followed by EOF*
+/// as [`WireError::Shed`], and a legal frame always carries a 4-byte
+/// length prefix — but the value is still chosen high so that a client
+/// which somehow reads it as the start of a longer prefix sees an
+/// implausibly large frame and fails typed, never hangs or allocates
+/// (DESIGN.md §16.1).
+pub const SHED_BYTE: u8 = 0xFD;
 
 /// Hard ceiling on a frame payload (16 MiB) — an absurd length prefix is
 /// rejected before any allocation.
@@ -49,6 +62,10 @@ pub enum WireError {
     UnknownBackendKind { got: u8 },
     /// The length prefix exceeds [`MAX_FRAME_BYTES`].
     FrameTooLarge { len: u64 },
+    /// The server shed this connection before reading the request (the
+    /// one-byte [`SHED_BYTE`] marker followed by close). Nothing was
+    /// decoded or executed; reconnect after a backoff.
+    Shed,
     /// The transport failed mid-frame (connection reset, EOF, timeout).
     Io { kind: std::io::ErrorKind },
 }
@@ -84,6 +101,7 @@ impl std::fmt::Display for WireError {
                     "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte ceiling"
                 )
             }
+            Self::Shed => write!(f, "connection shed by an overloaded server"),
             Self::Io { kind } => write!(f, "transport error: {kind}"),
         }
     }
@@ -212,11 +230,18 @@ pub enum Response {
     Stats { text: String, json: String },
     /// Acknowledgement of [`Request::Shutdown`].
     ShuttingDown { drain: bool },
-    /// Admission control: the bounded queue is full (or the server is
-    /// draining). Retry after the hinted delay; nothing was executed.
+    /// Admission control: the bounded queue is full, the cost budget is
+    /// exhausted, or the server is draining. Retry after the hinted delay
+    /// (derived from the measured drain rate); nothing was executed. The
+    /// cost fields tell the client *how* overloaded the server is, so a
+    /// fleet can weight its backoff.
     Rejected {
         retry_after_ms: u64,
         queue_depth: u64,
+        /// Admission-cost units currently queued or executing.
+        outstanding_cost: u64,
+        /// The server's admission budget in the same units.
+        cost_budget: u64,
     },
     /// The request out-waited its own deadline in the queue and was
     /// aborted unexecuted.
@@ -566,10 +591,14 @@ impl Response {
             Self::Rejected {
                 retry_after_ms,
                 queue_depth,
+                outstanding_cost,
+                cost_budget,
             } => {
                 w.put_u8(RESP_REJECTED);
                 w.put_u64(*retry_after_ms);
                 w.put_u64(*queue_depth);
+                w.put_u64(*outstanding_cost);
+                w.put_u64(*cost_budget);
             }
             Self::Expired {
                 waited_ms,
@@ -626,6 +655,8 @@ impl Response {
             RESP_REJECTED => Self::Rejected {
                 retry_after_ms: r.get_u64()?,
                 queue_depth: r.get_u64()?,
+                outstanding_cost: r.get_u64()?,
+                cost_budget: r.get_u64()?,
             },
             RESP_EXPIRED => Self::Expired {
                 waited_ms: r.get_u64()?,
@@ -689,11 +720,66 @@ pub fn write_frame(w: &mut impl std::io::Write, payload: &[u8]) -> Result<(), Wi
     Ok(())
 }
 
+/// Write the one-byte overload shed marker ([`SHED_BYTE`]); the caller
+/// closes the stream right after. Kept beside [`write_frame`] so every
+/// byte that ever goes on the wire is emitted from this module.
+pub fn write_shed(w: &mut impl std::io::Write) -> Result<(), WireError> {
+    w.write_all(&[SHED_BYTE])?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Fill `buf` from `r`, distinguishing a clean EOF (`Ok(filled)` may be
+/// short) from transport errors. `WouldBlock`/`TimedOut` with **zero**
+/// bytes read surfaces as-is (the server's poll point between frames);
+/// once a frame has started, a stall is remapped to `UnexpectedEof` and
+/// is connection-fatal — the stream has no resynchronisation point
+/// mid-frame, and a peer that stalls there (slowloris) must not pin the
+/// connection thread.
+fn read_full(
+    r: &mut impl std::io::Read,
+    buf: &mut [u8],
+    frame_started: bool,
+) -> Result<usize, WireError> {
+    let mut got = 0;
+    while got < buf.len() {
+        let Some(rest) = buf.get_mut(got..) else {
+            break;
+        };
+        match r.read(rest) {
+            Ok(0) => return Ok(got),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if (frame_started || got > 0)
+                    && (e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut) =>
+            {
+                return Err(WireError::Io {
+                    kind: std::io::ErrorKind::UnexpectedEof,
+                });
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(got)
+}
+
 /// Read one length-prefixed frame. The length prefix is validated against
-/// [`MAX_FRAME_BYTES`] before any allocation.
+/// [`MAX_FRAME_BYTES`] before any allocation. Exactly one [`SHED_BYTE`]
+/// followed by EOF is the server's overload shed and comes back as the
+/// typed [`WireError::Shed`].
 pub fn read_frame(r: &mut impl std::io::Read) -> Result<Vec<u8>, WireError> {
     let mut len_bytes = [0u8; 4];
-    r.read_exact(&mut len_bytes)?;
+    let got = read_full(r, &mut len_bytes, false)?;
+    if got < 4 {
+        if got == 1 && len_bytes[0] == SHED_BYTE {
+            return Err(WireError::Shed);
+        }
+        return Err(WireError::Io {
+            kind: std::io::ErrorKind::UnexpectedEof,
+        });
+    }
     let len = u32::from_le_bytes(len_bytes);
     if len > MAX_FRAME_BYTES {
         return Err(WireError::FrameTooLarge {
@@ -701,8 +787,25 @@ pub fn read_frame(r: &mut impl std::io::Read) -> Result<Vec<u8>, WireError> {
         });
     }
     let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
+    if read_full(r, &mut payload, true)? < payload.len() {
+        return Err(WireError::Io {
+            kind: std::io::ErrorKind::UnexpectedEof,
+        });
+    }
     Ok(payload)
+}
+
+/// Does this undecoded payload *look like* a work request (compute /
+/// nve_run / estimate on the current protocol version)? A pure byte peek
+/// — no allocation, no body parse — used by the overload fast-reject
+/// path to refuse work before paying for `Request::decode`, while still
+/// letting control requests (stats, shutdown) through even under full
+/// load. A malformed payload returns `false` and takes the normal decode
+/// path, where it fails typed.
+#[must_use]
+pub fn is_work_request(payload: &[u8]) -> bool {
+    payload.first() == Some(&PROTOCOL_VERSION)
+        && matches!(payload.get(1), Some(&k) if (REQ_COMPUTE..=REQ_ESTIMATE).contains(&k))
 }
 
 #[cfg(test)]
@@ -865,6 +968,8 @@ mod tests {
         round_trip_response(&Response::Rejected {
             retry_after_ms: 40,
             queue_depth: 8,
+            outstanding_cost: 31_000,
+            cost_budget: 32_768,
         })?;
         round_trip_response(&Response::Expired {
             waited_ms: 600,
@@ -921,5 +1026,62 @@ mod tests {
             Err(WireError::FrameTooLarge { .. })
         ));
         Ok(())
+    }
+
+    #[test]
+    fn one_shed_byte_then_eof_is_the_typed_shed_error() -> Result<(), WireError> {
+        let mut buf = Vec::new();
+        write_shed(&mut buf)?;
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor), Err(WireError::Shed));
+        // Any other lone byte, or a shed byte with company, is a plain
+        // truncated-transport error, not a shed.
+        let mut cursor = std::io::Cursor::new(vec![0x01]);
+        assert!(matches!(read_frame(&mut cursor), Err(WireError::Io { .. })));
+        let mut cursor = std::io::Cursor::new(vec![SHED_BYTE, 0x00]);
+        assert!(matches!(read_frame(&mut cursor), Err(WireError::Io { .. })));
+        // A full prefix starting with the shed byte would be an absurd
+        // length and fails typed before allocation — the marker can never
+        // be confused with a live frame.
+        let mut cursor = std::io::Cursor::new(vec![SHED_BYTE, 0xFF, 0xFF, 0xFF]);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+        Ok(())
+    }
+
+    #[test]
+    fn work_request_peek_matches_decode() {
+        // Work requests peek true; control requests peek false.
+        for (req, is_work) in [
+            (compute_with(BackendParams::Tme(sample_params())), true),
+            (
+                Request::NveRun {
+                    deadline_ms: 0,
+                    waters: 64,
+                    seed: 9,
+                    steps: 10,
+                    dt: 0.001,
+                    r_cut: 0.55,
+                },
+                true,
+            ),
+            (Request::Stats, false),
+            (Request::Shutdown { drain: true }, false),
+        ] {
+            assert_eq!(
+                is_work_request(&req.encode()),
+                is_work,
+                "{}",
+                req.kind_name()
+            );
+        }
+        // Garbage and stale versions peek false (they take the decode
+        // path and fail typed there).
+        assert!(!is_work_request(&[]));
+        assert!(!is_work_request(&[PROTOCOL_VERSION]));
+        assert!(!is_work_request(&[2, REQ_COMPUTE]));
+        assert!(!is_work_request(&[PROTOCOL_VERSION, REQ_SHUTDOWN]));
     }
 }

@@ -1,19 +1,27 @@
-//! The TME simulation server (DESIGN.md §12.3).
+//! The TME simulation server (DESIGN.md §12.3, §16).
 //!
 //! Threading model:
 //!
-//! * one **accept thread** polls a non-blocking `TcpListener` and spawns a
-//!   connection thread per client;
+//! * one **accept thread** polls a non-blocking `TcpListener`; when the
+//!   lock-free [`LoadGauge`] reads overloaded, surplus connections are
+//!   shed with the one-byte marker *before any read* — otherwise a
+//!   connection thread is spawned per client;
 //! * each **connection thread** reads frames, answers control requests
-//!   (stats, shutdown) inline, and submits work requests to the shared
-//!   bounded queue — a full queue is an immediate
-//!   [`Response::Rejected`] with a retry-after hint, never a block;
-//! * a fixed pool of **worker threads** pops jobs, checks the job's own
-//!   deadline (expired work is answered [`Response::Expired`] unexecuted),
-//!   resolves the plan through the shared [`PlanCache`] (any long-range
-//!   backend, keyed by the backend-tagged plan fingerprint), executes on
-//!   a long-lived per-worker [`BackendWorkspace`], and sends the response
-//!   back over the job's channel.
+//!   (stats, shutdown) inline, byte-peeks work frames and fast-rejects
+//!   them *before decode* while the gauge reads overloaded (a client
+//!   that keeps flooding through rejections is shed and disconnected),
+//!   and submits decoded work to the shared bounded queue — a full
+//!   queue or exhausted cost budget is an immediate
+//!   [`Response::Rejected`] with a drain-rate-derived retry hint, never
+//!   a block;
+//! * a fixed pool of **worker threads** pops jobs in
+//!   earliest-deadline-first order (expired work is answered
+//!   [`Response::Expired`] unexecuted, and work too close to expiry to
+//!   finish — by the measured service-time EWMA — is dropped the same
+//!   way), resolves the plan through the shared [`PlanCache`] (any
+//!   long-range backend, keyed by the backend-tagged plan fingerprint),
+//!   executes on a long-lived per-worker [`BackendWorkspace`], and sends
+//!   the response back over the job's channel.
 //!
 //! **Drain** ([`ServerHandle::trigger_drain`] or a `Shutdown` request):
 //! the queue closes — admission stops, workers finish everything already
@@ -22,11 +30,13 @@
 //! also written as JSON to `stats_path`, the SIGTERM hook's job in the
 //! `serve` binary).
 
+use crate::admission::{request_cost, LoadGauge};
 use crate::cache::PlanCache;
 use crate::protocol::{
-    read_frame, write_frame, EstimateSpec, Request, Response, ServerErrorCode, WireError,
+    is_work_request, read_frame, write_frame, write_shed, EstimateSpec, Request, Response,
+    ServerErrorCode, WireError,
 };
-use crate::queue::Bounded;
+use crate::queue::{Bounded, Popped};
 use crate::stats::ServeStats;
 use mdgrape_sim::{simulate_run, MachineConfig, StepWorkload};
 use std::net::{TcpListener, TcpStream};
@@ -53,13 +63,21 @@ pub struct ServeConfig {
     pub addr: String,
     /// Worker threads, each owning long-lived workspaces.
     pub workers: usize,
-    /// Bounded request-queue capacity — the backpressure knob.
+    /// Bounded request-queue capacity — the depth half of the
+    /// backpressure knob (at most [`MAX_QUEUE_CAPACITY`]).
     pub queue_capacity: usize,
+    /// Admission cost budget ([`crate::admission::request_cost`] units)
+    /// that may be queued or executing at once — the *work* half of the
+    /// backpressure knob, so one paper-box compute cannot hide behind a
+    /// single queue slot (at most [`MAX_COST_BUDGET`]).
+    pub cost_budget: u64,
     /// Plans kept in the shared LRU cache.
     pub plan_cache_capacity: usize,
     /// Largest accepted atom count per compute request.
     pub max_atoms: usize,
-    /// Retry hint (ms) sent with rejections.
+    /// Upper bound (and cold-start fallback) for the retry hint sent
+    /// with rejections; once the worker pool has measured a drain rate,
+    /// the hint adapts to the outstanding work (DESIGN.md §16.4).
     pub retry_after_ms: u64,
     /// When set, the final stats snapshot is written here as JSON on
     /// drain.
@@ -72,6 +90,7 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 2,
             queue_capacity: 16,
+            cost_budget: 32_768,
             plan_cache_capacity: 8,
             max_atoms: 50_000,
             retry_after_ms: 50,
@@ -80,9 +99,103 @@ impl Default for ServeConfig {
     }
 }
 
+/// Hard ceiling on [`ServeConfig::queue_capacity`]: each slot can pin a
+/// decoded request (up to a 16 MiB frame), so an absurd depth is a
+/// misconfiguration, not a tuning choice.
+pub const MAX_QUEUE_CAPACITY: usize = 65_536;
+
+/// Hard ceiling on [`ServeConfig::cost_budget`]: far above any useful
+/// budget (a paper-box compute prices ~12k units) while keeping
+/// budget × queue arithmetic comfortably inside `u64`.
+pub const MAX_COST_BUDGET: u64 = 1 << 40;
+
+/// A nonsensical [`ServeConfig`] field, rejected by
+/// [`ServeConfig::validate`] before any thread or socket exists.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `workers == 0`: nothing would ever drain the queue.
+    ZeroWorkers,
+    /// `queue_capacity == 0`: every work request would be rejected.
+    ZeroQueueCapacity,
+    /// `queue_capacity` above [`MAX_QUEUE_CAPACITY`].
+    QueueTooLarge { got: usize, max: usize },
+    /// `cost_budget == 0`: admission could never succeed.
+    ZeroCostBudget,
+    /// `cost_budget` above [`MAX_COST_BUDGET`].
+    CostBudgetTooLarge { got: u64, max: u64 },
+    /// `plan_cache_capacity == 0`: every compute would re-plan.
+    ZeroPlanCache,
+    /// `max_atoms == 0`: every compute would fail validation.
+    ZeroMaxAtoms,
+    /// `retry_after_ms == 0`: rejected clients would retry immediately,
+    /// defeating backpressure.
+    ZeroRetryCap,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroWorkers => write!(f, "workers must be at least 1"),
+            Self::ZeroQueueCapacity => write!(f, "queue capacity must be at least 1"),
+            Self::QueueTooLarge { got, max } => {
+                write!(f, "queue capacity {got} exceeds the maximum {max}")
+            }
+            Self::ZeroCostBudget => write!(f, "cost budget must be at least 1"),
+            Self::CostBudgetTooLarge { got, max } => {
+                write!(f, "cost budget {got} exceeds the maximum {max}")
+            }
+            Self::ZeroPlanCache => write!(f, "plan cache capacity must be at least 1"),
+            Self::ZeroMaxAtoms => write!(f, "max atoms must be at least 1"),
+            Self::ZeroRetryCap => write!(f, "retry-after cap must be at least 1 ms"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl ServeConfig {
+    /// Reject nonsensical configurations (zeroes, absurd sizes) with a
+    /// typed error before binding a socket or spawning a thread.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        if self.queue_capacity == 0 {
+            return Err(ConfigError::ZeroQueueCapacity);
+        }
+        if self.queue_capacity > MAX_QUEUE_CAPACITY {
+            return Err(ConfigError::QueueTooLarge {
+                got: self.queue_capacity,
+                max: MAX_QUEUE_CAPACITY,
+            });
+        }
+        if self.cost_budget == 0 {
+            return Err(ConfigError::ZeroCostBudget);
+        }
+        if self.cost_budget > MAX_COST_BUDGET {
+            return Err(ConfigError::CostBudgetTooLarge {
+                got: self.cost_budget,
+                max: MAX_COST_BUDGET,
+            });
+        }
+        if self.plan_cache_capacity == 0 {
+            return Err(ConfigError::ZeroPlanCache);
+        }
+        if self.max_atoms == 0 {
+            return Err(ConfigError::ZeroMaxAtoms);
+        }
+        if self.retry_after_ms == 0 {
+            return Err(ConfigError::ZeroRetryCap);
+        }
+        Ok(())
+    }
+}
+
 /// Why the server failed to start or dump stats.
 #[derive(Debug)]
 pub enum ServeError {
+    /// The configuration failed [`ServeConfig::validate`].
+    Config(ConfigError),
     /// Binding the listener or writing the stats dump failed.
     Io(std::io::Error),
 }
@@ -93,9 +206,16 @@ impl From<std::io::Error> for ServeError {
     }
 }
 
+impl From<ConfigError> for ServeError {
+    fn from(e: ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
+
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            Self::Config(e) => write!(f, "invalid serve configuration: {e}"),
             Self::Io(e) => write!(f, "serve I/O error: {e}"),
         }
     }
@@ -104,16 +224,24 @@ impl std::fmt::Display for ServeError {
 impl std::error::Error for ServeError {}
 
 /// A work request in flight: the decoded request, when it was admitted,
-/// and the channel its connection thread is waiting on.
+/// its admission price, and the channel its connection thread is waiting
+/// on.
 struct Job {
     req: Request,
     enqueued: Instant,
+    /// Admission cost reserved for this job; released exactly once when
+    /// the job leaves the pipeline (completion, expiry, sweep, or a
+    /// failed push).
+    cost: u64,
     reply: SyncSender<Response>,
 }
 
 /// State shared by every thread of one server instance.
 struct Shared {
     queue: Bounded<Job>,
+    /// Lock-free overload state: read by the accept loop and connection
+    /// threads (shed gates), written by admission and the worker pool.
+    gauge: LoadGauge,
     stats: Mutex<ServeStats>,
     plans: Mutex<PlanCache>,
     /// Set once by drain/shutdown; accept and connection loops poll it.
@@ -128,9 +256,37 @@ impl Shared {
         self.stats.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// A stats snapshot with the gauge's atomics and the queue high-water
+    /// mark folded in — the one rendering every stats surface (wire
+    /// `Stats`, the drain dump, [`ServerHandle::stats`]) goes through.
+    fn snapshot(&self) -> ServeStats {
+        let mut s = self.stats().clone();
+        s.queue_max_depth = s.queue_max_depth.max(self.queue.max_depth() as u64);
+        s.shed_connections = self.gauge.shed_connections();
+        s.rejected_before_decode = self.gauge.rejected_before_decode_count();
+        s.admitted_cost = self.gauge.admitted_cost();
+        s.released_cost = self.gauge.released_cost();
+        s.outstanding_cost = self.gauge.outstanding();
+        s
+    }
+
     fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.queue.close();
+    }
+
+    /// The standard refusal answer, priced off the live gauge: an
+    /// adaptive retry hint plus enough load detail for the client to
+    /// weight its backoff. Reads only the gauge's lock-free mirrors —
+    /// the rejection path must never contend on the queue mutex the
+    /// workers are draining through.
+    fn rejection(&self) -> Response {
+        Response::Rejected {
+            retry_after_ms: self.gauge.retry_after_ms(),
+            queue_depth: self.gauge.queue_depth(),
+            outstanding_cost: self.gauge.outstanding(),
+            cost_budget: self.gauge.cost_budget(),
+        }
     }
 }
 
@@ -162,13 +318,21 @@ impl ServerHandle {
         self.shared.shutdown.load(Ordering::SeqCst)
     }
 
+    /// A live stats snapshot (gauge counters folded in) without stopping
+    /// the server — the load harness reads deltas through this between
+    /// legs.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        self.shared.snapshot()
+    }
+
     /// Wait for the drain to finish and return the final stats snapshot
     /// (written to `stats_path` first when configured).
     pub fn join(mut self) -> ServeStats {
         if let Some(t) = self.accept.take() {
             let _ = t.join();
         }
-        let snapshot = self.shared.stats().clone();
+        let snapshot = self.shared.snapshot();
         if let Some(path) = &self.shared.cfg.stats_path {
             let _ = std::fs::write(path, snapshot.to_json());
         }
@@ -176,21 +340,29 @@ impl ServerHandle {
     }
 }
 
-/// Start a server. Returns once the listener is bound and all worker
-/// threads are running.
+/// Start a server. The configuration is validated first
+/// ([`ServeConfig::validate`]); returns once the listener is bound and
+/// all worker threads are running.
 pub fn serve(cfg: ServeConfig) -> Result<ServerHandle, ServeError> {
+    cfg.validate()?;
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
         queue: Bounded::new(cfg.queue_capacity),
+        gauge: LoadGauge::new(
+            cfg.cost_budget,
+            cfg.queue_capacity,
+            cfg.workers,
+            cfg.retry_after_ms,
+        ),
         stats: Mutex::new(ServeStats::default()),
         plans: Mutex::new(PlanCache::new(cfg.plan_cache_capacity)),
         shutdown: AtomicBool::new(false),
         cfg: cfg.clone(),
     });
     let mut workers = Vec::new();
-    for w in 0..cfg.workers.max(1) {
+    for w in 0..cfg.workers {
         let sh = Arc::clone(&shared);
         workers.push(
             std::thread::Builder::new()
@@ -223,6 +395,19 @@ fn accept_loop(
                 // Frames are small request/response pairs; leaving Nagle
                 // on costs a delayed-ACK round trip (~40 ms) per call.
                 let _ = stream.set_nodelay(true);
+                // Layer 1: shed *before* spawning a thread or reading a
+                // byte. Under overload every new connection is surplus —
+                // refusing it here costs one atomic load and one byte.
+                // The short sleep paces the shed rate: surplus
+                // connections beyond it wait in the kernel's listen
+                // backlog, where they cost no CPU at all, instead of
+                // cycling connect→shed→reconnect as fast as the flood
+                // can drive them.
+                if shared.gauge.overloaded() {
+                    shed_connection(stream, &shared.gauge);
+                    std::thread::sleep(Duration::from_millis(1));
+                    continue;
+                }
                 let sh = Arc::clone(shared);
                 if let Ok(t) = std::thread::Builder::new()
                     .name("tme-serve-conn".to_string())
@@ -249,6 +434,29 @@ fn accept_loop(
     stats.queue_max_depth = stats.queue_max_depth.max(max_depth);
 }
 
+/// Refuse a connection without reading from it: write the one-byte shed
+/// marker, close, count. Infallible by construction — both I/O results
+/// are deliberately ignored (the peer may already be gone, which is
+/// fine: shedding is best-effort) — because this runs on the accept
+/// thread, where a panic would kill the whole server (xtask analyze a2
+/// proves the path panic-free).
+fn shed_connection(mut stream: TcpStream, gauge: &LoadGauge) {
+    let _ = write_shed(&mut stream);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    gauge.note_shed_connection();
+}
+
+/// Consecutive pre-decode fast-rejects an established connection may
+/// accumulate before the server stops answering and sheds it. A client
+/// looping through rejections faster than it honors retry hints is, at
+/// that point, load the server must not keep paying read/encode/write
+/// cycles for — disconnecting forces it through reconnect (and the
+/// accept-loop shed gate, which refuses with one byte before any frame
+/// is read) instead. Two strikes: the first rejection carries the retry
+/// hint a well-behaved client needs; a second arrival while the gate is
+/// still latched means the hint is being ignored.
+const FAST_REJECTS_BEFORE_SHED: u32 = 2;
+
 /// Serve one client connection until it closes, errors, or the server
 /// shuts down. Protocol errors are counted and are connection-fatal (the
 /// stream may be mid-frame; there is no resynchronisation point).
@@ -258,6 +466,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
         return;
     };
     let mut writer = stream;
+    let mut consecutive_fast_rejects = 0u32;
     loop {
         let payload = match read_frame(&mut reader) {
             Ok(p) => p,
@@ -270,12 +479,35 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                 }
                 continue;
             }
-            Err(WireError::Io { .. }) => return, // closed / reset
+            Err(WireError::Io { .. } | WireError::Shed) => return, // closed / reset
             Err(_) => {
                 shared.stats().protocol_errors += 1;
                 return;
             }
         };
+        // Layer 2: fast-reject work frames *before decode* while
+        // overloaded — a byte peek and a small fixed-size answer instead
+        // of body allocation and parse. Control frames (stats, shutdown)
+        // always pass: an operator must be able to observe and drain an
+        // overloaded server. These never became decoded requests, so
+        // they count in `rejected_before_decode`, not `received`.
+        if is_work_request(&payload) && shared.gauge.overloaded() {
+            shared.gauge.note_rejected_before_decode();
+            consecutive_fast_rejects += 1;
+            if consecutive_fast_rejects >= FAST_REJECTS_BEFORE_SHED {
+                // The client is flooding through rejections: stop
+                // answering, shed, and make it reconnect through the
+                // accept-loop gate.
+                let _ = write_shed(&mut writer);
+                shared.gauge.note_shed_connection();
+                return;
+            }
+            if write_frame(&mut writer, &shared.rejection().encode()).is_err() {
+                return;
+            }
+            continue;
+        }
+        consecutive_fast_rejects = 0;
         let Ok(req) = Request::decode(&payload) else {
             shared.stats().protocol_errors += 1;
             return;
@@ -287,7 +519,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
         }
         let resp = match req {
             Request::Stats => {
-                let stats = shared.stats().clone();
+                let stats = shared.snapshot();
                 Response::Stats {
                     text: stats.to_string(),
                     json: stats.to_json(),
@@ -306,47 +538,79 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
-/// Admission control: try to enqueue the work request and block on its
-/// reply channel. A full (or closed) queue answers immediately with a
-/// rejection and a retry hint — the connection thread never waits on a
-/// queue slot.
+/// Retire every already-expired queue entry: answer its blocked
+/// connection thread `Expired` and return its admission cost. Run at
+/// enqueue time (layer 3's sweep half) so doomed work never occupies a
+/// slot a live request could use. The stats bump happens in the owning
+/// connection thread's `rx.recv()` arm — the single place every queued
+/// job's outcome is counted, so nothing double-counts.
+fn sweep_expired_jobs(shared: &Arc<Shared>) {
+    let mut swept: Vec<Job> = Vec::new();
+    shared.queue.sweep_expired(Instant::now(), &mut swept);
+    for job in swept {
+        shared.gauge.note_dequeued();
+        shared.gauge.release(job.cost);
+        let resp = Response::Expired {
+            waited_ms: elapsed_us(job.enqueued) / 1000,
+            deadline_ms: job.req.deadline_ms(),
+        };
+        // A dead receiver (client hung up mid-wait) is fine.
+        let _ = job.reply.send(resp);
+    }
+}
+
+/// Admission control (layers 2½–3): price the decoded request, sweep
+/// expired entries out of the queue, reserve cost-budget room, and slot
+/// the job into the expiry-ordered queue — then block on its reply
+/// channel. A full queue, exhausted budget, or closed (draining) queue
+/// answers immediately with a rejection carrying the adaptive retry
+/// hint — the connection thread never waits on a queue slot.
 fn submit_and_wait(shared: &Arc<Shared>, req: Request) -> Response {
     let t_admit = Instant::now();
+    let cost = request_cost(&req);
+    sweep_expired_jobs(shared);
+    if !shared.gauge.try_admit(cost) {
+        shared.stats().rejected += 1;
+        return shared.rejection();
+    }
+    let deadline_ms = req.deadline_ms();
+    let expires_at = (deadline_ms > 0).then(|| t_admit + Duration::from_millis(deadline_ms));
     let (tx, rx) = sync_channel(1);
     let job = Job {
         req,
         enqueued: t_admit,
+        cost,
         reply: tx,
     };
-    match shared.queue.try_push(job) {
+    match shared.queue.try_push(job, expires_at) {
         Err(_) => {
-            let depth = shared.queue.len() as u64;
+            shared.gauge.release(cost);
             shared.stats().rejected += 1;
-            Response::Rejected {
-                retry_after_ms: shared.cfg.retry_after_ms,
-                queue_depth: depth,
+            shared.rejection()
+        }
+        Ok(depth) => {
+            shared.gauge.note_queued(depth);
+            match rx.recv() {
+                Ok(resp) => {
+                    let mut stats = shared.stats();
+                    stats.latency.record(elapsed_us(t_admit));
+                    match &resp {
+                        Response::Expired { .. } => stats.expired += 1,
+                        Response::ServerError { .. } => stats.server_errors += 1,
+                        _ => stats.completed += 1,
+                    }
+                    resp
+                }
+                // Worker dropped the channel without answering (panicked).
+                Err(_) => {
+                    shared.stats().server_errors += 1;
+                    Response::ServerError {
+                        code: ServerErrorCode::Internal,
+                        message: "worker failed to answer".to_string(),
+                    }
+                }
             }
         }
-        Ok(_) => match rx.recv() {
-            Ok(resp) => {
-                let mut stats = shared.stats();
-                stats.latency.record(elapsed_us(t_admit));
-                match &resp {
-                    Response::Expired { .. } => stats.expired += 1,
-                    Response::ServerError { .. } => stats.server_errors += 1,
-                    _ => stats.completed += 1,
-                }
-                resp
-            }
-            // Worker dropped the channel without answering (panicked).
-            Err(_) => {
-                shared.stats().server_errors += 1;
-                Response::ServerError {
-                    code: ServerErrorCode::Internal,
-                    message: "worker failed to answer".to_string(),
-                }
-            }
-        },
     }
 }
 
@@ -355,7 +619,12 @@ fn submit_and_wait(shared: &Arc<Shared>, req: Request) -> Response {
 const WORKSPACES_PER_WORKER: usize = 4;
 
 /// One worker: long-lived workspaces, single-threaded execute pool (the
-/// service parallelism is across workers, not within a request).
+/// service parallelism is across workers, not within a request). Pops in
+/// earliest-deadline-first order; hard-expired entries come back
+/// pre-tagged by the queue and are answered unexecuted, and entries too
+/// close to expiry to plausibly finish (by the drain-rate EWMA) are
+/// dropped the same way — a worker must never burn service time on a
+/// result nobody can use (layer 3's dequeue half).
 fn worker_loop(shared: &Arc<Shared>) {
     let pool = Arc::new(Pool::new(1));
     let machine = MachineConfig::mdgrape4a();
@@ -363,25 +632,39 @@ fn worker_loop(shared: &Arc<Shared>) {
     // Reusable result buffer: `compute_into` resets it per call, so a
     // warm worker serves repeat shapes without fresh result allocations.
     let mut scratch = CoulombResult::zeros(0);
-    while let Some(job) = shared.queue.pop() {
+    while let Some(popped) = shared.queue.pop() {
+        shared.gauge.note_dequeued();
+        let (job, hard_expired) = match popped {
+            Popped::Expired(job) => (job, true),
+            Popped::Ready(job) => (job, false),
+        };
         let waited_us = elapsed_us(job.enqueued);
         shared.stats().queue_wait.record(waited_us);
         let deadline_ms = job.req.deadline_ms();
-        let resp = if deadline_ms > 0 && waited_us / 1000 > deadline_ms {
+        let near_expiry = !hard_expired && deadline_ms > 0 && {
+            let remaining_us = deadline_ms.saturating_mul(1000).saturating_sub(waited_us);
+            let estimated_us = shared.gauge.estimated_service_us(job.cost);
+            estimated_us > 0 && remaining_us < estimated_us
+        };
+        let resp = if hard_expired || near_expiry {
             Response::Expired {
                 waited_ms: waited_us / 1000,
                 deadline_ms,
             }
         } else {
-            execute(
+            let t_exec = Instant::now();
+            let resp = execute(
                 shared,
                 &pool,
                 &machine,
                 &mut workspaces,
                 &mut scratch,
                 &job.req,
-            )
+            );
+            shared.gauge.note_completion(job.cost, elapsed_us(t_exec));
+            resp
         };
+        shared.gauge.release(job.cost);
         // A dead receiver (client hung up mid-wait) is not a worker error.
         let _ = job.reply.send(resp);
     }
@@ -1023,12 +1306,15 @@ mod tests {
                 let Ok(mut c) = Client::connect(addr) else {
                     return false;
                 };
+                // The hint is adaptive but clamped to [1, cap] — and the
+                // rejection carries the cost-budget picture.
                 matches!(
                     c.call(&slow),
                     Ok(Response::Rejected {
-                        retry_after_ms: 25,
+                        retry_after_ms: 1..=25,
+                        cost_budget,
                         ..
-                    })
+                    }) if cost_budget > 0
                 )
             }));
         }
@@ -1043,29 +1329,110 @@ mod tests {
         );
         handle.trigger_drain();
         let stats = handle.join();
-        assert!(stats.rejected >= 1);
+        // Refusals land either post-decode (`rejected`) or on the
+        // pre-decode fast path once the queue mirror reads full
+        // (`rejected_before_decode`) — both answer the client `Rejected`.
+        assert!(stats.rejected + stats.rejected_before_decode >= 1);
         assert!(stats.queue_max_depth <= 1, "queue must stay bounded");
+        assert_eq!(
+            stats.outstanding_cost, 0,
+            "every admitted cost unit must be released after drain"
+        );
+        assert_eq!(stats.admitted_cost, stats.released_cost);
         Ok(())
+    }
+
+    #[test]
+    fn nonsensical_configs_are_rejected_at_startup() {
+        let cases: [(ServeConfig, ConfigError); 6] = [
+            (
+                ServeConfig {
+                    workers: 0,
+                    ..ServeConfig::default()
+                },
+                ConfigError::ZeroWorkers,
+            ),
+            (
+                ServeConfig {
+                    queue_capacity: 0,
+                    ..ServeConfig::default()
+                },
+                ConfigError::ZeroQueueCapacity,
+            ),
+            (
+                ServeConfig {
+                    queue_capacity: MAX_QUEUE_CAPACITY + 1,
+                    ..ServeConfig::default()
+                },
+                ConfigError::QueueTooLarge {
+                    got: MAX_QUEUE_CAPACITY + 1,
+                    max: MAX_QUEUE_CAPACITY,
+                },
+            ),
+            (
+                ServeConfig {
+                    cost_budget: 0,
+                    ..ServeConfig::default()
+                },
+                ConfigError::ZeroCostBudget,
+            ),
+            (
+                ServeConfig {
+                    cost_budget: MAX_COST_BUDGET + 1,
+                    ..ServeConfig::default()
+                },
+                ConfigError::CostBudgetTooLarge {
+                    got: MAX_COST_BUDGET + 1,
+                    max: MAX_COST_BUDGET,
+                },
+            ),
+            (
+                ServeConfig {
+                    retry_after_ms: 0,
+                    ..ServeConfig::default()
+                },
+                ConfigError::ZeroRetryCap,
+            ),
+        ];
+        for (cfg, want) in cases {
+            assert_eq!(cfg.validate(), Err(want));
+            // serve() refuses before binding anything.
+            match serve(cfg) {
+                Err(ServeError::Config(got)) => assert_eq!(got, want),
+                Err(other) => panic!("expected Config({want:?}), got {other:?}"),
+                Ok(_) => panic!("expected Config({want:?}), got a running server"),
+            }
+        }
+        assert_eq!(ServeConfig::default().validate(), Ok(()));
     }
 
     #[test]
     fn queued_deadline_expires_unexecuted() {
         // Unit-level: a job whose deadline already passed is answered
-        // Expired by the worker without executing.
+        // Expired by the worker without executing, and its admission
+        // cost is returned to the budget.
+        let cfg = ServeConfig::default();
         let shared = Arc::new(Shared {
             queue: Bounded::new(4),
+            gauge: LoadGauge::new(cfg.cost_budget, 4, 1, cfg.retry_after_ms),
             stats: Mutex::new(ServeStats::default()),
             plans: Mutex::new(PlanCache::new(2)),
             shutdown: AtomicBool::new(false),
-            cfg: ServeConfig::default(),
+            cfg,
         });
         let (tx, rx) = sync_channel(1);
+        let req = dipole_request(1); // 1 ms deadline
+        let cost = request_cost(&req);
+        assert!(shared.gauge.try_admit(cost));
+        let enqueued = Instant::now() - Duration::from_millis(50);
         let job = Job {
-            req: dipole_request(1), // 1 ms deadline
-            enqueued: Instant::now() - Duration::from_millis(50),
+            req,
+            enqueued,
+            cost,
             reply: tx,
         };
-        assert!(shared.queue.try_push(job).is_ok());
+        let expires_at = Some(enqueued + Duration::from_millis(1));
+        assert!(shared.queue.try_push(job, expires_at).is_ok());
         shared.queue.close();
         worker_loop(&shared);
         match rx.recv() {
@@ -1075,5 +1442,6 @@ mod tests {
             }) => assert!(waited_ms >= 1),
             other => panic!("expected Expired, got {other:?}"),
         }
+        assert_eq!(shared.gauge.outstanding(), 0, "expiry must release cost");
     }
 }

@@ -120,8 +120,24 @@ pub struct ServeStats {
     pub received: u64,
     /// Work requests answered with a result.
     pub completed: u64,
-    /// Requests refused at admission (queue full / draining).
+    /// Decoded work requests refused at admission (queue full, cost
+    /// budget exhausted, or draining) and answered `Rejected`.
     pub rejected: u64,
+    /// Connections shed at the accept loop with the one-byte marker —
+    /// nothing was read or decoded (DESIGN.md §16.1).
+    pub shed_connections: u64,
+    /// Frames refused on established connections *before decode* (the
+    /// byte-peek fast-reject path). These are answered `Rejected` but
+    /// never became decoded requests, so they are excluded from
+    /// `received` and from the drain balance.
+    pub rejected_before_decode: u64,
+    /// Admission-cost units ever admitted / released. Equal after a
+    /// drain — the accounting-balance invariant.
+    pub admitted_cost: u64,
+    pub released_cost: u64,
+    /// Admission-cost units still queued or executing at snapshot time
+    /// (0 after a drain).
+    pub outstanding_cost: u64,
     /// Requests aborted in the queue by their own deadline.
     pub expired: u64,
     /// Requests answered with `ServerError`.
@@ -160,16 +176,21 @@ impl ServeStats {
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
         s.push_str("  \"schema\": \"tme-serve-stats/1\",\n");
-        let fields: [(&str, u64); 10] = [
+        let fields: [(&str, u64); 15] = [
             ("received", self.received),
             ("completed", self.completed),
             ("rejected", self.rejected),
+            ("shed_connections", self.shed_connections),
+            ("rejected_before_decode", self.rejected_before_decode),
             ("expired", self.expired),
             ("server_errors", self.server_errors),
             ("protocol_errors", self.protocol_errors),
             ("cache_hits", self.cache_hits),
             ("cache_misses", self.cache_misses),
             ("queue_max_depth", self.queue_max_depth),
+            ("admitted_cost", self.admitted_cost),
+            ("released_cost", self.released_cost),
+            ("outstanding_cost", self.outstanding_cost),
             ("latency_count", self.latency.count()),
         ];
         for (k, v) in fields {
@@ -216,6 +237,16 @@ impl std::fmt::Display for ServeStats {
             self.expired,
             self.server_errors,
             self.protocol_errors
+        )?;
+        writeln!(
+            f,
+            "overload: {} connections shed, {} fast-rejected before decode, \
+             cost {} admitted / {} released / {} outstanding",
+            self.shed_connections,
+            self.rejected_before_decode,
+            self.admitted_cost,
+            self.released_cost,
+            self.outstanding_cost
         )?;
         writeln!(
             f,
@@ -303,12 +334,21 @@ mod tests {
         };
         s.kinds.bump("compute");
         s.latency.record(120);
+        s.shed_connections = 7;
+        s.rejected_before_decode = 3;
+        s.admitted_cost = 900;
+        s.released_cost = 900;
         let json = s.to_json();
         assert!(json.contains("\"schema\": \"tme-serve-stats/1\""));
         assert!(json.contains("\"received\": 5"));
         assert!(json.contains("\"cache_hit_rate\": 0.7500"));
+        assert!(json.contains("\"shed_connections\": 7"));
+        assert!(json.contains("\"rejected_before_decode\": 3"));
+        assert!(json.contains("\"admitted_cost\": 900"));
+        assert!(json.contains("\"outstanding_cost\": 0"));
         let text = s.to_string();
         assert!(text.contains("5 received"));
         assert!(text.contains("75.0% hit rate"));
+        assert!(text.contains("7 connections shed"));
     }
 }

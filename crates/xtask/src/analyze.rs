@@ -63,6 +63,7 @@ pub const A2_ENTRIES: &[(&str, &str)] = &[
     ("NveSim::restore", "crates/md/"),
     ("run_with_checkpoints", "crates/md/"),
     ("accept_loop", "crates/serve/"),
+    ("shed_connection", "crates/serve/"),
     ("connection_loop", "crates/serve/"),
     ("worker_loop", "crates/serve/"),
     ("submit_and_wait", "crates/serve/"),

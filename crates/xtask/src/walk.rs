@@ -162,6 +162,7 @@ mod tests {
         for p in [
             "crates/serve/src/server.rs",
             "crates/serve/src/protocol.rs",
+            "crates/serve/src/admission.rs",
             "crates/serve/src/bin/serve.rs",
         ] {
             assert!(scope_for(Path::new(p)).serve, "{p}");

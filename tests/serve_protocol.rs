@@ -213,6 +213,8 @@ fn rand_response(rng: &mut SplitMix64) -> Response {
         5 => Response::Rejected {
             retry_after_ms: rng.gen_index(10_000) as u64,
             queue_depth: rng.gen_index(64) as u64,
+            outstanding_cost: rng.next_u64() >> rng.gen_index(64),
+            cost_budget: rng.next_u64() >> rng.gen_index(64),
         },
         6 => Response::Expired {
             waited_ms: rng.gen_index(100_000) as u64,
