@@ -432,6 +432,9 @@ struct BaselineFamily {
     atoms: u64,
     compute_us: f64,
     short_range_us: Option<f64>,
+    /// Best `speedup_vs_1t` across the family's rows, for the
+    /// thread-scaling gate (only comparable across equal hosts).
+    best_speedup: Option<f64>,
 }
 
 /// Parse a family from `text` — the whole report for the default rows,
@@ -444,10 +447,16 @@ fn parse_baseline_family(text: &str) -> Option<BaselineFamily> {
     let row = &text[one..];
     let compute_us = scan_number(row, "\"compute_us\": ")?;
     let short_range_us = scan_number(row, "\"short_range\": ");
+    let best_speedup = scan_numbers(text, "\"speedup_vs_1t\": ")
+        .into_iter()
+        .fold(None, |best: Option<f64>, s| {
+            Some(best.map_or(s, |b| b.max(s)))
+        });
     Some(BaselineFamily {
         atoms,
         compute_us,
         short_range_us,
+        best_speedup,
     })
 }
 
@@ -457,6 +466,21 @@ fn scan_number(text: &str, key: &str) -> Option<f64> {
     let rest = &text[i..];
     let end = rest.find([',', '}', '\n'])?;
     rest[..end].trim().parse().ok()
+}
+
+/// Every `"key": <number>` occurrence in `text`, in order.
+fn scan_numbers(text: &str, key: &str) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(i) = rest.find(key) {
+        rest = &rest[i + key.len()..];
+        if let Some(end) = rest.find([',', '}', '\n']) {
+            if let Ok(v) = rest[..end].trim().parse() {
+                out.push(v);
+            }
+        }
+    }
+    out
 }
 
 /// `>15%` regression gate on one metric; returns true on failure.
@@ -502,6 +526,56 @@ fn gate_family(label: &str, rows: &[Row], baseline: Option<&BaselineFamily>, ato
         );
     }
     failed
+}
+
+/// Thread-speedup gate: the best multi-thread speedup must stay within
+/// 15% of the committed baseline's best. Only meaningful when the
+/// baseline was recorded on a host with the same available parallelism:
+/// the committed rows were measured at `host_threads: 1` (see
+/// ROADMAP.md), where every "speedup" is pure pool overhead around 1.0×,
+/// so comparing them against a many-core runner (or vice versa) would
+/// gate host topology, not code. Returns true on failure.
+fn gate_speedup(
+    label: &str,
+    rows: &[Row],
+    base: Option<&BaselineFamily>,
+    baseline_host: Option<u64>,
+    host_threads: u64,
+    atoms: u64,
+) -> bool {
+    let Some(base_speedup) = base
+        .filter(|b| b.atoms == atoms)
+        .and_then(|b| b.best_speedup)
+    else {
+        return false;
+    };
+    match baseline_host {
+        Some(h) if h == host_threads => {}
+        Some(h) => {
+            println!(
+                "skipping the {label} thread-speedup gate: baseline recorded at host_threads \
+                 {h}, this host has {host_threads}"
+            );
+            return false;
+        }
+        None => {
+            println!("skipping the {label} thread-speedup gate: baseline records no host_threads");
+            return false;
+        }
+    }
+    let best = rows
+        .iter()
+        .map(|r| rows[0].compute_us / r.compute_us)
+        .fold(0.0, f64::max);
+    println!("baseline {label} best thread speedup: {base_speedup:.3}x -> {best:.3}x");
+    if best < 0.85 * base_speedup {
+        eprintln!(
+            "FAIL: {label} thread speedup regressed: {best:.3}x vs baseline {base_speedup:.3}x \
+             (limit 15%)"
+        );
+        return true;
+    }
+    false
 }
 
 /// Append one family's rows to a JSON object (the shared row schema of
@@ -596,14 +670,32 @@ fn main() {
     if let Some(path) = baseline_path {
         match std::fs::read_to_string(&path) {
             Ok(text) => {
-                let base_default = parse_baseline_family(&text);
-                let base_paper = text
-                    .find("\"paper_box\"")
-                    .and_then(|i| parse_baseline_family(&text[i..]));
+                // Bound each family's scan so the default family's
+                // numbers never bleed into the paper_box rows.
+                let paper_idx = text.find("\"paper_box\"");
+                let base_default = parse_baseline_family(&text[..paper_idx.unwrap_or(text.len())]);
+                let base_paper = paper_idx.and_then(|i| parse_baseline_family(&text[i..]));
+                let baseline_host = scan_number(&text, "\"host_threads\": ").map(|v| v as u64);
                 let mut failed =
                     gate_family("default", &rows, base_default.as_ref(), system.len() as u64);
+                failed |= gate_speedup(
+                    "default",
+                    &rows,
+                    base_default.as_ref(),
+                    baseline_host,
+                    host_threads,
+                    system.len() as u64,
+                );
                 if let Some((atoms, _, prows)) = &paper {
                     failed |= gate_family("paper_box", prows, base_paper.as_ref(), *atoms);
+                    failed |= gate_speedup(
+                        "paper_box",
+                        prows,
+                        base_paper.as_ref(),
+                        baseline_host,
+                        host_threads,
+                        *atoms,
+                    );
                 }
                 if failed {
                     std::process::exit(1);

@@ -26,12 +26,31 @@
 //!    decoded work request, and the admission-cost ledger must balance
 //!    (`outstanding == 0`, admitted == released).
 //!
-//! Emits `BENCH_serve.json` and exits non-zero if any service contract
-//! is violated — the CI `serve-smoke` gate.
+//! With `--cluster N` (N ≥ 2) a seventh section runs after the
+//! single-server suite: a `tme-router` front door over N `tme-serve`
+//! shards, each configured with a `min_service_us` floor so capacity is
+//! latency-bound and scales with shard count even on one core (the
+//! floor emulates the accelerator-offload wait; DESIGN.md §17.6).
+//! The cluster legs gate, in order:
+//!
+//! * **Capacity scaling** — closed-loop saturation through the router
+//!   at 1 shard then N shards; achieved throughput at N shards must be
+//!   ≥ 0.8·N× the 1-shard row (≥ 2.4× at N = 3).
+//! * **Plan-cache affinity** — rendezvous routing must pin each
+//!   distinct configuration to one shard: the repeat-request cache-hit
+//!   rate across the whole cluster must be ≥ 95%.
+//! * **Shard kill** — one shard is drained mid-load; every admitted
+//!   request must still terminate with a typed response (zero lost),
+//!   and fresh keys must land exactly where rendezvous over the
+//!   survivor set predicts (deterministic convergence).
+//!
+//! Emits `BENCH_serve.json` (plus a `cluster_*` row family when
+//! `--cluster` ran) and exits non-zero if any service contract is
+//! violated — the CI `serve-smoke` and `cluster-smoke` gates.
 //!
 //! Usage: `cargo run --release -p tme-bench --bin serve_load --
 //!         [--quick] [--workers 2] [--queue 8] [--cost-budget 32768]
-//!         [--seed 42] [--out BENCH_serve.json]`
+//!         [--cluster N] [--seed 42] [--out BENCH_serve.json]`
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -41,8 +60,10 @@ use tme_core::TmeParams;
 use tme_md::backend::BackendParams;
 use tme_num::rng::SplitMix64;
 use tme_reference::ewald::EwaldParams;
+use tme_router::{pick_shard, route_key, HealthConfig, RouterConfig};
 use tme_serve::{
-    serve, BackoffPolicy, Client, Request, Response, RetryingClient, ServeConfig, WireError,
+    serve, BackoffPolicy, Client, Request, Response, RetryingClient, ServeConfig, ServerHandle,
+    WireError,
 };
 
 fn fail(msg: &str) -> ! {
@@ -287,6 +308,397 @@ fn run_closed_loop(
     totals
 }
 
+// ---------------------------------------------------------------------
+// Cluster mode (`--cluster N`): a tme-router front door over N shards.
+// ---------------------------------------------------------------------
+
+/// Service-time floor for cluster shards. On the single shared CI core
+/// raw compute cannot scale with process count; the floor makes each
+/// shard latency-bound (workers park in the floor, emulating the
+/// accelerator-offload wait), so aggregate capacity is
+/// `shards · workers / floor` and a working router shows near-linear
+/// scaling while a broken one cannot.
+const CLUSTER_FLOOR_US: u64 = 20_000;
+const CLUSTER_WORKERS: usize = 2;
+
+struct ClusterRow {
+    shards: u64,
+    clients: u64,
+    requests: u64,
+    completed: u64,
+    achieved_rps: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+struct ClusterReport {
+    shards: u64,
+    distinct_plans: u64,
+    rows: Vec<ClusterRow>,
+    scaling_x: f64,
+    affinity_hit_rate: f64,
+    kill_requests: u64,
+    kill_completed: u64,
+    kill_gave_up: u64,
+    rerouted: u64,
+    converged: bool,
+}
+
+fn cluster_backend() -> ServerHandle {
+    match serve(ServeConfig {
+        workers: CLUSTER_WORKERS,
+        queue_capacity: 32,
+        min_service_us: CLUSTER_FLOOR_US,
+        ..ServeConfig::default()
+    }) {
+        Ok(h) => h,
+        Err(e) => fail(&format!("cluster backend failed to start: {e}")),
+    }
+}
+
+fn cluster_router(backends: &[&ServerHandle]) -> tme_router::RouterHandle {
+    match tme_router::route(RouterConfig {
+        shards: backends
+            .iter()
+            .map(|b| b.local_addr().to_string())
+            .collect(),
+        health: HealthConfig {
+            strikes: 1,
+            cooldown: Duration::from_millis(500),
+        },
+        connect_timeout_ms: 250,
+        ..RouterConfig::default()
+    }) {
+        Ok(h) => h,
+        Err(e) => fail(&format!("router failed to start: {e}")),
+    }
+}
+
+/// Pick `per_shard` alpha salts per shard so the capacity legs offer a
+/// perfectly balanced keyspace (the harness is measuring scaling, not
+/// hash balance — that has its own property test in `tme-router`), then
+/// interleave them shard-round-robin so a client walking the list keeps
+/// its in-flight requests spread across shards.
+fn balanced_cluster_salts(shards: usize, per_shard: usize) -> Vec<u64> {
+    let all: Vec<usize> = (0..shards).collect();
+    let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); shards];
+    for salt in 0..4_096u64 {
+        if buckets.iter().all(|b| b.len() >= per_shard) {
+            break;
+        }
+        let Some(home) = pick_shard(route_key(&workload_request(salt, 0)), &all) else {
+            fail("rendezvous over a non-empty shard set returned nothing")
+        };
+        if buckets[home].len() < per_shard {
+            buckets[home].push(salt);
+        }
+    }
+    if buckets.iter().any(|b| b.len() < per_shard) {
+        fail("could not find a balanced cluster keyspace in 4096 candidates");
+    }
+    (0..per_shard)
+        .flat_map(|i| buckets.iter().map(move |b| b[i]))
+        .collect()
+}
+
+struct ClusterLeg {
+    requests: u64,
+    completed: u64,
+    gave_up: u64,
+    lost: u64,
+    elapsed_s: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+/// Closed-loop saturation through the router: `clients` concurrent
+/// connections, each walking the (shard-interleaved) salt list from its
+/// own offset. Every request must reach a typed terminal outcome —
+/// anything else counts as `lost`.
+fn cluster_closed_loop(
+    addr: std::net::SocketAddr,
+    salts: &[u64],
+    clients: usize,
+    per_client: usize,
+    seed: u64,
+) -> ClusterLeg {
+    let start = Instant::now();
+    let mut leg = ClusterLeg {
+        requests: (clients * per_client) as u64,
+        completed: 0,
+        gave_up: 0,
+        lost: 0,
+        elapsed_s: 0.0,
+        p50_us: 0,
+        p99_us: 0,
+    };
+    let mut latencies: Vec<u64> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for c in 0..clients {
+            joins.push(scope.spawn(move || {
+                let policy = BackoffPolicy {
+                    base_ms: 2,
+                    cap_ms: 50,
+                    max_attempts: 12,
+                };
+                let mut rc =
+                    RetryingClient::new(addr, policy, seed ^ (c as u64).wrapping_mul(0x9e37));
+                let mut out = (0u64, 0u64, 0u64, Vec::new());
+                for k in 0..per_client {
+                    let salt = salts[(c + k) % salts.len()];
+                    let t0 = Instant::now();
+                    match rc.call(&workload_request(salt, 0)) {
+                        Ok(Response::Computed { .. }) => {
+                            out.0 += 1;
+                            out.3
+                                .push(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+                        }
+                        Ok(Response::Rejected { .. }) | Ok(Response::Expired { .. }) => out.1 += 1,
+                        Ok(_) | Err(_) => out.2 += 1,
+                    }
+                }
+                out
+            }));
+        }
+        for j in joins {
+            let Ok((completed, gave_up, lost, lats)) = j.join() else {
+                fail("cluster client thread panicked");
+            };
+            leg.completed += completed;
+            leg.gave_up += gave_up;
+            leg.lost += lost;
+            latencies.extend(lats);
+        }
+    });
+    leg.elapsed_s = start.elapsed().as_secs_f64().max(1e-6);
+    latencies.sort_unstable();
+    leg.p50_us = percentile(&latencies, 0.50);
+    leg.p99_us = percentile(&latencies, 0.99);
+    leg
+}
+
+/// Plant every salt's plan once, sequentially, so the timed legs never
+/// race two workers into building the same plan (which would double-count
+/// misses in the affinity ledger).
+fn cluster_warm(addr: std::net::SocketAddr, salts: &[u64]) {
+    let mut client = RetryingClient::new(addr, BackoffPolicy::default(), 0x77AB);
+    for &salt in salts {
+        if !matches!(
+            client.call(&workload_request(salt, 0)),
+            Ok(Response::Computed { .. })
+        ) {
+            fail("cluster warm-up request failed");
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_cluster(shards: usize, quick: bool, seed: u64) -> ClusterReport {
+    let clients = 6 * shards;
+    let per_client = if quick { 8 } else { 20 };
+    let salts = balanced_cluster_salts(shards, 4);
+    println!(
+        "# cluster: {shards} shards x {CLUSTER_WORKERS} workers, {} µs service floor, \
+         {} balanced configurations, {clients} closed-loop clients",
+        CLUSTER_FLOOR_US,
+        salts.len()
+    );
+
+    // Leg 1: capacity through the router over a single shard.
+    let solo = cluster_backend();
+    let solo_router = cluster_router(&[&solo]);
+    cluster_warm(solo_router.local_addr(), &salts);
+    let one = cluster_closed_loop(solo_router.local_addr(), &salts, clients, per_client, seed);
+    solo_router.join();
+    solo.trigger_drain();
+    solo.join();
+    if one.lost > 0 {
+        fail(&format!("{} requests lost in the 1-shard leg", one.lost));
+    }
+    println!(
+        "cluster 1 shard:  {}/{} completed in {:.2} s -> {:.0} rps (p50 {} µs, p99 {} µs)",
+        one.completed,
+        one.requests,
+        one.elapsed_s,
+        one.completed as f64 / one.elapsed_s,
+        one.p50_us,
+        one.p99_us
+    );
+
+    // Leg 2: same offered pattern over N shards.
+    let mut backends: Vec<Option<ServerHandle>> =
+        (0..shards).map(|_| Some(cluster_backend())).collect();
+    let refs: Vec<&ServerHandle> = backends.iter().map(|b| b.as_ref().expect("live")).collect();
+    let router = cluster_router(&refs);
+    let addr = router.local_addr();
+    cluster_warm(addr, &salts);
+    let many = cluster_closed_loop(addr, &salts, clients, per_client, seed ^ 0x5EED);
+    if many.lost > 0 {
+        fail(&format!(
+            "{} requests lost in the {shards}-shard leg",
+            many.lost
+        ));
+    }
+    let achieved_1 = one.completed as f64 / one.elapsed_s;
+    let achieved_n = many.completed as f64 / many.elapsed_s;
+    let scaling = achieved_n / achieved_1.max(1e-9);
+    let scaling_gate = 0.8 * shards as f64;
+    println!(
+        "cluster {shards} shards: {}/{} completed in {:.2} s -> {:.0} rps (p50 {} µs, p99 {} µs) \
+         = {scaling:.2}x the 1-shard row",
+        many.completed, many.requests, many.elapsed_s, achieved_n, many.p50_us, many.p99_us
+    );
+    if scaling < scaling_gate {
+        fail(&format!(
+            "capacity scaling {scaling:.2}x at {shards} shards below the {scaling_gate:.1}x gate \
+             — the router is not spreading load"
+        ));
+    }
+
+    // Affinity ledger, before the kill disturbs it: every repeat of an
+    // already-planted configuration must hit the plan cache on whichever
+    // shard rendezvous pinned it to.
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for b in &refs {
+        let s = b.stats();
+        hits += s.cache_hits;
+        misses += s.cache_misses;
+    }
+    let distinct = salts.len() as u64;
+    let repeats = (hits + misses).saturating_sub(distinct);
+    let affinity = if repeats == 0 {
+        0.0
+    } else {
+        hits as f64 / repeats as f64
+    };
+    println!(
+        "cluster affinity: {hits} hits / {misses} misses over {distinct} distinct plans \
+         -> {:.1}% repeat hit rate",
+        100.0 * affinity
+    );
+    if affinity < 0.95 {
+        fail(&format!(
+            "plan-cache affinity {:.1}% below the 95% gate — routing is not sticky",
+            100.0 * affinity
+        ));
+    }
+
+    // Leg 3: drain one shard mid-load. Every admitted request must still
+    // terminate with a typed response — failover, not loss.
+    let victim = 1usize.min(shards - 1);
+    let kill_per_client = if quick { 6 } else { 10 };
+    let mut kill = ClusterLeg {
+        requests: 0,
+        completed: 0,
+        gave_up: 0,
+        lost: 0,
+        elapsed_s: 0.0,
+        p50_us: 0,
+        p99_us: 0,
+    };
+    std::thread::scope(|scope| {
+        let salts = &salts;
+        let load = scope.spawn(move || {
+            cluster_closed_loop(addr, salts, clients, kill_per_client, seed ^ 0x13111)
+        });
+        std::thread::sleep(Duration::from_millis(250));
+        let dead = backends[victim].take().expect("victim still alive");
+        dead.trigger_drain();
+        dead.join();
+        match load.join() {
+            Ok(leg) => kill = leg,
+            Err(_) => fail("kill-leg load thread panicked"),
+        }
+    });
+    println!(
+        "cluster kill: drained shard {victim} mid-load; {}/{} completed, {} gave up, {} lost",
+        kill.completed, kill.requests, kill.gave_up, kill.lost
+    );
+    if kill.lost > 0 {
+        fail(&format!(
+            "{} admitted requests lost across the shard kill",
+            kill.lost
+        ));
+    }
+    if kill.completed + kill.gave_up != kill.requests {
+        fail("kill-leg accounting does not cover every request");
+    }
+    if kill.gave_up > 0 {
+        fail(&format!(
+            "{} requests exhausted their retries across the shard kill — failover is too slow",
+            kill.gave_up
+        ));
+    }
+
+    // Deterministic convergence: fresh keys land exactly where rendezvous
+    // over the survivor set says, and the dead shard sees nothing.
+    let survivors: Vec<usize> = (0..shards).filter(|&s| s != victim).collect();
+    let before = router.stats();
+    let mut expected = vec![0u64; shards];
+    let mut client = RetryingClient::new(addr, BackoffPolicy::default(), seed ^ 0xC0);
+    for salt in 200..212u64 {
+        let req = workload_request(salt, 0);
+        match pick_shard(route_key(&req), &survivors) {
+            Some(s) => expected[s] += 1,
+            None => fail("rendezvous over the survivors returned nothing"),
+        }
+        if !matches!(client.call(&req), Ok(Response::Computed { .. })) {
+            fail("post-kill request did not complete");
+        }
+    }
+    let after = router.stats();
+    let mut converged = after.shards[victim].forwarded == before.shards[victim].forwarded;
+    for s in &survivors {
+        converged &= after.shards[*s].forwarded - before.shards[*s].forwarded == expected[*s];
+    }
+    if !converged {
+        fail("post-kill keyspace did not converge to the rendezvous prediction");
+    }
+    println!("cluster convergence: 12 fresh keys landed exactly on their rendezvous survivors");
+
+    let stats = router.join();
+    if stats.protocol_errors > 0 {
+        fail(&format!("{} router protocol errors", stats.protocol_errors));
+    }
+    for b in backends.into_iter().flatten() {
+        b.trigger_drain();
+        b.join();
+    }
+
+    ClusterReport {
+        shards: shards as u64,
+        distinct_plans: distinct,
+        rows: vec![
+            ClusterRow {
+                shards: 1,
+                clients: clients as u64,
+                requests: one.requests,
+                completed: one.completed,
+                achieved_rps: achieved_1,
+                p50_us: one.p50_us,
+                p99_us: one.p99_us,
+            },
+            ClusterRow {
+                shards: shards as u64,
+                clients: clients as u64,
+                requests: many.requests,
+                completed: many.completed,
+                achieved_rps: achieved_n,
+                p50_us: many.p50_us,
+                p99_us: many.p99_us,
+            },
+        ],
+        scaling_x: scaling,
+        affinity_hit_rate: affinity,
+        kill_requests: kill.requests,
+        kill_completed: kill.completed,
+        kill_gave_up: kill.gave_up,
+        rerouted: stats.rerouted,
+        converged,
+    }
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() {
     tme_bench::init_cli();
@@ -295,7 +707,11 @@ fn main() {
     let workers: usize = args.get("--workers", 2);
     let queue: usize = args.get("--queue", 8);
     let cost_budget: u64 = args.get("--cost-budget", 32_768);
+    let cluster: usize = args.get("--cluster", 0);
     let seed: u64 = args.get("--seed", 42);
+    if cluster == 1 {
+        fail("--cluster needs at least 2 shards (omit it for the single-server suite)");
+    }
     let out_path = args
         .opt("--out")
         .unwrap_or_else(|| "BENCH_serve.json".to_string());
@@ -547,6 +963,9 @@ fn main() {
         stats.queue_max_depth, stats.admitted_cost
     );
 
+    // 7. Cluster legs (opt-in): router + N floored shards.
+    let cluster_report = (cluster >= 2).then(|| run_cluster(cluster, quick, seed));
+
     let json = tme_bench::json::report("serve_load", |o| {
         o.u64("seed", seed)
             .u64("workers", workers as u64)
@@ -580,6 +999,27 @@ fn main() {
             .u64("closed_loop_gave_up", cl_gave_up)
             .u64("closed_loop_retries", cl_retries)
             .u64("closed_loop_sheds", cl_sheds);
+        if let Some(c) = &cluster_report {
+            o.u64("cluster_shards", c.shards)
+                .u64("cluster_floor_us", CLUSTER_FLOOR_US)
+                .u64("cluster_distinct_plans", c.distinct_plans)
+                .rows("cluster_rows", &c.rows, |r, row| {
+                    row.u64("shards", r.shards)
+                        .u64("clients", r.clients)
+                        .u64("requests", r.requests)
+                        .u64("completed", r.completed)
+                        .f64("achieved_rps", r.achieved_rps, 1)
+                        .u64("p50_us", r.p50_us)
+                        .u64("p99_us", r.p99_us);
+                })
+                .f64("cluster_scaling_x", c.scaling_x, 2)
+                .f64("cluster_affinity_hit_rate", c.affinity_hit_rate, 4)
+                .u64("cluster_kill_requests", c.kill_requests)
+                .u64("cluster_kill_completed", c.kill_completed)
+                .u64("cluster_kill_gave_up", c.kill_gave_up)
+                .u64("cluster_rerouted", c.rerouted)
+                .bool("cluster_converged", c.converged);
+        }
     });
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("wrote {out_path}"),

@@ -1,0 +1,303 @@
+//! Backend health: strike-based ejection with jittered half-open
+//! re-probe.
+//!
+//! The serve protocol already emits the two signals that matter — the
+//! one-byte shed marker (overloaded but alive) and transport errors
+//! (dead or dying) — so health needs no side channel. Each shard walks
+//! a three-state machine:
+//!
+//! ```text
+//!   Healthy --strikes ≥ threshold--> Ejected --cooldown--> HalfOpen
+//!      ^                                ^                     |
+//!      |______ probe ok ________________|____ probe fails ____|
+//! ```
+//!
+//! * **Healthy** — receives forwards. Sheds and transport errors add
+//!   strikes; any success clears them (a healthy shard that sheds once
+//!   under a burst should not creep toward ejection forever).
+//! * **Ejected** — receives nothing; its keyspace deterministically
+//!   re-hashes onto the survivors ([`crate::rendezvous`]). The cooldown
+//!   is jittered per ejection so a fleet of routers does not re-probe a
+//!   recovering shard in lockstep — the same decorrelation argument as
+//!   the retrying client's backoff jitter.
+//! * **HalfOpen** — past cooldown. Still receives no forwards; the
+//!   probe thread sends exactly one Stats probe. Success restores
+//!   Healthy (the keyspace snaps back, rendezvous makes that exact),
+//!   failure re-ejects with a fresh jittered cooldown.
+
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+use tme_num::rng::SplitMix64;
+
+/// Health policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct HealthConfig {
+    /// Consecutive failures that eject a shard.
+    pub strikes: u32,
+    /// Base cooldown before an ejected shard goes half-open; each
+    /// ejection draws a jitter in `[1.0, 1.5]×` this.
+    pub cooldown: Duration,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            strikes: 2,
+            cooldown: Duration::from_millis(500),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    Healthy,
+    Ejected,
+    HalfOpen,
+}
+
+struct Entry {
+    state: State,
+    strikes: u32,
+    /// When an ejected shard becomes due for a half-open probe.
+    retry_at: Instant,
+    /// Lifetime ejection count (observability).
+    ejections: u64,
+}
+
+struct Inner {
+    entries: Vec<Entry>,
+    rng: SplitMix64,
+}
+
+/// Shared health table for all shards (interior mutability; callers
+/// hold it behind an `Arc`).
+pub struct ShardHealth {
+    cfg: HealthConfig,
+    inner: Mutex<Inner>,
+}
+
+impl ShardHealth {
+    /// A table of `n` shards, all healthy. `seed` drives cooldown
+    /// jitter only — routing stays fully deterministic.
+    #[must_use]
+    pub fn new(n: usize, cfg: HealthConfig, seed: u64) -> Self {
+        let now = Instant::now();
+        let entries = (0..n)
+            .map(|_| Entry {
+                state: State::Healthy,
+                strikes: 0,
+                retry_at: now,
+                ejections: 0,
+            })
+            .collect();
+        Self {
+            cfg,
+            inner: Mutex::new(Inner {
+                entries,
+                rng: SplitMix64::seed_from_u64(seed),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Indices of shards currently eligible for forwards (Healthy only
+    /// — a half-open shard earns its keyspace back via probe first).
+    pub fn healthy_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        let inner = self.lock();
+        out.extend(
+            inner
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.state == State::Healthy)
+                .map(|(i, _)| i),
+        );
+    }
+
+    /// A forward to `shard` completed (any decoded response, including
+    /// `Rejected` — backpressure is a healthy answer).
+    pub fn note_success(&self, shard: usize) {
+        let mut inner = self.lock();
+        if let Some(e) = inner.entries.get_mut(shard) {
+            if e.state == State::Healthy {
+                e.strikes = 0;
+            }
+        }
+    }
+
+    /// A forward to `shard` failed (shed marker or transport error).
+    /// Returns `true` when this strike ejected the shard.
+    pub fn note_strike(&self, shard: usize) -> bool {
+        let threshold = self.cfg.strikes.max(1);
+        let cooldown = self.cfg.cooldown;
+        let mut inner = self.lock();
+        let jitter = 1.0 + 0.5 * inner.rng.uniform();
+        let Some(e) = inner.entries.get_mut(shard) else {
+            return false;
+        };
+        match e.state {
+            State::Healthy => {
+                e.strikes += 1;
+                if e.strikes >= threshold {
+                    e.state = State::Ejected;
+                    e.retry_at = Instant::now() + cooldown.mul_f64(jitter);
+                    e.ejections += 1;
+                    return true;
+                }
+                false
+            }
+            // A half-open shard never receives forwards, but a probe
+            // raced an ejection: re-eject defensively.
+            State::HalfOpen => {
+                e.state = State::Ejected;
+                e.retry_at = Instant::now() + cooldown.mul_f64(jitter);
+                e.ejections += 1;
+                true
+            }
+            State::Ejected => false,
+        }
+    }
+
+    /// Transition every cooled-down ejected shard to half-open and
+    /// append their indices to `out` — the probe thread's work list.
+    pub fn take_due_probes(&self, now: Instant, out: &mut Vec<usize>) {
+        let mut inner = self.lock();
+        for (i, e) in inner.entries.iter_mut().enumerate() {
+            if e.state == State::Ejected && now >= e.retry_at {
+                e.state = State::HalfOpen;
+                out.push(i);
+            }
+        }
+    }
+
+    /// Report a half-open probe's outcome.
+    pub fn probe_outcome(&self, shard: usize, ok: bool) {
+        let cooldown = self.cfg.cooldown;
+        let mut inner = self.lock();
+        let jitter = 1.0 + 0.5 * inner.rng.uniform();
+        let Some(e) = inner.entries.get_mut(shard) else {
+            return;
+        };
+        if e.state != State::HalfOpen {
+            return;
+        }
+        if ok {
+            e.state = State::Healthy;
+            e.strikes = 0;
+        } else {
+            e.state = State::Ejected;
+            e.retry_at = Instant::now() + cooldown.mul_f64(jitter);
+            e.ejections += 1;
+        }
+    }
+
+    /// Lifetime ejections per shard (stats snapshot).
+    #[must_use]
+    pub fn ejections(&self) -> Vec<u64> {
+        self.lock().entries.iter().map(|e| e.ejections).collect()
+    }
+
+    /// Current state name per shard (stats snapshot).
+    #[must_use]
+    pub fn state_names(&self) -> Vec<&'static str> {
+        self.lock()
+            .entries
+            .iter()
+            .map(|e| match e.state {
+                State::Healthy => "healthy",
+                State::Ejected => "ejected",
+                State::HalfOpen => "half_open",
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HealthConfig {
+        HealthConfig {
+            strikes: 2,
+            cooldown: Duration::from_millis(10),
+        }
+    }
+
+    fn healthy(h: &ShardHealth) -> Vec<usize> {
+        let mut out = Vec::new();
+        h.healthy_into(&mut out);
+        out
+    }
+
+    #[test]
+    fn strikes_eject_and_success_clears() {
+        let h = ShardHealth::new(3, cfg(), 1);
+        assert_eq!(healthy(&h), vec![0, 1, 2]);
+        // One strike, then a success: counter resets, no creep.
+        assert!(!h.note_strike(1));
+        h.note_success(1);
+        assert!(!h.note_strike(1), "counter was reset by success");
+        // Second consecutive strike ejects.
+        assert!(h.note_strike(1));
+        assert_eq!(healthy(&h), vec![0, 2]);
+        assert_eq!(h.ejections(), vec![0, 1, 0]);
+        assert_eq!(h.state_names()[1], "ejected");
+        // Striking an already-ejected shard is a no-op.
+        assert!(!h.note_strike(1));
+        assert_eq!(h.ejections(), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn cooldown_gates_the_half_open_probe() {
+        let h = ShardHealth::new(2, cfg(), 2);
+        h.note_strike(0);
+        h.note_strike(0);
+        let mut due = Vec::new();
+        // Not due immediately (jittered cooldown ≥ 10 ms away).
+        h.take_due_probes(Instant::now(), &mut due);
+        assert!(due.is_empty());
+        // Due once past the jitter ceiling (1.5 × cooldown).
+        h.take_due_probes(Instant::now() + Duration::from_millis(20), &mut due);
+        assert_eq!(due, vec![0]);
+        assert_eq!(h.state_names()[0], "half_open");
+        // Half-open still gets no forwards, and is not re-listed.
+        assert_eq!(healthy(&h), vec![1]);
+        due.clear();
+        h.take_due_probes(Instant::now() + Duration::from_millis(40), &mut due);
+        assert!(due.is_empty());
+    }
+
+    #[test]
+    fn probe_outcome_restores_or_re_ejects() {
+        let h = ShardHealth::new(2, cfg(), 3);
+        h.note_strike(0);
+        h.note_strike(0);
+        let mut due = Vec::new();
+        h.take_due_probes(Instant::now() + Duration::from_millis(20), &mut due);
+        assert_eq!(due, vec![0]);
+        // Failed probe: back to ejected, ejection count grows.
+        h.probe_outcome(0, false);
+        assert_eq!(h.state_names()[0], "ejected");
+        assert_eq!(h.ejections(), vec![2, 0]);
+        // Cool down again, probe succeeds: fully healthy.
+        due.clear();
+        h.take_due_probes(Instant::now() + Duration::from_millis(40), &mut due);
+        assert_eq!(due, vec![0]);
+        h.probe_outcome(0, true);
+        assert_eq!(healthy(&h), vec![0, 1]);
+        // Strikes were reset on recovery: one new strike doesn't eject.
+        assert!(!h.note_strike(0));
+    }
+
+    #[test]
+    fn probe_outcome_on_a_healthy_shard_is_ignored() {
+        let h = ShardHealth::new(1, cfg(), 4);
+        h.probe_outcome(0, false);
+        assert_eq!(h.state_names()[0], "healthy");
+        assert_eq!(healthy(&h), vec![0]);
+    }
+}

@@ -1,0 +1,695 @@
+//! Per-tenant admission ahead of forwarding: token-bucket rate quotas
+//! and deficit-round-robin (DRR) fair share over the router's bounded
+//! forward slots.
+//!
+//! The backend's admission pipeline (serve, DESIGN.md §16) protects the
+//! *machine*; this module protects *tenants from each other* before any
+//! byte reaches a backend. Two independent mechanisms:
+//!
+//! * [`TenantBuckets`] — a classic token bucket per tenant id: sustained
+//!   rate `rate_per_sec`, burst ceiling `burst`. Refill is computed
+//!   lazily from a monotonic clock at each take, in micro-tokens so
+//!   fractional refill never rounds to zero at high call rates. The
+//!   tenant map is bounded LRU — a hostile client cycling tenant ids
+//!   cannot grow router memory.
+//! * [`FairShare`] — DRR over the bounded number of in-flight forwards.
+//!   Each waiting tenant holds a FIFO lane and a deficit counter priced
+//!   in the same cost units as the backend's admission cost model; the
+//!   grant loop advances every waiting lane's deficit by whole quanta
+//!   and grants the lane that needs the fewest quanta to afford its
+//!   head. A tenant flooding cheap requests and a tenant sending one
+//!   big run each drain at the same cost rate, not the same request
+//!   rate.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Token-bucket quota configuration. `rate_per_sec == 0` disables
+/// quotas entirely (every take succeeds) — the single-tenant and bench
+/// default.
+#[derive(Clone, Copy, Debug)]
+pub struct QuotaConfig {
+    /// Sustained requests per second per tenant (0 = unlimited).
+    pub rate_per_sec: u64,
+    /// Burst ceiling in whole requests; also the initial fill.
+    pub burst: u64,
+    /// Max distinct tenants tracked; least-recently-active evicted.
+    pub max_tenants: usize,
+}
+
+impl Default for QuotaConfig {
+    fn default() -> Self {
+        Self {
+            rate_per_sec: 0,
+            burst: 16,
+            max_tenants: 1024,
+        }
+    }
+}
+
+/// One token, in the micro-token fixed-point the buckets count in.
+const MICRO: u64 = 1_000_000;
+
+struct Bucket {
+    tenant: u64,
+    /// Micro-tokens currently available.
+    micro: u64,
+    /// Last refill instant.
+    last: Instant,
+}
+
+/// Bounded per-tenant token buckets (interior mutability; callers share
+/// it behind an `Arc`).
+pub struct TenantBuckets {
+    cfg: QuotaConfig,
+    /// Move-to-front LRU, most recent first — same shape as the serve
+    /// plan cache; linear scan is fine at the configured bound.
+    slots: Mutex<Vec<Bucket>>,
+}
+
+impl TenantBuckets {
+    #[must_use]
+    pub fn new(cfg: QuotaConfig) -> Self {
+        Self {
+            cfg,
+            slots: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Take one token for `tenant` at `now`. `Err(retry_ms)` when the
+    /// bucket is empty: the duration until one token refills, which the
+    /// router passes straight through as the `Rejected` retry hint.
+    pub fn try_take(&self, tenant: u64, now: Instant) -> Result<(), u64> {
+        if self.cfg.rate_per_sec == 0 {
+            return Ok(());
+        }
+        let cap = self.cfg.burst.max(1).saturating_mul(MICRO);
+        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        let pos = slots.iter().position(|b| b.tenant == tenant);
+        let mut bucket = match pos {
+            Some(i) => slots.remove(i),
+            None => {
+                if slots.len() >= self.cfg.max_tenants.max(1) {
+                    // Evict the least-recently-active tenant. It re-enters
+                    // later with a full burst — slightly generous, never
+                    // unbounded.
+                    slots.pop();
+                }
+                Bucket {
+                    tenant,
+                    micro: cap,
+                    last: now,
+                }
+            }
+        };
+        // Lazy refill: rate tokens/s = rate micro-tokens/µs ÷ 1e6, i.e.
+        // elapsed_µs × rate micro-tokens.
+        let elapsed_us = now.saturating_duration_since(bucket.last).as_micros();
+        let refill = u64::try_from(elapsed_us)
+            .unwrap_or(u64::MAX)
+            .saturating_mul(self.cfg.rate_per_sec);
+        bucket.micro = bucket.micro.saturating_add(refill).min(cap);
+        bucket.last = now;
+        let outcome = if bucket.micro >= MICRO {
+            bucket.micro -= MICRO;
+            Ok(())
+        } else {
+            // Time until one whole token exists, in ms (ceiling, ≥ 1).
+            let deficit = MICRO - bucket.micro;
+            let wait_us = deficit.div_ceil(self.cfg.rate_per_sec);
+            Err(wait_us.div_ceil(1_000).max(1))
+        };
+        slots.insert(0, bucket);
+        outcome
+    }
+}
+
+/// Fair-share configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct FairConfig {
+    /// Max forwards in flight across all tenants (the slot pool DRR
+    /// arbitrates).
+    pub max_active: usize,
+    /// Cost units added to every waiting lane per DRR round. Smaller
+    /// quanta interleave tenants more finely at slightly more grant
+    /// arithmetic; the serve cost model's `COST_BASE` (16) per round is
+    /// far too fine — default is one small compute request.
+    pub quantum: u64,
+    /// Max requests a single tenant may have waiting; beyond this the
+    /// tenant (not the cluster) is told to back off.
+    pub max_waiting_per_tenant: usize,
+}
+
+impl Default for FairConfig {
+    fn default() -> Self {
+        Self {
+            max_active: 64,
+            quantum: 4_096,
+            max_waiting_per_tenant: 32,
+        }
+    }
+}
+
+/// Why [`FairShare::acquire`] refused a slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FairRefusal {
+    /// This tenant already has `max_waiting_per_tenant` requests parked.
+    TenantBacklogFull,
+    /// The request's deadline passed before a slot was granted.
+    DeadlineExceeded,
+    /// The router is draining; no new slots will ever be granted.
+    Closed,
+}
+
+/// One tenant's waiting lane.
+struct Lane {
+    tenant: u64,
+    /// Cost credit accumulated across DRR rounds.
+    deficit: u64,
+    /// Waiting (ticket, cost) pairs, FIFO within the tenant.
+    waiting: VecDeque<(u64, u64)>,
+}
+
+struct DrrState {
+    /// Slots currently granted and not yet released.
+    active: usize,
+    /// Waiting lanes in round-robin order. Lanes are removed (and their
+    /// deficit forgotten) when empty, so an idle tenant cannot bank
+    /// credit — standard DRR.
+    lanes: Vec<Lane>,
+    /// Round-robin cursor: index of the lane the next tie breaks to.
+    cursor: usize,
+    next_ticket: u64,
+    /// Tickets granted but not yet collected by their waiter.
+    granted: Vec<u64>,
+    closed: bool,
+}
+
+/// Deficit-round-robin arbiter over the router's forward slots.
+pub struct FairShare {
+    cfg: FairConfig,
+    state: Mutex<DrrState>,
+    grants: Condvar,
+}
+
+/// An acquired forward slot; dropping it releases the slot and runs the
+/// grant loop for the next waiter.
+pub struct FairSlot<'a> {
+    share: &'a FairShare,
+}
+
+impl Drop for FairSlot<'_> {
+    fn drop(&mut self) {
+        self.share.release();
+    }
+}
+
+impl FairShare {
+    #[must_use]
+    pub fn new(cfg: FairConfig) -> Self {
+        Self {
+            cfg,
+            state: Mutex::new(DrrState {
+                active: 0,
+                lanes: Vec::new(),
+                cursor: 0,
+                next_ticket: 0,
+                granted: Vec::new(),
+                closed: false,
+            }),
+            grants: Condvar::new(),
+        }
+    }
+
+    /// Grant slots while any are free and anyone is waiting. The grant
+    /// is analytic, not iterative: the winner is the lane needing the
+    /// fewest whole quanta to afford its head request, every waiting
+    /// lane is advanced by exactly that many quanta, and the winner
+    /// pays its head's cost — identical outcomes to textbook
+    /// round-at-a-time DRR without spinning rounds that grant nothing.
+    fn run_grants(&self, state: &mut DrrState) -> bool {
+        let mut granted_any = false;
+        while state.active < self.cfg.max_active && !state.lanes.is_empty() && !state.closed {
+            // Fewest-quanta-to-afford winner, ties to round-robin order
+            // starting at the cursor.
+            let n = state.lanes.len();
+            let cursor = state.cursor.min(n.saturating_sub(1));
+            let mut winner: Option<(u64, usize)> = None; // (rounds, offset)
+            for offset in 0..n {
+                let lane = &state.lanes[(cursor + offset) % n];
+                let Some(&(_, head_cost)) = lane.waiting.front() else {
+                    continue;
+                };
+                let need = head_cost.saturating_sub(lane.deficit);
+                let rounds = need.div_ceil(self.cfg.quantum.max(1));
+                if winner.is_none_or(|(best, _)| rounds < best) {
+                    winner = Some((rounds, offset));
+                }
+            }
+            let Some((rounds, offset)) = winner else {
+                break;
+            };
+            let advance = rounds.saturating_mul(self.cfg.quantum.max(1));
+            for lane in &mut state.lanes {
+                if !lane.waiting.is_empty() {
+                    lane.deficit = lane.deficit.saturating_add(advance);
+                }
+            }
+            let idx = (cursor + offset) % n;
+            let lane = &mut state.lanes[idx];
+            if let Some((ticket, cost)) = lane.waiting.pop_front() {
+                lane.deficit = lane.deficit.saturating_sub(cost);
+                state.granted.push(ticket);
+                state.active += 1;
+                granted_any = true;
+            }
+            if state.lanes[idx].waiting.is_empty() {
+                state.lanes.remove(idx);
+                state.cursor = if state.lanes.is_empty() {
+                    0
+                } else {
+                    idx % state.lanes.len()
+                };
+            } else {
+                state.cursor = (idx + 1) % state.lanes.len().max(1);
+            }
+        }
+        granted_any
+    }
+
+    /// Block until this tenant is granted a forward slot, the deadline
+    /// passes, the tenant's backlog bound is hit, or the router closes.
+    pub fn acquire(
+        &self,
+        tenant: u64,
+        cost: u64,
+        deadline: Option<Instant>,
+    ) -> Result<FairSlot<'_>, FairRefusal> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.closed {
+            return Err(FairRefusal::Closed);
+        }
+        let lane_len = state
+            .lanes
+            .iter()
+            .find(|l| l.tenant == tenant)
+            .map_or(0, |l| l.waiting.len());
+        if lane_len >= self.cfg.max_waiting_per_tenant.max(1) {
+            return Err(FairRefusal::TenantBacklogFull);
+        }
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        match state.lanes.iter_mut().find(|l| l.tenant == tenant) {
+            Some(lane) => lane.waiting.push_back((ticket, cost)),
+            None => state.lanes.push(Lane {
+                tenant,
+                deficit: 0,
+                waiting: VecDeque::from([(ticket, cost)]),
+            }),
+        }
+        if self.run_grants(&mut state) {
+            self.grants.notify_all();
+        }
+        loop {
+            if let Some(i) = state.granted.iter().position(|&t| t == ticket) {
+                state.granted.swap_remove(i);
+                return Ok(FairSlot { share: self });
+            }
+            if state.closed {
+                Self::forget_ticket(&mut state, tenant, ticket);
+                return Err(FairRefusal::Closed);
+            }
+            let timed_out = match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        true
+                    } else {
+                        let (s, t) = self
+                            .grants
+                            .wait_timeout(state, d - now)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        state = s;
+                        t.timed_out() && Instant::now() >= d
+                    }
+                }
+                None => {
+                    state = self
+                        .grants
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    false
+                }
+            };
+            if timed_out {
+                // The grant may have raced the timeout: if it landed,
+                // take the slot and release it properly so `active`
+                // stays balanced, then report the deadline.
+                if let Some(i) = state.granted.iter().position(|&t| t == ticket) {
+                    state.granted.swap_remove(i);
+                    drop(state);
+                    drop(FairSlot { share: self });
+                } else {
+                    Self::forget_ticket(&mut state, tenant, ticket);
+                }
+                return Err(FairRefusal::DeadlineExceeded);
+            }
+        }
+    }
+
+    /// Remove a still-waiting ticket (timeout/close paths).
+    fn forget_ticket(state: &mut DrrState, tenant: u64, ticket: u64) {
+        if let Some(idx) = state.lanes.iter().position(|l| l.tenant == tenant) {
+            state.lanes[idx].waiting.retain(|&(t, _)| t != ticket);
+            if state.lanes[idx].waiting.is_empty() {
+                state.lanes.remove(idx);
+                let n = state.lanes.len();
+                if n == 0 {
+                    state.cursor = 0;
+                } else if state.cursor > idx {
+                    state.cursor -= 1;
+                } else {
+                    state.cursor %= n;
+                }
+            }
+        }
+    }
+
+    fn release(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.active = state.active.saturating_sub(1);
+        let granted = self.run_grants(&mut state);
+        drop(state);
+        if granted {
+            self.grants.notify_all();
+        }
+    }
+
+    /// Stop granting and wake every waiter with [`FairRefusal::Closed`].
+    /// In-flight slots drain normally (their `Drop` still runs).
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.closed = true;
+        drop(state);
+        self.grants.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn zero_rate_means_unlimited() {
+        let buckets = TenantBuckets::new(QuotaConfig {
+            rate_per_sec: 0,
+            ..QuotaConfig::default()
+        });
+        let now = Instant::now();
+        for _ in 0..10_000 {
+            assert!(buckets.try_take(7, now).is_ok());
+        }
+    }
+
+    #[test]
+    fn burst_then_rate_limits() {
+        let buckets = TenantBuckets::new(QuotaConfig {
+            rate_per_sec: 100,
+            burst: 4,
+            max_tenants: 8,
+        });
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            assert!(buckets.try_take(1, t0).is_ok(), "burst admits");
+        }
+        let hint = buckets.try_take(1, t0).expect_err("burst exhausted");
+        // One token at 100/s is 10 ms away.
+        assert!((1..=10).contains(&hint), "hint {hint} ms");
+        // 20 ms later two tokens refilled.
+        let t1 = t0 + Duration::from_millis(20);
+        assert!(buckets.try_take(1, t1).is_ok());
+        assert!(buckets.try_take(1, t1).is_ok());
+        assert!(buckets.try_take(1, t1).is_err());
+        // A different tenant has its own bucket.
+        assert!(buckets.try_take(2, t1).is_ok());
+    }
+
+    #[test]
+    fn tenant_map_is_bounded() {
+        let buckets = TenantBuckets::new(QuotaConfig {
+            rate_per_sec: 1,
+            burst: 1,
+            max_tenants: 4,
+        });
+        let now = Instant::now();
+        // Hostile churn: 10k distinct tenant ids.
+        for tenant in 0..10_000u64 {
+            let _ = buckets.try_take(tenant, now);
+        }
+        let len = buckets
+            .slots
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len();
+        assert!(len <= 4, "tenant map grew to {len}");
+    }
+
+    #[test]
+    fn slots_are_granted_up_to_max_active() {
+        let share = FairShare::new(FairConfig {
+            max_active: 2,
+            ..FairConfig::default()
+        });
+        let a = share.acquire(1, 16, None).expect("first slot");
+        let b = share.acquire(1, 16, None).expect("second slot");
+        // Third must wait; a tight deadline turns that into a refusal.
+        let deadline = Some(Instant::now() + Duration::from_millis(20));
+        assert_eq!(
+            share.acquire(1, 16, deadline).err().expect("pool full"),
+            FairRefusal::DeadlineExceeded
+        );
+        drop(a);
+        let c = share.acquire(1, 16, Some(Instant::now() + Duration::from_secs(1)));
+        assert!(c.is_ok(), "released slot re-granted");
+        drop(b);
+        drop(c);
+    }
+
+    #[test]
+    fn backlog_bound_is_per_tenant() {
+        let share = FairShare::new(FairConfig {
+            max_active: 1,
+            quantum: 16,
+            max_waiting_per_tenant: 1,
+        });
+        let share = Arc::new(share);
+        let held = share.acquire(1, 16, None).expect("slot");
+        // Tenant 1 parks one waiter from another thread, then a second
+        // try from tenant 1 must refuse while tenant 2 may still wait.
+        let parked = {
+            let share = Arc::clone(&share);
+            std::thread::spawn(move || {
+                share
+                    .acquire(1, 16, Some(Instant::now() + Duration::from_secs(5)))
+                    .map(drop)
+            })
+        };
+        // Wait until the parked waiter is actually in the lane.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let waiting: usize = share
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .lanes
+                .iter()
+                .map(|l| l.waiting.len())
+                .sum();
+            if waiting == 1 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "parked waiter never queued");
+            std::thread::yield_now();
+        }
+        assert_eq!(
+            share
+                .acquire(1, 16, None)
+                .err()
+                .expect("tenant 1 backlog full"),
+            FairRefusal::TenantBacklogFull
+        );
+        assert_eq!(
+            share
+                .acquire(2, 16, Some(Instant::now() + Duration::from_millis(10)))
+                .err()
+                .expect("tenant 2 waits on slots, not tenant 1's backlog"),
+            FairRefusal::DeadlineExceeded
+        );
+        drop(held);
+        parked
+            .join()
+            .expect("parked thread")
+            .expect("parked waiter granted after release");
+    }
+
+    #[test]
+    fn drr_interleaves_a_flood_with_a_trickle() {
+        // Tenant 1 floods 8 cheap requests; tenant 2 then asks for one.
+        // With one slot and FIFO the trickle would wait behind all 8;
+        // DRR must grant tenant 2 long before the flood drains.
+        let share = Arc::new(FairShare::new(FairConfig {
+            max_active: 1,
+            quantum: 64,
+            max_waiting_per_tenant: 64,
+        }));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let held = share.acquire(1, 64, None).expect("prime the slot");
+        let mut floods = Vec::new();
+        for i in 0..8 {
+            let share = Arc::clone(&share);
+            let order = Arc::clone(&order);
+            floods.push(std::thread::spawn(move || {
+                let slot = share
+                    .acquire(1, 64, Some(Instant::now() + Duration::from_secs(10)))
+                    .expect("flood waiter granted");
+                order
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push((1u64, i));
+                std::thread::sleep(Duration::from_millis(2));
+                drop(slot);
+            }));
+        }
+        // Make sure the flood is parked before the trickle arrives.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let waiting: usize = share
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .lanes
+                .iter()
+                .map(|l| l.waiting.len())
+                .sum();
+            if waiting == 8 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "flood never parked");
+            std::thread::yield_now();
+        }
+        let trickle = {
+            let share = Arc::clone(&share);
+            let order = Arc::clone(&order);
+            std::thread::spawn(move || {
+                let slot = share
+                    .acquire(2, 64, Some(Instant::now() + Duration::from_secs(10)))
+                    .expect("trickle granted");
+                order
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push((2u64, 0));
+                drop(slot);
+            })
+        };
+        // Wait for the trickle to be parked too, then start draining.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let lanes = share
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .lanes
+                .len();
+            if lanes == 2 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "trickle never parked");
+            std::thread::yield_now();
+        }
+        drop(held);
+        for t in floods {
+            t.join().expect("flood thread");
+        }
+        trickle.join().expect("trickle thread");
+        let order = order.lock().unwrap_or_else(PoisonError::into_inner);
+        let trickle_pos = order
+            .iter()
+            .position(|&(t, _)| t == 2)
+            .expect("trickle ran");
+        assert!(
+            trickle_pos <= 2,
+            "trickle should interleave near the front, ran at {trickle_pos} in {order:?}"
+        );
+    }
+
+    #[test]
+    fn close_wakes_waiters_with_closed() {
+        let share = Arc::new(FairShare::new(FairConfig {
+            max_active: 1,
+            ..FairConfig::default()
+        }));
+        let held = share.acquire(1, 16, None).expect("slot");
+        let waiter = {
+            let share = Arc::clone(&share);
+            std::thread::spawn(move || share.acquire(2, 16, None).map(drop))
+        };
+        // Give the waiter a moment to park, then close.
+        std::thread::sleep(Duration::from_millis(20));
+        share.close();
+        assert_eq!(
+            waiter.join().expect("waiter thread").err(),
+            Some(FairRefusal::Closed)
+        );
+        assert!(matches!(
+            share.acquire(3, 16, None).err(),
+            Some(FairRefusal::Closed)
+        ));
+        drop(held);
+    }
+
+    #[test]
+    fn grants_balance_active_under_concurrency() {
+        // Hammer the arbiter from many threads; `active` must return to
+        // zero (every grant has exactly one release).
+        let share = Arc::new(FairShare::new(FairConfig {
+            max_active: 3,
+            quantum: 32,
+            max_waiting_per_tenant: 64,
+        }));
+        let done = Arc::new(AtomicU64::new(0));
+        let mut threads = Vec::new();
+        for tenant in 0..6u64 {
+            let share = Arc::clone(&share);
+            let done = Arc::clone(&done);
+            threads.push(std::thread::spawn(move || {
+                for i in 0..20 {
+                    let cost = 16 + (tenant * 7 + i) % 96;
+                    match share.acquire(
+                        tenant,
+                        cost,
+                        Some(Instant::now() + Duration::from_secs(10)),
+                    ) {
+                        Ok(slot) => {
+                            std::thread::yield_now();
+                            drop(slot);
+                            done.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("unexpected refusal {e:?}"),
+                    }
+                }
+            }));
+        }
+        for t in threads {
+            t.join().expect("worker thread");
+        }
+        assert_eq!(done.load(Ordering::Relaxed), 120);
+        let state = share.state.lock().unwrap_or_else(PoisonError::into_inner);
+        assert_eq!(state.active, 0, "every slot released");
+        assert!(state.lanes.is_empty(), "no lane left behind");
+        assert!(state.granted.is_empty(), "no orphaned grant");
+    }
+}

@@ -114,6 +114,10 @@ pub fn request_cost(req: &Request) -> u64 {
         // The discrete-event simulator walks every module timeline once
         // per MD step; the workload size barely matters next to that.
         Request::Estimate { spec, .. } => COST_BASE.saturating_add(spec.steps.saturating_mul(4)),
+        // A router-relayed request costs what the wrapped work costs —
+        // the hop adds no solver work. Decode guarantees the inner
+        // request is plain work, so this recursion is depth one.
+        Request::Forwarded { inner, .. } => request_cost(inner),
         // Control requests never reach the queue.
         Request::Stats | Request::Shutdown { .. } => 0,
     };

@@ -50,7 +50,8 @@ fn install_signal_handlers() {
 }
 
 const USAGE: &str = "usage: serve [--addr HOST:PORT] [--workers N] [--queue N] \
-                     [--cost-budget N] [--cache N] [--retry-after-ms N] [--stats-out PATH]";
+                     [--cost-budget N] [--cache N] [--retry-after-ms N] [--stats-out PATH] \
+                     [--min-service-us N]";
 
 /// Parse the value following `flag`, naming the flag in every failure.
 fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, String>
@@ -78,6 +79,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<ServeConfig, String>
             "--cache" => cfg.plan_cache_capacity = parse_value(&flag, it.next())?,
             "--retry-after-ms" => cfg.retry_after_ms = parse_value(&flag, it.next())?,
             "--stats-out" => cfg.stats_path = Some(parse_value(&flag, it.next())?),
+            "--min-service-us" => cfg.min_service_us = parse_value(&flag, it.next())?,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }

@@ -136,7 +136,11 @@ impl RetryingClient {
     /// drops per the policy. Returns the first conclusive outcome; when
     /// attempts run out, the last outcome (e.g. the final `Rejected`
     /// response, or the final connect error) is returned as-is so the
-    /// caller can still see *why* it gave up.
+    /// caller can still see *why* it gave up — except a final shed,
+    /// which comes back as a synthetic [`Response::Rejected`] with the
+    /// policy's `base_ms` as the hint: a shed byte on a fresh connection
+    /// is backpressure, and reporting it as an error would make a
+    /// well-behaved tenant look broken during a router failover window.
     pub fn call(&mut self, req: &Request) -> Result<Response, WireError> {
         let mut attempt = 0u32;
         let max_attempts = self.policy.max_attempts.max(1);
@@ -175,13 +179,33 @@ impl RetryingClient {
                     attempt += 1;
                 }
                 Ok(resp) => return Ok(resp),
-                Err(e @ (WireError::Shed | WireError::Io { .. })) => {
-                    // The stream is dead (shed marker or transport drop):
-                    // reconnect on the next attempt, after backing off.
+                Err(WireError::Shed) => {
+                    // A shed byte always arrives mid-handshake: the server
+                    // (or a router health-ejecting the backend in front of
+                    // it) refused this connection before decoding anything.
+                    // That is overload, not a protocol bug — so when
+                    // attempts run out the caller gets a synthetic
+                    // `Rejected` carrying the policy's default hint, never
+                    // a wire error. A fleet riding through a router
+                    // failover window sees ordinary backpressure, not a
+                    // burst of client failures.
                     self.client = None;
-                    if matches!(e, WireError::Shed) {
-                        self.sheds += 1;
+                    self.sheds += 1;
+                    if last_attempt {
+                        return Ok(Response::Rejected {
+                            retry_after_ms: self.policy.base_ms,
+                            queue_depth: 0,
+                            outstanding_cost: 0,
+                            cost_budget: 0,
+                        });
                     }
+                    self.backoff(None, attempt);
+                    attempt += 1;
+                }
+                Err(e @ WireError::Io { .. }) => {
+                    // The stream is dead (transport drop): reconnect on
+                    // the next attempt, after backing off.
+                    self.client = None;
                     if last_attempt {
                         return Err(e);
                     }
@@ -192,5 +216,62 @@ impl RetryingClient {
                 Err(e) => return Err(e),
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::write_shed;
+    use std::net::TcpListener;
+
+    /// A listener that sheds every connection with the one-byte marker —
+    /// what a dying backend (or a router mid-failover) looks like on the
+    /// wire.
+    fn shed_everything(connections: u32) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind test listener");
+        let addr = listener.local_addr().expect("local addr");
+        let handle = std::thread::spawn(move || {
+            // Shed exactly the expected number of connections, then exit
+            // (so the test can join without a dangling accept).
+            for _ in 0..connections {
+                let Ok((mut stream, _)) = listener.accept() else {
+                    return;
+                };
+                let _ = write_shed(&mut stream);
+                // Half-close so the client sees shed-byte-then-EOF, then
+                // drain whatever the client already wrote: closing with
+                // unread data would RST the socket and could discard the
+                // shed byte before the client reads it.
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+                let mut sink = [0u8; 256];
+                while matches!(std::io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0) {}
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn exhausted_sheds_become_rejected_with_default_hint() {
+        let policy = BackoffPolicy {
+            base_ms: 1,
+            cap_ms: 2,
+            max_attempts: 3,
+        };
+        let (addr, server) = shed_everything(policy.max_attempts);
+        let mut client = RetryingClient::new(addr, policy, 7);
+        // Every reconnect is met with a mid-handshake shed byte. The
+        // terminal outcome must be a synthetic Rejected carrying the
+        // policy's default hint — never Err(WireError::Shed).
+        match client.call(&Request::Stats) {
+            Ok(Response::Rejected { retry_after_ms, .. }) => {
+                assert_eq!(retry_after_ms, policy.base_ms);
+            }
+            other => panic!("expected synthetic Rejected, got {other:?}"),
+        }
+        assert_eq!(client.sheds(), u64::from(policy.max_attempts));
+        assert!(client.retries() >= 2, "intermediate sheds back off");
+        drop(client);
+        server.join().expect("shed server thread");
     }
 }

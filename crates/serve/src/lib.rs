@@ -46,4 +46,4 @@ pub use client::{BackoffPolicy, Client, RetryingClient};
 pub use protocol::{Request, Response, ServerErrorCode, WireError, PROTOCOL_VERSION, SHED_BYTE};
 pub use queue::{Bounded, Popped};
 pub use server::{serve, ConfigError, ServeConfig, ServeError, ServerHandle};
-pub use stats::ServeStats;
+pub use stats::{LatencyHistogram, ServeStats};

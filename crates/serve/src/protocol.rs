@@ -15,10 +15,15 @@
 //! bytes, unknown kinds and trailing garbage are all answers the peer can
 //! log and survive, never panics (lint rule L6 holds the crate to that).
 
-use tme_core::TmeParams;
-use tme_md::backend::{BackendKind, BackendParams, PswfParams, SlabParams, SpmeParams};
+// Re-exported (not just used): the wire-facing parameter types are part
+// of this protocol's public surface, and consumers that only speak the
+// protocol — `tme-router`, external clients — should be able to name
+// them without depending on the solver stack directly.
+pub use tme_core::TmeParams;
+pub use tme_md::backend::{BackendKind, BackendParams, PswfParams, SlabParams, SpmeParams};
+pub use tme_reference::EwaldParams;
+
 use tme_num::bytes::{ByteReader, ByteWriter, CodecError};
-use tme_reference::EwaldParams;
 
 /// Protocol version carried in byte 0 of every payload. Bump on any
 /// incompatible change; a server rejects other versions with
@@ -28,8 +33,11 @@ use tme_reference::EwaldParams;
 /// a tagged [`BackendParams`] (per-plan backend choice) and a backend
 /// kind in [`EstimateSpec`]; 3 adds the admission-cost fields to
 /// [`Response::Rejected`] and the out-of-band shed marker
-/// ([`SHED_BYTE`]).
-pub const PROTOCOL_VERSION: u8 = 3;
+/// ([`SHED_BYTE`]); 4 adds the forwarded-request frame
+/// ([`Request::Forwarded`]: tenant id + the client's original deadline
+/// wrapping exactly one work request) so a router hop preserves both
+/// across the fan-out.
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// The overload shed marker: when the server refuses a connection (or an
 /// established connection's next frame) *before decoding anything*, it
@@ -62,6 +70,11 @@ pub enum WireError {
     UnknownBackendKind { got: u8 },
     /// The length prefix exceeds [`MAX_FRAME_BYTES`].
     FrameTooLarge { len: u64 },
+    /// A forwarded frame wrapped something that is not a plain work
+    /// request: nested forwarding and control frames (stats, shutdown)
+    /// must not cross a router hop. `got` is the offending inner kind
+    /// byte (0 when the inner payload is too short to carry one).
+    ForwardedNotWork { got: u8 },
     /// The server shed this connection before reading the request (the
     /// one-byte [`SHED_BYTE`] marker followed by close). Nothing was
     /// decoded or executed; reconnect after a backoff.
@@ -100,6 +113,9 @@ impl std::fmt::Display for WireError {
                     f,
                     "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte ceiling"
                 )
+            }
+            Self::ForwardedNotWork { got } => {
+                write!(f, "forwarded frame wraps non-work request kind {got}")
             }
             Self::Shed => write!(f, "connection shed by an overloaded server"),
             Self::Io { kind } => write!(f, "transport error: {kind}"),
@@ -163,6 +179,19 @@ pub enum Request {
     /// Stop the server. `drain = true` answers everything already queued
     /// before exiting; `false` abandons the queue.
     Shutdown { drain: bool },
+    /// A work request relayed by a router hop (`tme-router`). Carries the
+    /// tenant the router accounted the request to and the *client's*
+    /// original deadline — the backend budgets expiry against the full
+    /// end-to-end deadline, not a per-hop one. The inner request must be
+    /// a plain work request (compute / nve_run / estimate): nested
+    /// forwarding and control frames are rejected at decode with the
+    /// typed [`WireError::ForwardedNotWork`], which also bounds decode
+    /// recursion at depth two.
+    Forwarded {
+        tenant: u64,
+        deadline_ms: u64,
+        inner: Box<Request>,
+    },
 }
 
 const REQ_COMPUTE: u8 = 1;
@@ -170,6 +199,7 @@ const REQ_NVE_RUN: u8 = 2;
 const REQ_ESTIMATE: u8 = 3;
 const REQ_STATS: u8 = 4;
 const REQ_SHUTDOWN: u8 = 5;
+const REQ_FORWARDED: u8 = 6;
 
 /// Why the server refused to execute a request (carried in
 /// [`Response::ServerError`]).
@@ -447,6 +477,18 @@ impl Request {
                 w.put_u8(REQ_SHUTDOWN);
                 w.put_u8(u8::from(*drain));
             }
+            Self::Forwarded {
+                tenant,
+                deadline_ms,
+                inner,
+            } => {
+                w.put_u8(REQ_FORWARDED);
+                w.put_u64(*tenant);
+                w.put_u64(*deadline_ms);
+                let inner_payload = inner.encode();
+                w.put_u64(inner_payload.len() as u64);
+                w.put_raw(&inner_payload);
+            }
         }
         w.into_bytes()
     }
@@ -504,6 +546,24 @@ impl Request {
             REQ_SHUTDOWN => Self::Shutdown {
                 drain: r.get_u8()? != 0,
             },
+            REQ_FORWARDED => {
+                let tenant = r.get_u64()?;
+                let deadline_ms = r.get_u64()?;
+                let len = r.get_len(1)?;
+                let inner_payload = r.get_raw(len)?;
+                // Peek the inner kind byte *before* recursing: only plain
+                // work requests are forwardable, so decode depth never
+                // exceeds two even for a hostile deeply-nested payload.
+                let inner_kind = inner_payload.get(1).copied().unwrap_or(0);
+                if !matches!(inner_kind, REQ_COMPUTE | REQ_NVE_RUN | REQ_ESTIMATE) {
+                    return Err(WireError::ForwardedNotWork { got: inner_kind });
+                }
+                Self::Forwarded {
+                    tenant,
+                    deadline_ms,
+                    inner: Box::new(Self::decode(inner_payload)?),
+                }
+            }
             got => return Err(WireError::UnknownRequestKind { got }),
         };
         reject_trailing(&r, payload)?;
@@ -511,12 +571,16 @@ impl Request {
     }
 
     /// The deadline carried by this request (0 for control requests).
+    /// For a forwarded frame this is the *outer* deadline — the client's
+    /// original, which the router preserved across the hop — never the
+    /// inner copy.
     #[must_use]
     pub fn deadline_ms(&self) -> u64 {
         match self {
             Self::Compute { deadline_ms, .. }
             | Self::NveRun { deadline_ms, .. }
-            | Self::Estimate { deadline_ms, .. } => *deadline_ms,
+            | Self::Estimate { deadline_ms, .. }
+            | Self::Forwarded { deadline_ms, .. } => *deadline_ms,
             Self::Stats | Self::Shutdown { .. } => 0,
         }
     }
@@ -530,6 +594,7 @@ impl Request {
             Self::Estimate { .. } => "estimate",
             Self::Stats => "stats",
             Self::Shutdown { .. } => "shutdown",
+            Self::Forwarded { .. } => "forwarded",
         }
     }
 }
@@ -796,7 +861,8 @@ pub fn read_frame(r: &mut impl std::io::Read) -> Result<Vec<u8>, WireError> {
 }
 
 /// Does this undecoded payload *look like* a work request (compute /
-/// nve_run / estimate on the current protocol version)? A pure byte peek
+/// nve_run / estimate, or a router-forwarded wrapper around one, on the
+/// current protocol version)? A pure byte peek
 /// — no allocation, no body parse — used by the overload fast-reject
 /// path to refuse work before paying for `Request::decode`, while still
 /// letting control requests (stats, shutdown) through even under full
@@ -805,7 +871,8 @@ pub fn read_frame(r: &mut impl std::io::Read) -> Result<Vec<u8>, WireError> {
 #[must_use]
 pub fn is_work_request(payload: &[u8]) -> bool {
     payload.first() == Some(&PROTOCOL_VERSION)
-        && matches!(payload.get(1), Some(&k) if (REQ_COMPUTE..=REQ_ESTIMATE).contains(&k))
+        && matches!(payload.get(1),
+            Some(&k) if (REQ_COMPUTE..=REQ_ESTIMATE).contains(&k) || k == REQ_FORWARDED)
 }
 
 #[cfg(test)]
@@ -900,7 +967,62 @@ mod tests {
             },
         })?;
         round_trip_request(&Request::Stats)?;
-        round_trip_request(&Request::Shutdown { drain: true })
+        round_trip_request(&Request::Shutdown { drain: true })?;
+        round_trip_request(&Request::Forwarded {
+            tenant: 0x00C0_FFEE,
+            deadline_ms: 750,
+            inner: Box::new(compute_with(BackendParams::Tme(sample_params()))),
+        })?;
+        round_trip_request(&Request::Forwarded {
+            tenant: u64::MAX,
+            deadline_ms: 0,
+            inner: Box::new(Request::NveRun {
+                deadline_ms: 0,
+                waters: 64,
+                seed: 9,
+                steps: 10,
+                dt: 0.001,
+                r_cut: 0.55,
+            }),
+        })
+    }
+
+    #[test]
+    fn forwarded_frames_only_wrap_work_requests() {
+        // Control frames and nested forwarding must not cross a router
+        // hop: both fail typed at decode, before any recursion.
+        for inner in [
+            Request::Stats,
+            Request::Shutdown { drain: true },
+            Request::Forwarded {
+                tenant: 1,
+                deadline_ms: 5,
+                inner: Box::new(Request::Stats),
+            },
+        ] {
+            let payload = Request::Forwarded {
+                tenant: 7,
+                deadline_ms: 100,
+                inner: Box::new(inner),
+            }
+            .encode();
+            assert!(matches!(
+                Request::decode(&payload),
+                Err(WireError::ForwardedNotWork { .. })
+            ));
+        }
+        // An empty inner payload fails the same way (kind byte 0), not
+        // with a panic or an index error.
+        let mut w = ByteWriter::new();
+        w.put_u8(PROTOCOL_VERSION);
+        w.put_u8(REQ_FORWARDED);
+        w.put_u64(7);
+        w.put_u64(100);
+        w.put_u64(0); // zero-length inner payload
+        assert_eq!(
+            Request::decode(&w.into_bytes()),
+            Err(WireError::ForwardedNotWork { got: 0 })
+        );
     }
 
     #[test]
@@ -1069,6 +1191,14 @@ mod tests {
             ),
             (Request::Stats, false),
             (Request::Shutdown { drain: true }, false),
+            (
+                Request::Forwarded {
+                    tenant: 3,
+                    deadline_ms: 250,
+                    inner: Box::new(compute_with(BackendParams::Tme(sample_params()))),
+                },
+                true,
+            ),
         ] {
             assert_eq!(
                 is_work_request(&req.encode()),

@@ -82,6 +82,15 @@ pub struct ServeConfig {
     /// When set, the final stats snapshot is written here as JSON on
     /// drain.
     pub stats_path: Option<String>,
+    /// Service-time floor in microseconds (0 = off): a worker that
+    /// finishes a work request early sleeps out the remainder before
+    /// answering. This emulates the accelerator-offload wait of the
+    /// target machine — on MDGRAPE-4A the host thread blocks on the
+    /// pipelined SoC while it computes, so service time is offload-bound,
+    /// not host-CPU-bound — which is what lets the cluster bench measure
+    /// the *serving layer's* capacity scaling on a host with fewer cores
+    /// than shards (at most [`MAX_MIN_SERVICE_US`]).
+    pub min_service_us: u64,
 }
 
 impl Default for ServeConfig {
@@ -95,9 +104,15 @@ impl Default for ServeConfig {
             max_atoms: 50_000,
             retry_after_ms: 50,
             stats_path: None,
+            min_service_us: 0,
         }
     }
 }
+
+/// Hard ceiling on [`ServeConfig::min_service_us`] (one second): the
+/// floor exists to emulate offload latency, and a worker asleep for
+/// longer than any sane deadline is a misconfiguration.
+pub const MAX_MIN_SERVICE_US: u64 = 1_000_000;
 
 /// Hard ceiling on [`ServeConfig::queue_capacity`]: each slot can pin a
 /// decoded request (up to a 16 MiB frame), so an absurd depth is a
@@ -130,6 +145,8 @@ pub enum ConfigError {
     /// `retry_after_ms == 0`: rejected clients would retry immediately,
     /// defeating backpressure.
     ZeroRetryCap,
+    /// `min_service_us` above [`MAX_MIN_SERVICE_US`].
+    ServiceFloorTooLarge { got: u64, max: u64 },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -147,6 +164,9 @@ impl std::fmt::Display for ConfigError {
             Self::ZeroPlanCache => write!(f, "plan cache capacity must be at least 1"),
             Self::ZeroMaxAtoms => write!(f, "max atoms must be at least 1"),
             Self::ZeroRetryCap => write!(f, "retry-after cap must be at least 1 ms"),
+            Self::ServiceFloorTooLarge { got, max } => {
+                write!(f, "service floor {got} µs exceeds the maximum {max}")
+            }
         }
     }
 }
@@ -186,6 +206,12 @@ impl ServeConfig {
         }
         if self.retry_after_ms == 0 {
             return Err(ConfigError::ZeroRetryCap);
+        }
+        if self.min_service_us > MAX_MIN_SERVICE_US {
+            return Err(ConfigError::ServiceFloorTooLarge {
+                got: self.min_service_us,
+                max: MAX_MIN_SERVICE_US,
+            });
         }
         Ok(())
     }
@@ -567,6 +593,15 @@ fn sweep_expired_jobs(shared: &Arc<Shared>) {
 /// hint — the connection thread never waits on a queue slot.
 fn submit_and_wait(shared: &Arc<Shared>, req: Request) -> Response {
     let t_admit = Instant::now();
+    // A draining server refuses work with `ShuttingDown`, not `Rejected`:
+    // backpressure says "back off and retry here", but a drain says "this
+    // server is going away — route elsewhere" (the router fails the shard
+    // over on this answer; DESIGN.md §17.3). Counted as a rejection so
+    // the every-decoded-request-answered ledger still balances.
+    if shared.shutdown.load(Ordering::SeqCst) {
+        shared.stats().rejected += 1;
+        return Response::ShuttingDown { drain: true };
+    }
     let cost = request_cost(&req);
     sweep_expired_jobs(shared);
     if !shared.gauge.try_admit(cost) {
@@ -661,6 +696,17 @@ fn worker_loop(shared: &Arc<Shared>) {
                 &mut scratch,
                 &job.req,
             );
+            // Service-time floor (offload-wait emulation): sleep out the
+            // remainder *before* noting completion, so the drain-rate
+            // EWMA — and every retry hint derived from it — prices the
+            // floored service time the clients actually experience.
+            let floor_us = shared.cfg.min_service_us;
+            if floor_us > 0 {
+                let spent = elapsed_us(t_exec);
+                if spent < floor_us {
+                    std::thread::sleep(Duration::from_micros(floor_us - spent));
+                }
+            }
             shared.gauge.note_completion(job.cost, elapsed_us(t_exec));
             resp
         };
@@ -695,6 +741,13 @@ fn execute(
             ..
         } => nve_request(*waters, *seed, *steps, *dt, *r_cut),
         Request::Estimate { spec, .. } => estimate_request(machine, spec),
+        // A router-relayed request executes as its wrapped work request.
+        // Decode guarantees the inner is plain work (never another
+        // Forwarded or a control frame), so this recursion is depth one;
+        // the outer deadline already governed expiry in the queue.
+        Request::Forwarded { inner, .. } => {
+            execute(shared, pool, machine, workspaces, scratch, inner)
+        }
         // Control requests never reach the queue.
         Request::Stats | Request::Shutdown { .. } => Response::ServerError {
             code: ServerErrorCode::Internal,
@@ -1269,6 +1322,75 @@ mod tests {
         assert!(drift.is_finite());
         handle.trigger_drain();
         handle.join();
+        Ok(())
+    }
+
+    #[test]
+    fn forwarded_requests_execute_as_their_inner_work() -> Result<(), Box<dyn std::error::Error>> {
+        let handle = serve(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        })?;
+        let mut client = Client::connect(handle.local_addr())?;
+        // A direct compute and the same compute arriving through a
+        // router hop must produce bit-identical energies, and the
+        // forwarded repeat must hit the plan cache entry the direct
+        // request planted (the affinity property the router relies on).
+        let direct = client.call(&dipole_request(0))?;
+        let forwarded = client.call(&Request::Forwarded {
+            tenant: 42,
+            deadline_ms: 0,
+            inner: Box::new(dipole_request(0)),
+        })?;
+        let (
+            Response::Computed { energy: e1, .. },
+            Response::Computed {
+                energy: e2,
+                cache_hit,
+                ..
+            },
+        ) = (direct, forwarded)
+        else {
+            return Err("expected Computed responses".into());
+        };
+        assert_eq!(e1.to_bits(), e2.to_bits());
+        assert!(cache_hit, "forwarded repeat must hit the plan cache");
+        handle.trigger_drain();
+        let stats = handle.join();
+        assert_eq!(stats.kinds.forwarded, 1);
+        assert_eq!(stats.kinds.compute, 1);
+        assert_eq!(stats.completed, 2);
+        Ok(())
+    }
+
+    #[test]
+    fn service_floor_pads_fast_requests() -> Result<(), Box<dyn std::error::Error>> {
+        let floor_us = 50_000;
+        let handle = serve(ServeConfig {
+            workers: 1,
+            min_service_us: floor_us,
+            ..ServeConfig::default()
+        })?;
+        let mut client = Client::connect(handle.local_addr())?;
+        let t0 = Instant::now();
+        let resp = client.call(&dipole_request(0))?;
+        let elapsed = elapsed_us(t0);
+        assert!(matches!(resp, Response::Computed { .. }));
+        assert!(
+            elapsed >= floor_us,
+            "floored service answered in {elapsed} µs < {floor_us} µs floor"
+        );
+        handle.trigger_drain();
+        handle.join();
+        // And an absurd floor is a startup error, not a wedged fleet.
+        let bad = ServeConfig {
+            min_service_us: MAX_MIN_SERVICE_US + 1,
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::ServiceFloorTooLarge { .. })
+        ));
         Ok(())
     }
 

@@ -65,6 +65,26 @@ impl LatencyHistogram {
         self.sum_us as f64 / self.total as f64
     }
 
+    /// Fold another histogram into this one. The result is *exactly* the
+    /// histogram that recording both shards' samples into one instance
+    /// would have produced (bucket counts add, `max_us` takes the max,
+    /// `sum_us` saturates like `record`), so merged quantiles carry the
+    /// same one-log2-bucket resolution guarantee as single-shard ones:
+    /// the merged `q`-quantile is never below the smallest per-shard
+    /// `q`-quantile and never above twice the largest (one bucket of
+    /// slack, because per-shard values are clamped to the *shard* max
+    /// while the merged value is clamped to the *cluster* max). The
+    /// router uses this to collapse per-shard latency histograms into
+    /// one cluster-wide `tme-router-stats/1` report.
+    pub fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
     /// The `q`-quantile (`q ∈ [0, 1]`) as the upper bound of the bucket
     /// where the cumulative count crosses `q·total`, clamped to the
     /// largest value actually observed. 0 when empty.
@@ -98,6 +118,8 @@ pub struct KindCounts {
     pub estimate: u64,
     pub stats: u64,
     pub shutdown: u64,
+    /// Router-relayed work requests (protocol v4 forwarded frames).
+    pub forwarded: u64,
 }
 
 impl KindCounts {
@@ -107,6 +129,7 @@ impl KindCounts {
             "nve_run" => self.nve_run += 1,
             "estimate" => self.estimate += 1,
             "stats" => self.stats += 1,
+            "forwarded" => self.forwarded += 1,
             _ => self.shutdown += 1,
         }
     }
@@ -198,12 +221,13 @@ impl ServeStats {
         }
         s.push_str(&format!(
             "  \"kinds\": {{\"compute\": {}, \"nve_run\": {}, \"estimate\": {}, \
-             \"stats\": {}, \"shutdown\": {}}},\n",
+             \"stats\": {}, \"shutdown\": {}, \"forwarded\": {}}},\n",
             self.kinds.compute,
             self.kinds.nve_run,
             self.kinds.estimate,
             self.kinds.stats,
-            self.kinds.shutdown
+            self.kinds.shutdown,
+            self.kinds.forwarded
         ));
         s.push_str(&format!(
             "  \"latency_us\": {{\"mean\": {:.1}, \"p50\": {}, \"p99\": {}}},\n",
@@ -250,8 +274,12 @@ impl std::fmt::Display for ServeStats {
         )?;
         writeln!(
             f,
-            "kinds: {} compute, {} nve_run, {} estimate, {} stats",
-            self.kinds.compute, self.kinds.nve_run, self.kinds.estimate, self.kinds.stats
+            "kinds: {} compute, {} nve_run, {} estimate, {} stats, {} forwarded",
+            self.kinds.compute,
+            self.kinds.nve_run,
+            self.kinds.estimate,
+            self.kinds.stats,
+            self.kinds.forwarded
         )?;
         writeln!(
             f,
@@ -313,6 +341,112 @@ mod tests {
         assert_eq!(p99, 5000);
         assert!(h.mean_us() > 0.0);
         assert_eq!(h.count(), 10);
+    }
+
+    /// xorshift64* — deterministic in-test sample generator.
+    fn next_rand(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        *state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A random latency draw spanning many log2 buckets, with occasional
+    /// large outliers so the max-clamp path is exercised.
+    fn draw_us(state: &mut u64) -> u64 {
+        let r = next_rand(state);
+        let shift = (r >> 32) % 14; // buckets 0..14 (µs to ~16 ms)
+        let base = 1u64 << shift;
+        let jitter = r % base.max(1);
+        if r.is_multiple_of(97) {
+            (base + jitter) * 4096 // rare tail outlier
+        } else {
+            base + jitter
+        }
+    }
+
+    #[test]
+    fn merge_is_exactly_the_union_histogram() {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..50 {
+            let mut a = LatencyHistogram::default();
+            let mut b = LatencyHistogram::default();
+            let mut union = LatencyHistogram::default();
+            let na = 1 + (next_rand(&mut state) % 200) as usize;
+            let nb = 1 + (next_rand(&mut state) % 200) as usize;
+            for _ in 0..na {
+                let us = draw_us(&mut state);
+                a.record(us);
+                union.record(us);
+            }
+            for _ in 0..nb {
+                let us = draw_us(&mut state);
+                b.record(us);
+                union.record(us);
+            }
+            let mut merged = a.clone();
+            merged.merge(&b);
+            // Merging must be indistinguishable from having recorded
+            // every sample into one histogram: same buckets, same
+            // moments, hence identical quantiles at every q.
+            assert_eq!(merged.counts, union.counts);
+            assert_eq!(merged.total, union.total);
+            assert_eq!(merged.sum_us, union.sum_us);
+            assert_eq!(merged.max_us, union.max_us);
+        }
+    }
+
+    #[test]
+    fn merged_quantiles_bound_per_shard_values() {
+        // Property: for every q, the merged quantile is never below the
+        // smallest per-shard quantile and never above twice the largest —
+        // one log2 bucket of slack, the histogram's intrinsic resolution
+        // (per-shard values clamp to the shard max, the merged value to
+        // the cluster max, so exact containment can be off by the width
+        // of one bucket but never more).
+        let mut state = 0xD1B5_4A32_D192_ED03u64;
+        for round in 0..200 {
+            let mut a = LatencyHistogram::default();
+            let mut b = LatencyHistogram::default();
+            let na = 1 + (next_rand(&mut state) % 300) as usize;
+            let nb = 1 + (next_rand(&mut state) % 300) as usize;
+            for _ in 0..na {
+                a.record(draw_us(&mut state));
+            }
+            for _ in 0..nb {
+                b.record(draw_us(&mut state));
+            }
+            let mut merged = a.clone();
+            merged.merge(&b);
+            assert_eq!(merged.count(), a.count() + b.count());
+            for q in [0.50, 0.90, 0.99] {
+                let (qa, qb, qm) = (a.quantile_us(q), b.quantile_us(q), merged.quantile_us(q));
+                let lo = qa.min(qb);
+                let hi = qa.max(qb).saturating_mul(2);
+                assert!(
+                    qm >= lo && qm <= hi,
+                    "round {round}: p{q}: merged {qm} outside [{lo}, {hi}] (shards {qa}, {qb})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity() {
+        let mut h = LatencyHistogram::default();
+        for us in [10u64, 500, 9000] {
+            h.record(us);
+        }
+        let before = h.clone();
+        h.merge(&LatencyHistogram::default());
+        assert_eq!(h.counts, before.counts);
+        assert_eq!(h.max_us, before.max_us);
+        let mut empty = LatencyHistogram::default();
+        empty.merge(&before);
+        assert_eq!(empty.counts, before.counts);
+        assert_eq!(empty.quantile_us(0.5), before.quantile_us(0.5));
     }
 
     #[test]

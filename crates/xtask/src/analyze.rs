@@ -68,6 +68,12 @@ pub const A2_ENTRIES: &[(&str, &str)] = &[
     ("worker_loop", "crates/serve/"),
     ("submit_and_wait", "crates/serve/"),
     ("Request::decode", "crates/serve/"),
+    // Router service threads: same never-panic contract as serve's
+    // (DESIGN.md §17) — a poisoned forward must answer the client, not
+    // unwind the connection thread.
+    ("accept_loop", "crates/router/"),
+    ("connection_loop", "crates/router/"),
+    ("probe_loop", "crates/router/"),
     ("TmeBackend::compute_into", "crates/md/"),
     ("SpmeBackend::compute_into", "crates/md/"),
     ("EwaldBackend::compute_into", "crates/md/"),

@@ -74,9 +74,11 @@ pub fn scope_for(rel: &Path) -> Scope {
         .last()
         .is_some_and(|f| RECOVERY_KEYWORDS.iter().any(|k| f.contains(k)));
     // L6 covers the whole serve crate — binaries included, since the
-    // `serve` bin hosts the same worker/connection threads.
-    let serve =
-        parts.first().is_some_and(|p| p == "crates") && parts.get(1).is_some_and(|p| p == "serve");
+    // `serve` bin hosts the same worker/connection threads — and the
+    // router crate, whose forwarding/health threads live under the same
+    // never-panic-in-a-service-thread contract.
+    let serve = parts.first().is_some_and(|p| p == "crates")
+        && parts.get(1).is_some_and(|p| p == "serve" || p == "router");
     let queue_module = serve && parts.last().is_some_and(|f| f == "queue.rs");
     let is_lib_src = parts.iter().any(|p| p == "src")
         && !parts
@@ -172,6 +174,18 @@ mod tests {
         // Other crates never pick up L6, even for files named queue.rs.
         assert!(!scope_for(Path::new("crates/md/src/queue.rs")).serve);
         assert!(!scope_for(Path::new("crates/bench/src/bin/serve_load.rs")).serve);
+    }
+
+    #[test]
+    fn router_crate_gets_l6_like_serve() {
+        for p in [
+            "crates/router/src/server.rs",
+            "crates/router/src/quota.rs",
+            "crates/router/src/bin/router.rs",
+        ] {
+            assert!(scope_for(Path::new(p)).serve, "{p}");
+        }
+        assert!(!scope_for(Path::new("crates/router/src/quota.rs")).queue_module);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * [`machine`] — the discrete-event MDGRAPE-4A machine simulator
 //! * [`serve`] — the multi-tenant simulation service (wire protocol,
 //!   plan cache, worker pool with backpressure)
+//! * [`router`] — the cluster front door (rendezvous-hashed shard
+//!   routing, per-tenant quotas/fair share, health ejection)
 
 pub use mdgrape_sim as machine;
 pub use tme_core as tme;
@@ -18,4 +20,5 @@ pub use tme_md as md;
 pub use tme_mesh as mesh;
 pub use tme_num as num;
 pub use tme_reference as reference;
+pub use tme_router as router;
 pub use tme_serve as serve;

@@ -1,0 +1,273 @@
+//! Cluster integration tests: a `tme-router` front door over live
+//! `tme-serve` backends.
+//!
+//! The two properties the router exists to provide:
+//!
+//! 1. **No admitted request is lost** — killing a shard mid-load must
+//!    not turn any in-flight or subsequent request into a client-visible
+//!    transport error: the router fails over (work requests are pure,
+//!    so a re-forward is safe) and every call terminates with a decoded
+//!    response.
+//! 2. **Deterministic convergence** — once the dead shard is ejected,
+//!    its keyspace re-hashes onto exactly the shards rendezvous hashing
+//!    predicts, and the survivors' keys do not move (plan caches stay
+//!    warm through the failover).
+
+use mdgrape4a_tme::router::{pick_shard, route_key, RouterConfig};
+use mdgrape4a_tme::serve::{serve, BackoffPolicy, Request, Response, RetryingClient, ServeConfig};
+use mdgrape4a_tme::tme::TmeParams;
+use std::time::{Duration, Instant};
+
+fn backend() -> mdgrape4a_tme::serve::ServerHandle {
+    serve(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("start backend")
+}
+
+fn nve(seed: u64) -> Request {
+    Request::NveRun {
+        deadline_ms: 30_000,
+        waters: 8,
+        seed,
+        steps: 1,
+        dt: 0.001,
+        r_cut: 0.55,
+    }
+}
+
+#[test]
+fn shard_kill_mid_load_loses_no_admitted_request() {
+    let backends = [backend(), backend(), backend()];
+    let router = mdgrape4a_tme::router::route(RouterConfig {
+        shards: backends
+            .iter()
+            .map(|b| b.local_addr().to_string())
+            .collect(),
+        health: mdgrape4a_tme::router::HealthConfig {
+            strikes: 1,
+            cooldown: Duration::from_millis(200),
+        },
+        connect_timeout_ms: 200,
+        ..RouterConfig::default()
+    })
+    .expect("start router");
+
+    let call = |client: &mut RetryingClient, seed: u64| {
+        let resp = client.call(&nve(seed)).expect("terminated with a response");
+        assert!(
+            matches!(resp, Response::NveDone { .. }),
+            "request {seed} did not complete: {resp:?}"
+        );
+    };
+
+    // Phase A: three concurrent tenants, all shards alive.
+    let addr = router.local_addr();
+    let phase = |range: std::ops::Range<u64>| {
+        let mut threads = Vec::new();
+        for (t, chunk) in [0u64, 1, 2].into_iter().zip([0u64, 8, 16]) {
+            let start = range.start + chunk;
+            let end = (start + 8).min(range.end + chunk);
+            let mut client = RetryingClient::new(addr, BackoffPolicy::default(), 0xC0FFEE ^ t);
+            threads.push(std::thread::spawn(move || {
+                for seed in start..end {
+                    call(&mut client, seed);
+                }
+            }));
+        }
+        for th in threads {
+            th.join().expect("client thread");
+        }
+    };
+    phase(0..8);
+
+    // Kill shard 1 while the router is live, then keep loading: every
+    // request must still terminate successfully (failover, not loss).
+    let [b0, b1, b2] = backends;
+    b1.trigger_drain();
+    b1.join();
+    phase(100..108);
+
+    let stats = router.stats();
+    assert_eq!(
+        stats.completed, 48,
+        "all 48 requests answered despite the kill"
+    );
+    assert!(
+        stats.shards[1].state == "ejected" || stats.shards[1].state == "half_open",
+        "dead shard still {}",
+        stats.shards[1].state
+    );
+    assert!(
+        stats.rerouted >= 1,
+        "some of the dead shard's keyspace was rerouted"
+    );
+    assert_eq!(stats.protocol_errors, 0);
+
+    // Convergence: with shard 1 ejected, fresh keys land exactly where
+    // rendezvous over the survivor set says, and shard 1 sees nothing.
+    let dead_forwarded = stats.shards[1].forwarded;
+    let before: Vec<u64> = stats.shards.iter().map(|s| s.forwarded).collect();
+    let survivors = [0usize, 2];
+    let mut expected = [0u64; 3];
+    let mut client = RetryingClient::new(addr, BackoffPolicy::default(), 99);
+    for seed in 1_000..1_012u64 {
+        let req = nve(seed);
+        expected[pick_shard(route_key(&req), &survivors).expect("survivors")] += 1;
+        call(&mut client, seed);
+    }
+    let after = router.stats();
+    assert_eq!(
+        after.shards[1].forwarded, dead_forwarded,
+        "ejected shard got traffic"
+    );
+    for s in survivors {
+        assert_eq!(
+            after.shards[s].forwarded - before[s],
+            expected[s],
+            "shard {s} did not receive exactly its rendezvous share"
+        );
+    }
+
+    router.join();
+    b0.trigger_drain();
+    b0.join();
+    b2.trigger_drain();
+    b2.join();
+}
+
+#[test]
+fn plan_cache_affinity_spans_the_cluster() {
+    // Two distinct solver configurations, each sent four times through
+    // the router: rendezvous routing must plan each exactly once
+    // cluster-wide (one miss per configuration, hits for every repeat),
+    // on the shard the hash predicts.
+    let backends = [backend(), backend(), backend()];
+    let router = mdgrape4a_tme::router::route(RouterConfig {
+        shards: backends
+            .iter()
+            .map(|b| b.local_addr().to_string())
+            .collect(),
+        ..RouterConfig::default()
+    })
+    .expect("start router");
+
+    let compute = |grid: usize| Request::Compute {
+        deadline_ms: 30_000,
+        params: mdgrape4a_tme::serve::protocol::BackendParams::Tme(TmeParams {
+            n: [grid; 3],
+            p: 6,
+            levels: 1,
+            gc: 8,
+            m_gaussians: 4,
+            alpha: 3.2,
+            r_cut: 1.0,
+        }),
+        box_l: [4.0; 3],
+        pos: vec![[1.0, 1.0, 1.0], [2.2, 1.0, 1.0]],
+        q: vec![1.0, -1.0],
+    };
+
+    let mut client = RetryingClient::new(router.local_addr(), BackoffPolicy::default(), 5);
+    let mut energies = [f64::NAN; 2];
+    for round in 0..4 {
+        for (i, grid) in [16usize, 32].into_iter().enumerate() {
+            let resp = client.call(&compute(grid)).expect("compute via router");
+            let Response::Computed {
+                energy, cache_hit, ..
+            } = resp
+            else {
+                panic!("expected Computed, got {resp:?}");
+            };
+            assert_eq!(
+                cache_hit,
+                round > 0,
+                "grid {grid} round {round}: cluster-wide plan reuse"
+            );
+            if round == 0 {
+                energies[i] = energy;
+            } else {
+                assert_eq!(
+                    energy.to_bits(),
+                    energies[i].to_bits(),
+                    "same shard, same plan, bit-identical energy"
+                );
+            }
+        }
+    }
+
+    // The router sent each configuration to the one shard rendezvous
+    // picked for its fingerprint.
+    let all = [0usize, 1, 2];
+    let stats = router.stats();
+    let mut expected = [0u64; 3];
+    for grid in [16usize, 32] {
+        expected[pick_shard(route_key(&compute(grid)), &all).expect("shards")] += 4;
+    }
+    for (i, want) in expected.iter().enumerate() {
+        assert_eq!(
+            stats.shards[i].forwarded, *want,
+            "shard {i} forwarded count off"
+        );
+    }
+    router.join();
+
+    // Cluster-wide plan-cache accounting: exactly one miss per distinct
+    // configuration, every repeat a hit.
+    let (mut hits, mut misses, mut forwarded) = (0, 0, 0);
+    for b in backends {
+        b.trigger_drain();
+        let s = b.join();
+        hits += s.cache_hits;
+        misses += s.cache_misses;
+        forwarded += s.kinds.forwarded;
+    }
+    assert_eq!(misses, 2, "one plan build per configuration, cluster-wide");
+    assert_eq!(hits, 6, "every repeat reused the shard-local plan");
+    assert_eq!(forwarded, 8, "all work arrived as v4 forwarded frames");
+}
+
+/// A router with *no* healthy backend answers fast with `Rejected`
+/// (typed backpressure), not a hang or a transport error — and a
+/// `RetryingClient` that exhausts its attempts against that still comes
+/// back with a synthetic `Rejected`, not a wire error.
+#[test]
+fn routerless_backends_reject_rather_than_hang() {
+    // Bind-then-drop to get a port with nothing listening.
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr")
+    };
+    let router = mdgrape4a_tme::router::route(RouterConfig {
+        shards: vec![dead.to_string()],
+        health: mdgrape4a_tme::router::HealthConfig {
+            strikes: 1,
+            cooldown: Duration::from_secs(60),
+        },
+        connect_timeout_ms: 100,
+        ..RouterConfig::default()
+    })
+    .expect("start router");
+    let policy = BackoffPolicy {
+        base_ms: 1,
+        cap_ms: 5,
+        max_attempts: 3,
+    };
+    let mut client = RetryingClient::new(router.local_addr(), policy, 11);
+    let t0 = Instant::now();
+    let resp = client.call(&nve(1)).expect("typed outcome, not an error");
+    assert!(
+        matches!(resp, Response::Rejected { .. }),
+        "expected backpressure, got {resp:?}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "no-backend rejection must be fast, took {:?}",
+        t0.elapsed()
+    );
+    let stats = router.join();
+    assert!(stats.no_backend_rejected >= 1);
+    assert_eq!(stats.completed, 0);
+}

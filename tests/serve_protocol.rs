@@ -120,8 +120,10 @@ fn rand_backend_kind(rng: &mut SplitMix64) -> BackendKind {
     ][rng.gen_index(6)]
 }
 
-fn rand_request(rng: &mut SplitMix64) -> Request {
-    match rng.gen_index(5) {
+/// Random *work* request (the kinds a router hop may wrap in a v4
+/// forwarded frame).
+fn rand_work_request(rng: &mut SplitMix64) -> Request {
+    match rng.gen_index(3) {
         0 => {
             let params = rand_backend_params(rng);
             let pos = rand_v3s(rng, 32);
@@ -151,7 +153,7 @@ fn rand_request(rng: &mut SplitMix64) -> Request {
             dt: rng.gen_range(0.0..0.01),
             r_cut: rng.gen_range(0.1..2.0),
         },
-        2 => Request::Estimate {
+        _ => Request::Estimate {
             deadline_ms: rng.next_u64() >> 40,
             spec: EstimateSpec {
                 backend: rand_backend_kind(rng),
@@ -169,9 +171,22 @@ fn rand_request(rng: &mut SplitMix64) -> Request {
                 steps: rng.gen_index(100_000) as u64,
             },
         },
+    }
+}
+
+fn rand_request(rng: &mut SplitMix64) -> Request {
+    match rng.gen_index(6) {
+        0..=2 => rand_work_request(rng),
         3 => Request::Stats,
-        _ => Request::Shutdown {
+        4 => Request::Shutdown {
             drain: rng.gen_index(2) == 0,
+        },
+        // The protocol-v4 router-forwarded frame: any work request,
+        // wrapped with a tenant id and the client's original deadline.
+        _ => Request::Forwarded {
+            tenant: rng.next_u64(),
+            deadline_ms: rng.next_u64() >> 40,
+            inner: Box::new(rand_work_request(rng)),
         },
     }
 }
@@ -372,6 +387,44 @@ fn trailing_garbage_is_rejected() {
         let mut bytes = rand_request(rng).encode();
         bytes.push(rng.next_u64() as u8);
         assert!(Request::decode(&bytes).is_err());
+    });
+}
+
+/// The v4 forwarded frame only wraps plain work requests: control
+/// frames and nested forwarding fail typed at decode (never a panic,
+/// never unbounded recursion), for any tenant/deadline values.
+#[test]
+fn forwarded_wrappers_reject_non_work_inners() {
+    for_cases("forwarded_wrappers_reject_non_work_inners", |rng| {
+        // A forwarded work request round-trips...
+        let good = Request::Forwarded {
+            tenant: rng.next_u64(),
+            deadline_ms: rng.next_u64() >> 40,
+            inner: Box::new(rand_work_request(rng)),
+        };
+        assert_eq!(Request::decode(&good.encode()), Ok(good.clone()));
+        // ...but control inners and router chains are refused with the
+        // dedicated error carrying the offending inner kind byte.
+        for inner in [
+            Request::Stats,
+            Request::Shutdown {
+                drain: rng.gen_index(2) == 0,
+            },
+            good,
+        ] {
+            let bad = Request::Forwarded {
+                tenant: rng.next_u64(),
+                deadline_ms: rng.next_u64() >> 40,
+                inner: Box::new(inner),
+            };
+            assert!(
+                matches!(
+                    Request::decode(&bad.encode()),
+                    Err(WireError::ForwardedNotWork { .. })
+                ),
+                "accepted {bad:?}"
+            );
+        }
     });
 }
 
